@@ -1,0 +1,205 @@
+//! Snapshot input representation shared by every batch baseline.
+
+use sstd_types::{ClaimId, Report, SourceId, TruthLabel};
+use std::collections::BTreeMap;
+
+/// A bag of reports plus population sizes — what a batch truth-discovery
+/// scheme sees when asked for one snapshot estimate.
+#[derive(Debug, Clone, Copy)]
+pub struct SnapshotInput<'a> {
+    /// The reports to aggregate.
+    pub reports: &'a [Report],
+    /// Source population size (ids are `0..num_sources`).
+    pub num_sources: usize,
+    /// Claim population size (ids are `0..num_claims`).
+    pub num_claims: usize,
+}
+
+impl<'a> SnapshotInput<'a> {
+    /// Bundles reports with their population sizes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any report references an out-of-range source or claim.
+    #[must_use]
+    pub fn new(reports: &'a [Report], num_sources: usize, num_claims: usize) -> Self {
+        for r in reports {
+            assert!(r.source().index() < num_sources, "unknown source in snapshot");
+            assert!(r.claim().index() < num_claims, "unknown claim in snapshot");
+        }
+        Self { reports, num_sources, num_claims }
+    }
+}
+
+/// Signed vote weights between sources and claims, aggregated from
+/// reports: the weight of `(i, u)` is the summed contribution score of
+/// source `i`'s reports on claim `u` (positive supports, negative denies).
+///
+/// # Examples
+///
+/// ```
+/// use sstd_baselines::{SnapshotInput, VoteMatrix};
+/// use sstd_types::*;
+///
+/// let reports = vec![
+///     Report::plain(SourceId::new(0), ClaimId::new(0), Timestamp::ZERO, Attitude::Agree),
+///     Report::plain(SourceId::new(1), ClaimId::new(0), Timestamp::ZERO, Attitude::Disagree),
+/// ];
+/// let votes = VoteMatrix::build(&SnapshotInput::new(&reports, 2, 1));
+/// assert_eq!(votes.claim_votes(ClaimId::new(0)).len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct VoteMatrix {
+    num_sources: usize,
+    num_claims: usize,
+    claim_votes: Vec<Vec<(SourceId, f64)>>,
+    source_votes: Vec<Vec<(ClaimId, f64)>>,
+}
+
+impl VoteMatrix {
+    /// Aggregates a snapshot into signed vote weights.
+    #[must_use]
+    pub fn build(input: &SnapshotInput<'_>) -> Self {
+        let mut acc: BTreeMap<(u32, u32), f64> = BTreeMap::new();
+        for r in input.reports {
+            let cs = r.contribution_score().value();
+            if cs == 0.0 {
+                continue;
+            }
+            *acc.entry((r.source().index() as u32, r.claim().index() as u32))
+                .or_insert(0.0) += cs;
+        }
+        let mut claim_votes = vec![Vec::new(); input.num_claims];
+        let mut source_votes = vec![Vec::new(); input.num_sources];
+        for (&(s, c), &w) in &acc {
+            if w == 0.0 {
+                continue;
+            }
+            claim_votes[c as usize].push((SourceId::new(s), w));
+            source_votes[s as usize].push((ClaimId::new(c), w));
+        }
+        Self {
+            num_sources: input.num_sources,
+            num_claims: input.num_claims,
+            claim_votes,
+            source_votes,
+        }
+    }
+
+    /// Source population size.
+    #[must_use]
+    pub const fn num_sources(&self) -> usize {
+        self.num_sources
+    }
+
+    /// Claim population size.
+    #[must_use]
+    pub const fn num_claims(&self) -> usize {
+        self.num_claims
+    }
+
+    /// Votes on one claim as `(source, signed weight)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `claim` is out of range.
+    #[must_use]
+    pub fn claim_votes(&self, claim: ClaimId) -> &[(SourceId, f64)] {
+        &self.claim_votes[claim.index()]
+    }
+
+    /// Votes cast by one source as `(claim, signed weight)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is out of range.
+    #[must_use]
+    pub fn source_votes(&self, source: SourceId) -> &[(ClaimId, f64)] {
+        &self.source_votes[source.index()]
+    }
+
+    /// Sources that cast at least one vote.
+    pub fn active_sources(&self) -> impl Iterator<Item = SourceId> + '_ {
+        self.source_votes
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| !v.is_empty())
+            .map(|(i, _)| SourceId::new(i as u32))
+    }
+
+    /// Converts per-claim truth scores into labels: positive → `True`.
+    ///
+    /// A score of exactly zero (including "no votes at all") maps to
+    /// `False`, the same no-evidence convention the SSTD engine uses.
+    #[must_use]
+    pub fn scores_to_labels(&self, scores: &[f64]) -> BTreeMap<ClaimId, TruthLabel> {
+        scores
+            .iter()
+            .enumerate()
+            .map(|(u, &s)| (ClaimId::new(u as u32), TruthLabel::from_bool(s > 0.0)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sstd_types::{Attitude, Timestamp};
+
+    fn r(s: u32, c: u32, att: Attitude) -> Report {
+        Report::plain(SourceId::new(s), ClaimId::new(c), Timestamp::ZERO, att)
+    }
+
+    #[test]
+    fn repeated_votes_aggregate() {
+        let reports =
+            vec![r(0, 0, Attitude::Agree), r(0, 0, Attitude::Agree), r(0, 0, Attitude::Disagree)];
+        let v = VoteMatrix::build(&SnapshotInput::new(&reports, 1, 1));
+        assert_eq!(v.claim_votes(ClaimId::new(0)), &[(SourceId::new(0), 1.0)]);
+    }
+
+    #[test]
+    fn cancelled_votes_disappear() {
+        let reports = vec![r(0, 0, Attitude::Agree), r(0, 0, Attitude::Disagree)];
+        let v = VoteMatrix::build(&SnapshotInput::new(&reports, 1, 1));
+        assert!(v.claim_votes(ClaimId::new(0)).is_empty());
+        assert_eq!(v.active_sources().count(), 0);
+    }
+
+    #[test]
+    fn silent_reports_are_ignored() {
+        let reports = vec![r(0, 0, Attitude::Silent)];
+        let v = VoteMatrix::build(&SnapshotInput::new(&reports, 1, 1));
+        assert!(v.claim_votes(ClaimId::new(0)).is_empty());
+    }
+
+    #[test]
+    fn source_and_claim_views_agree() {
+        let reports = vec![
+            r(0, 0, Attitude::Agree),
+            r(0, 1, Attitude::Disagree),
+            r(1, 1, Attitude::Agree),
+        ];
+        let v = VoteMatrix::build(&SnapshotInput::new(&reports, 2, 2));
+        assert_eq!(v.source_votes(SourceId::new(0)).len(), 2);
+        assert_eq!(v.claim_votes(ClaimId::new(1)).len(), 2);
+        assert_eq!(v.active_sources().count(), 2);
+    }
+
+    #[test]
+    fn labels_from_scores() {
+        let reports = vec![r(0, 0, Attitude::Agree)];
+        let v = VoteMatrix::build(&SnapshotInput::new(&reports, 1, 3));
+        let labels = v.scores_to_labels(&[0.5, -0.2, 0.0]);
+        assert_eq!(labels[&ClaimId::new(0)], TruthLabel::True);
+        assert_eq!(labels[&ClaimId::new(1)], TruthLabel::False);
+        assert_eq!(labels[&ClaimId::new(2)], TruthLabel::False, "zero evidence → False");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown source")]
+    fn out_of_range_source_panics() {
+        let reports = vec![r(9, 0, Attitude::Agree)];
+        let _ = SnapshotInput::new(&reports, 1, 1);
+    }
+}

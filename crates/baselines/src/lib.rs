@@ -1,0 +1,50 @@
+//! State-of-the-art truth-discovery baselines (paper §V-A1).
+//!
+//! The SSTD evaluation compares against six published schemes, all
+//! re-implemented here from their source papers behind one pair of traits:
+//!
+//! | Scheme | Source | Idea |
+//! |---|---|---|
+//! | [`TruthFinder`] | Yin et al., TKDE'08 | iterative pseudo-probabilistic trust/confidence propagation |
+//! | [`Invest`] | Pasternack & Roth, COLING'10 | sources invest trust across claims, nonlinear credibility growth |
+//! | [`ThreeEstimates`] | Galland et al., WSDM'10 | joint truth / trust / claim-difficulty estimation |
+//! | [`Catd`] | Li et al., VLDB'14 | chi-square confidence-aware weights for long-tail sources |
+//! | [`Rtd`] | Zhang et al., BigData'16 | robustness against widely-copied misinformation |
+//! | [`DynaTd`] | Li et al., KDD'15 | streaming MAP estimation of evolving truth |
+//!
+//! plus the [`MajorityVote`] and [`WeightedVote`] heuristics the paper
+//! mentions as fast-but-inaccurate strawmen (§II), and [`RecursiveEm`]
+//! (Wang et al., ICDCS'13) — the other streaming approach the paper's
+//! related-work section cites, included as an extra dynamic baseline.
+//!
+//! Batch schemes implement [`TruthDiscovery`] (one snapshot from a bag of
+//! reports); dynamic evaluation wraps them in [`SlidingWindow`], which
+//! re-runs the batch solver per interval over a recent-report window —
+//! exactly how the paper applies static baselines to dynamic traces.
+//! Natively streaming schemes ([`DynaTd`]) implement
+//! [`StreamingTruthDiscovery`] directly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod catd;
+mod dynatd;
+mod input;
+mod invest;
+mod majority;
+mod recursive_em;
+mod rtd;
+mod three_estimates;
+mod traits;
+mod truthfinder;
+
+pub use catd::Catd;
+pub use dynatd::DynaTd;
+pub use input::{SnapshotInput, VoteMatrix};
+pub use invest::Invest;
+pub use majority::{MajorityVote, WeightedVote};
+pub use recursive_em::RecursiveEm;
+pub use rtd::Rtd;
+pub use three_estimates::ThreeEstimates;
+pub use traits::{SlidingWindow, StreamingTruthDiscovery, TruthDiscovery};
+pub use truthfinder::TruthFinder;

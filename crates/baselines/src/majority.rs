@@ -1,0 +1,167 @@
+//! Voting heuristics: the fast-but-inaccurate strawmen of paper §II
+//! ("simple heuristic algorithms such as Majority Voting and Median are
+//! very fast but the truth discovery accuracy is quite low").
+
+use crate::{SnapshotInput, TruthDiscovery, VoteMatrix};
+use sstd_types::{ClaimId, TruthLabel};
+use std::collections::BTreeMap;
+
+/// Unweighted majority voting: each vocal source counts ±1 per claim.
+///
+/// # Examples
+///
+/// ```
+/// use sstd_baselines::{MajorityVote, SnapshotInput, TruthDiscovery};
+/// use sstd_types::*;
+///
+/// let reports = vec![
+///     Report::plain(SourceId::new(0), ClaimId::new(0), Timestamp::ZERO, Attitude::Agree),
+///     Report::plain(SourceId::new(1), ClaimId::new(0), Timestamp::ZERO, Attitude::Agree),
+///     Report::plain(SourceId::new(2), ClaimId::new(0), Timestamp::ZERO, Attitude::Disagree),
+/// ];
+/// let est = MajorityVote::new().discover(&SnapshotInput::new(&reports, 3, 1));
+/// assert_eq!(est[&ClaimId::new(0)], TruthLabel::True);
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MajorityVote;
+
+impl MajorityVote {
+    /// Creates the scheme.
+    #[must_use]
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl TruthDiscovery for MajorityVote {
+    fn name(&self) -> &'static str {
+        "MajorityVote"
+    }
+
+    fn discover(&self, input: &SnapshotInput<'_>) -> BTreeMap<ClaimId, TruthLabel> {
+        let votes = VoteMatrix::build(input);
+        let scores: Vec<f64> = (0..input.num_claims)
+            .map(|u| {
+                votes
+                    .claim_votes(ClaimId::new(u as u32))
+                    .iter()
+                    .map(|&(_, w)| w.signum())
+                    .sum()
+            })
+            .collect();
+        votes.scores_to_labels(&scores)
+    }
+}
+
+/// Contribution-weighted voting: votes count with their contribution-score
+/// magnitude, so hedged and copied reports weigh less. (The binary-claim
+/// analogue of the paper's "Median" heuristic.)
+///
+/// # Examples
+///
+/// ```
+/// use sstd_baselines::{SnapshotInput, TruthDiscovery, WeightedVote};
+/// use sstd_types::*;
+///
+/// let reports = vec![
+///     // One confident denial outweighs two heavily hedged supports.
+///     Report::new(SourceId::new(0), ClaimId::new(0), Timestamp::ZERO,
+///                 Attitude::Agree, Uncertainty::new(0.8)?, Independence::new(1.0)?),
+///     Report::new(SourceId::new(1), ClaimId::new(0), Timestamp::ZERO,
+///                 Attitude::Agree, Uncertainty::new(0.8)?, Independence::new(1.0)?),
+///     Report::plain(SourceId::new(2), ClaimId::new(0), Timestamp::ZERO, Attitude::Disagree),
+/// ];
+/// let est = WeightedVote::new().discover(&SnapshotInput::new(&reports, 3, 1));
+/// assert_eq!(est[&ClaimId::new(0)], TruthLabel::False);
+/// # Ok::<(), ScoreError>(())
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WeightedVote;
+
+impl WeightedVote {
+    /// Creates the scheme.
+    #[must_use]
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl TruthDiscovery for WeightedVote {
+    fn name(&self) -> &'static str {
+        "WeightedVote"
+    }
+
+    fn discover(&self, input: &SnapshotInput<'_>) -> BTreeMap<ClaimId, TruthLabel> {
+        let votes = VoteMatrix::build(input);
+        let scores: Vec<f64> = (0..input.num_claims)
+            .map(|u| {
+                votes
+                    .claim_votes(ClaimId::new(u as u32))
+                    .iter()
+                    .map(|&(_, w)| w)
+                    .sum()
+            })
+            .collect();
+        votes.scores_to_labels(&scores)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sstd_types::{Attitude, Report, SourceId, Timestamp};
+
+    fn r(s: u32, c: u32, att: Attitude) -> Report {
+        Report::plain(SourceId::new(s), ClaimId::new(c), Timestamp::ZERO, att)
+    }
+
+    #[test]
+    fn tie_defaults_to_false() {
+        let reports = vec![r(0, 0, Attitude::Agree), r(1, 0, Attitude::Disagree)];
+        let est = MajorityVote::new().discover(&SnapshotInput::new(&reports, 2, 1));
+        assert_eq!(est[&ClaimId::new(0)], TruthLabel::False);
+    }
+
+    #[test]
+    fn unreported_claim_is_false() {
+        let reports = vec![r(0, 0, Attitude::Agree)];
+        let est = MajorityVote::new().discover(&SnapshotInput::new(&reports, 1, 2));
+        assert_eq!(est[&ClaimId::new(1)], TruthLabel::False);
+        assert_eq!(est.len(), 2, "every claim gets an estimate");
+    }
+
+    #[test]
+    fn majority_ignores_weights() {
+        use sstd_types::{Independence, Uncertainty};
+        // Two hedged agrees (weight 0.2 each) vs one confident disagree.
+        let reports = vec![
+            Report::new(
+                SourceId::new(0),
+                ClaimId::new(0),
+                Timestamp::ZERO,
+                Attitude::Agree,
+                Uncertainty::new(0.8).unwrap(),
+                Independence::new(1.0).unwrap(),
+            ),
+            Report::new(
+                SourceId::new(1),
+                ClaimId::new(0),
+                Timestamp::ZERO,
+                Attitude::Agree,
+                Uncertainty::new(0.8).unwrap(),
+                Independence::new(1.0).unwrap(),
+            ),
+            r(2, 0, Attitude::Disagree),
+        ];
+        let input = SnapshotInput::new(&reports, 3, 1);
+        // Majority: 2 > 1 → True. Weighted: 0.4 < 1.0 → False.
+        assert_eq!(MajorityVote::new().discover(&input)[&ClaimId::new(0)], TruthLabel::True);
+        assert_eq!(WeightedVote::new().discover(&input)[&ClaimId::new(0)], TruthLabel::False);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(MajorityVote::new().name(), "MajorityVote");
+        assert_eq!(WeightedVote::new().name(), "WeightedVote");
+    }
+}

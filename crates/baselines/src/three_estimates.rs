@@ -1,0 +1,228 @@
+//! 3-Estimates (Galland, Abiteboul, Marian & Senellart, WSDM 2010):
+//! corroboration with three jointly estimated quantities — the truth of
+//! each fact, the error rate of each source, and the *hardness* of each
+//! fact (how easy it is to get wrong).
+//!
+//! This is the fixpoint computation of the original paper specialized to
+//! binary claims, with each round followed by the paper's linear
+//! renormalization of the three estimate vectors into `[0, 1]`.
+
+// Index-based loops are kept deliberately in this module: the math is
+// written against matrix subscripts (states i/j, claims u, sources s,
+// time t) and mirroring the paper's notation beats iterator chains for
+// auditability.
+#![allow(clippy::needless_range_loop)]
+
+use crate::{SnapshotInput, TruthDiscovery, VoteMatrix};
+use sstd_types::{ClaimId, SourceId, TruthLabel};
+use std::collections::BTreeMap;
+
+/// The 3-Estimates scheme.
+///
+/// # Examples
+///
+/// ```
+/// use sstd_baselines::{SnapshotInput, ThreeEstimates, TruthDiscovery};
+/// use sstd_types::*;
+///
+/// let reports = vec![
+///     Report::plain(SourceId::new(0), ClaimId::new(0), Timestamp::ZERO, Attitude::Agree),
+///     Report::plain(SourceId::new(1), ClaimId::new(0), Timestamp::ZERO, Attitude::Agree),
+///     Report::plain(SourceId::new(2), ClaimId::new(0), Timestamp::ZERO, Attitude::Disagree),
+/// ];
+/// let est = ThreeEstimates::new().discover(&SnapshotInput::new(&reports, 3, 1));
+/// assert_eq!(est[&ClaimId::new(0)], TruthLabel::True);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThreeEstimates {
+    rounds: usize,
+    /// Initial source error rate.
+    initial_error: f64,
+    /// Initial fact hardness.
+    initial_hardness: f64,
+}
+
+impl Default for ThreeEstimates {
+    fn default() -> Self {
+        Self { rounds: 20, initial_error: 0.1, initial_hardness: 0.5 }
+    }
+}
+
+impl ThreeEstimates {
+    /// Creates the scheme with the original initialization (ε₀ = 0.1,
+    /// φ₀ = 0.5).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl TruthDiscovery for ThreeEstimates {
+    fn name(&self) -> &'static str {
+        "3-Estimates"
+    }
+
+    #[allow(clippy::many_single_char_names)]
+    fn discover(&self, input: &SnapshotInput<'_>) -> BTreeMap<ClaimId, TruthLabel> {
+        let votes = VoteMatrix::build(input);
+        let n_claims = input.num_claims;
+        let n_sources = input.num_sources;
+
+        // v_if ∈ {1 (true), 0 (false)} for each cast vote.
+        let mut error = vec![self.initial_error; n_sources];
+        let mut hardness = vec![self.initial_hardness; n_claims];
+        let mut theta = vec![0.5f64; n_claims];
+
+        for _ in 0..self.rounds {
+            // θ update: expected truth given source errors and hardness.
+            for u in 0..n_claims {
+                let cv = votes.claim_votes(ClaimId::new(u as u32));
+                if cv.is_empty() {
+                    theta[u] = 0.0;
+                    continue;
+                }
+                let mut acc = 0.0;
+                for &(src, w) in cv {
+                    let says_true = w > 0.0;
+                    let flip = (error[src.index()] * hardness[u]).clamp(0.0, 1.0);
+                    acc += if says_true { 1.0 - flip } else { flip };
+                }
+                theta[u] = acc / cv.len() as f64;
+            }
+            normalize_unit(&mut theta);
+
+            // ε update: how often the source disagrees with θ, discounted
+            // by hardness (mistakes on hard facts are forgiven).
+            for s in 0..n_sources {
+                let sv = votes.source_votes(SourceId::new(s as u32));
+                if sv.is_empty() {
+                    continue;
+                }
+                let mut acc = 0.0;
+                let mut denom = 0.0;
+                for &(c, w) in sv {
+                    let says_true = w > 0.0;
+                    let disagreement =
+                        if says_true { 1.0 - theta[c.index()] } else { theta[c.index()] };
+                    let h = hardness[c.index()].max(1e-6);
+                    acc += disagreement / h;
+                    denom += 1.0 / h;
+                }
+                error[s] = (acc / denom).clamp(0.0, 1.0);
+            }
+            normalize_unit(&mut error);
+
+            // φ update: how much even good sources err on this fact.
+            for u in 0..n_claims {
+                let cv = votes.claim_votes(ClaimId::new(u as u32));
+                if cv.is_empty() {
+                    continue;
+                }
+                let mut acc = 0.0;
+                let mut denom = 0.0;
+                for &(src, w) in cv {
+                    let says_true = w > 0.0;
+                    let disagreement = if says_true { 1.0 - theta[u] } else { theta[u] };
+                    let e = error[src.index()].max(1e-6);
+                    acc += disagreement / e;
+                    denom += 1.0 / e;
+                }
+                hardness[u] = (acc / denom).clamp(0.0, 1.0);
+            }
+            normalize_unit(&mut hardness);
+        }
+
+        let scores: Vec<f64> = (0..n_claims)
+            .map(|u| {
+                if votes.claim_votes(ClaimId::new(u as u32)).is_empty() {
+                    0.0
+                } else {
+                    theta[u] - 0.5
+                }
+            })
+            .collect();
+        votes.scores_to_labels(&scores)
+    }
+}
+
+/// The paper's linear renormalization: rescale into `[δ, 1−δ]` when the
+/// vector has spread, keeping estimates away from the degenerate 0/1
+/// endpoints that would zero out later updates.
+fn normalize_unit(xs: &mut [f64]) {
+    const DELTA: f64 = 0.05;
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &x in xs.iter() {
+        lo = lo.min(x);
+        hi = hi.max(x);
+    }
+    if !(hi - lo).is_finite() || hi - lo < 1e-12 {
+        return;
+    }
+    for x in xs.iter_mut() {
+        *x = DELTA + (1.0 - 2.0 * DELTA) * (*x - lo) / (hi - lo);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sstd_types::{Attitude, Report, Timestamp};
+
+    fn r(s: u32, c: u32, att: Attitude) -> Report {
+        Report::plain(SourceId::new(s), ClaimId::new(c), Timestamp::ZERO, att)
+    }
+
+    #[test]
+    fn clear_majority_resolves() {
+        let reports = vec![
+            r(0, 0, Attitude::Agree),
+            r(1, 0, Attitude::Agree),
+            r(2, 0, Attitude::Agree),
+            r(3, 0, Attitude::Disagree),
+        ];
+        let est = ThreeEstimates::new().discover(&SnapshotInput::new(&reports, 4, 1));
+        assert_eq!(est[&ClaimId::new(0)], TruthLabel::True);
+    }
+
+    #[test]
+    fn consistent_deniers_win_their_claims() {
+        let reports = vec![r(0, 0, Attitude::Disagree), r(1, 0, Attitude::Disagree)];
+        let est = ThreeEstimates::new().discover(&SnapshotInput::new(&reports, 2, 1));
+        assert_eq!(est[&ClaimId::new(0)], TruthLabel::False);
+    }
+
+    #[test]
+    fn error_rates_separate_good_from_bad_sources() {
+        // Sources 0-2 agree on 10 claims; source 3 opposes everything.
+        let mut reports = Vec::new();
+        for c in 0..10u32 {
+            for s in 0..3u32 {
+                reports.push(r(s, c, Attitude::Agree));
+            }
+            reports.push(r(3, c, Attitude::Disagree));
+        }
+        let est = ThreeEstimates::new().discover(&SnapshotInput::new(&reports, 4, 10));
+        for c in 0..10u32 {
+            assert_eq!(est[&ClaimId::new(c)], TruthLabel::True, "claim {c}");
+        }
+    }
+
+    #[test]
+    fn unreported_claims_false() {
+        let reports = vec![r(0, 0, Attitude::Agree)];
+        let est = ThreeEstimates::new().discover(&SnapshotInput::new(&reports, 1, 3));
+        assert_eq!(est[&ClaimId::new(2)], TruthLabel::False);
+    }
+
+    #[test]
+    fn normalize_handles_constant_vectors() {
+        let mut xs = vec![0.5, 0.5, 0.5];
+        normalize_unit(&mut xs);
+        assert_eq!(xs, vec![0.5, 0.5, 0.5]);
+    }
+
+    #[test]
+    fn name_matches_paper_table() {
+        assert_eq!(ThreeEstimates::new().name(), "3-Estimates");
+    }
+}

@@ -1,0 +1,132 @@
+//! The scheme traits and the batch→streaming adapter.
+
+use crate::SnapshotInput;
+use sstd_types::{ClaimId, Report, TruthLabel};
+use std::collections::BTreeMap;
+
+/// A batch truth-discovery scheme: one snapshot estimate from a bag of
+/// reports.
+pub trait TruthDiscovery {
+    /// Short scheme name as it appears in the paper's tables.
+    fn name(&self) -> &'static str;
+
+    /// Estimates a truth label for every claim in `input`.
+    ///
+    /// Implementations must return an entry for each of
+    /// `input.num_claims` claims (claims without evidence default to
+    /// `False`).
+    fn discover(&self, input: &SnapshotInput<'_>) -> BTreeMap<ClaimId, TruthLabel>;
+}
+
+/// A streaming truth-discovery scheme: consumes interval batches in time
+/// order and maintains a current estimate per claim.
+pub trait StreamingTruthDiscovery {
+    /// Short scheme name as it appears in the paper's tables.
+    fn name(&self) -> &'static str;
+
+    /// Consumes the reports of the next interval and returns the updated
+    /// per-claim estimates for that interval.
+    fn observe_interval(&mut self, reports: &[Report]) -> BTreeMap<ClaimId, TruthLabel>;
+}
+
+/// Runs a batch scheme per interval over a sliding window of recent
+/// reports — how the paper applies static baselines (TruthFinder, CATD,
+/// RTD, Invest, 3-Estimates) to dynamic traces.
+///
+/// # Examples
+///
+/// ```
+/// use sstd_baselines::{MajorityVote, SlidingWindow, StreamingTruthDiscovery};
+/// use sstd_types::*;
+///
+/// let mut win = SlidingWindow::new(MajorityVote::new(), 2, 3, 1);
+/// let r = Report::plain(SourceId::new(0), ClaimId::new(0), Timestamp::ZERO, Attitude::Agree);
+/// let est = win.observe_interval(&[r]);
+/// assert_eq!(est[&ClaimId::new(0)], TruthLabel::True);
+/// ```
+#[derive(Debug)]
+pub struct SlidingWindow<S> {
+    scheme: S,
+    window: usize,
+    num_sources: usize,
+    num_claims: usize,
+    recent: std::collections::VecDeque<Vec<Report>>,
+}
+
+impl<S: TruthDiscovery> SlidingWindow<S> {
+    /// Wraps `scheme`, re-running it each interval on the last `window`
+    /// intervals of reports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    #[must_use]
+    pub fn new(scheme: S, window: usize, num_sources: usize, num_claims: usize) -> Self {
+        assert!(window > 0, "window must be at least one interval");
+        Self {
+            scheme,
+            window,
+            num_sources,
+            num_claims,
+            recent: std::collections::VecDeque::new(),
+        }
+    }
+
+    /// The wrapped scheme.
+    #[must_use]
+    pub fn inner(&self) -> &S {
+        &self.scheme
+    }
+}
+
+impl<S: TruthDiscovery> StreamingTruthDiscovery for SlidingWindow<S> {
+    fn name(&self) -> &'static str {
+        self.scheme.name()
+    }
+
+    fn observe_interval(&mut self, reports: &[Report]) -> BTreeMap<ClaimId, TruthLabel> {
+        if self.recent.len() == self.window {
+            self.recent.pop_front();
+        }
+        self.recent.push_back(reports.to_vec());
+        let flat: Vec<Report> = self.recent.iter().flatten().copied().collect();
+        let input = SnapshotInput::new(&flat, self.num_sources, self.num_claims);
+        self.scheme.discover(&input)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MajorityVote;
+    use sstd_types::{Attitude, SourceId, Timestamp};
+
+    fn r(s: u32, c: u32, att: Attitude) -> Report {
+        Report::plain(SourceId::new(s), ClaimId::new(c), Timestamp::ZERO, att)
+    }
+
+    #[test]
+    fn window_evicts_old_intervals() {
+        let mut win = SlidingWindow::new(MajorityVote::new(), 1, 2, 1);
+        let est1 = win.observe_interval(&[r(0, 0, Attitude::Agree)]);
+        assert_eq!(est1[&ClaimId::new(0)], TruthLabel::True);
+        // Window of 1: the old agreeing report is gone; one disagree wins.
+        let est2 = win.observe_interval(&[r(1, 0, Attitude::Disagree)]);
+        assert_eq!(est2[&ClaimId::new(0)], TruthLabel::False);
+    }
+
+    #[test]
+    fn larger_window_accumulates_evidence() {
+        let mut win = SlidingWindow::new(MajorityVote::new(), 3, 3, 1);
+        let _ = win.observe_interval(&[r(0, 0, Attitude::Agree)]);
+        let _ = win.observe_interval(&[r(1, 0, Attitude::Agree)]);
+        let est = win.observe_interval(&[r(2, 0, Attitude::Disagree)]);
+        assert_eq!(est[&ClaimId::new(0)], TruthLabel::True, "2 agrees beat 1 disagree");
+    }
+
+    #[test]
+    fn name_passes_through() {
+        let win = SlidingWindow::new(MajorityVote::new(), 2, 1, 1);
+        assert_eq!(StreamingTruthDiscovery::name(&win), "MajorityVote");
+    }
+}

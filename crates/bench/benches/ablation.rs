@@ -1,0 +1,52 @@
+//! Ablation benches for the design choices DESIGN.md calls out: the cost
+//! side of each variant. The accuracy side is
+//! `cargo run -p sstd-eval --bin ablation`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sstd_core::{SstdConfig, SstdEngine};
+use sstd_data::{Scenario, TraceBuilder};
+use sstd_types::Trace;
+
+fn trace() -> Trace {
+    TraceBuilder::scenario(Scenario::ParisShooting).scale(0.004).seed(42).build()
+}
+
+fn bench_window(c: &mut Criterion) {
+    let trace = trace();
+    let mut group = c.benchmark_group("ablation_window");
+    for (label, cfg) in [
+        ("adaptive", SstdConfig::default()),
+        ("fixed_w1", SstdConfig::default().with_window(1)),
+        ("fixed_w3", SstdConfig::default().with_window(3)),
+        ("fixed_w8", SstdConfig::default().with_window(8)),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &cfg, |b, cfg| {
+            let engine = SstdEngine::new(*cfg);
+            b.iter(|| std::hint::black_box(engine.run(&trace)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_training(c: &mut Criterion) {
+    let trace = trace();
+    let mut group = c.benchmark_group("ablation_em");
+    for (label, cfg) in [
+        ("em_on", SstdConfig::default()),
+        ("em_off", SstdConfig::default().with_training(false)),
+        ("em_5_iters", SstdConfig::default().with_em_iterations(5)),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &cfg, |b, cfg| {
+            let engine = SstdEngine::new(*cfg);
+            b.iter(|| std::hint::black_box(engine.run(&trace)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = ablation;
+    config = Criterion::default().sample_size(10);
+    targets = bench_window, bench_training
+);
+criterion_main!(ablation);

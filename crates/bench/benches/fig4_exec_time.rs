@@ -1,0 +1,35 @@
+//! Criterion counterpart of Fig. 4: execution time vs. data size for the
+//! two ends of the spectrum — SSTD (volume-insensitive per-claim models)
+//! and TruthFinder (volume-proportional batch iteration). The full
+//! seven-scheme sweep is `cargo run -p sstd-eval --bin fig4`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sstd_data::{Scenario, TraceBuilder};
+use sstd_eval::{run_scheme, SchemeKind};
+
+fn bench_data_sizes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_exec_time");
+    for scale_milli in [1u64, 4, 16] {
+        let trace = TraceBuilder::scenario(Scenario::ParisShooting)
+            .scale(scale_milli as f64 / 1_000.0)
+            .seed(42)
+            .build();
+        let n = trace.reports().len() as u64;
+        group.throughput(Throughput::Elements(n));
+        for scheme in [SchemeKind::Sstd, SchemeKind::TruthFinder] {
+            group.bench_with_input(
+                BenchmarkId::new(scheme.name(), n),
+                &scheme,
+                |b, &s| b.iter(|| std::hint::black_box(run_scheme(s, &trace))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = fig4;
+    config = Criterion::default().sample_size(10);
+    targets = bench_data_sizes
+);
+criterion_main!(fig4);

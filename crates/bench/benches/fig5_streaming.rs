@@ -1,0 +1,59 @@
+//! Criterion counterpart of Fig. 5: per-interval ingestion cost of the
+//! streaming engine vs. the cost of one cumulative batch re-solve — the
+//! two work shapes whose divergence produces the paper's Fig. 5 curves.
+//! The full sweep is `cargo run -p sstd-eval --bin fig5`.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use sstd_baselines::{SnapshotInput, TruthDiscovery, TruthFinder};
+use sstd_core::{SstdConfig, StreamingSstd};
+use sstd_data::{Scenario, TraceBuilder};
+
+fn bench_streaming_vs_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_ingest");
+    for rate in [100usize, 400] {
+        let mut builder = TraceBuilder::scenario(Scenario::Synthetic).seed(42);
+        {
+            let cfg = builder.config_mut();
+            cfg.horizon_secs = 20;
+            cfg.num_intervals = 20;
+            cfg.target_reports = rate * 20;
+            cfg.num_sources = (rate * 20).max(100);
+        }
+        let trace = builder.build();
+
+        group.bench_with_input(
+            BenchmarkId::new("sstd_stream_whole_trace", rate),
+            &trace,
+            |b, trace| {
+                b.iter_batched(
+                    || StreamingSstd::new(SstdConfig::default(), trace.timeline().clone()),
+                    |mut engine| {
+                        for r in trace.reports() {
+                            engine.push(r);
+                        }
+                        std::hint::black_box(engine.finish())
+                    },
+                    BatchSize::SmallInput,
+                );
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("truthfinder_batch_resolve", rate),
+            &trace,
+            |b, trace| {
+                let input =
+                    SnapshotInput::new(trace.reports(), trace.num_sources(), trace.num_claims());
+                let scheme = TruthFinder::new();
+                b.iter(|| std::hint::black_box(scheme.discover(&input)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = fig5;
+    config = Criterion::default().sample_size(10);
+    targets = bench_streaming_vs_batch
+);
+criterion_main!(fig5);

@@ -1,0 +1,39 @@
+//! Criterion counterpart of Fig. 6: cost of one DTM control run (DES +
+//! PID) for an interval workload, controlled vs. static. The hit-rate
+//! sweep itself is `cargo run -p sstd-eval --bin fig6`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sstd_control::{DtmConfig, DtmJob, DynamicTaskManager};
+use sstd_runtime::{Cluster, ExecutionModel, JobId};
+
+fn bench_dtm(c: &mut Criterion) {
+    let model = ExecutionModel::new(0.005, 0.001, 0.0012);
+    let jobs: Vec<DtmJob> = (0..8)
+        .map(|i| DtmJob::new(JobId::new(i), 2_000.0 + 500.0 * f64::from(i), 4.0, 4))
+        .collect();
+
+    let mut group = c.benchmark_group("fig6_dtm_run");
+    for (label, control) in [("pid_controlled", true), ("static", false)] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &control, |b, &ctl| {
+            b.iter(|| {
+                let config = DtmConfig {
+                    control_enabled: ctl,
+                    initial_workers: 4,
+                    max_workers: 16,
+                    ..DtmConfig::default()
+                };
+                let mut dtm =
+                    DynamicTaskManager::new(config, Cluster::homogeneous(16, 1.0), model);
+                std::hint::black_box(dtm.run(&jobs).job_hit_rate())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = fig6;
+    config = Criterion::default().sample_size(20);
+    targets = bench_dtm
+);
+criterion_main!(fig6);

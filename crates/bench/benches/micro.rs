@@ -1,0 +1,106 @@
+//! Micro-benchmarks of the core algorithmic kernels.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sstd_core::AcsAggregator;
+use sstd_hmm::{viterbi, BaumWelch, Hmm, StreamingViterbi, SymmetricGaussianEmission};
+use sstd_runtime::{JobId, TaskPool, TaskSpec};
+use sstd_text::{jaccard_distance, TokenSet};
+
+fn observation_sequence(len: usize) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(7);
+    (0..len)
+        .map(|t| {
+            let sign = if (t / 25) % 2 == 0 { 1.0 } else { -1.0 };
+            sign * 4.0 + rng.gen_range(-1.0..1.0)
+        })
+        .collect()
+}
+
+fn truth_hmm() -> Hmm<SymmetricGaussianEmission> {
+    Hmm::new(
+        vec![0.5, 0.5],
+        vec![vec![0.9, 0.1], vec![0.1, 0.9]],
+        SymmetricGaussianEmission::new(4.0, 1.5).unwrap(),
+    )
+    .unwrap()
+}
+
+fn bench_hmm(c: &mut Criterion) {
+    let obs = observation_sequence(100);
+    c.bench_function("baum_welch_train_T100", |b| {
+        b.iter(|| {
+            let out = BaumWelch::default().max_iterations(25).train(truth_hmm(), &obs);
+            std::hint::black_box(out.log_likelihood)
+        });
+    });
+    c.bench_function("viterbi_decode_T100", |b| {
+        let hmm = truth_hmm();
+        b.iter(|| std::hint::black_box(viterbi(&hmm, &obs)));
+    });
+    c.bench_function("streaming_viterbi_push_1k", |b| {
+        let long = observation_sequence(1_000);
+        b.iter_batched(
+            || StreamingViterbi::new(truth_hmm()),
+            |mut dec| {
+                for &o in &long {
+                    std::hint::black_box(dec.push(o));
+                }
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_acs(c: &mut Criterion) {
+    c.bench_function("acs_aggregate_10k_reports", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        let adds: Vec<(usize, f64)> =
+            (0..10_000).map(|_| (rng.gen_range(0..100), rng.gen_range(-1.0..1.0))).collect();
+        b.iter(|| {
+            let mut agg = AcsAggregator::new(100, 3);
+            for &(iv, cs) in &adds {
+                agg.add_score(iv, cs);
+            }
+            std::hint::black_box(agg.sequence())
+        });
+    });
+}
+
+fn bench_text(c: &mut Criterion) {
+    let a = TokenSet::from_text("suspect spotted fleeing across the bridge near watertown");
+    let b_set = TokenSet::from_text("police chasing a suspect near the watertown bridge");
+    c.bench_function("jaccard_distance", |b| {
+        b.iter(|| std::hint::black_box(jaccard_distance(&a, &b_set)));
+    });
+    c.bench_function("tokenize_tweet", |b| {
+        b.iter(|| {
+            std::hint::black_box(TokenSet::from_text(
+                "BREAKING: explosion reported near the marathon finish line #boston",
+            ))
+        });
+    });
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    c.bench_function("task_pool_submit_pop_1k", |b| {
+        b.iter(|| {
+            let mut pool = TaskPool::new();
+            for i in 0..1_000u32 {
+                pool.submit(TaskSpec::new(JobId::new(i % 8), 100.0));
+            }
+            pool.set_priority(JobId::new(0), 4.0);
+            while let Some(t) = pool.pop() {
+                std::hint::black_box(t);
+            }
+        });
+    });
+}
+
+criterion_group!(
+    name = micro;
+    config = Criterion::default().sample_size(20);
+    targets = bench_hmm, bench_acs, bench_text, bench_scheduler
+);
+criterion_main!(micro);

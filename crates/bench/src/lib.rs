@@ -1,0 +1,2 @@
+//! Criterion benchmark crate for SSTD: one bench per paper table/figure plus micro and ablation suites. See `benches/`.
+#![forbid(unsafe_code)]

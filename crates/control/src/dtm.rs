@@ -1,0 +1,399 @@
+//! The Dynamic Task Manager: the closed control loop over the DES engine
+//! (paper Fig. 2 and 3).
+
+use crate::{GlobalKnob, LocalKnob, PidController};
+use sstd_runtime::{Cluster, DesEngine, ExecutionModel, ExecutionReport, JobId, TaskSpec};
+use std::collections::BTreeMap;
+
+/// One truth-discovery job as the DTM sees it: a data volume with a soft
+/// deadline, split into equal tasks (paper §IV-C4).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DtmJob {
+    /// Job identity.
+    pub job: JobId,
+    /// Total data volume (abstract units, e.g. tweets).
+    pub data_size: f64,
+    /// Soft deadline in virtual seconds from submission.
+    pub deadline: f64,
+    /// Number of equal tasks to split into ("we keep the number of tasks
+    /// in each TD job small", §IV-C4).
+    pub num_tasks: usize,
+}
+
+impl DtmJob {
+    /// Creates a job description.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `data_size >= 0`, `deadline > 0` and `num_tasks > 0`.
+    #[must_use]
+    pub fn new(job: JobId, data_size: f64, deadline: f64, num_tasks: usize) -> Self {
+        assert!(data_size >= 0.0, "data size must be non-negative");
+        assert!(deadline > 0.0, "deadline must be positive");
+        assert!(num_tasks > 0, "need at least one task");
+        Self { job, data_size, deadline, num_tasks }
+    }
+}
+
+/// DTM configuration: PID gains, knob factors, sampling period and pool
+/// bounds. Defaults are the paper's tuned values.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DtmConfig {
+    /// Proportional gain (paper: 1.2).
+    pub kp: f64,
+    /// Integral gain (paper: 0.3).
+    pub ki: f64,
+    /// Derivative gain (paper: 0.2).
+    pub kd: f64,
+    /// LCK multiplier θ₃ (paper: 2).
+    pub theta3: f64,
+    /// GCK multiplier θ₄ (paper: 1.5).
+    pub theta4: f64,
+    /// Controller sampling period (paper: 1 second).
+    pub sample_period: f64,
+    /// Initial worker count.
+    pub initial_workers: usize,
+    /// Worker-pool cap.
+    pub max_workers: usize,
+    /// Whether feedback control is active (off = static allocation
+    /// ablation).
+    pub control_enabled: bool,
+}
+
+impl Default for DtmConfig {
+    fn default() -> Self {
+        Self {
+            kp: 1.2,
+            ki: 0.3,
+            kd: 0.2,
+            theta3: 2.0,
+            theta4: 1.5,
+            sample_period: 1.0,
+            initial_workers: 4,
+            max_workers: 64,
+            control_enabled: true,
+        }
+    }
+}
+
+/// Result of a DTM run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DtmOutcome {
+    /// The raw execution report.
+    pub report: ExecutionReport,
+    /// Per-job completion time.
+    pub job_completion: BTreeMap<JobId, f64>,
+    /// Per-job deadline verdict.
+    pub job_met_deadline: BTreeMap<JobId, bool>,
+    /// Final worker count after control.
+    pub final_workers: usize,
+    /// Tasks restarted after an eviction killed their worker.
+    pub retries: u64,
+}
+
+impl DtmOutcome {
+    /// Fraction of jobs that met their deadline.
+    #[must_use]
+    pub fn job_hit_rate(&self) -> f64 {
+        if self.job_met_deadline.is_empty() {
+            return 1.0;
+        }
+        self.job_met_deadline.values().filter(|&&m| m).count() as f64
+            / self.job_met_deadline.len() as f64
+    }
+}
+
+/// The deadline-driven Dynamic Task Manager (paper §IV-C).
+#[derive(Debug)]
+pub struct DynamicTaskManager {
+    config: DtmConfig,
+    cluster: Cluster,
+    model: ExecutionModel,
+}
+
+impl DynamicTaskManager {
+    /// Creates a DTM over `cluster` with cost model `model`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `initial_workers >= 1`, `max_workers >=
+    /// initial_workers` and `sample_period > 0`.
+    #[must_use]
+    pub fn new(config: DtmConfig, cluster: Cluster, model: ExecutionModel) -> Self {
+        assert!(config.initial_workers >= 1, "need at least one worker");
+        assert!(config.max_workers >= config.initial_workers, "max < initial workers");
+        assert!(config.sample_period > 0.0, "sampling period must be positive");
+        Self { config, cluster, model }
+    }
+
+    /// Runs `jobs` to completion under feedback control and reports the
+    /// outcome.
+    pub fn run(&mut self, jobs: &[DtmJob]) -> DtmOutcome {
+        self.run_with_evictions(jobs, &[])
+    }
+
+    /// Runs `jobs` while the cluster loses workers at the given virtual
+    /// times (HTCondor preemption). The PID controller observes the
+    /// slowdown through its WCET predictions and compensates by growing
+    /// the pool — the resilience the paper gets for free from Work
+    /// Queue's elastic workers.
+    pub fn run_with_evictions(&mut self, jobs: &[DtmJob], evictions: &[f64]) -> DtmOutcome {
+        let cfg = &self.config;
+        let mut des =
+            DesEngine::new(self.cluster.clone(), self.model, cfg.initial_workers);
+        for &t in evictions {
+            des.schedule_eviction(t);
+        }
+
+        // Submit all tasks up front (one batch per experiment, as in the
+        // paper); each task carries the job deadline for reporting.
+        let mut job_data: BTreeMap<JobId, f64> = BTreeMap::new();
+        for j in jobs {
+            job_data.insert(j.job, j.data_size);
+            let per_task = j.data_size / j.num_tasks as f64;
+            for _ in 0..j.num_tasks {
+                des.submit(
+                    TaskSpec::new(j.job, per_task).with_deadline(j.deadline),
+                );
+            }
+        }
+
+        let mut pids: BTreeMap<JobId, PidController> = jobs
+            .iter()
+            .map(|j| (j.job, PidController::new(cfg.kp, cfg.ki, cfg.kd)))
+            .collect();
+        let mut lcks: BTreeMap<JobId, LocalKnob> = jobs
+            .iter()
+            .map(|j| (j.job, LocalKnob::new(cfg.theta3, 1.0, 1.0 / 64.0, 64.0)))
+            .collect();
+        let mut gck =
+            GlobalKnob::new(cfg.theta4, cfg.initial_workers, 1, cfg.max_workers);
+
+        let mut t = 0.0;
+        loop {
+            t += cfg.sample_period;
+            des.run_until(t);
+            if des.pending() == 0 && des.running() == 0 {
+                break;
+            }
+            if !cfg.control_enabled {
+                // Without feedback control the Work Queue worker factory
+                // still replaces evicted workers up to the configured
+                // pool size (`work_queue_factory -w`); otherwise a fully
+                // evicted static pool would never drain its queue.
+                if des.num_workers() < cfg.initial_workers {
+                    des.set_num_workers(cfg.initial_workers);
+                }
+                continue;
+            }
+            if des.num_workers() == 0 {
+                // All workers evicted between control epochs: restore a
+                // seed worker so WCET predictions stay finite; the GCK
+                // grows from there.
+                des.set_num_workers(1);
+            }
+
+            // Per-job control: predicted finish vs. deadline (Eq. 9 uses
+            // measured execution time; prediction via the WCET model lets
+            // the controller act before the deadline passes).
+            //
+            // The GCK reacts to the *worst-off* job: one job about to miss
+            // its deadline must grow the pool even when every other job is
+            // comfortably early (a sum would let the early jobs outvote
+            // the urgent one and shrink the pool under it).
+            let mut aggregate = f64::NEG_INFINITY;
+            for j in jobs {
+                let remaining_tasks = des.pending_of(j.job);
+                if remaining_tasks == 0 {
+                    continue;
+                }
+                let remaining_data =
+                    job_data[&j.job] * remaining_tasks as f64 / j.num_tasks as f64;
+                let share = self.priority_share(&lcks, j.job);
+                let workers = des.num_workers().max(1);
+                let predicted_finish = des.now()
+                    + self.model.job_wcet(remaining_data.max(1e-9), workers, share.max(1e-6));
+                let error = predicted_finish - j.deadline;
+                let signal = pids
+                    .get_mut(&j.job)
+                    .expect("pid registered per job")
+                    .update(error, cfg.sample_period);
+                aggregate = aggregate.max(signal);
+                let new_priority =
+                    lcks.get_mut(&j.job).expect("lck registered per job").apply(signal);
+                des.set_job_priority(j.job, new_priority);
+            }
+            // Global control on the aggregate signal.
+            if aggregate.is_finite() {
+                let workers = gck.apply(aggregate);
+                des.set_num_workers(workers);
+            }
+        }
+
+        let report = des.run_to_completion();
+        let job_completion = report.job_completion_times();
+        let job_met_deadline = jobs
+            .iter()
+            .map(|j| {
+                let done = job_completion.get(&j.job).copied().unwrap_or(f64::INFINITY);
+                (j.job, done <= j.deadline)
+            })
+            .collect();
+        DtmOutcome {
+            final_workers: des.num_workers(),
+            retries: des.retries(),
+            report,
+            job_completion,
+            job_met_deadline,
+        }
+    }
+
+    fn priority_share(&self, lcks: &BTreeMap<JobId, LocalKnob>, job: JobId) -> f64 {
+        let total: f64 = lcks.values().map(LocalKnob::value).sum();
+        if total <= 0.0 {
+            return 1.0;
+        }
+        lcks[&job].value() / total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn jobs_even(n: u32, data: f64, deadline: f64) -> Vec<DtmJob> {
+        (0..n).map(|i| DtmJob::new(JobId::new(i), data, deadline, 4)).collect()
+    }
+
+    fn dtm(config: DtmConfig) -> DynamicTaskManager {
+        DynamicTaskManager::new(config, Cluster::homogeneous(64, 1.0), ExecutionModel::default())
+    }
+
+    #[test]
+    fn all_jobs_complete() {
+        let mut m = dtm(DtmConfig::default());
+        let outcome = m.run(&jobs_even(5, 2_000.0, 30.0));
+        assert_eq!(outcome.job_completion.len(), 5);
+        assert_eq!(outcome.report.completed.len(), 20);
+    }
+
+    #[test]
+    fn loose_deadlines_are_all_met() {
+        let mut m = dtm(DtmConfig::default());
+        let outcome = m.run(&jobs_even(4, 1_000.0, 1_000.0));
+        assert!((outcome.job_hit_rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn control_beats_static_allocation_under_tight_deadlines() {
+        // Heavy load on a small initial pool with a deadline the static
+        // pool cannot meet but a grown pool can.
+        let jobs = jobs_even(8, 30_000.0, 30.0);
+        let controlled = dtm(DtmConfig::default()).run(&jobs);
+        let static_cfg = DtmConfig { control_enabled: false, ..DtmConfig::default() };
+        let uncontrolled = dtm(static_cfg).run(&jobs);
+        assert!(
+            controlled.job_hit_rate() > uncontrolled.job_hit_rate(),
+            "controlled {} vs static {}",
+            controlled.job_hit_rate(),
+            uncontrolled.job_hit_rate()
+        );
+        assert!(controlled.final_workers > DtmConfig::default().initial_workers);
+    }
+
+    #[test]
+    fn urgent_job_gets_priority() {
+        // One job with a tight deadline among laggards: control should
+        // raise its priority so it finishes earlier than FIFO would.
+        let mut jobs = jobs_even(4, 6_000.0, 200.0);
+        jobs[3] = DtmJob::new(JobId::new(3), 6_000.0, 8.0, 4);
+        let outcome = dtm(DtmConfig::default()).run(&jobs);
+        let urgent = outcome.job_completion[&JobId::new(3)];
+        // Compare against a job whose tasks queue behind the first wave
+        // (job 0's tasks start instantly at submission, before control).
+        let relaxed = outcome.job_completion[&JobId::new(1)];
+        assert!(
+            urgent <= relaxed + 1e-9,
+            "urgent finished at {urgent}, relaxed at {relaxed}"
+        );
+    }
+
+    #[test]
+    fn outcome_hit_rate_empty_is_one() {
+        let outcome = dtm(DtmConfig::default()).run(&[]);
+        assert_eq!(outcome.job_hit_rate(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadline must be positive")]
+    fn invalid_job_rejected() {
+        let _ = DtmJob::new(JobId::new(0), 1.0, 0.0, 1);
+    }
+}
+
+#[cfg(test)]
+mod eviction_tests {
+    use super::*;
+
+    #[test]
+    fn control_recovers_from_eviction_storms() {
+        // 6 jobs, moderate deadline; at t = 2..5 the cluster loses four
+        // workers. The static pool (4 workers) is crippled; the PID
+        // controller regrows capacity and keeps hitting deadlines.
+        let jobs: Vec<DtmJob> =
+            (0..6).map(|i| DtmJob::new(JobId::new(i), 10_000.0, 25.0, 4)).collect();
+        let evictions = [2.0, 3.0, 4.0, 5.0];
+
+        let controlled = {
+            let mut dtm = DynamicTaskManager::new(
+                DtmConfig::default(),
+                Cluster::homogeneous(64, 1.0),
+                ExecutionModel::default(),
+            );
+            dtm.run_with_evictions(&jobs, &evictions)
+        };
+        let static_run = {
+            let cfg = DtmConfig { control_enabled: false, ..DtmConfig::default() };
+            let mut dtm = DynamicTaskManager::new(
+                cfg,
+                Cluster::homogeneous(64, 1.0),
+                ExecutionModel::default(),
+            );
+            dtm.run_with_evictions(&jobs, &evictions)
+        };
+        assert_eq!(controlled.report.completed.len(), 24, "no task lost");
+        assert!(
+            controlled.job_hit_rate() >= static_run.job_hit_rate(),
+            "controlled {} vs static {}",
+            controlled.job_hit_rate(),
+            static_run.job_hit_rate()
+        );
+        assert!(
+            controlled.job_hit_rate() > 0.8,
+            "control should rescue most jobs: {}",
+            controlled.job_hit_rate()
+        );
+    }
+
+    #[test]
+    fn evictions_delay_but_never_lose_jobs() {
+        let jobs = vec![DtmJob::new(JobId::new(0), 5_000.0, 100.0, 8)];
+        let mut dtm = DynamicTaskManager::new(
+            DtmConfig::default(),
+            Cluster::homogeneous(16, 1.0),
+            ExecutionModel::default(),
+        );
+        let baseline = dtm.run(&jobs).job_completion[&JobId::new(0)];
+        let mut dtm2 = DynamicTaskManager::new(
+            DtmConfig::default(),
+            Cluster::homogeneous(16, 1.0),
+            ExecutionModel::default(),
+        );
+        let evicted = dtm2.run_with_evictions(&jobs, &[0.5, 1.0]);
+        assert_eq!(evicted.report.completed.len(), 8);
+        assert!(
+            evicted.job_completion[&JobId::new(0)] >= baseline - 1e-9,
+            "failures cannot speed things up"
+        );
+    }
+}

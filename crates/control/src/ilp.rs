@@ -1,0 +1,203 @@
+//! Exact integer allocation — the paper's §VII-3 future-work idea,
+//! implemented as a brute-force integer search (the problem sizes the DTM
+//! faces per control epoch are tiny, so exact search is feasible and
+//! serves as an upper bound for the PID heuristic).
+
+use crate::DtmJob;
+use sstd_runtime::ExecutionModel;
+use std::collections::BTreeMap;
+
+/// Searches worker counts and per-job priority assignments for the
+/// combination that (1) maximizes predicted deadline hits and (2) among
+/// ties, uses the fewest workers.
+///
+/// Priorities are chosen from a small discrete ladder per job
+/// (1, 2, 4, 8), which is exactly the reachable set of the θ₃ = 2
+/// multiplicative knob after a few control steps.
+///
+/// # Examples
+///
+/// ```
+/// use sstd_control::IlpAllocator;
+/// use sstd_control::DtmJob;
+/// use sstd_runtime::{ExecutionModel, JobId};
+///
+/// let jobs = vec![
+///     DtmJob::new(JobId::new(0), 10_000.0, 5.0, 4),
+///     DtmJob::new(JobId::new(1), 1_000.0, 60.0, 4),
+/// ];
+/// let alloc = IlpAllocator::new(ExecutionModel::default(), 32);
+/// let plan = alloc.allocate(&jobs);
+/// assert!(plan.workers >= 1);
+/// assert!(plan.predicted_hits <= jobs.len());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IlpAllocator {
+    model: ExecutionModel,
+    max_workers: usize,
+}
+
+/// The allocation an [`IlpAllocator`] search produces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AllocationPlan {
+    /// Chosen worker-pool size.
+    pub workers: usize,
+    /// Chosen per-job priorities.
+    pub priorities: BTreeMap<sstd_runtime::JobId, f64>,
+    /// Number of jobs predicted (by the WCET model) to meet their
+    /// deadline under this plan.
+    pub predicted_hits: usize,
+}
+
+impl IlpAllocator {
+    /// Creates an allocator bounded by `max_workers`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_workers` is zero.
+    #[must_use]
+    pub fn new(model: ExecutionModel, max_workers: usize) -> Self {
+        assert!(max_workers >= 1, "need at least one worker");
+        Self { model, max_workers }
+    }
+
+    /// Finds the best (workers, priorities) plan for `jobs`.
+    #[must_use]
+    pub fn allocate(&self, jobs: &[DtmJob]) -> AllocationPlan {
+        const LADDER: [f64; 4] = [1.0, 2.0, 4.0, 8.0];
+        let mut best: Option<AllocationPlan> = None;
+
+        // Worker counts: powers of two up to the cap (the GCK's reachable
+        // set), plus the cap itself.
+        let mut worker_options: Vec<usize> = std::iter::successors(Some(1usize), |&w| {
+            let n = w * 2;
+            (n <= self.max_workers).then_some(n)
+        })
+        .collect();
+        if !worker_options.contains(&self.max_workers) {
+            worker_options.push(self.max_workers);
+        }
+
+        // Priority assignment search. For tractability each job picks its
+        // ladder rung independently per candidate pool size, greedily from
+        // most-urgent (largest data/deadline ratio) to least, since the
+        // WCET share denominator couples jobs.
+        for &workers in &worker_options {
+            let mut order: Vec<usize> = (0..jobs.len()).collect();
+            order.sort_by(|&a, &b| {
+                let ka = jobs[a].data_size / jobs[a].deadline;
+                let kb = jobs[b].data_size / jobs[b].deadline;
+                kb.partial_cmp(&ka).unwrap()
+            });
+            let mut priorities: Vec<f64> = vec![1.0; jobs.len()];
+            for &j in &order {
+                let mut best_rung = 1.0;
+                let mut best_hits = -1i64;
+                for &rung in &LADDER {
+                    priorities[j] = rung;
+                    let hits = self.predicted_hits(jobs, workers, &priorities) as i64;
+                    if hits > best_hits {
+                        best_hits = hits;
+                        best_rung = rung;
+                    }
+                }
+                priorities[j] = best_rung;
+            }
+            let hits = self.predicted_hits(jobs, workers, &priorities);
+            let plan = AllocationPlan {
+                workers,
+                priorities: jobs
+                    .iter()
+                    .zip(&priorities)
+                    .map(|(j, &p)| (j.job, p))
+                    .collect(),
+                predicted_hits: hits,
+            };
+            let better = match &best {
+                None => true,
+                Some(b) => {
+                    hits > b.predicted_hits
+                        || (hits == b.predicted_hits && workers < b.workers)
+                }
+            };
+            if better {
+                best = Some(plan);
+            }
+        }
+        best.unwrap_or(AllocationPlan {
+            workers: 1,
+            priorities: BTreeMap::new(),
+            predicted_hits: 0,
+        })
+    }
+
+    fn predicted_hits(&self, jobs: &[DtmJob], workers: usize, priorities: &[f64]) -> usize {
+        let total: f64 = priorities.iter().sum();
+        jobs.iter()
+            .zip(priorities)
+            .filter(|(j, &p)| {
+                let share = (p / total).max(1e-9);
+                let wcet = self.model.job_wcet(j.data_size.max(1e-9), workers, share);
+                wcet <= j.deadline
+            })
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sstd_runtime::JobId;
+
+    fn model() -> ExecutionModel {
+        ExecutionModel::new(0.0, 0.001, 0.001)
+    }
+
+    #[test]
+    fn trivially_feasible_uses_one_worker() {
+        let jobs = vec![DtmJob::new(JobId::new(0), 100.0, 1_000.0, 1)];
+        let plan = IlpAllocator::new(model(), 64).allocate(&jobs);
+        assert_eq!(plan.workers, 1);
+        assert_eq!(plan.predicted_hits, 1);
+    }
+
+    #[test]
+    fn infeasible_load_scales_out() {
+        // 1M units × 0.001 s/unit = 1000 s of work; deadline 40 s needs
+        // ≥ 25 workers.
+        let jobs = vec![DtmJob::new(JobId::new(0), 1_000_000.0, 40.0, 32)];
+        let plan = IlpAllocator::new(model(), 64).allocate(&jobs);
+        assert!(plan.workers >= 32, "picked {} workers", plan.workers);
+        assert_eq!(plan.predicted_hits, 1);
+    }
+
+    #[test]
+    fn urgent_job_gets_higher_priority() {
+        let jobs = vec![
+            DtmJob::new(JobId::new(0), 50_000.0, 9.0, 4),   // urgent
+            DtmJob::new(JobId::new(1), 50_000.0, 500.0, 4), // relaxed
+        ];
+        let plan = IlpAllocator::new(model(), 16).allocate(&jobs);
+        assert!(
+            plan.priorities[&JobId::new(0)] >= plan.priorities[&JobId::new(1)],
+            "priorities: {:?}",
+            plan.priorities
+        );
+        assert_eq!(plan.predicted_hits, 2);
+    }
+
+    #[test]
+    fn empty_job_set() {
+        let plan = IlpAllocator::new(model(), 8).allocate(&[]);
+        assert_eq!(plan.predicted_hits, 0);
+        assert!(plan.workers >= 1);
+    }
+
+    #[test]
+    fn hits_never_exceed_job_count() {
+        let jobs: Vec<DtmJob> =
+            (0..5).map(|i| DtmJob::new(JobId::new(i), 1_000.0, 2.0, 2)).collect();
+        let plan = IlpAllocator::new(model(), 8).allocate(&jobs);
+        assert!(plan.predicted_hits <= 5);
+    }
+}

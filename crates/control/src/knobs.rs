@@ -1,0 +1,168 @@
+//! Control knobs: how PID signals become scheduling actions (paper
+//! §IV-C2/C4).
+
+/// The Local Control Knob: a job's priority, stepped multiplicatively by
+/// `θ₃` when the control signal exceeds a deadband.
+///
+/// # Examples
+///
+/// ```
+/// use sstd_control::LocalKnob;
+///
+/// let mut k = LocalKnob::new(2.0, 1.0, 0.125, 64.0);
+/// assert_eq!(k.apply(5.0), 2.0, "behind schedule → priority doubles");
+/// assert_eq!(k.apply(-5.0), 1.0, "ahead → halves back");
+/// assert_eq!(k.apply(0.01), 1.0, "inside the deadband → unchanged");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocalKnob {
+    theta3: f64,
+    value: f64,
+    min: f64,
+    max: f64,
+    deadband: f64,
+}
+
+impl LocalKnob {
+    /// Creates a priority knob with step factor `theta3` starting at
+    /// `initial`, clamped to `[min, max]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `theta3 > 1`, `0 < min <= initial <= max`.
+    #[must_use]
+    pub fn new(theta3: f64, initial: f64, min: f64, max: f64) -> Self {
+        assert!(theta3 > 1.0, "theta3 must exceed 1");
+        assert!(min > 0.0 && min <= initial && initial <= max, "need 0 < min <= initial <= max");
+        Self { theta3, value: initial, min, max, deadband: 0.1 }
+    }
+
+    /// Current priority value.
+    #[must_use]
+    pub const fn value(&self) -> f64 {
+        self.value
+    }
+
+    /// Applies a control signal and returns the new priority.
+    pub fn apply(&mut self, signal: f64) -> f64 {
+        if signal > self.deadband {
+            self.value = (self.value * self.theta3).min(self.max);
+        } else if signal < -self.deadband {
+            self.value = (self.value / self.theta3).max(self.min);
+        }
+        self.value
+    }
+}
+
+/// The Global Control Knob: the worker-pool size, scaled by `θ₄` when the
+/// aggregate control signal says the whole system is behind.
+///
+/// # Examples
+///
+/// ```
+/// use sstd_control::GlobalKnob;
+///
+/// let mut k = GlobalKnob::new(1.5, 4, 1, 64);
+/// assert_eq!(k.apply(10.0), 6, "behind → grow by θ₄");
+/// assert_eq!(k.apply(-10.0), 4, "ahead → shrink");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct GlobalKnob {
+    theta4: f64,
+    value: usize,
+    min: usize,
+    max: usize,
+    deadband: f64,
+}
+
+impl GlobalKnob {
+    /// Creates a worker-count knob with scale factor `theta4` starting at
+    /// `initial`, clamped to `[min, max]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `theta4 > 1` and `1 <= min <= initial <= max`.
+    #[must_use]
+    pub fn new(theta4: f64, initial: usize, min: usize, max: usize) -> Self {
+        assert!(theta4 > 1.0, "theta4 must exceed 1");
+        assert!(min >= 1 && min <= initial && initial <= max, "need 1 <= min <= initial <= max");
+        Self { theta4, value: initial, min, max, deadband: 0.1 }
+    }
+
+    /// Current worker count.
+    #[must_use]
+    pub const fn value(&self) -> usize {
+        self.value
+    }
+
+    /// Applies a control signal and returns the new worker count.
+    pub fn apply(&mut self, signal: f64) -> usize {
+        if signal > self.deadband {
+            let grown = ((self.value as f64) * self.theta4).ceil() as usize;
+            self.value = grown.clamp(self.min, self.max);
+        } else if signal < -self.deadband {
+            let shrunk = ((self.value as f64) / self.theta4).floor() as usize;
+            self.value = shrunk.clamp(self.min, self.max);
+        }
+        self.value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_knob_clamps_at_bounds() {
+        let mut k = LocalKnob::new(2.0, 1.0, 0.5, 4.0);
+        assert_eq!(k.apply(1.0), 2.0);
+        assert_eq!(k.apply(1.0), 4.0);
+        assert_eq!(k.apply(1.0), 4.0, "clamped at max");
+        for _ in 0..5 {
+            let _ = k.apply(-1.0);
+        }
+        assert_eq!(k.value(), 0.5, "clamped at min");
+    }
+
+    #[test]
+    fn global_knob_grows_and_shrinks() {
+        let mut k = GlobalKnob::new(1.5, 8, 1, 100);
+        assert_eq!(k.apply(2.0), 12);
+        assert_eq!(k.apply(-2.0), 8);
+        for _ in 0..10 {
+            let _ = k.apply(-5.0);
+        }
+        assert_eq!(k.value(), 1, "never below min");
+    }
+
+    #[test]
+    fn deadband_suppresses_jitter() {
+        let mut k = GlobalKnob::new(1.5, 4, 1, 10);
+        assert_eq!(k.apply(0.05), 4);
+        assert_eq!(k.apply(-0.05), 4);
+    }
+
+    #[test]
+    fn growth_is_monotone_until_max() {
+        let mut k = GlobalKnob::new(1.5, 1, 1, 16);
+        let mut last = 1;
+        for _ in 0..10 {
+            let v = k.apply(5.0);
+            assert!(v >= last);
+            last = v;
+        }
+        assert_eq!(last, 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "theta3")]
+    fn theta3_must_exceed_one() {
+        let _ = LocalKnob::new(1.0, 1.0, 1.0, 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "min <= initial")]
+    fn global_bounds_validated() {
+        let _ = GlobalKnob::new(1.5, 0, 1, 4);
+    }
+}

@@ -1,0 +1,240 @@
+//! Aggregated Contribution Scores (paper Definition 5, Eq. 4).
+//!
+//! `ACS_u^t = Σ_{t−sw}^{t} CS_{i,u}^t` — the sum of contribution scores on
+//! a claim over a sliding window of recent intervals. The ACS sequence is
+//! the observable the truth HMM decodes.
+
+// Index-based loops are kept deliberately in this module: the math is
+// written against matrix subscripts (states i/j, claims u, sources s,
+// time t) and mirroring the paper's notation beats iterator chains for
+// auditability.
+#![allow(clippy::needless_range_loop)]
+
+use sstd_types::Report;
+
+/// Sliding-window ACS computation for one claim.
+///
+/// Reports are bucketed into timeline intervals; the ACS of interval `i`
+/// sums the per-interval contribution-score totals of the last `sw`
+/// intervals ending at `i`.
+///
+/// # Examples
+///
+/// ```
+/// use sstd_core::AcsAggregator;
+/// use sstd_types::*;
+///
+/// let mut acs = AcsAggregator::new(4, 2); // 4 intervals, window 2
+/// acs.add(0, Report::plain(SourceId::new(0), ClaimId::new(0), Timestamp::ZERO, Attitude::Agree));
+/// acs.add(1, Report::plain(SourceId::new(1), ClaimId::new(0), Timestamp::ZERO, Attitude::Agree));
+/// let seq = acs.sequence();
+/// assert_eq!(seq, vec![1.0, 2.0, 1.0, 0.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct AcsAggregator {
+    /// Per-interval contribution-score sums.
+    interval_cs: Vec<f64>,
+    window: usize,
+    num_reports: usize,
+}
+
+impl AcsAggregator {
+    /// Creates an aggregator over `num_intervals` intervals with a sliding
+    /// window of `window` intervals (the paper's `sw`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_intervals` or `window` is zero.
+    #[must_use]
+    pub fn new(num_intervals: usize, window: usize) -> Self {
+        assert!(num_intervals > 0, "need at least one interval");
+        assert!(window > 0, "window must be at least one interval");
+        Self { interval_cs: vec![0.0; num_intervals], window, num_reports: 0 }
+    }
+
+    /// The sliding-window length `sw`.
+    #[must_use]
+    pub const fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Number of intervals covered.
+    #[must_use]
+    pub fn num_intervals(&self) -> usize {
+        self.interval_cs.len()
+    }
+
+    /// Reports accumulated so far.
+    #[must_use]
+    pub const fn num_reports(&self) -> usize {
+        self.num_reports
+    }
+
+    /// Adds a report's contribution score to interval `interval`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is out of range.
+    pub fn add(&mut self, interval: usize, report: Report) {
+        self.add_score(interval, report.contribution_score().value());
+    }
+
+    /// Adds a raw contribution-score value to interval `interval`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is out of range.
+    pub fn add_score(&mut self, interval: usize, cs: f64) {
+        assert!(interval < self.interval_cs.len(), "interval out of range");
+        self.interval_cs[interval] += cs;
+        self.num_reports += 1;
+    }
+
+    /// Per-interval (un-windowed) contribution-score sums.
+    #[must_use]
+    pub fn interval_sums(&self) -> &[f64] {
+        &self.interval_cs
+    }
+
+    /// The ACS value of one interval (windowed sum ending at `interval`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is out of range.
+    #[must_use]
+    pub fn acs_at(&self, interval: usize) -> f64 {
+        assert!(interval < self.interval_cs.len(), "interval out of range");
+        let lo = interval + 1 - self.window.min(interval + 1);
+        self.interval_cs[lo..=interval].iter().sum()
+    }
+
+    /// The full ACS observation sequence `F(u)` (paper §III-B), one value
+    /// per interval, computed in O(T).
+    #[must_use]
+    pub fn sequence(&self) -> Vec<f64> {
+        let n = self.interval_cs.len();
+        let mut out = Vec::with_capacity(n);
+        let mut rolling = 0.0;
+        for i in 0..n {
+            rolling += self.interval_cs[i];
+            if i >= self.window {
+                rolling -= self.interval_cs[i - self.window];
+            }
+            out.push(rolling);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use sstd_types::{Attitude, ClaimId, Independence, Report, SourceId, Timestamp, Uncertainty};
+
+    fn agree(_t: u64) -> Report {
+        Report::plain(SourceId::new(0), ClaimId::new(0), Timestamp::ZERO, Attitude::Agree)
+    }
+
+    #[test]
+    fn window_one_equals_interval_sums() {
+        let mut a = AcsAggregator::new(3, 1);
+        a.add(0, agree(0));
+        a.add(2, agree(0));
+        a.add(2, agree(0));
+        assert_eq!(a.sequence(), vec![1.0, 0.0, 2.0]);
+        assert_eq!(a.sequence(), a.interval_sums().to_vec());
+    }
+
+    #[test]
+    fn window_spans_previous_intervals() {
+        let mut a = AcsAggregator::new(5, 3);
+        a.add(0, agree(0));
+        a.add(1, agree(0));
+        // ACS at 2 sees intervals 0..=2; at 3 sees 1..=3; at 4 sees 2..=4.
+        assert_eq!(a.sequence(), vec![1.0, 2.0, 2.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn disagreement_cancels() {
+        let mut a = AcsAggregator::new(2, 2);
+        a.add(0, agree(0));
+        a.add(
+            0,
+            Report::plain(SourceId::new(1), ClaimId::new(0), Timestamp::ZERO, Attitude::Disagree),
+        );
+        assert_eq!(a.acs_at(0), 0.0);
+        assert_eq!(a.num_reports(), 2);
+    }
+
+    #[test]
+    fn hedged_copy_contributes_less() {
+        let mut a = AcsAggregator::new(1, 1);
+        let hedged = Report::new(
+            SourceId::new(0),
+            ClaimId::new(0),
+            Timestamp::ZERO,
+            Attitude::Agree,
+            Uncertainty::new(0.6).unwrap(),
+            Independence::new(0.5).unwrap(),
+        );
+        a.add(0, hedged);
+        assert!((a.acs_at(0) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn acs_at_matches_sequence() {
+        let mut a = AcsAggregator::new(6, 2);
+        for i in [0usize, 1, 1, 3, 5] {
+            a.add(i, agree(0));
+        }
+        let seq = a.sequence();
+        for i in 0..6 {
+            assert!((a.acs_at(i) - seq[i]).abs() < 1e-12, "interval {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "interval out of range")]
+    fn out_of_range_interval_panics() {
+        let mut a = AcsAggregator::new(2, 1);
+        a.add(5, agree(0));
+    }
+
+    proptest! {
+        #[test]
+        fn rolling_sequence_equals_naive(
+            scores in prop::collection::vec((0usize..8, -1.0f64..1.0), 0..50),
+            window in 1usize..10,
+        ) {
+            let mut a = AcsAggregator::new(8, window);
+            for &(i, cs) in &scores {
+                a.add_score(i, cs);
+            }
+            let seq = a.sequence();
+            for i in 0..8 {
+                // Naive windowed sum.
+                let lo = i + 1 - window.min(i + 1);
+                let naive: f64 = a.interval_sums()[lo..=i].iter().sum();
+                prop_assert!((seq[i] - naive).abs() < 1e-9);
+            }
+        }
+
+        #[test]
+        fn huge_window_gives_running_total(
+            scores in prop::collection::vec(-1.0f64..1.0, 1..20),
+        ) {
+            let n = scores.len();
+            let mut a = AcsAggregator::new(n, n + 10);
+            for (i, &cs) in scores.iter().enumerate() {
+                a.add_score(i, cs);
+            }
+            let seq = a.sequence();
+            let mut run = 0.0;
+            for i in 0..n {
+                run += scores[i];
+                prop_assert!((seq[i] - run).abs() < 1e-9);
+            }
+        }
+    }
+}

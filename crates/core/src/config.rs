@@ -1,0 +1,186 @@
+//! SSTD configuration.
+
+/// Tuning parameters for the SSTD truth-discovery scheme.
+///
+/// Defaults follow the paper's setup: a sliding window of a few intervals
+/// (chosen "based on the expected change frequency of the truth", §III-B),
+/// sticky initial transitions (truth rarely flips between adjacent
+/// intervals), and offline EM training capped at a modest iteration count.
+///
+/// # Examples
+///
+/// ```
+/// use sstd_core::SstdConfig;
+///
+/// let cfg = SstdConfig::default().with_window(5).with_em_iterations(30);
+/// assert_eq!(cfg.window, 5);
+/// assert_eq!(cfg.em_iterations, 30);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SstdConfig {
+    /// Sliding window `sw` (in intervals) for ACS aggregation.
+    pub window: usize,
+    /// When set, the engine picks each claim's window from its evidence
+    /// density — roughly one window per evidence-bearing interval, capped
+    /// by [`max_window`](Self::max_window) — instead of using the fixed
+    /// `window`. This operationalizes the paper's guidance that `sw` is
+    /// "decided based on the expected change frequency of the truth":
+    /// densely reported claims resolve truth per interval, sparse claims
+    /// need wider aggregation.
+    pub adaptive_window: bool,
+    /// Upper bound on the adaptive window.
+    pub max_window: usize,
+    /// Initial self-transition probability of the truth chain.
+    pub stay_probability: f64,
+    /// Maximum Baum–Welch iterations per claim.
+    pub em_iterations: usize,
+    /// EM convergence tolerance on the log-likelihood.
+    pub em_tolerance: f64,
+    /// Whether to run EM at all; `false` decodes with the initial
+    /// data-scaled model (cheaper; used by the streaming engine and by
+    /// the `em-off` ablation).
+    pub train: bool,
+    /// |ACS| below which a claim is considered evidence-free and defaults
+    /// to `False` for every interval.
+    pub evidence_floor: f64,
+    /// Streaming engine: refit each claim's HMM with EM every this many
+    /// closed intervals (0 = never refit; decode with the scaled initial
+    /// model only). Matches the paper's deployment, which trains models
+    /// offline and refreshes them periodically as the stream accumulates.
+    pub streaming_refit: usize,
+}
+
+impl Default for SstdConfig {
+    fn default() -> Self {
+        Self {
+            window: 3,
+            adaptive_window: true,
+            max_window: 8,
+            stay_probability: 0.9,
+            em_iterations: 25,
+            em_tolerance: 1e-4,
+            train: true,
+            evidence_floor: 1e-9,
+            streaming_refit: 20,
+        }
+    }
+}
+
+impl SstdConfig {
+    /// Creates the default configuration.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets a fixed ACS sliding window (paper `sw`), disabling the
+    /// adaptive choice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    #[must_use]
+    pub fn with_window(mut self, window: usize) -> Self {
+        assert!(window > 0, "window must be at least one interval");
+        self.window = window;
+        self.adaptive_window = false;
+        self
+    }
+
+    /// Enables or disables the evidence-density-adaptive window.
+    #[must_use]
+    pub fn with_adaptive_window(mut self, adaptive: bool) -> Self {
+        self.adaptive_window = adaptive;
+        self
+    }
+
+    /// Picks the window for a claim given how many of its `intervals`
+    /// carry evidence: dense claims get `1`, sparse claims roughly one
+    /// window per evidence-bearing interval, capped at `max_window`.
+    #[must_use]
+    pub fn window_for(&self, intervals: usize, evidence_intervals: usize) -> usize {
+        if !self.adaptive_window {
+            return self.window;
+        }
+        if evidence_intervals == 0 {
+            return self.window;
+        }
+        (intervals.div_ceil(evidence_intervals)).clamp(1, self.max_window.max(1))
+    }
+
+    /// Sets the initial self-transition probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `p` is in `(0, 1)`.
+    #[must_use]
+    pub fn with_stay_probability(mut self, p: f64) -> Self {
+        assert!(p > 0.0 && p < 1.0, "stay probability must be in (0, 1)");
+        self.stay_probability = p;
+        self
+    }
+
+    /// Caps EM training iterations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    #[must_use]
+    pub fn with_em_iterations(mut self, n: usize) -> Self {
+        assert!(n > 0, "need at least one EM iteration");
+        self.em_iterations = n;
+        self
+    }
+
+    /// Enables or disables EM training (the `em-off` ablation).
+    #[must_use]
+    pub fn with_training(mut self, train: bool) -> Self {
+        self.train = train;
+        self
+    }
+
+    /// Sets the streaming refit period (0 disables refitting).
+    #[must_use]
+    pub fn with_streaming_refit(mut self, every: usize) -> Self {
+        self.streaming_refit = every;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = SstdConfig::default();
+        assert!(c.window >= 1);
+        assert!(c.stay_probability > 0.5, "truth should be sticky by default");
+        assert!(c.train);
+    }
+
+    #[test]
+    fn builder_chains() {
+        let c = SstdConfig::new()
+            .with_window(7)
+            .with_stay_probability(0.8)
+            .with_em_iterations(5)
+            .with_training(false);
+        assert_eq!(c.window, 7);
+        assert_eq!(c.stay_probability, 0.8);
+        assert_eq!(c.em_iterations, 5);
+        assert!(!c.train);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be")]
+    fn zero_window_rejected() {
+        let _ = SstdConfig::new().with_window(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "stay probability")]
+    fn bad_stay_probability_rejected() {
+        let _ = SstdConfig::new().with_stay_probability(1.0);
+    }
+}

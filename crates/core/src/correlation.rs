@@ -1,0 +1,192 @@
+//! Claim-dependency smoothing — the paper's §VII-1 future-work hook.
+//!
+//! SSTD assumes claims are independent; the paper notes that physically
+//! related claims (weather in nearby cities, scores of the same game)
+//! violate this. This module implements the extension the paper sketches:
+//! given known correlated claim pairs, a post-decoding smoothing pass
+//! reconciles their estimates. For a positively correlated pair, any
+//! interval where the two decoded labels disagree is re-labeled by the
+//! local consensus of both claims over a ±1-interval neighborhood; a
+//! negatively correlated pair is handled by flipping one side first.
+
+use crate::TruthEstimates;
+use sstd_types::{ClaimId, TruthLabel};
+
+/// Direction of a known dependency between two claims.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Correlation {
+    /// The claims tend to share a truth value.
+    Positive,
+    /// The claims tend to have opposite truth values (e.g. "team A
+    /// leads" vs. "team B leads").
+    Negative,
+}
+
+/// A declared dependency between two claims.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClaimDependency {
+    /// First claim.
+    pub a: ClaimId,
+    /// Second claim.
+    pub b: ClaimId,
+    /// Dependency direction.
+    pub correlation: Correlation,
+}
+
+impl ClaimDependency {
+    /// Declares a positive dependency.
+    #[must_use]
+    pub fn positive(a: ClaimId, b: ClaimId) -> Self {
+        Self { a, b, correlation: Correlation::Positive }
+    }
+
+    /// Declares a negative dependency.
+    #[must_use]
+    pub fn negative(a: ClaimId, b: ClaimId) -> Self {
+        Self { a, b, correlation: Correlation::Negative }
+    }
+}
+
+/// Reconciles the estimates of correlated claim pairs (paper §VII-1).
+///
+/// Pairs with either claim missing from `estimates` are skipped. The
+/// pass is deterministic and idempotent for already-consistent pairs.
+///
+/// # Examples
+///
+/// ```
+/// use sstd_core::{smooth_dependencies, ClaimDependency, TruthEstimates};
+/// use sstd_types::{ClaimId, TruthLabel};
+///
+/// let mut est = TruthEstimates::new(3);
+/// est.insert(ClaimId::new(0), vec![TruthLabel::True, TruthLabel::True, TruthLabel::True]);
+/// // One-interval glitch on the correlated twin.
+/// est.insert(ClaimId::new(1), vec![TruthLabel::True, TruthLabel::False, TruthLabel::True]);
+/// let deps = [ClaimDependency::positive(ClaimId::new(0), ClaimId::new(1))];
+/// let smoothed = smooth_dependencies(&est, &deps);
+/// assert_eq!(
+///     smoothed.labels(ClaimId::new(1)).unwrap(),
+///     &[TruthLabel::True; 3],
+/// );
+/// ```
+#[must_use]
+pub fn smooth_dependencies(
+    estimates: &TruthEstimates,
+    dependencies: &[ClaimDependency],
+) -> TruthEstimates {
+    let n = estimates.num_intervals();
+    let mut out = TruthEstimates::new(n);
+    // Start from a verbatim copy.
+    for (claim, labels) in estimates.iter() {
+        out.insert(claim, labels.to_vec());
+    }
+
+    for dep in dependencies {
+        let (Some(la), Some(lb)) = (estimates.labels(dep.a), estimates.labels(dep.b)) else {
+            continue;
+        };
+        let mut new_a = la.to_vec();
+        let mut new_b = lb.to_vec();
+        for t in 0..n {
+            // Map b into a's frame for the comparison.
+            let b_as_a = match dep.correlation {
+                Correlation::Positive => lb[t],
+                Correlation::Negative => lb[t].flipped(),
+            };
+            if la[t] == b_as_a {
+                continue;
+            }
+            // Resolve toward the side whose label is more *locally
+            // stable*: count how many ±1 neighbors share each claim's own
+            // label at t. A one-interval glitch has low self-support; a
+            // genuine regime has high self-support. Ties stay untouched
+            // (conservative: never corrupt two coherent decodings).
+            let support = |labels: &[TruthLabel], t: usize| {
+                let mut s = 0i32;
+                for tt in t.saturating_sub(1)..=(t + 1).min(n - 1) {
+                    if tt != t && labels[tt] == labels[t] {
+                        s += 1;
+                    }
+                }
+                s
+            };
+            let sa = support(la, t);
+            let sb = support(lb, t);
+            if sa > sb {
+                // a's label wins; rewrite b in b's frame.
+                new_b[t] = match dep.correlation {
+                    Correlation::Positive => la[t],
+                    Correlation::Negative => la[t].flipped(),
+                };
+            } else if sb > sa {
+                new_a[t] = b_as_a;
+            }
+        }
+        out.insert(dep.a, new_a);
+        out.insert(dep.b, new_b);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labels(bits: &[u8]) -> Vec<TruthLabel> {
+        bits.iter().map(|&b| TruthLabel::from_bool(b == 1)).collect()
+    }
+
+    #[test]
+    fn consistent_pairs_are_untouched() {
+        let mut est = TruthEstimates::new(4);
+        est.insert(ClaimId::new(0), labels(&[1, 1, 0, 0]));
+        est.insert(ClaimId::new(1), labels(&[1, 1, 0, 0]));
+        let deps = [ClaimDependency::positive(ClaimId::new(0), ClaimId::new(1))];
+        let out = smooth_dependencies(&est, &deps);
+        assert_eq!(out, est);
+    }
+
+    #[test]
+    fn glitch_on_one_side_is_repaired() {
+        let mut est = TruthEstimates::new(5);
+        est.insert(ClaimId::new(0), labels(&[1, 1, 1, 1, 1]));
+        est.insert(ClaimId::new(1), labels(&[1, 1, 0, 1, 1]));
+        let deps = [ClaimDependency::positive(ClaimId::new(0), ClaimId::new(1))];
+        let out = smooth_dependencies(&est, &deps);
+        assert_eq!(out.labels(ClaimId::new(1)).unwrap(), labels(&[1; 5]).as_slice());
+        assert_eq!(out.labels(ClaimId::new(0)).unwrap(), labels(&[1; 5]).as_slice());
+    }
+
+    #[test]
+    fn negative_correlation_repairs_into_opposition() {
+        let mut est = TruthEstimates::new(3);
+        est.insert(ClaimId::new(0), labels(&[1, 1, 1]));
+        // Should be all-0 under negative correlation; middle agrees (bad).
+        est.insert(ClaimId::new(1), labels(&[0, 1, 0]));
+        let deps = [ClaimDependency::negative(ClaimId::new(0), ClaimId::new(1))];
+        let out = smooth_dependencies(&est, &deps);
+        assert_eq!(out.labels(ClaimId::new(1)).unwrap(), labels(&[0, 0, 0]).as_slice());
+    }
+
+    #[test]
+    fn a_real_joint_flip_survives_smoothing() {
+        // Both claims flip together at t = 2: no disagreement, no change.
+        let mut est = TruthEstimates::new(4);
+        est.insert(ClaimId::new(0), labels(&[1, 1, 0, 0]));
+        est.insert(ClaimId::new(1), labels(&[1, 1, 0, 0]));
+        let out = smooth_dependencies(
+            &est,
+            &[ClaimDependency::positive(ClaimId::new(0), ClaimId::new(1))],
+        );
+        assert_eq!(out.labels(ClaimId::new(0)).unwrap(), labels(&[1, 1, 0, 0]).as_slice());
+    }
+
+    #[test]
+    fn missing_claims_are_skipped() {
+        let mut est = TruthEstimates::new(2);
+        est.insert(ClaimId::new(0), labels(&[1, 0]));
+        let deps = [ClaimDependency::positive(ClaimId::new(0), ClaimId::new(9))];
+        let out = smooth_dependencies(&est, &deps);
+        assert_eq!(out, est);
+    }
+}

@@ -1,0 +1,233 @@
+//! The batch SSTD engine and its claim-level decomposition.
+
+// Index-based loops are kept deliberately in this module: the math is
+// written against matrix subscripts (states i/j, claims u, sources s,
+// time t) and mirroring the paper's notation beats iterator chains for
+// auditability.
+#![allow(clippy::needless_range_loop)]
+
+use crate::{AcsAggregator, ClaimTruthModel, ConfidenceEstimates, SstdConfig, TruthEstimates};
+use sstd_types::{ClaimId, Report, Trace, TruthLabel};
+
+/// Partitions a trace's reports by claim — the decomposition that makes
+/// SSTD scalable (paper §III-E): each claim's sub-stream is an independent
+/// truth-discovery job.
+///
+/// Claims with no reports still appear (with an empty vector) so every
+/// claim receives an estimate.
+///
+/// # Examples
+///
+/// ```
+/// use sstd_core::claim_partition;
+/// use sstd_types::*;
+///
+/// let timeline = Timeline::new(Timestamp::from_secs(10), 2);
+/// let mut gt = GroundTruth::new(2);
+/// gt.insert(ClaimId::new(0), vec![TruthLabel::True; 2]);
+/// gt.insert(ClaimId::new(1), vec![TruthLabel::False; 2]);
+/// let reports = vec![Report::plain(
+///     SourceId::new(0), ClaimId::new(1), Timestamp::from_secs(1), Attitude::Agree,
+/// )];
+/// let trace = Trace::new("t", reports, 1, 2, timeline, gt);
+/// let parts = claim_partition(&trace);
+/// assert_eq!(parts.len(), 2);
+/// assert_eq!(parts[0].1.len(), 0);
+/// assert_eq!(parts[1].1.len(), 1);
+/// ```
+#[must_use]
+pub fn claim_partition(trace: &Trace) -> Vec<(ClaimId, Vec<Report>)> {
+    let mut parts: Vec<(ClaimId, Vec<Report>)> = (0..trace.num_claims())
+        .map(|i| (ClaimId::new(i as u32), Vec::new()))
+        .collect();
+    for r in trace.reports() {
+        parts[r.claim().index()].1.push(*r);
+    }
+    parts
+}
+
+/// The batch SSTD truth-discovery engine (paper §III).
+///
+/// For each claim it aggregates the ACS observation sequence, fits the
+/// truth HMM with EM, and Viterbi-decodes the per-interval truth labels.
+///
+/// # Examples
+///
+/// See the [crate-level example](crate).
+#[derive(Debug, Clone, Default)]
+pub struct SstdEngine {
+    config: SstdConfig,
+}
+
+impl SstdEngine {
+    /// Creates an engine with the given configuration.
+    #[must_use]
+    pub fn new(config: SstdConfig) -> Self {
+        Self { config }
+    }
+
+    /// The engine configuration.
+    #[must_use]
+    pub const fn config(&self) -> &SstdConfig {
+        &self.config
+    }
+
+    /// Runs truth discovery over a whole trace.
+    #[must_use]
+    pub fn run(&self, trace: &Trace) -> TruthEstimates {
+        self.run_with_confidence(trace).0
+    }
+
+    /// Runs truth discovery and also returns the per-interval posterior
+    /// probability that each claim is true (forward–backward smoothing) —
+    /// the calibrated confidence signal downstream consumers threshold.
+    #[must_use]
+    pub fn run_with_confidence(&self, trace: &Trace) -> (TruthEstimates, ConfidenceEstimates) {
+        let num_intervals = trace.timeline().num_intervals();
+        let mut labels_out = TruthEstimates::new(num_intervals);
+        let mut conf_out = ConfidenceEstimates::new(num_intervals);
+        for (claim, reports) in claim_partition(trace) {
+            let (labels, confidence) = self.decode_claim(trace, &reports, num_intervals);
+            labels_out.insert(claim, labels);
+            conf_out.insert(claim, confidence);
+        }
+        (labels_out, conf_out)
+    }
+
+    /// Runs truth discovery for a single claim's reports — the body of one
+    /// distributed TD job (paper §III-E). `trace` supplies the timeline.
+    #[must_use]
+    pub fn run_claim(&self, trace: &Trace, claim: ClaimId) -> Vec<TruthLabel> {
+        let reports = trace.reports_for_claim(claim);
+        self.decode_claim(trace, &reports, trace.timeline().num_intervals()).0
+    }
+
+    fn decode_claim(
+        &self,
+        trace: &Trace,
+        reports: &[Report],
+        num_intervals: usize,
+    ) -> (Vec<TruthLabel>, Vec<f64>) {
+        // First pass with window 1 to count evidence-bearing intervals,
+        // then the real aggregation with the (possibly adaptive) window.
+        let mut per_interval = vec![0.0f64; num_intervals];
+        for r in reports {
+            per_interval[trace.timeline().interval_of(r.time())] +=
+                r.contribution_score().value();
+        }
+        let evidence_intervals = per_interval.iter().filter(|v| v.abs() > 1e-12).count();
+        let window = self.config.window_for(num_intervals, evidence_intervals);
+        let mut agg = AcsAggregator::new(num_intervals, window);
+        for (iv, &cs) in per_interval.iter().enumerate() {
+            if cs != 0.0 {
+                agg.add_score(iv, cs);
+            }
+        }
+        let acs = agg.sequence();
+        // Evidence-free claims default to False — asserting an unreported
+        // claim true has no support.
+        if acs.iter().map(|a| a.abs()).fold(0.0f64, f64::max) <= self.config.evidence_floor {
+            return (vec![TruthLabel::False; num_intervals], vec![0.5; num_intervals]);
+        }
+        let model = ClaimTruthModel::fit(&self.config, &acs);
+        (model.decode(&acs), model.posterior_true(&acs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sstd_types::{Attitude, GroundTruth, SourceId, Timeline, Timestamp, Trace};
+
+    /// Builds a trace with one claim whose truth flips halfway; honest
+    /// sources agree with the current truth, liars oppose it.
+    fn flip_trace(honest: usize, liars: usize) -> Trace {
+        let intervals = 20usize;
+        let horizon = 200u64;
+        let timeline = Timeline::new(Timestamp::from_secs(horizon), intervals);
+        let mut gt = GroundTruth::new(intervals);
+        let truth: Vec<TruthLabel> = (0..intervals)
+            .map(|i| if i < intervals / 2 { TruthLabel::True } else { TruthLabel::False })
+            .collect();
+        gt.insert(ClaimId::new(0), truth.clone());
+
+        let num_sources = honest + liars;
+        let mut reports = Vec::new();
+        for iv in 0..intervals {
+            let t = Timestamp::from_secs((iv as u64 * horizon / intervals as u64) + 1);
+            let label = truth[iv];
+            for s in 0..honest {
+                reports.push(Report::plain(
+                    SourceId::new(s as u32),
+                    ClaimId::new(0),
+                    t,
+                    label.honest_attitude(),
+                ));
+            }
+            for s in honest..num_sources {
+                reports.push(Report::plain(
+                    SourceId::new(s as u32),
+                    ClaimId::new(0),
+                    t,
+                    label.honest_attitude().flipped(),
+                ));
+            }
+        }
+        Trace::new("flip", reports, num_sources, 1, timeline, gt)
+    }
+
+    #[test]
+    fn decodes_flipping_truth_with_honest_majority() {
+        let trace = flip_trace(8, 2);
+        let est = SstdEngine::new(SstdConfig::default()).run(&trace);
+        let labels = est.labels(ClaimId::new(0)).unwrap();
+        let gt = trace.ground_truth().timeline(ClaimId::new(0)).unwrap();
+        let correct = labels.iter().zip(gt).filter(|(a, b)| a == b).count();
+        assert!(correct >= 18, "only {correct}/20 intervals correct");
+    }
+
+    #[test]
+    fn run_claim_matches_run() {
+        let trace = flip_trace(5, 1);
+        let engine = SstdEngine::new(SstdConfig::default());
+        let whole = engine.run(&trace);
+        let single = engine.run_claim(&trace, ClaimId::new(0));
+        assert_eq!(whole.labels(ClaimId::new(0)).unwrap(), single.as_slice());
+    }
+
+    #[test]
+    fn unreported_claim_defaults_to_false() {
+        let timeline = Timeline::new(Timestamp::from_secs(10), 2);
+        let mut gt = GroundTruth::new(2);
+        gt.insert(ClaimId::new(0), vec![TruthLabel::True; 2]);
+        let trace = Trace::new("empty", vec![], 1, 1, timeline, gt);
+        let est = SstdEngine::new(SstdConfig::default()).run(&trace);
+        assert_eq!(est.labels(ClaimId::new(0)).unwrap(), &[TruthLabel::False; 2]);
+    }
+
+    #[test]
+    fn every_claim_gets_an_estimate() {
+        let timeline = Timeline::new(Timestamp::from_secs(10), 2);
+        let mut gt = GroundTruth::new(2);
+        for c in 0..4u32 {
+            gt.insert(ClaimId::new(c), vec![TruthLabel::True; 2]);
+        }
+        let reports = vec![Report::plain(
+            SourceId::new(0),
+            ClaimId::new(2),
+            Timestamp::from_secs(1),
+            Attitude::Agree,
+        )];
+        let trace = Trace::new("sparse", reports, 1, 4, timeline, gt);
+        let est = SstdEngine::new(SstdConfig::default()).run(&trace);
+        assert_eq!(est.num_claims(), 4);
+    }
+
+    #[test]
+    fn partition_preserves_report_counts() {
+        let trace = flip_trace(3, 1);
+        let parts = claim_partition(&trace);
+        let total: usize = parts.iter().map(|(_, r)| r.len()).sum();
+        assert_eq!(total, trace.reports().len());
+    }
+}

@@ -1,0 +1,221 @@
+//! Truth estimates: the output of every truth-discovery scheme.
+
+use serde::{Deserialize, Serialize};
+use sstd_types::{ClaimId, TruthLabel};
+use std::collections::BTreeMap;
+
+/// Per-claim, per-interval estimated truth labels (`x̂_{u,t}` in §II).
+///
+/// # Examples
+///
+/// ```
+/// use sstd_core::TruthEstimates;
+/// use sstd_types::{ClaimId, TruthLabel};
+///
+/// let mut e = TruthEstimates::new(3);
+/// e.insert(ClaimId::new(0), vec![TruthLabel::True, TruthLabel::False, TruthLabel::False]);
+/// assert_eq!(e.label(ClaimId::new(0), 1), Some(TruthLabel::False));
+/// assert_eq!(e.num_claims(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct TruthEstimates {
+    num_intervals: usize,
+    labels: BTreeMap<ClaimId, Vec<TruthLabel>>,
+}
+
+impl TruthEstimates {
+    /// Creates an empty estimate table over `num_intervals` intervals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_intervals` is zero.
+    #[must_use]
+    pub fn new(num_intervals: usize) -> Self {
+        assert!(num_intervals > 0, "estimates need at least one interval");
+        Self { num_intervals, labels: BTreeMap::new() }
+    }
+
+    /// Number of intervals each estimate covers.
+    #[must_use]
+    pub const fn num_intervals(&self) -> usize {
+        self.num_intervals
+    }
+
+    /// Number of claims with estimates.
+    #[must_use]
+    pub fn num_claims(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Stores the estimate timeline for a claim.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels.len() != num_intervals()`.
+    pub fn insert(&mut self, claim: ClaimId, labels: Vec<TruthLabel>) {
+        assert_eq!(labels.len(), self.num_intervals, "estimate must cover every interval");
+        self.labels.insert(claim, labels);
+    }
+
+    /// The estimated label of `claim` at `interval`.
+    #[must_use]
+    pub fn label(&self, claim: ClaimId, interval: usize) -> Option<TruthLabel> {
+        self.labels.get(&claim).and_then(|v| v.get(interval)).copied()
+    }
+
+    /// The full estimate timeline of `claim`.
+    #[must_use]
+    pub fn labels(&self, claim: ClaimId) -> Option<&[TruthLabel]> {
+        self.labels.get(&claim).map(Vec::as_slice)
+    }
+
+    /// Iterates `(claim, labels)` in claim order.
+    pub fn iter(&self) -> impl Iterator<Item = (ClaimId, &[TruthLabel])> {
+        self.labels.iter().map(|(c, v)| (*c, v.as_slice()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut e = TruthEstimates::new(2);
+        e.insert(ClaimId::new(3), vec![TruthLabel::False, TruthLabel::True]);
+        assert_eq!(e.label(ClaimId::new(3), 0), Some(TruthLabel::False));
+        assert_eq!(e.label(ClaimId::new(3), 5), None);
+        assert_eq!(e.label(ClaimId::new(9), 0), None);
+        assert_eq!(e.labels(ClaimId::new(3)).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn iteration_is_claim_ordered() {
+        let mut e = TruthEstimates::new(1);
+        e.insert(ClaimId::new(2), vec![TruthLabel::True]);
+        e.insert(ClaimId::new(0), vec![TruthLabel::False]);
+        let order: Vec<usize> = e.iter().map(|(c, _)| c.index()).collect();
+        assert_eq!(order, vec![0, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "every interval")]
+    fn wrong_length_rejected() {
+        let mut e = TruthEstimates::new(3);
+        e.insert(ClaimId::new(0), vec![TruthLabel::True]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one interval")]
+    fn zero_intervals_rejected() {
+        let _ = TruthEstimates::new(0);
+    }
+}
+
+/// Per-claim, per-interval posterior probabilities that the claim is true
+/// — the soft companion of [`TruthEstimates`].
+///
+/// # Examples
+///
+/// ```
+/// use sstd_core::ConfidenceEstimates;
+/// use sstd_types::ClaimId;
+///
+/// let mut c = ConfidenceEstimates::new(2);
+/// c.insert(ClaimId::new(0), vec![0.9, 0.2]);
+/// assert_eq!(c.confidence(ClaimId::new(0), 0), Some(0.9));
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ConfidenceEstimates {
+    num_intervals: usize,
+    probabilities: BTreeMap<ClaimId, Vec<f64>>,
+}
+
+impl ConfidenceEstimates {
+    /// Creates an empty table over `num_intervals` intervals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_intervals` is zero.
+    #[must_use]
+    pub fn new(num_intervals: usize) -> Self {
+        assert!(num_intervals > 0, "estimates need at least one interval");
+        Self { num_intervals, probabilities: BTreeMap::new() }
+    }
+
+    /// Number of intervals covered.
+    #[must_use]
+    pub const fn num_intervals(&self) -> usize {
+        self.num_intervals
+    }
+
+    /// Number of claims with confidence values.
+    #[must_use]
+    pub fn num_claims(&self) -> usize {
+        self.probabilities.len()
+    }
+
+    /// Stores a claim's posterior timeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length mismatches or any value is outside `[0, 1]`.
+    pub fn insert(&mut self, claim: ClaimId, probabilities: Vec<f64>) {
+        assert_eq!(
+            probabilities.len(),
+            self.num_intervals,
+            "confidence must cover every interval"
+        );
+        assert!(
+            probabilities.iter().all(|p| (0.0..=1.0).contains(p)),
+            "posteriors must be probabilities"
+        );
+        self.probabilities.insert(claim, probabilities);
+    }
+
+    /// The posterior `P(true)` of `claim` at `interval`.
+    #[must_use]
+    pub fn confidence(&self, claim: ClaimId, interval: usize) -> Option<f64> {
+        self.probabilities.get(&claim).and_then(|v| v.get(interval)).copied()
+    }
+
+    /// The full posterior timeline of `claim`.
+    #[must_use]
+    pub fn timeline(&self, claim: ClaimId) -> Option<&[f64]> {
+        self.probabilities.get(&claim).map(Vec::as_slice)
+    }
+
+    /// Iterates `(claim, posteriors)` in claim order.
+    pub fn iter(&self) -> impl Iterator<Item = (ClaimId, &[f64])> {
+        self.probabilities.iter().map(|(c, v)| (*c, v.as_slice()))
+    }
+}
+
+#[cfg(test)]
+mod confidence_tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut c = ConfidenceEstimates::new(3);
+        c.insert(ClaimId::new(1), vec![0.1, 0.5, 0.95]);
+        assert_eq!(c.confidence(ClaimId::new(1), 2), Some(0.95));
+        assert_eq!(c.confidence(ClaimId::new(1), 9), None);
+        assert_eq!(c.confidence(ClaimId::new(5), 0), None);
+        assert_eq!(c.num_claims(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be probabilities")]
+    fn out_of_range_posterior_rejected() {
+        let mut c = ConfidenceEstimates::new(1);
+        c.insert(ClaimId::new(0), vec![1.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "every interval")]
+    fn wrong_length_rejected_for_confidence() {
+        let mut c = ConfidenceEstimates::new(2);
+        c.insert(ClaimId::new(0), vec![0.5]);
+    }
+}

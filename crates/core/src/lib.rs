@@ -1,0 +1,64 @@
+//! The SSTD scheme: Scalable Streaming Truth Discovery (paper §III).
+//!
+//! SSTD estimates the *evolving* truth of each claim from the stream of
+//! scored reports about it:
+//!
+//! 1. reports are aggregated into per-interval **Aggregated Contribution
+//!    Scores** over a sliding window ([`AcsAggregator`], paper Eq. 4);
+//! 2. each claim gets a two-state **HMM** whose hidden states are the
+//!    claim's truth values and whose observations are the ACS sequence
+//!    ([`ClaimTruthModel`], paper §III-B/C);
+//! 3. parameters are trained offline with Baum–Welch EM (paper Eq. 5) and
+//!    the truth sequence is decoded with Viterbi (paper Eq. 6–8);
+//! 4. because every step depends only on a claim's own ACS — not on
+//!    cross-claim source-reliability coupling — the work **partitions by
+//!    claim** ([`claim_partition`]), which is what the distributed runtime
+//!    exploits (paper §III-E).
+//!
+//! [`SstdEngine`] is the batch entry point; [`StreamingSstd`] decodes
+//! incrementally as reports arrive, emitting a truth decision per claim
+//! per interval.
+//!
+//! # Examples
+//!
+//! ```
+//! use sstd_core::{SstdConfig, SstdEngine};
+//! use sstd_types::*;
+//!
+//! // One claim, true then false; honest majority.
+//! let timeline = Timeline::new(Timestamp::from_secs(100), 10);
+//! let mut gt = GroundTruth::new(10);
+//! gt.insert(ClaimId::new(0), vec![TruthLabel::True; 10]);
+//! let reports: Vec<Report> = (0..50)
+//!     .map(|i| Report::plain(
+//!         SourceId::new(i % 5),
+//!         ClaimId::new(0),
+//!         Timestamp::from_secs(i as u64 * 2),
+//!         Attitude::Agree,
+//!     ))
+//!     .collect();
+//! let trace = Trace::new("demo", reports, 5, 1, timeline, gt);
+//!
+//! let estimates = SstdEngine::new(SstdConfig::default()).run(&trace);
+//! assert_eq!(estimates.labels(ClaimId::new(0)).unwrap(),
+//!            &[TruthLabel::True; 10]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod acs;
+mod config;
+mod correlation;
+mod engine;
+mod estimates;
+mod model;
+mod streaming;
+
+pub use acs::AcsAggregator;
+pub use config::SstdConfig;
+pub use correlation::{smooth_dependencies, ClaimDependency, Correlation};
+pub use engine::{claim_partition, SstdEngine};
+pub use estimates::{ConfidenceEstimates, TruthEstimates};
+pub use model::{BinnedClaimTruthModel, ClaimTruthModel};
+pub use streaming::StreamingSstd;

@@ -1,0 +1,393 @@
+//! The per-claim truth HMM (paper §III-B/C/D).
+
+use crate::SstdConfig;
+use sstd_hmm::{forward_backward, viterbi, BaumWelch, GaussianEmission, Hmm, SymmetricGaussianEmission};
+use sstd_types::TruthLabel;
+
+/// A trained two-state truth model for one claim.
+///
+/// Hidden state semantics follow the paper: one state is "claim is true",
+/// the other "claim is false". After unsupervised training the states are
+/// identified by their emission means — honest majorities push the ACS
+/// positive while a claim is true and negative while it is false, so the
+/// state with the larger mean is `True`.
+///
+/// # Examples
+///
+/// ```
+/// use sstd_core::{ClaimTruthModel, SstdConfig};
+/// use sstd_types::TruthLabel;
+///
+/// // Strongly positive then strongly negative evidence.
+/// let acs = vec![4.0, 4.2, 3.9, -4.1, -4.0, -3.8];
+/// let model = ClaimTruthModel::fit(&SstdConfig::default(), &acs);
+/// let labels = model.decode(&acs);
+/// assert_eq!(labels[0], TruthLabel::True);
+/// assert_eq!(labels[5], TruthLabel::False);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClaimTruthModel {
+    hmm: Hmm<SymmetricGaussianEmission>,
+    /// Which hidden state means "true" (the one with the larger mean).
+    true_state: usize,
+    trained: bool,
+}
+
+impl ClaimTruthModel {
+    /// Builds the initial (untrained) model scaled to the observation
+    /// sequence: emission means at ±σ(ACS), sticky transitions.
+    #[must_use]
+    pub fn initial(config: &SstdConfig, acs: &[f64]) -> Self {
+        let scale = spread(acs).max(1.0);
+        let stay = config.stay_probability;
+        let hmm = Hmm::new(
+            vec![0.5, 0.5],
+            vec![vec![stay, 1.0 - stay], vec![1.0 - stay, stay]],
+            SymmetricGaussianEmission::new(scale, scale)
+                .expect("positive scale yields a valid emission")
+                // Variance floor at a quarter of the data scale: stops EM
+                // from collapsing the shared variance onto outliers.
+                .with_min_std((0.25 * scale).max(GaussianEmission::DEFAULT_MIN_STD)),
+        )
+        .expect("hand-built parameters are stochastic");
+        Self { hmm, true_state: 0, trained: false }
+    }
+
+    /// Trains the model on a claim's ACS sequence with Baum–Welch (paper
+    /// Eq. 5), unless `config.train` is off, in which case the scaled
+    /// initial model is returned.
+    #[must_use]
+    pub fn fit(config: &SstdConfig, acs: &[f64]) -> Self {
+        let mut model = Self::initial(config, acs);
+        if !config.train || acs.len() < 2 {
+            return model;
+        }
+        let outcome = BaumWelch::default()
+            .max_iterations(config.em_iterations)
+            .tolerance(config.em_tolerance)
+            .train(model.hmm, acs);
+        model.hmm = outcome.model;
+        model.trained = true;
+        // Identify the "true" state by emission mean (EM can in principle
+        // flip the sign of the shared separation parameter).
+        model.true_state = if model.hmm.emission().mu() >= 0.0 { 0 } else { 1 };
+        model
+    }
+
+    /// Emission mean of a hidden state.
+    fn state_mean(&self, state: usize) -> f64 {
+        self.hmm.emission().mean(state)
+    }
+
+    /// Whether EM training ran.
+    #[must_use]
+    pub const fn is_trained(&self) -> bool {
+        self.trained
+    }
+
+    /// The underlying HMM.
+    #[must_use]
+    pub fn hmm(&self) -> &Hmm<SymmetricGaussianEmission> {
+        &self.hmm
+    }
+
+    /// The hidden-state index representing `True`.
+    #[must_use]
+    pub const fn true_state(&self) -> usize {
+        self.true_state
+    }
+
+    /// Converts a hidden-state index into a truth label.
+    ///
+    /// The label is the *sign* of the state's emission mean: positive
+    /// aggregate evidence means the crowd supports the claim. When every
+    /// observation is positive, EM fits both states to positive means and
+    /// both correctly map to `True` (and symmetrically for `False`) — the
+    /// two states then only model evidence *intensity*, not a truth flip.
+    #[must_use]
+    pub fn label_of(&self, state: usize) -> TruthLabel {
+        TruthLabel::from_bool(self.state_mean(state) > 0.0)
+    }
+
+    /// Decodes the truth sequence for `acs` with Viterbi (paper Eq. 6–8).
+    #[must_use]
+    pub fn decode(&self, acs: &[f64]) -> Vec<TruthLabel> {
+        viterbi(&self.hmm, acs).into_iter().map(|s| self.label_of(s)).collect()
+    }
+
+    /// Per-interval posterior probability that the claim is *true*, from
+    /// forward–backward smoothing: `P(truth_t = True | ACS sequence)`.
+    ///
+    /// Complements [`decode`](Self::decode): Viterbi commits to the
+    /// single best sequence, the posterior quantifies how sure the model
+    /// is at each instant — the calibration signal a downstream consumer
+    /// (say, an alerting threshold) actually wants.
+    #[must_use]
+    pub fn posterior_true(&self, acs: &[f64]) -> Vec<f64> {
+        let post = forward_backward(&self.hmm, acs);
+        post.gamma
+            .into_iter()
+            .map(|row| {
+                row.iter()
+                    .enumerate()
+                    .filter(|&(s, _)| self.label_of(s) == TruthLabel::True)
+                    .map(|(_, &g)| g)
+                    .sum()
+            })
+            .collect()
+    }
+}
+
+/// Standard deviation of `xs` (0 when fewer than 2 values).
+fn spread(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+    (xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flip_sequence() -> Vec<f64> {
+        // Truth flips every 10 intervals; |ACS| ≈ 5 with mild noise.
+        (0..60)
+            .map(|t| {
+                let sign = if (t / 10) % 2 == 0 { 1.0 } else { -1.0 };
+                sign * (5.0 + 0.3 * ((t % 7) as f64 - 3.0))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn initial_model_is_symmetric_and_sticky() {
+        let m = ClaimTruthModel::initial(&SstdConfig::default(), &flip_sequence());
+        assert!(!m.is_trained());
+        assert!(m.hmm().trans_prob(0, 0) > 0.5);
+        assert!(m.hmm().emission().mean(0) > 0.0);
+        assert!(m.hmm().emission().mean(1) < 0.0);
+    }
+
+    #[test]
+    fn decode_tracks_truth_flips() {
+        let acs = flip_sequence();
+        let model = ClaimTruthModel::fit(&SstdConfig::default(), &acs);
+        let labels = model.decode(&acs);
+        assert_eq!(labels.len(), 60);
+        // Check the midpoint of each regime (boundaries may smear ±1).
+        for block in 0..6 {
+            let want = if block % 2 == 0 { TruthLabel::True } else { TruthLabel::False };
+            assert_eq!(labels[block * 10 + 5], want, "block {block}");
+        }
+    }
+
+    #[test]
+    fn training_flag_and_state_identification() {
+        let acs = flip_sequence();
+        let model = ClaimTruthModel::fit(&SstdConfig::default(), &acs);
+        assert!(model.is_trained());
+        let mt = model.hmm().emission().mean(model.true_state());
+        let other = 1 - model.true_state();
+        let mf = model.hmm().emission().mean(other);
+        assert!(mt > mf, "true state must have the larger emission mean");
+        assert_eq!(model.label_of(model.true_state()), TruthLabel::True);
+        assert_eq!(model.label_of(other), TruthLabel::False);
+    }
+
+    #[test]
+    fn untrained_config_skips_em() {
+        let cfg = SstdConfig::default().with_training(false);
+        let model = ClaimTruthModel::fit(&cfg, &flip_sequence());
+        assert!(!model.is_trained());
+        // Decoding still works with the scaled initial model.
+        let labels = model.decode(&[6.0, 6.0, -6.0]);
+        assert_eq!(labels, vec![TruthLabel::True, TruthLabel::True, TruthLabel::False]);
+    }
+
+    #[test]
+    fn short_sequences_fall_back_to_initial() {
+        let model = ClaimTruthModel::fit(&SstdConfig::default(), &[2.0]);
+        assert!(!model.is_trained());
+        assert_eq!(model.decode(&[2.0]), vec![TruthLabel::True]);
+    }
+
+    #[test]
+    fn posterior_tracks_evidence_strength() {
+        let acs = flip_sequence();
+        let model = ClaimTruthModel::fit(&SstdConfig::default(), &acs);
+        let post = model.posterior_true(&acs);
+        assert_eq!(post.len(), acs.len());
+        assert!(post.iter().all(|p| (0.0..=1.0).contains(p)));
+        // Mid-regime intervals are confidently classified.
+        assert!(post[5] > 0.9, "true regime: {}", post[5]);
+        assert!(post[15] < 0.1, "false regime: {}", post[15]);
+    }
+
+    #[test]
+    fn posterior_is_uncertain_without_evidence() {
+        let model = ClaimTruthModel::initial(&SstdConfig::default(), &[]);
+        let post = model.posterior_true(&[0.0, 0.0, 0.0]);
+        for p in post {
+            assert!((p - 0.5).abs() < 0.05, "no-evidence posterior ≈ 0.5: {p}");
+        }
+    }
+
+    #[test]
+    fn noise_robustness_mild_outlier() {
+        // A single mildly-contradicting interval inside a long true regime
+        // should be smoothed away by the sticky transitions (the paper's
+        // robustness claim for dynamic truth): the dip to −0.5 is closer
+        // to the False regime's mean, but not by enough to pay the
+        // transition cost of leaving a sticky chain for one step.
+        let mut acs = flip_sequence();
+        acs[5] = -0.5;
+        let model = ClaimTruthModel::fit(&SstdConfig::default(), &acs);
+        let labels = model.decode(&acs);
+        assert_eq!(labels[5], TruthLabel::True, "mild dip must be smoothed");
+        assert_eq!(labels[4], TruthLabel::True);
+        assert_eq!(labels[6], TruthLabel::True);
+    }
+
+    #[test]
+    fn strong_contradiction_does_flip() {
+        // Conversely, a sustained strong contradiction must flip — SSTD is
+        // robust to noise, not blind to real transitions.
+        let mut acs = vec![5.0; 30];
+        for a in acs.iter_mut().skip(12).take(6) {
+            *a = -5.0;
+        }
+        let model = ClaimTruthModel::fit(&SstdConfig::default(), &acs);
+        let labels = model.decode(&acs);
+        assert_eq!(labels[14], TruthLabel::False);
+        assert_eq!(labels[25], TruthLabel::True);
+    }
+}
+
+/// A binned-categorical variant of the claim truth model — the emission
+/// ablation DESIGN.md §5 studies: instead of a continuous Gaussian over
+/// ACS values, observations are quantized into `K` equal-width symbols
+/// and the HMM trains categorical emissions per state.
+///
+/// # Examples
+///
+/// ```
+/// use sstd_core::{BinnedClaimTruthModel, SstdConfig};
+/// use sstd_types::TruthLabel;
+///
+/// let acs = vec![4.0, 4.2, 3.9, -4.1, -4.0, -3.8];
+/// let model = BinnedClaimTruthModel::fit(&SstdConfig::default(), &acs, 8);
+/// let labels = model.decode(&acs);
+/// assert_eq!(labels[0], TruthLabel::True);
+/// assert_eq!(labels[5], TruthLabel::False);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BinnedClaimTruthModel {
+    hmm: Hmm<sstd_hmm::CategoricalEmission>,
+    histogram: sstd_stats::Histogram,
+    /// Expected ACS (bin-center average) per state, for label mapping.
+    state_means: [f64; 2],
+}
+
+impl BinnedClaimTruthModel {
+    /// Quantizes `acs` into `bins` symbols and trains a 2-state
+    /// categorical HMM with EM.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins < 2` or `acs` is empty.
+    #[must_use]
+    pub fn fit(config: &SstdConfig, acs: &[f64], bins: usize) -> Self {
+        assert!(bins >= 2, "need at least two symbols");
+        assert!(!acs.is_empty(), "need at least one observation");
+        let bound = acs
+            .iter()
+            .map(|a| a.abs())
+            .fold(0.0f64, f64::max)
+            .max(1.0);
+        let histogram = sstd_stats::Histogram::new(-bound, bound, bins);
+        let symbols: Vec<usize> = acs.iter().map(|&a| histogram.bin_of(a)).collect();
+
+        // Initialize: state 0 prefers positive bins, state 1 negative,
+        // with mass decaying away from each state's side.
+        let mut p0 = vec![0.0f64; bins];
+        let mut p1 = vec![0.0f64; bins];
+        for b in 0..bins {
+            let center = histogram.bin_center(b);
+            p0[b] = (1.0 + center / bound).max(0.05);
+            p1[b] = (1.0 - center / bound).max(0.05);
+        }
+        sstd_stats::normalize_in_place(&mut p0);
+        sstd_stats::normalize_in_place(&mut p1);
+        let stay = config.stay_probability;
+        let init = Hmm::new(
+            vec![0.5, 0.5],
+            vec![vec![stay, 1.0 - stay], vec![1.0 - stay, stay]],
+            sstd_hmm::CategoricalEmission::new(vec![p0, p1]).expect("normalized rows"),
+        )
+        .expect("stochastic by construction");
+
+        let hmm = if config.train && symbols.len() >= 2 {
+            BaumWelch::default()
+                .max_iterations(config.em_iterations)
+                .tolerance(config.em_tolerance)
+                .train(init, &symbols)
+                .model
+        } else {
+            init
+        };
+
+        // Label mapping by each state's expected ACS under its emission.
+        let mut state_means = [0.0f64; 2];
+        for (s, mean) in state_means.iter_mut().enumerate() {
+            *mean = (0..bins)
+                .map(|b| hmm.emission().prob(s, b) * histogram.bin_center(b))
+                .sum();
+        }
+        Self { hmm, histogram, state_means }
+    }
+
+    /// Decodes the truth sequence for `acs` with Viterbi over the binned
+    /// symbols.
+    #[must_use]
+    pub fn decode(&self, acs: &[f64]) -> Vec<TruthLabel> {
+        let symbols: Vec<usize> = acs.iter().map(|&a| self.histogram.bin_of(a)).collect();
+        viterbi(&self.hmm, &symbols)
+            .into_iter()
+            .map(|s| TruthLabel::from_bool(self.state_means[s] > 0.0))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod binned_tests {
+    use super::*;
+
+    #[test]
+    fn binned_model_tracks_clear_flips() {
+        let acs: Vec<f64> = (0..40)
+            .map(|t| if (t / 10) % 2 == 0 { 5.0 } else { -5.0 })
+            .collect();
+        let model = BinnedClaimTruthModel::fit(&SstdConfig::default(), &acs, 8);
+        let labels = model.decode(&acs);
+        assert_eq!(labels[5], TruthLabel::True);
+        assert_eq!(labels[15], TruthLabel::False);
+        assert_eq!(labels[25], TruthLabel::True);
+    }
+
+    #[test]
+    fn coarse_bins_still_recover_sign() {
+        let acs = vec![3.0, 2.5, -2.8, -3.1];
+        let model = BinnedClaimTruthModel::fit(&SstdConfig::default(), &acs, 2);
+        let labels = model.decode(&acs);
+        assert_eq!(labels[0], TruthLabel::True);
+        assert_eq!(labels[3], TruthLabel::False);
+    }
+
+    #[test]
+    #[should_panic(expected = "two symbols")]
+    fn single_bin_rejected() {
+        let _ = BinnedClaimTruthModel::fit(&SstdConfig::default(), &[1.0], 1);
+    }
+}

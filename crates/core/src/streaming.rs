@@ -1,0 +1,419 @@
+//! The streaming SSTD engine: truth decisions as reports arrive.
+//!
+//! The batch [`SstdEngine`](crate::SstdEngine) waits for the whole trace.
+//! `StreamingSstd` consumes time-ordered reports, closes each timeline
+//! interval as the stream passes it, and emits a truth decision per claim
+//! per closed interval using an online Viterbi decoder (paper §III-E:
+//! "All TD jobs are running in parallel and new TD jobs will be
+//! dynamically spawned when new claims are generated").
+
+use crate::{ClaimTruthModel, SstdConfig, TruthEstimates};
+use sstd_hmm::{Hmm, StreamingViterbi, SymmetricGaussianEmission};
+use sstd_types::{ClaimId, Report, Timeline, TruthLabel};
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+
+/// Per-claim streaming state: windowed ACS aggregation plus an online
+/// decoder. Spawned lazily when a claim's first report arrives.
+#[derive(Debug)]
+struct ClaimStream {
+    /// Interval index at which this claim first appeared.
+    start_interval: usize,
+    /// Contribution-score sum of the currently open interval.
+    open_cs: f64,
+    /// Per-interval CS sums of the last `window − 1` closed intervals.
+    window: VecDeque<f64>,
+    /// Online decoder; created on the first closed interval so its
+    /// emission scale can adapt to the first observation.
+    decoder: Option<StreamingViterbi<SymmetricGaussianEmission>>,
+    /// The trained model behind the decoder, once a refit has run
+    /// (carries the state→label mapping).
+    model: Option<ClaimTruthModel>,
+    /// Full ACS history of closed intervals — the refit training data.
+    history: Vec<f64>,
+    /// One decision per closed interval since `start_interval`.
+    decisions: Vec<TruthLabel>,
+}
+
+impl ClaimStream {
+    fn new(start_interval: usize) -> Self {
+        Self {
+            start_interval,
+            open_cs: 0.0,
+            window: VecDeque::new(),
+            decoder: None,
+            model: None,
+            history: Vec::new(),
+            decisions: Vec::new(),
+        }
+    }
+
+    /// Periodically refits the claim HMM on the accumulated ACS history
+    /// (paper deployments retrain offline as the stream accumulates) and
+    /// rebuilds the online decoder by replaying history through it.
+    /// Past decisions stay frozen — they were already emitted.
+    fn maybe_refit(&mut self, config: &SstdConfig) {
+        if !config.train || config.streaming_refit == 0 {
+            return;
+        }
+        if !self.history.len().is_multiple_of(config.streaming_refit) || self.history.is_empty() {
+            return;
+        }
+        let model = ClaimTruthModel::fit(config, &self.history);
+        let mut decoder = StreamingViterbi::new(model.hmm().clone()).with_max_pending(64);
+        for &obs in &self.history {
+            let _ = decoder.push(obs);
+        }
+        self.decoder = Some(decoder);
+        self.model = Some(model);
+    }
+
+    fn close_interval(&mut self, config: &SstdConfig) {
+        let acs: f64 = self.open_cs + self.window.iter().sum::<f64>();
+
+        let decoder = self.decoder.get_or_insert_with(|| {
+            let scale = acs.abs().max(1.0);
+            let stay = config.stay_probability;
+            let hmm = Hmm::new(
+                vec![0.5, 0.5],
+                vec![vec![stay, 1.0 - stay], vec![1.0 - stay, stay]],
+                SymmetricGaussianEmission::new(scale, scale).expect("positive scale"),
+            )
+            .expect("stochastic by construction");
+            // Fixed-lag bound keeps memory O(64) per claim even on
+            // evidence-free streams whose paths never coalesce.
+            StreamingViterbi::new(hmm).with_max_pending(64)
+        });
+        let state = decoder.push(acs);
+        // With a trained model, the state→label mapping follows its
+        // emission-mean signs; the untrained initial model has state 0
+        // positive by construction.
+        let label = match &self.model {
+            Some(m) => m.label_of(state),
+            None => {
+                if state == 0 {
+                    TruthLabel::True
+                } else {
+                    TruthLabel::False
+                }
+            }
+        };
+        self.decisions.push(label);
+
+        self.history.push(acs);
+        self.maybe_refit(config);
+
+        self.window.push_back(self.open_cs);
+        if self.window.len() >= config.window {
+            self.window.pop_front();
+        }
+        self.open_cs = 0.0;
+    }
+}
+
+/// Online truth discovery over a time-ordered report stream.
+///
+/// # Examples
+///
+/// ```
+/// use sstd_core::{SstdConfig, StreamingSstd};
+/// use sstd_types::*;
+///
+/// let timeline = Timeline::new(Timestamp::from_secs(40), 4);
+/// let mut s = StreamingSstd::new(SstdConfig::default(), timeline);
+/// for t in 0..20 {
+///     s.push(&Report::plain(
+///         SourceId::new(t % 3),
+///         ClaimId::new(0),
+///         Timestamp::from_secs(t as u64 * 2),
+///         Attitude::Agree,
+///     ));
+/// }
+/// let estimates = s.finish();
+/// assert_eq!(estimates.labels(ClaimId::new(0)).unwrap(), &[TruthLabel::True; 4]);
+/// ```
+#[derive(Debug)]
+pub struct StreamingSstd {
+    config: SstdConfig,
+    timeline: Timeline,
+    current_interval: usize,
+    claims: BTreeMap<ClaimId, ClaimStream>,
+    reports_seen: u64,
+}
+
+impl StreamingSstd {
+    /// Creates a streaming engine over `timeline`.
+    #[must_use]
+    pub fn new(config: SstdConfig, timeline: Timeline) -> Self {
+        Self { config, timeline, current_interval: 0, claims: BTreeMap::new(), reports_seen: 0 }
+    }
+
+    /// Number of reports consumed.
+    #[must_use]
+    pub const fn reports_seen(&self) -> u64 {
+        self.reports_seen
+    }
+
+    /// Number of claims with active streaming state.
+    #[must_use]
+    pub fn num_claims(&self) -> usize {
+        self.claims.len()
+    }
+
+    /// The interval currently open (decisions exist for all earlier ones).
+    #[must_use]
+    pub const fn current_interval(&self) -> usize {
+        self.current_interval
+    }
+
+    /// Consumes one report.
+    ///
+    /// Reports must arrive in non-decreasing time order; a report older
+    /// than the open interval is counted into the open interval rather
+    /// than rewriting history (matching the paper's streaming setting).
+    pub fn push(&mut self, report: &Report) {
+        let iv = self.timeline.interval_of(report.time());
+        while self.current_interval < iv {
+            self.close_current_interval();
+        }
+        self.reports_seen += 1;
+        let claim = report.claim();
+        let current = self.current_interval;
+        let stream = self
+            .claims
+            .entry(claim)
+            .or_insert_with(|| ClaimStream::new(current));
+        stream.open_cs += report.contribution_score().value();
+    }
+
+    /// The latest committed decision for `claim`, if any interval has
+    /// closed since the claim appeared.
+    #[must_use]
+    pub fn latest_decision(&self, claim: ClaimId) -> Option<TruthLabel> {
+        self.claims.get(&claim).and_then(|s| s.decisions.last().copied())
+    }
+
+    fn close_current_interval(&mut self) {
+        for stream in self.claims.values_mut() {
+            stream.close_interval(&self.config);
+        }
+        self.current_interval += 1;
+    }
+
+    /// Closes all remaining intervals and returns the full estimate table.
+    ///
+    /// Intervals before a claim's first report are labeled `False`
+    /// (no evidence — same convention as the batch engine).
+    #[must_use]
+    pub fn finish(mut self) -> TruthEstimates {
+        let n = self.timeline.num_intervals();
+        while self.current_interval < n {
+            self.close_current_interval();
+        }
+        let mut out = TruthEstimates::new(n);
+        for (claim, stream) in self.claims {
+            let mut labels = vec![TruthLabel::False; stream.start_interval];
+            labels.extend(&stream.decisions);
+            debug_assert_eq!(labels.len(), n);
+            out.insert(claim, labels);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sstd_types::{Attitude, SourceId, Timestamp};
+
+    fn report(claim: u32, t: u64, attitude: Attitude) -> Report {
+        Report::plain(SourceId::new(0), ClaimId::new(claim), Timestamp::from_secs(t), attitude)
+    }
+
+    fn timeline() -> Timeline {
+        Timeline::new(Timestamp::from_secs(100), 10)
+    }
+
+    #[test]
+    fn steady_agreement_decodes_true() {
+        let mut s = StreamingSstd::new(SstdConfig::default(), timeline());
+        for t in 0..100 {
+            s.push(&report(0, t, Attitude::Agree));
+        }
+        let est = s.finish();
+        assert_eq!(est.labels(ClaimId::new(0)).unwrap(), &[TruthLabel::True; 10]);
+    }
+
+    #[test]
+    fn truth_flip_is_tracked_online() {
+        let mut s = StreamingSstd::new(SstdConfig::default().with_window(1), timeline());
+        for t in 0..100u64 {
+            let att = if t < 50 { Attitude::Agree } else { Attitude::Disagree };
+            for src in 0..4 {
+                s.push(&Report::plain(
+                    SourceId::new(src),
+                    ClaimId::new(0),
+                    Timestamp::from_secs(t),
+                    att,
+                ));
+            }
+        }
+        let est = s.finish();
+        let labels = est.labels(ClaimId::new(0)).unwrap();
+        assert_eq!(labels[2], TruthLabel::True);
+        assert_eq!(labels[8], TruthLabel::False);
+    }
+
+    #[test]
+    fn late_claims_are_backfilled_false() {
+        let mut s = StreamingSstd::new(SstdConfig::default(), timeline());
+        // Claim 0 from the start; claim 1 appears at t = 55 (interval 5).
+        for t in 0..100 {
+            s.push(&report(0, t, Attitude::Agree));
+            if t >= 55 {
+                s.push(&report(1, t, Attitude::Agree));
+            }
+        }
+        let est = s.finish();
+        let c1 = est.labels(ClaimId::new(1)).unwrap();
+        assert_eq!(&c1[..5], &[TruthLabel::False; 5]);
+        assert_eq!(c1[9], TruthLabel::True);
+        assert_eq!(est.num_claims(), 2);
+    }
+
+    #[test]
+    fn latest_decision_tracks_closed_intervals() {
+        let mut s = StreamingSstd::new(SstdConfig::default(), timeline());
+        s.push(&report(0, 5, Attitude::Agree));
+        assert_eq!(s.latest_decision(ClaimId::new(0)), None, "interval still open");
+        s.push(&report(0, 25, Attitude::Agree)); // closes intervals 0 and 1
+        assert_eq!(s.latest_decision(ClaimId::new(0)), Some(TruthLabel::True));
+        assert_eq!(s.current_interval(), 2);
+    }
+
+    #[test]
+    fn counters() {
+        let mut s = StreamingSstd::new(SstdConfig::default(), timeline());
+        for t in 0..7 {
+            s.push(&report(0, t, Attitude::Agree));
+        }
+        assert_eq!(s.reports_seen(), 7);
+        assert_eq!(s.num_claims(), 1);
+    }
+
+    #[test]
+    fn empty_stream_finishes_empty() {
+        let s = StreamingSstd::new(SstdConfig::default(), timeline());
+        let est = s.finish();
+        assert_eq!(est.num_claims(), 0);
+        assert_eq!(est.num_intervals(), 10);
+    }
+
+    #[test]
+    fn matches_batch_engine_on_clean_signal() {
+        use sstd_types::{GroundTruth, Trace};
+        let tl = timeline();
+        let mut gt = GroundTruth::new(10);
+        gt.insert(ClaimId::new(0), vec![TruthLabel::True; 10]);
+        let reports: Vec<Report> = (0..100)
+            .map(|t| report(0, t, if t < 50 { Attitude::Agree } else { Attitude::Disagree }))
+            .collect();
+        let trace = Trace::new("cmp", reports.clone(), 1, 1, tl.clone(), gt);
+
+        let batch = crate::SstdEngine::new(SstdConfig::default()).run(&trace);
+        let mut stream = StreamingSstd::new(SstdConfig::default(), tl);
+        for r in &reports {
+            stream.push(r);
+        }
+        let online = stream.finish();
+        let b = batch.labels(ClaimId::new(0)).unwrap();
+        let o = online.labels(ClaimId::new(0)).unwrap();
+        // Streaming decisions are filtering (no lookahead), so allow the
+        // flip boundary to differ by at most one interval.
+        let disagreements = b.iter().zip(o).filter(|(x, y)| x != y).count();
+        assert!(disagreements <= 2, "batch {b:?} vs online {o:?}");
+    }
+}
+
+#[cfg(test)]
+mod refit_tests {
+    use super::*;
+    use sstd_types::{Attitude, SourceId, Timestamp};
+
+    /// Refit should tighten streaming decisions on a long noisy stream
+    /// relative to the never-refit configuration.
+    #[test]
+    fn refit_improves_on_noisy_flipping_stream() {
+        let timeline = Timeline::new(Timestamp::from_secs(1_000), 100);
+        // Truth flips every 20 intervals; 5 reporters with 80% honesty.
+        let reports: Vec<Report> = (0..1_000u64)
+            .flat_map(|t| {
+                let truth_is_true = (t / 200) % 2 == 0;
+                (0..5u32).map(move |src| {
+                    let honest = (t.wrapping_mul(31).wrapping_add(u64::from(src) * 7)) % 10 < 8;
+                    let attitude = match (truth_is_true, honest) {
+                        (true, true) | (false, false) => Attitude::Agree,
+                        _ => Attitude::Disagree,
+                    };
+                    Report::plain(
+                        SourceId::new(src),
+                        ClaimId::new(0),
+                        Timestamp::from_secs(t),
+                        attitude,
+                    )
+                })
+            })
+            .collect();
+
+        let accuracy = |refit: usize| -> f64 {
+            let cfg = SstdConfig::default().with_streaming_refit(refit);
+            let mut engine = StreamingSstd::new(cfg, timeline.clone());
+            for r in &reports {
+                engine.push(r);
+            }
+            let est = engine.finish();
+            let labels = est.labels(ClaimId::new(0)).unwrap();
+            labels
+                .iter()
+                .enumerate()
+                .filter(|(iv, &l)| l.as_bool() == ((iv / 20) % 2 == 0))
+                .count() as f64
+                / labels.len() as f64
+        };
+        let with_refit = accuracy(20);
+        let without = accuracy(0);
+        assert!(
+            with_refit + 0.02 >= without,
+            "refit {with_refit} vs none {without}"
+        );
+        assert!(with_refit > 0.8, "refit accuracy {with_refit}");
+    }
+
+    #[test]
+    fn refit_keeps_emitted_decisions_frozen() {
+        let timeline = Timeline::new(Timestamp::from_secs(100), 10);
+        let cfg = SstdConfig::default().with_streaming_refit(3);
+        let mut engine = StreamingSstd::new(cfg, timeline);
+        let mut seen: Vec<TruthLabel> = Vec::new();
+        for t in 0..100u64 {
+            engine.push(&Report::plain(
+                SourceId::new(0),
+                ClaimId::new(0),
+                Timestamp::from_secs(t),
+                Attitude::Agree,
+            ));
+            // Every decision observed mid-stream must persist to the end.
+            if let Some(d) = engine.latest_decision(ClaimId::new(0)) {
+                let closed = engine.current_interval();
+                if closed > seen.len() {
+                    seen.push(d);
+                }
+            }
+        }
+        let final_est = engine.finish();
+        let labels = final_est.labels(ClaimId::new(0)).unwrap();
+        for (iv, d) in seen.iter().enumerate() {
+            assert_eq!(labels[iv], *d, "decision at interval {iv} was rewritten");
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Trace persistence: JSON save/load for replaying experiments.
+
+use sstd_types::Trace;
+use std::error::Error;
+use std::fmt;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::path::Path;
+
+/// Error loading or saving a trace file.
+#[derive(Debug)]
+pub enum TraceIoError {
+    /// The underlying file operation failed.
+    Io(std::io::Error),
+    /// The file contents were not a valid trace.
+    Format(serde_json::Error),
+}
+
+impl fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceIoError::Io(e) => write!(f, "trace file I/O failed: {e}"),
+            TraceIoError::Format(e) => write!(f, "trace file is malformed: {e}"),
+        }
+    }
+}
+
+impl Error for TraceIoError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TraceIoError::Io(e) => Some(e),
+            TraceIoError::Format(e) => Some(e),
+        }
+    }
+}
+
+impl From<std::io::Error> for TraceIoError {
+    fn from(e: std::io::Error) -> Self {
+        TraceIoError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for TraceIoError {
+    fn from(e: serde_json::Error) -> Self {
+        TraceIoError::Format(e)
+    }
+}
+
+/// Saves a trace as JSON.
+///
+/// # Errors
+///
+/// Returns [`TraceIoError`] if the file cannot be created or written.
+pub fn save_trace(trace: &Trace, path: impl AsRef<Path>) -> Result<(), TraceIoError> {
+    let file = File::create(path)?;
+    serde_json::to_writer(BufWriter::new(file), trace)?;
+    Ok(())
+}
+
+/// Loads a trace saved by [`save_trace`].
+///
+/// # Errors
+///
+/// Returns [`TraceIoError`] if the file cannot be read or parsed.
+pub fn load_trace(path: impl AsRef<Path>) -> Result<Trace, TraceIoError> {
+    let file = File::open(path)?;
+    Ok(serde_json::from_reader(BufReader::new(file))?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Scenario, TraceBuilder};
+
+    #[test]
+    fn save_load_roundtrip() {
+        let trace = TraceBuilder::scenario(Scenario::Synthetic).scale(0.001).seed(1).build();
+        let dir = std::env::temp_dir().join("sstd-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.json");
+        save_trace(&trace, &path).unwrap();
+        let back = load_trace(&path).unwrap();
+        assert_eq!(back, trace);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = load_trace("/nonexistent/definitely/missing.json").unwrap_err();
+        assert!(matches!(err, TraceIoError::Io(_)));
+        assert!(err.to_string().contains("I/O"));
+    }
+
+    #[test]
+    fn malformed_file_is_format_error() {
+        let dir = std::env::temp_dir().join("sstd-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.json");
+        std::fs::write(&path, b"{not json").unwrap();
+        let err = load_trace(&path).unwrap_err();
+        assert!(matches!(err, TraceIoError::Format(_)));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,60 @@
+//! Synthetic social-sensing traces.
+//!
+//! The paper evaluates on three Twitter traces (Boston Bombing, Paris
+//! Shooting, College Football — Table II) that are not redistributable.
+//! This crate generates statistically equivalent traces from a generative
+//! model that exposes exactly the structure truth discovery depends on
+//! (see DESIGN.md §3 for the substitution argument):
+//!
+//! - a **source population** with Beta-distributed reliability (honest
+//!   crowd + misinformation cohort) and Zipf-distributed activity — the
+//!   long tail the paper's §II highlights ([`Population`]);
+//! - **evolving ground truth**: each claim's truth is a two-state Markov
+//!   chain over the evaluation intervals ([`TruthProcess`]);
+//! - **bursty traffic**: Poisson per-interval volumes with event spikes
+//!   ("there is often a spike in the number of tweets when there's a
+//!   touchdown", §I) ([`TrafficModel`]);
+//! - **copy cascades**: retweets with low independence scores that copy
+//!   earlier attitudes — the misinformation amplification RTD and SSTD
+//!   must withstand.
+//!
+//! [`TraceBuilder`] ties it together; [`Scenario`] provides presets whose
+//! full-scale statistics match Table II, scaled down by default so tests
+//! and examples run in milliseconds.
+//!
+//! # Examples
+//!
+//! ```
+//! use sstd_data::{Scenario, TraceBuilder};
+//!
+//! let trace = TraceBuilder::scenario(Scenario::ParisShooting)
+//!     .scale(0.001)
+//!     .seed(42)
+//!     .build();
+//! assert!(trace.stats().num_reports > 0);
+//! // Same seed → identical trace.
+//! let again = TraceBuilder::scenario(Scenario::ParisShooting)
+//!     .scale(0.001)
+//!     .seed(42)
+//!     .build();
+//! assert_eq!(trace, again);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod builder;
+mod io;
+mod population;
+mod posts;
+mod scenario;
+mod traffic;
+mod truth_process;
+
+pub use builder::{TraceBuilder, TraceConfig};
+pub use io::{load_trace, save_trace, TraceIoError};
+pub use population::Population;
+pub use posts::synthesize_posts;
+pub use scenario::Scenario;
+pub use traffic::TrafficModel;
+pub use truth_process::TruthProcess;

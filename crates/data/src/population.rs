@@ -1,0 +1,187 @@
+//! The synthetic source population.
+
+use rand::Rng;
+use sstd_stats::dist::{Beta, Zipf};
+use sstd_types::SourceId;
+
+/// A population of sources with per-source reliability and a Zipf
+/// activity profile.
+///
+/// Reliability is drawn from a two-component Beta mixture: an *honest*
+/// majority (mostly right) and a *misinformation cohort* (mostly wrong) —
+/// the adversarial mix the paper's motivating OSU example describes.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use sstd_data::Population;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let pop = Population::generate(&mut rng, 100, 0.8, (8.0, 2.0), (1.5, 4.0), 1.1);
+/// assert_eq!(pop.len(), 100);
+/// let mean: f64 = (0..100)
+///     .map(|i| pop.reliability(sstd_types::SourceId::new(i)))
+///     .sum::<f64>() / 100.0;
+/// assert!(mean > 0.55, "honest majority dominates: {mean}");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Population {
+    reliability: Vec<f64>,
+    honest: Vec<bool>,
+    activity: Zipf,
+}
+
+impl Population {
+    /// Generates `n` sources: a fraction `honest_fraction` draws
+    /// reliability from `Beta(honest)`, the rest from `Beta(misinfo)`;
+    /// activity ranks follow `Zipf(n, activity_exponent)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero, `honest_fraction` is outside `[0, 1]`, or
+    /// any Beta/Zipf parameter is invalid.
+    pub fn generate<R: Rng + ?Sized>(
+        rng: &mut R,
+        n: usize,
+        honest_fraction: f64,
+        honest: (f64, f64),
+        misinfo: (f64, f64),
+        activity_exponent: f64,
+    ) -> Self {
+        assert!(n > 0, "population needs at least one source");
+        assert!(
+            (0.0..=1.0).contains(&honest_fraction),
+            "honest fraction must be in [0, 1]"
+        );
+        let honest_beta = Beta::new(honest.0, honest.1).expect("valid honest Beta");
+        let misinfo_beta = Beta::new(misinfo.0, misinfo.1).expect("valid misinfo Beta");
+        let mut reliability = Vec::with_capacity(n);
+        let mut honest_flags = Vec::with_capacity(n);
+        for _ in 0..n {
+            let is_honest = rng.gen::<f64>() < honest_fraction;
+            let r = if is_honest {
+                honest_beta.sample(rng)
+            } else {
+                misinfo_beta.sample(rng)
+            };
+            reliability.push(r);
+            honest_flags.push(is_honest);
+        }
+        let activity = Zipf::new(n, activity_exponent).expect("valid Zipf");
+        Self { reliability, honest: honest_flags, activity }
+    }
+
+    /// Population size.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.reliability.len()
+    }
+
+    /// Whether the population is empty (never true after generation).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.reliability.is_empty()
+    }
+
+    /// Probability that `source` reports the truth faithfully.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is out of range.
+    #[must_use]
+    pub fn reliability(&self, source: SourceId) -> f64 {
+        self.reliability[source.index()]
+    }
+
+    /// Whether `source` belongs to the honest component.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is out of range.
+    #[must_use]
+    pub fn is_honest(&self, source: SourceId) -> bool {
+        self.honest[source.index()]
+    }
+
+    /// Samples a reporting source by Zipf activity (rank 1 = most active).
+    pub fn sample_reporter<R: Rng + ?Sized>(&self, rng: &mut R) -> SourceId {
+        SourceId::new((self.activity.sample(rng) - 1) as u32)
+    }
+
+    /// Sources in the misinformation cohort.
+    pub fn misinfo_sources(&self) -> impl Iterator<Item = SourceId> + '_ {
+        self.honest
+            .iter()
+            .enumerate()
+            .filter(|(_, &h)| !h)
+            .map(|(i, _)| SourceId::new(i as u32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn pop(seed: u64, honest_fraction: f64) -> Population {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Population::generate(&mut rng, 500, honest_fraction, (8.0, 2.0), (1.5, 4.0), 1.1)
+    }
+
+    #[test]
+    fn honest_sources_are_more_reliable_on_average() {
+        let p = pop(3, 0.7);
+        let (mut h_sum, mut h_n, mut m_sum, mut m_n) = (0.0, 0, 0.0, 0);
+        for i in 0..p.len() {
+            let s = SourceId::new(i as u32);
+            if p.is_honest(s) {
+                h_sum += p.reliability(s);
+                h_n += 1;
+            } else {
+                m_sum += p.reliability(s);
+                m_n += 1;
+            }
+        }
+        assert!(h_n > 0 && m_n > 0);
+        assert!(h_sum / (h_n as f64) > 0.7);
+        assert!(m_sum / (m_n as f64) < 0.45);
+    }
+
+    #[test]
+    fn activity_is_long_tailed() {
+        let p = pop(5, 0.8);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut counts = vec![0usize; p.len()];
+        for _ in 0..20_000 {
+            counts[p.sample_reporter(&mut rng).index()] += 1;
+        }
+        let active = counts.iter().filter(|&&c| c > 0).count();
+        let top = *counts.iter().max().unwrap();
+        assert!(top > 20_000 / 50, "head source dominates");
+        assert!(active < p.len(), "tail sources never report");
+    }
+
+    #[test]
+    fn all_misinfo_population() {
+        let p = pop(7, 0.0);
+        assert_eq!(p.misinfo_sources().count(), p.len());
+    }
+
+    #[test]
+    fn reliabilities_are_probabilities() {
+        let p = pop(9, 0.5);
+        for i in 0..p.len() {
+            let r = p.reliability(SourceId::new(i as u32));
+            assert!((0.0..=1.0).contains(&r));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one source")]
+    fn empty_population_rejected() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = Population::generate(&mut rng, 0, 0.5, (2.0, 2.0), (2.0, 2.0), 1.0);
+    }
+}

@@ -1,0 +1,158 @@
+//! Synthetic raw-post streams for exercising the text pipeline end to end.
+//!
+//! The scored-[`Report`] generator in [`TraceBuilder`] bypasses NLP. For
+//! the examples and integration tests that exercise `sstd-text`, this
+//! module renders a trace-like stream of tweet-shaped strings: assertions
+//! or denials about claim topics, with hedge words for uncertain posts,
+//! scenario keywords so the keyword filter passes, and explicit retweets.
+//!
+//! [`Report`]: sstd_types::Report
+//! [`TraceBuilder`]: crate::TraceBuilder
+
+use crate::Scenario;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sstd_types::{RawPost, SourceId, Timestamp};
+
+const TOPICS: &[&str] = &[
+    "suspect spotted near the bridge",
+    "second device found at the library",
+    "police closing the main square",
+    "casualties reported at the scene",
+    "home team taking the lead",
+    "star player injured in the first quarter",
+];
+
+const HEDGES: &[&str] = &["possibly", "reportedly", "unconfirmed:", "maybe", "sources say"];
+const DENIALS: &[&str] = &["that's fake,", "false report:", "debunked:", "not true:"];
+
+/// Synthesizes a time-ordered stream of raw posts about `num_topics`
+/// topics over `horizon_secs`, tagged with `scenario` keywords.
+///
+/// About `denial_rate` of the posts deny their topic, `hedge_rate` hedge,
+/// and `retweet_rate` are retweets of the previous post on the topic.
+///
+/// # Examples
+///
+/// ```
+/// use sstd_data::{synthesize_posts, Scenario};
+///
+/// let posts = synthesize_posts(Scenario::BostonBombing, 100, 3, 3_600, 42);
+/// assert_eq!(posts.len(), 100);
+/// assert!(posts.windows(2).all(|w| w[0].time() <= w[1].time()));
+/// ```
+///
+/// # Panics
+///
+/// Panics if `num_topics` is zero or exceeds the built-in topic
+/// inventory, or if `horizon_secs` is zero.
+#[must_use]
+pub fn synthesize_posts(
+    scenario: Scenario,
+    num_posts: usize,
+    num_topics: usize,
+    horizon_secs: u64,
+    seed: u64,
+) -> Vec<RawPost> {
+    assert!(num_topics > 0 && num_topics <= TOPICS.len(), "1..={} topics", TOPICS.len());
+    assert!(horizon_secs > 0, "horizon must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let keyword = scenario.keywords()[0];
+    let mut last_on_topic: Vec<Option<(u64, String)>> = vec![None; num_topics];
+
+    let mut times: Vec<u64> = (0..num_posts).map(|_| rng.gen_range(0..horizon_secs)).collect();
+    times.sort_unstable();
+
+    times
+        .into_iter()
+        .enumerate()
+        .map(|(i, t)| {
+            let topic = rng.gen_range(0..num_topics);
+            let source = SourceId::new(rng.gen_range(0..(num_posts.max(4) / 2)) as u32);
+            if let Some((orig_idx, text)) = last_on_topic[topic].clone() {
+                if rng.gen::<f64>() < 0.25 {
+                    return RawPost::retweet(
+                        source,
+                        Timestamp::from_secs(t),
+                        format!("RT {text}"),
+                        orig_idx,
+                    );
+                }
+            }
+            let mut text = String::new();
+            if rng.gen::<f64>() < 0.2 {
+                text.push_str(DENIALS[rng.gen_range(0..DENIALS.len())]);
+                text.push(' ');
+            }
+            if rng.gen::<f64>() < 0.3 {
+                text.push_str(HEDGES[rng.gen_range(0..HEDGES.len())]);
+                text.push(' ');
+            }
+            text.push_str(TOPICS[topic]);
+            text.push_str(&format!(" #{keyword}"));
+            last_on_topic[topic] = Some((i as u64, text.clone()));
+            RawPost::new(source, Timestamp::from_secs(t), text)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sstd_text::{PipelineConfig, ReportPipeline};
+
+    #[test]
+    fn posts_are_time_ordered_and_tagged() {
+        let posts = synthesize_posts(Scenario::ParisShooting, 50, 2, 1000, 1);
+        assert_eq!(posts.len(), 50);
+        assert!(posts.windows(2).all(|w| w[0].time() <= w[1].time()));
+        assert!(posts.iter().all(|p| p.text().contains("paris")));
+    }
+
+    #[test]
+    fn stream_contains_retweets_hedges_and_denials() {
+        let posts = synthesize_posts(Scenario::BostonBombing, 400, 4, 10_000, 2);
+        assert!(posts.iter().any(|p| p.retweet_of().is_some()));
+        assert!(posts.iter().any(|p| p.text().contains("possibly")
+            || p.text().contains("reportedly")
+            || p.text().contains("maybe")
+            || p.text().contains("unconfirmed")
+            || p.text().contains("sources say")));
+        assert!(posts.iter().any(|p| p.text().contains("fake")
+            || p.text().contains("false")
+            || p.text().contains("debunked")
+            || p.text().contains("not true")));
+    }
+
+    #[test]
+    fn pipeline_consumes_the_stream() {
+        let posts = synthesize_posts(Scenario::BostonBombing, 300, 3, 10_000, 3);
+        let mut pipeline =
+            ReportPipeline::new(PipelineConfig::for_event(Scenario::BostonBombing.keywords()));
+        let mut reports = 0;
+        for p in &posts {
+            if pipeline.process(p).is_some() {
+                reports += 1;
+            }
+        }
+        assert!(reports > 200, "most posts match the event keywords: {reports}");
+        assert!(
+            pipeline.num_claims() >= 3,
+            "clustering finds at least the topic count: {}",
+            pipeline.num_claims()
+        );
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = synthesize_posts(Scenario::Synthetic, 20, 1, 100, 9);
+        let b = synthesize_posts(Scenario::Synthetic, 20, 1, 100, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "topics")]
+    fn too_many_topics_rejected() {
+        let _ = synthesize_posts(Scenario::Synthetic, 10, 99, 100, 0);
+    }
+}

@@ -1,0 +1,185 @@
+//! Scenario presets matching the paper's Table II traces.
+
+use crate::TraceConfig;
+
+/// The three evaluation traces of the paper, plus a free-form synthetic
+/// scenario for scalability experiments.
+///
+/// At `scale = 1.0` the presets match Table II: Boston Bombing (553,609
+/// reports / 493,855 sources over 4 days), Paris Shooting (253,798 /
+/// 217,718 over 3 days), College Football (429,019 / 413,782 over 3
+/// days). The qualitative knobs differ per scenario: the football trace
+/// flips truth often (scores change) and is extremely bursty
+/// (touchdowns); the emergency traces carry misinformation cohorts and
+/// heavy retweet cascades.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scenario {
+    /// 2013 Boston Marathon bombing: 4 days, heavy misinformation and
+    /// retweeting, mostly static truths with a few corrections.
+    BostonBombing,
+    /// 2015 Paris (Charlie Hebdo) shooting: 3 days, evolving manhunt
+    /// claims.
+    ParisShooting,
+    /// College football Saturday: 3 days, score-change claims that flip
+    /// frequently, extreme bursts.
+    CollegeFootball,
+    /// Neutral synthetic workload for scalability sweeps.
+    Synthetic,
+}
+
+impl Scenario {
+    /// The full-scale configuration of this scenario.
+    #[must_use]
+    pub fn config(self) -> TraceConfig {
+        match self {
+            Scenario::BostonBombing => TraceConfig {
+                name: "boston-bombing".into(),
+                num_sources: 493_855,
+                num_claims: 120,
+                num_intervals: 100,
+                horizon_secs: 4 * 24 * 3600,
+                target_reports: 553_609,
+                honest_fraction: 0.78,
+                honest_reliability: (8.0, 2.0),
+                misinfo_reliability: (1.5, 4.0),
+                source_zipf: 1.1,
+                claim_zipf: 1.05,
+                dynamic_claim_fraction: 0.45,
+                truth_flip_prob: 0.03,
+                burst_intervals: 6,
+                burst_multiplier: 6.0,
+                retweet_prob: 0.45,
+                hedge_beta: (2.0, 6.0),
+                correlated_claim_pairs: 0,
+            },
+            Scenario::ParisShooting => TraceConfig {
+                name: "paris-shooting".into(),
+                num_sources: 217_718,
+                num_claims: 80,
+                num_intervals: 100,
+                horizon_secs: 3 * 24 * 3600,
+                target_reports: 253_798,
+                honest_fraction: 0.8,
+                honest_reliability: (8.0, 2.0),
+                misinfo_reliability: (1.5, 4.0),
+                source_zipf: 1.1,
+                claim_zipf: 1.0,
+                dynamic_claim_fraction: 0.55,
+                truth_flip_prob: 0.04,
+                burst_intervals: 5,
+                burst_multiplier: 5.0,
+                retweet_prob: 0.4,
+                hedge_beta: (2.0, 6.0),
+                correlated_claim_pairs: 0,
+            },
+            Scenario::CollegeFootball => TraceConfig {
+                name: "college-football".into(),
+                num_sources: 413_782,
+                num_claims: 50,
+                num_intervals: 100,
+                horizon_secs: 3 * 24 * 3600,
+                target_reports: 429_019,
+                honest_fraction: 0.9,
+                honest_reliability: (6.0, 2.5),
+                misinfo_reliability: (2.0, 3.0),
+                source_zipf: 1.05,
+                claim_zipf: 0.9,
+                dynamic_claim_fraction: 0.9,
+                truth_flip_prob: 0.08,
+                burst_intervals: 12,
+                burst_multiplier: 10.0,
+                retweet_prob: 0.3,
+                hedge_beta: (2.0, 8.0),
+                correlated_claim_pairs: 0,
+            },
+            Scenario::Synthetic => TraceConfig {
+                name: "synthetic".into(),
+                num_sources: 100_000,
+                num_claims: 64,
+                num_intervals: 100,
+                horizon_secs: 24 * 3600,
+                target_reports: 200_000,
+                honest_fraction: 0.8,
+                honest_reliability: (8.0, 2.0),
+                misinfo_reliability: (1.5, 4.0),
+                source_zipf: 1.1,
+                claim_zipf: 1.0,
+                dynamic_claim_fraction: 0.5,
+                truth_flip_prob: 0.05,
+                burst_intervals: 5,
+                burst_multiplier: 4.0,
+                retweet_prob: 0.35,
+                hedge_beta: (2.0, 6.0),
+                correlated_claim_pairs: 0,
+            },
+        }
+    }
+
+    /// All three paper traces, in Table II order.
+    #[must_use]
+    pub fn paper_traces() -> [Scenario; 3] {
+        [Scenario::ParisShooting, Scenario::BostonBombing, Scenario::CollegeFootball]
+    }
+
+    /// The event keywords the paper used to crawl this scenario (§V-A2) —
+    /// consumed by the text-pipeline examples.
+    #[must_use]
+    pub fn keywords(self) -> &'static [&'static str] {
+        match self {
+            Scenario::BostonBombing => &["boston", "marathon", "bombing", "attack"],
+            Scenario::ParisShooting => &["paris", "shooting", "hebdo", "charlie"],
+            Scenario::CollegeFootball => &["irish", "buckeyes", "touchdown", "football", "game"],
+            Scenario::Synthetic => &["event"],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_scale_matches_table2() {
+        let boston = Scenario::BostonBombing.config();
+        assert_eq!(boston.target_reports, 553_609);
+        assert_eq!(boston.num_sources, 493_855);
+        assert_eq!(boston.horizon_secs, 4 * 24 * 3600);
+
+        let paris = Scenario::ParisShooting.config();
+        assert_eq!(paris.target_reports, 253_798);
+        assert_eq!(paris.num_sources, 217_718);
+
+        let football = Scenario::CollegeFootball.config();
+        assert_eq!(football.target_reports, 429_019);
+        assert_eq!(football.num_sources, 413_782);
+    }
+
+    #[test]
+    fn football_is_most_dynamic_and_bursty() {
+        let fb = Scenario::CollegeFootball.config();
+        let bos = Scenario::BostonBombing.config();
+        assert!(fb.truth_flip_prob > bos.truth_flip_prob);
+        assert!(fb.burst_multiplier > bos.burst_multiplier);
+        assert!(fb.dynamic_claim_fraction > bos.dynamic_claim_fraction);
+    }
+
+    #[test]
+    fn emergencies_have_more_misinformation() {
+        let bos = Scenario::BostonBombing.config();
+        let fb = Scenario::CollegeFootball.config();
+        assert!(bos.honest_fraction < fb.honest_fraction);
+        assert!(bos.retweet_prob > fb.retweet_prob);
+    }
+
+    #[test]
+    fn keywords_are_nonempty() {
+        for s in [
+            Scenario::BostonBombing,
+            Scenario::ParisShooting,
+            Scenario::CollegeFootball,
+            Scenario::Synthetic,
+        ] {
+            assert!(!s.keywords().is_empty());
+        }
+    }
+}

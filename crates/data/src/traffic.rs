@@ -1,0 +1,139 @@
+//! Bursty traffic: per-interval report volumes.
+
+use rand::Rng;
+use sstd_stats::dist::Poisson;
+
+/// Per-interval traffic model: a Poisson base rate with multiplicative
+/// spikes on randomly chosen *burst* intervals (touchdowns, explosions,
+/// press conferences — the heterogeneity of §I/§II).
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use sstd_data::TrafficModel;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let m = TrafficModel::new(1_000, 100, 5, 4.0);
+/// let volumes = m.generate(&mut rng, 100);
+/// assert_eq!(volumes.len(), 100);
+/// let total: u64 = volumes.iter().sum();
+/// assert!(total > 500, "roughly the target volume, got {total}");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrafficModel {
+    target_reports: usize,
+    num_intervals: usize,
+    burst_intervals: usize,
+    burst_multiplier: f64,
+}
+
+impl TrafficModel {
+    /// Creates a model that spreads about `target_reports` over
+    /// `num_intervals`, with `burst_intervals` spikes amplified by
+    /// `burst_multiplier`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_intervals` is zero, `burst_intervals >
+    /// num_intervals`, or `burst_multiplier < 1`.
+    #[must_use]
+    pub fn new(
+        target_reports: usize,
+        num_intervals: usize,
+        burst_intervals: usize,
+        burst_multiplier: f64,
+    ) -> Self {
+        assert!(num_intervals > 0, "need at least one interval");
+        assert!(burst_intervals <= num_intervals, "more bursts than intervals");
+        assert!(burst_multiplier >= 1.0, "burst multiplier must be at least 1");
+        Self { target_reports, num_intervals, burst_intervals, burst_multiplier }
+    }
+
+    /// Generates the per-interval report counts.
+    ///
+    /// The base rate is normalized so the expected total stays near
+    /// `target_reports` regardless of burst configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_intervals` differs from the configured count.
+    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R, num_intervals: usize) -> Vec<u64> {
+        assert_eq!(num_intervals, self.num_intervals, "interval count mismatch");
+        // Choose burst positions without replacement (Floyd's algorithm
+        // would be overkill at this scale; simple rejection is fine and
+        // deterministic under the seeded RNG).
+        let mut bursts = std::collections::BTreeSet::new();
+        while bursts.len() < self.burst_intervals {
+            bursts.insert(rng.gen_range(0..self.num_intervals));
+        }
+        // Normalize: n_base + n_burst·mult ≈ target.
+        let n = self.num_intervals as f64;
+        let b = self.burst_intervals as f64;
+        let base_rate =
+            self.target_reports as f64 / ((n - b) + b * self.burst_multiplier);
+        let mut out = Vec::with_capacity(self.num_intervals);
+        for i in 0..self.num_intervals {
+            let rate = if bursts.contains(&i) {
+                base_rate * self.burst_multiplier
+            } else {
+                base_rate
+            };
+            let poisson = Poisson::new(rate).expect("non-negative rate");
+            out.push(poisson.sample(rng));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn total_volume_near_target() {
+        let m = TrafficModel::new(10_000, 100, 10, 5.0);
+        let mut rng = StdRng::seed_from_u64(8);
+        let total: u64 = m.generate(&mut rng, 100).iter().sum();
+        assert!(
+            (9_000..=11_000).contains(&total),
+            "total {total} not near 10k target"
+        );
+    }
+
+    #[test]
+    fn bursts_create_spikes() {
+        let m = TrafficModel::new(20_000, 100, 5, 10.0);
+        let mut rng = StdRng::seed_from_u64(9);
+        let vols = m.generate(&mut rng, 100);
+        let mut sorted = vols.clone();
+        sorted.sort_unstable();
+        let median = sorted[50] as f64;
+        let max = *sorted.last().unwrap() as f64;
+        assert!(max > 5.0 * median, "max {max} vs median {median}");
+    }
+
+    #[test]
+    fn no_bursts_is_flat_poisson() {
+        let m = TrafficModel::new(50_000, 50, 0, 1.0);
+        let mut rng = StdRng::seed_from_u64(10);
+        let vols = m.generate(&mut rng, 50);
+        let mean = vols.iter().sum::<u64>() as f64 / 50.0;
+        assert!((mean - 1_000.0).abs() < 50.0);
+    }
+
+    #[test]
+    fn zero_target_generates_nothing() {
+        let m = TrafficModel::new(0, 10, 0, 1.0);
+        let mut rng = StdRng::seed_from_u64(11);
+        assert_eq!(m.generate(&mut rng, 10).iter().sum::<u64>(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "more bursts than intervals")]
+    fn too_many_bursts_rejected() {
+        let _ = TrafficModel::new(100, 5, 6, 2.0);
+    }
+}

@@ -1,0 +1,124 @@
+//! Evolving ground truth: per-claim two-state Markov chains.
+
+use rand::Rng;
+use sstd_types::TruthLabel;
+
+/// Generator of per-claim truth timelines.
+///
+/// A fraction of claims is *dynamic*: their truth flips between adjacent
+/// intervals with a per-interval probability (score changes, suspects
+/// caught, rumors debunked). The rest are static for the whole trace.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use sstd_data::TruthProcess;
+///
+/// let p = TruthProcess::new(0.5, 0.1, 0.5);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let timeline = p.generate(&mut rng, 50);
+/// assert_eq!(timeline.len(), 50);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TruthProcess {
+    /// Fraction of claims whose truth evolves.
+    dynamic_fraction: f64,
+    /// Per-interval flip probability for dynamic claims.
+    flip_probability: f64,
+    /// Probability the initial truth value is `True`.
+    initial_true_probability: f64,
+}
+
+impl TruthProcess {
+    /// Creates a truth process.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless all three parameters are probabilities in `[0, 1]`.
+    #[must_use]
+    pub fn new(dynamic_fraction: f64, flip_probability: f64, initial_true_probability: f64) -> Self {
+        for (name, p) in [
+            ("dynamic fraction", dynamic_fraction),
+            ("flip probability", flip_probability),
+            ("initial-true probability", initial_true_probability),
+        ] {
+            assert!((0.0..=1.0).contains(&p), "{name} must be a probability");
+        }
+        Self { dynamic_fraction, flip_probability, initial_true_probability }
+    }
+
+    /// Per-interval flip probability of dynamic claims.
+    #[must_use]
+    pub const fn flip_probability(&self) -> f64 {
+        self.flip_probability
+    }
+
+    /// Generates one claim's truth timeline over `intervals` intervals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `intervals` is zero.
+    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R, intervals: usize) -> Vec<TruthLabel> {
+        assert!(intervals > 0, "need at least one interval");
+        let dynamic = rng.gen::<f64>() < self.dynamic_fraction;
+        let mut label = TruthLabel::from_bool(rng.gen::<f64>() < self.initial_true_probability);
+        let mut out = Vec::with_capacity(intervals);
+        out.push(label);
+        for _ in 1..intervals {
+            if dynamic && rng.gen::<f64>() < self.flip_probability {
+                label = label.flipped();
+            }
+            out.push(label);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn static_process_never_flips() {
+        let p = TruthProcess::new(0.0, 0.9, 0.5);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..20 {
+            let tl = p.generate(&mut rng, 30);
+            assert!(tl.windows(2).all(|w| w[0] == w[1]));
+        }
+    }
+
+    #[test]
+    fn dynamic_process_flips_at_roughly_expected_rate() {
+        let p = TruthProcess::new(1.0, 0.2, 0.5);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut flips = 0usize;
+        let mut total = 0usize;
+        for _ in 0..200 {
+            let tl = p.generate(&mut rng, 51);
+            flips += tl.windows(2).filter(|w| w[0] != w[1]).count();
+            total += 50;
+        }
+        let rate = flips as f64 / total as f64;
+        assert!((rate - 0.2).abs() < 0.02, "flip rate {rate}");
+    }
+
+    #[test]
+    fn initial_distribution_respected() {
+        let p = TruthProcess::new(0.0, 0.0, 0.9);
+        let mut rng = StdRng::seed_from_u64(4);
+        let true_starts = (0..1000)
+            .filter(|_| p.generate(&mut rng, 1)[0] == TruthLabel::True)
+            .count();
+        assert!((850..=950).contains(&true_starts), "got {true_starts}");
+    }
+
+    #[test]
+    #[should_panic(expected = "must be a probability")]
+    fn invalid_probability_rejected() {
+        let _ = TruthProcess::new(1.5, 0.0, 0.5);
+    }
+}

@@ -1,0 +1,153 @@
+//! Accuracy-side ablations of the SSTD design choices (DESIGN.md §5):
+//! windowing policy, EM training, transition stickiness, and the
+//! contribution-score components (uncertainty / independence discounts).
+//!
+//! Usage: `cargo run -p sstd-eval --bin ablation [-- <scale> [seed]]`
+
+use sstd_core::{
+    claim_partition, smooth_dependencies, AcsAggregator, BinnedClaimTruthModel, ClaimDependency,
+    SstdConfig, SstdEngine, TruthEstimates,
+};
+use sstd_data::{Scenario, TraceBuilder};
+use sstd_eval::metrics::score_estimates;
+use sstd_types::{ClaimId, Independence, Report, Trace, Uncertainty};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(0.005);
+    let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(42);
+    println!("(scale = {scale}, seed = {seed})\n");
+
+    for scenario in
+        [Scenario::BostonBombing, Scenario::ParisShooting, Scenario::CollegeFootball]
+    {
+        let trace = TraceBuilder::scenario(scenario).scale(scale).seed(seed).build();
+        println!("=== {} ===", trace.name());
+
+        println!("-- engine configuration ablations");
+        for (label, cfg) in [
+            ("full SSTD (adaptive window, EM)", SstdConfig::default()),
+            ("fixed window sw=1", SstdConfig::default().with_window(1)),
+            ("fixed window sw=3", SstdConfig::default().with_window(3)),
+            ("fixed window sw=8", SstdConfig::default().with_window(8)),
+            ("EM off (scaled initial model)", SstdConfig::default().with_training(false)),
+            ("loose transitions (stay=0.6)", SstdConfig::default().with_stay_probability(0.6)),
+            ("sticky transitions (stay=0.97)", SstdConfig::default().with_stay_probability(0.97)),
+        ] {
+            report(label, &trace, cfg);
+        }
+
+        println!("-- emission-model ablation (DESIGN.md §5)");
+        report("symmetric Gaussian (default)", &trace, SstdConfig::default());
+        for bins in [4usize, 8, 16] {
+            let est = run_binned(&trace, bins);
+            let m = score_estimates(trace.ground_truth(), &est);
+            println!(
+                "  binned categorical, K={bins:<2}            acc {:.3}  f1 {:.3}",
+                m.accuracy(),
+                m.f1()
+            );
+        }
+
+        println!("-- contribution-score component ablations (paper Eq. 1)");
+        report("full CS = rho*(1-kappa)*eta", &trace, SstdConfig::default());
+        report_on("ignore uncertainty (kappa=0)", &strip_uncertainty(&trace));
+        report_on("ignore independence (eta=1)", &strip_independence(&trace));
+        report_on("attitude only", &strip_independence(&strip_uncertainty(&trace)));
+        println!();
+    }
+
+    correlation_experiment(scale, seed);
+
+    println!();
+    let sweep = sstd_eval::exp::tuning::run(&[0.0, 0.4, 1.2, 2.4]);
+    print!("{}", sstd_eval::exp::tuning::format(&sweep));
+}
+
+/// Paper §VII-1: decode a trace whose first 16 claim pairs share ground
+/// truth, with and without the dependency-smoothing pass.
+fn correlation_experiment(scale: f64, seed: u64) {
+    println!("=== correlated claims (paper §VII-1 extension) ===");
+    let mut builder = TraceBuilder::scenario(Scenario::Synthetic).scale(scale).seed(seed);
+    builder.config_mut().correlated_claim_pairs = 16;
+    let trace = builder.build();
+    let estimates = SstdEngine::new(SstdConfig::default()).run(&trace);
+    let deps: Vec<ClaimDependency> = (0..16u32)
+        .map(|k| ClaimDependency::positive(ClaimId::new(2 * k), ClaimId::new(2 * k + 1)))
+        .collect();
+    let smoothed = smooth_dependencies(&estimates, &deps);
+
+    let base = score_estimates(trace.ground_truth(), &estimates);
+    let after = score_estimates(trace.ground_truth(), &smoothed);
+    println!("  independent decoding                acc {:.3}  f1 {:.3}", base.accuracy(), base.f1());
+    println!("  + dependency smoothing              acc {:.3}  f1 {:.3}", after.accuracy(), after.f1());
+}
+
+/// Runs the binned-emission variant of SSTD over a whole trace.
+fn run_binned(trace: &Trace, bins: usize) -> TruthEstimates {
+    let cfg = SstdConfig::default();
+    let n = trace.timeline().num_intervals();
+    let mut out = TruthEstimates::new(n);
+    for (claim, reports) in claim_partition(trace) {
+        let mut agg = AcsAggregator::new(n, cfg.window);
+        for r in &reports {
+            agg.add(trace.timeline().interval_of(r.time()), *r);
+        }
+        let acs = agg.sequence();
+        let labels = if acs.iter().all(|a| a.abs() < 1e-9) {
+            vec![sstd_types::TruthLabel::False; n]
+        } else {
+            BinnedClaimTruthModel::fit(&cfg, &acs, bins).decode(&acs)
+        };
+        out.insert(claim, labels);
+    }
+    out
+}
+
+fn report(label: &str, trace: &Trace, cfg: SstdConfig) {
+    let m = score_estimates(trace.ground_truth(), &SstdEngine::new(cfg).run(trace));
+    println!("  {label:<34} acc {:.3}  f1 {:.3}", m.accuracy(), m.f1());
+}
+
+fn report_on(label: &str, trace: &Trace) {
+    report(label, trace, SstdConfig::default());
+}
+
+/// Rebuilds the trace with every report's uncertainty zeroed.
+fn strip_uncertainty(trace: &Trace) -> Trace {
+    rebuild(trace, |r| {
+        Report::new(
+            r.source(),
+            r.claim(),
+            r.time(),
+            r.attitude(),
+            Uncertainty::saturating(0.0),
+            r.independence(),
+        )
+    })
+}
+
+/// Rebuilds the trace with every report treated as fully independent.
+fn strip_independence(trace: &Trace) -> Trace {
+    rebuild(trace, |r| {
+        Report::new(
+            r.source(),
+            r.claim(),
+            r.time(),
+            r.attitude(),
+            r.uncertainty(),
+            Independence::saturating(1.0),
+        )
+    })
+}
+
+fn rebuild(trace: &Trace, f: impl Fn(&Report) -> Report) -> Trace {
+    Trace::new(
+        trace.name(),
+        trace.reports().iter().map(f).collect(),
+        trace.num_sources(),
+        trace.num_claims(),
+        trace.timeline().clone(),
+        trace.ground_truth().clone(),
+    )
+}

@@ -1,0 +1,22 @@
+//! Regenerates paper Fig. 4 (execution time vs. data size, per trace).
+//!
+//! Usage: `cargo run -p sstd-eval --bin fig4 [-- <base_scale> [seed]]`
+
+use sstd_data::Scenario;
+use sstd_eval::exp::fig4;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let base: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(0.002);
+    let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(42);
+    let multipliers = [1.0, 2.0, 4.0, 8.0];
+    for (scenario, title) in [
+        (Scenario::BostonBombing, "(a) Boston Bombing"),
+        (Scenario::ParisShooting, "(b) Paris Shooting"),
+        (Scenario::CollegeFootball, "(c) College Football"),
+    ] {
+        let pts = fig4::run(scenario, base, &multipliers, seed);
+        print!("{}", fig4::format(title, &pts));
+        println!();
+    }
+}

@@ -1,0 +1,14 @@
+//! Regenerates paper Fig. 5 (total running time vs. streaming speed).
+//!
+//! Usage: `cargo run -p sstd-eval --bin fig5 [-- <duration_secs> [seed]]`
+
+use sstd_eval::exp::fig5;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let duration: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(100);
+    let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(42);
+    let rates = [50, 200, 800, 3200];
+    let pts = fig5::run(&rates, duration, seed);
+    print!("{}", fig5::format(&pts));
+}

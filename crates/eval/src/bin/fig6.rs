@@ -1,0 +1,29 @@
+//! Regenerates paper Fig. 6 (deadline hit rates, per trace).
+//!
+//! Usage: `cargo run -p sstd-eval --bin fig6 [-- <scale> [seed]]`
+
+use sstd_data::Scenario;
+use sstd_eval::exp::fig6;
+use sstd_eval::exp::fig6::SstdAllocator;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(0.005);
+    let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(42);
+    let deadlines = [0.05, 0.1, 0.2, 0.5, 1.0, 2.0, 5.0];
+    for (scenario, title) in [
+        (Scenario::BostonBombing, "(a) Boston Bombing"),
+        (Scenario::ParisShooting, "(b) Paris Shooting"),
+        (Scenario::CollegeFootball, "(c) College Football"),
+    ] {
+        let pts = fig6::run(scenario, scale, &deadlines, seed);
+        print!("{}", fig6::format(title, &pts));
+        // The paper's §VII-3 future-work comparison: exact allocation.
+        let ilp = fig6::run_with_allocator(scenario, scale, &deadlines, seed, SstdAllocator::Ilp);
+        print!("SSTD (ILP)   ");
+        for p in &ilp {
+            print!(" dl={:>6.2}s: {:>5.1}% |", p.deadline, p.hit_rate * 100.0);
+        }
+        println!("\n");
+    }
+}

@@ -1,0 +1,14 @@
+//! Regenerates paper Fig. 7 (SSTD speedup vs. workers).
+//!
+//! Usage: `cargo run -p sstd-eval --bin fig7`
+
+use sstd_eval::exp::fig7;
+
+fn main() {
+    // Sizes bracket the paper's largest real event (16.9M tweets,
+    // Super Bowl 2016).
+    let sizes = [100_000, 1_000_000, 4_000_000, 16_900_000, 50_000_000];
+    let workers = [1, 2, 4, 8, 16, 32, 64];
+    let pts = fig7::run(&sizes, &workers);
+    print!("{}", fig7::format(&pts));
+}

@@ -1,0 +1,11 @@
+//! Extension experiment: deadline hit rates under worker eviction storms
+//! (static allocation vs. the PID-controlled DTM).
+//!
+//! Usage: `cargo run -p sstd-eval --bin robustness`
+
+use sstd_eval::exp::robustness;
+
+fn main() {
+    let pts = robustness::run(&[0, 2, 4, 8, 12]);
+    print!("{}", robustness::format(&pts));
+}

@@ -1,0 +1,16 @@
+//! Regenerates paper Table II (trace statistics).
+//!
+//! Usage: `cargo run -p sstd-eval --bin table2 [-- <scale> [seed]]`
+//! Default scale 0.01 (1% of the paper's volumes); use `1.0` for full
+//! Table II scale.
+
+use sstd_eval::exp::table2;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(0.01);
+    let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(42);
+    let rows = table2::run(scale, seed);
+    println!("(scale = {scale}, seed = {seed})");
+    print!("{}", table2::format(&rows));
+}

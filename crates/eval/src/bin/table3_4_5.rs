@@ -1,0 +1,31 @@
+//! Regenerates paper Tables III–V (effectiveness on the three traces).
+//!
+//! Usage: `cargo run -p sstd-eval --bin table3_4_5 [-- <trace> [scale] [seed]]`
+//! where `<trace>` is `boston`, `paris`, `football` or `all` (default).
+
+use sstd_data::Scenario;
+use sstd_eval::exp::accuracy;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let which = args.get(1).map(String::as_str).unwrap_or("all");
+    let scale: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(0.005);
+    let seed: u64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(42);
+
+    let selected: Vec<(Scenario, &str, &str)> = match which {
+        "boston" => vec![(Scenario::BostonBombing, "TABLE III", "BOSTON BOMBING")],
+        "paris" => vec![(Scenario::ParisShooting, "TABLE IV", "PARIS SHOOTING")],
+        "football" => vec![(Scenario::CollegeFootball, "TABLE V", "COLLEGE FOOTBALL")],
+        _ => vec![
+            (Scenario::BostonBombing, "TABLE III", "BOSTON BOMBING"),
+            (Scenario::ParisShooting, "TABLE IV", "PARIS SHOOTING"),
+            (Scenario::CollegeFootball, "TABLE V", "COLLEGE FOOTBALL"),
+        ],
+    };
+    println!("(scale = {scale}, seed = {seed})");
+    for (scenario, table, title) in selected {
+        let rows = accuracy::run(scenario, scale, seed);
+        println!("\n{table}");
+        print!("{}", accuracy::format(title, &rows));
+    }
+}

@@ -1,0 +1,229 @@
+//! Fig. 5: total running time vs. streaming speed (tweets/second).
+//!
+//! The experiment streams data for a fixed duration at increasing rates.
+//! Streaming schemes (SSTD, DynaTD) process each second of data as it
+//! arrives; batch schemes wake every 5 seconds and re-solve over all data
+//! retrieved so far (they have no incremental state, so maintaining an
+//! up-to-date estimate means re-processing). Total running time is the
+//! completion time of the last work item when each item can only start
+//! after its data has arrived (and after the previous item finished):
+//! a scheme that keeps up finishes at ≈ the stream duration; one that
+//! falls behind keeps computing long after the stream ends.
+
+use crate::SchemeKind;
+use sstd_baselines::{
+    Catd, DynaTd, Invest, Rtd, SnapshotInput, StreamingTruthDiscovery, ThreeEstimates,
+    TruthDiscovery, TruthFinder,
+};
+use sstd_core::{SstdConfig, StreamingSstd};
+use sstd_data::{Scenario, TraceBuilder};
+use sstd_types::{Report, Trace};
+use std::time::Instant;
+
+/// One measured point of Fig. 5.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamingPoint {
+    /// Scheme measured.
+    pub scheme: SchemeKind,
+    /// Stream rate in tweets per second.
+    pub tweets_per_sec: usize,
+    /// Completion time of the last work item (seconds, ≥ the stream
+    /// duration).
+    pub total_running_secs: f64,
+    /// Pure compute time summed over work items (seconds).
+    pub compute_secs: f64,
+}
+
+/// Batch wake-up period (paper: "process 5 seconds of data each time").
+const BATCH_PERIOD: u64 = 5;
+
+/// Runs the sweep over `rates` for a virtual stream of `duration_secs`.
+///
+/// # Examples
+///
+/// ```
+/// use sstd_eval::exp::fig5;
+///
+/// let pts = fig5::run(&[50], 20, 3);
+/// assert!(!pts.is_empty());
+/// assert!(pts.iter().all(|p| p.total_running_secs >= 20.0));
+/// ```
+#[must_use]
+pub fn run(rates: &[usize], duration_secs: u64, seed: u64) -> Vec<StreamingPoint> {
+    let mut out = Vec::new();
+    for &rate in rates {
+        let mut builder = TraceBuilder::scenario(Scenario::Synthetic).seed(seed);
+        {
+            let c = builder.config_mut();
+            c.horizon_secs = duration_secs;
+            c.num_intervals = duration_secs as usize;
+            c.target_reports = rate * duration_secs as usize;
+            c.num_sources = (rate * 20).max(100);
+            c.burst_intervals = 0;
+            c.burst_multiplier = 1.0;
+        }
+        let trace = builder.build();
+
+        for scheme in [
+            SchemeKind::Sstd,
+            SchemeKind::DynaTd,
+            SchemeKind::TruthFinder,
+            SchemeKind::Rtd,
+            SchemeKind::Catd,
+            SchemeKind::Invest,
+            SchemeKind::ThreeEstimates,
+        ] {
+            let (total, compute) = measure(scheme, &trace, duration_secs);
+            out.push(StreamingPoint {
+                scheme,
+                tweets_per_sec: rate,
+                total_running_secs: total,
+                compute_secs: compute,
+            });
+        }
+    }
+    out
+}
+
+/// Work items as `(release_time_secs, measured_compute_secs)` folded into
+/// the serialized completion time.
+fn serialize_items(duration: u64, items: &[(f64, f64)]) -> (f64, f64) {
+    let mut finish = 0.0f64;
+    let mut compute = 0.0f64;
+    for &(release, work) in items {
+        finish = finish.max(release) + work;
+        compute += work;
+    }
+    (finish.max(duration as f64), compute)
+}
+
+fn measure(scheme: SchemeKind, trace: &Trace, duration: u64) -> (f64, f64) {
+    match scheme {
+        SchemeKind::Sstd => {
+            let mut engine = StreamingSstd::new(SstdConfig::default(), trace.timeline().clone());
+            let items = per_second_items(trace, duration, |reports| {
+                for r in reports {
+                    engine.push(r);
+                }
+            });
+            serialize_items(duration, &items)
+        }
+        SchemeKind::DynaTd => {
+            let mut dt = DynaTd::new();
+            let items = per_second_items(trace, duration, |reports| {
+                let _ = dt.observe_interval(reports);
+            });
+            serialize_items(duration, &items)
+        }
+        SchemeKind::TruthFinder => batch_items(trace, duration, &TruthFinder::new()),
+        SchemeKind::Rtd => batch_items(trace, duration, &Rtd::new()),
+        SchemeKind::Catd => batch_items(trace, duration, &Catd::new()),
+        SchemeKind::Invest => batch_items(trace, duration, &Invest::new()),
+        SchemeKind::ThreeEstimates => batch_items(trace, duration, &ThreeEstimates::new()),
+        _ => unreachable!("fig5 only runs the paper's seven schemes"),
+    }
+}
+
+/// Streaming work: one item per second of data, released when that second
+/// of the stream has arrived.
+fn per_second_items(
+    trace: &Trace,
+    duration: u64,
+    mut process: impl FnMut(&[Report]),
+) -> Vec<(f64, f64)> {
+    let mut items = Vec::with_capacity(duration as usize);
+    for s in 0..duration as usize {
+        let reports = trace.reports_in_interval(s);
+        let start = Instant::now();
+        process(reports);
+        items.push(((s + 1) as f64, start.elapsed().as_secs_f64()));
+    }
+    items
+}
+
+/// Batch work: every `BATCH_PERIOD` seconds, re-solve over everything
+/// retrieved so far.
+fn batch_items<S: TruthDiscovery>(trace: &Trace, duration: u64, scheme: &S) -> (f64, f64) {
+    let mut items = Vec::new();
+    let mut cumulative: Vec<Report> = Vec::new();
+    let mut next_interval = 0usize;
+    let mut t = BATCH_PERIOD;
+    while t <= duration {
+        while next_interval < t as usize {
+            cumulative.extend_from_slice(trace.reports_in_interval(next_interval));
+            next_interval += 1;
+        }
+        let input = SnapshotInput::new(&cumulative, trace.num_sources(), trace.num_claims());
+        let start = Instant::now();
+        let estimates = scheme.discover(&input);
+        let elapsed = start.elapsed().as_secs_f64();
+        std::hint::black_box(estimates.len());
+        items.push((t as f64, elapsed));
+        t += BATCH_PERIOD;
+    }
+    serialize_items(duration, &items)
+}
+
+/// Formats points as one series per scheme.
+#[must_use]
+pub fn format(points: &[StreamingPoint]) -> String {
+    let mut out = String::from("Fig. 5 — Total running time vs. streaming speed\n");
+    for scheme in SchemeKind::paper_table() {
+        let series: Vec<&StreamingPoint> =
+            points.iter().filter(|p| p.scheme == scheme).collect();
+        if series.is_empty() {
+            continue;
+        }
+        out.push_str(&format!("{:<13}", scheme.name()));
+        for p in series {
+            out.push_str(&format!(
+                " {:>6}/s: {:>8.2}s (compute {:>7.3}s) |",
+                p.tweets_per_sec, p.total_running_secs, p.compute_secs
+            ));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serialization_respects_release_times() {
+        // Items: release at 1s and 2s, each taking 0.5s of compute.
+        let (total, compute) = serialize_items(3, &[(1.0, 0.5), (2.0, 0.5)]);
+        assert!((compute - 1.0).abs() < 1e-12);
+        assert!((total - 3.0).abs() < 1e-12, "fits inside the stream");
+        // Heavy items overflow past the duration.
+        let (total, _) = serialize_items(3, &[(1.0, 5.0), (2.0, 5.0)]);
+        assert!((total - 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn streaming_schemes_track_stream_duration() {
+        let pts = run(&[100], 10, 4);
+        for p in pts.iter().filter(|p| p.scheme.is_streaming()) {
+            assert!(
+                p.total_running_secs < 12.0,
+                "{} total {}s should hug the 10s stream",
+                p.scheme.name(),
+                p.total_running_secs
+            );
+        }
+    }
+
+    #[test]
+    fn batch_compute_grows_faster_than_streaming() {
+        let pts = run(&[400], 10, 5);
+        let sstd = pts.iter().find(|p| p.scheme == SchemeKind::Sstd).unwrap();
+        let tf = pts.iter().find(|p| p.scheme == SchemeKind::TruthFinder).unwrap();
+        assert!(
+            tf.compute_secs > sstd.compute_secs,
+            "cumulative batch reprocessing ({}) must out-cost incremental SSTD ({})",
+            tf.compute_secs,
+            sstd.compute_secs
+        );
+    }
+}

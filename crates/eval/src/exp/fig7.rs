@@ -1,0 +1,125 @@
+//! Fig. 7: SSTD speedup vs. number of workers for growing data sizes.
+//!
+//! `Speedup(N)` is the ratio of serial execution time to execution time
+//! on `N` workers. The paper pushes trace sizes past the largest
+//! real-world events (16.9M tweets, Super Bowl 2016) and shows the
+//! speedup curve improving with data size — large traces amortize the
+//! per-task initialization and tail-straggler overheads that cap small
+//! traces well below the ideal `N`.
+
+use sstd_runtime::{Cluster, DesEngine, ExecutionModel, JobId, TaskSpec};
+
+/// One measured point of Fig. 7.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpeedupPoint {
+    /// Trace size in tweets.
+    pub data_size: u64,
+    /// Worker-pool size.
+    pub workers: usize,
+    /// `makespan(1 worker) / makespan(workers)`.
+    pub speedup: f64,
+}
+
+/// Tweets per task — the chunk size the Dynamic Task Manager uses when
+/// splitting TD jobs.
+const CHUNK: u64 = 25_000;
+
+/// Per-task init time and per-tweet cost of the simulated TD task
+/// (calibrated to the SSTD engine's measured throughput order).
+const MODEL: (f64, f64) = (0.3, 4.0e-5);
+
+/// Runs the sweep: every data size × every worker count.
+///
+/// # Examples
+///
+/// ```
+/// use sstd_eval::exp::fig7;
+///
+/// let pts = fig7::run(&[100_000], &[1, 4]);
+/// assert_eq!(pts.len(), 2);
+/// let s4 = pts.iter().find(|p| p.workers == 4).unwrap();
+/// assert!(s4.speedup > 1.0);
+/// ```
+#[must_use]
+pub fn run(data_sizes: &[u64], worker_counts: &[usize]) -> Vec<SpeedupPoint> {
+    let mut out = Vec::new();
+    for &data in data_sizes {
+        let serial = makespan(data, 1);
+        for &workers in worker_counts {
+            let parallel = if workers == 1 { serial } else { makespan(data, workers) };
+            out.push(SpeedupPoint { data_size: data, workers, speedup: serial / parallel });
+        }
+    }
+    out
+}
+
+/// DES makespan of one TD job of `data` tweets on `workers` workers.
+fn makespan(data: u64, workers: usize) -> f64 {
+    let model = ExecutionModel::new(MODEL.0, MODEL.1, MODEL.1 * 1.2);
+    let mut des = DesEngine::new(Cluster::homogeneous(workers, 1.0), model, workers);
+    let num_tasks = data.div_ceil(CHUNK).max(1);
+    let per_task = data as f64 / num_tasks as f64;
+    for _ in 0..num_tasks {
+        des.submit(TaskSpec::new(JobId::new(0), per_task));
+    }
+    des.run_to_completion().makespan
+}
+
+/// Formats points as one series per data size.
+#[must_use]
+pub fn format(points: &[SpeedupPoint]) -> String {
+    let mut out = String::from("Fig. 7 — Speedup of the SSTD scheme\n");
+    let mut sizes: Vec<u64> = points.iter().map(|p| p.data_size).collect();
+    sizes.dedup();
+    for size in sizes {
+        out.push_str(&format!("{:>10} tweets:", size));
+        for p in points.iter().filter(|p| p.data_size == size) {
+            out.push_str(&format!(" {}w={:.2}x |", p.workers, p.speedup));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedup_of_one_worker_is_one() {
+        let pts = run(&[1_000_000], &[1]);
+        assert!((pts[0].speedup - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speedup_increases_with_workers() {
+        let pts = run(&[16_900_000], &[1, 2, 4, 8, 16]);
+        let series: Vec<f64> = pts.iter().map(|p| p.speedup).collect();
+        assert!(series.windows(2).all(|w| w[0] <= w[1] + 1e-9), "{series:?}");
+        assert!(series.last().unwrap() > &8.0, "16 workers on a big trace: {series:?}");
+    }
+
+    #[test]
+    fn larger_traces_speed_up_better() {
+        // The paper's key observation: speedup improves with trace size.
+        let pts = run(&[100_000, 1_000_000, 16_900_000], &[16]);
+        let speedups: Vec<f64> = pts.iter().map(|p| p.speedup).collect();
+        assert!(
+            speedups.windows(2).all(|w| w[0] <= w[1] + 1e-9),
+            "speedup should grow with data: {speedups:?}"
+        );
+    }
+
+    #[test]
+    fn speedup_never_exceeds_ideal() {
+        let pts = run(&[16_900_000], &[2, 8, 32]);
+        for p in pts {
+            assert!(
+                p.speedup <= p.workers as f64 + 1e-9,
+                "{}w gave super-linear {}",
+                p.workers,
+                p.speedup
+            );
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! Table II: data trace statistics.
+
+use sstd_data::{Scenario, TraceBuilder};
+use sstd_types::TraceStats;
+
+/// Generates the three paper traces at `scale` and returns their
+/// statistics in Table II order (Paris, Boston, Football).
+///
+/// # Examples
+///
+/// ```
+/// use sstd_eval::exp::table2;
+///
+/// let rows = table2::run(0.001, 7);
+/// assert_eq!(rows.len(), 3);
+/// assert!(rows.iter().all(|r| r.num_reports > 0));
+/// ```
+#[must_use]
+pub fn run(scale: f64, seed: u64) -> Vec<TraceStats> {
+    Scenario::paper_traces()
+        .into_iter()
+        .map(|s| TraceBuilder::scenario(s).scale(scale).seed(seed).build().stats())
+        .collect()
+}
+
+/// Formats the rows as the paper's Table II layout.
+#[must_use]
+pub fn format(rows: &[TraceStats]) -> String {
+    let mut out = String::from(
+        "TABLE II: DATA TRACE STATISTICS\n\
+         trace                 reports   sources   active    claims  intervals  transitions\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<20} {:>9} {:>9} {:>8} {:>9} {:>10} {:>12}\n",
+            r.name, r.num_reports, r.num_sources, r.active_sources, r.num_claims,
+            r.num_intervals, r.truth_transitions,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_follow_table2_ratios() {
+        let rows = run(0.001, 3);
+        // Boston is the largest trace, Paris the smallest (Table II).
+        let paris = &rows[0];
+        let boston = &rows[1];
+        let football = &rows[2];
+        assert!(boston.num_reports > football.num_reports);
+        assert!(football.num_reports > paris.num_reports);
+        assert!(boston.num_sources > paris.num_sources);
+    }
+
+    #[test]
+    fn format_contains_all_traces() {
+        let s = format(&run(0.001, 3));
+        for name in ["paris-shooting", "boston-bombing", "college-football"] {
+            assert!(s.contains(name), "{s}");
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! The SSTD evaluation harness (paper §V).
+//!
+//! This crate regenerates every table and figure of the paper's
+//! evaluation:
+//!
+//! | Paper artifact | Module | Binary |
+//! |---|---|---|
+//! | Table II (trace statistics) | [`exp::table2`] | `table2` |
+//! | Tables III–V (accuracy/precision/recall/F1 × 3 traces) | [`exp::accuracy`] | `table3_4_5` |
+//! | Fig. 4 (execution time vs. data size) | [`exp::fig4`] | `fig4` |
+//! | Fig. 5 (running time vs. streaming speed) | [`exp::fig5`] | `fig5` |
+//! | Fig. 6 (deadline hit rate vs. deadline) | [`exp::fig6`] | `fig6` |
+//! | Fig. 7 (speedup vs. workers) | [`exp::fig7`] | `fig7` |
+//!
+//! Shared infrastructure: [`metrics`] (the four effectiveness metrics),
+//! [`schemes`] (a uniform adapter running SSTD and every baseline on a
+//! trace, interval by interval), and [`timing`] (wall-clock measurement).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod exp;
+pub mod metrics;
+pub mod schemes;
+pub mod timing;
+
+pub use metrics::ConfusionMatrix;
+pub use schemes::{run_scheme, SchemeKind};

@@ -1,0 +1,46 @@
+//! Wall-clock measurement helpers for the efficiency experiments.
+
+use crate::{run_scheme, SchemeKind};
+use sstd_types::Trace;
+use std::time::{Duration, Instant};
+
+/// Measures the wall-clock time `kind` takes to process `trace` end to
+/// end (the Fig. 4 quantity).
+#[must_use]
+pub fn time_scheme(kind: SchemeKind, trace: &Trace) -> Duration {
+    let start = Instant::now();
+    let estimates = run_scheme(kind, trace);
+    let elapsed = start.elapsed();
+    // Keep the optimizer from discarding the run.
+    std::hint::black_box(estimates.num_claims());
+    elapsed
+}
+
+/// Measures the per-report processing cost of `kind` on a calibration
+/// trace — the `θ₁` the DES-based experiments feed their execution
+/// models.
+///
+/// # Panics
+///
+/// Panics if the trace has no reports.
+#[must_use]
+pub fn per_report_cost(kind: SchemeKind, trace: &Trace) -> Duration {
+    assert!(!trace.reports().is_empty(), "calibration trace must have reports");
+    let total = time_scheme(kind, trace);
+    total / trace.reports().len() as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sstd_data::{Scenario, TraceBuilder};
+
+    #[test]
+    fn timing_is_positive_and_cost_is_per_report() {
+        let trace = TraceBuilder::scenario(Scenario::Synthetic).scale(0.001).seed(2).build();
+        let t = time_scheme(SchemeKind::MajorityVote, &trace);
+        assert!(t > Duration::ZERO);
+        let c = per_report_cost(SchemeKind::MajorityVote, &trace);
+        assert!(c <= t);
+    }
+}

@@ -1,0 +1,300 @@
+//! Baum–Welch: unsupervised EM estimation of `λ = (A, B, π)`
+//! (paper §III-C, Eq. 5).
+
+// Index-based loops are kept deliberately in this module: the math is
+// written against matrix subscripts (states i/j, claims u, sources s,
+// time t) and mirroring the paper's notation beats iterator chains for
+// auditability.
+#![allow(clippy::needless_range_loop)]
+
+use crate::forward::forward_backward;
+use crate::{Hmm, TrainableEmission};
+
+/// Configuration for the Baum–Welch trainer.
+///
+/// # Examples
+///
+/// ```
+/// use sstd_hmm::BaumWelch;
+///
+/// let trainer = BaumWelch::default().max_iterations(50).tolerance(1e-6);
+/// assert_eq!(format!("{trainer:?}").is_empty(), false);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BaumWelch {
+    max_iterations: usize,
+    tolerance: f64,
+    prob_floor: f64,
+}
+
+/// Result of a training run: the re-estimated model plus convergence
+/// diagnostics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainOutcome<E> {
+    /// The trained model.
+    pub model: Hmm<E>,
+    /// Log-likelihood of the data under the final parameters.
+    pub log_likelihood: f64,
+    /// EM iterations actually performed.
+    pub iterations: usize,
+    /// Whether the log-likelihood improvement dropped below the tolerance
+    /// before the iteration cap was hit.
+    pub converged: bool,
+}
+
+impl Default for BaumWelch {
+    fn default() -> Self {
+        Self { max_iterations: 100, tolerance: 1e-6, prob_floor: 1e-6 }
+    }
+}
+
+impl BaumWelch {
+    /// Creates a trainer with default settings (100 iterations, 1e-6
+    /// tolerance).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Caps the number of EM iterations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    #[must_use]
+    pub fn max_iterations(mut self, n: usize) -> Self {
+        assert!(n > 0, "need at least one iteration");
+        self.max_iterations = n;
+        self
+    }
+
+    /// Stops when the per-iteration log-likelihood gain falls below `tol`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tol` is negative or not finite.
+    #[must_use]
+    pub fn tolerance(mut self, tol: f64) -> Self {
+        assert!(tol.is_finite() && tol >= 0.0, "tolerance must be non-negative");
+        self.tolerance = tol;
+        self
+    }
+
+    /// Floor applied to `π` and `A` entries after each M-step so no
+    /// transition becomes permanently impossible.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `floor` is not in `(0, 0.5)`.
+    #[must_use]
+    pub fn prob_floor(mut self, floor: f64) -> Self {
+        assert!(floor > 0.0 && floor < 0.5, "floor must be in (0, 0.5)");
+        self.prob_floor = floor;
+        self
+    }
+
+    /// Runs EM from `initial` on `observations` until convergence or the
+    /// iteration cap.
+    ///
+    /// Training on an empty observation sequence returns the initial model
+    /// unchanged (zero iterations, converged).
+    pub fn train<E: TrainableEmission>(
+        &self,
+        initial: Hmm<E>,
+        observations: &[E::Obs],
+    ) -> TrainOutcome<E> {
+        let n = initial.num_states();
+        if observations.is_empty() {
+            return TrainOutcome {
+                model: initial,
+                log_likelihood: 0.0,
+                iterations: 0,
+                converged: true,
+            };
+        }
+
+        let mut model = initial;
+        let mut prev_ll = f64::NEG_INFINITY;
+        let mut iterations = 0;
+        let mut converged = false;
+        let mut last_ll = prev_ll;
+
+        for _ in 0..self.max_iterations {
+            let post = forward_backward(&model, observations);
+            last_ll = post.log_likelihood;
+            iterations += 1;
+            if (last_ll - prev_ll).abs() < self.tolerance && prev_ll.is_finite() {
+                converged = true;
+                break;
+            }
+            prev_ll = last_ll;
+
+            // M-step.
+            let (_, _, mut emission) = model.into_parts();
+            // π update: γ_0, floored and renormalized.
+            let mut init: Vec<f64> = post.gamma[0].clone();
+            floor_and_normalize(&mut init, self.prob_floor);
+            // A update: ξ sums over γ sums (excluding the last step).
+            let mut trans = vec![vec![0.0; n]; n];
+            for i in 0..n {
+                let denom: f64 = post.gamma[..post.gamma.len() - 1]
+                    .iter()
+                    .map(|g| g[i])
+                    .sum();
+                for j in 0..n {
+                    trans[i][j] = if denom > 0.0 {
+                        post.xi_sum[i][j] / denom
+                    } else {
+                        1.0 / n as f64
+                    };
+                }
+                floor_and_normalize(&mut trans[i], self.prob_floor);
+            }
+            emission.reestimate(observations, &post.gamma);
+            model = Hmm::new(init, trans, emission)
+                .expect("floored re-estimated parameters are stochastic");
+        }
+
+        TrainOutcome { model, log_likelihood: last_ll, iterations, converged }
+    }
+}
+
+fn floor_and_normalize(row: &mut [f64], floor: f64) {
+    let mut sum = 0.0;
+    for p in row.iter_mut() {
+        if !p.is_finite() || *p < floor {
+            *p = floor;
+        }
+        sum += *p;
+    }
+    for p in row.iter_mut() {
+        *p /= sum;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::emission::{CategoricalEmission, GaussianEmission};
+    use crate::forward::forward_backward;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn two_state_gaussian(mu: f64) -> Hmm<GaussianEmission> {
+        Hmm::new(
+            vec![0.5, 0.5],
+            vec![vec![0.8, 0.2], vec![0.2, 0.8]],
+            GaussianEmission::new(vec![(mu, 2.0), (-mu, 2.0)]).unwrap(),
+        )
+        .unwrap()
+    }
+
+    /// Simulate a sticky 2-state chain emitting Gaussians.
+    fn simulate(n: usize, stay: f64, mu: f64, seed: u64) -> (Vec<f64>, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut state = 0usize;
+        let mut obs = Vec::with_capacity(n);
+        let mut states = Vec::with_capacity(n);
+        for _ in 0..n {
+            if rng.gen::<f64>() > stay {
+                state = 1 - state;
+            }
+            let mean = if state == 0 { mu } else { -mu };
+            let noise: f64 = {
+                // Box–Muller inline to avoid importing the sampler here.
+                let u1: f64 = 1.0 - rng.gen::<f64>();
+                let u2: f64 = rng.gen();
+                (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+            };
+            obs.push(mean + noise);
+            states.push(state);
+        }
+        (obs, states)
+    }
+
+    #[test]
+    fn empty_observations_return_initial() {
+        let init = two_state_gaussian(1.0);
+        let out = BaumWelch::default().train(init.clone(), &[]);
+        assert_eq!(out.model, init);
+        assert_eq!(out.iterations, 0);
+        assert!(out.converged);
+    }
+
+    #[test]
+    fn log_likelihood_is_monotone_nondecreasing() {
+        let (obs, _) = simulate(200, 0.95, 2.0, 5);
+        let mut model = two_state_gaussian(0.5);
+        let mut prev = f64::NEG_INFINITY;
+        for _ in 0..10 {
+            let out = BaumWelch::default().max_iterations(1).train(model, &obs);
+            assert!(
+                out.log_likelihood >= prev - 1e-6,
+                "EM decreased the likelihood: {} -> {}",
+                prev,
+                out.log_likelihood
+            );
+            prev = out.log_likelihood;
+            model = out.model;
+        }
+    }
+
+    #[test]
+    fn recovers_emission_means() {
+        let (obs, _) = simulate(2_000, 0.97, 3.0, 9);
+        let out = BaumWelch::default().max_iterations(60).train(two_state_gaussian(1.0), &obs);
+        let (m0, _) = out.model.emission().params(0);
+        let (m1, _) = out.model.emission().params(1);
+        let (hi, lo) = if m0 > m1 { (m0, m1) } else { (m1, m0) };
+        assert!((hi - 3.0).abs() < 0.4, "hi = {hi}");
+        assert!((lo + 3.0).abs() < 0.4, "lo = {lo}");
+    }
+
+    #[test]
+    fn recovers_sticky_transitions() {
+        let (obs, _) = simulate(4_000, 0.95, 3.0, 23);
+        let out = BaumWelch::default().max_iterations(60).train(two_state_gaussian(1.0), &obs);
+        // Both self-transition probabilities should be clearly sticky.
+        assert!(out.model.trans_prob(0, 0) > 0.85, "a00 = {}", out.model.trans_prob(0, 0));
+        assert!(out.model.trans_prob(1, 1) > 0.85, "a11 = {}", out.model.trans_prob(1, 1));
+    }
+
+    #[test]
+    fn trained_model_beats_initial_likelihood() {
+        let (obs, _) = simulate(500, 0.9, 2.5, 77);
+        let initial = two_state_gaussian(0.5);
+        let before = forward_backward(&initial, &obs).log_likelihood;
+        let out = BaumWelch::default().train(initial, &obs);
+        assert!(out.log_likelihood > before);
+        assert!(out.iterations >= 1);
+    }
+
+    #[test]
+    fn categorical_training_learns_biased_symbols() {
+        // State 0 emits symbol 0, state 1 emits symbol 1; sticky chain.
+        let obs: Vec<usize> = (0..400).map(|t| usize::from((t / 50) % 2 == 1)).collect();
+        let init = Hmm::new(
+            vec![0.5, 0.5],
+            vec![vec![0.7, 0.3], vec![0.3, 0.7]],
+            CategoricalEmission::new(vec![vec![0.6, 0.4], vec![0.4, 0.6]]).unwrap(),
+        )
+        .unwrap();
+        let out = BaumWelch::default().max_iterations(80).train(init, &obs);
+        let e = out.model.emission();
+        assert!(e.prob(0, 0) > 0.9 || e.prob(1, 0) > 0.9, "one state owns symbol 0");
+    }
+
+    #[test]
+    fn converged_flag_set_on_fixed_point() {
+        let (obs, _) = simulate(300, 0.95, 3.0, 31);
+        let out = BaumWelch::default().max_iterations(500).train(two_state_gaussian(2.0), &obs);
+        assert!(out.converged, "should converge well before 500 iterations");
+        assert!(out.iterations < 500);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one iteration")]
+    fn zero_iterations_rejected() {
+        let _ = BaumWelch::default().max_iterations(0);
+    }
+}

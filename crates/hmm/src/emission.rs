@@ -1,0 +1,496 @@
+//! Emission models: how hidden states generate observations.
+
+use sstd_stats::dist::{DistError, Normal};
+
+/// A per-state observation distribution.
+///
+/// The SSTD truth model uses [`GaussianEmission`] over raw ACS values;
+/// ablations also run a [`CategoricalEmission`] over binned symbols.
+pub trait Emission {
+    /// The observation type consumed by [`log_prob`](Emission::log_prob).
+    type Obs: Copy;
+
+    /// Number of hidden states this emission model covers.
+    fn num_states(&self) -> usize;
+
+    /// Log-probability (density or mass) of observing `obs` in `state`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `state >= num_states()`.
+    fn log_prob(&self, state: usize, obs: Self::Obs) -> f64;
+}
+
+/// An [`Emission`] whose parameters can be re-estimated from state
+/// posteriors — the M-step contract used by Baum–Welch.
+pub trait TrainableEmission: Emission {
+    /// Re-estimates parameters from `observations` weighted by
+    /// `posteriors[t][state]` (the forward–backward γ values).
+    ///
+    /// `posteriors` has one row per observation; each row sums to 1.
+    fn reestimate(&mut self, observations: &[Self::Obs], posteriors: &[Vec<f64>]);
+}
+
+/// Gaussian emission: each state emits `N(μ_s, σ_s²)` over `f64`
+/// observations.
+///
+/// # Examples
+///
+/// ```
+/// use sstd_hmm::{Emission, GaussianEmission};
+///
+/// let e = GaussianEmission::new(vec![(3.0, 1.0), (-3.0, 1.0)]).unwrap();
+/// assert!(e.log_prob(0, 3.0) > e.log_prob(1, 3.0));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaussianEmission {
+    states: Vec<Normal>,
+    min_std: f64,
+}
+
+impl GaussianEmission {
+    /// Default lower bound on the per-state standard deviation; prevents
+    /// EM from collapsing a state onto a single observation.
+    pub const DEFAULT_MIN_STD: f64 = 1e-3;
+
+    /// Creates a Gaussian emission from `(mean, std_dev)` pairs, one per
+    /// state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError`] if any pair is not a valid normal
+    /// distribution, or if `params` is empty.
+    pub fn new(params: Vec<(f64, f64)>) -> Result<Self, DistError> {
+        if params.is_empty() {
+            return Err(DistError::invalid("normal", "at least one state required"));
+        }
+        let states = params
+            .into_iter()
+            .map(|(m, s)| Normal::new(m, s))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self { states, min_std: Self::DEFAULT_MIN_STD })
+    }
+
+    /// Sets the variance floor used during re-estimation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_std` is not positive and finite.
+    #[must_use]
+    pub fn with_min_std(mut self, min_std: f64) -> Self {
+        assert!(min_std.is_finite() && min_std > 0.0, "min_std must be positive");
+        self.min_std = min_std;
+        self
+    }
+
+    /// The `(mean, std_dev)` of one state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of range.
+    #[must_use]
+    pub fn params(&self, state: usize) -> (f64, f64) {
+        let n = &self.states[state];
+        (n.mean(), n.std_dev())
+    }
+}
+
+impl Emission for GaussianEmission {
+    type Obs = f64;
+
+    fn num_states(&self) -> usize {
+        self.states.len()
+    }
+
+    fn log_prob(&self, state: usize, obs: f64) -> f64 {
+        self.states[state].log_pdf(obs)
+    }
+}
+
+impl TrainableEmission for GaussianEmission {
+    fn reestimate(&mut self, observations: &[f64], posteriors: &[Vec<f64>]) {
+        debug_assert_eq!(observations.len(), posteriors.len());
+        for s in 0..self.states.len() {
+            let weight: f64 = posteriors.iter().map(|g| g[s]).sum();
+            if weight <= f64::EPSILON {
+                continue; // state got no responsibility; keep old params
+            }
+            let mean: f64 = observations
+                .iter()
+                .zip(posteriors)
+                .map(|(&x, g)| g[s] * x)
+                .sum::<f64>()
+                / weight;
+            let var: f64 = observations
+                .iter()
+                .zip(posteriors)
+                .map(|(&x, g)| g[s] * (x - mean) * (x - mean))
+                .sum::<f64>()
+                / weight;
+            let std = var.sqrt().max(self.min_std);
+            self.states[s] = Normal::new(mean, std).expect("floored std is valid");
+        }
+    }
+}
+
+/// Sign-symmetric two-state Gaussian emission: state 0 emits
+/// `N(+μ, σ²)`, state 1 emits `N(−μ, σ²)` with a shared σ.
+///
+/// This is the emission model the SSTD truth HMM trains: the constraint
+/// encodes the domain semantics (positive aggregated evidence ⇔ the claim
+/// is true), so Baum–Welch adapts the evidence *scale* `μ` and noise `σ`
+/// without drifting into modeling evidence intensity with both states on
+/// the same side of zero — the failure mode of unconstrained 2-state EM
+/// on sparse, bursty ACS sequences.
+///
+/// # Examples
+///
+/// ```
+/// use sstd_hmm::{Emission, SymmetricGaussianEmission};
+///
+/// let e = SymmetricGaussianEmission::new(3.0, 1.0).unwrap();
+/// assert!(e.log_prob(0, 3.0) > e.log_prob(1, 3.0));
+/// assert_eq!(e.log_prob(0, 1.0), e.log_prob(1, -1.0));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SymmetricGaussianEmission {
+    mu: f64,
+    std: f64,
+    min_std: f64,
+}
+
+impl SymmetricGaussianEmission {
+    /// Creates the emission with separation `±mu` and shared `std`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError`] unless `mu` is finite and `std` is finite
+    /// and positive.
+    pub fn new(mu: f64, std: f64) -> Result<Self, DistError> {
+        if !mu.is_finite() {
+            return Err(DistError::invalid("symmetric-gaussian", "mu must be finite"));
+        }
+        if !(std.is_finite() && std > 0.0) {
+            return Err(DistError::invalid("symmetric-gaussian", "std must be positive"));
+        }
+        Ok(Self { mu, std, min_std: GaussianEmission::DEFAULT_MIN_STD })
+    }
+
+    /// Sets the floor applied to σ during re-estimation.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `min_std` is finite and positive.
+    #[must_use]
+    pub fn with_min_std(mut self, min_std: f64) -> Self {
+        assert!(min_std.is_finite() && min_std > 0.0, "min_std must be positive");
+        self.min_std = min_std;
+        self
+    }
+
+    /// The separation parameter `μ` (state 0 mean; state 1 mean is `−μ`).
+    #[must_use]
+    pub const fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// The shared standard deviation.
+    #[must_use]
+    pub const fn std(&self) -> f64 {
+        self.std
+    }
+
+    /// Mean of a state (`+μ` for state 0, `−μ` for state 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state > 1`.
+    #[must_use]
+    pub fn mean(&self, state: usize) -> f64 {
+        match state {
+            0 => self.mu,
+            1 => -self.mu,
+            _ => panic!("symmetric emission has exactly two states"),
+        }
+    }
+}
+
+impl Emission for SymmetricGaussianEmission {
+    type Obs = f64;
+
+    fn num_states(&self) -> usize {
+        2
+    }
+
+    fn log_prob(&self, state: usize, obs: f64) -> f64 {
+        let z = (obs - self.mean(state)) / self.std;
+        -0.5 * z * z - self.std.ln() - 0.5 * (2.0 * std::f64::consts::PI).ln()
+    }
+}
+
+impl TrainableEmission for SymmetricGaussianEmission {
+    fn reestimate(&mut self, observations: &[f64], posteriors: &[Vec<f64>]) {
+        debug_assert_eq!(observations.len(), posteriors.len());
+        if observations.is_empty() {
+            return;
+        }
+        let n = observations.len() as f64;
+        // μ maximizes the constrained likelihood:
+        // μ = Σ_t (γ₀(t) − γ₁(t))·x_t / Σ_t (γ₀(t) + γ₁(t)).
+        let mu: f64 = observations
+            .iter()
+            .zip(posteriors)
+            .map(|(&x, g)| (g[0] - g[1]) * x)
+            .sum::<f64>()
+            / n;
+        // Shared σ² over both states' residuals.
+        let var: f64 = observations
+            .iter()
+            .zip(posteriors)
+            .map(|(&x, g)| g[0] * (x - mu) * (x - mu) + g[1] * (x + mu) * (x + mu))
+            .sum::<f64>()
+            / n;
+        self.mu = mu;
+        self.std = var.sqrt().max(self.min_std);
+    }
+}
+
+/// Categorical emission: each state emits one of `K` discrete symbols.
+///
+/// # Examples
+///
+/// ```
+/// use sstd_hmm::{CategoricalEmission, Emission};
+///
+/// let e = CategoricalEmission::new(vec![
+///     vec![0.9, 0.1],
+///     vec![0.2, 0.8],
+/// ]).unwrap();
+/// assert!(e.log_prob(0, 0) > e.log_prob(0, 1));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CategoricalEmission {
+    /// `probs[state][symbol]`, each row stochastic.
+    probs: Vec<Vec<f64>>,
+    floor: f64,
+}
+
+impl CategoricalEmission {
+    /// Probability floor applied after re-estimation so no symbol becomes
+    /// impossible (which would make unseen symbols `-∞` forever).
+    pub const DEFAULT_FLOOR: f64 = 1e-6;
+
+    /// Creates a categorical emission from per-state symbol probabilities.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError`] if rows are empty, ragged, contain negative
+    /// values, or do not sum to 1 (within 1e-9).
+    pub fn new(probs: Vec<Vec<f64>>) -> Result<Self, DistError> {
+        if probs.is_empty() || probs[0].is_empty() {
+            return Err(DistError::invalid("categorical", "need ≥1 state and ≥1 symbol"));
+        }
+        let k = probs[0].len();
+        for row in &probs {
+            if row.len() != k {
+                return Err(DistError::invalid("categorical", "ragged probability rows"));
+            }
+            if row.iter().any(|&p| !p.is_finite() || p < 0.0) {
+                return Err(DistError::invalid("categorical", "probabilities must be in [0,1]"));
+            }
+            let sum: f64 = row.iter().sum();
+            if (sum - 1.0).abs() > 1e-9 {
+                return Err(DistError::invalid("categorical", "rows must sum to 1"));
+            }
+        }
+        Ok(Self { probs, floor: Self::DEFAULT_FLOOR })
+    }
+
+    /// Number of distinct symbols.
+    #[must_use]
+    pub fn num_symbols(&self) -> usize {
+        self.probs[0].len()
+    }
+
+    /// Probability of `symbol` in `state`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    #[must_use]
+    pub fn prob(&self, state: usize, symbol: usize) -> f64 {
+        self.probs[state][symbol]
+    }
+}
+
+impl Emission for CategoricalEmission {
+    type Obs = usize;
+
+    fn num_states(&self) -> usize {
+        self.probs.len()
+    }
+
+    fn log_prob(&self, state: usize, obs: usize) -> f64 {
+        assert!(obs < self.num_symbols(), "symbol {obs} out of range");
+        self.probs[state][obs].ln()
+    }
+}
+
+impl TrainableEmission for CategoricalEmission {
+    fn reestimate(&mut self, observations: &[usize], posteriors: &[Vec<f64>]) {
+        debug_assert_eq!(observations.len(), posteriors.len());
+        let k = self.num_symbols();
+        for s in 0..self.probs.len() {
+            let weight: f64 = posteriors.iter().map(|g| g[s]).sum();
+            if weight <= f64::EPSILON {
+                continue;
+            }
+            let mut row = vec![0.0; k];
+            for (&o, g) in observations.iter().zip(posteriors) {
+                row[o] += g[s];
+            }
+            // Floor and renormalize.
+            let mut total = 0.0;
+            for p in &mut row {
+                *p = (*p / weight).max(self.floor);
+                total += *p;
+            }
+            for p in &mut row {
+                *p /= total;
+            }
+            self.probs[s] = row;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gaussian_rejects_empty_and_invalid() {
+        assert!(GaussianEmission::new(vec![]).is_err());
+        assert!(GaussianEmission::new(vec![(0.0, 0.0)]).is_err());
+    }
+
+    #[test]
+    fn gaussian_log_prob_prefers_own_mean() {
+        let e = GaussianEmission::new(vec![(1.0, 0.5), (-1.0, 0.5)]).unwrap();
+        assert!(e.log_prob(0, 1.0) > e.log_prob(0, -1.0));
+        assert!(e.log_prob(1, -1.0) > e.log_prob(1, 1.0));
+        assert_eq!(e.num_states(), 2);
+    }
+
+    #[test]
+    fn gaussian_reestimate_recovers_weighted_moments() {
+        let mut e = GaussianEmission::new(vec![(0.0, 1.0), (0.0, 1.0)]).unwrap();
+        let obs = vec![10.0, 10.0, -10.0, -10.0];
+        // Hard assignment: first two to state 0, rest to state 1.
+        let post = vec![
+            vec![1.0, 0.0],
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![0.0, 1.0],
+        ];
+        e.reestimate(&obs, &post);
+        assert!((e.params(0).0 - 10.0).abs() < 1e-9);
+        assert!((e.params(1).0 + 10.0).abs() < 1e-9);
+        // Variance collapses to the floor.
+        assert!(e.params(0).1 >= GaussianEmission::DEFAULT_MIN_STD);
+    }
+
+    #[test]
+    fn gaussian_unassigned_state_keeps_params() {
+        let mut e = GaussianEmission::new(vec![(5.0, 2.0), (-5.0, 2.0)]).unwrap();
+        let obs = vec![1.0, 2.0];
+        let post = vec![vec![1.0, 0.0], vec![1.0, 0.0]];
+        e.reestimate(&obs, &post);
+        assert_eq!(e.params(1), (-5.0, 2.0));
+    }
+
+    #[test]
+    fn categorical_validates_rows() {
+        assert!(CategoricalEmission::new(vec![]).is_err());
+        assert!(CategoricalEmission::new(vec![vec![0.5, 0.6]]).is_err());
+        assert!(CategoricalEmission::new(vec![vec![0.5, 0.5], vec![1.0]]).is_err());
+        assert!(CategoricalEmission::new(vec![vec![-0.1, 1.1]]).is_err());
+    }
+
+    #[test]
+    fn categorical_log_prob() {
+        let e = CategoricalEmission::new(vec![vec![0.25, 0.75]]).unwrap();
+        assert!((e.log_prob(0, 1) - 0.75f64.ln()).abs() < 1e-12);
+        assert_eq!(e.num_symbols(), 2);
+        assert_eq!(e.prob(0, 0), 0.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn categorical_rejects_unknown_symbol() {
+        let e = CategoricalEmission::new(vec![vec![1.0]]).unwrap();
+        let _ = e.log_prob(0, 5);
+    }
+
+    #[test]
+    fn categorical_reestimate_floors_unseen_symbols() {
+        let mut e = CategoricalEmission::new(vec![vec![0.5, 0.5]]).unwrap();
+        let obs = vec![0, 0, 0];
+        let post = vec![vec![1.0]; 3];
+        e.reestimate(&obs, &post);
+        assert!(e.prob(0, 1) > 0.0, "unseen symbol keeps floor probability");
+        let sum: f64 = (0..2).map(|k| e.prob(0, k)).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+}
+
+#[cfg(test)]
+mod symmetric_tests {
+    use super::*;
+
+    #[test]
+    fn symmetric_log_probs_mirror() {
+        let e = SymmetricGaussianEmission::new(2.0, 0.5).unwrap();
+        for &x in &[-3.0, -0.5, 0.0, 1.0, 4.0] {
+            assert!((e.log_prob(0, x) - e.log_prob(1, -x)).abs() < 1e-12);
+        }
+        assert_eq!(e.log_prob(0, 0.0), e.log_prob(1, 0.0), "zero evidence is neutral");
+    }
+
+    #[test]
+    fn reestimate_recovers_separation_under_hard_assignment() {
+        let mut e = SymmetricGaussianEmission::new(1.0, 1.0).unwrap();
+        let obs = vec![5.0, 5.2, -4.8, -5.4];
+        let post = vec![
+            vec![1.0, 0.0],
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![0.0, 1.0],
+        ];
+        e.reestimate(&obs, &post);
+        assert!((e.mu() - 5.1).abs() < 0.01, "mu = {}", e.mu());
+        assert!(e.std() >= GaussianEmission::DEFAULT_MIN_STD);
+    }
+
+    #[test]
+    fn reestimate_keeps_states_mirrored() {
+        let mut e = SymmetricGaussianEmission::new(1.0, 1.0).unwrap();
+        let obs = vec![2.0, -2.0, 3.0];
+        let post = vec![vec![0.7, 0.3], vec![0.2, 0.8], vec![0.9, 0.1]];
+        e.reestimate(&obs, &post);
+        assert!((e.mean(0) + e.mean(1)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_reestimate_is_noop() {
+        let mut e = SymmetricGaussianEmission::new(1.5, 0.7).unwrap();
+        let before = e.clone();
+        e.reestimate(&[], &[]);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(SymmetricGaussianEmission::new(f64::NAN, 1.0).is_err());
+        assert!(SymmetricGaussianEmission::new(1.0, 0.0).is_err());
+    }
+}

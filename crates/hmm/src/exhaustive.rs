@@ -1,0 +1,167 @@
+//! Brute-force reference implementations.
+//!
+//! These enumerate all `N^T` hidden-state sequences, so they are only
+//! usable for tiny problems — which is exactly what the property tests
+//! need: an independent oracle to check the dynamic-programming
+//! implementations against.
+
+use crate::{Emission, Hmm};
+use sstd_stats::log_sum_exp;
+
+/// Log joint probability `ln P(O, S | λ)` of one complete state sequence.
+///
+/// # Panics
+///
+/// Panics if `states.len() != observations.len()`.
+#[must_use]
+pub fn log_joint<E: Emission>(hmm: &Hmm<E>, observations: &[E::Obs], states: &[usize]) -> f64 {
+    assert_eq!(states.len(), observations.len(), "sequence lengths must match");
+    if states.is_empty() {
+        return 0.0;
+    }
+    let mut lp = hmm.init()[states[0]].ln() + hmm.log_emit(states[0], observations[0]);
+    for t in 1..states.len() {
+        lp += hmm.trans_prob(states[t - 1], states[t]).ln()
+            + hmm.log_emit(states[t], observations[t]);
+    }
+    lp
+}
+
+/// Enumerates every state sequence of length `observations.len()`.
+fn all_sequences(num_states: usize, len: usize) -> Vec<Vec<usize>> {
+    let mut seqs = vec![vec![]];
+    for _ in 0..len {
+        let mut next = Vec::with_capacity(seqs.len() * num_states);
+        for s in &seqs {
+            for i in 0..num_states {
+                let mut e = s.clone();
+                e.push(i);
+                next.push(e);
+            }
+        }
+        seqs = next;
+    }
+    seqs
+}
+
+/// Log-likelihood `ln P(O | λ)` by full enumeration.
+///
+/// # Examples
+///
+/// ```
+/// use sstd_hmm::{exhaustive, CategoricalEmission, Hmm};
+///
+/// let hmm = Hmm::new(
+///     vec![1.0],
+///     vec![vec![1.0]],
+///     CategoricalEmission::new(vec![vec![0.25, 0.75]]).unwrap(),
+/// ).unwrap();
+/// // Single state: P(O) is just the product of emissions.
+/// let ll = exhaustive::log_likelihood(&hmm, &[0usize, 1]);
+/// assert!((ll - (0.25f64 * 0.75).ln()).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn log_likelihood<E: Emission>(hmm: &Hmm<E>, observations: &[E::Obs]) -> f64 {
+    if observations.is_empty() {
+        return 0.0;
+    }
+    let joints: Vec<f64> = all_sequences(hmm.num_states(), observations.len())
+        .iter()
+        .map(|s| log_joint(hmm, observations, s))
+        .collect();
+    log_sum_exp(&joints)
+}
+
+/// State posteriors `P(s_t = i | O, λ)` by full enumeration.
+#[must_use]
+pub fn posteriors<E: Emission>(hmm: &Hmm<E>, observations: &[E::Obs]) -> Vec<Vec<f64>> {
+    let n = hmm.num_states();
+    let t_len = observations.len();
+    if t_len == 0 {
+        return vec![];
+    }
+    let seqs = all_sequences(n, t_len);
+    let joints: Vec<f64> = seqs.iter().map(|s| log_joint(hmm, observations, s)).collect();
+    let total = log_sum_exp(&joints);
+    let mut gamma = vec![vec![0.0; n]; t_len];
+    for (seq, &lp) in seqs.iter().zip(&joints) {
+        let w = (lp - total).exp();
+        for (t, &s) in seq.iter().enumerate() {
+            gamma[t][s] += w;
+        }
+    }
+    gamma
+}
+
+/// The most likely complete state sequence, by full enumeration (the
+/// Viterbi oracle). Ties break toward the lexicographically smallest
+/// sequence, matching the DP's preference for lower state indices.
+#[must_use]
+pub fn best_path<E: Emission>(hmm: &Hmm<E>, observations: &[E::Obs]) -> Vec<usize> {
+    let mut best: Option<(f64, Vec<usize>)> = None;
+    for s in all_sequences(hmm.num_states(), observations.len()) {
+        let lp = log_joint(hmm, observations, &s);
+        let better = match &best {
+            None => true,
+            Some((b, seq)) => lp > *b + 1e-12 || ((lp - b).abs() <= 1e-12 && s < *seq),
+        };
+        if better {
+            best = Some((lp, s));
+        }
+    }
+    best.map(|(_, s)| s).unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::emission::CategoricalEmission;
+
+    fn tiny() -> Hmm<CategoricalEmission> {
+        Hmm::new(
+            vec![0.6, 0.4],
+            vec![vec![0.7, 0.3], vec![0.4, 0.6]],
+            CategoricalEmission::new(vec![vec![0.1, 0.9], vec![0.8, 0.2]]).unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn joint_of_empty_sequence_is_zero() {
+        assert_eq!(log_joint(&tiny(), &[], &[]), 0.0);
+    }
+
+    #[test]
+    fn likelihood_sums_over_sequences_t1() {
+        let hmm = tiny();
+        // P(O = [1]) = 0.6·0.9 + 0.4·0.2 = 0.62
+        let ll = log_likelihood(&hmm, &[1usize]);
+        assert!((ll - 0.62f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn posteriors_rows_sum_to_one() {
+        let hmm = tiny();
+        let g = posteriors(&hmm, &[0usize, 1, 1]);
+        for row in g {
+            assert!((row.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn best_path_beats_all_others() {
+        let hmm = tiny();
+        let obs = vec![1usize, 0, 1];
+        let best = best_path(&hmm, &obs);
+        let best_lp = log_joint(&hmm, &obs, &best);
+        for s in all_sequences(2, 3) {
+            assert!(log_joint(&hmm, &obs, &s) <= best_lp + 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "lengths must match")]
+    fn mismatched_lengths_panic() {
+        let _ = log_joint(&tiny(), &[0usize], &[0, 1]);
+    }
+}

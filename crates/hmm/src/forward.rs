@@ -1,0 +1,265 @@
+//! Scaled forward–backward inference.
+//!
+//! This is the E-step machinery behind Baum–Welch: it computes, for a
+//! model `λ` and observation sequence `O`, the log-likelihood `ln P(O|λ)`
+//! and the per-timestep state posteriors `γ_t(i) = P(s_t = i | O, λ)` and
+//! pairwise posteriors `ξ_t(i,j)`.
+//!
+//! Rabiner-style scaling keeps every quantity in `f64` range for
+//! arbitrarily long sequences (raw forward probabilities underflow after a
+//! few hundred steps).
+
+// Index-based loops are kept deliberately in this module: the math is
+// written against matrix subscripts (states i/j, claims u, sources s,
+// time t) and mirroring the paper's notation beats iterator chains for
+// auditability.
+#![allow(clippy::needless_range_loop)]
+
+use crate::{Emission, Hmm};
+
+/// Output of [`forward_backward`]: posteriors and the sequence likelihood.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Posteriors {
+    /// `gamma[t][i] = P(s_t = i | O, λ)`; each row sums to 1.
+    pub gamma: Vec<Vec<f64>>,
+    /// Summed pairwise posteriors `Σ_t ξ_t(i,j)` — exactly the statistic
+    /// the Baum–Welch transition update needs. (Keeping only the sum
+    /// avoids materializing `T·N²` floats.)
+    pub xi_sum: Vec<Vec<f64>>,
+    /// Log-likelihood `ln P(O | λ)`.
+    pub log_likelihood: f64,
+}
+
+/// Runs scaled forward–backward on `observations`.
+///
+/// Returns uniform posteriors and `log_likelihood = 0` for an empty
+/// observation sequence (the natural neutral element: no evidence).
+///
+/// # Examples
+///
+/// ```
+/// use sstd_hmm::{forward_backward, GaussianEmission, Hmm};
+///
+/// let hmm = Hmm::new(
+///     vec![0.5, 0.5],
+///     vec![vec![0.9, 0.1], vec![0.1, 0.9]],
+///     GaussianEmission::new(vec![(5.0, 1.0), (-5.0, 1.0)]).unwrap(),
+/// ).unwrap();
+/// let post = forward_backward(&hmm, &[5.0, 5.2, -4.9]);
+/// assert!(post.gamma[0][0] > 0.99); // clearly state 0
+/// assert!(post.gamma[2][1] > 0.99); // clearly state 1
+/// assert!(post.log_likelihood < 0.0);
+/// ```
+#[must_use]
+pub fn forward_backward<E: Emission>(hmm: &Hmm<E>, observations: &[E::Obs]) -> Posteriors {
+    let n = hmm.num_states();
+    let t_len = observations.len();
+    if t_len == 0 {
+        return Posteriors { gamma: vec![], xi_sum: vec![vec![0.0; n]; n], log_likelihood: 0.0 };
+    }
+
+    // Emission probabilities are computed once, in linear (scaled) space.
+    // Each row is divided by its max to avoid underflow before scaling.
+    let mut emit = vec![vec![0.0f64; n]; t_len];
+    for (t, &obs) in observations.iter().enumerate() {
+        let logs: Vec<f64> = (0..n).map(|i| hmm.log_emit(i, obs)).collect();
+        let max = logs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        for i in 0..n {
+            emit[t][i] = if max.is_finite() { (logs[i] - max).exp() } else { 1.0 };
+        }
+    }
+
+    // Forward pass with per-step scaling.
+    let mut alpha = vec![vec![0.0f64; n]; t_len];
+    let mut scale = vec![0.0f64; t_len];
+    for i in 0..n {
+        alpha[0][i] = hmm.init()[i] * emit[0][i];
+    }
+    scale[0] = normalize(&mut alpha[0]);
+    for t in 1..t_len {
+        for j in 0..n {
+            let mut acc = 0.0;
+            for i in 0..n {
+                acc += alpha[t - 1][i] * hmm.trans_prob(i, j);
+            }
+            alpha[t][j] = acc * emit[t][j];
+        }
+        scale[t] = normalize(&mut alpha[t]);
+    }
+
+    // Backward pass using the same scale factors.
+    let mut beta = vec![vec![1.0f64; n]; t_len];
+    for t in (0..t_len - 1).rev() {
+        for i in 0..n {
+            let mut acc = 0.0;
+            for j in 0..n {
+                acc += hmm.trans_prob(i, j) * emit[t + 1][j] * beta[t + 1][j];
+            }
+            beta[t][i] = acc / scale[t + 1].max(f64::MIN_POSITIVE);
+        }
+    }
+
+    // Posteriors.
+    let mut gamma = vec![vec![0.0f64; n]; t_len];
+    for t in 0..t_len {
+        for i in 0..n {
+            gamma[t][i] = alpha[t][i] * beta[t][i];
+        }
+        normalize(&mut gamma[t]);
+    }
+
+    let mut xi_sum = vec![vec![0.0f64; n]; n];
+    for t in 0..t_len - 1 {
+        let mut total = 0.0;
+        let mut xi_t = vec![vec![0.0f64; n]; n];
+        for i in 0..n {
+            for j in 0..n {
+                let v = alpha[t][i] * hmm.trans_prob(i, j) * emit[t + 1][j] * beta[t + 1][j];
+                xi_t[i][j] = v;
+                total += v;
+            }
+        }
+        if total > 0.0 {
+            for i in 0..n {
+                for j in 0..n {
+                    xi_sum[i][j] += xi_t[i][j] / total;
+                }
+            }
+        }
+    }
+
+    // ln P(O|λ) = Σ ln(scale_t) + Σ max-shifts. The per-row max shift on
+    // `emit` cancels in all posteriors but must be restored here.
+    let mut log_likelihood: f64 = scale
+        .iter()
+        .map(|&c| c.max(f64::MIN_POSITIVE).ln())
+        .sum();
+    for (t, &obs) in observations.iter().enumerate() {
+        let max = (0..n)
+            .map(|i| hmm.log_emit(i, obs))
+            .fold(f64::NEG_INFINITY, f64::max);
+        if max.is_finite() {
+            log_likelihood += max;
+        }
+        let _ = t;
+    }
+
+    Posteriors { gamma, xi_sum, log_likelihood }
+}
+
+fn normalize(row: &mut [f64]) -> f64 {
+    let sum: f64 = row.iter().sum();
+    if sum > 0.0 && sum.is_finite() {
+        for x in row.iter_mut() {
+            *x /= sum;
+        }
+        sum
+    } else {
+        let u = 1.0 / row.len() as f64;
+        for x in row.iter_mut() {
+            *x = u;
+        }
+        0.0_f64.max(f64::MIN_POSITIVE)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::emission::{CategoricalEmission, GaussianEmission};
+    use crate::exhaustive;
+
+    fn coin_hmm() -> Hmm<CategoricalEmission> {
+        // Fair/biased coin switcher.
+        Hmm::new(
+            vec![0.7, 0.3],
+            vec![vec![0.8, 0.2], vec![0.3, 0.7]],
+            CategoricalEmission::new(vec![vec![0.5, 0.5], vec![0.9, 0.1]]).unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn gamma_rows_sum_to_one() {
+        let hmm = coin_hmm();
+        let obs = vec![0usize, 1, 0, 0, 1, 0, 0, 0];
+        let post = forward_backward(&hmm, &obs);
+        for row in &post.gamma {
+            assert!((row.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+        assert_eq!(post.gamma.len(), obs.len());
+    }
+
+    #[test]
+    fn log_likelihood_matches_brute_force() {
+        let hmm = coin_hmm();
+        let obs = vec![0usize, 1, 0, 0, 1];
+        let post = forward_backward(&hmm, &obs);
+        let brute = exhaustive::log_likelihood(&hmm, &obs);
+        assert!(
+            (post.log_likelihood - brute).abs() < 1e-9,
+            "fb = {}, brute = {}",
+            post.log_likelihood,
+            brute
+        );
+    }
+
+    #[test]
+    fn gamma_matches_brute_force() {
+        let hmm = coin_hmm();
+        let obs = vec![1usize, 0, 0, 1];
+        let post = forward_backward(&hmm, &obs);
+        let brute = exhaustive::posteriors(&hmm, &obs);
+        for (t, (a, b)) in post.gamma.iter().zip(&brute).enumerate() {
+            for i in 0..2 {
+                assert!((a[i] - b[i]).abs() < 1e-9, "t = {t}, i = {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_sequence_is_neutral() {
+        let hmm = coin_hmm();
+        let post = forward_backward(&hmm, &[]);
+        assert_eq!(post.log_likelihood, 0.0);
+        assert!(post.gamma.is_empty());
+    }
+
+    #[test]
+    fn long_sequence_does_not_underflow() {
+        let hmm = Hmm::new(
+            vec![0.5, 0.5],
+            vec![vec![0.99, 0.01], vec![0.01, 0.99]],
+            GaussianEmission::new(vec![(3.0, 1.0), (-3.0, 1.0)]).unwrap(),
+        )
+        .unwrap();
+        let obs: Vec<f64> = (0..10_000)
+            .map(|t| if (t / 500) % 2 == 0 { 3.0 } else { -3.0 })
+            .collect();
+        let post = forward_backward(&hmm, &obs);
+        assert!(post.log_likelihood.is_finite());
+        assert!(post.gamma.iter().all(|row| row.iter().all(|p| p.is_finite())));
+    }
+
+    #[test]
+    fn xi_sum_total_is_t_minus_one() {
+        let hmm = coin_hmm();
+        let obs = vec![0usize, 0, 1, 0, 1, 1];
+        let post = forward_backward(&hmm, &obs);
+        let total: f64 = post.xi_sum.iter().flatten().sum();
+        assert!((total - (obs.len() as f64 - 1.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn strong_evidence_dominates_posterior() {
+        let hmm = Hmm::new(
+            vec![0.5, 0.5],
+            vec![vec![0.5, 0.5], vec![0.5, 0.5]],
+            GaussianEmission::new(vec![(10.0, 0.5), (-10.0, 0.5)]).unwrap(),
+        )
+        .unwrap();
+        let post = forward_backward(&hmm, &[10.0, -10.0]);
+        assert!(post.gamma[0][0] > 0.999);
+        assert!(post.gamma[1][1] > 0.999);
+    }
+}

@@ -1,0 +1,58 @@
+//! Hidden Markov Models for streaming truth discovery.
+//!
+//! The SSTD paper (§III) models the evolving truth of each claim as the
+//! hidden state of a two-state HMM whose observations are Aggregated
+//! Contribution Scores. This crate provides the general machinery that
+//! model instantiates:
+//!
+//! - [`Hmm`] — an N-state model with a pluggable [`Emission`] distribution
+//!   (Gaussian for raw ACS values, categorical for binned symbols);
+//! - [`forward_backward`] — scaled forward–backward inference and
+//!   log-likelihood (paper Eq. 5's objective);
+//! - [`BaumWelch`] — unsupervised EM parameter estimation (paper §III-C);
+//! - [`viterbi`] — maximum a posteriori state-sequence decoding (paper
+//!   Eq. 6–8);
+//! - [`StreamingViterbi`] — an online decoder with path-coalescence
+//!   commitment, used by the streaming engine to emit truth decisions as
+//!   reports arrive;
+//! - [`exhaustive`] — brute-force reference implementations used by the
+//!   property tests (and handy for validating downstream models).
+//!
+//! # Examples
+//!
+//! Train a two-state Gaussian HMM on a bimodal sequence and decode it:
+//!
+//! ```
+//! use sstd_hmm::{BaumWelch, GaussianEmission, Hmm, viterbi};
+//!
+//! let obs: Vec<f64> = vec![5.1, 4.9, 5.2, -4.8, -5.1, -5.0, 5.0, 5.1];
+//! let init = Hmm::new(
+//!     vec![0.5, 0.5],
+//!     vec![vec![0.9, 0.1], vec![0.1, 0.9]],
+//!     GaussianEmission::new(vec![(4.0, 1.0), (-4.0, 1.0)]).unwrap(),
+//! ).unwrap();
+//! let trained = BaumWelch::default().train(init, &obs).model;
+//! let path = viterbi(&trained, &obs);
+//! assert_eq!(path[0], path[1]);
+//! assert_ne!(path[2], path[3]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod baum_welch;
+mod emission;
+pub mod exhaustive;
+mod forward;
+mod model;
+mod streaming;
+mod viterbi;
+
+pub use baum_welch::{BaumWelch, TrainOutcome};
+pub use emission::{
+    CategoricalEmission, Emission, GaussianEmission, SymmetricGaussianEmission, TrainableEmission,
+};
+pub use forward::{forward_backward, Posteriors};
+pub use model::{Hmm, HmmError};
+pub use streaming::StreamingViterbi;
+pub use viterbi::viterbi;

@@ -1,0 +1,232 @@
+//! The HMM parameter container `λ = (A, B, π)` (paper §III-C).
+
+use crate::emission::Emission;
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when HMM parameters are malformed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HmmError {
+    reason: String,
+}
+
+impl HmmError {
+    fn new(reason: impl Into<String>) -> Self {
+        Self { reason: reason.into() }
+    }
+}
+
+impl fmt::Display for HmmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid HMM parameters: {}", self.reason)
+    }
+}
+
+impl Error for HmmError {}
+
+/// A hidden Markov model `λ = (A, B, π)` with `N` hidden states and a
+/// pluggable emission model `B`.
+///
+/// Invariants enforced at construction:
+/// - `π` is a probability vector of length `N`;
+/// - `A` is an `N×N` row-stochastic matrix;
+/// - the emission model covers exactly `N` states.
+///
+/// # Examples
+///
+/// ```
+/// use sstd_hmm::{GaussianEmission, Hmm};
+///
+/// let hmm = Hmm::new(
+///     vec![0.6, 0.4],
+///     vec![vec![0.95, 0.05], vec![0.10, 0.90]],
+///     GaussianEmission::new(vec![(2.0, 1.0), (-2.0, 1.0)]).unwrap(),
+/// )?;
+/// assert_eq!(hmm.num_states(), 2);
+/// # Ok::<(), sstd_hmm::HmmError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hmm<E> {
+    init: Vec<f64>,
+    trans: Vec<Vec<f64>>,
+    emission: E,
+}
+
+impl<E: Emission> Hmm<E> {
+    /// Creates and validates an HMM.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HmmError`] if the shapes disagree, any probability is
+    /// negative/non-finite, or any row does not sum to 1 (within 1e-9).
+    pub fn new(init: Vec<f64>, trans: Vec<Vec<f64>>, emission: E) -> Result<Self, HmmError> {
+        let n = emission.num_states();
+        if n == 0 {
+            return Err(HmmError::new("emission model has zero states"));
+        }
+        if init.len() != n {
+            return Err(HmmError::new(format!(
+                "initial distribution has {} entries, emission has {n} states",
+                init.len()
+            )));
+        }
+        Self::check_stochastic("initial distribution", &init)?;
+        if trans.len() != n {
+            return Err(HmmError::new(format!(
+                "transition matrix has {} rows, expected {n}",
+                trans.len()
+            )));
+        }
+        for (i, row) in trans.iter().enumerate() {
+            if row.len() != n {
+                return Err(HmmError::new(format!("transition row {i} has wrong length")));
+            }
+            Self::check_stochastic(&format!("transition row {i}"), row)?;
+        }
+        Ok(Self { init, trans, emission })
+    }
+
+    fn check_stochastic(what: &str, row: &[f64]) -> Result<(), HmmError> {
+        if row.iter().any(|&p| !p.is_finite() || p < 0.0) {
+            return Err(HmmError::new(format!("{what} has invalid probabilities")));
+        }
+        let sum: f64 = row.iter().sum();
+        if (sum - 1.0).abs() > 1e-9 {
+            return Err(HmmError::new(format!("{what} sums to {sum}, expected 1")));
+        }
+        Ok(())
+    }
+
+    /// Number of hidden states `N`.
+    #[must_use]
+    pub fn num_states(&self) -> usize {
+        self.init.len()
+    }
+
+    /// Initial state distribution `π`.
+    #[must_use]
+    pub fn init(&self) -> &[f64] {
+        &self.init
+    }
+
+    /// Transition matrix `A` (row-stochastic).
+    #[must_use]
+    pub fn trans(&self) -> &[Vec<f64>] {
+        &self.trans
+    }
+
+    /// Transition probability `A[from][to]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    #[must_use]
+    pub fn trans_prob(&self, from: usize, to: usize) -> f64 {
+        self.trans[from][to]
+    }
+
+    /// The emission model `B`.
+    #[must_use]
+    pub fn emission(&self) -> &E {
+        &self.emission
+    }
+
+    /// Log-probability of emitting `obs` from `state`.
+    #[must_use]
+    pub fn log_emit(&self, state: usize, obs: E::Obs) -> f64 {
+        self.emission.log_prob(state, obs)
+    }
+
+    /// Decomposes the model into `(π, A, B)` — used by the trainer, which
+    /// re-estimates parameters and rebuilds the model.
+    #[must_use]
+    pub fn into_parts(self) -> (Vec<f64>, Vec<Vec<f64>>, E) {
+        (self.init, self.trans, self.emission)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::emission::GaussianEmission;
+
+    fn emission2() -> GaussianEmission {
+        GaussianEmission::new(vec![(1.0, 1.0), (-1.0, 1.0)]).unwrap()
+    }
+
+    #[test]
+    fn valid_model_constructs() {
+        let hmm = Hmm::new(
+            vec![0.5, 0.5],
+            vec![vec![0.7, 0.3], vec![0.4, 0.6]],
+            emission2(),
+        )
+        .unwrap();
+        assert_eq!(hmm.num_states(), 2);
+        assert_eq!(hmm.trans_prob(0, 1), 0.3);
+        assert_eq!(hmm.init(), &[0.5, 0.5]);
+    }
+
+    #[test]
+    fn rejects_wrong_init_length() {
+        let err = Hmm::new(vec![1.0], vec![vec![1.0]], emission2()).unwrap_err();
+        assert!(err.to_string().contains("initial distribution"));
+    }
+
+    #[test]
+    fn rejects_nonstochastic_init() {
+        let err = Hmm::new(
+            vec![0.5, 0.6],
+            vec![vec![0.7, 0.3], vec![0.4, 0.6]],
+            emission2(),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("sums to"));
+    }
+
+    #[test]
+    fn rejects_nonstochastic_transition_row() {
+        let err = Hmm::new(
+            vec![0.5, 0.5],
+            vec![vec![0.7, 0.2], vec![0.4, 0.6]],
+            emission2(),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("transition row 0"));
+    }
+
+    #[test]
+    fn rejects_negative_probability() {
+        let err = Hmm::new(
+            vec![1.5, -0.5],
+            vec![vec![0.7, 0.3], vec![0.4, 0.6]],
+            emission2(),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("invalid probabilities"));
+    }
+
+    #[test]
+    fn rejects_ragged_transition() {
+        let err = Hmm::new(
+            vec![0.5, 0.5],
+            vec![vec![1.0], vec![0.4, 0.6]],
+            emission2(),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("wrong length"));
+    }
+
+    #[test]
+    fn parts_roundtrip() {
+        let hmm = Hmm::new(
+            vec![0.5, 0.5],
+            vec![vec![0.7, 0.3], vec![0.4, 0.6]],
+            emission2(),
+        )
+        .unwrap();
+        let (init, trans, em) = hmm.into_parts();
+        let rebuilt = Hmm::new(init, trans, em).unwrap();
+        assert_eq!(rebuilt.num_states(), 2);
+    }
+}

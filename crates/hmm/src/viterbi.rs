@@ -1,0 +1,155 @@
+//! Viterbi decoding (paper Eq. 6–8): the most likely hidden-state sequence.
+
+// Index-based loops are kept deliberately in this module: the math is
+// written against matrix subscripts (states i/j, claims u, sources s,
+// time t) and mirroring the paper's notation beats iterator chains for
+// auditability.
+#![allow(clippy::needless_range_loop)]
+
+use crate::{Emission, Hmm};
+
+/// Decodes the maximum a posteriori state sequence for `observations`
+/// (paper Eq. 6–8, solved in log space).
+///
+/// Ties break toward the lower state index, deterministically.
+/// Returns an empty path for an empty observation sequence.
+///
+/// # Examples
+///
+/// ```
+/// use sstd_hmm::{viterbi, GaussianEmission, Hmm};
+///
+/// let hmm = Hmm::new(
+///     vec![0.5, 0.5],
+///     vec![vec![0.9, 0.1], vec![0.1, 0.9]],
+///     GaussianEmission::new(vec![(4.0, 1.0), (-4.0, 1.0)]).unwrap(),
+/// ).unwrap();
+/// assert_eq!(viterbi(&hmm, &[4.0, 4.1, -3.9]), vec![0, 0, 1]);
+/// ```
+#[must_use]
+pub fn viterbi<E: Emission>(hmm: &Hmm<E>, observations: &[E::Obs]) -> Vec<usize> {
+    let n = hmm.num_states();
+    let t_len = observations.len();
+    if t_len == 0 {
+        return vec![];
+    }
+
+    // δ_t(i): best log-prob ending in state i at time t (paper Eq. 7).
+    let mut delta: Vec<f64> = (0..n)
+        .map(|i| hmm.init()[i].ln() + hmm.log_emit(i, observations[0]))
+        .collect();
+    // ψ_t(i): argmax predecessor.
+    let mut psi: Vec<Vec<usize>> = Vec::with_capacity(t_len);
+    psi.push(vec![0; n]);
+
+    for t in 1..t_len {
+        let mut next = vec![f64::NEG_INFINITY; n];
+        let mut back = vec![0usize; n];
+        for j in 0..n {
+            let mut best = f64::NEG_INFINITY;
+            let mut arg = 0;
+            for i in 0..n {
+                let v = delta[i] + hmm.trans_prob(i, j).ln();
+                if v > best {
+                    best = v;
+                    arg = i;
+                }
+            }
+            next[j] = best + hmm.log_emit(j, observations[t]);
+            back[j] = arg;
+        }
+        delta = next;
+        psi.push(back);
+    }
+
+    // Backtrack from the best terminal state (paper Eq. 8).
+    let mut state = argmax(&delta);
+    let mut path = vec![0usize; t_len];
+    path[t_len - 1] = state;
+    for t in (1..t_len).rev() {
+        state = psi[t][state];
+        path[t - 1] = state;
+    }
+    path
+}
+
+fn argmax(xs: &[f64]) -> usize {
+    let mut best = f64::NEG_INFINITY;
+    let mut arg = 0;
+    for (i, &x) in xs.iter().enumerate() {
+        if x > best {
+            best = x;
+            arg = i;
+        }
+    }
+    arg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::emission::{CategoricalEmission, GaussianEmission};
+    use crate::exhaustive;
+    use proptest::prelude::*;
+
+    fn sticky_hmm(p_stay: f64) -> Hmm<GaussianEmission> {
+        Hmm::new(
+            vec![0.5, 0.5],
+            vec![vec![p_stay, 1.0 - p_stay], vec![1.0 - p_stay, p_stay]],
+            GaussianEmission::new(vec![(2.0, 1.0), (-2.0, 1.0)]).unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn empty_observations_empty_path() {
+        assert!(viterbi(&sticky_hmm(0.9), &[]).is_empty());
+    }
+
+    #[test]
+    fn clean_signal_decodes_exactly() {
+        let hmm = sticky_hmm(0.9);
+        let obs = vec![2.0, 2.1, 2.0, -2.0, -2.2, -1.9, 2.0];
+        assert_eq!(viterbi(&hmm, &obs), vec![0, 0, 0, 1, 1, 1, 0]);
+    }
+
+    #[test]
+    fn sticky_transitions_smooth_single_outlier() {
+        // One noisy observation should not flip a very sticky chain.
+        let hmm = sticky_hmm(0.999);
+        let obs = vec![2.0, 2.0, -0.4, 2.0, 2.0];
+        assert_eq!(viterbi(&hmm, &obs), vec![0; 5]);
+    }
+
+    #[test]
+    fn loose_transitions_follow_the_data() {
+        let hmm = sticky_hmm(0.5);
+        let obs = vec![2.0, -2.0, 2.0, -2.0];
+        assert_eq!(viterbi(&hmm, &obs), vec![0, 1, 0, 1]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn viterbi_matches_exhaustive_search(
+            obs in prop::collection::vec(0usize..3, 1..7),
+            stay in 0.05f64..0.95,
+        ) {
+            let hmm = Hmm::new(
+                vec![0.5, 0.5],
+                vec![vec![stay, 1.0 - stay], vec![1.0 - stay, stay]],
+                CategoricalEmission::new(vec![
+                    vec![0.6, 0.3, 0.1],
+                    vec![0.1, 0.3, 0.6],
+                ]).unwrap(),
+            ).unwrap();
+            let dp = viterbi(&hmm, &obs);
+            let brute = exhaustive::best_path(&hmm, &obs);
+            let dp_lp = exhaustive::log_joint(&hmm, &obs, &dp);
+            let brute_lp = exhaustive::log_joint(&hmm, &obs, &brute);
+            // The DP must achieve the optimal joint probability.
+            prop_assert!((dp_lp - brute_lp).abs() < 1e-9,
+                "dp {dp:?} ({dp_lp}) vs brute {brute:?} ({brute_lp})");
+        }
+    }
+}

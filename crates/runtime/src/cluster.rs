@@ -1,0 +1,182 @@
+//! Cluster model: a heterogeneous pool of HTCondor-style nodes.
+
+use crate::ResourceVector;
+
+/// One machine in the pool.
+///
+/// `speed` scales task execution times (1.0 = reference machine; 2.0 runs
+/// tasks twice as fast) — the heterogeneity the paper's §I calls out as
+/// ignored by Hadoop-style schedulers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeSpec {
+    speed: f64,
+    capacity: ResourceVector,
+}
+
+impl NodeSpec {
+    /// Creates a node with a speed factor and resource capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `speed` is finite and positive.
+    #[must_use]
+    pub fn new(speed: f64, capacity: ResourceVector) -> Self {
+        assert!(speed.is_finite() && speed > 0.0, "speed must be positive");
+        Self { speed, capacity }
+    }
+
+    /// Relative execution speed (1.0 = reference).
+    #[must_use]
+    pub const fn speed(&self) -> f64 {
+        self.speed
+    }
+
+    /// Resource capacity of the node.
+    #[must_use]
+    pub const fn capacity(&self) -> &ResourceVector {
+        &self.capacity
+    }
+}
+
+impl Default for NodeSpec {
+    fn default() -> Self {
+        Self::new(1.0, ResourceVector::new(4, 8_192, 100_000))
+    }
+}
+
+/// A pool of nodes workers can be placed on.
+///
+/// # Examples
+///
+/// ```
+/// use sstd_runtime::Cluster;
+///
+/// let c = Cluster::notre_dame_like(16);
+/// assert_eq!(c.len(), 16);
+/// assert!(c.total_cores() >= 16);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cluster {
+    nodes: Vec<NodeSpec>,
+}
+
+impl Cluster {
+    /// Builds a cluster from explicit node specs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is empty.
+    #[must_use]
+    pub fn new(nodes: Vec<NodeSpec>) -> Self {
+        assert!(!nodes.is_empty(), "cluster needs at least one node");
+        Self { nodes }
+    }
+
+    /// `n` identical nodes with the given speed and default capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `speed` is not positive.
+    #[must_use]
+    pub fn homogeneous(n: usize, speed: f64) -> Self {
+        assert!(n > 0, "cluster needs at least one node");
+        Self::new(vec![NodeSpec::new(speed, *NodeSpec::default().capacity()); n])
+    }
+
+    /// A heterogeneous pool shaped like the Notre Dame HTCondor cluster
+    /// the paper used: a mix of fast servers, mid-range desktops and slow
+    /// classroom machines in a 1:2:1 ratio, deterministic for a given `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    #[must_use]
+    pub fn notre_dame_like(n: usize) -> Self {
+        assert!(n > 0, "cluster needs at least one node");
+        let nodes = (0..n)
+            .map(|i| match i % 4 {
+                0 => NodeSpec::new(2.0, ResourceVector::new(16, 65_536, 500_000)), // server
+                1 | 2 => NodeSpec::new(1.0, ResourceVector::new(4, 8_192, 100_000)), // desktop
+                _ => NodeSpec::new(0.5, ResourceVector::new(2, 4_096, 50_000)),    // classroom
+            })
+            .collect();
+        Self::new(nodes)
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the cluster has no nodes (never true for a constructed
+    /// cluster; provided for API completeness).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The node specs.
+    #[must_use]
+    pub fn nodes(&self) -> &[NodeSpec] {
+        &self.nodes
+    }
+
+    /// Total cores across the pool.
+    #[must_use]
+    pub fn total_cores(&self) -> u64 {
+        self.nodes.iter().map(|n| u64::from(n.capacity().cores())).sum()
+    }
+
+    /// Node speeds for the first `k` worker placements, assigning workers
+    /// round-robin over nodes (how Work Queue workers land on HTCondor
+    /// slots).
+    #[must_use]
+    pub fn worker_speeds(&self, k: usize) -> Vec<f64> {
+        (0..k).map(|i| self.nodes[i % self.nodes.len()].speed()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn homogeneous_cluster() {
+        let c = Cluster::homogeneous(3, 1.5);
+        assert_eq!(c.len(), 3);
+        assert!(c.nodes().iter().all(|n| n.speed() == 1.5));
+    }
+
+    #[test]
+    fn heterogeneous_mix() {
+        let c = Cluster::notre_dame_like(8);
+        let speeds: Vec<f64> = c.nodes().iter().map(NodeSpec::speed).collect();
+        assert!(speeds.contains(&2.0));
+        assert!(speeds.contains(&1.0));
+        assert!(speeds.contains(&0.5));
+    }
+
+    #[test]
+    fn worker_speeds_wrap_round_robin() {
+        let c = Cluster::homogeneous(2, 1.0);
+        assert_eq!(c.worker_speeds(5).len(), 5);
+    }
+
+    #[test]
+    fn deterministic_for_same_n() {
+        assert_eq!(Cluster::notre_dame_like(6), Cluster::notre_dame_like(6));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn empty_cluster_panics() {
+        let _ = Cluster::homogeneous(0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "speed must be positive")]
+    fn bad_speed_panics() {
+        let _ = NodeSpec::new(0.0, ResourceVector::task_default());
+    }
+}

@@ -1,0 +1,838 @@
+//! Discrete-event simulation backend.
+//!
+//! The paper's cluster experiments ran on the Notre Dame HTCondor pool.
+//! `DesEngine` reproduces the scheduling dynamics — queueing, priority
+//! shares, heterogeneous worker speeds, init overhead, elastic worker
+//! pools — under a virtual clock, so the cluster-scale figures (execution
+//! time vs. data size, deadline hit rates, speedup curves) regenerate
+//! deterministically on a single machine.
+
+use crate::{
+    Cluster, CompletedTask, ExecutionModel, ExecutionReport, JobId, TaskId, TaskPool, TaskSpec,
+    WorkerId,
+};
+use std::collections::BTreeMap;
+
+/// One entry of the simulator's lifecycle log — the observability stream
+/// a real Work Queue master writes to its transaction log.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DesEvent {
+    /// A task began executing on a worker.
+    TaskStarted {
+        /// The task.
+        task: TaskId,
+        /// Its owning job.
+        job: JobId,
+        /// The executing worker.
+        worker: WorkerId,
+        /// Virtual start time.
+        at: f64,
+    },
+    /// A task finished.
+    TaskCompleted {
+        /// The task.
+        task: TaskId,
+        /// Its owning job.
+        job: JobId,
+        /// The executing worker.
+        worker: WorkerId,
+        /// Virtual completion time.
+        at: f64,
+    },
+    /// A worker was evicted (HTCondor preemption).
+    WorkerEvicted {
+        /// The evicted worker.
+        worker: WorkerId,
+        /// Virtual eviction time.
+        at: f64,
+        /// The task it was running, if any (re-queued under a new id).
+        interrupted: Option<TaskId>,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct Running {
+    task: TaskId,
+    spec: TaskSpec,
+    submitted_at: f64,
+    started_at: f64,
+    finishes_at: f64,
+}
+
+#[derive(Debug, Clone)]
+struct Worker {
+    id: WorkerId,
+    speed: f64,
+    running: Option<Running>,
+    /// A draining worker finishes its current task and accepts no more
+    /// (how the Global Control Knob shrinks the pool).
+    draining: bool,
+}
+
+/// Event-driven simulator of a Work Queue master over a cluster.
+///
+/// # Examples
+///
+/// ```
+/// use sstd_runtime::{Cluster, DesEngine, ExecutionModel, JobId, TaskSpec};
+///
+/// let mut des = DesEngine::new(Cluster::homogeneous(2, 1.0), ExecutionModel::default(), 2);
+/// des.submit(TaskSpec::new(JobId::new(0), 1_000.0));
+/// des.submit(TaskSpec::new(JobId::new(0), 1_000.0));
+/// let report = des.run_to_completion();
+/// // Two equal tasks on two workers finish together.
+/// assert!((report.makespan - report.completed[0].finished_at).abs() < 1e-9);
+/// ```
+#[derive(Debug)]
+pub struct DesEngine {
+    cluster: Cluster,
+    model: ExecutionModel,
+    pool: TaskPool,
+    workers: Vec<Worker>,
+    next_worker: u32,
+    clock: f64,
+    submit_times: BTreeMap<TaskId, f64>,
+    completed: Vec<CompletedTask>,
+    /// Scheduled worker evictions (HTCondor preemption), sorted by time.
+    evictions: Vec<f64>,
+    /// Tasks restarted after losing their worker.
+    retries: u64,
+    /// Lifecycle log.
+    events: Vec<DesEvent>,
+}
+
+impl DesEngine {
+    /// Creates a simulator with `num_workers` workers placed round-robin
+    /// on `cluster`'s nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_workers` is zero.
+    #[must_use]
+    pub fn new(cluster: Cluster, model: ExecutionModel, num_workers: usize) -> Self {
+        assert!(num_workers > 0, "need at least one worker");
+        let mut engine = Self {
+            cluster,
+            model,
+            pool: TaskPool::new(),
+            workers: Vec::new(),
+            next_worker: 0,
+            clock: 0.0,
+            submit_times: BTreeMap::new(),
+            completed: Vec::new(),
+            evictions: Vec::new(),
+            retries: 0,
+            events: Vec::new(),
+        };
+        engine.grow_workers(num_workers);
+        engine
+    }
+
+    fn grow_workers(&mut self, n: usize) {
+        let speeds = self.cluster.worker_speeds(self.workers.len() + n);
+        for _ in 0..n {
+            let idx = self.next_worker as usize;
+            self.workers.push(Worker {
+                id: WorkerId::new(self.next_worker),
+                speed: speeds[idx % speeds.len()],
+                running: None,
+                draining: false,
+            });
+            self.next_worker += 1;
+        }
+    }
+
+    /// Current virtual time.
+    #[must_use]
+    pub const fn now(&self) -> f64 {
+        self.clock
+    }
+
+    /// Number of workers currently accepting tasks.
+    #[must_use]
+    pub fn num_workers(&self) -> usize {
+        self.workers.iter().filter(|w| !w.draining).count()
+    }
+
+    /// Pending (not yet started) tasks.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// Tasks currently executing.
+    #[must_use]
+    pub fn running(&self) -> usize {
+        self.workers.iter().filter(|w| w.running.is_some()).count()
+    }
+
+    /// Pending tasks of one job — the progress signal the PID controller
+    /// samples.
+    #[must_use]
+    pub fn pending_of(&self, job: JobId) -> usize {
+        self.pool.pending_of(job)
+    }
+
+    /// Tasks completed so far.
+    #[must_use]
+    pub fn completed(&self) -> &[CompletedTask] {
+        &self.completed
+    }
+
+    /// Tasks restarted after an eviction killed their worker mid-run.
+    #[must_use]
+    pub const fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// The lifecycle event log, in event order.
+    #[must_use]
+    pub fn events(&self) -> &[DesEvent] {
+        &self.events
+    }
+
+    /// Schedules a worker eviction at virtual time `t` — the HTCondor
+    /// failure mode: the pool reclaims a machine, the worker vanishes,
+    /// and its in-flight task (if any) is lost and must be re-queued.
+    /// Evictions target the busiest worker at the eviction instant; with
+    /// all workers idle, an idle worker leaves instead. Evictions
+    /// scheduled in the past fire immediately on the next event step.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `t` is finite and non-negative.
+    pub fn schedule_eviction(&mut self, t: f64) {
+        assert!(t.is_finite() && t >= 0.0, "eviction time must be non-negative");
+        self.evictions.push(t);
+        self.evictions.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    }
+
+    /// Fires one eviction: kill a worker (preferring a busy one),
+    /// re-queue its task, and replace nothing — the pool shrinks, exactly
+    /// like a Condor machine leaving.
+    fn fire_eviction(&mut self, t: f64) {
+        self.clock = self.clock.max(t);
+        // Prefer the busy worker whose task started earliest (most sunk
+        // work lost — the adversarial case); fall back to any worker.
+        let victim = self
+            .workers
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| w.running.is_some())
+            .min_by(|(_, a), (_, b)| {
+                let sa = a.running.as_ref().expect("filtered busy").started_at;
+                let sb = b.running.as_ref().expect("filtered busy").started_at;
+                sa.partial_cmp(&sb).expect("finite times")
+            })
+            .map(|(i, _)| i)
+            .or_else(|| (!self.workers.is_empty()).then_some(0));
+        let Some(widx) = victim else { return };
+        let mut interrupted = None;
+        if let Some(run) = self.workers[widx].running.take() {
+            // Re-queue the interrupted task, preserving its original
+            // submission time so latency accounting stays honest.
+            interrupted = Some(run.task);
+            let requeued = self.pool.submit(run.spec);
+            self.submit_times.insert(requeued, run.submitted_at);
+            self.retries += 1;
+        }
+        self.events.push(DesEvent::WorkerEvicted {
+            worker: self.workers[widx].id,
+            at: t,
+            interrupted,
+        });
+        self.workers.remove(widx);
+        self.assign_idle_workers();
+    }
+
+    /// Submits a task at the current virtual time.
+    pub fn submit(&mut self, spec: TaskSpec) -> TaskId {
+        let id = self.pool.submit(spec);
+        self.submit_times.insert(id, self.clock);
+        self.assign_idle_workers();
+        id
+    }
+
+    /// Sets a job's priority (Local Control Knob).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `priority` is finite and positive.
+    pub fn set_job_priority(&mut self, job: JobId, priority: f64) {
+        self.pool.set_priority(job, priority);
+    }
+
+    /// Elastically resizes the worker pool (Global Control Knob). Growing
+    /// adds workers immediately; shrinking drains the newest workers after
+    /// their current task.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn set_num_workers(&mut self, n: usize) {
+        assert!(n > 0, "need at least one worker");
+        let active = self.num_workers();
+        if n > active {
+            // Reactivate draining workers first, then add new ones.
+            let mut needed = n - active;
+            for w in self.workers.iter_mut().rev() {
+                if needed == 0 {
+                    break;
+                }
+                if w.draining {
+                    w.draining = false;
+                    needed -= 1;
+                }
+            }
+            if needed > 0 {
+                self.grow_workers(needed);
+            }
+            self.assign_idle_workers();
+        } else if n < active {
+            let mut to_drain = active - n;
+            for w in self.workers.iter_mut().rev() {
+                if to_drain == 0 {
+                    break;
+                }
+                if !w.draining {
+                    w.draining = true;
+                    to_drain -= 1;
+                }
+            }
+            // Fully idle draining workers can be dropped right away.
+            self.workers.retain(|w| !(w.draining && w.running.is_none()));
+        }
+    }
+
+    /// Assigns pool tasks to idle, non-draining workers. Tasks whose
+    /// resource requirements fit no node stay queued.
+    fn assign_idle_workers(&mut self) {
+        loop {
+            let Some(widx) = self
+                .workers
+                .iter()
+                .position(|w| w.running.is_none() && !w.draining)
+            else {
+                return;
+            };
+            // Check the next task fits this worker's node; the worker
+            // index maps round-robin onto cluster nodes.
+            let Some((task, spec)) = self.pool.pop() else { return };
+            let node = &self.cluster.nodes()[widx % self.cluster.len()];
+            if !spec.requirements().fits_in(node.capacity()) {
+                // Find any worker whose node fits; otherwise drop the task
+                // back and stop (it will be retried on the next event).
+                if let Some(other) = self.workers.iter().position(|w| {
+                    w.running.is_none()
+                        && !w.draining
+                        && spec
+                            .requirements()
+                            .fits_in(self.cluster.nodes()[w.id.index() % self.cluster.len()].capacity())
+                }) {
+                    self.start_on(other, task, spec);
+                    continue;
+                }
+                // Re-queue and stop trying this round.
+                let requeued = self.pool.submit(spec);
+                let t = self.submit_times.remove(&task).unwrap_or(self.clock);
+                self.submit_times.insert(requeued, t);
+                return;
+            }
+            self.start_on(widx, task, spec);
+        }
+    }
+
+    fn start_on(&mut self, widx: usize, task: TaskId, spec: TaskSpec) {
+        let speed = self.workers[widx].speed;
+        let duration = self.model.task_time_on(&spec, speed);
+        let submitted_at = self.submit_times.remove(&task).unwrap_or(self.clock);
+        self.events.push(DesEvent::TaskStarted {
+            task,
+            job: spec.job(),
+            worker: self.workers[widx].id,
+            at: self.clock,
+        });
+        self.workers[widx].running = Some(Running {
+            task,
+            spec,
+            submitted_at,
+            started_at: self.clock,
+            finishes_at: self.clock + duration,
+        });
+    }
+
+    /// Advances to the next completion event, if any, firing scheduled
+    /// evictions that occur first. Returns the finished task.
+    pub fn step(&mut self) -> Option<CompletedTask> {
+        loop {
+            let next_completion = self
+                .workers
+                .iter()
+                .filter_map(|w| w.running.as_ref().map(|r| r.finishes_at))
+                .fold(f64::INFINITY, f64::min);
+            match self.evictions.first().copied() {
+                Some(ev) if ev <= next_completion => {
+                    self.evictions.remove(0);
+                    self.fire_eviction(ev);
+                    // An eviction may have been the only pending event;
+                    // re-evaluate.
+                }
+                _ => break,
+            }
+        }
+        let widx = self
+            .workers
+            .iter()
+            .enumerate()
+            .filter_map(|(i, w)| w.running.as_ref().map(|r| (i, r.finishes_at)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .map(|(i, _)| i)?;
+        let run = self.workers[widx].running.take().expect("selected running worker");
+        self.clock = self.clock.max(run.finishes_at);
+        let done = CompletedTask {
+            task: run.task,
+            job: run.spec.job(),
+            submitted_at: run.submitted_at,
+            started_at: run.started_at,
+            finished_at: run.finishes_at,
+            worker: self.workers[widx].id,
+            deadline: run.spec.deadline(),
+        };
+        self.completed.push(done);
+        self.events.push(DesEvent::TaskCompleted {
+            task: done.task,
+            job: done.job,
+            worker: done.worker,
+            at: done.finished_at,
+        });
+        if self.workers[widx].draining {
+            self.workers.remove(widx);
+        }
+        self.assign_idle_workers();
+        Some(done)
+    }
+
+    /// Processes every completion and eviction event up to virtual time
+    /// `t`, then sets the clock to `t`. Used by the feedback-control
+    /// sampling loop.
+    pub fn run_until(&mut self, t: f64) {
+        loop {
+            let next_completion = self
+                .workers
+                .iter()
+                .filter_map(|w| w.running.as_ref().map(|r| r.finishes_at))
+                .fold(f64::INFINITY, f64::min);
+            let next_eviction = self.evictions.first().copied().unwrap_or(f64::INFINITY);
+            let next = next_completion.min(next_eviction);
+            if next > t {
+                break;
+            }
+            if next_eviction <= next_completion {
+                self.evictions.remove(0);
+                self.fire_eviction(next_eviction);
+            } else {
+                let _ = self.step();
+            }
+        }
+        self.clock = self.clock.max(t);
+    }
+
+    /// Runs until the pool and all workers are empty, returning the
+    /// report.
+    pub fn run_to_completion(&mut self) -> ExecutionReport {
+        while self.step().is_some() {}
+        ExecutionReport { completed: self.completed.clone(), makespan: self.clock }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ResourceVector;
+
+    fn engine(workers: usize) -> DesEngine {
+        DesEngine::new(
+            Cluster::homogeneous(workers.max(1), 1.0),
+            ExecutionModel::new(0.0, 0.01, 0.01),
+            workers,
+        )
+    }
+
+    #[test]
+    fn single_task_timing() {
+        let mut des = engine(1);
+        des.submit(TaskSpec::new(JobId::new(0), 100.0));
+        let report = des.run_to_completion();
+        assert!((report.makespan - 1.0).abs() < 1e-9);
+        assert_eq!(report.completed.len(), 1);
+        assert_eq!(report.completed[0].started_at, 0.0);
+    }
+
+    #[test]
+    fn two_workers_halve_makespan() {
+        let mk = |w: usize| {
+            let mut des = engine(w);
+            for _ in 0..8 {
+                des.submit(TaskSpec::new(JobId::new(0), 100.0));
+            }
+            des.run_to_completion().makespan
+        };
+        assert!((mk(1) - 8.0).abs() < 1e-9);
+        assert!((mk(2) - 4.0).abs() < 1e-9);
+        assert!((mk(4) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fast_nodes_finish_first() {
+        let cluster = Cluster::new(vec![
+            crate::NodeSpec::new(2.0, ResourceVector::new(4, 8192, 10_000)),
+            crate::NodeSpec::new(1.0, ResourceVector::new(4, 8192, 10_000)),
+        ]);
+        let mut des = DesEngine::new(cluster, ExecutionModel::new(0.0, 0.01, 0.01), 2);
+        des.submit(TaskSpec::new(JobId::new(0), 100.0));
+        des.submit(TaskSpec::new(JobId::new(1), 100.0));
+        let report = des.run_to_completion();
+        let times: Vec<f64> = report.completed.iter().map(|c| c.finished_at).collect();
+        assert!((times[0] - 0.5).abs() < 1e-9, "fast worker: {times:?}");
+        assert!((times[1] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn priority_job_finishes_earlier() {
+        let run = |hi_prio: bool| {
+            let mut des = engine(1);
+            for _ in 0..10 {
+                des.submit(TaskSpec::new(JobId::new(0), 100.0));
+                des.submit(TaskSpec::new(JobId::new(1), 100.0));
+            }
+            if hi_prio {
+                des.set_job_priority(JobId::new(0), 8.0);
+            }
+            let report = des.run_to_completion();
+            report.job_completion_times()[&JobId::new(0)]
+        };
+        assert!(run(true) < run(false), "priority should accelerate job 0");
+    }
+
+    #[test]
+    fn init_overhead_is_charged_per_task() {
+        let mut des = DesEngine::new(
+            Cluster::homogeneous(1, 1.0),
+            ExecutionModel::new(1.0, 0.0, 0.0),
+            1,
+        );
+        for _ in 0..3 {
+            des.submit(TaskSpec::new(JobId::new(0), 0.0));
+        }
+        let report = des.run_to_completion();
+        assert!((report.makespan - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn elastic_growth_mid_run() {
+        let mut des = engine(1);
+        for _ in 0..10 {
+            des.submit(TaskSpec::new(JobId::new(0), 100.0)); // 1s each
+        }
+        des.run_until(2.0); // 2 done on 1 worker
+        des.set_num_workers(4);
+        let report = des.run_to_completion();
+        // Remaining 8 tasks on 4 workers: 2 more seconds.
+        assert!((report.makespan - 4.0).abs() < 1e-9, "makespan {}", report.makespan);
+    }
+
+    #[test]
+    fn shrink_drains_gracefully() {
+        let mut des = engine(4);
+        for _ in 0..8 {
+            des.submit(TaskSpec::new(JobId::new(0), 100.0));
+        }
+        des.set_num_workers(1);
+        let report = des.run_to_completion();
+        assert_eq!(report.completed.len(), 8, "no task lost on shrink");
+        assert_eq!(des.num_workers(), 1);
+    }
+
+    #[test]
+    fn run_until_advances_clock_without_events() {
+        let mut des = engine(1);
+        des.run_until(5.0);
+        assert_eq!(des.now(), 5.0);
+        des.submit(TaskSpec::new(JobId::new(0), 100.0));
+        let report = des.run_to_completion();
+        assert!((report.completed[0].submitted_at - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn oversized_task_waits_for_fitting_node() {
+        let cluster = Cluster::new(vec![
+            crate::NodeSpec::new(1.0, ResourceVector::new(1, 256, 100)),
+            crate::NodeSpec::new(1.0, ResourceVector::new(16, 65_536, 100_000)),
+        ]);
+        let mut des = DesEngine::new(cluster, ExecutionModel::new(0.0, 0.01, 0.01), 2);
+        // Needs the big node.
+        des.submit(
+            TaskSpec::new(JobId::new(0), 100.0)
+                .with_requirements(ResourceVector::new(8, 32_768, 1_000)),
+        );
+        let report = des.run_to_completion();
+        assert_eq!(report.completed.len(), 1);
+        assert_eq!(report.completed[0].worker.index() % 2, 1, "ran on the big node");
+    }
+
+    #[test]
+    fn deadlines_recorded() {
+        let mut des = engine(1);
+        des.submit(TaskSpec::new(JobId::new(0), 100.0).with_deadline(0.5)); // 1s task, misses
+        des.submit(TaskSpec::new(JobId::new(0), 100.0).with_deadline(10.0)); // hits
+        let report = des.run_to_completion();
+        assert!((report.deadline_hit_rate() - 0.5).abs() < 1e-12);
+    }
+}
+
+#[cfg(test)]
+mod eviction_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn engine(workers: usize) -> DesEngine {
+        DesEngine::new(
+            Cluster::homogeneous(workers.max(1), 1.0),
+            ExecutionModel::new(0.0, 0.01, 0.01),
+            workers,
+        )
+    }
+
+    #[test]
+    fn eviction_requeues_the_running_task() {
+        let mut des = engine(1);
+        des.submit(TaskSpec::new(JobId::new(0), 100.0)); // 1s task
+        des.schedule_eviction(0.5);
+        des.set_num_workers(2); // replacement capacity arrives
+        let report = des.run_to_completion();
+        assert_eq!(report.completed.len(), 1, "no task lost");
+        assert_eq!(des.retries(), 1);
+        // The task restarted from scratch after the eviction.
+        assert!(report.makespan >= 1.5 - 1e-9, "makespan {}", report.makespan);
+        // Latency is measured from the original submission.
+        assert!((report.completed[0].submitted_at - 0.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eviction_of_idle_worker_shrinks_the_pool() {
+        let mut des = engine(3);
+        des.schedule_eviction(0.5);
+        des.run_until(1.0); // fires while every worker is idle
+        assert_eq!(des.num_workers(), 2);
+        assert_eq!(des.retries(), 0, "idle eviction interrupts nothing");
+        des.submit(TaskSpec::new(JobId::new(0), 100.0));
+        let report = des.run_to_completion();
+        assert_eq!(report.completed.len(), 1);
+    }
+
+    #[test]
+    fn run_until_fires_due_evictions() {
+        let mut des = engine(2);
+        des.submit(TaskSpec::new(JobId::new(0), 10_000.0)); // 100s task
+        des.schedule_eviction(1.0);
+        des.run_until(2.0);
+        assert_eq!(des.num_workers(), 1, "eviction inside the window fired");
+        assert_eq!(des.retries(), 1);
+        assert_eq!(des.now(), 2.0);
+    }
+
+    #[test]
+    fn eviction_targets_the_longest_running_task() {
+        let mut des = engine(2);
+        let a = des.submit(TaskSpec::new(JobId::new(0), 1_000.0)); // 10s, starts at 0
+        des.run_until(0.5);
+        let b = des.submit(TaskSpec::new(JobId::new(1), 1_000.0)); // starts at 0.5
+        des.schedule_eviction(1.0);
+        let report = des.run_to_completion();
+        assert_eq!(report.completed.len(), 2);
+        // Task `a` (earliest start) was interrupted; `b` ran through.
+        let b_done = report.completed.iter().find(|c| c.job == JobId::new(1)).unwrap();
+        assert!((b_done.finished_at - 10.5).abs() < 1e-9, "b at {}", b_done.finished_at);
+        let _ = (a, b);
+    }
+
+    #[test]
+    fn losing_every_worker_strands_pending_tasks() {
+        let mut des = engine(1);
+        des.submit(TaskSpec::new(JobId::new(0), 100.0));
+        des.submit(TaskSpec::new(JobId::new(0), 100.0));
+        des.schedule_eviction(0.2);
+        let report = des.run_to_completion();
+        // The cluster died: nothing completes, tasks remain queued.
+        assert!(report.completed.is_empty());
+        assert_eq!(des.pending(), 2);
+        // Capacity returns → work drains.
+        des.set_num_workers(1);
+        let report = des.run_to_completion();
+        assert_eq!(report.completed.len(), 2);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        #[test]
+        fn no_task_is_ever_lost_under_eviction_storms(
+            evictions in prop::collection::vec(0.0f64..20.0, 0..5),
+            tasks in 1usize..20,
+            workers in 2usize..8,
+        ) {
+            let mut des = engine(workers);
+            for i in 0..tasks {
+                des.submit(TaskSpec::new(JobId::new(i as u32 % 3), 100.0));
+            }
+            for &t in &evictions {
+                des.schedule_eviction(t);
+            }
+            // Keep at least one worker alive by re-adding capacity after
+            // the last eviction could have fired.
+            des.run_until(25.0);
+            des.set_num_workers(workers);
+            let report = des.run_to_completion();
+            prop_assert_eq!(report.completed.len(), tasks, "retries: {}", des.retries());
+        }
+    }
+}
+
+#[cfg(test)]
+mod churn_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        /// Work conservation under arbitrary resize churn: however the
+        /// pool is grown/shrunk mid-run, every submitted task completes
+        /// exactly once.
+        #[test]
+        fn resize_churn_never_loses_or_duplicates_tasks(
+            resizes in prop::collection::vec((0.0f64..10.0, 1usize..12), 0..6),
+            tasks in 1usize..25,
+        ) {
+            let mut des = DesEngine::new(
+                Cluster::homogeneous(4, 1.0),
+                ExecutionModel::new(0.0, 0.01, 0.01),
+                4,
+            );
+            for i in 0..tasks {
+                des.submit(TaskSpec::new(JobId::new(i as u32 % 4), 150.0));
+            }
+            let mut ordered = resizes.clone();
+            ordered.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            for (t, n) in ordered {
+                des.run_until(t);
+                des.set_num_workers(n);
+            }
+            let report = des.run_to_completion();
+            prop_assert_eq!(report.completed.len(), tasks);
+            // Exactly-once: no task id appears twice.
+            let mut ids: Vec<_> = report.completed.iter().map(|c| c.task).collect();
+            ids.sort();
+            ids.dedup();
+            prop_assert_eq!(ids.len(), tasks);
+        }
+
+        /// Timestamps are always sane: start ≥ submit, finish > start.
+        #[test]
+        fn completion_timestamps_are_ordered(
+            tasks in 1usize..20,
+            workers in 1usize..6,
+        ) {
+            let mut des = DesEngine::new(
+                Cluster::homogeneous(workers, 1.0),
+                ExecutionModel::default(),
+                workers,
+            );
+            for i in 0..tasks {
+                des.submit(TaskSpec::new(JobId::new(i as u32), 50.0));
+            }
+            let report = des.run_to_completion();
+            for c in &report.completed {
+                prop_assert!(c.started_at >= c.submitted_at - 1e-12);
+                prop_assert!(c.finished_at > c.started_at);
+                prop_assert!(c.finished_at <= report.makespan + 1e-12);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod event_log_tests {
+    use super::*;
+
+    #[test]
+    fn starts_precede_completions_per_task() {
+        let mut des = DesEngine::new(
+            Cluster::homogeneous(2, 1.0),
+            ExecutionModel::new(0.0, 0.01, 0.01),
+            2,
+        );
+        for _ in 0..6 {
+            des.submit(TaskSpec::new(JobId::new(0), 100.0));
+        }
+        let _ = des.run_to_completion();
+        let mut started = std::collections::BTreeSet::new();
+        let mut completed = 0;
+        for e in des.events() {
+            match *e {
+                DesEvent::TaskStarted { task, .. } => {
+                    started.insert(task);
+                }
+                DesEvent::TaskCompleted { task, .. } => {
+                    assert!(started.contains(&task), "completion before start for {task}");
+                    completed += 1;
+                }
+                DesEvent::WorkerEvicted { .. } => {}
+            }
+        }
+        assert_eq!(completed, 6);
+    }
+
+    #[test]
+    fn evictions_appear_in_the_log() {
+        let mut des = DesEngine::new(
+            Cluster::homogeneous(2, 1.0),
+            ExecutionModel::new(0.0, 0.01, 0.01),
+            2,
+        );
+        des.submit(TaskSpec::new(JobId::new(0), 1_000.0));
+        des.schedule_eviction(1.0);
+        let _ = des.run_to_completion();
+        let evictions: Vec<&DesEvent> = des
+            .events()
+            .iter()
+            .filter(|e| matches!(e, DesEvent::WorkerEvicted { .. }))
+            .collect();
+        assert_eq!(evictions.len(), 1);
+        if let DesEvent::WorkerEvicted { interrupted, at, .. } = evictions[0] {
+            assert!(interrupted.is_some(), "busy worker was interrupted");
+            assert!((at - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn event_times_are_monotone() {
+        let mut des = DesEngine::new(
+            Cluster::homogeneous(3, 1.0),
+            ExecutionModel::default(),
+            3,
+        );
+        for i in 0..9 {
+            des.submit(TaskSpec::new(JobId::new(i % 2), 50.0 * f64::from(i + 1)));
+        }
+        let _ = des.run_to_completion();
+        let times: Vec<f64> = des
+            .events()
+            .iter()
+            .map(|e| match *e {
+                DesEvent::TaskStarted { at, .. }
+                | DesEvent::TaskCompleted { at, .. }
+                | DesEvent::WorkerEvicted { at, .. } => at,
+            })
+            .collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1] + 1e-9), "{times:?}");
+    }
+}

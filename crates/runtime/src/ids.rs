@@ -1,0 +1,71 @@
+//! Identifier newtypes for jobs, tasks and workers.
+
+use std::fmt;
+
+macro_rules! runtime_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(u32);
+
+        impl $name {
+            /// Creates the id from its dense index.
+            #[must_use]
+            pub const fn new(index: u32) -> Self {
+                Self(index)
+            }
+
+            /// The dense index.
+            #[must_use]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(index: u32) -> Self {
+                Self(index)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+runtime_id!(
+    /// Identifier of a truth-discovery job (one per claim in SSTD).
+    JobId,
+    "TD"
+);
+runtime_id!(
+    /// Identifier of one task within the task pool.
+    TaskId,
+    "task"
+);
+runtime_id!(
+    /// Identifier of a worker process in the worker pool.
+    WorkerId,
+    "wk"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_display() {
+        assert_eq!(JobId::new(3).index(), 3);
+        assert_eq!(JobId::new(3).to_string(), "TD3");
+        assert_eq!(TaskId::new(0).to_string(), "task0");
+        assert_eq!(WorkerId::from(7u32).to_string(), "wk7");
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(TaskId::new(1) < TaskId::new(2));
+    }
+}

@@ -1,0 +1,249 @@
+//! The task pool: deterministic priority-proportional scheduling.
+//!
+//! The paper defines job priority as `P_u = T_u / Σ T` and states that "a
+//! higher priority job is more likely to be processed earlier than a low
+//! priority job" (§IV-C4). We implement that share semantics with *stride
+//! scheduling*: each job advances a pass value by `1/priority` per popped
+//! task, and the pool always pops from the job with the smallest pass —
+//! which serves jobs in exact proportion to their priorities without any
+//! randomness (reproducible experiments).
+
+use crate::{JobId, TaskId, TaskSpec};
+use std::collections::{BTreeMap, VecDeque};
+
+/// A priority-scheduled pool of pending tasks.
+///
+/// # Examples
+///
+/// ```
+/// use sstd_runtime::{JobId, TaskPool, TaskSpec};
+///
+/// let mut pool = TaskPool::new();
+/// for _ in 0..4 {
+///     pool.submit(TaskSpec::new(JobId::new(0), 1.0));
+///     pool.submit(TaskSpec::new(JobId::new(1), 1.0));
+/// }
+/// pool.set_priority(JobId::new(0), 3.0);
+/// // Job 0 is served three times as often as job 1.
+/// let (_, first) = pool.pop().unwrap();
+/// assert_eq!(first.job(), JobId::new(0));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TaskPool {
+    queues: BTreeMap<JobId, VecDeque<(TaskId, TaskSpec)>>,
+    priorities: BTreeMap<JobId, f64>,
+    passes: BTreeMap<JobId, f64>,
+    next_task: u32,
+    len: usize,
+}
+
+impl TaskPool {
+    /// Creates an empty pool.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of pending tasks.
+    #[must_use]
+    pub const fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the pool has no pending tasks.
+    #[must_use]
+    pub const fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Pending task count of one job.
+    #[must_use]
+    pub fn pending_of(&self, job: JobId) -> usize {
+        self.queues.get(&job).map_or(0, VecDeque::len)
+    }
+
+    /// Jobs with at least one pending task.
+    pub fn active_jobs(&self) -> impl Iterator<Item = JobId> + '_ {
+        self.queues.iter().filter(|(_, q)| !q.is_empty()).map(|(&j, _)| j)
+    }
+
+    /// Submits a task, returning its id. Tasks of the same job are served
+    /// FIFO relative to each other.
+    pub fn submit(&mut self, spec: TaskSpec) -> TaskId {
+        let id = TaskId::new(self.next_task);
+        self.next_task += 1;
+        self.queues.entry(spec.job()).or_default().push_back((id, spec));
+        self.priorities.entry(spec.job()).or_insert(1.0);
+        self.len += 1;
+        id
+    }
+
+    /// Sets a job's scheduling priority (the Local Control Knob).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `priority` is finite and positive.
+    pub fn set_priority(&mut self, job: JobId, priority: f64) {
+        assert!(priority.is_finite() && priority > 0.0, "priority must be positive");
+        self.priorities.insert(job, priority);
+    }
+
+    /// A job's current priority (1.0 if never set).
+    #[must_use]
+    pub fn priority(&self, job: JobId) -> f64 {
+        self.priorities.get(&job).copied().unwrap_or(1.0)
+    }
+
+    /// Priority *share* `P_u = prio_u / Σ prio` over jobs with pending
+    /// tasks (the quantity in the paper's WCET formula).
+    #[must_use]
+    pub fn priority_share(&self, job: JobId) -> f64 {
+        let total: f64 = self
+            .queues
+            .iter()
+            .filter(|(_, q)| !q.is_empty())
+            .map(|(j, _)| self.priority(*j))
+            .sum();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        if self.pending_of(job) == 0 {
+            0.0
+        } else {
+            self.priority(job) / total
+        }
+    }
+
+    /// Pops the next task by stride scheduling.
+    pub fn pop(&mut self) -> Option<(TaskId, TaskSpec)> {
+        // Pick the non-empty job with the smallest pass value;
+        // ties break toward the smaller job id (BTreeMap order).
+        let job = self
+            .queues
+            .iter()
+            .filter(|(_, q)| !q.is_empty())
+            .map(|(&j, _)| j)
+            .min_by(|&a, &b| {
+                let pa = self.passes.get(&a).copied().unwrap_or(0.0);
+                let pb = self.passes.get(&b).copied().unwrap_or(0.0);
+                pa.partial_cmp(&pb).unwrap().then(a.cmp(&b))
+            })?;
+        let entry = self.queues.get_mut(&job)?.pop_front()?;
+        *self.passes.entry(job).or_insert(0.0) += 1.0 / self.priority(job);
+        self.len -= 1;
+        Some(entry)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn fill(pool: &mut TaskPool, job: u32, n: usize) {
+        for _ in 0..n {
+            pool.submit(TaskSpec::new(JobId::new(job), 1.0));
+        }
+    }
+
+    #[test]
+    fn fifo_within_a_job() {
+        let mut pool = TaskPool::new();
+        let a = pool.submit(TaskSpec::new(JobId::new(0), 1.0));
+        let b = pool.submit(TaskSpec::new(JobId::new(0), 2.0));
+        assert_eq!(pool.pop().unwrap().0, a);
+        assert_eq!(pool.pop().unwrap().0, b);
+        assert!(pool.pop().is_none());
+    }
+
+    #[test]
+    fn equal_priorities_interleave() {
+        let mut pool = TaskPool::new();
+        fill(&mut pool, 0, 2);
+        fill(&mut pool, 1, 2);
+        let order: Vec<usize> = std::iter::from_fn(|| pool.pop())
+            .map(|(_, t)| t.job().index())
+            .collect();
+        assert_eq!(order, vec![0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn priority_three_to_one_share() {
+        let mut pool = TaskPool::new();
+        fill(&mut pool, 0, 30);
+        fill(&mut pool, 1, 30);
+        pool.set_priority(JobId::new(0), 3.0);
+        let first_20: Vec<usize> = (0..20)
+            .map(|_| pool.pop().unwrap().1.job().index())
+            .collect();
+        let job0_count = first_20.iter().filter(|&&j| j == 0).count();
+        assert!(
+            (14..=16).contains(&job0_count),
+            "expected ~15 of 20 pops for the 3x job, got {job0_count}"
+        );
+    }
+
+    #[test]
+    fn priority_share_sums_to_one() {
+        let mut pool = TaskPool::new();
+        fill(&mut pool, 0, 1);
+        fill(&mut pool, 1, 1);
+        fill(&mut pool, 2, 1);
+        pool.set_priority(JobId::new(1), 2.0);
+        let total: f64 = (0..3).map(|j| pool.priority_share(JobId::new(j))).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert_eq!(pool.priority_share(JobId::new(9)), 0.0);
+    }
+
+    #[test]
+    fn exhausted_jobs_release_their_share() {
+        let mut pool = TaskPool::new();
+        fill(&mut pool, 0, 1);
+        fill(&mut pool, 1, 1);
+        let _ = pool.pop();
+        let _ = pool.pop();
+        assert!(pool.is_empty());
+        assert_eq!(pool.priority_share(JobId::new(0)), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "priority must be positive")]
+    fn zero_priority_rejected() {
+        let mut pool = TaskPool::new();
+        pool.set_priority(JobId::new(0), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn pops_exactly_what_was_submitted(
+            counts in prop::collection::vec(0usize..10, 1..6),
+        ) {
+            let mut pool = TaskPool::new();
+            for (j, &n) in counts.iter().enumerate() {
+                fill(&mut pool, j as u32, n);
+            }
+            let total: usize = counts.iter().sum();
+            prop_assert_eq!(pool.len(), total);
+            let mut popped = 0;
+            while pool.pop().is_some() {
+                popped += 1;
+            }
+            prop_assert_eq!(popped, total);
+        }
+
+        #[test]
+        fn stride_respects_ratios(prio in 1.0f64..8.0) {
+            let mut pool = TaskPool::new();
+            fill(&mut pool, 0, 200);
+            fill(&mut pool, 1, 200);
+            pool.set_priority(JobId::new(0), prio);
+            let n = 100;
+            let job0 = (0..n)
+                .filter(|_| pool.pop().unwrap().1.job().index() == 0)
+                .count();
+            let expected = n as f64 * prio / (prio + 1.0);
+            prop_assert!((job0 as f64 - expected).abs() <= 2.0,
+                "prio {prio}: got {job0}, expected ~{expected}");
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! Execution reports: what the evaluation harness measures.
+
+use crate::{JobId, TaskId, WorkerId};
+use sstd_stats::P2Quantile;
+use std::collections::BTreeMap;
+
+/// The record of one finished task.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompletedTask {
+    /// Task identity.
+    pub task: TaskId,
+    /// Owning TD job.
+    pub job: JobId,
+    /// Virtual time the task entered the pool.
+    pub submitted_at: f64,
+    /// Virtual time a worker started it.
+    pub started_at: f64,
+    /// Virtual time it finished.
+    pub finished_at: f64,
+    /// The worker that ran it.
+    pub worker: WorkerId,
+    /// Soft deadline carried by the task, if any.
+    pub deadline: Option<f64>,
+}
+
+impl CompletedTask {
+    /// Queueing delay before execution started.
+    #[must_use]
+    pub fn queue_delay(&self) -> f64 {
+        self.started_at - self.submitted_at
+    }
+
+    /// End-to-end latency from submission to completion.
+    #[must_use]
+    pub fn latency(&self) -> f64 {
+        self.finished_at - self.submitted_at
+    }
+
+    /// Whether the task met its deadline (tasks without a deadline count
+    /// as hits).
+    #[must_use]
+    pub fn met_deadline(&self) -> bool {
+        self.deadline.is_none_or(|d| self.latency() <= d)
+    }
+}
+
+/// Aggregate result of an execution run.
+///
+/// # Examples
+///
+/// ```
+/// use sstd_runtime::{Cluster, DesEngine, ExecutionModel, JobId, TaskSpec};
+///
+/// let mut des = DesEngine::new(Cluster::homogeneous(2, 1.0), ExecutionModel::default(), 2);
+/// des.submit(TaskSpec::new(JobId::new(0), 100.0).with_deadline(10.0));
+/// let report = des.run_to_completion();
+/// assert_eq!(report.completed.len(), 1);
+/// assert!(report.deadline_hit_rate() > 0.99);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ExecutionReport {
+    /// Every finished task.
+    pub completed: Vec<CompletedTask>,
+    /// Virtual time at which the last task finished.
+    pub makespan: f64,
+}
+
+impl ExecutionReport {
+    /// Per-job completion time: when each job's last task finished.
+    #[must_use]
+    pub fn job_completion_times(&self) -> BTreeMap<JobId, f64> {
+        let mut out = BTreeMap::new();
+        for c in &self.completed {
+            let e = out.entry(c.job).or_insert(0.0f64);
+            *e = e.max(c.finished_at);
+        }
+        out
+    }
+
+    /// Fraction of deadline-carrying tasks that met their deadline;
+    /// 1.0 when no task carries a deadline.
+    #[must_use]
+    pub fn deadline_hit_rate(&self) -> f64 {
+        let with_deadline: Vec<&CompletedTask> =
+            self.completed.iter().filter(|c| c.deadline.is_some()).collect();
+        if with_deadline.is_empty() {
+            return 1.0;
+        }
+        with_deadline.iter().filter(|c| c.met_deadline()).count() as f64
+            / with_deadline.len() as f64
+    }
+
+    /// Mean end-to-end task latency (0 for an empty report).
+    #[must_use]
+    pub fn mean_latency(&self) -> f64 {
+        if self.completed.is_empty() {
+            return 0.0;
+        }
+        self.completed.iter().map(CompletedTask::latency).sum::<f64>()
+            / self.completed.len() as f64
+    }
+
+    /// Streaming estimate of the `p`-quantile of task latency (`None`
+    /// for an empty report).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `p` is strictly inside `(0, 1)`.
+    #[must_use]
+    pub fn latency_quantile(&self, p: f64) -> Option<f64> {
+        let mut q = P2Quantile::new(p).expect("quantile must be in (0, 1)");
+        for c in &self.completed {
+            q.push(c.latency());
+        }
+        q.estimate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn task(job: u32, submitted: f64, started: f64, finished: f64, dl: Option<f64>) -> CompletedTask {
+        CompletedTask {
+            task: TaskId::new(0),
+            job: JobId::new(job),
+            submitted_at: submitted,
+            started_at: started,
+            finished_at: finished,
+            worker: WorkerId::new(0),
+            deadline: dl,
+        }
+    }
+
+    #[test]
+    fn latency_and_queue_delay() {
+        let t = task(0, 1.0, 2.0, 5.0, None);
+        assert_eq!(t.queue_delay(), 1.0);
+        assert_eq!(t.latency(), 4.0);
+        assert!(t.met_deadline(), "no deadline counts as hit");
+    }
+
+    #[test]
+    fn deadline_hit_rate_counts_only_deadline_tasks() {
+        let report = ExecutionReport {
+            completed: vec![
+                task(0, 0.0, 0.0, 1.0, Some(2.0)),  // hit
+                task(0, 0.0, 0.0, 5.0, Some(2.0)),  // miss
+                task(1, 0.0, 0.0, 99.0, None),      // ignored
+            ],
+            makespan: 99.0,
+        };
+        assert!((report.deadline_hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn job_completion_is_max_finish() {
+        let report = ExecutionReport {
+            completed: vec![
+                task(0, 0.0, 0.0, 3.0, None),
+                task(0, 0.0, 0.0, 7.0, None),
+                task(1, 0.0, 0.0, 2.0, None),
+            ],
+            makespan: 7.0,
+        };
+        let jc = report.job_completion_times();
+        assert_eq!(jc[&JobId::new(0)], 7.0);
+        assert_eq!(jc[&JobId::new(1)], 2.0);
+    }
+
+    #[test]
+    fn empty_report_defaults() {
+        let r = ExecutionReport::default();
+        assert_eq!(r.deadline_hit_rate(), 1.0);
+        assert_eq!(r.mean_latency(), 0.0);
+        assert_eq!(r.latency_quantile(0.9), None);
+    }
+
+    #[test]
+    fn latency_quantile_orders_sensibly() {
+        let completed: Vec<CompletedTask> =
+            (0..100).map(|i| task(0, 0.0, 0.0, 1.0 + f64::from(i), None)).collect();
+        let report = ExecutionReport { completed, makespan: 100.0 };
+        let p50 = report.latency_quantile(0.5).unwrap();
+        let p95 = report.latency_quantile(0.95).unwrap();
+        assert!(p50 < p95);
+        assert!((p50 - 50.0).abs() < 5.0, "p50 = {p50}");
+        assert!(p95 > 90.0, "p95 = {p95}");
+    }
+}

@@ -1,0 +1,127 @@
+//! Resource vectors: the per-node constraint set `RC_k` of paper §II.
+
+use std::fmt;
+
+/// Capacities or requirements along the resource dimensions the paper
+/// names (cores, memory, disk).
+///
+/// # Examples
+///
+/// ```
+/// use sstd_runtime::ResourceVector;
+///
+/// let node = ResourceVector::new(4, 8_192, 100_000);
+/// let task = ResourceVector::new(1, 2_048, 500);
+/// assert!(task.fits_in(&node));
+/// assert!(!node.fits_in(&task));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ResourceVector {
+    cores: u32,
+    memory_mb: u64,
+    disk_mb: u64,
+}
+
+impl ResourceVector {
+    /// Creates a resource vector.
+    #[must_use]
+    pub const fn new(cores: u32, memory_mb: u64, disk_mb: u64) -> Self {
+        Self { cores, memory_mb, disk_mb }
+    }
+
+    /// A typical single-task requirement: 1 core, 512 MB, 100 MB disk.
+    #[must_use]
+    pub const fn task_default() -> Self {
+        Self::new(1, 512, 100)
+    }
+
+    /// CPU cores.
+    #[must_use]
+    pub const fn cores(&self) -> u32 {
+        self.cores
+    }
+
+    /// Memory in megabytes.
+    #[must_use]
+    pub const fn memory_mb(&self) -> u64 {
+        self.memory_mb
+    }
+
+    /// Disk in megabytes.
+    #[must_use]
+    pub const fn disk_mb(&self) -> u64 {
+        self.disk_mb
+    }
+
+    /// Whether this requirement fits inside `capacity` on every dimension
+    /// — the per-node constraint check `RC_k` of the problem formulation.
+    #[must_use]
+    pub const fn fits_in(&self, capacity: &ResourceVector) -> bool {
+        self.cores <= capacity.cores
+            && self.memory_mb <= capacity.memory_mb
+            && self.disk_mb <= capacity.disk_mb
+    }
+
+    /// Component-wise subtraction, saturating at zero — the remaining
+    /// capacity after placing a task.
+    #[must_use]
+    pub const fn saturating_sub(&self, used: &ResourceVector) -> Self {
+        Self {
+            cores: self.cores.saturating_sub(used.cores),
+            memory_mb: self.memory_mb.saturating_sub(used.memory_mb),
+            disk_mb: self.disk_mb.saturating_sub(used.disk_mb),
+        }
+    }
+
+    /// Component-wise addition — releasing a task's resources.
+    #[must_use]
+    pub const fn add(&self, other: &ResourceVector) -> Self {
+        Self {
+            cores: self.cores + other.cores,
+            memory_mb: self.memory_mb + other.memory_mb,
+            disk_mb: self.disk_mb + other.disk_mb,
+        }
+    }
+}
+
+impl fmt::Display for ResourceVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}c/{}MB/{}MBdisk", self.cores, self.memory_mb, self.disk_mb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fits_requires_every_dimension() {
+        let cap = ResourceVector::new(2, 1024, 1000);
+        assert!(ResourceVector::new(2, 1024, 1000).fits_in(&cap));
+        assert!(!ResourceVector::new(3, 1, 1).fits_in(&cap));
+        assert!(!ResourceVector::new(1, 2048, 1).fits_in(&cap));
+        assert!(!ResourceVector::new(1, 1, 2000).fits_in(&cap));
+    }
+
+    #[test]
+    fn subtract_and_release_roundtrip() {
+        let cap = ResourceVector::new(4, 8192, 1000);
+        let task = ResourceVector::task_default();
+        let rem = cap.saturating_sub(&task);
+        assert_eq!(rem.cores(), 3);
+        assert_eq!(rem.add(&task), cap);
+    }
+
+    #[test]
+    fn saturating_subtraction_never_underflows() {
+        let small = ResourceVector::new(1, 10, 10);
+        let big = ResourceVector::new(5, 100, 100);
+        let r = small.saturating_sub(&big);
+        assert_eq!(r, ResourceVector::new(0, 0, 0));
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(ResourceVector::new(1, 2, 3).to_string(), "1c/2MB/3MBdisk");
+    }
+}

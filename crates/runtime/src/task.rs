@@ -1,0 +1,118 @@
+//! Task specifications: the unit of work a worker executes.
+
+use crate::{JobId, ResourceVector};
+
+/// One task of a truth-discovery job.
+///
+/// The Dynamic Task Manager "divides the data of each TD job equally
+/// between its tasks" (paper §IV-C4); `data_size` is the task's share (in
+/// abstract data units — tweets, in the experiments).
+///
+/// # Examples
+///
+/// ```
+/// use sstd_runtime::{JobId, TaskSpec};
+///
+/// let t = TaskSpec::new(JobId::new(0), 250.0);
+/// assert_eq!(t.data_size(), 250.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaskSpec {
+    job: JobId,
+    data_size: f64,
+    requirements: ResourceVector,
+    /// Optional application deadline (virtual seconds from submission of
+    /// the batch) used for hit-rate reporting.
+    deadline: Option<f64>,
+}
+
+impl TaskSpec {
+    /// Creates a task for `job` carrying `data_size` units of data, with
+    /// default resource requirements.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `data_size` is finite and non-negative.
+    #[must_use]
+    pub fn new(job: JobId, data_size: f64) -> Self {
+        assert!(data_size.is_finite() && data_size >= 0.0, "data size must be non-negative");
+        Self { job, data_size, requirements: ResourceVector::task_default(), deadline: None }
+    }
+
+    /// Sets explicit resource requirements.
+    #[must_use]
+    pub fn with_requirements(mut self, req: ResourceVector) -> Self {
+        self.requirements = req;
+        self
+    }
+
+    /// Attaches a soft deadline (virtual seconds).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `deadline` is finite and positive.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: f64) -> Self {
+        assert!(deadline.is_finite() && deadline > 0.0, "deadline must be positive");
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// The owning TD job.
+    #[must_use]
+    pub const fn job(&self) -> JobId {
+        self.job
+    }
+
+    /// The task's data share.
+    #[must_use]
+    pub const fn data_size(&self) -> f64 {
+        self.data_size
+    }
+
+    /// Resource requirements.
+    #[must_use]
+    pub const fn requirements(&self) -> &ResourceVector {
+        &self.requirements
+    }
+
+    /// The soft deadline, if any.
+    #[must_use]
+    pub const fn deadline(&self) -> Option<f64> {
+        self.deadline
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chain() {
+        let t = TaskSpec::new(JobId::new(2), 10.0)
+            .with_requirements(ResourceVector::new(2, 1024, 10))
+            .with_deadline(5.0);
+        assert_eq!(t.job(), JobId::new(2));
+        assert_eq!(t.requirements().cores(), 2);
+        assert_eq!(t.deadline(), Some(5.0));
+    }
+
+    #[test]
+    fn zero_data_is_allowed() {
+        let t = TaskSpec::new(JobId::new(0), 0.0);
+        assert_eq!(t.data_size(), 0.0);
+        assert_eq!(t.deadline(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_data_panics() {
+        let _ = TaskSpec::new(JobId::new(0), -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadline must be positive")]
+    fn zero_deadline_panics() {
+        let _ = TaskSpec::new(JobId::new(0), 1.0).with_deadline(0.0);
+    }
+}

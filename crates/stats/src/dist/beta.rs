@@ -1,0 +1,151 @@
+//! Beta distribution — the reliability prior of the synthetic source
+//! population.
+
+use super::{DistError, Gamma};
+use crate::special::ln_gamma;
+use rand::Rng;
+
+/// A beta distribution `Beta(α, β)` on `[0, 1]`.
+///
+/// The trace generator models source reliability as a Beta draw: a mostly
+/// honest crowd is `Beta(8, 2)`, a noisy one `Beta(2, 2)`, a misinformation
+/// cohort `Beta(1, 4)`. Sampling composes two gamma draws.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use sstd_stats::dist::Beta;
+///
+/// let b = Beta::new(8.0, 2.0)?;
+/// assert!((b.mean() - 0.8).abs() < 1e-12);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+/// let x = b.sample(&mut rng);
+/// assert!((0.0..=1.0).contains(&x));
+/// # Ok::<(), sstd_stats::DistError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Beta {
+    alpha: f64,
+    beta: f64,
+}
+
+impl Beta {
+    /// Creates `Beta(alpha, beta)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError`] unless both parameters are finite and positive.
+    pub fn new(alpha: f64, beta: f64) -> Result<Self, DistError> {
+        if !(alpha.is_finite() && alpha > 0.0) {
+            return Err(DistError::new("beta", "alpha must be finite and positive"));
+        }
+        if !(beta.is_finite() && beta > 0.0) {
+            return Err(DistError::new("beta", "beta must be finite and positive"));
+        }
+        Ok(Self { alpha, beta })
+    }
+
+    /// The `α` parameter.
+    #[must_use]
+    pub const fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The `β` parameter.
+    #[must_use]
+    pub const fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    /// Distribution mean `α / (α + β)`.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.alpha / (self.alpha + self.beta)
+    }
+
+    /// Distribution variance.
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        let s = self.alpha + self.beta;
+        self.alpha * self.beta / (s * s * (s + 1.0))
+    }
+
+    /// Draws one sample as `X / (X + Y)` with `X ~ Γ(α)`, `Y ~ Γ(β)`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let gx = Gamma::new(self.alpha, 1.0).expect("validated");
+        let gy = Gamma::new(self.beta, 1.0).expect("validated");
+        let x = gx.sample(rng);
+        let y = gy.sample(rng);
+        (x / (x + y)).clamp(0.0, 1.0)
+    }
+
+    /// Probability density at `x ∈ (0, 1)`; zero outside.
+    #[must_use]
+    pub fn pdf(&self, x: f64) -> f64 {
+        if !(0.0..=1.0).contains(&x) {
+            return 0.0;
+        }
+        if x == 0.0 || x == 1.0 {
+            // Valid limits exist for α,β > 1; use 0 to stay finite otherwise.
+            return 0.0;
+        }
+        let ln_b = ln_gamma(self.alpha) + ln_gamma(self.beta) - ln_gamma(self.alpha + self.beta);
+        ((self.alpha - 1.0) * x.ln() + (self.beta - 1.0) * (1.0 - x).ln() - ln_b).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Beta::new(0.0, 1.0).is_err());
+        assert!(Beta::new(1.0, -2.0).is_err());
+    }
+
+    #[test]
+    fn analytic_moments() {
+        let b = Beta::new(2.0, 6.0).unwrap();
+        assert!((b.mean() - 0.25).abs() < 1e-12);
+        assert!((b.variance() - 2.0 * 6.0 / (64.0 * 9.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_moments_match() {
+        let b = Beta::new(8.0, 2.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(21);
+        let xs: Vec<f64> = (0..20_000).map(|_| b.sample(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        assert!((mean - 0.8).abs() < 0.01, "mean = {mean}");
+        assert!(xs.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn pdf_integrates_to_one() {
+        let b = Beta::new(3.0, 5.0).unwrap();
+        let n = 20_000;
+        let integral: f64 = (1..n)
+            .map(|i| b.pdf(i as f64 / n as f64) / n as f64)
+            .sum();
+        assert!((integral - 1.0).abs() < 1e-3, "integral = {integral}");
+    }
+
+    #[test]
+    fn pdf_zero_outside_support() {
+        let b = Beta::new(2.0, 2.0).unwrap();
+        assert_eq!(b.pdf(-0.1), 0.0);
+        assert_eq!(b.pdf(1.1), 0.0);
+    }
+
+    #[test]
+    fn uniform_special_case() {
+        // Beta(1,1) is uniform: pdf = 1 in the interior.
+        let b = Beta::new(1.0, 1.0).unwrap();
+        assert!((b.pdf(0.3) - 1.0).abs() < 1e-9);
+        assert!((b.pdf(0.9) - 1.0).abs() < 1e-9);
+    }
+}

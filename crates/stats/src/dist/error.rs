@@ -1,0 +1,62 @@
+//! Parameter-validation error for distribution constructors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when a distribution is constructed with invalid
+/// parameters (non-positive scale, NaN mean, …).
+///
+/// # Examples
+///
+/// ```
+/// use sstd_stats::dist::Normal;
+///
+/// let err = Normal::new(0.0, -1.0).unwrap_err();
+/// assert!(err.to_string().contains("normal"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DistError {
+    dist: &'static str,
+    reason: &'static str,
+}
+
+impl DistError {
+    pub(crate) fn new(dist: &'static str, reason: &'static str) -> Self {
+        Self { dist, reason }
+    }
+
+    /// Creates a parameter error for a distribution-like model defined
+    /// outside this crate (e.g. an HMM emission built from these
+    /// distributions).
+    #[must_use]
+    pub fn invalid(dist: &'static str, reason: &'static str) -> Self {
+        Self { dist, reason }
+    }
+
+    /// The distribution family that rejected its parameters.
+    #[must_use]
+    pub fn distribution(&self) -> &'static str {
+        self.dist
+    }
+}
+
+impl fmt::Display for DistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid {} distribution parameters: {}", self.dist, self.reason)
+    }
+}
+
+impl Error for DistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_distribution() {
+        let e = DistError::new("beta", "alpha must be positive");
+        assert!(e.to_string().contains("beta"));
+        assert!(e.to_string().contains("alpha"));
+        assert_eq!(e.distribution(), "beta");
+    }
+}

@@ -1,0 +1,21 @@
+//! Random distributions implemented from first principles on top of
+//! `rand`'s uniform source.
+//!
+//! The trace generator draws source reliabilities from a [`Beta`], source
+//! activity ranks from a [`Zipf`], per-interval report volumes from a
+//! [`Poisson`], and the Gaussian-emission HMM uses [`Normal`] both to
+//! sample and to evaluate densities.
+
+mod beta;
+mod error;
+mod gamma;
+mod normal;
+mod poisson;
+mod zipf;
+
+pub use beta::Beta;
+pub use error::DistError;
+pub use gamma::Gamma;
+pub use normal::Normal;
+pub use poisson::Poisson;
+pub use zipf::Zipf;

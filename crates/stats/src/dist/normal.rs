@@ -1,0 +1,155 @@
+//! Gaussian distribution: Box–Muller sampling plus density evaluation.
+
+use super::DistError;
+use crate::special::std_normal_cdf;
+use rand::Rng;
+
+/// A normal (Gaussian) distribution `N(mean, std_dev²)`.
+///
+/// Sampling uses the Box–Muller transform (the polar form is avoided so a
+/// sample consumes a fixed amount of entropy, keeping seeded traces
+/// reproducible across platforms).
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use sstd_stats::dist::Normal;
+///
+/// let n = Normal::new(10.0, 2.0)?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+/// let xs: Vec<f64> = (0..1000).map(|_| n.sample(&mut rng)).collect();
+/// let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+/// assert!((mean - 10.0).abs() < 0.3);
+/// # Ok::<(), sstd_stats::DistError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Creates `N(mean, std_dev²)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError`] if `mean` is not finite or `std_dev` is not a
+    /// finite positive number.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, DistError> {
+        if !mean.is_finite() {
+            return Err(DistError::new("normal", "mean must be finite"));
+        }
+        if !(std_dev.is_finite() && std_dev > 0.0) {
+            return Err(DistError::new("normal", "std_dev must be finite and positive"));
+        }
+        Ok(Self { mean, std_dev })
+    }
+
+    /// The distribution mean.
+    #[must_use]
+    pub const fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// The distribution standard deviation.
+    #[must_use]
+    pub const fn std_dev(&self) -> f64 {
+        self.std_dev
+    }
+
+    /// Draws one sample via Box–Muller.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // u1 in (0, 1] so ln(u1) is finite.
+        let u1: f64 = 1.0 - rng.gen::<f64>();
+        let u2: f64 = rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        self.mean + self.std_dev * z
+    }
+
+    /// Probability density at `x`.
+    #[must_use]
+    pub fn pdf(&self, x: f64) -> f64 {
+        self.log_pdf(x).exp()
+    }
+
+    /// Log probability density at `x` — the HMM evaluates emissions in log
+    /// space to avoid underflow on long observation sequences.
+    #[must_use]
+    pub fn log_pdf(&self, x: f64) -> f64 {
+        let z = (x - self.mean) / self.std_dev;
+        -0.5 * z * z - self.std_dev.ln() - 0.5 * (2.0 * std::f64::consts::PI).ln()
+    }
+
+    /// Cumulative distribution function at `x`.
+    #[must_use]
+    pub fn cdf(&self, x: f64) -> f64 {
+        std_normal_cdf((x - self.mean) / self.std_dev)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(Normal::new(0.0, 0.0).is_err());
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(0.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn sample_moments_match() {
+        let n = Normal::new(-3.0, 0.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let xs: Vec<f64> = (0..20_000).map(|_| n.sample(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+        assert!((mean + 3.0).abs() < 0.02, "mean = {mean}");
+        assert!((var - 0.25).abs() < 0.02, "var = {var}");
+    }
+
+    #[test]
+    fn pdf_peaks_at_mean() {
+        let n = Normal::new(2.0, 1.0).unwrap();
+        assert!(n.pdf(2.0) > n.pdf(2.5));
+        assert!(n.pdf(2.0) > n.pdf(1.5));
+        // standard normal peak = 1/sqrt(2π)
+        let std = Normal::new(0.0, 1.0).unwrap();
+        assert!((std.pdf(0.0) - 0.398_942_280_4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn log_pdf_is_ln_of_pdf() {
+        let n = Normal::new(1.0, 3.0).unwrap();
+        for &x in &[-5.0, 0.0, 1.0, 10.0] {
+            assert!((n.log_pdf(x) - n.pdf(x).ln()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn cdf_basics() {
+        let n = Normal::new(5.0, 2.0).unwrap();
+        assert!((n.cdf(5.0) - 0.5).abs() < 1e-9);
+        assert!(n.cdf(0.0) < 0.01);
+        assert!(n.cdf(10.0) > 0.99);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_for_a_seed() {
+        let n = Normal::new(0.0, 1.0).unwrap();
+        let a: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(123);
+            (0..5).map(|_| n.sample(&mut rng)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(123);
+            (0..5).map(|_| n.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,132 @@
+//! Poisson distribution — per-interval report volumes in the traffic model.
+
+use super::{DistError, Normal};
+use rand::Rng;
+
+/// A Poisson distribution with rate `λ`.
+///
+/// Uses Knuth's product-of-uniforms method for `λ ≤ 30` and a rounded
+/// normal approximation with continuity correction above (accurate to well
+/// under a percent for the traffic volumes the generator draws, and O(1)
+/// instead of O(λ)).
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use sstd_stats::dist::Poisson;
+///
+/// let p = Poisson::new(4.0)?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+/// let k = p.sample(&mut rng);
+/// assert!(k < 100);
+/// # Ok::<(), sstd_stats::DistError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Poisson {
+    lambda: f64,
+}
+
+impl Poisson {
+    /// Crossover between the exact and approximate samplers.
+    const EXACT_LIMIT: f64 = 30.0;
+
+    /// Creates a Poisson distribution with rate `lambda`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError`] unless `lambda` is finite and non-negative.
+    /// (`λ = 0` always samples 0 — convenient for silent intervals.)
+    pub fn new(lambda: f64) -> Result<Self, DistError> {
+        if !(lambda.is_finite() && lambda >= 0.0) {
+            return Err(DistError::new("poisson", "rate must be finite and non-negative"));
+        }
+        Ok(Self { lambda })
+    }
+
+    /// The rate `λ`.
+    #[must_use]
+    pub const fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Draws one count.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        if self.lambda == 0.0 {
+            return 0;
+        }
+        if self.lambda <= Self::EXACT_LIMIT {
+            // Knuth: multiply uniforms until the product drops below e^{-λ}.
+            let limit = (-self.lambda).exp();
+            let mut k = 0u64;
+            let mut p = 1.0;
+            loop {
+                p *= rng.gen::<f64>();
+                if p <= limit {
+                    return k;
+                }
+                k += 1;
+            }
+        } else {
+            let normal =
+                Normal::new(self.lambda, self.lambda.sqrt()).expect("lambda validated positive");
+            let x = normal.sample(rng) + 0.5;
+            if x < 0.0 {
+                0
+            } else {
+                x as u64
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn empirical_mean(lambda: f64, n: usize, seed: u64) -> f64 {
+        let p = Poisson::new(lambda).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| p.sample(&mut rng)).sum::<u64>() as f64 / n as f64
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Poisson::new(-1.0).is_err());
+        assert!(Poisson::new(f64::NAN).is_err());
+        assert!(Poisson::new(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn zero_rate_always_zero() {
+        let p = Poisson::new(0.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..100 {
+            assert_eq!(p.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn small_lambda_mean() {
+        let m = empirical_mean(3.0, 30_000, 42);
+        assert!((m - 3.0).abs() < 0.05, "mean = {m}");
+    }
+
+    #[test]
+    fn large_lambda_mean_uses_normal_path() {
+        let m = empirical_mean(500.0, 20_000, 43);
+        assert!((m - 500.0).abs() < 1.0, "mean = {m}");
+    }
+
+    #[test]
+    fn variance_roughly_equals_mean() {
+        let p = Poisson::new(10.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(44);
+        let xs: Vec<f64> = (0..30_000).map(|_| p.sample(&mut rng) as f64).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+        assert!((var - mean).abs() < 0.5, "mean = {mean}, var = {var}");
+    }
+}

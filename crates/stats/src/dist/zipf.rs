@@ -1,0 +1,169 @@
+//! Zipf distribution over ranks `1..=n` — the long-tail activity profile of
+//! social-sensing sources.
+//!
+//! The paper stresses that "most sources only contribute a small number of
+//! claims" (§II, citing [46]); a Zipf draw over the source population
+//! reproduces exactly that long tail.
+
+use super::DistError;
+use rand::Rng;
+
+/// A Zipf distribution over `{1, …, n}` with exponent `s`:
+/// `P(k) ∝ k^{−s}`.
+///
+/// Sampling precomputes the cumulative distribution once (O(n) memory) and
+/// draws by binary search (O(log n) per sample) — fast and exact for the
+/// population sizes the trace generator uses (up to ~10⁶ sources).
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use sstd_stats::dist::Zipf;
+///
+/// let z = Zipf::new(1000, 1.1)?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+/// let rank = z.sample(&mut rng);
+/// assert!((1..=1000).contains(&rank));
+/// # Ok::<(), sstd_stats::DistError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+    exponent: f64,
+}
+
+impl Zipf {
+    /// Creates a Zipf distribution over `{1, …, n}` with exponent `s`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError`] if `n == 0` or `s` is not finite and
+    /// non-negative (`s = 0` degenerates to the uniform distribution, which
+    /// is allowed and occasionally useful in ablations).
+    pub fn new(n: usize, s: f64) -> Result<Self, DistError> {
+        if n == 0 {
+            return Err(DistError::new("zipf", "support size must be positive"));
+        }
+        if !(s.is_finite() && s >= 0.0) {
+            return Err(DistError::new("zipf", "exponent must be finite and non-negative"));
+        }
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += (k as f64).powf(-s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Ok(Self { cdf, exponent: s })
+    }
+
+    /// Support size `n`.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// The exponent `s`.
+    #[must_use]
+    pub const fn exponent(&self) -> f64 {
+        self.exponent
+    }
+
+    /// Probability of rank `k` (1-based); zero outside the support.
+    #[must_use]
+    pub fn pmf(&self, k: usize) -> f64 {
+        if k == 0 || k > self.cdf.len() {
+            return 0.0;
+        }
+        let hi = self.cdf[k - 1];
+        let lo = if k >= 2 { self.cdf[k - 2] } else { 0.0 };
+        hi - lo
+    }
+
+    /// Draws one rank in `1..=n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        // partition_point returns the count of entries < u, which is the
+        // 0-based index of the first cdf entry >= u; +1 converts to rank.
+        let idx = self.cdf.partition_point(|&c| c < u);
+        idx.min(self.cdf.len() - 1) + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Zipf::new(0, 1.0).is_err());
+        assert!(Zipf::new(10, f64::NAN).is_err());
+        assert!(Zipf::new(10, -1.0).is_err());
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let z = Zipf::new(50, 1.3).unwrap();
+        let sum: f64 = (1..=50).map(|k| z.pmf(k)).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert_eq!(z.pmf(0), 0.0);
+        assert_eq!(z.pmf(51), 0.0);
+    }
+
+    #[test]
+    fn pmf_is_decreasing() {
+        let z = Zipf::new(100, 1.0).unwrap();
+        for k in 1..100 {
+            assert!(z.pmf(k) >= z.pmf(k + 1));
+        }
+    }
+
+    #[test]
+    fn zero_exponent_is_uniform() {
+        let z = Zipf::new(4, 0.0).unwrap();
+        for k in 1..=4 {
+            assert!((z.pmf(k) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn empirical_frequencies_match_pmf() {
+        let z = Zipf::new(10, 1.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(33);
+        let mut counts = [0usize; 10];
+        let n = 100_000;
+        for _ in 0..n {
+            counts[z.sample(&mut rng) - 1] += 1;
+        }
+        for k in 1..=10 {
+            let emp = counts[k - 1] as f64 / n as f64;
+            assert!(
+                (emp - z.pmf(k)).abs() < 0.01,
+                "rank {k}: emp {emp} vs pmf {}",
+                z.pmf(k)
+            );
+        }
+    }
+
+    #[test]
+    fn rank_one_dominates_with_large_exponent() {
+        let z = Zipf::new(1000, 3.0).unwrap();
+        assert!(z.pmf(1) > 0.8);
+    }
+
+    #[test]
+    fn samples_stay_in_support() {
+        let z = Zipf::new(7, 1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let k = z.sample(&mut rng);
+            assert!((1..=7).contains(&k));
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! Statistical substrate for SSTD, written from scratch.
+//!
+//! The SSTD reproduction needs a handful of numerical tools that the
+//! pre-approved dependency set does not provide: samplers for the
+//! populations the trace generator draws (Gaussian, Beta, Zipf, Poisson),
+//! special functions for the CATD baseline's chi-square confidence bounds,
+//! numerically stable log-space reductions for the HMM, and streaming
+//! moment estimators for the runtime's execution-time monitoring. They are
+//! all implemented here, on top of nothing but [`rand`]'s uniform source.
+//!
+//! # Examples
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use sstd_stats::dist::Normal;
+//!
+//! let normal = Normal::new(0.0, 1.0).unwrap();
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let x = normal.sample(&mut rng);
+//! assert!(x.is_finite());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod dist;
+pub mod histogram;
+pub mod logspace;
+pub mod online;
+pub mod quantile;
+pub mod special;
+
+pub use dist::{Beta, DistError, Normal, Poisson, Zipf};
+pub use histogram::Histogram;
+pub use logspace::{log_sum_exp, normalize_in_place};
+pub use online::OnlineStats;
+pub use quantile::P2Quantile;

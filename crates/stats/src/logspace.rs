@@ -1,0 +1,104 @@
+//! Numerically stable log-space reductions used by the HMM.
+
+/// Computes `ln Σ exp(xs[i])` without overflow/underflow.
+///
+/// Returns `f64::NEG_INFINITY` for an empty slice or a slice of
+/// `-∞` values — the natural identity for log-space sums.
+///
+/// # Examples
+///
+/// ```
+/// use sstd_stats::log_sum_exp;
+///
+/// let xs = [0.0_f64.ln(), 1.0_f64.ln(), 2.0_f64.ln()];
+/// assert!((log_sum_exp(&xs) - 3.0_f64.ln()).abs() < 1e-12);
+/// assert_eq!(log_sum_exp(&[]), f64::NEG_INFINITY);
+/// ```
+#[must_use]
+pub fn log_sum_exp(xs: &[f64]) -> f64 {
+    let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if !max.is_finite() {
+        // All -inf (or empty): sum of zeros. (+inf propagates as +inf.)
+        return max.max(f64::NEG_INFINITY);
+    }
+    let sum: f64 = xs.iter().map(|&x| (x - max).exp()).sum();
+    max + sum.ln()
+}
+
+/// Normalizes `xs` into a probability vector in place and returns the
+/// pre-normalization sum (the scaling constant).
+///
+/// If the sum is zero or not finite, the vector is reset to uniform and the
+/// original sum is still returned — the caller can detect the degenerate
+/// case while downstream code keeps a valid distribution.
+///
+/// # Examples
+///
+/// ```
+/// use sstd_stats::normalize_in_place;
+///
+/// let mut v = vec![2.0, 6.0];
+/// let z = normalize_in_place(&mut v);
+/// assert_eq!(z, 8.0);
+/// assert_eq!(v, vec![0.25, 0.75]);
+/// ```
+pub fn normalize_in_place(xs: &mut [f64]) -> f64 {
+    let sum: f64 = xs.iter().sum();
+    if sum > 0.0 && sum.is_finite() {
+        for x in xs.iter_mut() {
+            *x /= sum;
+        }
+    } else if !xs.is_empty() {
+        let u = 1.0 / xs.len() as f64;
+        for x in xs.iter_mut() {
+            *x = u;
+        }
+    }
+    sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lse_handles_large_magnitudes() {
+        // exp(1000) would overflow; LSE must not.
+        let xs = [1000.0, 1000.0];
+        assert!((log_sum_exp(&xs) - (1000.0 + 2.0_f64.ln())).abs() < 1e-9);
+        let ys = [-1000.0, -1000.0];
+        assert!((log_sum_exp(&ys) - (-1000.0 + 2.0_f64.ln())).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lse_of_single_element_is_identity() {
+        assert_eq!(log_sum_exp(&[3.25]), 3.25);
+    }
+
+    #[test]
+    fn lse_all_neg_inf() {
+        assert_eq!(log_sum_exp(&[f64::NEG_INFINITY; 3]), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn normalize_returns_scaling_constant() {
+        let mut v = vec![1.0, 1.0, 2.0];
+        let z = normalize_in_place(&mut v);
+        assert_eq!(z, 4.0);
+        assert!((v.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_degenerate_resets_to_uniform() {
+        let mut v = vec![0.0, 0.0];
+        let z = normalize_in_place(&mut v);
+        assert_eq!(z, 0.0);
+        assert_eq!(v, vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn normalize_empty_is_noop() {
+        let mut v: Vec<f64> = vec![];
+        assert_eq!(normalize_in_place(&mut v), 0.0);
+    }
+}

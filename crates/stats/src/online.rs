@@ -1,0 +1,223 @@
+//! Streaming moment estimation (Welford's algorithm).
+//!
+//! The runtime's Dynamic Task Manager monitors task execution times as they
+//! complete; [`OnlineStats`] gives it O(1)-memory mean/variance tracking.
+
+use std::fmt;
+
+/// Streaming estimator of count, mean, variance, min and max.
+///
+/// Uses Welford's numerically stable update, so long streams of similar
+/// values do not lose precision to catastrophic cancellation.
+///
+/// # Examples
+///
+/// ```
+/// use sstd_stats::OnlineStats;
+///
+/// let mut s = OnlineStats::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     s.push(x);
+/// }
+/// assert_eq!(s.count(), 8);
+/// assert!((s.mean() - 5.0).abs() < 1e-12);
+/// assert!((s.population_variance() - 4.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct OnlineStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Creates an empty estimator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Feeds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations so far.
+    #[must_use]
+    pub const fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Running mean; `0` when empty.
+    #[must_use]
+    pub const fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance (divides by `n`); `0` when fewer than 2 samples.
+    #[must_use]
+    pub fn population_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Sample variance (divides by `n − 1`); `0` when fewer than 2 samples.
+    #[must_use]
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Population standard deviation.
+    #[must_use]
+    pub fn std_dev(&self) -> f64 {
+        self.population_variance().sqrt()
+    }
+
+    /// Smallest observation; `+∞` when empty.
+    #[must_use]
+    pub const fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation; `−∞` when empty.
+    #[must_use]
+    pub const fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merges another estimator into this one (parallel Welford; Chan et
+    /// al.), as if all of `other`'s observations had been pushed here.
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl fmt::Display for OnlineStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.4} sd={:.4} min={:.4} max={:.4}",
+            self.count,
+            self.mean,
+            self.std_dev(),
+            self.min,
+            self.max
+        )
+    }
+}
+
+impl Extend<f64> for OnlineStats {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+impl FromIterator<f64> for OnlineStats {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = Self::new();
+        s.extend(iter);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_stats_are_neutral() {
+        let s = OnlineStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.population_variance(), 0.0);
+    }
+
+    #[test]
+    fn single_sample() {
+        let s: OnlineStats = [5.0].into_iter().collect();
+        assert_eq!(s.mean(), 5.0);
+        assert_eq!(s.sample_variance(), 0.0);
+        assert_eq!(s.min(), 5.0);
+        assert_eq!(s.max(), 5.0);
+    }
+
+    #[test]
+    fn known_variance() {
+        let s: OnlineStats = [1.0, 2.0, 3.0, 4.0].into_iter().collect();
+        assert!((s.mean() - 2.5).abs() < 1e-12);
+        assert!((s.population_variance() - 1.25).abs() < 1e-12);
+        assert!((s.sample_variance() - 5.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_empty_cases() {
+        let mut a = OnlineStats::new();
+        let b: OnlineStats = [1.0, 2.0].into_iter().collect();
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        let mut c: OnlineStats = [3.0].into_iter().collect();
+        c.merge(&OnlineStats::new());
+        assert_eq!(c.count(), 1);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!OnlineStats::new().to_string().is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn merge_equals_sequential(xs in prop::collection::vec(-1e6f64..1e6, 0..50),
+                                   ys in prop::collection::vec(-1e6f64..1e6, 0..50)) {
+            let mut merged: OnlineStats = xs.iter().copied().collect();
+            let other: OnlineStats = ys.iter().copied().collect();
+            merged.merge(&other);
+
+            let seq: OnlineStats = xs.iter().chain(ys.iter()).copied().collect();
+            prop_assert_eq!(merged.count(), seq.count());
+            if merged.count() > 0 {
+                prop_assert!((merged.mean() - seq.mean()).abs() < 1e-6);
+                prop_assert!((merged.population_variance() - seq.population_variance()).abs()
+                    < 1e-4 * (1.0 + seq.population_variance()));
+            }
+        }
+
+        #[test]
+        fn variance_never_negative(xs in prop::collection::vec(-1e9f64..1e9, 0..100)) {
+            let s: OnlineStats = xs.into_iter().collect();
+            prop_assert!(s.population_variance() >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! Streaming quantile estimation: the P² algorithm (Jain & Chlamtac,
+//! CACM 1985).
+//!
+//! The runtime reports tail latencies of task execution; storing every
+//! sample to sort later would defeat the O(1)-memory monitoring loop, so
+//! the [`P2Quantile`] estimator tracks a single quantile with five
+//! markers and parabolic interpolation.
+
+/// O(1)-memory estimator of one quantile of a stream.
+///
+/// # Examples
+///
+/// ```
+/// use sstd_stats::P2Quantile;
+///
+/// let mut q = P2Quantile::new(0.5).unwrap();
+/// for x in 1..=1001 {
+///     q.push(f64::from(x));
+/// }
+/// let med = q.estimate().unwrap();
+/// assert!((med - 501.0).abs() < 5.0, "median ≈ 501, got {med}");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct P2Quantile {
+    p: f64,
+    /// Marker heights (the running quantile estimates).
+    heights: [f64; 5],
+    /// Actual marker positions (1-based sample ranks).
+    positions: [f64; 5],
+    /// Desired marker positions.
+    desired: [f64; 5],
+    /// Desired position increments per observation.
+    increments: [f64; 5],
+    count: usize,
+}
+
+impl P2Quantile {
+    /// Creates an estimator for the `p`-quantile.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error message if `p` is not strictly inside `(0, 1)`.
+    pub fn new(p: f64) -> Result<Self, &'static str> {
+        if !(p.is_finite() && p > 0.0 && p < 1.0) {
+            return Err("quantile must be in (0, 1)");
+        }
+        Ok(Self {
+            p,
+            heights: [0.0; 5],
+            positions: [1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: [1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, 5.0],
+            increments: [0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0],
+            count: 0,
+        })
+    }
+
+    /// The target quantile.
+    #[must_use]
+    pub const fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Number of samples consumed.
+    #[must_use]
+    pub const fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Feeds one observation.
+    pub fn push(&mut self, x: f64) {
+        if self.count < 5 {
+            self.heights[self.count] = x;
+            self.count += 1;
+            if self.count == 5 {
+                self.heights.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+            }
+            return;
+        }
+        self.count += 1;
+
+        // Find the cell containing x and clamp the extremes.
+        let k = if x < self.heights[0] {
+            self.heights[0] = x;
+            0
+        } else if x >= self.heights[4] {
+            self.heights[4] = x;
+            3
+        } else {
+            // heights[k] <= x < heights[k+1]
+            (0..4)
+                .find(|&i| x < self.heights[i + 1])
+                .expect("x is below heights[4]")
+        };
+
+        for i in (k + 1)..5 {
+            self.positions[i] += 1.0;
+        }
+        for i in 0..5 {
+            self.desired[i] += self.increments[i];
+        }
+
+        // Adjust the interior markers.
+        for i in 1..4 {
+            let d = self.desired[i] - self.positions[i];
+            let step_up = self.positions[i + 1] - self.positions[i] > 1.0;
+            let step_down = self.positions[i - 1] - self.positions[i] < -1.0;
+            if (d >= 1.0 && step_up) || (d <= -1.0 && step_down) {
+                let d = d.signum();
+                let parabolic = self.parabolic(i, d);
+                let new_height = if self.heights[i - 1] < parabolic && parabolic < self.heights[i + 1]
+                {
+                    parabolic
+                } else {
+                    self.linear(i, d)
+                };
+                self.heights[i] = new_height;
+                self.positions[i] += d;
+            }
+        }
+    }
+
+    fn parabolic(&self, i: usize, d: f64) -> f64 {
+        let q = &self.heights;
+        let n = &self.positions;
+        q[i] + d / (n[i + 1] - n[i - 1])
+            * ((n[i] - n[i - 1] + d) * (q[i + 1] - q[i]) / (n[i + 1] - n[i])
+                + (n[i + 1] - n[i] - d) * (q[i] - q[i - 1]) / (n[i] - n[i - 1]))
+    }
+
+    fn linear(&self, i: usize, d: f64) -> f64 {
+        let j = if d > 0.0 { i + 1 } else { i - 1 };
+        self.heights[i]
+            + d * (self.heights[j] - self.heights[i]) / (self.positions[j] - self.positions[i])
+    }
+
+    /// Current estimate; `None` until at least one sample arrived. With
+    /// fewer than 5 samples the exact small-sample quantile is returned.
+    #[must_use]
+    pub fn estimate(&self) -> Option<f64> {
+        match self.count {
+            0 => None,
+            n if n < 5 => {
+                let mut v: Vec<f64> = self.heights[..n].to_vec();
+                v.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+                let idx = ((n as f64 - 1.0) * self.p).round() as usize;
+                Some(v[idx])
+            }
+            _ => Some(self.heights[2]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn exact_quantile(xs: &mut [f64], p: f64) -> f64 {
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        xs[((xs.len() as f64 - 1.0) * p).round() as usize]
+    }
+
+    #[test]
+    fn rejects_degenerate_quantiles() {
+        assert!(P2Quantile::new(0.0).is_err());
+        assert!(P2Quantile::new(1.0).is_err());
+        assert!(P2Quantile::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn empty_estimator_has_no_estimate() {
+        let q = P2Quantile::new(0.9).unwrap();
+        assert_eq!(q.estimate(), None);
+        assert_eq!(q.count(), 0);
+    }
+
+    #[test]
+    fn small_samples_are_exact() {
+        let mut q = P2Quantile::new(0.5).unwrap();
+        q.push(3.0);
+        q.push(1.0);
+        q.push(2.0);
+        assert_eq!(q.estimate(), Some(2.0));
+    }
+
+    #[test]
+    fn median_of_uniform_stream() {
+        let mut q = P2Quantile::new(0.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut xs: Vec<f64> = (0..50_000).map(|_| rng.gen_range(0.0..100.0)).collect();
+        for &x in &xs {
+            q.push(x);
+        }
+        let exact = exact_quantile(&mut xs, 0.5);
+        let est = q.estimate().unwrap();
+        assert!((est - exact).abs() < 1.0, "est {est} vs exact {exact}");
+    }
+
+    #[test]
+    fn p99_of_exponential_like_stream() {
+        // Heavy-tailed latencies: the use case in the runtime reports.
+        let mut q = P2Quantile::new(0.99).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut xs: Vec<f64> =
+            (0..50_000).map(|_| -(1.0 - rng.gen::<f64>()).ln() * 10.0).collect();
+        for &x in &xs {
+            q.push(x);
+        }
+        let exact = exact_quantile(&mut xs, 0.99);
+        let est = q.estimate().unwrap();
+        assert!(
+            (est - exact).abs() / exact < 0.15,
+            "p99 est {est} vs exact {exact}"
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn estimate_stays_within_observed_range(
+            xs in prop::collection::vec(-1e3f64..1e3, 1..300),
+            p in 0.05f64..0.95,
+        ) {
+            let mut q = P2Quantile::new(p).unwrap();
+            for &x in &xs {
+                q.push(x);
+            }
+            let est = q.estimate().unwrap();
+            let lo = xs.iter().copied().fold(f64::INFINITY, f64::min);
+            let hi = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(est >= lo - 1e-9 && est <= hi + 1e-9,
+                "estimate {est} outside [{lo}, {hi}]");
+        }
+    }
+}

@@ -1,0 +1,257 @@
+//! Online claim clustering.
+//!
+//! "a newly arrived tweet will be clustered into one of the existing
+//! clusters based [on] the computed Jaccard distance and a cluster will be
+//! broken into two clusters if the diameter of the cluster is larger than
+//! some pre-specified threshold" (paper §V-A2). Each cluster is one claim;
+//! cluster indices become [`ClaimId`]s.
+
+use crate::{jaccard_distance, TokenSet};
+use sstd_types::ClaimId;
+use std::collections::VecDeque;
+
+/// Tuning knobs of the online clusterer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterConfig {
+    /// Maximum Jaccard distance to the cluster representative for a post
+    /// to join the cluster; beyond it a new cluster is opened.
+    pub assign_threshold: f64,
+    /// Diameter (max pairwise distance within the retained sample) beyond
+    /// which a cluster is split in two.
+    pub split_diameter: f64,
+    /// How many recent member token-sets each cluster retains for
+    /// diameter estimation.
+    pub sample_size: usize,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        Self { assign_threshold: 0.7, split_diameter: 0.85, sample_size: 12 }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Cluster {
+    /// Representative token set (the founding post; refreshed on split).
+    representative: TokenSet,
+    /// Recent member token sets, bounded by `sample_size`.
+    sample: VecDeque<TokenSet>,
+    size: usize,
+}
+
+impl Cluster {
+    fn new(seed: TokenSet, sample_size: usize) -> Self {
+        let mut sample = VecDeque::with_capacity(sample_size);
+        sample.push_back(seed.clone());
+        Self { representative: seed, sample, size: 1 }
+    }
+
+    fn admit(&mut self, tokens: TokenSet, sample_size: usize) {
+        if self.sample.len() == sample_size {
+            self.sample.pop_front();
+        }
+        self.sample.push_back(tokens);
+        self.size += 1;
+    }
+
+    /// Max pairwise Jaccard distance within the retained sample.
+    fn diameter(&self) -> f64 {
+        let mut d: f64 = 0.0;
+        let v: Vec<&TokenSet> = self.sample.iter().collect();
+        for i in 0..v.len() {
+            for j in i + 1..v.len() {
+                d = d.max(jaccard_distance(v[i], v[j]));
+            }
+        }
+        d
+    }
+}
+
+/// Online single-pass clusterer mapping posts to claims.
+///
+/// # Examples
+///
+/// ```
+/// use sstd_text::{ClaimClusterer, ClusterConfig};
+///
+/// let mut c = ClaimClusterer::new(ClusterConfig::default());
+/// let a = c.assign("explosion at the marathon finish line");
+/// let b = c.assign("explosion reported near marathon finish line");
+/// let other = c.assign("library receiving a bomb threat");
+/// assert_eq!(a, b);
+/// assert_ne!(a, other);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClaimClusterer {
+    config: ClusterConfig,
+    clusters: Vec<Cluster>,
+}
+
+impl ClaimClusterer {
+    /// Creates an empty clusterer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if thresholds are outside `(0, 1]` or `sample_size < 2`.
+    #[must_use]
+    pub fn new(config: ClusterConfig) -> Self {
+        assert!(
+            config.assign_threshold > 0.0 && config.assign_threshold <= 1.0,
+            "assign threshold must be in (0, 1]"
+        );
+        assert!(
+            config.split_diameter > 0.0 && config.split_diameter <= 1.0,
+            "split diameter must be in (0, 1]"
+        );
+        assert!(config.sample_size >= 2, "diameter needs at least two samples");
+        Self { config, clusters: Vec::new() }
+    }
+
+    /// Number of claims discovered so far.
+    #[must_use]
+    pub fn num_claims(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Number of posts admitted into claim `claim` so far.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `claim` was not produced by this clusterer.
+    #[must_use]
+    pub fn claim_size(&self, claim: ClaimId) -> usize {
+        self.clusters[claim.index()].size
+    }
+
+    /// Assigns `text` to a claim, creating a new one if nothing is close
+    /// enough, and splitting the target cluster afterwards if its diameter
+    /// exceeded the threshold.
+    pub fn assign(&mut self, text: &str) -> ClaimId {
+        let tokens = TokenSet::from_text(text);
+
+        // Nearest cluster by distance to representative.
+        let mut best: Option<(usize, f64)> = None;
+        for (i, c) in self.clusters.iter().enumerate() {
+            let d = jaccard_distance(&tokens, &c.representative);
+            if best.is_none_or(|(_, bd)| d < bd) {
+                best = Some((i, d));
+            }
+        }
+
+        match best {
+            Some((i, d)) if d <= self.config.assign_threshold => {
+                self.clusters[i].admit(tokens, self.config.sample_size);
+                if self.clusters[i].diameter() > self.config.split_diameter {
+                    self.split(i);
+                }
+                ClaimId::new(i as u32)
+            }
+            _ => {
+                self.clusters.push(Cluster::new(tokens, self.config.sample_size));
+                ClaimId::new((self.clusters.len() - 1) as u32)
+            }
+        }
+    }
+
+    /// Splits cluster `i`: the sampled member farthest from the
+    /// representative seeds a new cluster and pulls the sample members
+    /// closer to it than to the old representative.
+    fn split(&mut self, i: usize) {
+        let (far_idx, _) = {
+            let c = &self.clusters[i];
+            let mut far = (0usize, -1.0f64);
+            for (k, m) in c.sample.iter().enumerate() {
+                let d = jaccard_distance(m, &c.representative);
+                if d > far.1 {
+                    far = (k, d);
+                }
+            }
+            far
+        };
+        let seed = self.clusters[i].sample[far_idx].clone();
+        let mut new_cluster = Cluster::new(seed.clone(), self.config.sample_size);
+
+        let old_rep = self.clusters[i].representative.clone();
+        let mut retained = VecDeque::new();
+        let drained: Vec<TokenSet> = self.clusters[i].sample.drain(..).collect();
+        for m in drained {
+            if jaccard_distance(&m, &seed) < jaccard_distance(&m, &old_rep) {
+                if m != seed {
+                    new_cluster.admit(m, self.config.sample_size);
+                }
+            } else {
+                retained.push_back(m);
+            }
+        }
+        self.clusters[i].sample = retained;
+        self.clusters.push(new_cluster);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn similar_posts_share_a_claim() {
+        let mut c = ClaimClusterer::new(ClusterConfig::default());
+        let a = c.assign("police chasing suspect near watertown");
+        let b = c.assign("suspect chased by police in watertown now");
+        assert_eq!(a, b);
+        assert_eq!(c.num_claims(), 1);
+        assert_eq!(c.claim_size(a), 2);
+    }
+
+    #[test]
+    fn dissimilar_posts_open_new_claims() {
+        let mut c = ClaimClusterer::new(ClusterConfig::default());
+        let a = c.assign("bomb threat at jfk library");
+        let b = c.assign("touchdown for the fighting irish");
+        assert_ne!(a, b);
+        assert_eq!(c.num_claims(), 2);
+    }
+
+    #[test]
+    fn claim_ids_are_dense_and_stable() {
+        let mut c = ClaimClusterer::new(ClusterConfig::default());
+        let ids: Vec<ClaimId> = [
+            "first topic alpha beta",
+            "second topic gamma delta",
+            "third topic epsilon zeta",
+        ]
+        .iter()
+        .map(|t| c.assign(t))
+        .collect();
+        assert_eq!(ids.iter().map(|c| c.index()).collect::<Vec<_>>(), vec![0, 1, 2]);
+        // Re-assigning similar text returns the original id.
+        assert_eq!(c.assign("first topic alpha beta gamma").index(), 0);
+    }
+
+    #[test]
+    fn oversized_diameter_triggers_split() {
+        // Low split threshold forces a split when a borderline post joins.
+        let cfg = ClusterConfig { assign_threshold: 0.9, split_diameter: 0.5, sample_size: 8 };
+        let mut c = ClaimClusterer::new(cfg);
+        let _ = c.assign("alpha beta gamma delta");
+        // Shares one token, distance ≈ 6/7 — joins under 0.9 but blows the diameter.
+        let _ = c.assign("alpha omega sigma tau");
+        assert!(c.num_claims() >= 2, "split should have created a new cluster");
+    }
+
+    #[test]
+    fn empty_text_posts_cluster_together() {
+        let mut c = ClaimClusterer::new(ClusterConfig::default());
+        let a = c.assign("");
+        let b = c.assign("!!!");
+        assert_eq!(a, b, "token-free posts are identical under Jaccard");
+    }
+
+    #[test]
+    #[should_panic(expected = "assign threshold")]
+    fn invalid_config_panics() {
+        let _ = ClaimClusterer::new(ClusterConfig {
+            assign_threshold: 0.0,
+            ..ClusterConfig::default()
+        });
+    }
+}

@@ -1,0 +1,192 @@
+//! Independence scoring: original observation vs. copied content.
+//!
+//! The paper "classified the retweets or tweets that are significantly
+//! similar to the previous tweets within a time interval as repeated
+//! claims and assign them relatively low independent scores" (§V-A2).
+//! [`RetweetIndependenceScorer`] implements exactly that: explicit
+//! retweets get the lowest score, near-duplicates (high Jaccard
+//! similarity to a recent post) get a low score, everything else is
+//! treated as an original observation.
+
+use crate::{jaccard_similarity, TokenSet};
+use sstd_types::{Independence, RawPost, Timestamp};
+use std::collections::VecDeque;
+
+/// Assigns an [`Independence`] score `η ∈ [0, 1]` to a post.
+///
+/// Implementations may be stateful (they typically remember recent posts
+/// to detect copies), hence `&mut self`.
+pub trait IndependenceScorer {
+    /// Scores `post`, updating internal state with it.
+    fn independence(&mut self, post: &RawPost) -> Independence;
+}
+
+/// Retweet/near-duplicate detector with a sliding time window.
+///
+/// # Examples
+///
+/// ```
+/// use sstd_text::{IndependenceScorer, RetweetIndependenceScorer};
+/// use sstd_types::{RawPost, SourceId, Timestamp};
+///
+/// let mut s = RetweetIndependenceScorer::new(60, 0.8);
+/// let original = RawPost::new(SourceId::new(0), Timestamp::from_secs(0), "bomb at the library");
+/// let copy = RawPost::retweet(SourceId::new(1), Timestamp::from_secs(10), "bomb at the library", 0);
+/// assert_eq!(s.independence(&original).value(), 1.0);
+/// assert!(s.independence(&copy).value() < 0.2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RetweetIndependenceScorer {
+    window_secs: u64,
+    similarity_threshold: f64,
+    retweet_score: f64,
+    duplicate_score: f64,
+    recent: VecDeque<(Timestamp, TokenSet)>,
+}
+
+impl RetweetIndependenceScorer {
+    /// Creates a scorer that compares each post against posts from the
+    /// last `window_secs` seconds and treats Jaccard similarity above
+    /// `similarity_threshold` as a copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `similarity_threshold` is in `(0, 1]`.
+    #[must_use]
+    pub fn new(window_secs: u64, similarity_threshold: f64) -> Self {
+        assert!(
+            similarity_threshold > 0.0 && similarity_threshold <= 1.0,
+            "similarity threshold must be in (0, 1]"
+        );
+        Self {
+            window_secs,
+            similarity_threshold,
+            retweet_score: 0.1,
+            duplicate_score: 0.3,
+            recent: VecDeque::new(),
+        }
+    }
+
+    /// Overrides the scores assigned to explicit retweets and to detected
+    /// near-duplicates.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both scores are in `[0, 1]`.
+    #[must_use]
+    pub fn with_scores(mut self, retweet_score: f64, duplicate_score: f64) -> Self {
+        assert!((0.0..=1.0).contains(&retweet_score));
+        assert!((0.0..=1.0).contains(&duplicate_score));
+        self.retweet_score = retweet_score;
+        self.duplicate_score = duplicate_score;
+        self
+    }
+
+    /// Number of posts currently retained in the comparison window.
+    #[must_use]
+    pub fn window_len(&self) -> usize {
+        self.recent.len()
+    }
+
+    fn evict_expired(&mut self, now: Timestamp) {
+        while let Some((t, _)) = self.recent.front() {
+            if now.secs_since(*t) > self.window_secs {
+                self.recent.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+impl IndependenceScorer for RetweetIndependenceScorer {
+    fn independence(&mut self, post: &RawPost) -> Independence {
+        self.evict_expired(post.time());
+        let tokens = TokenSet::from_text(post.text());
+
+        let score = if post.retweet_of().is_some() {
+            self.retweet_score
+        } else if self
+            .recent
+            .iter()
+            .any(|(_, prev)| jaccard_similarity(prev, &tokens) >= self.similarity_threshold)
+        {
+            self.duplicate_score
+        } else {
+            1.0
+        };
+
+        self.recent.push_back((post.time(), tokens));
+        Independence::saturating(score)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sstd_types::SourceId;
+
+    fn post(src: u32, t: u64, text: &str) -> RawPost {
+        RawPost::new(SourceId::new(src), Timestamp::from_secs(t), text)
+    }
+
+    #[test]
+    fn first_post_is_independent() {
+        let mut s = RetweetIndependenceScorer::new(60, 0.8);
+        assert_eq!(s.independence(&post(0, 0, "explosion downtown")).value(), 1.0);
+    }
+
+    #[test]
+    fn explicit_retweet_scores_lowest() {
+        let mut s = RetweetIndependenceScorer::new(60, 0.8);
+        let rt = RawPost::retweet(SourceId::new(1), Timestamp::from_secs(5), "RT explosion", 0);
+        assert_eq!(s.independence(&rt).value(), 0.1);
+    }
+
+    #[test]
+    fn near_duplicate_within_window_scores_low() {
+        let mut s = RetweetIndependenceScorer::new(60, 0.8);
+        let _ = s.independence(&post(0, 0, "suspect fleeing on foot near bridge"));
+        let dup = s.independence(&post(1, 30, "suspect fleeing on foot near bridge"));
+        assert_eq!(dup.value(), 0.3);
+    }
+
+    #[test]
+    fn duplicate_outside_window_is_independent() {
+        let mut s = RetweetIndependenceScorer::new(60, 0.8);
+        let _ = s.independence(&post(0, 0, "suspect fleeing on foot near bridge"));
+        let later = s.independence(&post(1, 300, "suspect fleeing on foot near bridge"));
+        assert_eq!(later.value(), 1.0);
+    }
+
+    #[test]
+    fn dissimilar_posts_stay_independent() {
+        let mut s = RetweetIndependenceScorer::new(60, 0.8);
+        let _ = s.independence(&post(0, 0, "explosion near the finish line"));
+        let other = s.independence(&post(1, 10, "library locked down as precaution"));
+        assert_eq!(other.value(), 1.0);
+    }
+
+    #[test]
+    fn window_evicts_old_posts() {
+        let mut s = RetweetIndependenceScorer::new(10, 0.8);
+        let _ = s.independence(&post(0, 0, "first"));
+        let _ = s.independence(&post(1, 5, "second"));
+        assert_eq!(s.window_len(), 2);
+        let _ = s.independence(&post(2, 100, "third"));
+        assert_eq!(s.window_len(), 1, "expired posts evicted");
+    }
+
+    #[test]
+    fn custom_scores_apply() {
+        let mut s = RetweetIndependenceScorer::new(60, 0.8).with_scores(0.0, 0.5);
+        let rt = RawPost::retweet(SourceId::new(1), Timestamp::from_secs(1), "x", 0);
+        assert_eq!(s.independence(&rt).value(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "similarity threshold")]
+    fn zero_threshold_panics() {
+        let _ = RetweetIndependenceScorer::new(60, 0.0);
+    }
+}

@@ -1,0 +1,285 @@
+//! A trainable hedge classifier — the paper's §VII-2 future-work item
+//! ("we plan to develop accurate classifiers to scale the labeling
+//! process by leveraging more refined techniques from NLP").
+//!
+//! [`NaiveBayes`] is a multinomial naive Bayes text classifier with
+//! Laplace smoothing, evaluated in log space. [`NaiveBayesUncertaintyScorer`]
+//! wraps it as a drop-in [`UncertaintyScorer`]: the uncertainty score is
+//! the posterior probability that the post is hedged. A built-in labeled
+//! corpus (hedged vs. confident micro-blog sentences, modeled on the
+//! CoNLL-2010 cue inventory the paper trained on) makes it usable out of
+//! the box; [`NaiveBayes::train`] accepts any labeled corpus for domain
+//! adaptation.
+
+use crate::{tokenize, UncertaintyScorer};
+use sstd_types::Uncertainty;
+use std::collections::BTreeMap;
+
+/// A binary multinomial naive Bayes classifier over word tokens.
+///
+/// # Examples
+///
+/// ```
+/// use sstd_text::NaiveBayes;
+///
+/// let nb = NaiveBayes::train(&[
+///     ("maybe there was an explosion", true),
+///     ("possibly fake, not sure", true),
+///     ("two explosions confirmed by police", false),
+///     ("the suspect is in custody", false),
+/// ]);
+/// assert!(nb.predict_proba("maybe possibly a suspect") > 0.5);
+/// assert!(nb.predict_proba("police confirmed the arrest") < 0.5);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct NaiveBayes {
+    /// log P(class = positive)
+    log_prior_pos: f64,
+    /// log P(class = negative)
+    log_prior_neg: f64,
+    /// Per-token (count in positive, count in negative).
+    counts: BTreeMap<String, (u32, u32)>,
+    total_pos: u32,
+    total_neg: u32,
+}
+
+impl NaiveBayes {
+    /// Trains on `(text, is_positive)` examples.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the corpus contains at least one example of each
+    /// class (a one-class corpus cannot define a posterior).
+    #[must_use]
+    pub fn train(examples: &[(&str, bool)]) -> Self {
+        let n_pos = examples.iter().filter(|(_, y)| *y).count();
+        let n_neg = examples.len() - n_pos;
+        assert!(n_pos > 0 && n_neg > 0, "need examples of both classes");
+
+        let mut counts: BTreeMap<String, (u32, u32)> = BTreeMap::new();
+        let mut total_pos = 0u32;
+        let mut total_neg = 0u32;
+        for (text, y) in examples {
+            for token in tokenize(text) {
+                let e = counts.entry(token).or_insert((0, 0));
+                if *y {
+                    e.0 += 1;
+                    total_pos += 1;
+                } else {
+                    e.1 += 1;
+                    total_neg += 1;
+                }
+            }
+        }
+        Self {
+            log_prior_pos: (n_pos as f64 / examples.len() as f64).ln(),
+            log_prior_neg: (n_neg as f64 / examples.len() as f64).ln(),
+            counts,
+            total_pos,
+            total_neg,
+        }
+    }
+
+    /// Vocabulary size.
+    #[must_use]
+    pub fn vocab_size(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Posterior probability that `text` belongs to the positive class.
+    /// Token-free text returns the prior.
+    #[must_use]
+    pub fn predict_proba(&self, text: &str) -> f64 {
+        let v = self.counts.len() as f64;
+        let mut lp = self.log_prior_pos;
+        let mut ln = self.log_prior_neg;
+        for token in tokenize(text) {
+            let (cp, cn) = self.counts.get(&token).copied().unwrap_or((0, 0));
+            // Laplace smoothing.
+            lp += ((f64::from(cp) + 1.0) / (f64::from(self.total_pos) + v)).ln();
+            ln += ((f64::from(cn) + 1.0) / (f64::from(self.total_neg) + v)).ln();
+        }
+        // Normalize in log space.
+        let m = lp.max(ln);
+        let ep = (lp - m).exp();
+        let en = (ln - m).exp();
+        ep / (ep + en)
+    }
+
+    /// Hard classification at the 0.5 threshold.
+    #[must_use]
+    pub fn predict(&self, text: &str) -> bool {
+        self.predict_proba(text) > 0.5
+    }
+}
+
+/// Built-in hedge corpus: positive = hedged, negative = confident. The
+/// sentences are synthetic but follow the CoNLL-2010 Wikipedia-weasel /
+/// BioScope cue distribution restricted to micro-blog register.
+const HEDGE_CORPUS: &[(&str, bool)] = &[
+    // hedged
+    ("possibly a second device at the library", true),
+    ("reportedly shots fired near the square", true),
+    ("unconfirmed reports of casualties", true),
+    ("maybe the game is delayed", true),
+    ("sources say the suspect fled on foot", true),
+    ("apparently the bridge is closed", true),
+    ("allegedly involved in the attack", true),
+    ("might be another explosion downtown", true),
+    ("perhaps the score is tied", true),
+    ("rumored transfer of the star player", true),
+    ("could be a gas leak not a bomb", true),
+    ("seems like the police are leaving", true),
+    ("not sure if the road is open", true),
+    ("waiting for confirmation on the arrest", true),
+    ("some reports claim the mall is on lockdown", true),
+    ("it is unclear whether anyone was hurt", true),
+    ("heard there may be a curfew tonight", true),
+    ("speculation about the coach being fired", true),
+    ("supposedly the flight was cancelled", true),
+    ("if true this changes everything", true),
+    // confident
+    ("two explosions at the marathon finish line", false),
+    ("police confirmed the suspect is in custody", false),
+    ("the bridge is closed to all traffic", false),
+    ("touchdown puts the irish ahead by seven", false),
+    ("the mayor announced a curfew at nine", false),
+    ("firefighters contained the blaze", false),
+    ("the final score was twenty one to ten", false),
+    ("officials identified the victim", false),
+    ("the airport reopened this morning", false),
+    ("the game ended in overtime", false),
+    ("emergency crews are on the scene", false),
+    ("the road has been cleared", false),
+    ("the team won the championship", false),
+    ("classes are cancelled tomorrow", false),
+    ("the power is back on downtown", false),
+    ("the president addressed the nation tonight", false),
+    ("three people were arrested at the protest", false),
+    ("the train service resumed at noon", false),
+    ("the stadium holds eighty thousand fans", false),
+    ("the verdict was announced this afternoon", false),
+];
+
+/// An [`UncertaintyScorer`] backed by a trained [`NaiveBayes`] hedge
+/// classifier.
+///
+/// # Examples
+///
+/// ```
+/// use sstd_text::{NaiveBayesUncertaintyScorer, UncertaintyScorer};
+///
+/// let scorer = NaiveBayesUncertaintyScorer::with_builtin_corpus();
+/// let hedged = scorer.uncertainty("possibly another device, unconfirmed");
+/// let firm = scorer.uncertainty("police confirmed the arrest");
+/// assert!(hedged.value() > firm.value());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct NaiveBayesUncertaintyScorer {
+    model: NaiveBayes,
+}
+
+impl NaiveBayesUncertaintyScorer {
+    /// Trains the scorer on the built-in hedge corpus.
+    #[must_use]
+    pub fn with_builtin_corpus() -> Self {
+        Self { model: NaiveBayes::train(HEDGE_CORPUS) }
+    }
+
+    /// Wraps a custom-trained classifier (positive class = hedged).
+    #[must_use]
+    pub fn from_model(model: NaiveBayes) -> Self {
+        Self { model }
+    }
+
+    /// The underlying classifier.
+    #[must_use]
+    pub fn model(&self) -> &NaiveBayes {
+        &self.model
+    }
+}
+
+impl UncertaintyScorer for NaiveBayesUncertaintyScorer {
+    fn uncertainty(&self, text: &str) -> Uncertainty {
+        Uncertainty::saturating(self.model.predict_proba(text))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HedgeUncertaintyScorer;
+
+    #[test]
+    fn training_learns_cue_words() {
+        let nb = NaiveBayes::train(HEDGE_CORPUS);
+        assert!(nb.vocab_size() > 50);
+        assert!(nb.predict("allegedly a riot maybe"));
+        assert!(!nb.predict("the final score was announced"));
+    }
+
+    #[test]
+    fn unseen_words_fall_back_to_prior_signal() {
+        let nb = NaiveBayes::train(HEDGE_CORPUS);
+        // Entirely novel vocabulary: posterior stays near the prior (0.5
+        // for the balanced corpus).
+        let p = nb.predict_proba("zxqv wklm ptrs");
+        assert!((p - 0.5).abs() < 0.1, "p = {p}");
+    }
+
+    #[test]
+    fn empty_text_returns_prior() {
+        let nb = NaiveBayes::train(HEDGE_CORPUS);
+        assert!((nb.predict_proba("") - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "both classes")]
+    fn one_class_corpus_rejected() {
+        let _ = NaiveBayes::train(&[("a", true), ("b", true)]);
+    }
+
+    #[test]
+    fn scorer_orders_hedged_above_confident() {
+        let s = NaiveBayesUncertaintyScorer::with_builtin_corpus();
+        let pairs = [
+            ("maybe shots fired, unconfirmed", "police confirmed shots fired"),
+            ("sources say the game is delayed", "the game is delayed two hours"),
+            ("allegedly a gas leak", "crews repaired the gas leak"),
+        ];
+        for (hedged, firm) in pairs {
+            assert!(
+                s.uncertainty(hedged).value() > s.uncertainty(firm).value(),
+                "{hedged:?} vs {firm:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn classifier_generalizes_beyond_the_lexicon() {
+        // "if true" is a phrase cue the token-set lexicon can only catch
+        // via its phrase list; the classifier learns the tokens directly.
+        let nb = NaiveBayesUncertaintyScorer::with_builtin_corpus();
+        let lex = HedgeUncertaintyScorer::new();
+        let text = "if true the arena is evacuated";
+        assert!(nb.uncertainty(text).value() > 0.5);
+        // Both scorers flag it (the lexicon via its phrase list) — the
+        // classifier additionally produces a calibrated probability.
+        assert!(lex.uncertainty(text).value() > 0.0);
+    }
+
+    #[test]
+    fn custom_corpus_domain_adaptation() {
+        // A domain corpus where "breaking" signals hedging (live unverified
+        // coverage): the classifier adapts, the fixed lexicon cannot.
+        let nb = NaiveBayes::train(&[
+            ("breaking possible incident downtown", true),
+            ("breaking early reports of smoke", true),
+            ("official statement released", false),
+            ("statement confirms the closure", false),
+        ]);
+        let scorer = NaiveBayesUncertaintyScorer::from_model(nb);
+        use crate::UncertaintyScorer as _;
+        assert!(scorer.uncertainty("breaking something happening").value() > 0.5);
+    }
+}

@@ -1,0 +1,143 @@
+//! Uncertainty (hedging) scoring.
+//!
+//! The paper trains a hedge classifier on the CoNLL-2010 shared task
+//! ("Learning to detect hedges and their scope in natural language text")
+//! and uses its output as the uncertainty score `κ`. We reproduce the
+//! signal with the CoNLL-2010 hedge-cue inventory: each cue found in a
+//! post raises `κ`, saturating below 1.
+
+use crate::TokenSet;
+use sstd_types::Uncertainty;
+
+/// Assigns an [`Uncertainty`] score `κ ∈ [0, 1]` to a post.
+pub trait UncertaintyScorer {
+    /// Scores how much `text` hedges its assertion.
+    fn uncertainty(&self, text: &str) -> Uncertainty;
+}
+
+/// Single-word hedge cues from the CoNLL-2010 Wikipedia/BioScope cue
+/// inventories, restricted to those plausible in tweets.
+const HEDGE_CUES: &[&str] = &[
+    "may", "might", "maybe", "possibly", "possible", "perhaps", "probably", "likely", "unlikely",
+    "apparently", "allegedly", "reportedly", "seems", "seemingly", "suggests", "unconfirmed",
+    "unverified", "unclear", "uncertain", "speculation", "supposedly", "potentially", "could",
+    "hear", "heard", "rumored", "rumoured",
+];
+
+/// Multi-word hedge cues matched on raw lowercase text.
+const HEDGE_PHRASES: &[&str] = &[
+    "not sure", "no confirmation", "can't confirm", "cannot confirm", "yet to confirm",
+    "waiting for confirmation", "if true", "sources say", "some reports",
+];
+
+/// Lexicon ("hedge cue") uncertainty scorer.
+///
+/// Each matched cue contributes `per_cue` to the score, saturating at
+/// `max_score`; a cue-free post scores 0.
+///
+/// # Examples
+///
+/// ```
+/// use sstd_text::{HedgeUncertaintyScorer, UncertaintyScorer};
+///
+/// let s = HedgeUncertaintyScorer::new();
+/// assert_eq!(s.uncertainty("Police confirmed the arrest").value(), 0.0);
+/// assert!(s.uncertainty("Possibly a second suspect, unconfirmed").value() > 0.4);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct HedgeUncertaintyScorer {
+    per_cue: f64,
+    max_score: f64,
+}
+
+impl Default for HedgeUncertaintyScorer {
+    fn default() -> Self {
+        Self { per_cue: 0.3, max_score: 0.9 }
+    }
+}
+
+impl HedgeUncertaintyScorer {
+    /// Creates a scorer with the default calibration (0.3 per cue, capped
+    /// at 0.9).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the per-cue increment and the saturation cap.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < per_cue ≤ max_score ≤ 1`.
+    #[must_use]
+    pub fn with_calibration(per_cue: f64, max_score: f64) -> Self {
+        assert!(per_cue > 0.0 && per_cue <= max_score && max_score <= 1.0);
+        Self { per_cue, max_score }
+    }
+
+    fn count_cues(&self, text: &str) -> usize {
+        let tokens = TokenSet::from_text(text);
+        let lower = text.to_lowercase();
+        HEDGE_CUES.iter().filter(|c| tokens.contains(c)).count()
+            + HEDGE_PHRASES.iter().filter(|p| lower.contains(*p)).count()
+    }
+}
+
+impl UncertaintyScorer for HedgeUncertaintyScorer {
+    fn uncertainty(&self, text: &str) -> Uncertainty {
+        let cues = self.count_cues(text) as f64;
+        Uncertainty::saturating((cues * self.per_cue).min(self.max_score))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confident_text_scores_zero() {
+        let s = HedgeUncertaintyScorer::new();
+        assert_eq!(s.uncertainty("Two explosions at the finish line").value(), 0.0);
+    }
+
+    #[test]
+    fn single_cue_scores_per_cue() {
+        let s = HedgeUncertaintyScorer::new();
+        assert!((s.uncertainty("possibly an explosion").value() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multiple_cues_accumulate_and_saturate() {
+        let s = HedgeUncertaintyScorer::new();
+        let v = s
+            .uncertainty("allegedly maybe possibly unconfirmed reports, not sure if true")
+            .value();
+        assert_eq!(v, 0.9, "saturates at the cap");
+    }
+
+    #[test]
+    fn phrases_count() {
+        let s = HedgeUncertaintyScorer::new();
+        assert!(s.uncertainty("sources say there was a blast").value() > 0.0);
+        assert!(s.uncertainty("can't confirm anything yet").value() > 0.0);
+    }
+
+    #[test]
+    fn paper_osu_tweet_is_hedged() {
+        // "OSU POSSIBLE SHOOTING" — the paper's Table I example hedges.
+        let s = HedgeUncertaintyScorer::new();
+        assert!(s.uncertainty("OSU POSSIBLE SHOOTING: I am on campus").value() > 0.0);
+    }
+
+    #[test]
+    fn custom_calibration() {
+        let s = HedgeUncertaintyScorer::with_calibration(0.5, 0.5);
+        assert_eq!(s.uncertainty("maybe perhaps").value(), 0.5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_calibration_panics() {
+        let _ = HedgeUncertaintyScorer::with_calibration(0.9, 0.5);
+    }
+}

@@ -1,0 +1,80 @@
+//! Error types for domain-value validation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when a score value lies outside its documented range.
+///
+/// The SSTD paper constrains the uncertainty score `κ` and the independence
+/// score `η` to `[0, 1]` (Definitions 2–3). Constructors of the score
+/// newtypes enforce that invariant and return this error on violation.
+///
+/// # Examples
+///
+/// ```
+/// use sstd_types::Uncertainty;
+///
+/// let err = Uncertainty::new(1.5).unwrap_err();
+/// assert!(err.to_string().contains("uncertainty"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScoreError {
+    kind: &'static str,
+    value: f64,
+}
+
+impl ScoreError {
+    pub(crate) fn new(kind: &'static str, value: f64) -> Self {
+        Self { kind, value }
+    }
+
+    /// The offending value.
+    #[must_use]
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+
+    /// The score family that rejected the value (e.g. `"uncertainty"`).
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        self.kind
+    }
+}
+
+impl fmt::Display for ScoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} score {} is outside the valid range [0, 1] or not finite",
+            self.kind, self.value
+        )
+    }
+}
+
+impl Error for ScoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_kind_and_value() {
+        let e = ScoreError::new("independence", 2.0);
+        let msg = e.to_string();
+        assert!(msg.contains("independence"));
+        assert!(msg.contains('2'));
+    }
+
+    #[test]
+    fn accessors_expose_fields() {
+        let e = ScoreError::new("uncertainty", -0.1);
+        assert_eq!(e.kind(), "uncertainty");
+        assert_eq!(e.value(), -0.1);
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<ScoreError>();
+    }
+}

@@ -1,0 +1,140 @@
+//! Identifier newtypes for sources and claims.
+//!
+//! Using distinct newtypes (rather than bare `u32`s) statically prevents a
+//! source index from being used where a claim index is expected — a real
+//! hazard in truth-discovery code, where both are dense integer ranges.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a data source (e.g. one Twitter user).
+///
+/// Source ids are dense indices assigned by the trace builder: a trace with
+/// `M` sources uses ids `0..M`.
+///
+/// # Examples
+///
+/// ```
+/// use sstd_types::SourceId;
+///
+/// let s = SourceId::new(7);
+/// assert_eq!(s.index(), 7);
+/// assert_eq!(format!("{s}"), "S7");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct SourceId(u32);
+
+impl SourceId {
+    /// Creates a source id from its dense index.
+    #[must_use]
+    pub const fn new(index: u32) -> Self {
+        Self(index)
+    }
+
+    /// Returns the dense index of this source.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for SourceId {
+    fn from(index: u32) -> Self {
+        Self(index)
+    }
+}
+
+impl fmt::Display for SourceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "S{}", self.0)
+    }
+}
+
+/// Identifier of a claim (a statement whose truth evolves over time).
+///
+/// Claim ids are dense indices assigned by the claim generator: a trace with
+/// `N` claims uses ids `0..N`.
+///
+/// # Examples
+///
+/// ```
+/// use sstd_types::ClaimId;
+///
+/// let c = ClaimId::new(3);
+/// assert_eq!(c.index(), 3);
+/// assert_eq!(format!("{c}"), "C3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct ClaimId(u32);
+
+impl ClaimId {
+    /// Creates a claim id from its dense index.
+    #[must_use]
+    pub const fn new(index: u32) -> Self {
+        Self(index)
+    }
+
+    /// Returns the dense index of this claim.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for ClaimId {
+    fn from(index: u32) -> Self {
+        Self(index)
+    }
+}
+
+impl fmt::Display for ClaimId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "C{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn source_id_roundtrip() {
+        let s = SourceId::new(42);
+        assert_eq!(s.index(), 42);
+        assert_eq!(SourceId::from(42u32), s);
+    }
+
+    #[test]
+    fn claim_id_roundtrip() {
+        let c = ClaimId::new(9);
+        assert_eq!(c.index(), 9);
+        assert_eq!(ClaimId::from(9u32), c);
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        let mut set = HashSet::new();
+        set.insert(SourceId::new(1));
+        set.insert(SourceId::new(1));
+        set.insert(SourceId::new(2));
+        assert_eq!(set.len(), 2);
+        assert!(ClaimId::new(1) < ClaimId::new(2));
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(SourceId::new(0).to_string(), "S0");
+        assert_eq!(ClaimId::new(10).to_string(), "C10");
+    }
+
+    #[test]
+    fn serde_is_transparent() {
+        let json = serde_json::to_string(&ClaimId::new(5)).unwrap();
+        assert_eq!(json, "5");
+        let back: ClaimId = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, ClaimId::new(5));
+    }
+}

@@ -1,0 +1,103 @@
+//! Raw, unscored social-media posts — the input of the preprocessing
+//! pipeline (`sstd-text`), which turns them into scored [`Report`]s.
+//!
+//! [`Report`]: crate::Report
+
+use crate::{SourceId, Timestamp};
+use serde::{Deserialize, Serialize};
+
+/// A tweet-like post before claim extraction and scoring.
+///
+/// This mirrors what the paper's data crawler emits: author, timestamp, free
+/// text, and — when the post is a retweet — the index of the original post.
+///
+/// # Examples
+///
+/// ```
+/// use sstd_types::{RawPost, SourceId, Timestamp};
+///
+/// let post = RawPost::new(
+///     SourceId::new(1),
+///     Timestamp::from_secs(30),
+///     "TONS of police near the engineering building, possible shooting",
+/// );
+/// assert!(post.retweet_of().is_none());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RawPost {
+    source: SourceId,
+    time: Timestamp,
+    text: String,
+    retweet_of: Option<u64>,
+}
+
+impl RawPost {
+    /// Creates an original (non-retweet) post.
+    #[must_use]
+    pub fn new(source: SourceId, time: Timestamp, text: impl Into<String>) -> Self {
+        Self { source, time, text: text.into(), retweet_of: None }
+    }
+
+    /// Creates a retweet of the post with stream index `original`.
+    #[must_use]
+    pub fn retweet(
+        source: SourceId,
+        time: Timestamp,
+        text: impl Into<String>,
+        original: u64,
+    ) -> Self {
+        Self { source, time, text: text.into(), retweet_of: Some(original) }
+    }
+
+    /// The author of the post.
+    #[must_use]
+    pub const fn source(&self) -> SourceId {
+        self.source
+    }
+
+    /// When the post was published (trace time).
+    #[must_use]
+    pub const fn time(&self) -> Timestamp {
+        self.time
+    }
+
+    /// The free text of the post.
+    #[must_use]
+    pub fn text(&self) -> &str {
+        &self.text
+    }
+
+    /// Stream index of the original post if this is a retweet.
+    #[must_use]
+    pub const fn retweet_of(&self) -> Option<u64> {
+        self.retweet_of
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn original_post_has_no_parent() {
+        let p = RawPost::new(SourceId::new(0), Timestamp::ZERO, "hello");
+        assert_eq!(p.text(), "hello");
+        assert_eq!(p.retweet_of(), None);
+    }
+
+    #[test]
+    fn retweet_records_parent_index() {
+        let p = RawPost::retweet(SourceId::new(2), Timestamp::from_secs(5), "RT hello", 17);
+        assert_eq!(p.retweet_of(), Some(17));
+        assert_eq!(p.source(), SourceId::new(2));
+        assert_eq!(p.time().as_secs(), 5);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let p = RawPost::retweet(SourceId::new(9), Timestamp::from_secs(1), "x", 3);
+        let json = serde_json::to_string(&p).unwrap();
+        let back: RawPost = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, p);
+    }
+}

@@ -1,0 +1,177 @@
+//! Scored reports — the unit of evidence every truth-discovery scheme
+//! consumes.
+
+use crate::{Attitude, ClaimId, ContributionScore, Independence, SourceId, Timestamp, Uncertainty};
+use serde::{Deserialize, Serialize};
+
+/// A report `R_{i,u}^t`: source `S_i`'s scored statement about claim `C_u`
+/// at time `t` (paper §II).
+///
+/// A report bundles the three semantic scores the preprocessing pipeline
+/// assigns (attitude `ρ`, uncertainty `κ`, independence `η`); its
+/// [`contribution_score`](Report::contribution_score) is their product
+/// (paper Eq. 1).
+///
+/// # Examples
+///
+/// ```
+/// use sstd_types::*;
+///
+/// let r = Report::new(
+///     SourceId::new(4),
+///     ClaimId::new(0),
+///     Timestamp::from_secs(12),
+///     Attitude::Agree,
+///     Uncertainty::new(0.0)?,
+///     Independence::new(1.0)?,
+/// );
+/// assert_eq!(r.contribution_score().value(), 1.0);
+/// # Ok::<(), ScoreError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Report {
+    source: SourceId,
+    claim: ClaimId,
+    time: Timestamp,
+    attitude: Attitude,
+    uncertainty: Uncertainty,
+    independence: Independence,
+}
+
+impl Report {
+    /// Creates a fully scored report.
+    #[must_use]
+    pub const fn new(
+        source: SourceId,
+        claim: ClaimId,
+        time: Timestamp,
+        attitude: Attitude,
+        uncertainty: Uncertainty,
+        independence: Independence,
+    ) -> Self {
+        Self { source, claim, time, attitude, uncertainty, independence }
+    }
+
+    /// Convenience constructor for a confident, independent report — the
+    /// common case in tests and examples.
+    #[must_use]
+    pub fn plain(source: SourceId, claim: ClaimId, time: Timestamp, attitude: Attitude) -> Self {
+        Self {
+            source,
+            claim,
+            time,
+            attitude,
+            uncertainty: Uncertainty::saturating(0.0),
+            independence: Independence::saturating(1.0),
+        }
+    }
+
+    /// The reporting source.
+    #[must_use]
+    pub const fn source(&self) -> SourceId {
+        self.source
+    }
+
+    /// The claim the report is about.
+    #[must_use]
+    pub const fn claim(&self) -> ClaimId {
+        self.claim
+    }
+
+    /// When the report was made (trace time).
+    #[must_use]
+    pub const fn time(&self) -> Timestamp {
+        self.time
+    }
+
+    /// The stance the report takes (`ρ`).
+    #[must_use]
+    pub const fn attitude(&self) -> Attitude {
+        self.attitude
+    }
+
+    /// How much the report hedges (`κ`).
+    #[must_use]
+    pub const fn uncertainty(&self) -> Uncertainty {
+        self.uncertainty
+    }
+
+    /// How likely the report is original rather than copied (`η`).
+    #[must_use]
+    pub const fn independence(&self) -> Independence {
+        self.independence
+    }
+
+    /// The contribution score `CS = ρ × (1 − κ) × η` (paper Eq. 1).
+    #[must_use]
+    pub fn contribution_score(&self) -> ContributionScore {
+        ContributionScore::compute(self.attitude, self.uncertainty, self.independence)
+    }
+
+    /// Returns a copy of this report with the stance flipped — handy for
+    /// constructing contradiction scenarios in tests.
+    #[must_use]
+    pub fn with_flipped_attitude(mut self) -> Self {
+        self.attitude = self.attitude.flipped();
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        Report::new(
+            SourceId::new(1),
+            ClaimId::new(2),
+            Timestamp::from_secs(3),
+            Attitude::Agree,
+            Uncertainty::new(0.25).unwrap(),
+            Independence::new(0.8).unwrap(),
+        )
+    }
+
+    #[test]
+    fn accessors_return_constructor_values() {
+        let r = sample();
+        assert_eq!(r.source(), SourceId::new(1));
+        assert_eq!(r.claim(), ClaimId::new(2));
+        assert_eq!(r.time().as_secs(), 3);
+        assert_eq!(r.attitude(), Attitude::Agree);
+        assert_eq!(r.uncertainty().value(), 0.25);
+        assert_eq!(r.independence().value(), 0.8);
+    }
+
+    #[test]
+    fn contribution_score_matches_eq1() {
+        let r = sample();
+        assert!((r.contribution_score().value() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn plain_report_is_full_strength() {
+        let r = Report::plain(
+            SourceId::new(0),
+            ClaimId::new(0),
+            Timestamp::ZERO,
+            Attitude::Disagree,
+        );
+        assert_eq!(r.contribution_score().value(), -1.0);
+    }
+
+    #[test]
+    fn flip_negates_contribution() {
+        let r = sample();
+        let f = r.with_flipped_attitude();
+        assert!((r.contribution_score().value() + f.contribution_score().value()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let r = sample();
+        let json = serde_json::to_string(&r).unwrap();
+        let back: Report = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+}

@@ -1,0 +1,366 @@
+//! Report scores: attitude, uncertainty, independence and their product,
+//! the contribution score (paper Eq. 1).
+
+use crate::error::ScoreError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The stance a report takes towards its claim (paper Definition 1).
+///
+/// The paper encodes attitudes as `1` (believes the claim is true), `-1`
+/// (believes it is false) and `0` (no stance / silent).
+///
+/// # Examples
+///
+/// ```
+/// use sstd_types::Attitude;
+///
+/// assert_eq!(Attitude::Agree.score(), 1.0);
+/// assert_eq!(Attitude::Disagree.score(), -1.0);
+/// assert_eq!(Attitude::Silent.score(), 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Attitude {
+    /// The source asserts the claim is true (`ρ = 1`).
+    Agree,
+    /// The source asserts the claim is false (`ρ = -1`).
+    Disagree,
+    /// The source makes no assertion (`ρ = 0`).
+    Silent,
+}
+
+impl Attitude {
+    /// Numeric attitude score `ρ` used in the contribution-score product.
+    #[must_use]
+    pub const fn score(self) -> f64 {
+        match self {
+            Attitude::Agree => 1.0,
+            Attitude::Disagree => -1.0,
+            Attitude::Silent => 0.0,
+        }
+    }
+
+    /// The opposite stance; [`Attitude::Silent`] is its own opposite.
+    #[must_use]
+    pub const fn flipped(self) -> Self {
+        match self {
+            Attitude::Agree => Attitude::Disagree,
+            Attitude::Disagree => Attitude::Agree,
+            Attitude::Silent => Attitude::Silent,
+        }
+    }
+
+    /// Whether the report actually takes a stance.
+    #[must_use]
+    pub const fn is_vocal(self) -> bool {
+        !matches!(self, Attitude::Silent)
+    }
+}
+
+impl fmt::Display for Attitude {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Attitude::Agree => "agree",
+            Attitude::Disagree => "disagree",
+            Attitude::Silent => "silent",
+        };
+        f.write_str(s)
+    }
+}
+
+macro_rules! unit_interval_score {
+    ($(#[$doc:meta])* $name:ident, $kind:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+        #[serde(transparent)]
+        pub struct $name(f64);
+
+        impl $name {
+            /// Creates the score, validating that it is finite and in `[0, 1]`.
+            ///
+            /// # Errors
+            ///
+            /// Returns [`ScoreError`] if `value` is NaN, infinite, or outside
+            /// `[0, 1]`.
+            pub fn new(value: f64) -> Result<Self, ScoreError> {
+                if value.is_finite() && (0.0..=1.0).contains(&value) {
+                    Ok(Self(value))
+                } else {
+                    Err(ScoreError::new($kind, value))
+                }
+            }
+
+            /// Creates the score by clamping `value` into `[0, 1]`.
+            ///
+            /// NaN clamps to `0`.
+            #[must_use]
+            pub fn saturating(value: f64) -> Self {
+                if value.is_nan() {
+                    Self(0.0)
+                } else {
+                    Self(value.clamp(0.0, 1.0))
+                }
+            }
+
+            /// Returns the raw score in `[0, 1]`.
+            #[must_use]
+            pub const fn value(self) -> f64 {
+                self.0
+            }
+        }
+
+        impl Default for $name {
+            fn default() -> Self {
+                Self(0.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{:.3}", self.0)
+            }
+        }
+    };
+}
+
+unit_interval_score!(
+    /// Uncertainty score `κ` of a report (paper Definition 2).
+    ///
+    /// A higher score means the report hedges more ("possibly", "unconfirmed"),
+    /// so it contributes less evidence: the contribution score multiplies by
+    /// `1 − κ`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sstd_types::Uncertainty;
+    ///
+    /// let kappa = Uncertainty::new(0.25)?;
+    /// assert_eq!(kappa.value(), 0.25);
+    /// assert!(Uncertainty::new(-0.1).is_err());
+    /// # Ok::<(), sstd_types::ScoreError>(())
+    /// ```
+    Uncertainty,
+    "uncertainty"
+);
+
+unit_interval_score!(
+    /// Independence score `η` of a report (paper Definition 3).
+    ///
+    /// A higher score means the report is more likely an original observation
+    /// rather than a retweet/copy of an earlier report.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sstd_types::Independence;
+    ///
+    /// let eta = Independence::new(0.8)?;
+    /// assert_eq!(eta.value(), 0.8);
+    /// assert!(Independence::new(f64::NAN).is_err());
+    /// # Ok::<(), sstd_types::ScoreError>(())
+    /// ```
+    Independence,
+    "independence"
+);
+
+/// Contribution score of a report (paper Eq. 1):
+/// `CS = ρ × (1 − κ) × η ∈ [-1, 1]`.
+///
+/// The sign carries the attitude; the magnitude discounts hedged and copied
+/// reports.
+///
+/// # Examples
+///
+/// ```
+/// use sstd_types::{Attitude, ContributionScore, Independence, Uncertainty};
+///
+/// let cs = ContributionScore::compute(
+///     Attitude::Disagree,
+///     Uncertainty::new(0.5)?,
+///     Independence::new(1.0)?,
+/// );
+/// assert_eq!(cs.value(), -0.5);
+/// # Ok::<(), sstd_types::ScoreError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct ContributionScore(f64);
+
+impl ContributionScore {
+    /// Computes `ρ × (1 − κ) × η` from the three component scores.
+    #[must_use]
+    pub fn compute(attitude: Attitude, uncertainty: Uncertainty, independence: Independence) -> Self {
+        Self(attitude.score() * (1.0 - uncertainty.value()) * independence.value())
+    }
+
+    /// Returns the raw contribution score in `[-1, 1]`.
+    #[must_use]
+    pub const fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Whether the score carries any evidence at all.
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0.0
+    }
+}
+
+impl fmt::Display for ContributionScore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:+.3}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attitude_scores_match_paper_encoding() {
+        assert_eq!(Attitude::Agree.score(), 1.0);
+        assert_eq!(Attitude::Disagree.score(), -1.0);
+        assert_eq!(Attitude::Silent.score(), 0.0);
+    }
+
+    #[test]
+    fn attitude_flip_is_involutive() {
+        for a in [Attitude::Agree, Attitude::Disagree, Attitude::Silent] {
+            assert_eq!(a.flipped().flipped(), a);
+        }
+        assert_eq!(Attitude::Agree.flipped(), Attitude::Disagree);
+    }
+
+    #[test]
+    fn vocal_excludes_silent() {
+        assert!(Attitude::Agree.is_vocal());
+        assert!(Attitude::Disagree.is_vocal());
+        assert!(!Attitude::Silent.is_vocal());
+    }
+
+    #[test]
+    fn uncertainty_validates_range() {
+        assert!(Uncertainty::new(0.0).is_ok());
+        assert!(Uncertainty::new(1.0).is_ok());
+        assert!(Uncertainty::new(1.0 + 1e-9).is_err());
+        assert!(Uncertainty::new(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn saturating_clamps() {
+        assert_eq!(Independence::saturating(2.0).value(), 1.0);
+        assert_eq!(Independence::saturating(-3.0).value(), 0.0);
+        assert_eq!(Independence::saturating(f64::NAN).value(), 0.0);
+        assert_eq!(Independence::saturating(0.4).value(), 0.4);
+    }
+
+    #[test]
+    fn contribution_score_eq1() {
+        let cs = ContributionScore::compute(
+            Attitude::Agree,
+            Uncertainty::new(0.2).unwrap(),
+            Independence::new(0.5).unwrap(),
+        );
+        assert!((cs.value() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn silent_reports_contribute_nothing() {
+        let cs = ContributionScore::compute(
+            Attitude::Silent,
+            Uncertainty::new(0.0).unwrap(),
+            Independence::new(1.0).unwrap(),
+        );
+        assert!(cs.is_zero());
+    }
+
+    #[test]
+    fn fully_uncertain_reports_contribute_nothing() {
+        let cs = ContributionScore::compute(
+            Attitude::Agree,
+            Uncertainty::new(1.0).unwrap(),
+            Independence::new(1.0).unwrap(),
+        );
+        assert!(cs.is_zero());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Attitude::Agree.to_string(), "agree");
+        let cs = ContributionScore::compute(
+            Attitude::Disagree,
+            Uncertainty::new(0.0).unwrap(),
+            Independence::new(1.0).unwrap(),
+        );
+        assert_eq!(cs.to_string(), "-1.000");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn attitudes() -> impl Strategy<Value = Attitude> {
+        prop_oneof![
+            Just(Attitude::Agree),
+            Just(Attitude::Disagree),
+            Just(Attitude::Silent),
+        ]
+    }
+
+    proptest! {
+        /// Eq. 1 algebra: the contribution score always lies in [-1, 1],
+        /// carries the attitude's sign, and is monotone in both discounts.
+        #[test]
+        fn contribution_score_bounds_and_sign(
+            att in attitudes(),
+            kappa in 0.0f64..=1.0,
+            eta in 0.0f64..=1.0,
+        ) {
+            let cs = ContributionScore::compute(
+                att,
+                Uncertainty::new(kappa).unwrap(),
+                Independence::new(eta).unwrap(),
+            );
+            prop_assert!((-1.0..=1.0).contains(&cs.value()));
+            match att {
+                Attitude::Agree => prop_assert!(cs.value() >= 0.0),
+                Attitude::Disagree => prop_assert!(cs.value() <= 0.0),
+                Attitude::Silent => prop_assert!(cs.is_zero()),
+            }
+        }
+
+        /// More hedging never increases the magnitude of the evidence.
+        #[test]
+        fn hedging_is_monotone(
+            k1 in 0.0f64..=1.0,
+            k2 in 0.0f64..=1.0,
+            eta in 0.0f64..=1.0,
+        ) {
+            let (lo, hi) = if k1 <= k2 { (k1, k2) } else { (k2, k1) };
+            let strong = ContributionScore::compute(
+                Attitude::Agree,
+                Uncertainty::new(lo).unwrap(),
+                Independence::new(eta).unwrap(),
+            );
+            let weak = ContributionScore::compute(
+                Attitude::Agree,
+                Uncertainty::new(hi).unwrap(),
+                Independence::new(eta).unwrap(),
+            );
+            prop_assert!(weak.value().abs() <= strong.value().abs() + 1e-12);
+        }
+
+        /// Flipping the attitude exactly negates the score.
+        #[test]
+        fn flip_negates(kappa in 0.0f64..=1.0, eta in 0.0f64..=1.0) {
+            let k = Uncertainty::new(kappa).unwrap();
+            let e = Independence::new(eta).unwrap();
+            let pos = ContributionScore::compute(Attitude::Agree, k, e);
+            let neg = ContributionScore::compute(Attitude::Disagree, k, e);
+            prop_assert!((pos.value() + neg.value()).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,325 @@
+//! Trace time: timestamps, intervals and the timeline that maps between them.
+//!
+//! The SSTD evaluation discretizes each trace into equal time intervals
+//! (§V-B: "We divide each data trace into 100 equal time intervals") and all
+//! dynamic truth-discovery schemes emit one truth estimate per claim per
+//! interval. [`Timeline`] owns that discretization.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A point in trace time, in seconds since the start of the trace.
+///
+/// Traces use their own epoch (0 = first report) so synthetic and replayed
+/// traces are directly comparable.
+///
+/// # Examples
+///
+/// ```
+/// use sstd_types::Timestamp;
+///
+/// let t = Timestamp::from_secs(90);
+/// assert_eq!(t.as_secs(), 90);
+/// assert_eq!(t + Timestamp::from_secs(30), Timestamp::from_secs(120));
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Timestamp(u64);
+
+impl Timestamp {
+    /// The trace epoch (t = 0).
+    pub const ZERO: Self = Self(0);
+
+    /// Creates a timestamp from whole seconds since the trace epoch.
+    #[must_use]
+    pub const fn from_secs(secs: u64) -> Self {
+        Self(secs)
+    }
+
+    /// Returns the number of whole seconds since the trace epoch.
+    #[must_use]
+    pub const fn as_secs(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating difference `self - earlier` in seconds.
+    #[must_use]
+    pub const fn secs_since(self, earlier: Self) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+impl std::ops::Add for Timestamp {
+    type Output = Self;
+
+    fn add(self, rhs: Self) -> Self {
+        Self(self.0 + rhs.0)
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{}s", self.0)
+    }
+}
+
+/// One of the equal time intervals a trace is divided into.
+///
+/// An interval knows its index and its half-open time range
+/// `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Interval {
+    index: usize,
+    start: Timestamp,
+    end: Timestamp,
+}
+
+impl Interval {
+    /// Creates an interval covering `[start, end)` with position `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end <= start`.
+    #[must_use]
+    pub fn new(index: usize, start: Timestamp, end: Timestamp) -> Self {
+        assert!(end > start, "interval must have positive length");
+        Self { index, start, end }
+    }
+
+    /// Position of this interval in the timeline (0-based).
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.index
+    }
+
+    /// Inclusive start of the interval.
+    #[must_use]
+    pub const fn start(self) -> Timestamp {
+        self.start
+    }
+
+    /// Exclusive end of the interval.
+    #[must_use]
+    pub const fn end(self) -> Timestamp {
+        self.end
+    }
+
+    /// Whether `t` falls inside `[start, end)`.
+    #[must_use]
+    pub fn contains(self, t: Timestamp) -> bool {
+        self.start <= t && t < self.end
+    }
+
+    /// Length of the interval in seconds.
+    #[must_use]
+    pub const fn len_secs(self) -> u64 {
+        self.end.as_secs() - self.start.as_secs()
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "I{}[{}, {})", self.index, self.start, self.end)
+    }
+}
+
+/// The discretization of a trace horizon into equal intervals.
+///
+/// # Examples
+///
+/// ```
+/// use sstd_types::{Timeline, Timestamp};
+///
+/// let tl = Timeline::new(Timestamp::from_secs(100), 10);
+/// assert_eq!(tl.num_intervals(), 10);
+/// assert_eq!(tl.interval_of(Timestamp::from_secs(35)), 3);
+/// // the horizon endpoint folds into the last interval
+/// assert_eq!(tl.interval_of(Timestamp::from_secs(100)), 9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Timeline {
+    horizon: Timestamp,
+    num_intervals: usize,
+}
+
+impl Timeline {
+    /// Creates a timeline dividing `[0, horizon)` into `num_intervals`
+    /// equal intervals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_intervals` is zero, `horizon` is zero, or there are
+    /// more intervals than whole seconds in the horizon (timestamps have
+    /// second resolution, so sub-second intervals cannot tile).
+    #[must_use]
+    pub fn new(horizon: Timestamp, num_intervals: usize) -> Self {
+        assert!(num_intervals > 0, "timeline needs at least one interval");
+        assert!(horizon > Timestamp::ZERO, "horizon must be positive");
+        assert!(
+            num_intervals as u64 <= horizon.as_secs(),
+            "cannot split {horizon} into {num_intervals} whole-second intervals"
+        );
+        Self { horizon, num_intervals }
+    }
+
+    /// Total time range covered.
+    #[must_use]
+    pub const fn horizon(&self) -> Timestamp {
+        self.horizon
+    }
+
+    /// Number of intervals in the timeline.
+    #[must_use]
+    pub const fn num_intervals(&self) -> usize {
+        self.num_intervals
+    }
+
+    /// Index of the interval containing `t`.
+    ///
+    /// Timestamps at or beyond the horizon clamp to the last interval, so
+    /// every report in a trace maps somewhere.
+    #[must_use]
+    pub fn interval_of(&self, t: Timestamp) -> usize {
+        let idx = (t.as_secs() as u128 * self.num_intervals as u128
+            / self.horizon.as_secs() as u128) as usize;
+        idx.min(self.num_intervals - 1)
+    }
+
+    /// The `index`-th interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= num_intervals()`.
+    #[must_use]
+    pub fn interval(&self, index: usize) -> Interval {
+        assert!(index < self.num_intervals, "interval index out of range");
+        // Bounds use ceiling division so that `interval_of` (floor mapping)
+        // and `interval(i).contains` agree for every integer timestamp.
+        let h = self.horizon.as_secs() as u128;
+        let n = self.num_intervals as u128;
+        let start = ((h * index as u128).div_ceil(n)) as u64;
+        let end = ((h * (index as u128 + 1)).div_ceil(n)) as u64;
+        Interval::new(index, Timestamp::from_secs(start), Timestamp::from_secs(end))
+    }
+
+    /// Iterates over all intervals in order.
+    pub fn iter(&self) -> impl Iterator<Item = Interval> + '_ {
+        (0..self.num_intervals).map(move |i| self.interval(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timestamp_arithmetic() {
+        let a = Timestamp::from_secs(10);
+        let b = Timestamp::from_secs(3);
+        assert_eq!((a + b).as_secs(), 13);
+        assert_eq!(a.secs_since(b), 7);
+        assert_eq!(b.secs_since(a), 0, "saturating");
+    }
+
+    #[test]
+    fn interval_contains_half_open() {
+        let iv = Interval::new(0, Timestamp::from_secs(10), Timestamp::from_secs(20));
+        assert!(iv.contains(Timestamp::from_secs(10)));
+        assert!(iv.contains(Timestamp::from_secs(19)));
+        assert!(!iv.contains(Timestamp::from_secs(20)));
+        assert_eq!(iv.len_secs(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive length")]
+    fn degenerate_interval_panics() {
+        let _ = Interval::new(0, Timestamp::from_secs(5), Timestamp::from_secs(5));
+    }
+
+    #[test]
+    fn timeline_partitions_horizon() {
+        let tl = Timeline::new(Timestamp::from_secs(100), 7);
+        // intervals tile [0, 100) without gaps or overlaps
+        let mut expected_start = 0;
+        for iv in tl.iter() {
+            assert_eq!(iv.start().as_secs(), expected_start);
+            expected_start = iv.end().as_secs();
+        }
+        assert_eq!(expected_start, 100);
+    }
+
+    #[test]
+    fn interval_of_is_consistent_with_interval_bounds() {
+        let tl = Timeline::new(Timestamp::from_secs(97), 10);
+        for s in 0..97 {
+            let t = Timestamp::from_secs(s);
+            let idx = tl.interval_of(t);
+            assert!(tl.interval(idx).contains(t), "t={s} idx={idx}");
+        }
+    }
+
+    #[test]
+    fn interval_of_clamps_to_last() {
+        let tl = Timeline::new(Timestamp::from_secs(50), 5);
+        assert_eq!(tl.interval_of(Timestamp::from_secs(50)), 4);
+        assert_eq!(tl.interval_of(Timestamp::from_secs(5000)), 4);
+    }
+
+    #[test]
+    fn uneven_division_still_tiles() {
+        let tl = Timeline::new(Timestamp::from_secs(10), 3);
+        let lens: Vec<u64> = tl.iter().map(Interval::len_secs).collect();
+        assert_eq!(lens.iter().sum::<u64>(), 10);
+        assert!(lens.iter().all(|&l| l >= 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one interval")]
+    fn empty_timeline_panics() {
+        let _ = Timeline::new(Timestamp::from_secs(10), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole-second intervals")]
+    fn subsecond_intervals_rejected() {
+        let _ = Timeline::new(Timestamp::from_secs(5), 6);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// `interval_of` and `interval(i).contains` agree for every
+        /// timestamp inside the horizon, for arbitrary discretizations.
+        #[test]
+        fn interval_mapping_is_consistent(
+            horizon in 64u64..5_000,
+            n in 1usize..64,
+            t in 0u64..5_000,
+        ) {
+            let tl = Timeline::new(Timestamp::from_secs(horizon), n);
+            let ts = Timestamp::from_secs(t.min(horizon.saturating_sub(1)));
+            let idx = tl.interval_of(ts);
+            prop_assert!(idx < n);
+            prop_assert!(tl.interval(idx).contains(ts),
+                "t={ts} idx={idx} iv={}", tl.interval(idx));
+        }
+
+        /// Intervals tile the horizon exactly: no gaps, no overlaps.
+        #[test]
+        fn intervals_tile_the_horizon(horizon in 128u64..10_000, n in 1usize..128) {
+            let tl = Timeline::new(Timestamp::from_secs(horizon), n);
+            let mut expected = 0u64;
+            for iv in tl.iter() {
+                prop_assert_eq!(iv.start().as_secs(), expected);
+                expected = iv.end().as_secs();
+            }
+            prop_assert!(expected >= horizon);
+        }
+    }
+}

@@ -1,0 +1,283 @@
+//! A full social-sensing trace: reports, populations, timeline and ground
+//! truth — the input every experiment consumes.
+
+use crate::{ClaimId, GroundTruth, Report, SourceId, Timeline, Timestamp};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A complete social-sensing data trace.
+///
+/// A `Trace` bundles the time-ordered scored [`Report`]s, the number of
+/// sources and claims, the evaluation [`Timeline`], and the manually (here:
+/// generatively) labeled [`GroundTruth`] — everything Table II of the paper
+/// summarizes per trace.
+///
+/// # Examples
+///
+/// ```
+/// use sstd_types::*;
+///
+/// let timeline = Timeline::new(Timestamp::from_secs(100), 10);
+/// let mut gt = GroundTruth::new(10);
+/// gt.insert(ClaimId::new(0), vec![TruthLabel::True; 10]);
+/// let reports = vec![Report::plain(
+///     SourceId::new(0), ClaimId::new(0), Timestamp::from_secs(5), Attitude::Agree,
+/// )];
+/// let trace = Trace::new("demo", reports, 1, 1, timeline, gt);
+/// assert_eq!(trace.stats().num_reports, 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    name: String,
+    reports: Vec<Report>,
+    num_sources: usize,
+    num_claims: usize,
+    timeline: Timeline,
+    ground_truth: GroundTruth,
+}
+
+impl Trace {
+    /// Assembles a trace, sorting reports by timestamp.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any report references a source `>= num_sources` or a claim
+    /// `>= num_claims`, or if the ground truth covers a different number of
+    /// intervals than the timeline.
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        mut reports: Vec<Report>,
+        num_sources: usize,
+        num_claims: usize,
+        timeline: Timeline,
+        ground_truth: GroundTruth,
+    ) -> Self {
+        assert_eq!(
+            timeline.num_intervals(),
+            ground_truth.num_intervals(),
+            "ground truth and timeline must agree on interval count"
+        );
+        for r in &reports {
+            assert!(r.source().index() < num_sources, "report references unknown source");
+            assert!(r.claim().index() < num_claims, "report references unknown claim");
+        }
+        reports.sort_by_key(Report::time);
+        Self {
+            name: name.into(),
+            reports,
+            num_sources,
+            num_claims,
+            timeline,
+            ground_truth,
+        }
+    }
+
+    /// Human-readable trace name (e.g. `"boston-bombing"`).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All reports in timestamp order.
+    #[must_use]
+    pub fn reports(&self) -> &[Report] {
+        &self.reports
+    }
+
+    /// Number of distinct sources in the population.
+    #[must_use]
+    pub const fn num_sources(&self) -> usize {
+        self.num_sources
+    }
+
+    /// Number of distinct claims.
+    #[must_use]
+    pub const fn num_claims(&self) -> usize {
+        self.num_claims
+    }
+
+    /// The evaluation timeline.
+    #[must_use]
+    pub const fn timeline(&self) -> &Timeline {
+        &self.timeline
+    }
+
+    /// The labeled ground truth.
+    #[must_use]
+    pub const fn ground_truth(&self) -> &GroundTruth {
+        &self.ground_truth
+    }
+
+    /// Reports whose timestamps fall in timeline interval `interval`.
+    ///
+    /// Because reports are time-sorted this is a contiguous slice.
+    #[must_use]
+    pub fn reports_in_interval(&self, interval: usize) -> &[Report] {
+        let iv = self.timeline.interval(interval);
+        let start = self.reports.partition_point(|r| r.time() < iv.start());
+        let end = if interval + 1 == self.timeline.num_intervals() {
+            self.reports.len()
+        } else {
+            self.reports.partition_point(|r| r.time() < iv.end())
+        };
+        &self.reports[start..end]
+    }
+
+    /// Reports about one claim, in time order.
+    #[must_use]
+    pub fn reports_for_claim(&self, claim: ClaimId) -> Vec<Report> {
+        self.reports.iter().filter(|r| r.claim() == claim).copied().collect()
+    }
+
+    /// Summary statistics (the paper's Table II row for this trace).
+    #[must_use]
+    pub fn stats(&self) -> TraceStats {
+        let active_sources: BTreeSet<SourceId> =
+            self.reports.iter().map(Report::source).collect();
+        TraceStats {
+            name: self.name.clone(),
+            num_reports: self.reports.len(),
+            num_sources: self.num_sources,
+            active_sources: active_sources.len(),
+            num_claims: self.num_claims,
+            horizon: self.timeline.horizon(),
+            num_intervals: self.timeline.num_intervals(),
+            truth_transitions: self.ground_truth.num_transitions(),
+        }
+    }
+}
+
+/// Summary statistics of a trace (cf. paper Table II).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceStats {
+    /// Trace name.
+    pub name: String,
+    /// Total number of reports (`# of Reports` in Table II).
+    pub num_reports: usize,
+    /// Size of the source population (`# of Sources`).
+    pub num_sources: usize,
+    /// Sources that actually reported at least once.
+    pub active_sources: usize,
+    /// Number of distinct claims.
+    pub num_claims: usize,
+    /// Trace duration.
+    pub horizon: Timestamp,
+    /// Number of evaluation intervals.
+    pub num_intervals: usize,
+    /// Total ground-truth label changes across claims.
+    pub truth_transitions: usize,
+}
+
+impl fmt::Display for TraceStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} reports, {} sources ({} active), {} claims, {} intervals over {}, {} truth transitions",
+            self.name,
+            self.num_reports,
+            self.num_sources,
+            self.active_sources,
+            self.num_claims,
+            self.num_intervals,
+            self.horizon,
+            self.truth_transitions
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Attitude, TruthLabel};
+
+    fn mk_trace() -> Trace {
+        let timeline = Timeline::new(Timestamp::from_secs(100), 4);
+        let mut gt = GroundTruth::new(4);
+        gt.insert(ClaimId::new(0), vec![TruthLabel::True; 4]);
+        gt.insert(
+            ClaimId::new(1),
+            vec![TruthLabel::False, TruthLabel::True, TruthLabel::True, TruthLabel::False],
+        );
+        let reports = vec![
+            Report::plain(SourceId::new(0), ClaimId::new(0), Timestamp::from_secs(80), Attitude::Agree),
+            Report::plain(SourceId::new(1), ClaimId::new(1), Timestamp::from_secs(10), Attitude::Disagree),
+            Report::plain(SourceId::new(0), ClaimId::new(1), Timestamp::from_secs(30), Attitude::Agree),
+        ];
+        Trace::new("test", reports, 3, 2, timeline, gt)
+    }
+
+    #[test]
+    fn reports_are_sorted_by_time() {
+        let t = mk_trace();
+        let times: Vec<u64> = t.reports().iter().map(|r| r.time().as_secs()).collect();
+        assert_eq!(times, vec![10, 30, 80]);
+    }
+
+    #[test]
+    fn interval_slicing_partitions_reports() {
+        let t = mk_trace();
+        let total: usize = (0..4).map(|i| t.reports_in_interval(i).len()).sum();
+        assert_eq!(total, t.reports().len());
+        assert_eq!(t.reports_in_interval(0).len(), 1); // t=10
+        assert_eq!(t.reports_in_interval(1).len(), 1); // t=30
+        assert_eq!(t.reports_in_interval(3).len(), 1); // t=80
+    }
+
+    #[test]
+    fn last_interval_includes_horizon_stragglers() {
+        let timeline = Timeline::new(Timestamp::from_secs(10), 2);
+        let mut gt = GroundTruth::new(2);
+        gt.insert(ClaimId::new(0), vec![TruthLabel::True; 2]);
+        let reports = vec![Report::plain(
+            SourceId::new(0),
+            ClaimId::new(0),
+            Timestamp::from_secs(10), // exactly at the horizon
+            Attitude::Agree,
+        )];
+        let t = Trace::new("edge", reports, 1, 1, timeline, gt);
+        assert_eq!(t.reports_in_interval(1).len(), 1);
+    }
+
+    #[test]
+    fn per_claim_filtering() {
+        let t = mk_trace();
+        assert_eq!(t.reports_for_claim(ClaimId::new(1)).len(), 2);
+        assert_eq!(t.reports_for_claim(ClaimId::new(0)).len(), 1);
+    }
+
+    #[test]
+    fn stats_match_contents() {
+        let s = mk_trace().stats();
+        assert_eq!(s.num_reports, 3);
+        assert_eq!(s.num_sources, 3);
+        assert_eq!(s.active_sources, 2);
+        assert_eq!(s.num_claims, 2);
+        assert_eq!(s.truth_transitions, 2);
+        assert!(s.to_string().contains("3 reports"));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown source")]
+    fn report_with_unknown_source_panics() {
+        let timeline = Timeline::new(Timestamp::from_secs(10), 1);
+        let mut gt = GroundTruth::new(1);
+        gt.insert(ClaimId::new(0), vec![TruthLabel::True]);
+        let reports = vec![Report::plain(
+            SourceId::new(5),
+            ClaimId::new(0),
+            Timestamp::ZERO,
+            Attitude::Agree,
+        )];
+        let _ = Trace::new("bad", reports, 1, 1, timeline, gt);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let t = mk_trace();
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Trace = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
+    }
+}

@@ -1,0 +1,261 @@
+//! Truth labels and per-claim ground-truth timelines.
+
+use crate::{Attitude, ClaimId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The binary truth value of a claim at one time instant (`x_{u,t}` in §II).
+///
+/// # Examples
+///
+/// ```
+/// use sstd_types::TruthLabel;
+///
+/// assert_eq!(TruthLabel::from_bool(true), TruthLabel::True);
+/// assert_eq!(TruthLabel::True.flipped(), TruthLabel::False);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TruthLabel {
+    /// The claim is true at this instant.
+    True,
+    /// The claim is false at this instant.
+    False,
+}
+
+impl TruthLabel {
+    /// Converts from a plain boolean.
+    #[must_use]
+    pub const fn from_bool(b: bool) -> Self {
+        if b {
+            TruthLabel::True
+        } else {
+            TruthLabel::False
+        }
+    }
+
+    /// Converts to a plain boolean.
+    #[must_use]
+    pub const fn as_bool(self) -> bool {
+        matches!(self, TruthLabel::True)
+    }
+
+    /// The opposite label.
+    #[must_use]
+    pub const fn flipped(self) -> Self {
+        match self {
+            TruthLabel::True => TruthLabel::False,
+            TruthLabel::False => TruthLabel::True,
+        }
+    }
+
+    /// The attitude a perfectly reliable source would express about a claim
+    /// with this truth value.
+    #[must_use]
+    pub const fn honest_attitude(self) -> Attitude {
+        match self {
+            TruthLabel::True => Attitude::Agree,
+            TruthLabel::False => Attitude::Disagree,
+        }
+    }
+
+    /// Hidden-state index used by the HMM (0 = true, 1 = false).
+    #[must_use]
+    pub const fn state_index(self) -> usize {
+        match self {
+            TruthLabel::True => 0,
+            TruthLabel::False => 1,
+        }
+    }
+
+    /// Inverse of [`state_index`](Self::state_index).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index > 1`.
+    #[must_use]
+    pub fn from_state_index(index: usize) -> Self {
+        match index {
+            0 => TruthLabel::True,
+            1 => TruthLabel::False,
+            _ => panic!("binary truth has states 0 and 1, got {index}"),
+        }
+    }
+}
+
+impl fmt::Display for TruthLabel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            TruthLabel::True => "true",
+            TruthLabel::False => "false",
+        })
+    }
+}
+
+/// Per-interval ground-truth labels for every claim in a trace.
+///
+/// All label vectors have the same length (the number of timeline
+/// intervals); the container enforces that on insertion.
+///
+/// # Examples
+///
+/// ```
+/// use sstd_types::{ClaimId, GroundTruth, TruthLabel};
+///
+/// let mut gt = GroundTruth::new(3);
+/// gt.insert(ClaimId::new(0), vec![TruthLabel::True, TruthLabel::True, TruthLabel::False]);
+/// assert_eq!(gt.label(ClaimId::new(0), 2), Some(TruthLabel::False));
+/// assert_eq!(gt.num_claims(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GroundTruth {
+    num_intervals: usize,
+    labels: BTreeMap<ClaimId, Vec<TruthLabel>>,
+}
+
+impl GroundTruth {
+    /// Creates an empty ground-truth table for `num_intervals` intervals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_intervals` is zero.
+    #[must_use]
+    pub fn new(num_intervals: usize) -> Self {
+        assert!(num_intervals > 0, "ground truth needs at least one interval");
+        Self { num_intervals, labels: BTreeMap::new() }
+    }
+
+    /// Number of intervals each label vector covers.
+    #[must_use]
+    pub const fn num_intervals(&self) -> usize {
+        self.num_intervals
+    }
+
+    /// Number of claims with recorded ground truth.
+    #[must_use]
+    pub fn num_claims(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Records the full label timeline for a claim, replacing any previous
+    /// entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels.len() != num_intervals()`.
+    pub fn insert(&mut self, claim: ClaimId, labels: Vec<TruthLabel>) {
+        assert_eq!(
+            labels.len(),
+            self.num_intervals,
+            "label vector must cover every interval"
+        );
+        self.labels.insert(claim, labels);
+    }
+
+    /// The label of `claim` in interval `interval`, if recorded.
+    #[must_use]
+    pub fn label(&self, claim: ClaimId, interval: usize) -> Option<TruthLabel> {
+        self.labels.get(&claim).and_then(|v| v.get(interval)).copied()
+    }
+
+    /// The full label timeline of `claim`, if recorded.
+    #[must_use]
+    pub fn timeline(&self, claim: ClaimId) -> Option<&[TruthLabel]> {
+        self.labels.get(&claim).map(Vec::as_slice)
+    }
+
+    /// Iterates over `(claim, labels)` pairs in claim order.
+    pub fn iter(&self) -> impl Iterator<Item = (ClaimId, &[TruthLabel])> {
+        self.labels.iter().map(|(c, v)| (*c, v.as_slice()))
+    }
+
+    /// Claims with recorded ground truth, in id order.
+    pub fn claims(&self) -> impl Iterator<Item = ClaimId> + '_ {
+        self.labels.keys().copied()
+    }
+
+    /// Number of truth transitions (label changes between consecutive
+    /// intervals) across all claims — a measure of how dynamic the trace is.
+    #[must_use]
+    pub fn num_transitions(&self) -> usize {
+        self.labels
+            .values()
+            .map(|v| v.windows(2).filter(|w| w[0] != w[1]).count())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn label_bool_roundtrip() {
+        for b in [true, false] {
+            assert_eq!(TruthLabel::from_bool(b).as_bool(), b);
+        }
+    }
+
+    #[test]
+    fn flip_is_involutive() {
+        assert_eq!(TruthLabel::True.flipped().flipped(), TruthLabel::True);
+        assert_eq!(TruthLabel::False.flipped(), TruthLabel::True);
+    }
+
+    #[test]
+    fn state_index_roundtrip() {
+        for l in [TruthLabel::True, TruthLabel::False] {
+            assert_eq!(TruthLabel::from_state_index(l.state_index()), l);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "states 0 and 1")]
+    fn bad_state_index_panics() {
+        let _ = TruthLabel::from_state_index(2);
+    }
+
+    #[test]
+    fn honest_attitude_matches_label() {
+        assert_eq!(TruthLabel::True.honest_attitude(), Attitude::Agree);
+        assert_eq!(TruthLabel::False.honest_attitude(), Attitude::Disagree);
+    }
+
+    #[test]
+    fn ground_truth_insert_and_query() {
+        let mut gt = GroundTruth::new(2);
+        gt.insert(ClaimId::new(1), vec![TruthLabel::False, TruthLabel::True]);
+        assert_eq!(gt.label(ClaimId::new(1), 0), Some(TruthLabel::False));
+        assert_eq!(gt.label(ClaimId::new(1), 1), Some(TruthLabel::True));
+        assert_eq!(gt.label(ClaimId::new(1), 2), None);
+        assert_eq!(gt.label(ClaimId::new(9), 0), None);
+        assert_eq!(gt.timeline(ClaimId::new(1)).unwrap().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "every interval")]
+    fn wrong_length_panics() {
+        let mut gt = GroundTruth::new(3);
+        gt.insert(ClaimId::new(0), vec![TruthLabel::True]);
+    }
+
+    #[test]
+    fn transition_count() {
+        let mut gt = GroundTruth::new(4);
+        gt.insert(
+            ClaimId::new(0),
+            vec![TruthLabel::True, TruthLabel::False, TruthLabel::False, TruthLabel::True],
+        );
+        gt.insert(
+            ClaimId::new(1),
+            vec![TruthLabel::True; 4],
+        );
+        assert_eq!(gt.num_transitions(), 2);
+    }
+
+    #[test]
+    fn display_labels() {
+        assert_eq!(TruthLabel::True.to_string(), "true");
+        assert_eq!(TruthLabel::False.to_string(), "false");
+    }
+}

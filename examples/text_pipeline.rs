@@ -1,0 +1,51 @@
+//! Preprocessing demo: tweet-shaped raw posts go through the full text
+//! pipeline — keyword filter, online claim clustering, attitude /
+//! uncertainty / independence scoring — producing the scored reports the
+//! truth-discovery layer consumes (paper §V-A2).
+//!
+//! Run with: `cargo run --example text_pipeline`
+
+use sstd::data::{synthesize_posts, Scenario};
+use sstd::text::{PipelineConfig, ReportPipeline};
+use sstd::types::Attitude;
+
+fn main() {
+    let scenario = Scenario::BostonBombing;
+    let posts = synthesize_posts(scenario, 2_000, 5, 24 * 3600, 11);
+    println!("synthesized {} raw posts about {} topics\n", posts.len(), 5);
+
+    for p in posts.iter().take(5) {
+        println!("  [{}] {}", p.time(), p.text());
+    }
+    println!("  ...\n");
+
+    let mut pipeline = ReportPipeline::new(PipelineConfig::for_event(scenario.keywords()));
+    let mut agrees = 0u64;
+    let mut disagrees = 0u64;
+    let mut hedged = 0u64;
+    let mut copies = 0u64;
+    for post in &posts {
+        if let Some(report) = pipeline.process(post) {
+            match report.attitude() {
+                Attitude::Agree => agrees += 1,
+                Attitude::Disagree => disagrees += 1,
+                Attitude::Silent => {}
+            }
+            if report.uncertainty().value() > 0.0 {
+                hedged += 1;
+            }
+            if report.independence().value() < 0.5 {
+                copies += 1;
+            }
+        }
+    }
+
+    let (processed, dropped) = pipeline.counters();
+    println!("pipeline results:");
+    println!("  reports produced : {processed}");
+    println!("  posts filtered   : {dropped}");
+    println!("  claims discovered: {}", pipeline.num_claims());
+    println!("  agree / disagree : {agrees} / {disagrees}");
+    println!("  hedged reports   : {hedged}");
+    println!("  detected copies  : {copies}");
+}

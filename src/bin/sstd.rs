@@ -1,0 +1,160 @@
+//! The `sstd` command-line tool: generate traces, run truth discovery,
+//! and score results — the full workflow without writing any Rust.
+//!
+//! ```text
+//! sstd generate --scenario boston --scale 0.01 --seed 42 --out trace.json
+//! sstd stats    --trace trace.json
+//! sstd run      --trace trace.json --scheme sstd --out estimates.json
+//! sstd score    --trace trace.json --estimates estimates.json
+//! sstd compare  --trace trace.json
+//! ```
+
+use sstd::core::TruthEstimates;
+use sstd::data::{load_trace, save_trace, Scenario, TraceBuilder};
+use sstd::eval::metrics::score_estimates;
+use sstd::eval::{run_scheme, SchemeKind};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first().map(String::as_str) else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = match command {
+        "generate" => cmd_generate(&args[1..]),
+        "stats" => cmd_stats(&args[1..]),
+        "run" => cmd_run(&args[1..]),
+        "score" => cmd_score(&args[1..]),
+        "compare" => cmd_compare(&args[1..]),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+sstd — scalable streaming truth discovery (ICDCS 2017 reproduction)
+
+USAGE:
+  sstd generate --scenario <boston|paris|football|synthetic>
+                [--scale F] [--seed N] --out FILE
+  sstd stats    --trace FILE
+  sstd run      --trace FILE [--scheme NAME] --out FILE
+  sstd score    --trace FILE --estimates FILE
+  sstd compare  --trace FILE
+
+SCHEMES: sstd dynatd truthfinder rtd catd invest 3-estimates majority weighted recem";
+
+/// Pulls `--key value` from an argument list.
+fn flag(args: &[String], key: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn required(args: &[String], key: &str) -> Result<String, String> {
+    flag(args, key).ok_or_else(|| format!("missing required flag {key}"))
+}
+
+fn parse_scenario(name: &str) -> Result<Scenario, String> {
+    match name {
+        "boston" | "boston-bombing" => Ok(Scenario::BostonBombing),
+        "paris" | "paris-shooting" => Ok(Scenario::ParisShooting),
+        "football" | "college-football" => Ok(Scenario::CollegeFootball),
+        "synthetic" => Ok(Scenario::Synthetic),
+        other => Err(format!("unknown scenario `{other}`")),
+    }
+}
+
+fn parse_scheme(name: &str) -> Result<SchemeKind, String> {
+    match name.to_lowercase().as_str() {
+        "sstd" => Ok(SchemeKind::Sstd),
+        "dynatd" => Ok(SchemeKind::DynaTd),
+        "truthfinder" => Ok(SchemeKind::TruthFinder),
+        "rtd" => Ok(SchemeKind::Rtd),
+        "catd" => Ok(SchemeKind::Catd),
+        "invest" => Ok(SchemeKind::Invest),
+        "3-estimates" | "three-estimates" => Ok(SchemeKind::ThreeEstimates),
+        "majority" => Ok(SchemeKind::MajorityVote),
+        "recem" | "recursive-em" => Ok(SchemeKind::RecursiveEm),
+        "weighted" => Ok(SchemeKind::WeightedVote),
+        other => Err(format!("unknown scheme `{other}`")),
+    }
+}
+
+fn cmd_generate(args: &[String]) -> Result<(), String> {
+    let scenario = parse_scenario(&required(args, "--scenario")?)?;
+    let scale: f64 = flag(args, "--scale").map_or(Ok(0.01), |s| {
+        s.parse().map_err(|_| format!("bad --scale `{s}`"))
+    })?;
+    let seed: u64 = flag(args, "--seed").map_or(Ok(42), |s| {
+        s.parse().map_err(|_| format!("bad --seed `{s}`"))
+    })?;
+    let out = required(args, "--out")?;
+    let trace = TraceBuilder::scenario(scenario).scale(scale).seed(seed).build();
+    save_trace(&trace, &out).map_err(|e| e.to_string())?;
+    println!("wrote {} ({})", out, trace.stats());
+    Ok(())
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let trace = load_trace(required(args, "--trace")?).map_err(|e| e.to_string())?;
+    println!("{}", trace.stats());
+    Ok(())
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let trace = load_trace(required(args, "--trace")?).map_err(|e| e.to_string())?;
+    let scheme = parse_scheme(&flag(args, "--scheme").unwrap_or_else(|| "sstd".into()))?;
+    let out = required(args, "--out")?;
+    let estimates = run_scheme(scheme, &trace);
+    let file = std::fs::File::create(&out).map_err(|e| e.to_string())?;
+    serde_json::to_writer(std::io::BufWriter::new(file), &estimates)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "{}: estimated {} claims × {} intervals → {}",
+        scheme.name(),
+        estimates.num_claims(),
+        estimates.num_intervals(),
+        out
+    );
+    Ok(())
+}
+
+fn cmd_score(args: &[String]) -> Result<(), String> {
+    let trace = load_trace(required(args, "--trace")?).map_err(|e| e.to_string())?;
+    let file = std::fs::File::open(required(args, "--estimates")?).map_err(|e| e.to_string())?;
+    let estimates: TruthEstimates =
+        serde_json::from_reader(std::io::BufReader::new(file)).map_err(|e| e.to_string())?;
+    let m = score_estimates(trace.ground_truth(), &estimates);
+    println!("{m}");
+    Ok(())
+}
+
+fn cmd_compare(args: &[String]) -> Result<(), String> {
+    let trace = load_trace(required(args, "--trace")?).map_err(|e| e.to_string())?;
+    println!("scheme        accuracy  precision  recall   f1");
+    for scheme in SchemeKind::paper_table() {
+        let m = score_estimates(trace.ground_truth(), &run_scheme(scheme, &trace));
+        println!(
+            "{:<13} {:>7.3} {:>9.3} {:>7.3} {:>6.3}",
+            scheme.name(),
+            m.accuracy(),
+            m.precision(),
+            m.recall(),
+            m.f1()
+        );
+    }
+    Ok(())
+}

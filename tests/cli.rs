@@ -1,0 +1,102 @@
+//! End-to-end tests of the `sstd` command-line tool.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn sstd() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_sstd"))
+}
+
+fn temp_file(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("sstd-cli-test");
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir.join(name)
+}
+
+#[test]
+fn full_generate_run_score_workflow() {
+    let trace = temp_file("workflow-trace.json");
+    let estimates = temp_file("workflow-estimates.json");
+
+    let gen = sstd()
+        .args(["generate", "--scenario", "synthetic", "--scale", "0.002", "--seed", "5"])
+        .args(["--out", trace.to_str().unwrap()])
+        .output()
+        .expect("run generate");
+    assert!(gen.status.success(), "{}", String::from_utf8_lossy(&gen.stderr));
+
+    let run = sstd()
+        .args(["run", "--trace", trace.to_str().unwrap(), "--scheme", "sstd"])
+        .args(["--out", estimates.to_str().unwrap()])
+        .output()
+        .expect("run scheme");
+    assert!(run.status.success(), "{}", String::from_utf8_lossy(&run.stderr));
+
+    let score = sstd()
+        .args(["score", "--trace", trace.to_str().unwrap()])
+        .args(["--estimates", estimates.to_str().unwrap()])
+        .output()
+        .expect("score");
+    assert!(score.status.success());
+    let out = String::from_utf8_lossy(&score.stdout);
+    assert!(out.contains("acc="), "{out}");
+
+    std::fs::remove_file(&trace).ok();
+    std::fs::remove_file(&estimates).ok();
+}
+
+#[test]
+fn stats_reports_trace_summary() {
+    let trace = temp_file("stats-trace.json");
+    let gen = sstd()
+        .args(["generate", "--scenario", "paris", "--scale", "0.001", "--seed", "2"])
+        .args(["--out", trace.to_str().unwrap()])
+        .output()
+        .expect("generate");
+    assert!(gen.status.success());
+    let stats = sstd()
+        .args(["stats", "--trace", trace.to_str().unwrap()])
+        .output()
+        .expect("stats");
+    assert!(stats.status.success());
+    let out = String::from_utf8_lossy(&stats.stdout);
+    assert!(out.contains("paris-shooting"), "{out}");
+    assert!(out.contains("claims"), "{out}");
+    std::fs::remove_file(&trace).ok();
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let out = sstd().arg("explode").output().expect("run");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown command"), "{err}");
+    assert!(err.contains("USAGE"), "{err}");
+}
+
+#[test]
+fn missing_flags_are_reported() {
+    let out = sstd().arg("generate").output().expect("run");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--scenario"), "{err}");
+}
+
+#[test]
+fn bad_scheme_is_rejected() {
+    let trace = temp_file("bad-scheme-trace.json");
+    let gen = sstd()
+        .args(["generate", "--scenario", "synthetic", "--scale", "0.001"])
+        .args(["--out", trace.to_str().unwrap()])
+        .output()
+        .expect("generate");
+    assert!(gen.status.success());
+    let out = sstd()
+        .args(["run", "--trace", trace.to_str().unwrap(), "--scheme", "astrology"])
+        .args(["--out", temp_file("never.json").to_str().unwrap()])
+        .output()
+        .expect("run");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown scheme"));
+    std::fs::remove_file(&trace).ok();
+}

@@ -1,0 +1,64 @@
+//! Distributed-vs-centralized consistency: running SSTD's per-claim TD
+//! jobs through the real threaded Work Queue must produce exactly the
+//! estimates of the single-process engine — the property that makes the
+//! claim-partitioned decomposition (paper §III-E) safe.
+
+use sstd::core::{claim_partition, SstdConfig, SstdEngine};
+use sstd::data::{Scenario, TraceBuilder};
+use sstd::runtime::{JobId, ThreadedWorkQueue};
+use sstd::types::{ClaimId, TruthLabel};
+use std::sync::Arc;
+
+#[test]
+fn threaded_work_queue_matches_central_engine() {
+    let trace = Arc::new(
+        TraceBuilder::scenario(Scenario::ParisShooting).scale(0.005).seed(21).build(),
+    );
+    let engine = SstdEngine::new(SstdConfig::default());
+
+    // Centralized run.
+    let central = engine.run(&trace);
+
+    // Distributed run: one TD job per claim on 4 workers.
+    let queue: ThreadedWorkQueue<(ClaimId, Vec<TruthLabel>)> = ThreadedWorkQueue::new(4);
+    for (claim, _) in claim_partition(&trace) {
+        let trace = Arc::clone(&trace);
+        let engine = engine.clone();
+        queue.submit(JobId::new(claim.index() as u32), 1.0, move || {
+            (claim, engine.run_claim(&trace, claim))
+        });
+    }
+    let results = queue.wait();
+    assert_eq!(results.len(), trace.num_claims());
+
+    for (_, (claim, labels)) in results {
+        assert_eq!(
+            central.labels(claim).expect("claim estimated centrally"),
+            labels.as_slice(),
+            "claim {claim} diverged between distributed and centralized runs"
+        );
+    }
+}
+
+#[test]
+fn job_priorities_do_not_change_results() {
+    let trace = Arc::new(
+        TraceBuilder::scenario(Scenario::Synthetic).scale(0.003).seed(8).build(),
+    );
+    let engine = SstdEngine::new(SstdConfig::default());
+    let central = engine.run(&trace);
+
+    let queue: ThreadedWorkQueue<(ClaimId, Vec<TruthLabel>)> = ThreadedWorkQueue::new(3);
+    for (claim, reports) in claim_partition(&trace) {
+        let trace = Arc::clone(&trace);
+        let engine = engine.clone();
+        // Priority by data volume — what the DTM does with LCKs.
+        let priority = (reports.len() as f64).max(1.0);
+        queue.submit(JobId::new(claim.index() as u32), priority, move || {
+            (claim, engine.run_claim(&trace, claim))
+        });
+    }
+    for (_, (claim, labels)) in queue.wait() {
+        assert_eq!(central.labels(claim).unwrap(), labels.as_slice());
+    }
+}

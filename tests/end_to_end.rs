@@ -1,0 +1,134 @@
+//! End-to-end integration: trace generation → truth discovery → scoring,
+//! across crate boundaries.
+
+use sstd::core::{SstdConfig, SstdEngine, StreamingSstd};
+use sstd::data::{Scenario, TraceBuilder};
+use sstd::eval::metrics::score_estimates;
+use sstd::eval::{run_scheme, SchemeKind};
+use sstd::types::{ClaimId, TruthLabel};
+
+fn trace(scenario: Scenario, scale: f64, seed: u64) -> sstd::types::Trace {
+    TraceBuilder::scenario(scenario).scale(scale).seed(seed).build()
+}
+
+#[test]
+fn sstd_batch_recovers_most_of_the_truth() {
+    let t = trace(Scenario::ParisShooting, 0.01, 42);
+    let est = SstdEngine::new(SstdConfig::default()).run(&t);
+    let m = score_estimates(t.ground_truth(), &est);
+    assert!(m.accuracy() > 0.6, "accuracy {}", m.accuracy());
+    assert!(m.f1() > 0.55, "f1 {}", m.f1());
+}
+
+#[test]
+fn streaming_engine_is_close_to_batch() {
+    let t = trace(Scenario::ParisShooting, 0.01, 7);
+    let batch = SstdEngine::new(SstdConfig::default()).run(&t);
+    let mut streaming = StreamingSstd::new(SstdConfig::default(), t.timeline().clone());
+    for r in t.reports() {
+        streaming.push(r);
+    }
+    let online = streaming.finish();
+
+    let mb = score_estimates(t.ground_truth(), &batch);
+    let mo = score_estimates(t.ground_truth(), &online);
+    // Filtering decisions lose a little to the smoothed batch decode but
+    // must stay in the same league.
+    assert!(
+        mo.accuracy() > mb.accuracy() - 0.12,
+        "streaming {} vs batch {}",
+        mo.accuracy(),
+        mb.accuracy()
+    );
+}
+
+#[test]
+fn sstd_beats_every_baseline_on_each_paper_trace() {
+    for scenario in
+        [Scenario::BostonBombing, Scenario::ParisShooting, Scenario::CollegeFootball]
+    {
+        let t = trace(scenario, 0.005, 13);
+        let sstd =
+            score_estimates(t.ground_truth(), &run_scheme(SchemeKind::Sstd, &t)).accuracy();
+        for kind in SchemeKind::paper_table().into_iter().skip(1) {
+            let acc = score_estimates(t.ground_truth(), &run_scheme(kind, &t)).accuracy();
+            assert!(
+                sstd + 1e-9 >= acc,
+                "{scenario:?}: SSTD {sstd} lost to {} {acc}",
+                kind.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn misinformation_cohort_hurts_voting_more_than_sstd() {
+    let mut builder = TraceBuilder::scenario(Scenario::BostonBombing).scale(0.01).seed(3);
+    builder.config_mut().honest_fraction = 0.6;
+    builder.config_mut().retweet_prob = 0.55;
+    let t = builder.build();
+    let sstd = score_estimates(t.ground_truth(), &run_scheme(SchemeKind::Sstd, &t));
+    let mv = score_estimates(t.ground_truth(), &run_scheme(SchemeKind::MajorityVote, &t));
+    assert!(
+        sstd.accuracy() > mv.accuracy(),
+        "SSTD {} vs MajorityVote {}",
+        sstd.accuracy(),
+        mv.accuracy()
+    );
+}
+
+#[test]
+fn trace_roundtrip_preserves_scheme_output() {
+    let t = trace(Scenario::Synthetic, 0.002, 5);
+    let dir = std::env::temp_dir().join("sstd-e2e");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("trace.json");
+    sstd::data::save_trace(&t, &path).unwrap();
+    let reloaded = sstd::data::load_trace(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+
+    let a = SstdEngine::new(SstdConfig::default()).run(&t);
+    let b = SstdEngine::new(SstdConfig::default()).run(&reloaded);
+    assert_eq!(a, b, "persisted traces reproduce identical decisions");
+}
+
+#[test]
+fn evidence_free_claims_are_false_everywhere() {
+    let mut builder = TraceBuilder::scenario(Scenario::Synthetic).scale(0.001).seed(1);
+    builder.config_mut().num_claims = 200; // far more claims than reports reach
+    let t = builder.build();
+    let est = SstdEngine::new(SstdConfig::default()).run(&t);
+    let mut reported = vec![false; t.num_claims()];
+    for r in t.reports() {
+        reported[r.claim().index()] = true;
+    }
+    let silent = reported.iter().filter(|&&x| !x).count();
+    assert!(silent > 0, "test needs unreported claims");
+    for (u, &was_reported) in reported.iter().enumerate() {
+        if !was_reported {
+            let labels = est.labels(ClaimId::new(u as u32)).unwrap();
+            assert!(labels.iter().all(|&l| l == TruthLabel::False), "claim {u}");
+        }
+    }
+}
+
+#[test]
+fn dependency_smoothing_never_hurts_correlated_pairs() {
+    use sstd::core::{smooth_dependencies, ClaimDependency};
+    let mut builder = TraceBuilder::scenario(Scenario::Synthetic).scale(0.004).seed(9);
+    builder.config_mut().correlated_claim_pairs = 10;
+    let t = builder.build();
+    let est = SstdEngine::new(SstdConfig::default()).run(&t);
+    let deps: Vec<ClaimDependency> = (0..10u32)
+        .map(|k| ClaimDependency::positive(ClaimId::new(2 * k), ClaimId::new(2 * k + 1)))
+        .collect();
+    let smoothed = smooth_dependencies(&est, &deps);
+    let before = score_estimates(t.ground_truth(), &est);
+    let after = score_estimates(t.ground_truth(), &smoothed);
+    assert!(
+        after.accuracy() + 0.01 >= before.accuracy(),
+        "smoothing must not materially hurt: {} -> {}",
+        before.accuracy(),
+        after.accuracy()
+    );
+}

@@ -1,0 +1,150 @@
+//! Shape tests for every reproduced table/figure: the absolute numbers
+//! differ from the paper (our substrate is a simulator, not the authors'
+//! HTCondor pool), but who wins, by roughly what factor, and where the
+//! curves bend must match.
+
+use sstd::data::Scenario;
+use sstd::eval::exp::{accuracy, fig5, fig6, fig7, table2};
+use sstd::eval::SchemeKind;
+
+#[test]
+fn table2_shape_relative_trace_sizes() {
+    let rows = table2::run(0.002, 42);
+    let by_name = |n: &str| rows.iter().find(|r| r.name.contains(n)).unwrap();
+    let boston = by_name("boston");
+    let paris = by_name("paris");
+    let football = by_name("college");
+    // Table II ordering: Boston > Football > Paris in reports and sources.
+    assert!(boston.num_reports > football.num_reports);
+    assert!(football.num_reports > paris.num_reports);
+    assert!(boston.num_sources > football.num_sources);
+    assert!(football.num_sources > paris.num_sources);
+    // The football trace is the most dynamic (score changes).
+    assert!(
+        football.truth_transitions as f64 / football.num_claims as f64
+            > boston.truth_transitions as f64 / boston.num_claims as f64
+    );
+}
+
+#[test]
+fn tables_3_4_5_shape_sstd_wins_all_metrics_aggregate() {
+    // Paper: SSTD beats the best baseline on all four metrics per trace.
+    // We assert the headline (accuracy + F1) per trace, which is robust
+    // at small scale.
+    for scenario in
+        [Scenario::BostonBombing, Scenario::ParisShooting, Scenario::CollegeFootball]
+    {
+        let rows = accuracy::run(scenario, 0.005, 13);
+        assert_eq!(rows[0].scheme, SchemeKind::Sstd);
+        let sstd = rows[0].matrix;
+        for row in &rows[1..] {
+            assert!(
+                sstd.accuracy() + 1e-9 >= row.matrix.accuracy(),
+                "{scenario:?} accuracy: SSTD {} vs {} {}",
+                sstd.accuracy(),
+                row.scheme.name(),
+                row.matrix.accuracy()
+            );
+            assert!(
+                sstd.f1() + 1e-9 >= row.matrix.f1(),
+                "{scenario:?} F1: SSTD {} vs {} {}",
+                sstd.f1(),
+                row.scheme.name(),
+                row.matrix.f1()
+            );
+        }
+        // DynaTD (the other dynamic scheme) is the strongest baseline on
+        // accuracy — the paper's tables show the same pattern.
+        let dynatd = rows.iter().find(|r| r.scheme == SchemeKind::DynaTd).unwrap();
+        let best_static = rows[1..]
+            .iter()
+            .filter(|r| !r.scheme.is_streaming())
+            .map(|r| r.matrix.accuracy())
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(
+            dynatd.matrix.accuracy() + 0.03 >= best_static,
+            "{scenario:?}: dynamic baseline should be competitive with static ones"
+        );
+    }
+}
+
+#[test]
+fn fig5_shape_streaming_tracks_duration_batch_falls_behind() {
+    let pts = fig5::run(&[200], 10, 5);
+    let total = |k: SchemeKind| {
+        pts.iter().find(|p| p.scheme == k).map(|p| p.total_running_secs).unwrap()
+    };
+    let compute = |k: SchemeKind| {
+        pts.iter().find(|p| p.scheme == k).map(|p| p.compute_secs).unwrap()
+    };
+    // Streaming schemes hug the 10-second stream duration.
+    assert!(total(SchemeKind::Sstd) < 12.0);
+    assert!(total(SchemeKind::DynaTd) < 12.0);
+    // Batch schemes burn strictly more compute than SSTD's incremental
+    // pass (they re-solve over cumulative data every 5 seconds).
+    for k in [SchemeKind::TruthFinder, SchemeKind::Catd, SchemeKind::ThreeEstimates] {
+        assert!(
+            compute(k) > compute(SchemeKind::Sstd),
+            "{}: {} vs {}",
+            k.name(),
+            compute(k),
+            compute(SchemeKind::Sstd)
+        );
+    }
+}
+
+#[test]
+fn fig6_shape_sstd_hits_most_deadlines_especially_tight_ones() {
+    let deadlines = [0.05, 0.2, 2.0];
+    let pts = fig6::run(Scenario::ParisShooting, 0.01, &deadlines, 9);
+    let rate = |k: SchemeKind, d: f64| {
+        pts.iter()
+            .find(|p| p.scheme == k && (p.deadline - d).abs() < 1e-12)
+            .map(|p| p.hit_rate)
+            .unwrap()
+    };
+    for &d in &deadlines {
+        for k in SchemeKind::paper_table().into_iter().skip(1) {
+            assert!(
+                rate(SchemeKind::Sstd, d) + 1e-9 >= rate(k, d),
+                "deadline {d}: SSTD {} vs {} {}",
+                rate(SchemeKind::Sstd, d),
+                k.name(),
+                rate(k, d)
+            );
+        }
+    }
+    // The gain is most pronounced at the tight deadline (paper: "the
+    // performance gains are very significant when the deadline is tight").
+    let best_baseline_tight = SchemeKind::paper_table()
+        .into_iter()
+        .skip(1)
+        .map(|k| rate(k, 0.05))
+        .fold(f64::NEG_INFINITY, f64::max);
+    assert!(
+        rate(SchemeKind::Sstd, 0.05) > best_baseline_tight,
+        "SSTD must strictly win at the tight deadline"
+    );
+}
+
+#[test]
+fn fig7_shape_speedup_grows_with_workers_and_data() {
+    let pts = fig7::run(&[100_000, 16_900_000], &[1, 4, 16, 64]);
+    let speedup = |data: u64, w: usize| {
+        pts.iter()
+            .find(|p| p.data_size == data && p.workers == w)
+            .map(|p| p.speedup)
+            .unwrap()
+    };
+    // Monotone in workers for the big trace.
+    assert!(speedup(16_900_000, 4) > speedup(16_900_000, 1));
+    assert!(speedup(16_900_000, 16) > speedup(16_900_000, 4));
+    assert!(speedup(16_900_000, 64) > speedup(16_900_000, 16));
+    // Bigger data ⇒ better speedup at high worker counts (the paper's
+    // headline observation for Fig. 7).
+    assert!(speedup(16_900_000, 64) > speedup(100_000, 64));
+    // Never super-linear.
+    for p in &pts {
+        assert!(p.speedup <= p.workers as f64 + 1e-9);
+    }
+}

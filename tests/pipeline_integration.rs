@@ -1,0 +1,75 @@
+//! Raw text → pipeline → streaming truth discovery: the full ingestion
+//! path a deployment would run (paper Fig. 2's crawler + preprocessing +
+//! TD jobs).
+
+use sstd::core::{SstdConfig, StreamingSstd};
+use sstd::data::{synthesize_posts, Scenario};
+use sstd::text::{PipelineConfig, ReportPipeline};
+use sstd::types::{Timeline, Timestamp};
+
+#[test]
+fn posts_flow_through_pipeline_into_streaming_sstd() {
+    let scenario = Scenario::ParisShooting;
+    let horizon = 10_000u64;
+    let posts = synthesize_posts(scenario, 3_000, 4, horizon, 17);
+
+    let mut pipeline = ReportPipeline::new(PipelineConfig::for_event(scenario.keywords()));
+    let timeline = Timeline::new(Timestamp::from_secs(horizon), 50);
+    let mut engine = StreamingSstd::new(SstdConfig::default(), timeline);
+
+    let mut produced = 0u64;
+    for post in &posts {
+        if let Some(report) = pipeline.process(post) {
+            engine.push(&report);
+            produced += 1;
+        }
+    }
+    assert!(produced > 2_000, "most posts carry the event keyword: {produced}");
+    assert!(pipeline.num_claims() >= 4, "clustering found the topics");
+    assert_eq!(engine.reports_seen(), produced);
+
+    let estimates = engine.finish();
+    assert_eq!(estimates.num_claims(), engine_claims(&posts, scenario));
+    // Every estimated timeline covers all 50 intervals.
+    for (_, labels) in estimates.iter() {
+        assert_eq!(labels.len(), 50);
+    }
+}
+
+/// Recomputes the claim count a fresh pipeline discovers — the streaming
+/// engine must have created exactly one decoder per discovered claim.
+fn engine_claims(posts: &[sstd::types::RawPost], scenario: Scenario) -> usize {
+    let mut pipeline = ReportPipeline::new(PipelineConfig::for_event(scenario.keywords()));
+    let mut claims = std::collections::BTreeSet::new();
+    for post in posts {
+        if let Some(report) = pipeline.process(post) {
+            claims.insert(report.claim());
+        }
+    }
+    claims.len()
+}
+
+#[test]
+fn denials_in_text_lower_claim_scores() {
+    // A post stream where one topic is heavily denied must produce
+    // negative aggregate contribution for that claim.
+    let scenario = Scenario::BostonBombing;
+    let mut pipeline = ReportPipeline::new(PipelineConfig::for_event(scenario.keywords()));
+    let mut score = 0.0;
+    for i in 0..50u64 {
+        let text = if i % 5 == 0 {
+            "second device found at the library #boston".to_string()
+        } else {
+            "false report: second device found at the library #boston".to_string()
+        };
+        let post = sstd::types::RawPost::new(
+            sstd::types::SourceId::new(i as u32),
+            Timestamp::from_secs(i * 10),
+            text,
+        );
+        if let Some(report) = pipeline.process(&post) {
+            score += report.contribution_score().value();
+        }
+    }
+    assert!(score < 0.0, "denial-heavy stream should carry negative evidence: {score}");
+}
