@@ -87,11 +87,8 @@ impl TruthDiscovery for Catd {
         // Start from (weighted) majority voting.
         let mut truth: Vec<f64> = (0..n_claims)
             .map(|u| {
-                let s: f64 = votes
-                    .claim_votes(ClaimId::new(u as u32))
-                    .iter()
-                    .map(|&(_, w)| w)
-                    .sum();
+                let s: f64 =
+                    votes.claim_votes(ClaimId::new(u as u32)).iter().map(|&(_, w)| w).sum();
                 if s > 0.0 {
                     1.0
                 } else {
@@ -141,15 +138,16 @@ impl TruthDiscovery for Catd {
             }
         }
 
-        let scores: Vec<f64> = (0..n_claims)
-            .map(|u| {
-                if votes.claim_votes(ClaimId::new(u as u32)).is_empty() {
-                    0.0
-                } else {
-                    truth[u]
-                }
-            })
-            .collect();
+        let scores: Vec<f64> =
+            (0..n_claims)
+                .map(|u| {
+                    if votes.claim_votes(ClaimId::new(u as u32)).is_empty() {
+                        0.0
+                    } else {
+                        truth[u]
+                    }
+                })
+                .collect();
         votes.scores_to_labels(&scores)
     }
 }
@@ -165,11 +163,8 @@ mod tests {
 
     #[test]
     fn majority_resolves_simple_case() {
-        let reports = vec![
-            r(0, 0, Attitude::Agree),
-            r(1, 0, Attitude::Agree),
-            r(2, 0, Attitude::Disagree),
-        ];
+        let reports =
+            vec![r(0, 0, Attitude::Agree), r(1, 0, Attitude::Agree), r(2, 0, Attitude::Disagree)];
         let est = Catd::new().discover(&SnapshotInput::new(&reports, 3, 1));
         assert_eq!(est[&ClaimId::new(0)], TruthLabel::True);
     }

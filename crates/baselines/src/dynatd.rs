@@ -103,10 +103,7 @@ impl StreamingTruthDiscovery for DynaTd {
         // MAP estimate per claim: weighted vote + smoothness prior.
         let mut estimates = BTreeMap::new();
         for (&claim, vs) in &votes {
-            let mut score: f64 = vs
-                .iter()
-                .map(|&(s, cs)| self.weight(s) * cs)
-                .sum();
+            let mut score: f64 = vs.iter().map(|&(s, cs)| self.weight(s) * cs).sum();
             if let Some(prev) = self.previous.get(&claim) {
                 score += self.smoothness * if prev.as_bool() { 1.0 } else { -1.0 };
             }

@@ -66,8 +66,7 @@ impl VoteMatrix {
             if cs == 0.0 {
                 continue;
             }
-            *acc.entry((r.source().index() as u32, r.claim().index() as u32))
-                .or_insert(0.0) += cs;
+            *acc.entry((r.source().index() as u32, r.claim().index() as u32)).or_insert(0.0) += cs;
         }
         let mut claim_votes = vec![Vec::new(); input.num_claims];
         let mut source_votes = vec![Vec::new(); input.num_sources];
@@ -175,11 +174,8 @@ mod tests {
 
     #[test]
     fn source_and_claim_views_agree() {
-        let reports = vec![
-            r(0, 0, Attitude::Agree),
-            r(0, 1, Attitude::Disagree),
-            r(1, 1, Attitude::Agree),
-        ];
+        let reports =
+            vec![r(0, 0, Attitude::Agree), r(0, 1, Attitude::Disagree), r(1, 1, Attitude::Agree)];
         let v = VoteMatrix::build(&SnapshotInput::new(&reports, 2, 2));
         assert_eq!(v.source_votes(SourceId::new(0)).len(), 2);
         assert_eq!(v.claim_votes(ClaimId::new(1)).len(), 2);

@@ -128,9 +128,8 @@ impl TruthDiscovery for Invest {
             trust = new_trust;
         }
 
-        let scores: Vec<f64> = (0..n_claims)
-            .map(|u| credibility[u][0] - credibility[u][1])
-            .collect();
+        let scores: Vec<f64> =
+            (0..n_claims).map(|u| credibility[u][0] - credibility[u][1]).collect();
         votes.scores_to_labels(&scores)
     }
 }
@@ -146,11 +145,8 @@ mod tests {
 
     #[test]
     fn majority_wins_with_equal_trust() {
-        let reports = vec![
-            r(0, 0, Attitude::Agree),
-            r(1, 0, Attitude::Agree),
-            r(2, 0, Attitude::Disagree),
-        ];
+        let reports =
+            vec![r(0, 0, Attitude::Agree), r(1, 0, Attitude::Agree), r(2, 0, Attitude::Disagree)];
         let est = Invest::new().discover(&SnapshotInput::new(&reports, 3, 1));
         assert_eq!(est[&ClaimId::new(0)], TruthLabel::True);
     }

@@ -42,11 +42,7 @@ impl TruthDiscovery for MajorityVote {
         let votes = VoteMatrix::build(input);
         let scores: Vec<f64> = (0..input.num_claims)
             .map(|u| {
-                votes
-                    .claim_votes(ClaimId::new(u as u32))
-                    .iter()
-                    .map(|&(_, w)| w.signum())
-                    .sum()
+                votes.claim_votes(ClaimId::new(u as u32)).iter().map(|&(_, w)| w.signum()).sum()
             })
             .collect();
         votes.scores_to_labels(&scores)
@@ -94,13 +90,7 @@ impl TruthDiscovery for WeightedVote {
     fn discover(&self, input: &SnapshotInput<'_>) -> BTreeMap<ClaimId, TruthLabel> {
         let votes = VoteMatrix::build(input);
         let scores: Vec<f64> = (0..input.num_claims)
-            .map(|u| {
-                votes
-                    .claim_votes(ClaimId::new(u as u32))
-                    .iter()
-                    .map(|&(_, w)| w)
-                    .sum()
-            })
+            .map(|u| votes.claim_votes(ClaimId::new(u as u32)).iter().map(|&(_, w)| w).sum())
             .collect();
         votes.scores_to_labels(&scores)
     }

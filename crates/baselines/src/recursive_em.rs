@@ -107,10 +107,11 @@ impl StreamingTruthDiscovery for RecursiveEm {
         for r in reports {
             let cs = r.contribution_score().value();
             if cs != 0.0 {
-                votes
-                    .entry(r.claim())
-                    .or_default()
-                    .push((r.source().index() as u32, cs > 0.0, cs.abs().min(1.0)));
+                votes.entry(r.claim()).or_default().push((
+                    r.source().index() as u32,
+                    cs > 0.0,
+                    cs.abs().min(1.0),
+                ));
             }
         }
 
@@ -119,17 +120,12 @@ impl StreamingTruthDiscovery for RecursiveEm {
         let mut posterior: BTreeMap<ClaimId, f64> = BTreeMap::new();
         let mut estimates = BTreeMap::new();
         for (&claim, vs) in &votes {
-            let mut log_odds =
-                (self.prior_true / (1.0 - self.prior_true)).ln();
+            let mut log_odds = (self.prior_true / (1.0 - self.prior_true)).ln();
             for &(src, says_true, weight) in vs {
                 let st = self.state(src);
-                let (p_given_true, p_given_false) = if says_true {
-                    (st.a, st.b)
-                } else {
-                    (1.0 - st.a, 1.0 - st.b)
-                };
-                log_odds += weight
-                    * (p_given_true.max(1e-6) / p_given_false.max(1e-6)).ln();
+                let (p_given_true, p_given_false) =
+                    if says_true { (st.a, st.b) } else { (1.0 - st.a, 1.0 - st.b) };
+                log_odds += weight * (p_given_true.max(1e-6) / p_given_false.max(1e-6)).ln();
             }
             let p = 1.0 / (1.0 + (-log_odds).exp());
             posterior.insert(claim, p);

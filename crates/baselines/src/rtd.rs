@@ -177,11 +177,8 @@ mod tests {
 
     #[test]
     fn plain_majority_still_works() {
-        let reports = vec![
-            r(0, 0, Attitude::Agree),
-            r(1, 0, Attitude::Agree),
-            r(2, 0, Attitude::Disagree),
-        ];
+        let reports =
+            vec![r(0, 0, Attitude::Agree), r(1, 0, Attitude::Agree), r(2, 0, Attitude::Disagree)];
         let est = Rtd::new().discover(&SnapshotInput::new(&reports, 3, 1));
         assert_eq!(est[&ClaimId::new(0)], TruthLabel::True);
     }

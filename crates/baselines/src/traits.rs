@@ -63,13 +63,7 @@ impl<S: TruthDiscovery> SlidingWindow<S> {
     #[must_use]
     pub fn new(scheme: S, window: usize, num_sources: usize, num_claims: usize) -> Self {
         assert!(window > 0, "window must be at least one interval");
-        Self {
-            scheme,
-            window,
-            num_sources,
-            num_claims,
-            recent: std::collections::VecDeque::new(),
-        }
+        Self { scheme, window, num_sources, num_claims, recent: std::collections::VecDeque::new() }
     }
 
     /// The wrapped scheme.

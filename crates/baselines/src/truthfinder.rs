@@ -92,8 +92,7 @@ impl TruthDiscovery for TruthFinder {
 
         for _ in 0..self.max_iterations {
             // Fact support from current trust.
-            let tau: Vec<f64> =
-                trust.iter().map(|&t| -(1.0 - t.min(1.0 - 1e-9)).ln()).collect();
+            let tau: Vec<f64> = trust.iter().map(|&t| -(1.0 - t.min(1.0 - 1e-9)).ln()).collect();
             let mut sigma = vec![[0.0f64; 2]; n_claims];
             for u in 0..n_claims {
                 for &(src, w) in votes.claim_votes(ClaimId::new(u as u32)) {

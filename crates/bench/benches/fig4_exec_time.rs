@@ -17,11 +17,9 @@ fn bench_data_sizes(c: &mut Criterion) {
         let n = trace.reports().len() as u64;
         group.throughput(Throughput::Elements(n));
         for scheme in [SchemeKind::Sstd, SchemeKind::TruthFinder] {
-            group.bench_with_input(
-                BenchmarkId::new(scheme.name(), n),
-                &scheme,
-                |b, &s| b.iter(|| std::hint::black_box(run_scheme(s, &trace))),
-            );
+            group.bench_with_input(BenchmarkId::new(scheme.name(), n), &scheme, |b, &s| {
+                b.iter(|| std::hint::black_box(run_scheme(s, &trace)))
+            });
         }
     }
     group.finish();

@@ -22,8 +22,7 @@ fn bench_dtm(c: &mut Criterion) {
                     max_workers: 16,
                     ..DtmConfig::default()
                 };
-                let mut dtm =
-                    DynamicTaskManager::new(config, Cluster::homogeneous(16, 1.0), model);
+                let mut dtm = DynamicTaskManager::new(config, Cluster::homogeneous(16, 1.0), model);
                 std::hint::black_box(dtm.run(&jobs).job_hit_rate())
             });
         });

@@ -9,21 +9,16 @@ fn bench_des(c: &mut Criterion) {
     let model = ExecutionModel::new(0.3, 4.0e-5, 4.8e-5);
     let mut group = c.benchmark_group("fig7_des_makespan");
     for workers in [1usize, 8, 64] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(workers),
-            &workers,
-            |b, &w| {
-                b.iter(|| {
-                    let mut des =
-                        DesEngine::new(Cluster::homogeneous(w, 1.0), model, w);
-                    // 16.9M tweets in 25k chunks = 676 tasks.
-                    for _ in 0..676 {
-                        des.submit(TaskSpec::new(JobId::new(0), 25_000.0));
-                    }
-                    std::hint::black_box(des.run_to_completion().makespan)
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &w| {
+            b.iter(|| {
+                let mut des = DesEngine::new(Cluster::homogeneous(w, 1.0), model, w);
+                // 16.9M tweets in 25k chunks = 676 tasks.
+                for _ in 0..676 {
+                    des.submit(TaskSpec::new(JobId::new(0), 25_000.0));
+                }
+                std::hint::black_box(des.run_to_completion().makespan)
+            });
+        });
     }
     group.finish();
 }

@@ -2,7 +2,10 @@
 //! (paper Fig. 2 and 3).
 
 use crate::{GlobalKnob, LocalKnob, PidController};
-use sstd_runtime::{Cluster, DesEngine, ExecutionModel, ExecutionReport, JobId, TaskSpec};
+use sstd_runtime::{
+    Cluster, DesEngine, ExecutionModel, ExecutionReport, FastAbort, FaultPlan, FaultStats, JobId,
+    RetryPolicy, TaskSpec,
+};
 use std::collections::BTreeMap;
 
 /// One truth-discovery job as the DTM sees it: a data volume with a soft
@@ -58,6 +61,10 @@ pub struct DtmConfig {
     /// Whether feedback control is active (off = static allocation
     /// ablation).
     pub control_enabled: bool,
+    /// Retry/backoff/quarantine policy handed to the execution engine.
+    pub retry: RetryPolicy,
+    /// Straggler fast-abort, if enabled.
+    pub fast_abort: Option<FastAbort>,
 }
 
 impl Default for DtmConfig {
@@ -72,6 +79,8 @@ impl Default for DtmConfig {
             initial_workers: 4,
             max_workers: 64,
             control_enabled: true,
+            retry: RetryPolicy::default(),
+            fast_abort: None,
         }
     }
 }
@@ -87,8 +96,11 @@ pub struct DtmOutcome {
     pub job_met_deadline: BTreeMap<JobId, bool>,
     /// Final worker count after control.
     pub final_workers: usize,
-    /// Tasks restarted after an eviction killed their worker.
+    /// Tasks re-queued after losing an attempt (eviction, injected fault
+    /// or fast-abort).
     pub retries: u64,
+    /// Failed-attempt accounting (also available as `report.faults`).
+    pub faults: FaultStats,
 }
 
 impl DtmOutcome {
@@ -138,9 +150,29 @@ impl DynamicTaskManager {
     /// the pool — the resilience the paper gets for free from Work
     /// Queue's elastic workers.
     pub fn run_with_evictions(&mut self, jobs: &[DtmJob], evictions: &[f64]) -> DtmOutcome {
+        self.run_with_faults(jobs, evictions, None)
+    }
+
+    /// Runs `jobs` under scheduled evictions *and* a seeded fault plan
+    /// (transient failures, worker crashes, stragglers). Failed attempts
+    /// show up to the controller as lost capacity: the observed fault
+    /// ratio inflates the WCET prediction by `1 / (1 − ratio)`, so the
+    /// PID grows the pool to compensate for work it expects to lose.
+    pub fn run_with_faults(
+        &mut self,
+        jobs: &[DtmJob],
+        evictions: &[f64],
+        plan: Option<FaultPlan>,
+    ) -> DtmOutcome {
         let cfg = &self.config;
-        let mut des =
-            DesEngine::new(self.cluster.clone(), self.model, cfg.initial_workers);
+        let mut des = DesEngine::new(self.cluster.clone(), self.model, cfg.initial_workers);
+        des.set_retry_policy(cfg.retry);
+        if let Some(fa) = cfg.fast_abort {
+            des.set_fast_abort(fa);
+        }
+        if let Some(p) = plan {
+            des.set_fault_plan(p);
+        }
         for &t in evictions {
             des.schedule_eviction(t);
         }
@@ -152,22 +184,17 @@ impl DynamicTaskManager {
             job_data.insert(j.job, j.data_size);
             let per_task = j.data_size / j.num_tasks as f64;
             for _ in 0..j.num_tasks {
-                des.submit(
-                    TaskSpec::new(j.job, per_task).with_deadline(j.deadline),
-                );
+                des.submit(TaskSpec::new(j.job, per_task).with_deadline(j.deadline));
             }
         }
 
-        let mut pids: BTreeMap<JobId, PidController> = jobs
-            .iter()
-            .map(|j| (j.job, PidController::new(cfg.kp, cfg.ki, cfg.kd)))
-            .collect();
+        let mut pids: BTreeMap<JobId, PidController> =
+            jobs.iter().map(|j| (j.job, PidController::new(cfg.kp, cfg.ki, cfg.kd))).collect();
         let mut lcks: BTreeMap<JobId, LocalKnob> = jobs
             .iter()
             .map(|j| (j.job, LocalKnob::new(cfg.theta3, 1.0, 1.0 / 64.0, 64.0)))
             .collect();
-        let mut gck =
-            GlobalKnob::new(cfg.theta4, cfg.initial_workers, 1, cfg.max_workers);
+        let mut gck = GlobalKnob::new(cfg.theta4, cfg.initial_workers, 1, cfg.max_workers);
 
         let mut t = 0.0;
         loop {
@@ -207,12 +234,17 @@ impl DynamicTaskManager {
                 if remaining_tasks == 0 {
                     continue;
                 }
-                let remaining_data =
-                    job_data[&j.job] * remaining_tasks as f64 / j.num_tasks as f64;
+                let remaining_data = job_data[&j.job] * remaining_tasks as f64 / j.num_tasks as f64;
                 let share = self.priority_share(&lcks, j.job);
                 let workers = des.num_workers().max(1);
+                // Faults are lost capacity: if a fraction `r` of attempts
+                // is being wasted, effective throughput is `(1 − r)×`, so
+                // the remaining work takes `1 / (1 − r)` longer.
+                let fault_ratio = des.fault_stats().fault_ratio().min(0.9);
+                let fault_inflation = 1.0 / (1.0 - fault_ratio);
                 let predicted_finish = des.now()
-                    + self.model.job_wcet(remaining_data.max(1e-9), workers, share.max(1e-6));
+                    + fault_inflation
+                        * self.model.job_wcet(remaining_data.max(1e-9), workers, share.max(1e-6));
                 let error = predicted_finish - j.deadline;
                 let signal = pids
                     .get_mut(&j.job)
@@ -242,6 +274,7 @@ impl DynamicTaskManager {
         DtmOutcome {
             final_workers: des.num_workers(),
             retries: des.retries(),
+            faults: report.faults,
             report,
             job_completion,
             job_met_deadline,
@@ -312,10 +345,7 @@ mod tests {
         // Compare against a job whose tasks queue behind the first wave
         // (job 0's tasks start instantly at submission, before control).
         let relaxed = outcome.job_completion[&JobId::new(1)];
-        assert!(
-            urgent <= relaxed + 1e-9,
-            "urgent finished at {urgent}, relaxed at {relaxed}"
-        );
+        assert!(urgent <= relaxed + 1e-9, "urgent finished at {urgent}, relaxed at {relaxed}");
     }
 
     #[test]
@@ -373,6 +403,65 @@ mod eviction_tests {
             "control should rescue most jobs: {}",
             controlled.job_hit_rate()
         );
+    }
+
+    #[test]
+    fn control_beats_static_under_injected_faults() {
+        // The acceptance scenario: ≥10% transient faults plus worker
+        // crashes. The PID sees the fault ratio as lost capacity and
+        // grows the pool; the static pool eats the wasted work.
+        let jobs: Vec<DtmJob> =
+            (0..6).map(|i| DtmJob::new(JobId::new(i), 10_000.0, 28.0, 4)).collect();
+        let plan = FaultPlan::new(42)
+            .with_transient_rate(0.12)
+            .with_crash_rate(0.04)
+            .with_restart_delay(1.0);
+
+        let controlled = DynamicTaskManager::new(
+            DtmConfig::default(),
+            Cluster::homogeneous(64, 1.0),
+            ExecutionModel::default(),
+        )
+        .run_with_faults(&jobs, &[], Some(plan));
+        let static_run = DynamicTaskManager::new(
+            DtmConfig { control_enabled: false, ..DtmConfig::default() },
+            Cluster::homogeneous(64, 1.0),
+            ExecutionModel::default(),
+        )
+        .run_with_faults(&jobs, &[], Some(plan));
+
+        assert_eq!(controlled.report.completed.len(), 24, "no task lost to faults");
+        assert!(controlled.faults.reconciles(), "{}", controlled.faults);
+        assert!(
+            controlled.faults.failures() > 0,
+            "the plan must actually inject faults: {}",
+            controlled.faults
+        );
+        assert!(
+            controlled.job_hit_rate() >= static_run.job_hit_rate(),
+            "controlled {} vs static {}",
+            controlled.job_hit_rate(),
+            static_run.job_hit_rate()
+        );
+    }
+
+    #[test]
+    fn fault_runs_are_deterministic() {
+        let jobs: Vec<DtmJob> =
+            (0..3).map(|i| DtmJob::new(JobId::new(i), 5_000.0, 20.0, 4)).collect();
+        let plan = FaultPlan::new(7)
+            .with_transient_rate(0.2)
+            .with_crash_rate(0.05)
+            .with_stragglers(0.05, 6.0);
+        let cfg = DtmConfig { fast_abort: Some(FastAbort::default()), ..DtmConfig::default() };
+        let run = || {
+            DynamicTaskManager::new(cfg, Cluster::homogeneous(32, 1.0), ExecutionModel::default())
+                .run_with_faults(&jobs, &[1.5], Some(plan))
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "identical seeds must replay identically");
+        assert!(a.faults.reconciles(), "{}", a.faults);
     }
 
     #[test]

@@ -106,18 +106,13 @@ impl IlpAllocator {
             let hits = self.predicted_hits(jobs, workers, &priorities);
             let plan = AllocationPlan {
                 workers,
-                priorities: jobs
-                    .iter()
-                    .zip(&priorities)
-                    .map(|(j, &p)| (j.job, p))
-                    .collect(),
+                priorities: jobs.iter().zip(&priorities).map(|(j, &p)| (j.job, p)).collect(),
                 predicted_hits: hits,
             };
             let better = match &best {
                 None => true,
                 Some(b) => {
-                    hits > b.predicted_hits
-                        || (hits == b.predicted_hits && workers < b.workers)
+                    hits > b.predicted_hits || (hits == b.predicted_hits && workers < b.workers)
                 }
             };
             if better {

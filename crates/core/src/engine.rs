@@ -37,9 +37,8 @@ use sstd_types::{ClaimId, Report, Trace, TruthLabel};
 /// ```
 #[must_use]
 pub fn claim_partition(trace: &Trace) -> Vec<(ClaimId, Vec<Report>)> {
-    let mut parts: Vec<(ClaimId, Vec<Report>)> = (0..trace.num_claims())
-        .map(|i| (ClaimId::new(i as u32), Vec::new()))
-        .collect();
+    let mut parts: Vec<(ClaimId, Vec<Report>)> =
+        (0..trace.num_claims()).map(|i| (ClaimId::new(i as u32), Vec::new())).collect();
     for r in trace.reports() {
         parts[r.claim().index()].1.push(*r);
     }
@@ -112,8 +111,7 @@ impl SstdEngine {
         // then the real aggregation with the (possibly adaptive) window.
         let mut per_interval = vec![0.0f64; num_intervals];
         for r in reports {
-            per_interval[trace.timeline().interval_of(r.time())] +=
-                r.contribution_score().value();
+            per_interval[trace.timeline().interval_of(r.time())] += r.contribution_score().value();
         }
         let evidence_intervals = per_interval.iter().filter(|v| v.abs() > 1e-12).count();
         let window = self.config.window_for(num_intervals, evidence_intervals);

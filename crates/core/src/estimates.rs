@@ -161,11 +161,7 @@ impl ConfidenceEstimates {
     ///
     /// Panics if the length mismatches or any value is outside `[0, 1]`.
     pub fn insert(&mut self, claim: ClaimId, probabilities: Vec<f64>) {
-        assert_eq!(
-            probabilities.len(),
-            self.num_intervals,
-            "confidence must cover every interval"
-        );
+        assert_eq!(probabilities.len(), self.num_intervals, "confidence must cover every interval");
         assert!(
             probabilities.iter().all(|p| (0.0..=1.0).contains(p)),
             "posteriors must be probabilities"

@@ -1,7 +1,9 @@
 //! The per-claim truth HMM (paper §III-B/C/D).
 
 use crate::SstdConfig;
-use sstd_hmm::{forward_backward, viterbi, BaumWelch, GaussianEmission, Hmm, SymmetricGaussianEmission};
+use sstd_hmm::{
+    forward_backward, viterbi, BaumWelch, GaussianEmission, Hmm, SymmetricGaussianEmission,
+};
 use sstd_types::TruthLabel;
 
 /// A trained two-state truth model for one claim.
@@ -301,11 +303,7 @@ impl BinnedClaimTruthModel {
     pub fn fit(config: &SstdConfig, acs: &[f64], bins: usize) -> Self {
         assert!(bins >= 2, "need at least two symbols");
         assert!(!acs.is_empty(), "need at least one observation");
-        let bound = acs
-            .iter()
-            .map(|a| a.abs())
-            .fold(0.0f64, f64::max)
-            .max(1.0);
+        let bound = acs.iter().map(|a| a.abs()).fold(0.0f64, f64::max).max(1.0);
         let histogram = sstd_stats::Histogram::new(-bound, bound, bins);
         let symbols: Vec<usize> = acs.iter().map(|&a| histogram.bin_of(a)).collect();
 
@@ -341,9 +339,7 @@ impl BinnedClaimTruthModel {
         // Label mapping by each state's expected ACS under its emission.
         let mut state_means = [0.0f64; 2];
         for (s, mean) in state_means.iter_mut().enumerate() {
-            *mean = (0..bins)
-                .map(|b| hmm.emission().prob(s, b) * histogram.bin_center(b))
-                .sum();
+            *mean = (0..bins).map(|b| hmm.emission().prob(s, b) * histogram.bin_center(b)).sum();
         }
         Self { hmm, histogram, state_means }
     }
@@ -366,9 +362,7 @@ mod binned_tests {
 
     #[test]
     fn binned_model_tracks_clear_flips() {
-        let acs: Vec<f64> = (0..40)
-            .map(|t| if (t / 10) % 2 == 0 { 5.0 } else { -5.0 })
-            .collect();
+        let acs: Vec<f64> = (0..40).map(|t| if (t / 10) % 2 == 0 { 5.0 } else { -5.0 }).collect();
         let model = BinnedClaimTruthModel::fit(&SstdConfig::default(), &acs, 8);
         let labels = model.decode(&acs);
         assert_eq!(labels[5], TruthLabel::True);

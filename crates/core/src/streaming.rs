@@ -179,10 +179,7 @@ impl StreamingSstd {
         self.reports_seen += 1;
         let claim = report.claim();
         let current = self.current_interval;
-        let stream = self
-            .claims
-            .entry(claim)
-            .or_insert_with(|| ClaimStream::new(current));
+        let stream = self.claims.entry(claim).or_insert_with(|| ClaimStream::new(current));
         stream.open_cs += report.contribution_score().value();
     }
 
@@ -373,19 +370,13 @@ mod refit_tests {
             }
             let est = engine.finish();
             let labels = est.labels(ClaimId::new(0)).unwrap();
-            labels
-                .iter()
-                .enumerate()
-                .filter(|(iv, &l)| l.as_bool() == ((iv / 20) % 2 == 0))
-                .count() as f64
+            labels.iter().enumerate().filter(|(iv, &l)| l.as_bool() == ((iv / 20) % 2 == 0)).count()
+                as f64
                 / labels.len() as f64
         };
         let with_refit = accuracy(20);
         let without = accuracy(0);
-        assert!(
-            with_refit + 0.02 >= without,
-            "refit {with_refit} vs none {without}"
-        );
+        assert!(with_refit + 0.02 >= without, "refit {with_refit} vs none {without}");
         assert!(with_refit > 0.8, "refit accuracy {with_refit}");
     }
 

@@ -5,8 +5,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sstd_stats::dist::{Beta, Zipf};
 use sstd_types::{
-    Attitude, ClaimId, GroundTruth, Independence, Report, Timeline, Timestamp, Trace,
-    TruthLabel, Uncertainty,
+    Attitude, ClaimId, GroundTruth, Independence, Report, Timeline, Timestamp, Trace, TruthLabel,
+    Uncertainty,
 };
 
 /// Full parameter set of the generative trace model.
@@ -147,8 +147,7 @@ impl TraceBuilder {
         );
 
         // 2. Ground truth.
-        let truth_process =
-            TruthProcess::new(c.dynamic_claim_fraction, c.truth_flip_prob, 0.5);
+        let truth_process = TruthProcess::new(c.dynamic_claim_fraction, c.truth_flip_prob, 0.5);
         assert!(
             2 * c.correlated_claim_pairs <= c.num_claims,
             "correlated pairs need two claims each"
@@ -167,8 +166,12 @@ impl TraceBuilder {
         }
 
         // 3. Traffic.
-        let traffic =
-            TrafficModel::new(c.target_reports, c.num_intervals, c.burst_intervals, c.burst_multiplier);
+        let traffic = TrafficModel::new(
+            c.target_reports,
+            c.num_intervals,
+            c.burst_intervals,
+            c.burst_multiplier,
+        );
         let volumes = traffic.generate(&mut rng, c.num_intervals);
 
         // 4. Reports.
@@ -186,8 +189,7 @@ impl TraceBuilder {
                 let source = population.sample_reporter(&mut rng);
                 let claim_idx = claim_popularity.sample(&mut rng) - 1;
                 let claim = ClaimId::new(claim_idx as u32);
-                let t =
-                    Timestamp::from_secs(bounds.start().as_secs() + rng.gen_range(0..span));
+                let t = Timestamp::from_secs(bounds.start().as_secs() + rng.gen_range(0..span));
                 let truth = truths[claim_idx][iv];
 
                 let is_retweet =
@@ -213,14 +215,7 @@ impl TraceBuilder {
             }
         }
 
-        Trace::new(
-            c.name.clone(),
-            reports,
-            c.num_sources,
-            c.num_claims,
-            timeline,
-            ground_truth,
-        )
+        Trace::new(c.name.clone(), reports, c.num_sources, c.num_claims, timeline, ground_truth)
     }
 }
 
@@ -244,10 +239,7 @@ mod tests {
     #[test]
     fn volume_tracks_scale() {
         let small_trace = small(Scenario::ParisShooting, 1);
-        let bigger = TraceBuilder::scenario(Scenario::ParisShooting)
-            .scale(0.004)
-            .seed(1)
-            .build();
+        let bigger = TraceBuilder::scenario(Scenario::ParisShooting).scale(0.004).seed(1).build();
         assert!(bigger.stats().num_reports > 2 * small_trace.stats().num_reports);
     }
 
@@ -296,16 +288,10 @@ mod tests {
     #[test]
     fn retweets_follow_cascades() {
         let t = small(Scenario::BostonBombing, 4);
-        let low_independence = t
-            .reports()
-            .iter()
-            .filter(|r| r.independence().value() < 0.5)
-            .count();
+        let low_independence =
+            t.reports().iter().filter(|r| r.independence().value() < 0.5).count();
         let frac = low_independence as f64 / t.reports().len() as f64;
-        assert!(
-            (0.25..=0.6).contains(&frac),
-            "retweet fraction {frac} near the configured 0.45"
-        );
+        assert!((0.25..=0.6).contains(&frac), "retweet fraction {frac} near the configured 0.45");
     }
 
     #[test]

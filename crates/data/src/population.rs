@@ -50,21 +50,14 @@ impl Population {
         activity_exponent: f64,
     ) -> Self {
         assert!(n > 0, "population needs at least one source");
-        assert!(
-            (0.0..=1.0).contains(&honest_fraction),
-            "honest fraction must be in [0, 1]"
-        );
+        assert!((0.0..=1.0).contains(&honest_fraction), "honest fraction must be in [0, 1]");
         let honest_beta = Beta::new(honest.0, honest.1).expect("valid honest Beta");
         let misinfo_beta = Beta::new(misinfo.0, misinfo.1).expect("valid misinfo Beta");
         let mut reliability = Vec::with_capacity(n);
         let mut honest_flags = Vec::with_capacity(n);
         for _ in 0..n {
             let is_honest = rng.gen::<f64>() < honest_fraction;
-            let r = if is_honest {
-                honest_beta.sample(rng)
-            } else {
-                misinfo_beta.sample(rng)
-            };
+            let r = if is_honest { honest_beta.sample(rng) } else { misinfo_beta.sample(rng) };
             reliability.push(r);
             honest_flags.push(is_honest);
         }
@@ -111,11 +104,7 @@ impl Population {
 
     /// Sources in the misinformation cohort.
     pub fn misinfo_sources(&self) -> impl Iterator<Item = SourceId> + '_ {
-        self.honest
-            .iter()
-            .enumerate()
-            .filter(|(_, &h)| !h)
-            .map(|(i, _)| SourceId::new(i as u32))
+        self.honest.iter().enumerate().filter(|(_, &h)| !h).map(|(i, _)| SourceId::new(i as u32))
     }
 }
 

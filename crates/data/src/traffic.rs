@@ -70,15 +70,11 @@ impl TrafficModel {
         // Normalize: n_base + n_burst·mult ≈ target.
         let n = self.num_intervals as f64;
         let b = self.burst_intervals as f64;
-        let base_rate =
-            self.target_reports as f64 / ((n - b) + b * self.burst_multiplier);
+        let base_rate = self.target_reports as f64 / ((n - b) + b * self.burst_multiplier);
         let mut out = Vec::with_capacity(self.num_intervals);
         for i in 0..self.num_intervals {
-            let rate = if bursts.contains(&i) {
-                base_rate * self.burst_multiplier
-            } else {
-                base_rate
-            };
+            let rate =
+                if bursts.contains(&i) { base_rate * self.burst_multiplier } else { base_rate };
             let poisson = Poisson::new(rate).expect("non-negative rate");
             out.push(poisson.sample(rng));
         }
@@ -97,10 +93,7 @@ mod tests {
         let m = TrafficModel::new(10_000, 100, 10, 5.0);
         let mut rng = StdRng::seed_from_u64(8);
         let total: u64 = m.generate(&mut rng, 100).iter().sum();
-        assert!(
-            (9_000..=11_000).contains(&total),
-            "total {total} not near 10k target"
-        );
+        assert!((9_000..=11_000).contains(&total), "total {total} not near 10k target");
     }
 
     #[test]

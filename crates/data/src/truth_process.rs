@@ -37,7 +37,11 @@ impl TruthProcess {
     ///
     /// Panics unless all three parameters are probabilities in `[0, 1]`.
     #[must_use]
-    pub fn new(dynamic_fraction: f64, flip_probability: f64, initial_true_probability: f64) -> Self {
+    pub fn new(
+        dynamic_fraction: f64,
+        flip_probability: f64,
+        initial_true_probability: f64,
+    ) -> Self {
         for (name, p) in [
             ("dynamic fraction", dynamic_fraction),
             ("flip probability", flip_probability),
@@ -110,9 +114,8 @@ mod tests {
     fn initial_distribution_respected() {
         let p = TruthProcess::new(0.0, 0.0, 0.9);
         let mut rng = StdRng::seed_from_u64(4);
-        let true_starts = (0..1000)
-            .filter(|_| p.generate(&mut rng, 1)[0] == TruthLabel::True)
-            .count();
+        let true_starts =
+            (0..1000).filter(|_| p.generate(&mut rng, 1)[0] == TruthLabel::True).count();
         assert!((850..=950).contains(&true_starts), "got {true_starts}");
     }
 

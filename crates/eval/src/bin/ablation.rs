@@ -18,9 +18,7 @@ fn main() {
     let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(42);
     println!("(scale = {scale}, seed = {seed})\n");
 
-    for scenario in
-        [Scenario::BostonBombing, Scenario::ParisShooting, Scenario::CollegeFootball]
-    {
+    for scenario in [Scenario::BostonBombing, Scenario::ParisShooting, Scenario::CollegeFootball] {
         let trace = TraceBuilder::scenario(scenario).scale(scale).seed(seed).build();
         println!("=== {} ===", trace.name());
 
@@ -79,8 +77,16 @@ fn correlation_experiment(scale: f64, seed: u64) {
 
     let base = score_estimates(trace.ground_truth(), &estimates);
     let after = score_estimates(trace.ground_truth(), &smoothed);
-    println!("  independent decoding                acc {:.3}  f1 {:.3}", base.accuracy(), base.f1());
-    println!("  + dependency smoothing              acc {:.3}  f1 {:.3}", after.accuracy(), after.f1());
+    println!(
+        "  independent decoding                acc {:.3}  f1 {:.3}",
+        base.accuracy(),
+        base.f1()
+    );
+    println!(
+        "  + dependency smoothing              acc {:.3}  f1 {:.3}",
+        after.accuracy(),
+        after.f1()
+    );
 }
 
 /// Runs the binned-emission variant of SSTD over a whole trace.

@@ -12,22 +12,14 @@ fn main() {
     println!("SSTD posterior calibration vs. evidence density (seed {seed})");
     println!("(Brier: 0 = perfect, 0.25 = uninformed constant 0.5)\n");
     println!("{:<18} {:>9} {:>9} {:>9}", "trace", "scale", "accuracy", "brier");
-    for scenario in
-        [Scenario::BostonBombing, Scenario::ParisShooting, Scenario::CollegeFootball]
-    {
+    for scenario in [Scenario::BostonBombing, Scenario::ParisShooting, Scenario::CollegeFootball] {
         for scale in [0.005, 0.02, 0.05] {
             let trace = TraceBuilder::scenario(scenario).scale(scale).seed(seed).build();
             let (labels, confidence) =
                 SstdEngine::new(SstdConfig::default()).run_with_confidence(&trace);
             let m = score_estimates(trace.ground_truth(), &labels);
             let b = brier_score(trace.ground_truth(), &confidence);
-            println!(
-                "{:<18} {:>9} {:>9.3} {:>9.3}",
-                trace.name(),
-                scale,
-                m.accuracy(),
-                b
-            );
+            println!("{:<18} {:>9} {:>9.3} {:>9.3}", trace.name(), scale, m.accuracy(), b);
         }
     }
 }

@@ -1,5 +1,6 @@
 //! Extension experiment: deadline hit rates under worker eviction storms
-//! (static allocation vs. the PID-controlled DTM).
+//! and injected task faults (static allocation vs. the PID-controlled
+//! DTM).
 //!
 //! Usage: `cargo run -p sstd-eval --bin robustness`
 
@@ -8,4 +9,8 @@ use sstd_eval::exp::robustness;
 fn main() {
     let pts = robustness::run(&[0, 2, 4, 8, 12]);
     print!("{}", robustness::format(&pts));
+    println!();
+    let retries = robustness::retry_policies();
+    let sweep = robustness::run_fault_sweep(&[0, 4, 8], &[0.0, 0.1, 0.2], &retries);
+    print!("{}", robustness::format_fault_sweep(&sweep));
 }

@@ -73,8 +73,7 @@ mod tests {
     fn execution_time_grows_with_data() {
         let pts = run(Scenario::ParisShooting, 0.0005, &[1.0, 4.0], 5);
         for scheme in SchemeKind::paper_table() {
-            let series: Vec<&ExecTimePoint> =
-                pts.iter().filter(|p| p.scheme == scheme).collect();
+            let series: Vec<&ExecTimePoint> = pts.iter().filter(|p| p.scheme == scheme).collect();
             assert_eq!(series.len(), 2);
             assert!(series[1].num_reports > series[0].num_reports);
         }

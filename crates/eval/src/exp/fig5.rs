@@ -169,8 +169,7 @@ fn batch_items<S: TruthDiscovery>(trace: &Trace, duration: u64, scheme: &S) -> (
 pub fn format(points: &[StreamingPoint]) -> String {
     let mut out = String::from("Fig. 5 — Total running time vs. streaming speed\n");
     for scheme in SchemeKind::paper_table() {
-        let series: Vec<&StreamingPoint> =
-            points.iter().filter(|p| p.scheme == scheme).collect();
+        let series: Vec<&StreamingPoint> = points.iter().filter(|p| p.scheme == scheme).collect();
         if series.is_empty() {
             continue;
         }

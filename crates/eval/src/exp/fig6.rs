@@ -75,10 +75,7 @@ pub fn run(scenario: Scenario, scale: f64, deadlines: &[f64], seed: u64) -> Vec<
 /// Centralized baseline: each interval runs on one node; hit iff
 /// `volume × cost ≤ deadline`.
 fn baseline_hit_rate(volumes: &[f64], cost_per_report: f64, deadline: f64) -> f64 {
-    let hits = volumes
-        .iter()
-        .filter(|&&v| v * cost_per_report <= deadline)
-        .count();
+    let hits = volumes.iter().filter(|&&v| v * cost_per_report <= deadline).count();
     hits as f64 / volumes.len() as f64
 }
 
@@ -111,8 +108,7 @@ pub fn run_with_allocator(
             let volumes: Vec<f64> = (0..trace.timeline().num_intervals())
                 .map(|iv| trace.reports_in_interval(iv).len() as f64)
                 .collect();
-            let cost =
-                PREP_COST + per_report_cost(SchemeKind::Sstd, &trace).as_secs_f64();
+            let cost = PREP_COST + per_report_cost(SchemeKind::Sstd, &trace).as_secs_f64();
             deadlines
                 .iter()
                 .map(|&deadline| HitRatePoint {
@@ -141,8 +137,7 @@ fn ilp_hit_rate(volumes: &[f64], cost_per_report: f64, deadline: f64) -> f64 {
             max_workers: plan.workers,
             ..DtmConfig::default()
         };
-        let mut dtm =
-            DynamicTaskManager::new(config, Cluster::homogeneous(16, 1.0), model);
+        let mut dtm = DynamicTaskManager::new(config, Cluster::homogeneous(16, 1.0), model);
         if dtm.run(&[job]).job_hit_rate() >= 1.0 {
             hits += 1;
         }
@@ -158,8 +153,7 @@ fn sstd_hit_rate(volumes: &[f64], cost_per_report: f64, deadline: f64) -> f64 {
     let config = DtmConfig { initial_workers: 4, max_workers: 16, ..DtmConfig::default() };
     let mut hits = 0usize;
     for (iv, &v) in volumes.iter().enumerate() {
-        let mut dtm =
-            DynamicTaskManager::new(config, Cluster::homogeneous(16, 1.0), model);
+        let mut dtm = DynamicTaskManager::new(config, Cluster::homogeneous(16, 1.0), model);
         let job = DtmJob::new(JobId::new(iv as u32), v.max(1.0), deadline, 4);
         let outcome = dtm.run(&[job]);
         if outcome.job_hit_rate() >= 1.0 {
@@ -174,8 +168,7 @@ fn sstd_hit_rate(volumes: &[f64], cost_per_report: f64, deadline: f64) -> f64 {
 pub fn format(title: &str, points: &[HitRatePoint]) -> String {
     let mut out = format!("Fig. 6 — Deadline hit rates — {title}\n");
     for scheme in SchemeKind::paper_table() {
-        let series: Vec<&HitRatePoint> =
-            points.iter().filter(|p| p.scheme == scheme).collect();
+        let series: Vec<&HitRatePoint> = points.iter().filter(|p| p.scheme == scheme).collect();
         if series.is_empty() {
             continue;
         }
@@ -192,9 +185,7 @@ pub fn format(title: &str, points: &[HitRatePoint]) -> String {
 /// deadline sweeps in the binaries).
 #[must_use]
 pub fn interval_volumes(trace: &Trace) -> Vec<usize> {
-    (0..trace.timeline().num_intervals())
-        .map(|iv| trace.reports_in_interval(iv).len())
-        .collect()
+    (0..trace.timeline().num_intervals()).map(|iv| trace.reports_in_interval(iv).len()).collect()
 }
 
 #[cfg(test)]
@@ -205,11 +196,8 @@ mod tests {
     fn hit_rate_is_monotone_in_deadline() {
         let pts = run(Scenario::ParisShooting, 0.001, &[0.001, 0.1, 10.0], 7);
         for scheme in SchemeKind::paper_table() {
-            let series: Vec<f64> = pts
-                .iter()
-                .filter(|p| p.scheme == scheme)
-                .map(|p| p.hit_rate)
-                .collect();
+            let series: Vec<f64> =
+                pts.iter().filter(|p| p.scheme == scheme).map(|p| p.hit_rate).collect();
             assert!(
                 series.windows(2).all(|w| w[0] <= w[1] + 1e-9),
                 "{}: {series:?}",
@@ -229,13 +217,8 @@ mod tests {
     #[test]
     fn ilp_allocator_variant_is_monotone_and_competitive() {
         let deadlines = [0.05, 0.5, 5.0];
-        let ilp = run_with_allocator(
-            Scenario::ParisShooting,
-            0.002,
-            &deadlines,
-            7,
-            SstdAllocator::Ilp,
-        );
+        let ilp =
+            run_with_allocator(Scenario::ParisShooting, 0.002, &deadlines, 7, SstdAllocator::Ilp);
         assert_eq!(ilp.len(), 3);
         let rates: Vec<f64> = ilp.iter().map(|p| p.hit_rate).collect();
         assert!(rates.windows(2).all(|w| w[0] <= w[1] + 1e-9), "{rates:?}");

@@ -1,15 +1,19 @@
 //! Robustness extension experiment: deadline hit rates under worker
-//! eviction storms.
+//! eviction storms and injected task faults.
 //!
 //! Not a figure in the paper — but the paper's §IV-A1 substrate
 //! (HTCondor desktops "typically idle 90% of the day") makes preemption
 //! the dominant failure mode, and Work Queue's elastic pool plus the
-//! DTM's feedback loop are exactly the machinery that absorbs it. This
-//! experiment quantifies that: the same job set under increasing eviction
-//! rates, allocated statically vs. PID-controlled.
+//! DTM's feedback loop are exactly the machinery that absorbs it. Two
+//! sweeps quantify that:
+//!
+//! - [`run`] — the original eviction-storm sweep (static vs. PID);
+//! - [`run_fault_sweep`] — the full robustness grid: eviction rate ×
+//!   transient-fault rate × retry policy, reporting deadline hit rate
+//!   and wasted work (failed-attempt time burned), static vs. PID.
 
 use sstd_control::{DtmConfig, DtmJob, DynamicTaskManager};
-use sstd_runtime::{Cluster, ExecutionModel, JobId};
+use sstd_runtime::{Cluster, ExecutionModel, FaultPlan, JobId, RetryPolicy};
 
 /// One measured point: an allocation policy under an eviction rate.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -90,6 +94,126 @@ pub fn format(points: &[RobustnessPoint]) -> String {
     out
 }
 
+/// One measured point of the full fault sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultSweepPoint {
+    /// Whether PID control was active.
+    pub controlled: bool,
+    /// Worker evictions injected over the run.
+    pub num_evictions: usize,
+    /// Per-attempt transient-fault probability.
+    pub transient_rate: f64,
+    /// Name of the retry policy used.
+    pub retry_label: &'static str,
+    /// Fraction of jobs that met their deadline.
+    pub job_hit_rate: f64,
+    /// Virtual seconds burned in failed or aborted attempts.
+    pub wasted_time: f64,
+    /// Attempts re-queued after a loss.
+    pub retries: u64,
+    /// Tasks dropped after exhausting their retry budget.
+    pub exhausted: u64,
+}
+
+/// Named retry policies for the sweep's third axis.
+#[must_use]
+pub fn retry_policies() -> Vec<(&'static str, RetryPolicy)> {
+    vec![
+        ("no-retry", RetryPolicy::no_retries()),
+        ("default", RetryPolicy::default()),
+        (
+            "aggressive",
+            RetryPolicy {
+                max_attempts: 8,
+                backoff_base: 0.01,
+                backoff_cap: 0.5,
+                ..RetryPolicy::default()
+            },
+        ),
+    ]
+}
+
+/// Runs the full grid: eviction count × transient-fault rate × retry
+/// policy, each under static and PID-controlled allocation. Fault
+/// schedules are seeded per grid point, so the sweep is deterministic.
+#[must_use]
+pub fn run_fault_sweep(
+    eviction_counts: &[usize],
+    transient_rates: &[f64],
+    retries: &[(&'static str, RetryPolicy)],
+) -> Vec<FaultSweepPoint> {
+    let mut out = Vec::new();
+    for &n in eviction_counts {
+        let evictions: Vec<f64> = (0..n).map(|i| 1.0 + 9.0 * i as f64 / n.max(1) as f64).collect();
+        for &rate in transient_rates {
+            for &(label, retry) in retries {
+                // Seed is a pure function of the grid point: re-running
+                // the sweep replays the exact same fault schedule.
+                let seed = 1_000 + n as u64 * 97 + (rate * 1_000.0) as u64;
+                let plan = FaultPlan::new(seed).with_transient_rate(rate);
+                for controlled in [false, true] {
+                    let config = DtmConfig {
+                        control_enabled: controlled,
+                        initial_workers: 8,
+                        max_workers: 32,
+                        retry,
+                        ..DtmConfig::default()
+                    };
+                    let mut dtm = DynamicTaskManager::new(
+                        config,
+                        Cluster::homogeneous(32, 1.0),
+                        ExecutionModel::default(),
+                    );
+                    let outcome = dtm.run_with_faults(&job_set(6), &evictions, Some(plan));
+                    debug_assert!(outcome.faults.reconciles(), "{}", outcome.faults);
+                    out.push(FaultSweepPoint {
+                        controlled,
+                        num_evictions: n,
+                        transient_rate: rate,
+                        retry_label: label,
+                        job_hit_rate: outcome.job_hit_rate(),
+                        wasted_time: outcome.faults.wasted_time,
+                        retries: outcome.retries,
+                        exhausted: outcome.faults.exhausted_tasks,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Formats the fault sweep as a grid, one line per
+/// (evictions, fault rate, retry policy), both allocation policies.
+#[must_use]
+pub fn format_fault_sweep(points: &[FaultSweepPoint]) -> String {
+    let mut out = String::from(
+        "Robustness — deadline hit rate and wasted work under faults\n\
+         evictions  fault-rate  retry       static-hit  pid-hit  pid-wasted  pid-exhausted\n",
+    );
+    let mut i = 0;
+    while i + 1 < points.len() {
+        let (s, c) = (&points[i], &points[i + 1]);
+        // Points come in (static, controlled) pairs per grid cell.
+        if s.controlled || !c.controlled {
+            i += 1;
+            continue;
+        }
+        out.push_str(&format!(
+            "{:>9}  {:>10.2}  {:<10}  {:>9.1}%  {:>6.1}%  {:>10.1}  {:>13}\n",
+            s.num_evictions,
+            s.transient_rate,
+            s.retry_label,
+            s.job_hit_rate * 100.0,
+            c.job_hit_rate * 100.0,
+            c.wasted_time,
+            c.exhausted,
+        ));
+        i += 2;
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -113,16 +237,10 @@ mod tests {
     #[test]
     fn hit_rate_degrades_gracefully_for_static() {
         let pts = run(&[0, 8]);
-        let static_healthy = pts
-            .iter()
-            .find(|p| !p.controlled && p.num_evictions == 0)
-            .unwrap()
-            .job_hit_rate;
-        let static_storm = pts
-            .iter()
-            .find(|p| !p.controlled && p.num_evictions == 8)
-            .unwrap()
-            .job_hit_rate;
+        let static_healthy =
+            pts.iter().find(|p| !p.controlled && p.num_evictions == 0).unwrap().job_hit_rate;
+        let static_storm =
+            pts.iter().find(|p| !p.controlled && p.num_evictions == 8).unwrap().job_hit_rate;
         assert!(static_storm <= static_healthy + 1e-9);
     }
 
@@ -131,5 +249,78 @@ mod tests {
         let s = format(&run(&[0]));
         assert!(s.contains("PID-controlled"));
         assert!(s.contains("static"));
+    }
+
+    #[test]
+    fn fault_sweep_covers_the_grid_and_reconciles() {
+        let retries = retry_policies();
+        let pts = run_fault_sweep(&[0, 4], &[0.0, 0.15], &retries);
+        // 2 eviction counts × 2 rates × 3 policies × 2 allocations.
+        assert_eq!(pts.len(), 24);
+        // No faults, no evictions, default policy: nothing wasted.
+        let clean = pts
+            .iter()
+            .find(|p| {
+                p.num_evictions == 0
+                    && p.transient_rate == 0.0
+                    && p.retry_label == "default"
+                    && p.controlled
+            })
+            .unwrap();
+        assert_eq!(clean.retries, 0);
+        assert!(clean.wasted_time.abs() < 1e-12);
+    }
+
+    #[test]
+    fn pid_beats_static_under_faults_in_the_sweep() {
+        // The acceptance scenario: ≥10% transient faults plus evictions.
+        let retries = [("default", RetryPolicy::default())];
+        let pts = run_fault_sweep(&[6], &[0.15], &retries);
+        let hit = |controlled: bool| {
+            pts.iter().find(|p| p.controlled == controlled).map(|p| p.job_hit_rate).unwrap()
+        };
+        assert!(hit(true) >= hit(false), "pid {} vs static {}", hit(true), hit(false));
+        assert!(hit(true) > 0.8, "pid under faults: {}", hit(true));
+        // Faults actually fired and were retried.
+        assert!(pts.iter().all(|p| p.retries > 0));
+    }
+
+    #[test]
+    fn retrying_beats_no_retry_on_hit_rate() {
+        let retries = retry_policies();
+        let pts = run_fault_sweep(&[0], &[0.25], &retries);
+        let hit = |label: &str| {
+            pts.iter()
+                .find(|p| p.retry_label == label && p.controlled)
+                .map(|p| p.job_hit_rate)
+                .unwrap()
+        };
+        // Without retries every faulted task is lost, so its job misses.
+        assert!(
+            hit("default") >= hit("no-retry"),
+            "default {} vs no-retry {}",
+            hit("default"),
+            hit("no-retry")
+        );
+        let no_retry_exhausted: u64 =
+            pts.iter().filter(|p| p.retry_label == "no-retry").map(|p| p.exhausted).sum();
+        assert!(no_retry_exhausted > 0, "rate 0.25 must exhaust no-retry tasks");
+    }
+
+    #[test]
+    fn fault_sweep_is_deterministic() {
+        let retries = [("default", RetryPolicy::default())];
+        let a = run_fault_sweep(&[2], &[0.1], &retries);
+        let b = run_fault_sweep(&[2], &[0.1], &retries);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fault_sweep_format_lists_every_cell() {
+        let retries = [("default", RetryPolicy::default())];
+        let pts = run_fault_sweep(&[0, 2], &[0.0, 0.1], &retries);
+        let s = format_fault_sweep(&pts);
+        assert_eq!(s.lines().count(), 2 + 4, "header + one line per grid cell");
+        assert!(s.contains("default"));
     }
 }

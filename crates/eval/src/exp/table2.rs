@@ -33,8 +33,13 @@ pub fn format(rows: &[TraceStats]) -> String {
     for r in rows {
         out.push_str(&format!(
             "{:<20} {:>9} {:>9} {:>8} {:>9} {:>10} {:>12}\n",
-            r.name, r.num_reports, r.num_sources, r.active_sources, r.num_claims,
-            r.num_intervals, r.truth_transitions,
+            r.name,
+            r.num_reports,
+            r.num_sources,
+            r.active_sources,
+            r.num_claims,
+            r.num_intervals,
+            r.truth_transitions,
         ));
     }
     out

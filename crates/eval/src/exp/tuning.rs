@@ -36,19 +36,10 @@ fn workload() -> Vec<DtmJob> {
 }
 
 fn hit_rate(kp: f64, ki: f64, kd: f64) -> f64 {
-    let config = DtmConfig {
-        kp,
-        ki,
-        kd,
-        initial_workers: 2,
-        max_workers: 32,
-        ..DtmConfig::default()
-    };
-    let mut dtm = DynamicTaskManager::new(
-        config,
-        Cluster::homogeneous(32, 1.0),
-        ExecutionModel::default(),
-    );
+    let config =
+        DtmConfig { kp, ki, kd, initial_workers: 2, max_workers: 32, ..DtmConfig::default() };
+    let mut dtm =
+        DynamicTaskManager::new(config, Cluster::homogeneous(32, 1.0), ExecutionModel::default());
     dtm.run(&workload()).job_hit_rate()
 }
 
@@ -100,7 +91,9 @@ pub fn format(points: &[GainPoint]) -> String {
     let top = best(points);
     let paper = points
         .iter()
-        .filter(|p| (p.kp - 1.2).abs() < 0.26 && (p.ki - 0.3).abs() < 0.26 && (p.kd - 0.2).abs() < 0.26)
+        .filter(|p| {
+            (p.kp - 1.2).abs() < 0.26 && (p.ki - 0.3).abs() < 0.26 && (p.kd - 0.2).abs() < 0.26
+        })
         .map(|p| p.hit_rate)
         .fold(f64::NAN, f64::max);
     let mut out = String::from("PID gain sweep (paper §V-A3 tuning procedure)\n");
@@ -112,10 +105,7 @@ pub fn format(points: &[GainPoint]) -> String {
         top.hit_rate * 100.0
     ));
     if paper.is_finite() {
-        out.push_str(&format!(
-            "near the paper's (1.2, 0.3, 0.2): {:.1}%\n",
-            paper * 100.0
-        ));
+        out.push_str(&format!("near the paper's (1.2, 0.3, 0.2): {:.1}%\n", paper * 100.0));
     }
     out
 }
@@ -130,10 +120,7 @@ mod tests {
         // past the cold-start 2 workers and deadlines suffer.
         let dead = hit_rate(0.0, 0.0, 0.0);
         let tuned = hit_rate(1.2, 0.3, 0.2);
-        assert!(
-            tuned > dead,
-            "paper-tuned gains {tuned} must beat a disabled controller {dead}"
-        );
+        assert!(tuned > dead, "paper-tuned gains {tuned} must beat a disabled controller {dead}");
         assert!(tuned > 0.5, "tuned controller rescues most jobs: {tuned}");
     }
 

@@ -114,11 +114,7 @@ impl fmt::Display for ConfusionMatrix {
 /// Panics if the interval counts disagree.
 #[must_use]
 pub fn score_estimates(truth: &GroundTruth, estimates: &TruthEstimates) -> ConfusionMatrix {
-    assert_eq!(
-        truth.num_intervals(),
-        estimates.num_intervals(),
-        "interval counts must match"
-    );
+    assert_eq!(truth.num_intervals(), estimates.num_intervals(), "interval counts must match");
     let mut m = ConfusionMatrix::default();
     for (claim, labels) in truth.iter() {
         for (iv, &actual) in labels.iter().enumerate() {
@@ -221,11 +217,7 @@ mod tests {
 /// Panics if the interval counts disagree.
 #[must_use]
 pub fn brier_score(truth: &GroundTruth, confidence: &sstd_core::ConfidenceEstimates) -> f64 {
-    assert_eq!(
-        truth.num_intervals(),
-        confidence.num_intervals(),
-        "interval counts must match"
-    );
+    assert_eq!(truth.num_intervals(), confidence.num_intervals(), "interval counts must match");
     let mut sum = 0.0;
     let mut n = 0u64;
     for (claim, labels) in truth.iter() {
@@ -287,8 +279,7 @@ mod brier_tests {
         // evidence-free gaps (Brier ≈ 0.31 at 0.5% scale); once most
         // cells carry evidence the posteriors are well-calibrated.
         let trace = TraceBuilder::scenario(Scenario::ParisShooting).scale(0.02).seed(3).build();
-        let (_, confidence) =
-            SstdEngine::new(SstdConfig::default()).run_with_confidence(&trace);
+        let (_, confidence) = SstdEngine::new(SstdConfig::default()).run_with_confidence(&trace);
         let score = brier_score(trace.ground_truth(), &confidence);
         assert!(score < 0.25, "calibrated posteriors beat 0.5-constant: {score}");
     }

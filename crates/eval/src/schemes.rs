@@ -7,8 +7,8 @@
 //! [`metrics::score_estimates`](crate::metrics::score_estimates).
 
 use sstd_baselines::{
-    Catd, DynaTd, Invest, MajorityVote, RecursiveEm, Rtd, SlidingWindow,
-    StreamingTruthDiscovery, ThreeEstimates, TruthDiscovery, TruthFinder, WeightedVote,
+    Catd, DynaTd, Invest, MajorityVote, RecursiveEm, Rtd, SlidingWindow, StreamingTruthDiscovery,
+    ThreeEstimates, TruthDiscovery, TruthFinder, WeightedVote,
 };
 use sstd_core::{SstdConfig, SstdEngine, TruthEstimates};
 use sstd_types::{ClaimId, Trace, TruthLabel};
@@ -115,22 +115,18 @@ pub fn run_scheme(kind: SchemeKind, trace: &Trace) -> TruthEstimates {
 }
 
 fn run_batch<S: TruthDiscovery>(scheme: S, trace: &Trace) -> TruthEstimates {
-    let window =
-        SlidingWindow::new(scheme, BATCH_WINDOW, trace.num_sources(), trace.num_claims());
+    let window = SlidingWindow::new(scheme, BATCH_WINDOW, trace.num_sources(), trace.num_claims());
     run_streaming(window, trace)
 }
 
 fn run_streaming<S: StreamingTruthDiscovery>(mut scheme: S, trace: &Trace) -> TruthEstimates {
     let n = trace.timeline().num_intervals();
-    let mut per_claim: Vec<Vec<TruthLabel>> =
-        vec![Vec::with_capacity(n); trace.num_claims()];
+    let mut per_claim: Vec<Vec<TruthLabel>> = vec![Vec::with_capacity(n); trace.num_claims()];
     for iv in 0..n {
         let estimates = scheme.observe_interval(trace.reports_in_interval(iv));
         for (u, labels) in per_claim.iter_mut().enumerate() {
-            let label = estimates
-                .get(&ClaimId::new(u as u32))
-                .copied()
-                .unwrap_or(TruthLabel::False);
+            let label =
+                estimates.get(&ClaimId::new(u as u32)).copied().unwrap_or(TruthLabel::False);
             labels.push(label);
         }
     }

@@ -137,16 +137,10 @@ impl BaumWelch {
             // A update: ξ sums over γ sums (excluding the last step).
             let mut trans = vec![vec![0.0; n]; n];
             for i in 0..n {
-                let denom: f64 = post.gamma[..post.gamma.len() - 1]
-                    .iter()
-                    .map(|g| g[i])
-                    .sum();
+                let denom: f64 = post.gamma[..post.gamma.len() - 1].iter().map(|g| g[i]).sum();
                 for j in 0..n {
-                    trans[i][j] = if denom > 0.0 {
-                        post.xi_sum[i][j] / denom
-                    } else {
-                        1.0 / n as f64
-                    };
+                    trans[i][j] =
+                        if denom > 0.0 { post.xi_sum[i][j] / denom } else { 1.0 / n as f64 };
                 }
                 floor_and_normalize(&mut trans[i], self.prob_floor);
             }

@@ -64,10 +64,8 @@ impl GaussianEmission {
         if params.is_empty() {
             return Err(DistError::invalid("normal", "at least one state required"));
         }
-        let states = params
-            .into_iter()
-            .map(|(m, s)| Normal::new(m, s))
-            .collect::<Result<Vec<_>, _>>()?;
+        let states =
+            params.into_iter().map(|(m, s)| Normal::new(m, s)).collect::<Result<Vec<_>, _>>()?;
         Ok(Self { states, min_std: Self::DEFAULT_MIN_STD })
     }
 
@@ -115,12 +113,8 @@ impl TrainableEmission for GaussianEmission {
             if weight <= f64::EPSILON {
                 continue; // state got no responsibility; keep old params
             }
-            let mean: f64 = observations
-                .iter()
-                .zip(posteriors)
-                .map(|(&x, g)| g[s] * x)
-                .sum::<f64>()
-                / weight;
+            let mean: f64 =
+                observations.iter().zip(posteriors).map(|(&x, g)| g[s] * x).sum::<f64>() / weight;
             let var: f64 = observations
                 .iter()
                 .zip(posteriors)
@@ -237,12 +231,8 @@ impl TrainableEmission for SymmetricGaussianEmission {
         let n = observations.len() as f64;
         // μ maximizes the constrained likelihood:
         // μ = Σ_t (γ₀(t) − γ₁(t))·x_t / Σ_t (γ₀(t) + γ₁(t)).
-        let mu: f64 = observations
-            .iter()
-            .zip(posteriors)
-            .map(|(&x, g)| (g[0] - g[1]) * x)
-            .sum::<f64>()
-            / n;
+        let mu: f64 =
+            observations.iter().zip(posteriors).map(|(&x, g)| (g[0] - g[1]) * x).sum::<f64>() / n;
         // Shared σ² over both states' residuals.
         let var: f64 = observations
             .iter()
@@ -386,12 +376,7 @@ mod tests {
         let mut e = GaussianEmission::new(vec![(0.0, 1.0), (0.0, 1.0)]).unwrap();
         let obs = vec![10.0, 10.0, -10.0, -10.0];
         // Hard assignment: first two to state 0, rest to state 1.
-        let post = vec![
-            vec![1.0, 0.0],
-            vec![1.0, 0.0],
-            vec![0.0, 1.0],
-            vec![0.0, 1.0],
-        ];
+        let post = vec![vec![1.0, 0.0], vec![1.0, 0.0], vec![0.0, 1.0], vec![0.0, 1.0]];
         e.reestimate(&obs, &post);
         assert!((e.params(0).0 - 10.0).abs() < 1e-9);
         assert!((e.params(1).0 + 10.0).abs() < 1e-9);
@@ -460,12 +445,7 @@ mod symmetric_tests {
     fn reestimate_recovers_separation_under_hard_assignment() {
         let mut e = SymmetricGaussianEmission::new(1.0, 1.0).unwrap();
         let obs = vec![5.0, 5.2, -4.8, -5.4];
-        let post = vec![
-            vec![1.0, 0.0],
-            vec![1.0, 0.0],
-            vec![0.0, 1.0],
-            vec![0.0, 1.0],
-        ];
+        let post = vec![vec![1.0, 0.0], vec![1.0, 0.0], vec![0.0, 1.0], vec![0.0, 1.0]];
         e.reestimate(&obs, &post);
         assert!((e.mu() - 5.1).abs() < 0.01, "mu = {}", e.mu());
         assert!(e.std() >= GaussianEmission::DEFAULT_MIN_STD);

@@ -130,14 +130,9 @@ pub fn forward_backward<E: Emission>(hmm: &Hmm<E>, observations: &[E::Obs]) -> P
 
     // ln P(O|λ) = Σ ln(scale_t) + Σ max-shifts. The per-row max shift on
     // `emit` cancels in all posteriors but must be restored here.
-    let mut log_likelihood: f64 = scale
-        .iter()
-        .map(|&c| c.max(f64::MIN_POSITIVE).ln())
-        .sum();
+    let mut log_likelihood: f64 = scale.iter().map(|&c| c.max(f64::MIN_POSITIVE).ln()).sum();
     for (t, &obs) in observations.iter().enumerate() {
-        let max = (0..n)
-            .map(|i| hmm.log_emit(i, obs))
-            .fold(f64::NEG_INFINITY, f64::max);
+        let max = (0..n).map(|i| hmm.log_emit(i, obs)).fold(f64::NEG_INFINITY, f64::max);
         if max.is_finite() {
             log_likelihood += max;
         }
@@ -233,9 +228,8 @@ mod tests {
             GaussianEmission::new(vec![(3.0, 1.0), (-3.0, 1.0)]).unwrap(),
         )
         .unwrap();
-        let obs: Vec<f64> = (0..10_000)
-            .map(|t| if (t / 500) % 2 == 0 { 3.0 } else { -3.0 })
-            .collect();
+        let obs: Vec<f64> =
+            (0..10_000).map(|t| if (t / 500) % 2 == 0 { 3.0 } else { -3.0 }).collect();
         let post = forward_backward(&hmm, &obs);
         assert!(post.log_likelihood.is_finite());
         assert!(post.gamma.iter().all(|row| row.iter().all(|p| p.is_finite())));

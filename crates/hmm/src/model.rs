@@ -156,12 +156,8 @@ mod tests {
 
     #[test]
     fn valid_model_constructs() {
-        let hmm = Hmm::new(
-            vec![0.5, 0.5],
-            vec![vec![0.7, 0.3], vec![0.4, 0.6]],
-            emission2(),
-        )
-        .unwrap();
+        let hmm =
+            Hmm::new(vec![0.5, 0.5], vec![vec![0.7, 0.3], vec![0.4, 0.6]], emission2()).unwrap();
         assert_eq!(hmm.num_states(), 2);
         assert_eq!(hmm.trans_prob(0, 1), 0.3);
         assert_eq!(hmm.init(), &[0.5, 0.5]);
@@ -175,56 +171,36 @@ mod tests {
 
     #[test]
     fn rejects_nonstochastic_init() {
-        let err = Hmm::new(
-            vec![0.5, 0.6],
-            vec![vec![0.7, 0.3], vec![0.4, 0.6]],
-            emission2(),
-        )
-        .unwrap_err();
+        let err = Hmm::new(vec![0.5, 0.6], vec![vec![0.7, 0.3], vec![0.4, 0.6]], emission2())
+            .unwrap_err();
         assert!(err.to_string().contains("sums to"));
     }
 
     #[test]
     fn rejects_nonstochastic_transition_row() {
-        let err = Hmm::new(
-            vec![0.5, 0.5],
-            vec![vec![0.7, 0.2], vec![0.4, 0.6]],
-            emission2(),
-        )
-        .unwrap_err();
+        let err = Hmm::new(vec![0.5, 0.5], vec![vec![0.7, 0.2], vec![0.4, 0.6]], emission2())
+            .unwrap_err();
         assert!(err.to_string().contains("transition row 0"));
     }
 
     #[test]
     fn rejects_negative_probability() {
-        let err = Hmm::new(
-            vec![1.5, -0.5],
-            vec![vec![0.7, 0.3], vec![0.4, 0.6]],
-            emission2(),
-        )
-        .unwrap_err();
+        let err = Hmm::new(vec![1.5, -0.5], vec![vec![0.7, 0.3], vec![0.4, 0.6]], emission2())
+            .unwrap_err();
         assert!(err.to_string().contains("invalid probabilities"));
     }
 
     #[test]
     fn rejects_ragged_transition() {
-        let err = Hmm::new(
-            vec![0.5, 0.5],
-            vec![vec![1.0], vec![0.4, 0.6]],
-            emission2(),
-        )
-        .unwrap_err();
+        let err =
+            Hmm::new(vec![0.5, 0.5], vec![vec![1.0], vec![0.4, 0.6]], emission2()).unwrap_err();
         assert!(err.to_string().contains("wrong length"));
     }
 
     #[test]
     fn parts_roundtrip() {
-        let hmm = Hmm::new(
-            vec![0.5, 0.5],
-            vec![vec![0.7, 0.3], vec![0.4, 0.6]],
-            emission2(),
-        )
-        .unwrap();
+        let hmm =
+            Hmm::new(vec![0.5, 0.5], vec![vec![0.7, 0.3], vec![0.4, 0.6]], emission2()).unwrap();
         let (init, trans, em) = hmm.into_parts();
         let rebuilt = Hmm::new(init, trans, em).unwrap();
         assert_eq!(rebuilt.num_states(), 2);

@@ -296,9 +296,7 @@ mod tests {
     #[test]
     fn committed_prefix_is_a_prefix_of_the_batch_path() {
         let hmm = gaussian_hmm(0.85);
-        let obs: Vec<f64> = (0..60)
-            .map(|t| if (t / 12) % 2 == 0 { 3.0 } else { -3.0 })
-            .collect();
+        let obs: Vec<f64> = (0..60).map(|t| if (t / 12) % 2 == 0 { 3.0 } else { -3.0 }).collect();
         let mut dec = StreamingViterbi::new(hmm.clone());
         for &o in &obs {
             dec.push(o);
@@ -396,9 +394,7 @@ mod bounded_tests {
 
     #[test]
     fn bound_does_not_change_decisive_decoding() {
-        let obs: Vec<f64> = (0..200)
-            .map(|t| if (t / 40) % 2 == 0 { 3.0 } else { -3.0 })
-            .collect();
+        let obs: Vec<f64> = (0..200).map(|t| if (t / 40) % 2 == 0 { 3.0 } else { -3.0 }).collect();
         let mut bounded = StreamingViterbi::new(neutral_hmm()).with_max_pending(16);
         let mut unbounded = StreamingViterbi::new(neutral_hmm());
         for &o in &obs {

@@ -35,9 +35,8 @@ pub fn viterbi<E: Emission>(hmm: &Hmm<E>, observations: &[E::Obs]) -> Vec<usize>
     }
 
     // δ_t(i): best log-prob ending in state i at time t (paper Eq. 7).
-    let mut delta: Vec<f64> = (0..n)
-        .map(|i| hmm.init()[i].ln() + hmm.log_emit(i, observations[0]))
-        .collect();
+    let mut delta: Vec<f64> =
+        (0..n).map(|i| hmm.init()[i].ln() + hmm.log_emit(i, observations[0])).collect();
     // ψ_t(i): argmax predecessor.
     let mut psi: Vec<Vec<usize>> = Vec::with_capacity(t_len);
     psi.push(vec![0; n]);

@@ -6,11 +6,21 @@
 //! pools — under a virtual clock, so the cluster-scale figures (execution
 //! time vs. data size, deadline hit rates, speedup curves) regenerate
 //! deterministically on a single machine.
+//!
+//! Fault tolerance: the engine consumes the unified fault model of
+//! [`crate::fault`]. A seeded [`FaultPlan`] injects transient task
+//! failures, worker crashes (with respawn) and straggler slowdowns;
+//! a [`RetryPolicy`] re-queues faulted attempts with exponential backoff
+//! and caps; [`FastAbort`] re-queues attempts running beyond a multiple
+//! of the online mean task time. All decisions are pure functions of the
+//! seed, so fault runs replay byte-for-byte.
 
+use crate::fault::splitmix64;
 use crate::{
-    Cluster, CompletedTask, ExecutionModel, ExecutionReport, JobId, TaskId, TaskPool, TaskSpec,
-    WorkerId,
+    Cluster, CompletedTask, ExecutionModel, ExecutionReport, FailedTask, FastAbort, FaultKind,
+    FaultPlan, FaultStats, JobId, RetryPolicy, TaskId, TaskPool, TaskSpec, WorkerId,
 };
+use sstd_stats::OnlineStats;
 use std::collections::BTreeMap;
 
 /// One entry of the simulator's lifecycle log — the observability stream
@@ -27,6 +37,8 @@ pub enum DesEvent {
         worker: WorkerId,
         /// Virtual start time.
         at: f64,
+        /// Zero-based attempt number of this execution.
+        attempt: u32,
     },
     /// A task finished.
     TaskCompleted {
@@ -39,14 +51,66 @@ pub enum DesEvent {
         /// Virtual completion time.
         at: f64,
     },
-    /// A worker was evicted (HTCondor preemption).
+    /// A task attempt faulted (transient failure, worker loss, or a
+    /// straggler fast-abort) and was re-queued or dropped.
+    TaskFailed {
+        /// The task.
+        task: TaskId,
+        /// Its owning job.
+        job: JobId,
+        /// The worker the attempt ran on.
+        worker: WorkerId,
+        /// What went wrong.
+        kind: FaultKind,
+        /// Zero-based attempt number that faulted.
+        attempt: u32,
+        /// Virtual fault time.
+        at: f64,
+    },
+    /// A task exhausted its retry budget and was dropped.
+    TaskExhausted {
+        /// The task.
+        task: TaskId,
+        /// Its owning job.
+        job: JobId,
+        /// Attempts consumed before giving up.
+        attempts: u32,
+        /// Virtual time of the terminal failure.
+        at: f64,
+    },
+    /// A worker was evicted (HTCondor preemption). The pool shrinks; the
+    /// interrupted task, if any, is re-queued under its original id.
     WorkerEvicted {
         /// The evicted worker.
         worker: WorkerId,
         /// Virtual eviction time.
         at: f64,
-        /// The task it was running, if any (re-queued under a new id).
+        /// The task it was running, if any (re-queued under the same id).
         interrupted: Option<TaskId>,
+    },
+    /// A worker crashed under the fault plan; it respawns after the
+    /// plan's restart delay.
+    WorkerCrashed {
+        /// The crashed worker.
+        worker: WorkerId,
+        /// Virtual crash time.
+        at: f64,
+        /// The task it was running (re-queued under the same id).
+        interrupted: Option<TaskId>,
+    },
+    /// A crashed worker's replacement joined the pool.
+    WorkerRespawned {
+        /// The new worker.
+        worker: WorkerId,
+        /// Virtual join time.
+        at: f64,
+    },
+    /// A worker was quarantined (blacklisted) after repeated faults.
+    WorkerQuarantined {
+        /// The quarantined worker.
+        worker: WorkerId,
+        /// Virtual quarantine time.
+        at: f64,
     },
 }
 
@@ -57,6 +121,14 @@ struct Running {
     submitted_at: f64,
     started_at: f64,
     finishes_at: f64,
+    /// Zero-based attempt number of this execution.
+    attempt: u32,
+    /// When the attempt's injected transient fault manifests, if any.
+    fails_at: Option<f64>,
+    /// Whether the injected fault takes the worker down with it.
+    crashes_worker: bool,
+    /// When fast-abort kills this attempt, if armed.
+    abort_at: Option<f64>,
 }
 
 #[derive(Debug, Clone)]
@@ -67,6 +139,19 @@ struct Worker {
     /// A draining worker finishes its current task and accepts no more
     /// (how the Global Control Knob shrinks the pool).
     draining: bool,
+}
+
+/// The next simulation event, ordered deterministically: at equal times,
+/// backoff releases fire before respawns, respawns before evictions, and
+/// worker events (fault < abort < completion, then by worker index) last.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Pending {
+    Release,
+    Respawn,
+    Evict,
+    Fail(usize),
+    Abort(usize),
+    Complete(usize),
 }
 
 /// Event-driven simulator of a Work Queue master over a cluster.
@@ -83,6 +168,21 @@ struct Worker {
 /// // Two equal tasks on two workers finish together.
 /// assert!((report.makespan - report.completed[0].finished_at).abs() < 1e-9);
 /// ```
+///
+/// Injecting a deterministic fault schedule:
+///
+/// ```
+/// use sstd_runtime::{Cluster, DesEngine, ExecutionModel, FaultPlan, JobId, TaskSpec};
+///
+/// let mut des = DesEngine::new(Cluster::homogeneous(2, 1.0), ExecutionModel::default(), 2);
+/// des.set_fault_plan(FaultPlan::new(42).with_transient_rate(0.2));
+/// for _ in 0..20 {
+///     des.submit(TaskSpec::new(JobId::new(0), 100.0));
+/// }
+/// let report = des.run_to_completion();
+/// assert_eq!(report.completed.len(), 20, "faults are retried, not lost");
+/// assert!(report.faults.reconciles());
+/// ```
 #[derive(Debug)]
 pub struct DesEngine {
     cluster: Cluster,
@@ -95,10 +195,34 @@ pub struct DesEngine {
     completed: Vec<CompletedTask>,
     /// Scheduled worker evictions (HTCondor preemption), sorted by time.
     evictions: Vec<f64>,
-    /// Tasks restarted after losing their worker.
+    /// Scheduled worker respawns after fault-plan crashes, sorted by time.
+    respawns: Vec<f64>,
+    /// Faulted tasks waiting out their retry backoff:
+    /// `(release_at, task, spec, original_submit_time)`, sorted.
+    delayed: Vec<(f64, TaskId, TaskSpec, f64)>,
+    /// Tasks re-queued after losing an attempt (any cause).
     retries: u64,
     /// Lifecycle log.
     events: Vec<DesEvent>,
+    /// Injected fault schedule, if any.
+    plan: Option<FaultPlan>,
+    /// Retry/backoff/quarantine policy.
+    retry: RetryPolicy,
+    /// Straggler mitigation, if enabled.
+    fast_abort: Option<FastAbort>,
+    /// Started attempts per live task.
+    attempts: BTreeMap<TaskId, u32>,
+    /// Fast-aborts consumed per live task.
+    speculations: BTreeMap<TaskId, u32>,
+    /// Faults attributed to each worker (for quarantine).
+    worker_faults: BTreeMap<WorkerId, u32>,
+    /// Failed-attempt accounting.
+    stats: FaultStats,
+    /// Online mean/variance of completed attempt durations (drives
+    /// fast-abort).
+    task_durations: OnlineStats,
+    /// Tasks dropped after exhausting their retry budget.
+    failed: Vec<FailedTask>,
 }
 
 impl DesEngine {
@@ -121,8 +245,19 @@ impl DesEngine {
             submit_times: BTreeMap::new(),
             completed: Vec::new(),
             evictions: Vec::new(),
+            respawns: Vec::new(),
+            delayed: Vec::new(),
             retries: 0,
             events: Vec::new(),
+            plan: None,
+            retry: RetryPolicy::default(),
+            fast_abort: None,
+            attempts: BTreeMap::new(),
+            speculations: BTreeMap::new(),
+            worker_faults: BTreeMap::new(),
+            stats: FaultStats::default(),
+            task_durations: OnlineStats::new(),
+            failed: Vec::new(),
         };
         engine.grow_workers(num_workers);
         engine
@@ -142,6 +277,31 @@ impl DesEngine {
         }
     }
 
+    /// Installs a deterministic fault-injection schedule.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.plan = Some(plan);
+    }
+
+    /// Sets the retry/backoff/quarantine policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy is invalid (see [`RetryPolicy::validate`]).
+    pub fn set_retry_policy(&mut self, retry: RetryPolicy) {
+        retry.validate();
+        self.retry = retry;
+    }
+
+    /// Enables straggler fast-abort.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see [`FastAbort::validate`]).
+    pub fn set_fast_abort(&mut self, fast_abort: FastAbort) {
+        fast_abort.validate();
+        self.fast_abort = Some(fast_abort);
+    }
+
     /// Current virtual time.
     #[must_use]
     pub const fn now(&self) -> f64 {
@@ -154,10 +314,11 @@ impl DesEngine {
         self.workers.iter().filter(|w| !w.draining).count()
     }
 
-    /// Pending (not yet started) tasks.
+    /// Pending (not yet started) tasks, including those waiting out a
+    /// retry backoff.
     #[must_use]
     pub fn pending(&self) -> usize {
-        self.pool.len()
+        self.pool.len() + self.delayed.len()
     }
 
     /// Tasks currently executing.
@@ -166,11 +327,12 @@ impl DesEngine {
         self.workers.iter().filter(|w| w.running.is_some()).count()
     }
 
-    /// Pending tasks of one job — the progress signal the PID controller
-    /// samples.
+    /// Pending tasks of one job (queued or backing off) — the progress
+    /// signal the PID controller samples.
     #[must_use]
     pub fn pending_of(&self, job: JobId) -> usize {
         self.pool.pending_of(job)
+            + self.delayed.iter().filter(|(_, _, spec, _)| spec.job() == job).count()
     }
 
     /// Tasks completed so far.
@@ -179,10 +341,23 @@ impl DesEngine {
         &self.completed
     }
 
-    /// Tasks restarted after an eviction killed their worker mid-run.
+    /// Tasks re-queued after losing an attempt to an eviction, crash,
+    /// transient fault or fast-abort.
     #[must_use]
     pub const fn retries(&self) -> u64 {
         self.retries
+    }
+
+    /// Failed-attempt accounting for this run.
+    #[must_use]
+    pub const fn fault_stats(&self) -> FaultStats {
+        self.stats
+    }
+
+    /// Tasks dropped after exhausting their retry budget.
+    #[must_use]
+    pub fn failed(&self) -> &[FailedTask] {
+        &self.failed
     }
 
     /// The lifecycle event log, in event order.
@@ -229,11 +404,14 @@ impl DesEngine {
         let Some(widx) = victim else { return };
         let mut interrupted = None;
         if let Some(run) = self.workers[widx].running.take() {
-            // Re-queue the interrupted task, preserving its original
-            // submission time so latency accounting stays honest.
+            // Re-queue the interrupted task under its original id,
+            // preserving its submission time so latency accounting stays
+            // honest, and without touching the job's stride pass.
             interrupted = Some(run.task);
-            let requeued = self.pool.submit(run.spec);
-            self.submit_times.insert(requeued, run.submitted_at);
+            self.stats.crash_failures += 1;
+            self.stats.wasted_time += t - run.started_at;
+            self.pool.requeue(run.task, run.spec);
+            self.submit_times.insert(run.task, run.submitted_at);
             self.retries += 1;
         }
         self.events.push(DesEvent::WorkerEvicted {
@@ -308,10 +486,7 @@ impl DesEngine {
     /// resource requirements fit no node stay queued.
     fn assign_idle_workers(&mut self) {
         loop {
-            let Some(widx) = self
-                .workers
-                .iter()
-                .position(|w| w.running.is_none() && !w.draining)
+            let Some(widx) = self.workers.iter().position(|w| w.running.is_none() && !w.draining)
             else {
                 return;
             };
@@ -325,17 +500,15 @@ impl DesEngine {
                 if let Some(other) = self.workers.iter().position(|w| {
                     w.running.is_none()
                         && !w.draining
-                        && spec
-                            .requirements()
-                            .fits_in(self.cluster.nodes()[w.id.index() % self.cluster.len()].capacity())
+                        && spec.requirements().fits_in(
+                            self.cluster.nodes()[w.id.index() % self.cluster.len()].capacity(),
+                        )
                 }) {
                     self.start_on(other, task, spec);
                     continue;
                 }
-                // Re-queue and stop trying this round.
-                let requeued = self.pool.submit(spec);
-                let t = self.submit_times.remove(&task).unwrap_or(self.clock);
-                self.submit_times.insert(requeued, t);
+                // Re-queue under the same id and stop trying this round.
+                self.pool.requeue(task, spec);
                 return;
             }
             self.start_on(widx, task, spec);
@@ -344,13 +517,48 @@ impl DesEngine {
 
     fn start_on(&mut self, widx: usize, task: TaskId, spec: TaskSpec) {
         let speed = self.workers[widx].speed;
-        let duration = self.model.task_time_on(&spec, speed);
+        let attempt = {
+            let started = self.attempts.entry(task).or_insert(0);
+            let idx = *started;
+            *started += 1;
+            idx
+        };
+        self.stats.attempts += 1;
+        let mut duration = self.model.task_time_on(&spec, speed);
+        let mut fails_at = None;
+        let mut crashes_worker = false;
+        if let Some(plan) = self.plan {
+            match plan.decide(task, attempt) {
+                Some(FaultKind::Straggler) => duration *= plan.straggler_slowdown(),
+                Some(FaultKind::Transient) => {
+                    fails_at = Some(self.clock + duration * plan.fail_point());
+                }
+                Some(FaultKind::WorkerCrash) => {
+                    fails_at = Some(self.clock + duration * plan.fail_point());
+                    crashes_worker = true;
+                }
+                None => {}
+            }
+        }
+        // Arm fast-abort once the running mean is warm: an attempt
+        // projected past `k × mean` is killed at the threshold (the
+        // master only observes elapsed time) unless this task has used
+        // up its speculation budget.
+        let abort_at = self.fast_abort.and_then(|fa| {
+            if self.task_durations.count() < fa.min_samples {
+                return None;
+            }
+            let threshold = fa.multiplier * self.task_durations.mean();
+            let used = self.speculations.get(&task).copied().unwrap_or(0);
+            (duration > threshold && used < fa.max_speculations).then_some(self.clock + threshold)
+        });
         let submitted_at = self.submit_times.remove(&task).unwrap_or(self.clock);
         self.events.push(DesEvent::TaskStarted {
             task,
             job: spec.job(),
             worker: self.workers[widx].id,
             at: self.clock,
+            attempt,
         });
         self.workers[widx].running = Some(Running {
             task,
@@ -358,37 +566,228 @@ impl DesEngine {
             submitted_at,
             started_at: self.clock,
             finishes_at: self.clock + duration,
+            attempt,
+            fails_at,
+            crashes_worker,
+            abort_at,
         });
     }
 
-    /// Advances to the next completion event, if any, firing scheduled
-    /// evictions that occur first. Returns the finished task.
-    pub fn step(&mut self) -> Option<CompletedTask> {
-        loop {
-            let next_completion = self
-                .workers
-                .iter()
-                .filter_map(|w| w.running.as_ref().map(|r| r.finishes_at))
-                .fold(f64::INFINITY, f64::min);
-            match self.evictions.first().copied() {
-                Some(ev) if ev <= next_completion => {
-                    self.evictions.remove(0);
-                    self.fire_eviction(ev);
-                    // An eviction may have been the only pending event;
-                    // re-evaluate.
+    /// The earliest pending event, with a deterministic tie-break order.
+    fn next_event(&self) -> Option<(f64, Pending)> {
+        let mut best: Option<(f64, u8, usize, Pending)> = None;
+        let mut consider = |t: f64, class: u8, widx: usize, p: Pending| {
+            let better = match &best {
+                None => true,
+                Some((bt, bc, bw, _)) => (t, class, widx) < (*bt, *bc, *bw),
+            };
+            if better {
+                best = Some((t, class, widx, p));
+            }
+        };
+        if let Some(&(t, ..)) = self.delayed.first() {
+            consider(t, 0, 0, Pending::Release);
+        }
+        if let Some(&t) = self.respawns.first() {
+            consider(t, 1, 0, Pending::Respawn);
+        }
+        if let Some(&t) = self.evictions.first() {
+            consider(t, 2, 0, Pending::Evict);
+        }
+        for (widx, w) in self.workers.iter().enumerate() {
+            let Some(run) = &w.running else { continue };
+            if let Some(t) = run.fails_at {
+                consider(t, 3, widx, Pending::Fail(widx));
+            }
+            if let Some(t) = run.abort_at {
+                // Only meaningful before the attempt's own fault/finish.
+                if run.fails_at.is_none_or(|f| t < f) && t < run.finishes_at {
+                    consider(t, 4, widx, Pending::Abort(widx));
                 }
-                _ => break,
+            }
+            if run.fails_at.is_none_or(|f| run.finishes_at < f) {
+                consider(run.finishes_at, 5, widx, Pending::Complete(widx));
             }
         }
-        let widx = self
-            .workers
-            .iter()
-            .enumerate()
-            .filter_map(|(i, w)| w.running.as_ref().map(|r| (i, r.finishes_at)))
-            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
-            .map(|(i, _)| i)?;
+        best.map(|(t, _, _, p)| (t, p))
+    }
+
+    /// Handles one non-completion event.
+    fn dispatch(&mut self, sel: Pending, t: f64) {
+        match sel {
+            Pending::Release => {
+                self.clock = self.clock.max(t);
+                let (_, task, spec, submitted_at) = self.delayed.remove(0);
+                self.pool.requeue(task, spec);
+                self.submit_times.insert(task, submitted_at);
+                self.assign_idle_workers();
+            }
+            Pending::Respawn => {
+                self.clock = self.clock.max(t);
+                self.respawns.remove(0);
+                self.grow_workers(1);
+                self.events.push(DesEvent::WorkerRespawned {
+                    worker: WorkerId::new(self.next_worker - 1),
+                    at: t,
+                });
+                self.assign_idle_workers();
+            }
+            Pending::Evict => {
+                self.evictions.remove(0);
+                self.fire_eviction(t);
+            }
+            Pending::Fail(widx) => self.fail_attempt(widx, t),
+            Pending::Abort(widx) => self.abort_attempt(widx, t),
+            Pending::Complete(widx) => {
+                let _ = self.complete_attempt(widx, t);
+            }
+        }
+    }
+
+    /// An injected transient fault (or worker crash) fires on `widx`.
+    fn fail_attempt(&mut self, widx: usize, t: f64) {
+        self.clock = self.clock.max(t);
+        let run = self.workers[widx].running.take().expect("faulting worker runs a task");
+        let worker_id = self.workers[widx].id;
+        let kind = if run.crashes_worker { FaultKind::WorkerCrash } else { FaultKind::Transient };
+        self.stats.wasted_time += t - run.started_at;
+        self.events.push(DesEvent::TaskFailed {
+            task: run.task,
+            job: run.spec.job(),
+            worker: worker_id,
+            kind,
+            attempt: run.attempt,
+            at: t,
+        });
+        match kind {
+            FaultKind::Transient => {
+                self.stats.transient_failures += 1;
+                let started = self.attempts.get(&run.task).copied().unwrap_or(1);
+                if started >= self.retry.max_attempts {
+                    self.exhaust(&run, t, "transient-fault retries exhausted");
+                } else {
+                    // Exponential backoff with deterministic jitter.
+                    let salt =
+                        splitmix64(self.plan.map_or(0, |p| p.seed()) ^ run.task.index() as u64);
+                    let delay = self.retry.backoff(started, salt);
+                    self.schedule_release(t + delay, run.task, run.spec, run.submitted_at);
+                    self.retries += 1;
+                }
+                self.note_worker_fault(widx, t);
+            }
+            FaultKind::WorkerCrash => {
+                self.stats.crash_failures += 1;
+                // Losing the machine is not the task's fault: re-queue
+                // immediately, bounded only by the hard cap.
+                let started = self.attempts.get(&run.task).copied().unwrap_or(1);
+                if started >= self.retry.hard_attempt_cap() {
+                    self.exhaust(&run, t, "worker-crash retries exhausted");
+                } else {
+                    self.pool.requeue(run.task, run.spec);
+                    self.submit_times.insert(run.task, run.submitted_at);
+                    self.retries += 1;
+                }
+                self.events.push(DesEvent::WorkerCrashed {
+                    worker: worker_id,
+                    at: t,
+                    interrupted: Some(run.task),
+                });
+                let delay = self.plan.map_or(1.0, |p| p.worker_restart_delay());
+                self.respawns.push(t + delay);
+                self.respawns.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+                self.workers.remove(widx);
+            }
+            FaultKind::Straggler => unreachable!("stragglers do not fail, they abort"),
+        }
+        self.assign_idle_workers();
+    }
+
+    /// Fast-abort fires: the attempt has run `k ×` the mean task time.
+    fn abort_attempt(&mut self, widx: usize, t: f64) {
+        self.clock = self.clock.max(t);
+        let run = self.workers[widx].running.take().expect("aborting worker runs a task");
+        let worker_id = self.workers[widx].id;
+        self.stats.straggler_aborts += 1;
+        self.stats.wasted_time += t - run.started_at;
+        *self.speculations.entry(run.task).or_insert(0) += 1;
+        self.events.push(DesEvent::TaskFailed {
+            task: run.task,
+            job: run.spec.job(),
+            worker: worker_id,
+            kind: FaultKind::Straggler,
+            attempt: run.attempt,
+            at: t,
+        });
+        // Re-queue immediately: the retry usually lands on a healthy
+        // worker (the plan decides per attempt). After the speculation
+        // budget, the attempt is left to run to completion, so genuinely
+        // long tasks always finish.
+        self.pool.requeue(run.task, run.spec);
+        self.submit_times.insert(run.task, run.submitted_at);
+        self.retries += 1;
+        self.note_worker_fault(widx, t);
+        if self.workers.get(widx).is_some_and(|w| w.draining && w.running.is_none()) {
+            self.workers.remove(widx);
+        }
+        self.assign_idle_workers();
+    }
+
+    /// Attributes a fault to a worker and quarantines it past the
+    /// threshold (never the last worker standing).
+    fn note_worker_fault(&mut self, widx: usize, t: f64) {
+        if self.retry.quarantine_threshold == 0 {
+            return;
+        }
+        let Some(worker) = self.workers.get(widx) else { return };
+        let id = worker.id;
+        let count = {
+            let c = self.worker_faults.entry(id).or_insert(0);
+            *c += 1;
+            *c
+        };
+        if count >= self.retry.quarantine_threshold && self.num_workers() > 1 {
+            self.stats.quarantined_workers += 1;
+            self.events.push(DesEvent::WorkerQuarantined { worker: id, at: t });
+            // Anything still on it (shouldn't be: faults strip the task
+            // first) would be re-queued by the caller; just remove it.
+            self.workers.remove(widx);
+        }
+    }
+
+    /// Drops a task whose retry budget is spent.
+    fn exhaust(&mut self, run: &Running, t: f64, why: &str) {
+        let attempts = self.attempts.get(&run.task).copied().unwrap_or(0);
+        self.stats.exhausted_tasks += 1;
+        self.submit_times.remove(&run.task);
+        self.events.push(DesEvent::TaskExhausted {
+            task: run.task,
+            job: run.spec.job(),
+            attempts,
+            at: t,
+        });
+        self.failed.push(FailedTask {
+            task: run.task,
+            job: run.spec.job(),
+            attempts,
+            error: why.to_string(),
+        });
+    }
+
+    /// Schedules a backoff release, keeping the queue sorted.
+    fn schedule_release(&mut self, at: f64, task: TaskId, spec: TaskSpec, submitted_at: f64) {
+        self.delayed.push((at, task, spec, submitted_at));
+        self.delayed
+            .sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite times").then(a.1.cmp(&b.1)));
+    }
+
+    /// Finishes the attempt on `widx` and returns its record.
+    fn complete_attempt(&mut self, widx: usize, t: f64) -> CompletedTask {
         let run = self.workers[widx].running.take().expect("selected running worker");
-        self.clock = self.clock.max(run.finishes_at);
+        self.clock = self.clock.max(t);
+        self.stats.successes += 1;
+        self.task_durations.push(run.finishes_at - run.started_at);
+        self.attempts.remove(&run.task);
+        self.speculations.remove(&run.task);
         let done = CompletedTask {
             task: run.task,
             job: run.spec.job(),
@@ -409,39 +808,43 @@ impl DesEngine {
             self.workers.remove(widx);
         }
         self.assign_idle_workers();
-        Some(done)
+        done
     }
 
-    /// Processes every completion and eviction event up to virtual time
-    /// `t`, then sets the clock to `t`. Used by the feedback-control
-    /// sampling loop.
-    pub fn run_until(&mut self, t: f64) {
+    /// Advances to the next completion event, if any, firing scheduled
+    /// evictions, faults, backoff releases and respawns that occur first.
+    /// Returns the finished task.
+    pub fn step(&mut self) -> Option<CompletedTask> {
         loop {
-            let next_completion = self
-                .workers
-                .iter()
-                .filter_map(|w| w.running.as_ref().map(|r| r.finishes_at))
-                .fold(f64::INFINITY, f64::min);
-            let next_eviction = self.evictions.first().copied().unwrap_or(f64::INFINITY);
-            let next = next_completion.min(next_eviction);
-            if next > t {
+            let (t, sel) = self.next_event()?;
+            if let Pending::Complete(widx) = sel {
+                return Some(self.complete_attempt(widx, t));
+            }
+            self.dispatch(sel, t);
+        }
+    }
+
+    /// Processes every event up to virtual time `t`, then sets the clock
+    /// to `t`. Used by the feedback-control sampling loop.
+    pub fn run_until(&mut self, t: f64) {
+        while let Some((time, sel)) = self.next_event() {
+            if time > t {
                 break;
             }
-            if next_eviction <= next_completion {
-                self.evictions.remove(0);
-                self.fire_eviction(next_eviction);
-            } else {
-                let _ = self.step();
-            }
+            self.dispatch(sel, time);
         }
         self.clock = self.clock.max(t);
     }
 
-    /// Runs until the pool and all workers are empty, returning the
-    /// report.
+    /// Runs until the pool, backoff queue and all workers are empty,
+    /// returning the report.
     pub fn run_to_completion(&mut self) -> ExecutionReport {
         while self.step().is_some() {}
-        ExecutionReport { completed: self.completed.clone(), makespan: self.clock }
+        ExecutionReport {
+            completed: self.completed.clone(),
+            makespan: self.clock,
+            faults: self.stats,
+        }
     }
 }
 
@@ -516,11 +919,8 @@ mod tests {
 
     #[test]
     fn init_overhead_is_charged_per_task() {
-        let mut des = DesEngine::new(
-            Cluster::homogeneous(1, 1.0),
-            ExecutionModel::new(1.0, 0.0, 0.0),
-            1,
-        );
+        let mut des =
+            DesEngine::new(Cluster::homogeneous(1, 1.0), ExecutionModel::new(1.0, 0.0, 0.0), 1);
         for _ in 0..3 {
             des.submit(TaskSpec::new(JobId::new(0), 0.0));
         }
@@ -616,6 +1016,19 @@ mod eviction_tests {
         assert!(report.makespan >= 1.5 - 1e-9, "makespan {}", report.makespan);
         // Latency is measured from the original submission.
         assert!((report.completed[0].submitted_at - 0.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eviction_preserves_task_identity() {
+        let mut des = engine(1);
+        let id = des.submit(TaskSpec::new(JobId::new(0), 100.0));
+        des.schedule_eviction(0.5);
+        des.set_num_workers(2);
+        let report = des.run_to_completion();
+        assert_eq!(report.completed[0].task, id, "requeue keeps the original id");
+        // The interrupted attempt is accounted as a crash failure.
+        assert_eq!(report.faults.crash_failures, 1);
+        assert!(report.faults.reconciles(), "{}", report.faults);
     }
 
     #[test]
@@ -760,16 +1173,253 @@ mod churn_tests {
 }
 
 #[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn engine(workers: usize) -> DesEngine {
+        DesEngine::new(
+            Cluster::homogeneous(workers.max(1), 1.0),
+            ExecutionModel::new(0.0, 0.01, 0.01),
+            workers,
+        )
+    }
+
+    #[test]
+    fn transient_faults_are_retried_to_completion() {
+        let mut des = engine(2);
+        des.set_fault_plan(FaultPlan::new(11).with_transient_rate(0.3));
+        for i in 0..30 {
+            des.submit(TaskSpec::new(JobId::new(i % 3), 100.0));
+        }
+        let report = des.run_to_completion();
+        assert_eq!(report.completed.len(), 30, "faulted tasks are retried, not lost");
+        let stats = report.faults;
+        assert!(stats.transient_failures > 0, "the plan injected faults: {stats}");
+        assert!(stats.reconciles(), "{stats}");
+        assert!(stats.wasted_time > 0.0);
+        assert_eq!(stats.successes, 30);
+        assert!(des.retries() >= stats.transient_failures);
+    }
+
+    #[test]
+    fn backoff_delays_the_retry() {
+        let mut des = engine(1);
+        // Rate 1 on attempt 0 only is impossible to express directly, so
+        // use a plan where the first task faults (seed chosen by search
+        // is fragile — instead assert the general property: any faulted
+        // run's completions all land after the pure-compute makespan).
+        des.set_fault_plan(FaultPlan::new(5).with_transient_rate(0.5));
+        des.set_retry_policy(RetryPolicy {
+            backoff_base: 0.5,
+            jitter: 0.0,
+            ..RetryPolicy::default()
+        });
+        for _ in 0..10 {
+            des.submit(TaskSpec::new(JobId::new(0), 100.0)); // 1s each
+        }
+        let report = des.run_to_completion();
+        assert_eq!(report.completed.len(), 10);
+        let faults = report.faults.transient_failures;
+        assert!(faults > 0, "rate 0.5 over 10 tasks must fault: {}", report.faults);
+        // Each fault burns fail_point × 1s of worker time; on a single
+        // worker that waste is serial, so it adds straight to the
+        // makespan. (Backoff delays only the faulted task — the worker
+        // runs other tasks meanwhile — so it is not additive here.)
+        let wasted = report.faults.wasted_time;
+        assert!((wasted - 0.5 * faults as f64).abs() < 1e-9, "wasted {wasted} for {faults} faults");
+        assert!(
+            report.makespan > 10.0 + wasted - 1e-9,
+            "makespan {} with {} faults",
+            report.makespan,
+            faults
+        );
+    }
+
+    #[test]
+    fn certain_faults_exhaust_the_retry_budget() {
+        let mut des = engine(2);
+        des.set_fault_plan(FaultPlan::new(3).with_transient_rate(1.0));
+        des.set_retry_policy(RetryPolicy { max_attempts: 3, ..RetryPolicy::default() });
+        for _ in 0..5 {
+            des.submit(TaskSpec::new(JobId::new(0), 100.0));
+        }
+        let report = des.run_to_completion();
+        assert!(report.completed.is_empty(), "every attempt faults");
+        assert_eq!(des.failed().len(), 5, "all tasks reported failed");
+        let stats = report.faults;
+        assert_eq!(stats.exhausted_tasks, 5);
+        assert_eq!(stats.attempts, 15, "exactly max_attempts per task");
+        assert!(stats.reconciles(), "{stats}");
+        for f in des.failed() {
+            assert_eq!(f.attempts, 3);
+            assert!(f.error.contains("exhausted"));
+        }
+    }
+
+    #[test]
+    fn worker_crashes_respawn_and_the_work_survives() {
+        let mut des = engine(3);
+        des.set_fault_plan(FaultPlan::new(9).with_crash_rate(0.2).with_restart_delay(0.5));
+        for i in 0..24 {
+            des.submit(TaskSpec::new(JobId::new(i % 2), 100.0));
+        }
+        let report = des.run_to_completion();
+        assert_eq!(report.completed.len(), 24, "crashes never lose tasks");
+        let stats = report.faults;
+        assert!(stats.crash_failures > 0, "the plan injected crashes: {stats}");
+        assert!(stats.reconciles(), "{stats}");
+        // Respawns kept the pool alive.
+        assert!(des.num_workers() >= 1);
+        let respawns =
+            des.events().iter().filter(|e| matches!(e, DesEvent::WorkerRespawned { .. })).count()
+                as u64;
+        assert_eq!(respawns, stats.crash_failures, "one respawn per crash");
+    }
+
+    #[test]
+    fn fast_abort_rescues_stragglers() {
+        let run = |mitigate: bool| {
+            let mut des = engine(4);
+            des.set_fault_plan(FaultPlan::new(17).with_stragglers(0.15, 20.0));
+            if mitigate {
+                des.set_fast_abort(FastAbort {
+                    multiplier: 3.0,
+                    min_samples: 4,
+                    max_speculations: 2,
+                });
+            }
+            for i in 0..40 {
+                des.submit(TaskSpec::new(JobId::new(i % 4), 100.0));
+            }
+            des.run_to_completion()
+        };
+        let plain = run(false);
+        let mitigated = run(true);
+        assert_eq!(plain.completed.len(), 40);
+        assert_eq!(mitigated.completed.len(), 40);
+        assert!(mitigated.faults.straggler_aborts > 0, "{}", mitigated.faults);
+        assert!(mitigated.faults.reconciles(), "{}", mitigated.faults);
+        assert!(
+            mitigated.makespan < plain.makespan,
+            "fast-abort should beat stragglers: {} vs {}",
+            mitigated.makespan,
+            plain.makespan
+        );
+    }
+
+    #[test]
+    fn quarantine_blacklists_flaky_workers() {
+        let mut des = engine(4);
+        des.set_fault_plan(FaultPlan::new(23).with_transient_rate(0.4));
+        des.set_retry_policy(RetryPolicy {
+            quarantine_threshold: 2,
+            max_attempts: 50,
+            ..RetryPolicy::default()
+        });
+        for i in 0..40 {
+            des.submit(TaskSpec::new(JobId::new(i % 2), 100.0));
+        }
+        let report = des.run_to_completion();
+        assert_eq!(report.completed.len(), 40);
+        assert!(report.faults.quarantined_workers > 0, "{}", report.faults);
+        assert!(des.num_workers() >= 1, "never quarantines the last worker");
+        assert!(report.faults.reconciles(), "{}", report.faults);
+    }
+
+    #[test]
+    fn fault_runs_replay_byte_for_byte() {
+        let run = || {
+            let mut des = engine(3);
+            des.set_fault_plan(
+                FaultPlan::new(77)
+                    .with_transient_rate(0.15)
+                    .with_crash_rate(0.05)
+                    .with_stragglers(0.05, 10.0),
+            );
+            des.set_fast_abort(FastAbort::default());
+            des.schedule_eviction(2.0);
+            for i in 0..25 {
+                des.submit(TaskSpec::new(JobId::new(i % 3), 120.0));
+            }
+            let report = des.run_to_completion();
+            (format!("{:?}", des.events()), format!("{report:?}"), des.retries())
+        };
+        let (events_a, report_a, retries_a) = run();
+        let (events_b, report_b, retries_b) = run();
+        assert_eq!(events_a, events_b, "event logs must be identical");
+        assert_eq!(report_a, report_b, "reports must be identical");
+        assert_eq!(retries_a, retries_b);
+    }
+
+    #[test]
+    fn pending_includes_backoff_queue() {
+        let mut des = engine(1);
+        des.set_fault_plan(FaultPlan::new(5).with_transient_rate(1.0));
+        des.set_retry_policy(RetryPolicy {
+            max_attempts: 10,
+            backoff_base: 100.0,
+            backoff_cap: 100.0,
+            jitter: 0.0,
+            ..RetryPolicy::default()
+        });
+        des.submit(TaskSpec::new(JobId::new(0), 100.0));
+        // Step to the first fault: the task sits in the backoff queue.
+        des.run_until(1.0);
+        assert_eq!(des.pending(), 1, "backing-off task still counts as pending");
+        assert_eq!(des.pending_of(JobId::new(0)), 1);
+        assert_eq!(des.running(), 0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        /// Under arbitrary seeded fault mixes, the books always balance
+        /// and no task is both completed and failed (exactly-once).
+        #[test]
+        fn accounting_reconciles_under_arbitrary_fault_mixes(
+            seed in 0u64..1000,
+            transient in 0.0f64..0.3,
+            crash in 0.0f64..0.1,
+            straggler in 0.0f64..0.1,
+            tasks in 1usize..20,
+            workers in 1usize..5,
+        ) {
+            let mut des = engine(workers);
+            des.set_fault_plan(
+                FaultPlan::new(seed)
+                    .with_transient_rate(transient)
+                    .with_crash_rate(crash)
+                    .with_stragglers(straggler, 10.0),
+            );
+            des.set_fast_abort(FastAbort::default());
+            for i in 0..tasks {
+                des.submit(TaskSpec::new(JobId::new(i as u32 % 3), 100.0));
+            }
+            let report = des.run_to_completion();
+            let stats = report.faults;
+            prop_assert!(stats.reconciles(), "{}", stats);
+            prop_assert_eq!(
+                report.completed.len() + des.failed().len(),
+                tasks,
+                "every task completes or is reported failed"
+            );
+            let mut ids: Vec<_> = report.completed.iter().map(|c| c.task).collect();
+            ids.extend(des.failed().iter().map(|f| f.task));
+            ids.sort();
+            ids.dedup();
+            prop_assert_eq!(ids.len(), tasks, "exactly-once outcome per task");
+        }
+    }
+}
+
+#[cfg(test)]
 mod event_log_tests {
     use super::*;
 
     #[test]
     fn starts_precede_completions_per_task() {
-        let mut des = DesEngine::new(
-            Cluster::homogeneous(2, 1.0),
-            ExecutionModel::new(0.0, 0.01, 0.01),
-            2,
-        );
+        let mut des =
+            DesEngine::new(Cluster::homogeneous(2, 1.0), ExecutionModel::new(0.0, 0.01, 0.01), 2);
         for _ in 0..6 {
             des.submit(TaskSpec::new(JobId::new(0), 100.0));
         }
@@ -785,7 +1435,7 @@ mod event_log_tests {
                     assert!(started.contains(&task), "completion before start for {task}");
                     completed += 1;
                 }
-                DesEvent::WorkerEvicted { .. } => {}
+                _ => {}
             }
         }
         assert_eq!(completed, 6);
@@ -793,19 +1443,13 @@ mod event_log_tests {
 
     #[test]
     fn evictions_appear_in_the_log() {
-        let mut des = DesEngine::new(
-            Cluster::homogeneous(2, 1.0),
-            ExecutionModel::new(0.0, 0.01, 0.01),
-            2,
-        );
+        let mut des =
+            DesEngine::new(Cluster::homogeneous(2, 1.0), ExecutionModel::new(0.0, 0.01, 0.01), 2);
         des.submit(TaskSpec::new(JobId::new(0), 1_000.0));
         des.schedule_eviction(1.0);
         let _ = des.run_to_completion();
-        let evictions: Vec<&DesEvent> = des
-            .events()
-            .iter()
-            .filter(|e| matches!(e, DesEvent::WorkerEvicted { .. }))
-            .collect();
+        let evictions: Vec<&DesEvent> =
+            des.events().iter().filter(|e| matches!(e, DesEvent::WorkerEvicted { .. })).collect();
         assert_eq!(evictions.len(), 1);
         if let DesEvent::WorkerEvicted { interrupted, at, .. } = evictions[0] {
             assert!(interrupted.is_some(), "busy worker was interrupted");
@@ -815,11 +1459,7 @@ mod event_log_tests {
 
     #[test]
     fn event_times_are_monotone() {
-        let mut des = DesEngine::new(
-            Cluster::homogeneous(3, 1.0),
-            ExecutionModel::default(),
-            3,
-        );
+        let mut des = DesEngine::new(Cluster::homogeneous(3, 1.0), ExecutionModel::default(), 3);
         for i in 0..9 {
             des.submit(TaskSpec::new(JobId::new(i % 2), 50.0 * f64::from(i + 1)));
         }
@@ -830,9 +1470,34 @@ mod event_log_tests {
             .map(|e| match *e {
                 DesEvent::TaskStarted { at, .. }
                 | DesEvent::TaskCompleted { at, .. }
-                | DesEvent::WorkerEvicted { at, .. } => at,
+                | DesEvent::TaskFailed { at, .. }
+                | DesEvent::TaskExhausted { at, .. }
+                | DesEvent::WorkerEvicted { at, .. }
+                | DesEvent::WorkerCrashed { at, .. }
+                | DesEvent::WorkerRespawned { at, .. }
+                | DesEvent::WorkerQuarantined { at, .. } => at,
             })
             .collect();
         assert!(times.windows(2).all(|w| w[0] <= w[1] + 1e-9), "{times:?}");
+    }
+
+    #[test]
+    fn fault_events_carry_attempt_numbers() {
+        let mut des =
+            DesEngine::new(Cluster::homogeneous(2, 1.0), ExecutionModel::new(0.0, 0.01, 0.01), 2);
+        des.set_fault_plan(FaultPlan::new(13).with_transient_rate(0.5));
+        for _ in 0..10 {
+            des.submit(TaskSpec::new(JobId::new(0), 100.0));
+        }
+        let _ = des.run_to_completion();
+        let mut seen_fault = false;
+        for e in des.events() {
+            if let DesEvent::TaskFailed { kind, attempt, .. } = *e {
+                seen_fault = true;
+                assert_eq!(kind, FaultKind::Transient);
+                assert!(attempt < RetryPolicy::default().max_attempts);
+            }
+        }
+        assert!(seen_fault, "rate 0.5 over 10 tasks should fault somewhere");
     }
 }

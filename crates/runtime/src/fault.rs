@@ -1,0 +1,608 @@
+//! The unified fault model shared by both execution backends.
+//!
+//! The paper's substrate is opportunistic HTCondor desktops ("typically
+//! idle 90% of the day", §IV-A1): preemption, stragglers and flaky
+//! workers are the *normal* operating regime, not an edge case. This
+//! module centralizes how those failure modes are described, injected and
+//! survived:
+//!
+//! - [`FaultKind`] — the three fault classes: transient task failure,
+//!   worker crash/eviction, and straggler slowdown;
+//! - [`FaultPlan`] — a seeded, deterministic fault schedule: every
+//!   `(task, attempt)` pair hashes to the same injection decision on
+//!   every run, so experiments with faults stay byte-for-byte
+//!   reproducible;
+//! - [`RetryPolicy`] — per-task attempt caps with exponential backoff and
+//!   deterministic jitter, plus worker quarantine thresholds;
+//! - [`FastAbort`] — Work Queue–style straggler mitigation: re-queue
+//!   attempts running beyond `k×` the running mean task time;
+//! - [`FaultStats`] — failed-attempt accounting that reconciles exactly:
+//!   `attempts = successes + failures + aborts`.
+//!
+//! Both the discrete-event backend ([`crate::DesEngine`]) and the
+//! OS-thread backend ([`crate::ThreadedEngine`]) consume these types, so
+//! a fault schedule exercised in simulation describes the same workload
+//! on real threads.
+
+use crate::{JobId, TaskId};
+
+/// SplitMix64: a tiny, high-quality mixing function. Used to derive every
+/// fault decision and jitter value from `(seed, task, attempt)` so the
+/// schedule is a pure function of its inputs — independent of thread
+/// interleaving or event order.
+#[must_use]
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Maps a hash to a unit-interval float in `[0, 1)`.
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// The failure modes a task attempt can suffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// The attempt fails partway through (bad input shard, OOM kill,
+    /// flaky filesystem): the task survives and is retried.
+    Transient,
+    /// The executing worker dies mid-attempt (HTCondor preemption, node
+    /// crash): the task is re-queued and the worker is lost (and, in the
+    /// DES, respawns after a restart delay).
+    WorkerCrash,
+    /// The attempt runs far slower than nominal (overloaded desktop,
+    /// thermal throttling): the attempt eventually finishes unless
+    /// fast-abort kills it first.
+    Straggler,
+}
+
+impl std::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Transient => write!(f, "transient"),
+            Self::WorkerCrash => write!(f, "worker-crash"),
+            Self::Straggler => write!(f, "straggler"),
+        }
+    }
+}
+
+/// A deterministic, seeded fault schedule.
+///
+/// Every `(task, attempt)` pair is hashed against the seed to decide
+/// whether — and how — that attempt faults. Two runs with the same plan
+/// and workload make identical decisions, regardless of worker count or
+/// scheduling order, which keeps fault experiments reproducible.
+///
+/// # Examples
+///
+/// ```
+/// use sstd_runtime::{FaultPlan, TaskId};
+///
+/// let plan = FaultPlan::new(42).with_transient_rate(0.2);
+/// // The decision for a given attempt never changes between calls.
+/// assert_eq!(plan.decide(TaskId::new(3), 0), plan.decide(TaskId::new(3), 0));
+/// // About 20% of attempts fault.
+/// let faults = (0..1000u32)
+///     .filter(|&i| plan.decide(TaskId::new(i), 0).is_some())
+///     .count();
+/// assert!((150..=250).contains(&faults), "got {faults}");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    transient_rate: f64,
+    crash_rate: f64,
+    straggler_rate: f64,
+    straggler_slowdown: f64,
+    fail_point: f64,
+    worker_restart_delay: f64,
+}
+
+impl FaultPlan {
+    /// Creates a plan with the given seed and all fault rates at zero.
+    #[must_use]
+    pub const fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            transient_rate: 0.0,
+            crash_rate: 0.0,
+            straggler_rate: 0.0,
+            straggler_slowdown: 8.0,
+            fail_point: 0.5,
+            worker_restart_delay: 1.0,
+        }
+    }
+
+    /// Sets the per-attempt transient failure probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the combined fault rates stay within `[0, 1]`.
+    #[must_use]
+    pub fn with_transient_rate(mut self, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "rate must be in [0, 1]");
+        self.transient_rate = rate;
+        self.validate();
+        self
+    }
+
+    /// Sets the per-attempt worker crash probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the combined fault rates stay within `[0, 1]`.
+    #[must_use]
+    pub fn with_crash_rate(mut self, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "rate must be in [0, 1]");
+        self.crash_rate = rate;
+        self.validate();
+        self
+    }
+
+    /// Sets the per-attempt straggler probability and the slowdown factor
+    /// applied to afflicted attempts.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `slowdown >= 1` and the combined rates stay within
+    /// `[0, 1]`.
+    #[must_use]
+    pub fn with_stragglers(mut self, rate: f64, slowdown: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "rate must be in [0, 1]");
+        assert!(slowdown.is_finite() && slowdown >= 1.0, "slowdown must be at least 1");
+        self.straggler_rate = rate;
+        self.straggler_slowdown = slowdown;
+        self.validate();
+        self
+    }
+
+    /// Sets the fraction of an attempt's nominal duration at which a
+    /// transient fault manifests (DES; default `0.5`).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `point` is in `(0, 1)`.
+    #[must_use]
+    pub fn with_fail_point(mut self, point: f64) -> Self {
+        assert!(point > 0.0 && point < 1.0, "fail point must be in (0, 1)");
+        self.fail_point = point;
+        self
+    }
+
+    /// Sets the virtual delay before a crashed worker rejoins the pool
+    /// (DES; default `1.0`). The HTCondor analogue: an evicted slot comes
+    /// back once its owner goes idle again.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `delay` is finite and non-negative.
+    #[must_use]
+    pub fn with_restart_delay(mut self, delay: f64) -> Self {
+        assert!(delay.is_finite() && delay >= 0.0, "restart delay must be non-negative");
+        self.worker_restart_delay = delay;
+        self
+    }
+
+    fn validate(&self) {
+        let total = self.transient_rate + self.crash_rate + self.straggler_rate;
+        assert!(total <= 1.0 + 1e-12, "combined fault rates must not exceed 1");
+    }
+
+    /// The plan's seed.
+    #[must_use]
+    pub const fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Slowdown factor applied to straggler attempts.
+    #[must_use]
+    pub const fn straggler_slowdown(&self) -> f64 {
+        self.straggler_slowdown
+    }
+
+    /// Fraction of the nominal duration at which transient faults fire.
+    #[must_use]
+    pub const fn fail_point(&self) -> f64 {
+        self.fail_point
+    }
+
+    /// Virtual delay before a crashed worker respawns.
+    #[must_use]
+    pub const fn worker_restart_delay(&self) -> f64 {
+        self.worker_restart_delay
+    }
+
+    /// The injection decision for one attempt of one task — a pure
+    /// function of `(seed, task, attempt)`.
+    #[must_use]
+    pub fn decide(&self, task: TaskId, attempt: u32) -> Option<FaultKind> {
+        let total = self.transient_rate + self.crash_rate + self.straggler_rate;
+        if total <= 0.0 {
+            return None;
+        }
+        let h = splitmix64(
+            self.seed
+                ^ (task.index() as u64).wrapping_mul(0xA076_1D64_78BD_642F)
+                ^ u64::from(attempt).wrapping_mul(0xE703_7ED1_A0B4_28DB),
+        );
+        let u = unit(h);
+        if u < self.transient_rate {
+            Some(FaultKind::Transient)
+        } else if u < self.transient_rate + self.crash_rate {
+            Some(FaultKind::WorkerCrash)
+        } else if u < total {
+            Some(FaultKind::Straggler)
+        } else {
+            None
+        }
+    }
+}
+
+/// Retry semantics for faulted task attempts.
+///
+/// Transient failures are retried with exponential backoff (plus a
+/// deterministic jitter so synchronized failures do not re-collide) up to
+/// `max_attempts` total attempts; a task that exhausts its attempts is
+/// recorded as failed rather than retried forever. Worker-crash re-queues
+/// do not count against the cap — losing a machine is not the task's
+/// fault — but are still bounded (at `50 × max_attempts`) so a
+/// pathological schedule cannot loop unboundedly.
+///
+/// # Examples
+///
+/// ```
+/// use sstd_runtime::RetryPolicy;
+///
+/// let p = RetryPolicy::default();
+/// // Backoff grows geometrically with the attempt number.
+/// assert!(p.backoff(2, 7) > p.backoff(1, 7));
+/// // Jitter is deterministic: same inputs, same delay.
+/// assert_eq!(p.backoff(1, 7), p.backoff(1, 7));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Maximum total attempts per task (first run included).
+    pub max_attempts: u32,
+    /// Base backoff delay before the first retry (virtual seconds in the
+    /// DES; real seconds in the threaded backend).
+    pub backoff_base: f64,
+    /// Multiplier applied per additional attempt.
+    pub backoff_multiplier: f64,
+    /// Upper bound on any single backoff delay.
+    pub backoff_cap: f64,
+    /// Jitter fraction in `[0, 1]`: each delay is scaled by a
+    /// deterministic factor in `[1, 1 + jitter]`.
+    pub jitter: f64,
+    /// Faults tolerated on one worker before it is quarantined
+    /// (blacklisted); `0` disables quarantine.
+    pub quarantine_threshold: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 5,
+            backoff_base: 0.05,
+            backoff_multiplier: 2.0,
+            backoff_cap: 2.0,
+            jitter: 0.2,
+            quarantine_threshold: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries: every fault is terminal.
+    #[must_use]
+    pub fn no_retries() -> Self {
+        Self { max_attempts: 1, ..Self::default() }
+    }
+
+    /// Validates the policy's invariants.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `max_attempts >= 1`, delays are finite and
+    /// non-negative, `backoff_multiplier >= 1` and `jitter ∈ [0, 1]`.
+    pub fn validate(&self) {
+        assert!(self.max_attempts >= 1, "need at least one attempt");
+        assert!(
+            self.backoff_base.is_finite() && self.backoff_base >= 0.0,
+            "backoff base must be non-negative"
+        );
+        assert!(
+            self.backoff_multiplier.is_finite() && self.backoff_multiplier >= 1.0,
+            "backoff multiplier must be at least 1"
+        );
+        assert!(
+            self.backoff_cap.is_finite() && self.backoff_cap >= 0.0,
+            "backoff cap must be non-negative"
+        );
+        assert!((0.0..=1.0).contains(&self.jitter), "jitter must be in [0, 1]");
+    }
+
+    /// The backoff delay before retry number `attempt` (1-based: the
+    /// first retry passes `1`), jittered deterministically by `salt`.
+    #[must_use]
+    pub fn backoff(&self, attempt: u32, salt: u64) -> f64 {
+        let exp = attempt.saturating_sub(1).min(32);
+        let raw = self.backoff_base * self.backoff_multiplier.powi(exp as i32);
+        let capped = raw.min(self.backoff_cap);
+        let h = splitmix64(salt ^ u64::from(attempt).wrapping_mul(0x2545_F491_4F6C_DD1D));
+        capped * (1.0 + self.jitter * unit(h))
+    }
+
+    /// The hard ceiling on total attempts including crash re-queues —
+    /// generous enough never to matter in practice, but it guarantees
+    /// termination under adversarial fault schedules.
+    #[must_use]
+    pub fn hard_attempt_cap(&self) -> u32 {
+        self.max_attempts.saturating_mul(50).max(50)
+    }
+}
+
+/// Straggler mitigation in the Work Queue fast-abort style: attempts
+/// running beyond `multiplier ×` the running mean task time are aborted
+/// and re-queued (DES) or speculatively duplicated (threaded backend).
+///
+/// Mitigation only engages once `min_samples` completions have warmed the
+/// running mean, and at most `max_speculations` times per task — after
+/// that the attempt runs to completion, so a genuinely long task can
+/// never be aborted forever.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FastAbort {
+    /// Abort attempts running beyond this multiple of the mean task time.
+    pub multiplier: f64,
+    /// Completions required before the mean is trusted.
+    pub min_samples: u64,
+    /// Fast-aborts allowed per task before it is left to run.
+    pub max_speculations: u32,
+}
+
+impl Default for FastAbort {
+    fn default() -> Self {
+        Self { multiplier: 3.0, min_samples: 8, max_speculations: 2 }
+    }
+}
+
+impl FastAbort {
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `multiplier > 1` and `min_samples >= 1`.
+    pub fn validate(&self) {
+        assert!(
+            self.multiplier.is_finite() && self.multiplier > 1.0,
+            "fast-abort multiplier must exceed 1"
+        );
+        assert!(self.min_samples >= 1, "need at least one warm-up sample");
+    }
+}
+
+/// Failed-attempt accounting. Every *started* attempt terminates exactly
+/// one way — success, failure (transient fault or worker loss) or abort
+/// (fast-abort / timeout / discarded speculative duplicate) — so the books
+/// always reconcile: `attempts = successes + failures() + aborts()`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FaultStats {
+    /// Task attempts started.
+    pub attempts: u64,
+    /// Attempts that completed and were recorded.
+    pub successes: u64,
+    /// Attempts that suffered a transient failure (injected or a caught
+    /// panic in the threaded backend).
+    pub transient_failures: u64,
+    /// Attempts lost to a worker crash or eviction.
+    pub crash_failures: u64,
+    /// Attempts killed by straggler fast-abort (or completed after their
+    /// task was already done — wasted speculative work).
+    pub straggler_aborts: u64,
+    /// Attempts abandoned after exceeding the wall-clock timeout
+    /// (threaded backend).
+    pub timeout_aborts: u64,
+    /// Panics caught in the threaded backend (a subset of
+    /// `transient_failures`).
+    pub panics: u64,
+    /// Tasks dropped after exhausting their retry budget.
+    pub exhausted_tasks: u64,
+    /// Workers quarantined after repeated faults.
+    pub quarantined_workers: u64,
+    /// Total time burned in failed or aborted attempts (virtual seconds
+    /// in the DES; real seconds in the threaded backend).
+    pub wasted_time: f64,
+}
+
+impl FaultStats {
+    /// Attempts that ended in a failure (transient or worker loss).
+    #[must_use]
+    pub const fn failures(&self) -> u64 {
+        self.transient_failures + self.crash_failures
+    }
+
+    /// Attempts that ended in an abort (straggler kill, timeout, or a
+    /// discarded speculative duplicate).
+    #[must_use]
+    pub const fn aborts(&self) -> u64 {
+        self.straggler_aborts + self.timeout_aborts
+    }
+
+    /// Whether the books balance: every started attempt is accounted for
+    /// as exactly one of success, failure or abort.
+    #[must_use]
+    pub const fn reconciles(&self) -> bool {
+        self.attempts == self.successes + self.failures() + self.aborts()
+    }
+
+    /// Fraction of attempts lost to faults (`0` with no attempts) — the
+    /// lost-capacity signal the DTM feeds into its WCET predictions.
+    #[must_use]
+    pub fn fault_ratio(&self) -> f64 {
+        if self.attempts == 0 {
+            return 0.0;
+        }
+        (self.failures() + self.aborts()) as f64 / self.attempts as f64
+    }
+}
+
+impl std::fmt::Display for FaultStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "attempts={} ok={} fail={} abort={} exhausted={} quarantined={} wasted={:.3}",
+            self.attempts,
+            self.successes,
+            self.failures(),
+            self.aborts(),
+            self.exhausted_tasks,
+            self.quarantined_workers,
+            self.wasted_time
+        )
+    }
+}
+
+/// A task that exhausted its retry budget.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FailedTask {
+    /// The task's identity.
+    pub task: TaskId,
+    /// Its owning job.
+    pub job: JobId,
+    /// Attempts consumed before giving up.
+    pub attempts: u32,
+    /// Human-readable cause of the final failure.
+    pub error: String,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_deterministic_and_rate_accurate() {
+        let plan = FaultPlan::new(7)
+            .with_transient_rate(0.1)
+            .with_crash_rate(0.05)
+            .with_stragglers(0.05, 10.0);
+        let mut counts = [0usize; 4];
+        for i in 0..10_000u32 {
+            let d = plan.decide(TaskId::new(i), 0);
+            assert_eq!(d, plan.decide(TaskId::new(i), 0), "decision must be stable");
+            match d {
+                Some(FaultKind::Transient) => counts[0] += 1,
+                Some(FaultKind::WorkerCrash) => counts[1] += 1,
+                Some(FaultKind::Straggler) => counts[2] += 1,
+                None => counts[3] += 1,
+            }
+        }
+        assert!((800..=1200).contains(&counts[0]), "transient ~10%: {counts:?}");
+        assert!((350..=650).contains(&counts[1]), "crash ~5%: {counts:?}");
+        assert!((350..=650).contains(&counts[2]), "straggler ~5%: {counts:?}");
+    }
+
+    #[test]
+    fn attempts_decide_independently() {
+        let plan = FaultPlan::new(3).with_transient_rate(0.5);
+        // Across many tasks, attempt 0 and attempt 1 decisions differ
+        // somewhere (independent hashes).
+        let differs =
+            (0..100u32).any(|i| plan.decide(TaskId::new(i), 0) != plan.decide(TaskId::new(i), 1));
+        assert!(differs);
+    }
+
+    #[test]
+    fn zero_rates_never_fault() {
+        let plan = FaultPlan::new(1);
+        assert!((0..1000u32).all(|i| plan.decide(TaskId::new(i), 0).is_none()));
+    }
+
+    #[test]
+    fn seeds_change_the_schedule() {
+        let a = FaultPlan::new(1).with_transient_rate(0.3);
+        let b = FaultPlan::new(2).with_transient_rate(0.3);
+        let differs =
+            (0..100u32).any(|i| a.decide(TaskId::new(i), 0) != b.decide(TaskId::new(i), 0));
+        assert!(differs);
+    }
+
+    #[test]
+    #[should_panic(expected = "combined fault rates")]
+    fn overfull_rates_rejected() {
+        let _ = FaultPlan::new(0).with_transient_rate(0.7).with_crash_rate(0.5);
+    }
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let p = RetryPolicy {
+            backoff_base: 1.0,
+            backoff_multiplier: 2.0,
+            backoff_cap: 5.0,
+            jitter: 0.0,
+            ..RetryPolicy::default()
+        };
+        assert!((p.backoff(1, 0) - 1.0).abs() < 1e-12);
+        assert!((p.backoff(2, 0) - 2.0).abs() < 1e-12);
+        assert!((p.backoff(3, 0) - 4.0).abs() < 1e-12);
+        assert!((p.backoff(4, 0) - 5.0).abs() < 1e-12, "capped");
+        assert!((p.backoff(30, 0) - 5.0).abs() < 1e-12, "still capped");
+    }
+
+    #[test]
+    fn jitter_is_bounded_and_deterministic() {
+        let p = RetryPolicy { backoff_base: 1.0, jitter: 0.5, ..RetryPolicy::default() };
+        for salt in 0..50u64 {
+            let d = p.backoff(1, salt);
+            assert!((1.0..1.5 + 1e-12).contains(&d), "delay {d}");
+            assert_eq!(d, p.backoff(1, salt));
+        }
+    }
+
+    #[test]
+    fn no_retries_policy_is_single_attempt() {
+        let p = RetryPolicy::no_retries();
+        p.validate();
+        assert_eq!(p.max_attempts, 1);
+        assert!(p.hard_attempt_cap() >= 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one attempt")]
+    fn zero_attempts_rejected() {
+        RetryPolicy { max_attempts: 0, ..RetryPolicy::default() }.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "multiplier must exceed 1")]
+    fn fast_abort_validates_multiplier() {
+        FastAbort { multiplier: 1.0, ..FastAbort::default() }.validate();
+    }
+
+    #[test]
+    fn stats_reconcile() {
+        let mut s = FaultStats::default();
+        assert!(s.reconciles());
+        s.attempts = 10;
+        s.successes = 6;
+        s.transient_failures = 2;
+        s.crash_failures = 1;
+        s.straggler_aborts = 1;
+        assert!(s.reconciles());
+        assert_eq!(s.failures(), 3);
+        assert_eq!(s.aborts(), 1);
+        assert!((s.fault_ratio() - 0.4).abs() < 1e-12);
+        s.attempts = 11;
+        assert!(!s.reconciles());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert!(FaultStats::default().to_string().contains("attempts=0"));
+        assert_eq!(FaultKind::Transient.to_string(), "transient");
+        assert_eq!(FaultKind::WorkerCrash.to_string(), "worker-crash");
+        assert_eq!(FaultKind::Straggler.to_string(), "straggler");
+    }
+}

@@ -19,8 +19,15 @@
 //!   clock. The paper evaluates on a 1,900-machine HTCondor pool; the DES
 //!   reproduces its queueing/scheduling dynamics deterministically on one
 //!   machine (see DESIGN.md §3 for the substitution argument);
-//! - [`ThreadedWorkQueue`] — a real master/worker backend on OS threads,
-//!   proving the same scheduler executes real closures.
+//! - [`ThreadedWorkQueue`] / [`ThreadedEngine`] — real master/worker
+//!   backends on OS threads, proving the same scheduler executes real
+//!   closures (the engine adds retries, timeouts and speculation);
+//! - [`FaultPlan`] / [`RetryPolicy`] / [`FastAbort`] — a unified fault
+//!   model shared by both backends: seeded deterministic injection of
+//!   transient failures, worker crashes and stragglers, retry with
+//!   exponential backoff, quarantine, and fast-abort straggler
+//!   mitigation, with [`FaultStats`] accounting that always reconciles
+//!   (see DESIGN.md "Fault model & recovery").
 //!
 //! # Examples
 //!
@@ -44,6 +51,7 @@
 
 mod cluster;
 mod des;
+mod fault;
 mod ids;
 mod pool;
 mod report;
@@ -54,10 +62,11 @@ mod wcet;
 
 pub use cluster::{Cluster, NodeSpec};
 pub use des::{DesEngine, DesEvent};
+pub use fault::{FailedTask, FastAbort, FaultKind, FaultPlan, FaultStats, RetryPolicy};
 pub use ids::{JobId, TaskId, WorkerId};
 pub use pool::TaskPool;
 pub use report::{CompletedTask, ExecutionReport};
 pub use resources::ResourceVector;
 pub use task::TaskSpec;
-pub use threaded::ThreadedWorkQueue;
+pub use threaded::{ThreadedEngine, ThreadedWorkQueue};
 pub use wcet::ExecutionModel;

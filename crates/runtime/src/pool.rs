@@ -72,10 +72,53 @@ impl TaskPool {
     pub fn submit(&mut self, spec: TaskSpec) -> TaskId {
         let id = TaskId::new(self.next_task);
         self.next_task += 1;
+        let was_idle = self.pending_of(spec.job()) == 0;
         self.queues.entry(spec.job()).or_default().push_back((id, spec));
         self.priorities.entry(spec.job()).or_insert(1.0);
+        if was_idle {
+            self.reactivate(spec.job());
+        }
         self.len += 1;
         id
+    }
+
+    /// Re-queues an interrupted task under its *original* id, at the
+    /// front of its job's queue (it is the oldest work of that job).
+    ///
+    /// Unlike [`submit`](Self::submit), re-queuing never resets or
+    /// re-clamps the job's stride pass downward: the job already consumed
+    /// a scheduling turn for this task when it was first popped, so
+    /// restoring it must not hand the job extra turns that would starve
+    /// other jobs — nor charge it twice.
+    pub fn requeue(&mut self, id: TaskId, spec: TaskSpec) {
+        let was_idle = self.pending_of(spec.job()) == 0;
+        self.queues.entry(spec.job()).or_default().push_front((id, spec));
+        self.priorities.entry(spec.job()).or_insert(1.0);
+        if was_idle {
+            self.reactivate(spec.job());
+        }
+        self.len += 1;
+    }
+
+    /// Stride-scheduling fix-up when a job goes idle → active: clamp its
+    /// pass *up* to the smallest pass among the other active jobs. A job
+    /// returning from idleness (or arriving late) would otherwise carry a
+    /// stale low pass and monopolize the pool until it "caught up",
+    /// starving every incumbent. Passes are never lowered, so a job can
+    /// never gain turns from cycling idle.
+    fn reactivate(&mut self, job: JobId) {
+        let min_active = self
+            .queues
+            .iter()
+            .filter(|(j, q)| **j != job && !q.is_empty())
+            .map(|(j, _)| self.passes.get(j).copied().unwrap_or(0.0))
+            .fold(f64::INFINITY, f64::min);
+        if min_active.is_finite() {
+            let pass = self.passes.entry(job).or_insert(0.0);
+            if *pass < min_active {
+                *pass = min_active;
+            }
+        }
     }
 
     /// Sets a job's scheduling priority (the Local Control Knob).
@@ -98,12 +141,8 @@ impl TaskPool {
     /// tasks (the quantity in the paper's WCET formula).
     #[must_use]
     pub fn priority_share(&self, job: JobId) -> f64 {
-        let total: f64 = self
-            .queues
-            .iter()
-            .filter(|(_, q)| !q.is_empty())
-            .map(|(j, _)| self.priority(*j))
-            .sum();
+        let total: f64 =
+            self.queues.iter().filter(|(_, q)| !q.is_empty()).map(|(j, _)| self.priority(*j)).sum();
         if total <= 0.0 {
             return 0.0;
         }
@@ -118,16 +157,13 @@ impl TaskPool {
     pub fn pop(&mut self) -> Option<(TaskId, TaskSpec)> {
         // Pick the non-empty job with the smallest pass value;
         // ties break toward the smaller job id (BTreeMap order).
-        let job = self
-            .queues
-            .iter()
-            .filter(|(_, q)| !q.is_empty())
-            .map(|(&j, _)| j)
-            .min_by(|&a, &b| {
+        let job = self.queues.iter().filter(|(_, q)| !q.is_empty()).map(|(&j, _)| j).min_by(
+            |&a, &b| {
                 let pa = self.passes.get(&a).copied().unwrap_or(0.0);
                 let pb = self.passes.get(&b).copied().unwrap_or(0.0);
                 pa.partial_cmp(&pb).unwrap().then(a.cmp(&b))
-            })?;
+            },
+        )?;
         let entry = self.queues.get_mut(&job)?.pop_front()?;
         *self.passes.entry(job).or_insert(0.0) += 1.0 / self.priority(job);
         self.len -= 1;
@@ -161,9 +197,8 @@ mod tests {
         let mut pool = TaskPool::new();
         fill(&mut pool, 0, 2);
         fill(&mut pool, 1, 2);
-        let order: Vec<usize> = std::iter::from_fn(|| pool.pop())
-            .map(|(_, t)| t.job().index())
-            .collect();
+        let order: Vec<usize> =
+            std::iter::from_fn(|| pool.pop()).map(|(_, t)| t.job().index()).collect();
         assert_eq!(order, vec![0, 1, 0, 1]);
     }
 
@@ -173,9 +208,7 @@ mod tests {
         fill(&mut pool, 0, 30);
         fill(&mut pool, 1, 30);
         pool.set_priority(JobId::new(0), 3.0);
-        let first_20: Vec<usize> = (0..20)
-            .map(|_| pool.pop().unwrap().1.job().index())
-            .collect();
+        let first_20: Vec<usize> = (0..20).map(|_| pool.pop().unwrap().1.job().index()).collect();
         let job0_count = first_20.iter().filter(|&&j| j == 0).count();
         assert!(
             (14..=16).contains(&job0_count),
@@ -213,6 +246,67 @@ mod tests {
         pool.set_priority(JobId::new(0), 0.0);
     }
 
+    #[test]
+    fn requeue_restores_task_under_original_id() {
+        let mut pool = TaskPool::new();
+        let a = pool.submit(TaskSpec::new(JobId::new(0), 1.0));
+        let b = pool.submit(TaskSpec::new(JobId::new(0), 2.0));
+        let (id, spec) = pool.pop().unwrap();
+        assert_eq!(id, a);
+        pool.requeue(id, spec);
+        // The re-queued task comes back first (it is the oldest), with
+        // the same id.
+        assert_eq!(pool.pop().unwrap().0, a);
+        assert_eq!(pool.pop().unwrap().0, b);
+    }
+
+    #[test]
+    fn requeue_does_not_reset_stride_pass() {
+        // Job 0 and job 1 interleave; an evict-requeue of job 0's task
+        // must not grant job 0 extra turns (pass is retained, the requeue
+        // costs a fresh pop like any task).
+        let mut pool = TaskPool::new();
+        fill(&mut pool, 0, 4);
+        fill(&mut pool, 1, 4);
+        let (id, spec) = pool.pop().unwrap(); // job 0, pass -> 1.0
+        assert_eq!(spec.job(), JobId::new(0));
+        pool.requeue(id, spec);
+        // Next pop is job 1 (pass 0.0 < job 0's 1.0): the requeue did not
+        // reset job 0's pass and let it starve job 1.
+        assert_eq!(pool.pop().unwrap().1.job(), JobId::new(1));
+        // ...and then job 0's re-queued task (original id) resumes.
+        assert_eq!(pool.pop().unwrap().0, id);
+    }
+
+    #[test]
+    fn late_job_cannot_monopolize_after_incumbents_advance() {
+        let mut pool = TaskPool::new();
+        fill(&mut pool, 0, 10);
+        for _ in 0..8 {
+            let _ = pool.pop(); // job 0's pass advances to 8.0
+        }
+        fill(&mut pool, 1, 4); // late arrival: clamped to job 0's pass
+        let next4: Vec<usize> = (0..4).map(|_| pool.pop().unwrap().1.job().index()).collect();
+        // Without the clamp job 1 would win all four pops (pass 0 vs 8);
+        // with it, the jobs interleave fairly from here on.
+        assert_eq!(next4.iter().filter(|&&j| j == 1).count(), 2, "order: {next4:?}");
+    }
+
+    #[test]
+    fn reactivated_job_resumes_fairly() {
+        let mut pool = TaskPool::new();
+        fill(&mut pool, 0, 1);
+        fill(&mut pool, 1, 6);
+        let _ = pool.pop(); // job 0 (tie toward lower id), pass -> 1
+        let _ = pool.pop(); // job 1, pass -> 1
+        let _ = pool.pop(); // job 1 (only active), pass -> 2
+                            // Job 0 returns after idling; its pass (1) is clamped up to job
+                            // 1's (2), so it does not owe-collect the turns it sat out.
+        fill(&mut pool, 0, 4);
+        let next2: Vec<usize> = (0..2).map(|_| pool.pop().unwrap().1.job().index()).collect();
+        assert!(next2.contains(&0) && next2.contains(&1), "interleave: {next2:?}");
+    }
+
     proptest! {
         #[test]
         fn pops_exactly_what_was_submitted(
@@ -229,6 +323,68 @@ mod tests {
                 popped += 1;
             }
             prop_assert_eq!(popped, total);
+        }
+
+        /// Stride scheduling stays priority-proportional under arbitrary
+        /// interleavings of pops and evict-requeues: requeues restore
+        /// work without granting or charging extra scheduling turns, so
+        /// pop counts track shares with the classic ±1-per-job stride
+        /// error bound.
+        #[test]
+        fn stride_stays_proportional_under_requeue_interleavings(
+            prio in 1.0f64..8.0,
+            ops in prop::collection::vec(any::<bool>(), 20..150),
+        ) {
+            let mut pool = TaskPool::new();
+            fill(&mut pool, 0, 400);
+            fill(&mut pool, 1, 400);
+            pool.set_priority(JobId::new(0), prio);
+            let mut last_popped: Option<(TaskId, TaskSpec)> = None;
+            let mut pops = [0usize; 2];
+            for &do_pop in &ops {
+                if do_pop || last_popped.is_none() {
+                    let entry = pool.pop().unwrap();
+                    pops[entry.1.job().index()] += 1;
+                    last_popped = Some(entry);
+                } else if let Some((id, spec)) = last_popped.take() {
+                    pool.requeue(id, spec); // evict: the attempt was lost
+                }
+            }
+            let total = (pops[0] + pops[1]) as f64;
+            let expected0 = total * prio / (prio + 1.0);
+            prop_assert!(
+                (pops[0] as f64 - expected0).abs() <= 2.0,
+                "prio {prio}: job0 popped {} of {}, expected ~{expected0}",
+                pops[0], total
+            );
+        }
+
+        /// The same operation sequence always yields the same pop order —
+        /// the scheduler is deterministic (no randomness, stable ties).
+        #[test]
+        fn pop_order_is_deterministic(
+            counts in prop::collection::vec(1usize..8, 2..5),
+            requeue_mask in prop::collection::vec(any::<bool>(), 0..20),
+        ) {
+            let run = || {
+                let mut pool = TaskPool::new();
+                for (j, &n) in counts.iter().enumerate() {
+                    fill(&mut pool, j as u32, n);
+                }
+                let mut order = Vec::new();
+                let mut mask = requeue_mask.iter();
+                while let Some((id, spec)) = pool.pop() {
+                    order.push(id);
+                    if mask.next() == Some(&true) {
+                        pool.requeue(id, spec);
+                        // Pop it right back out so the loop terminates.
+                        let (id2, _) = pool.pop().unwrap();
+                        order.push(id2);
+                    }
+                }
+                order
+            };
+            prop_assert_eq!(run(), run());
         }
 
         #[test]

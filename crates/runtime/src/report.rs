@@ -1,6 +1,6 @@
 //! Execution reports: what the evaluation harness measures.
 
-use crate::{JobId, TaskId, WorkerId};
+use crate::{FaultStats, JobId, TaskId, WorkerId};
 use sstd_stats::P2Quantile;
 use std::collections::BTreeMap;
 
@@ -63,6 +63,10 @@ pub struct ExecutionReport {
     pub completed: Vec<CompletedTask>,
     /// Virtual time at which the last task finished.
     pub makespan: f64,
+    /// Failed-attempt accounting for the run; all-zero when no faults
+    /// were injected or observed. Always satisfies
+    /// [`FaultStats::reconciles`].
+    pub faults: FaultStats,
 }
 
 impl ExecutionReport {
@@ -96,8 +100,7 @@ impl ExecutionReport {
         if self.completed.is_empty() {
             return 0.0;
         }
-        self.completed.iter().map(CompletedTask::latency).sum::<f64>()
-            / self.completed.len() as f64
+        self.completed.iter().map(CompletedTask::latency).sum::<f64>() / self.completed.len() as f64
     }
 
     /// Streaming estimate of the `p`-quantile of task latency (`None`
@@ -120,7 +123,13 @@ impl ExecutionReport {
 mod tests {
     use super::*;
 
-    fn task(job: u32, submitted: f64, started: f64, finished: f64, dl: Option<f64>) -> CompletedTask {
+    fn task(
+        job: u32,
+        submitted: f64,
+        started: f64,
+        finished: f64,
+        dl: Option<f64>,
+    ) -> CompletedTask {
         CompletedTask {
             task: TaskId::new(0),
             job: JobId::new(job),
@@ -144,11 +153,12 @@ mod tests {
     fn deadline_hit_rate_counts_only_deadline_tasks() {
         let report = ExecutionReport {
             completed: vec![
-                task(0, 0.0, 0.0, 1.0, Some(2.0)),  // hit
-                task(0, 0.0, 0.0, 5.0, Some(2.0)),  // miss
-                task(1, 0.0, 0.0, 99.0, None),      // ignored
+                task(0, 0.0, 0.0, 1.0, Some(2.0)), // hit
+                task(0, 0.0, 0.0, 5.0, Some(2.0)), // miss
+                task(1, 0.0, 0.0, 99.0, None),     // ignored
             ],
             makespan: 99.0,
+            faults: FaultStats::default(),
         };
         assert!((report.deadline_hit_rate() - 0.5).abs() < 1e-12);
     }
@@ -162,6 +172,7 @@ mod tests {
                 task(1, 0.0, 0.0, 2.0, None),
             ],
             makespan: 7.0,
+            faults: FaultStats::default(),
         };
         let jc = report.job_completion_times();
         assert_eq!(jc[&JobId::new(0)], 7.0);
@@ -180,7 +191,7 @@ mod tests {
     fn latency_quantile_orders_sensibly() {
         let completed: Vec<CompletedTask> =
             (0..100).map(|i| task(0, 0.0, 0.0, 1.0 + f64::from(i), None)).collect();
-        let report = ExecutionReport { completed, makespan: 100.0 };
+        let report = ExecutionReport { completed, makespan: 100.0, faults: FaultStats::default() };
         let p50 = report.latency_quantile(0.5).unwrap();
         let p95 = report.latency_quantile(0.95).unwrap();
         assert!(p50 < p95);

@@ -1,21 +1,52 @@
-//! A real master/worker execution backend on OS threads.
+//! Real master/worker execution backends on OS threads.
 //!
 //! This is the Work Queue programming model in miniature: a master submits
 //! prioritized tasks (closures), an elastic pool of workers pulls and
 //! executes them, and the master collects results. The DES backend shares
-//! the same scheduling semantics for simulation; this backend proves the
-//! design runs real computations (the streaming benchmarks use it to
+//! the same scheduling semantics for simulation; these backends prove the
+//! design runs real computations (the streaming benchmarks use them to
 //! execute actual truth-discovery jobs).
+//!
+//! Two layers live here:
+//!
+//! - [`ThreadedWorkQueue`] — the minimal prioritized queue. Hardened so a
+//!   panicking task closure is caught ([`std::panic::catch_unwind`]),
+//!   surfaced as a task failure, and never wedges `wait()` or `Drop`
+//!   (the `parking_lot` mutexes do not poison, and the worker thread
+//!   survives to keep draining).
+//! - [`ThreadedEngine`] — the fault-tolerant engine sharing the unified
+//!   fault model of [`crate::fault`] with the DES: seeded deterministic
+//!   injection ([`FaultPlan`]), retry with exponential backoff and caps
+//!   ([`RetryPolicy`]), worker quarantine, per-task wall-clock timeouts,
+//!   and Work-Queue-style straggler mitigation ([`FastAbort`]) via
+//!   speculative re-execution — first completion wins, stale results are
+//!   discarded and accounted as aborts.
 
-use crate::JobId;
+use crate::fault::splitmix64;
+use crate::{
+    CompletedTask, ExecutionReport, FailedTask, FastAbort, FaultKind, FaultPlan, FaultStats, JobId,
+    RetryPolicy, TaskId, WorkerId,
+};
 use parking_lot::{Condvar, Mutex};
+use sstd_stats::OnlineStats;
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering as AtomicOrdering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 type TaskFn<R> = Box<dyn FnOnce() -> R + Send + 'static>;
+
+/// Renders a caught panic payload as a human-readable message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "task panicked".to_string())
+}
 
 struct QueuedTask<R> {
     job: JobId,
@@ -48,6 +79,8 @@ impl<R> Ord for QueuedTask<R> {
 struct Shared<R> {
     queue: Mutex<BinaryHeap<QueuedTask<R>>>,
     results: Mutex<Vec<(JobId, R)>>,
+    /// Tasks whose closure panicked: `(job, panic message)`.
+    failures: Mutex<Vec<(JobId, String)>>,
     work_available: Condvar,
     all_done: Condvar,
     pending: AtomicUsize,
@@ -98,6 +131,7 @@ impl<R: Send + 'static> ThreadedWorkQueue<R> {
         let shared = Arc::new(Shared {
             queue: Mutex::new(BinaryHeap::new()),
             results: Mutex::new(Vec::new()),
+            failures: Mutex::new(Vec::new()),
             work_available: Condvar::new(),
             all_done: Condvar::new(),
             pending: AtomicUsize::new(0),
@@ -126,8 +160,16 @@ impl<R: Send + 'static> ThreadedWorkQueue<R> {
                     shared.work_available.wait(&mut queue);
                 }
             };
-            let result = (task.run)();
-            shared.results.lock().push((task.job, result));
+            // A panicking closure must not kill the worker (which would
+            // strand queued tasks and hang `wait`): catch it, record the
+            // failure, and keep draining. `parking_lot` mutexes do not
+            // poison, so the shared state stays usable.
+            match catch_unwind(AssertUnwindSafe(task.run)) {
+                Ok(result) => shared.results.lock().push((task.job, result)),
+                Err(payload) => {
+                    shared.failures.lock().push((task.job, panic_message(payload.as_ref())));
+                }
+            }
             if shared.pending.fetch_sub(1, AtomicOrdering::AcqRel) == 1 {
                 shared.all_done.notify_all();
             }
@@ -153,10 +195,7 @@ impl<R: Send + 'static> ThreadedWorkQueue<R> {
         assert!(priority.is_finite(), "priority must be finite");
         let seq = self.next_seq.fetch_add(1, AtomicOrdering::Relaxed) as u64;
         self.shared.pending.fetch_add(1, AtomicOrdering::AcqRel);
-        self.shared
-            .queue
-            .lock()
-            .push(QueuedTask { job, priority, seq, run: Box::new(f) });
+        self.shared.queue.lock().push(QueuedTask { job, priority, seq, run: Box::new(f) });
         self.shared.work_available.notify_one();
     }
 
@@ -166,8 +205,10 @@ impl<R: Send + 'static> ThreadedWorkQueue<R> {
         self.shared.pending.load(AtomicOrdering::Acquire)
     }
 
-    /// Blocks until every submitted task finished, draining the collected
-    /// `(job, result)` pairs (completion order).
+    /// Blocks until every submitted task finished (successfully or by
+    /// panicking), draining the collected `(job, result)` pairs
+    /// (completion order). Panicked tasks produce no result; inspect
+    /// [`take_failures`](Self::take_failures).
     #[must_use]
     pub fn wait(&self) -> Vec<(JobId, R)> {
         let mut results = self.shared.results.lock();
@@ -175,6 +216,13 @@ impl<R: Send + 'static> ThreadedWorkQueue<R> {
             self.shared.all_done.wait(&mut results);
         }
         std::mem::take(&mut *results)
+    }
+
+    /// Drains the recorded task failures: `(job, panic message)` for each
+    /// closure that panicked.
+    #[must_use]
+    pub fn take_failures(&self) -> Vec<(JobId, String)> {
+        std::mem::take(&mut *self.shared.failures.lock())
     }
 }
 
@@ -184,6 +232,707 @@ impl<R: Send + 'static> Drop for ThreadedWorkQueue<R> {
         self.shared.work_available.notify_all();
         for handle in self.workers.drain(..) {
             let _ = handle.join();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fault-tolerant engine
+// ---------------------------------------------------------------------------
+
+type WorkFn<R> = Arc<dyn Fn() -> R + Send + Sync + 'static>;
+
+/// An attempt waiting in the ready heap.
+struct ReadyAttempt {
+    priority: f64,
+    seq: u64,
+    task: TaskId,
+}
+
+impl PartialEq for ReadyAttempt {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+impl Eq for ReadyAttempt {}
+impl PartialOrd for ReadyAttempt {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for ReadyAttempt {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.priority
+            .partial_cmp(&other.priority)
+            .unwrap_or(Ordering::Equal)
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+/// An attempt currently executing on a worker.
+struct RunningAttempt {
+    worker: u32,
+    started: Instant,
+    started_s: f64,
+}
+
+struct TaskEntry<R> {
+    job: JobId,
+    priority: f64,
+    work: WorkFn<R>,
+    submitted_at: f64,
+    /// Attempts started so far (also the next attempt's zero-based index).
+    attempts_started: u32,
+    /// Speculative duplicates enqueued for this task.
+    speculations: u32,
+    /// Attempts queued (ready or backing off) but not yet started.
+    queued: u32,
+    running: Vec<RunningAttempt>,
+    done: bool,
+    failed: bool,
+}
+
+/// Why an attempt did not succeed — maps onto [`FaultStats`] counters.
+enum AttemptLoss {
+    Transient { panicked: bool },
+    Crash,
+    Timeout,
+}
+
+struct EngineState<R> {
+    tasks: BTreeMap<TaskId, TaskEntry<R>>,
+    ready: BinaryHeap<ReadyAttempt>,
+    /// Attempts waiting out a retry backoff, sorted by release instant.
+    delayed: Vec<(Instant, TaskId)>,
+    next_task: u32,
+    next_seq: u64,
+    next_worker: u32,
+    alive_workers: usize,
+    /// Tasks neither completed nor terminally failed.
+    outstanding: usize,
+    /// Attempts currently executing (across all tasks).
+    running_attempts: usize,
+    /// Workers told to exit after repeated faults.
+    quarantined: BTreeSet<u32>,
+    worker_faults: BTreeMap<u32, u32>,
+    stats: FaultStats,
+    durations: OnlineStats,
+    results: Vec<(JobId, R)>,
+    completed: Vec<CompletedTask>,
+    failed: Vec<FailedTask>,
+    plan: Option<FaultPlan>,
+    retry: RetryPolicy,
+    fast_abort: Option<FastAbort>,
+    timeout: Option<Duration>,
+}
+
+impl<R> EngineState<R> {
+    /// Enqueues one runnable attempt for `task`.
+    fn enqueue_ready(&mut self, task: TaskId) {
+        let Some(entry) = self.tasks.get_mut(&task) else { return };
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        entry.queued += 1;
+        self.ready.push(ReadyAttempt { priority: entry.priority, seq, task });
+    }
+
+    /// Schedules a retry after the policy's backoff.
+    fn enqueue_delayed(&mut self, task: TaskId, delay: f64) {
+        let Some(entry) = self.tasks.get_mut(&task) else { return };
+        entry.queued += 1;
+        let release = Instant::now() + Duration::from_secs_f64(delay.max(0.0));
+        self.delayed.push((release, task));
+        self.delayed.sort_by_key(|&(at, id)| (at, id));
+    }
+
+    /// Moves attempts whose backoff expired into the ready heap.
+    fn promote_due(&mut self, now: Instant) {
+        while self.delayed.first().is_some_and(|&(at, _)| at <= now) {
+            let (_, task) = self.delayed.remove(0);
+            // `queued` stays: the attempt moves between queues.
+            let Some(entry) = self.tasks.get_mut(&task) else { continue };
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.ready.push(ReadyAttempt { priority: entry.priority, seq, task });
+        }
+    }
+
+    /// Settles a lost attempt: account it, then retry, give up, or defer
+    /// to a still-running sibling attempt.
+    fn settle_loss(&mut self, task: TaskId, loss: &AttemptLoss, elapsed: f64, error: &str) {
+        self.stats.wasted_time += elapsed;
+        match loss {
+            AttemptLoss::Transient { panicked } => {
+                self.stats.transient_failures += 1;
+                if *panicked {
+                    self.stats.panics += 1;
+                }
+            }
+            AttemptLoss::Crash => self.stats.crash_failures += 1,
+            AttemptLoss::Timeout => self.stats.timeout_aborts += 1,
+        }
+        let (attempts_started, job) = match self.tasks.get(&task) {
+            None => return,
+            Some(e) if e.done || e.failed => return,
+            // A sibling attempt (speculative duplicate or queued retry)
+            // will decide this task's fate.
+            Some(e) if !e.running.is_empty() || e.queued > 0 => return,
+            Some(e) => (e.attempts_started, e.job),
+        };
+        // Crash re-queues are not the task's fault: only the generous
+        // hard cap bounds them. Everything else burns the retry budget.
+        let cap = match loss {
+            AttemptLoss::Crash => self.retry.hard_attempt_cap(),
+            _ => self.retry.max_attempts,
+        };
+        if attempts_started >= cap {
+            if let Some(e) = self.tasks.get_mut(&task) {
+                e.failed = true;
+            }
+            self.stats.exhausted_tasks += 1;
+            self.failed.push(FailedTask {
+                task,
+                job,
+                attempts: attempts_started,
+                error: error.to_string(),
+            });
+            self.outstanding -= 1;
+        } else {
+            let salt = splitmix64(self.plan.map_or(0, |p| p.seed()) ^ task.index() as u64);
+            let delay = match loss {
+                // The machine died, not the task: retry immediately.
+                AttemptLoss::Crash => 0.0,
+                _ => self.retry.backoff(attempts_started, salt),
+            };
+            if delay <= 0.0 {
+                self.enqueue_ready(task);
+            } else {
+                self.enqueue_delayed(task, delay);
+            }
+        }
+    }
+
+    /// Attributes a fault to `worker` and quarantines it past the policy
+    /// threshold (never the last worker standing). Returns whether the
+    /// worker is now quarantined.
+    fn note_worker_fault(&mut self, worker: u32) -> bool {
+        if self.retry.quarantine_threshold == 0 {
+            return false;
+        }
+        if self.quarantined.contains(&worker) {
+            return true;
+        }
+        let count = {
+            let c = self.worker_faults.entry(worker).or_insert(0);
+            *c += 1;
+            *c
+        };
+        if count >= self.retry.quarantine_threshold && self.alive_workers > 1 {
+            self.quarantined.insert(worker);
+            self.stats.quarantined_workers += 1;
+            self.alive_workers -= 1;
+            return true;
+        }
+        false
+    }
+}
+
+struct EngineShared<R> {
+    state: Mutex<EngineState<R>>,
+    work_available: Condvar,
+    /// Signaled on completions, failures and respawns; `wait` polls on it.
+    progress: Condvar,
+    shutdown: AtomicBool,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// The fault-tolerant threaded Work Queue engine.
+///
+/// Closures are `Fn` (not `FnOnce`) so failed attempts can be re-executed.
+/// Fault decisions come from a seeded [`FaultPlan`] — a pure function of
+/// `(seed, task, attempt)` — so the *set* of injected faults is identical
+/// across runs regardless of thread interleaving; real panics are caught
+/// and treated as transient failures.
+///
+/// Straggler mitigation is speculative: OS threads cannot be killed, so an
+/// attempt running beyond the fast-abort threshold gets a duplicate
+/// enqueued; the first completion wins and the loser is discarded and
+/// accounted as a straggler abort. Per-task wall-clock timeouts abandon an
+/// attempt cooperatively — the result is discarded when the thread
+/// eventually returns.
+///
+/// # Examples
+///
+/// ```
+/// use sstd_runtime::{FaultPlan, JobId, RetryPolicy, ThreadedEngine};
+///
+/// let engine = ThreadedEngine::new(2);
+/// engine.set_fault_plan(FaultPlan::new(7).with_transient_rate(0.2));
+/// engine.set_retry_policy(RetryPolicy { backoff_base: 0.001, ..RetryPolicy::default() });
+/// for i in 0..10u32 {
+///     engine.submit(JobId::new(i % 2), 1.0, move || i * 2);
+/// }
+/// let results = engine.wait();
+/// assert_eq!(results.len(), 10, "every task completes despite faults");
+/// assert!(engine.fault_stats().reconciles());
+/// ```
+pub struct ThreadedEngine<R: Send + 'static> {
+    shared: Arc<EngineShared<R>>,
+    epoch: Instant,
+}
+
+impl<R: Send + 'static> std::fmt::Debug for ThreadedEngine<R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.shared.state.lock();
+        f.debug_struct("ThreadedEngine")
+            .field("outstanding", &st.outstanding)
+            .field("alive_workers", &st.alive_workers)
+            .field("stats", &st.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<R: Send + 'static> ThreadedEngine<R> {
+    /// Spawns `num_workers` worker threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_workers` is zero.
+    #[must_use]
+    pub fn new(num_workers: usize) -> Self {
+        assert!(num_workers > 0, "need at least one worker");
+        let shared = Arc::new(EngineShared {
+            state: Mutex::new(EngineState {
+                tasks: BTreeMap::new(),
+                ready: BinaryHeap::new(),
+                delayed: Vec::new(),
+                next_task: 0,
+                next_seq: 0,
+                next_worker: num_workers as u32,
+                alive_workers: num_workers,
+                outstanding: 0,
+                running_attempts: 0,
+                quarantined: BTreeSet::new(),
+                worker_faults: BTreeMap::new(),
+                stats: FaultStats::default(),
+                durations: OnlineStats::new(),
+                results: Vec::new(),
+                completed: Vec::new(),
+                failed: Vec::new(),
+                plan: None,
+                retry: RetryPolicy::default(),
+                fast_abort: None,
+                timeout: None,
+            }),
+            work_available: Condvar::new(),
+            progress: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            handles: Mutex::new(Vec::new()),
+        });
+        let epoch = Instant::now();
+        {
+            let mut handles = shared.handles.lock();
+            for me in 0..num_workers as u32 {
+                let shared = Arc::clone(&shared);
+                handles.push(std::thread::spawn(move || Self::worker_loop(&shared, me, epoch)));
+            }
+        }
+        Self { shared, epoch }
+    }
+
+    /// Installs a deterministic fault-injection schedule.
+    pub fn set_fault_plan(&self, plan: FaultPlan) {
+        self.shared.state.lock().plan = Some(plan);
+    }
+
+    /// Sets the retry/backoff/quarantine policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy is invalid (see [`RetryPolicy::validate`]).
+    pub fn set_retry_policy(&self, retry: RetryPolicy) {
+        retry.validate();
+        self.shared.state.lock().retry = retry;
+    }
+
+    /// Enables speculative straggler mitigation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see [`FastAbort::validate`]).
+    pub fn set_fast_abort(&self, fast_abort: FastAbort) {
+        fast_abort.validate();
+        self.shared.state.lock().fast_abort = Some(fast_abort);
+    }
+
+    /// Sets a per-attempt wall-clock timeout. An attempt exceeding it is
+    /// abandoned (its eventual result is discarded) and retried under the
+    /// normal policy.
+    pub fn set_task_timeout(&self, timeout: Duration) {
+        self.shared.state.lock().timeout = Some(timeout);
+    }
+
+    /// Submits a re-executable closure as a task of `job`. Returns the
+    /// task's identity.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `priority` is finite.
+    pub fn submit<F>(&self, job: JobId, priority: f64, f: F) -> TaskId
+    where
+        F: Fn() -> R + Send + Sync + 'static,
+    {
+        assert!(priority.is_finite(), "priority must be finite");
+        let id = {
+            let mut st = self.shared.state.lock();
+            let id = TaskId::new(st.next_task);
+            st.next_task += 1;
+            st.tasks.insert(
+                id,
+                TaskEntry {
+                    job,
+                    priority,
+                    work: Arc::new(f),
+                    submitted_at: self.epoch.elapsed().as_secs_f64(),
+                    attempts_started: 0,
+                    speculations: 0,
+                    queued: 0,
+                    running: Vec::new(),
+                    done: false,
+                    failed: false,
+                },
+            );
+            st.outstanding += 1;
+            st.enqueue_ready(id);
+            id
+        };
+        self.shared.work_available.notify_one();
+        id
+    }
+
+    /// Tasks neither completed nor terminally failed.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.shared.state.lock().outstanding
+    }
+
+    /// Workers currently alive (not crashed or quarantined).
+    #[must_use]
+    pub fn num_workers(&self) -> usize {
+        self.shared.state.lock().alive_workers
+    }
+
+    /// Failed-attempt accounting so far.
+    #[must_use]
+    pub fn fault_stats(&self) -> FaultStats {
+        self.shared.state.lock().stats
+    }
+
+    /// Tasks dropped after exhausting their retry budget.
+    #[must_use]
+    pub fn failed(&self) -> Vec<FailedTask> {
+        self.shared.state.lock().failed.clone()
+    }
+
+    /// Blocks until every task has completed or terminally failed *and*
+    /// all in-flight attempts have settled (so the books reconcile), then
+    /// drains the collected `(job, result)` pairs. The master performs
+    /// straggler and timeout supervision from inside this loop, Work
+    /// Queue style.
+    #[must_use]
+    pub fn wait(&self) -> Vec<(JobId, R)> {
+        let mut st = self.shared.state.lock();
+        loop {
+            if st.outstanding == 0 && st.running_attempts == 0 {
+                return std::mem::take(&mut st.results);
+            }
+            self.supervise(&mut st);
+            // Workers parked without a deadline cannot see retries the
+            // supervision pass just queued — poke them.
+            self.shared.work_available.notify_all();
+            // Re-check frequently: supervision deadlines (timeouts,
+            // fast-abort thresholds) are not condvar-signaled.
+            let _ = self.shared.progress.wait_for(&mut st, Duration::from_millis(2));
+        }
+    }
+
+    /// Builds an execution report from everything finished so far. Times
+    /// are real seconds since the engine started.
+    #[must_use]
+    pub fn report(&self) -> ExecutionReport {
+        let st = self.shared.state.lock();
+        let makespan = st.completed.iter().map(|c| c.finished_at).fold(0.0_f64, f64::max);
+        ExecutionReport { completed: st.completed.clone(), makespan, faults: st.stats }
+    }
+
+    /// One supervision pass: abandon timed-out attempts, enqueue
+    /// speculative duplicates for stragglers.
+    fn supervise(&self, st: &mut EngineState<R>) {
+        let now = Instant::now();
+        // Timeouts: abandon attempts cooperatively. The worker keeps
+        // running the closure (threads cannot be killed); its result is
+        // discarded because the attempt is no longer in `running`.
+        if let Some(timeout) = st.timeout {
+            let mut lost: Vec<(TaskId, f64)> = Vec::new();
+            for (&id, entry) in &mut st.tasks {
+                if entry.done || entry.failed {
+                    continue;
+                }
+                let mut i = 0;
+                while i < entry.running.len() {
+                    if now.duration_since(entry.running[i].started) > timeout {
+                        let attempt = entry.running.remove(i);
+                        lost.push((id, now.duration_since(attempt.started).as_secs_f64()));
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            for (id, elapsed) in lost {
+                st.running_attempts -= 1;
+                st.settle_loss(id, &AttemptLoss::Timeout, elapsed, "wall-clock timeout");
+            }
+        }
+        // Stragglers: speculate once the running mean is warm.
+        if let Some(fa) = st.fast_abort {
+            if st.durations.count() >= fa.min_samples {
+                let threshold = fa.multiplier * st.durations.mean();
+                let mut speculate: Vec<TaskId> = Vec::new();
+                for (&id, entry) in &st.tasks {
+                    if entry.done || entry.failed || entry.queued > 0 {
+                        continue;
+                    }
+                    if entry.speculations >= fa.max_speculations {
+                        continue;
+                    }
+                    let lagging = entry
+                        .running
+                        .iter()
+                        .any(|r| now.duration_since(r.started).as_secs_f64() > threshold);
+                    if lagging {
+                        speculate.push(id);
+                    }
+                }
+                for id in speculate {
+                    if let Some(entry) = st.tasks.get_mut(&id) {
+                        entry.speculations += 1;
+                    }
+                    st.enqueue_ready(id);
+                    self.shared.work_available.notify_one();
+                }
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn worker_loop(shared: &Arc<EngineShared<R>>, me: u32, epoch: Instant) {
+        loop {
+            // Acquire an attempt.
+            let (task_id, work, fault, straggler_extra) = {
+                let mut st = shared.state.lock();
+                let acquired = loop {
+                    if shared.shutdown.load(AtomicOrdering::Acquire) {
+                        return;
+                    }
+                    if st.quarantined.contains(&me) {
+                        return;
+                    }
+                    let now = Instant::now();
+                    st.promote_due(now);
+                    // Pop the highest-priority runnable attempt, skipping
+                    // entries for tasks that finished meanwhile.
+                    let mut popped = None;
+                    while let Some(ra) = st.ready.pop() {
+                        let Some(entry) = st.tasks.get_mut(&ra.task) else { continue };
+                        entry.queued = entry.queued.saturating_sub(1);
+                        if entry.done || entry.failed {
+                            continue;
+                        }
+                        popped = Some(ra.task);
+                        break;
+                    }
+                    if let Some(id) = popped {
+                        break id;
+                    }
+                    match st.delayed.first().map(|&(at, _)| at) {
+                        Some(release) => {
+                            let dur = release
+                                .saturating_duration_since(Instant::now())
+                                .max(Duration::from_millis(1));
+                            let _ = shared.work_available.wait_for(&mut st, dur);
+                        }
+                        None => shared.work_available.wait(&mut st),
+                    }
+                };
+                let plan = st.plan;
+                let mean = (st.durations.count() > 0).then(|| st.durations.mean());
+                let entry = st.tasks.get_mut(&acquired).expect("popped task exists");
+                let attempt = entry.attempts_started;
+                entry.attempts_started += 1;
+                entry.running.push(RunningAttempt {
+                    worker: me,
+                    started: Instant::now(),
+                    started_s: epoch.elapsed().as_secs_f64(),
+                });
+                let work = Arc::clone(&entry.work);
+                st.stats.attempts += 1;
+                st.running_attempts += 1;
+                let fault = plan.and_then(|p| p.decide(acquired, attempt));
+                // An injected straggler runs the real closure, padded to
+                // `slowdown ×` the mean task time (bounded so tests stay
+                // fast even before the mean warms up).
+                let straggler_extra = match (fault, plan) {
+                    (Some(FaultKind::Straggler), Some(p)) => {
+                        let base = mean.unwrap_or(0.005);
+                        (base * (p.straggler_slowdown() - 1.0)).clamp(0.002, 1.0)
+                    }
+                    _ => 0.0,
+                };
+                (acquired, work, fault, straggler_extra)
+            };
+
+            // Execute outside the lock.
+            enum Outcome<R> {
+                Success(R),
+                Panicked(String),
+                Injected(FaultKind),
+            }
+            let started = Instant::now();
+            let outcome = match fault {
+                Some(kind @ (FaultKind::Transient | FaultKind::WorkerCrash)) => {
+                    Outcome::Injected(kind)
+                }
+                Some(FaultKind::Straggler) | None => {
+                    if straggler_extra > 0.0 {
+                        std::thread::sleep(Duration::from_secs_f64(straggler_extra));
+                    }
+                    match catch_unwind(AssertUnwindSafe(|| work())) {
+                        Ok(r) => Outcome::Success(r),
+                        Err(payload) => Outcome::Panicked(panic_message(payload.as_ref())),
+                    }
+                }
+            };
+            let elapsed = started.elapsed().as_secs_f64();
+
+            // Settle under the lock.
+            let mut crashed = false;
+            {
+                let mut st = shared.state.lock();
+                let Some(entry) = st.tasks.get_mut(&task_id) else { continue };
+                // If the master abandoned this attempt (timeout), it is
+                // gone from `running` and already accounted: discard.
+                let Some(pos) = entry.running.iter().position(|r| r.worker == me) else {
+                    // The master abandoned this attempt (timeout) and
+                    // already accounted it: discard the stale outcome.
+                    continue;
+                };
+                let run = entry.running.remove(pos);
+                st.running_attempts -= 1;
+                match outcome {
+                    Outcome::Success(value) => {
+                        let entry = st.tasks.get_mut(&task_id).expect("entry exists");
+                        if entry.done {
+                            // Lost a speculation race: wasted duplicate.
+                            st.stats.straggler_aborts += 1;
+                            st.stats.wasted_time += elapsed;
+                        } else {
+                            entry.done = true;
+                            let job = entry.job;
+                            let submitted_at = entry.submitted_at;
+                            st.stats.successes += 1;
+                            st.durations.push(elapsed);
+                            st.results.push((job, value));
+                            st.completed.push(CompletedTask {
+                                task: task_id,
+                                job,
+                                submitted_at,
+                                started_at: run.started_s,
+                                finished_at: epoch.elapsed().as_secs_f64(),
+                                worker: WorkerId::new(me),
+                                deadline: None,
+                            });
+                            st.outstanding -= 1;
+                        }
+                    }
+                    Outcome::Panicked(msg) => {
+                        st.settle_loss(
+                            task_id,
+                            &AttemptLoss::Transient { panicked: true },
+                            elapsed,
+                            &msg,
+                        );
+                        let _ = st.note_worker_fault(me);
+                    }
+                    Outcome::Injected(FaultKind::Transient) => {
+                        st.settle_loss(
+                            task_id,
+                            &AttemptLoss::Transient { panicked: false },
+                            elapsed,
+                            "injected transient fault",
+                        );
+                        let _ = st.note_worker_fault(me);
+                    }
+                    Outcome::Injected(FaultKind::WorkerCrash) => {
+                        st.settle_loss(task_id, &AttemptLoss::Crash, elapsed, "worker crash");
+                        st.alive_workers -= 1;
+                        crashed = true;
+                    }
+                    Outcome::Injected(FaultKind::Straggler) => {
+                        unreachable!("stragglers execute; handled as Success")
+                    }
+                }
+            }
+            shared.work_available.notify_all();
+            shared.progress.notify_all();
+            if crashed {
+                Self::respawn_after_crash(shared, epoch);
+                return;
+            }
+        }
+    }
+
+    /// A crashed worker's parting act: spawn its replacement, which joins
+    /// the pool after the plan's restart delay.
+    fn respawn_after_crash(shared: &Arc<EngineShared<R>>, epoch: Instant) {
+        let (new_id, delay) = {
+            let mut st = shared.state.lock();
+            let id = st.next_worker;
+            st.next_worker += 1;
+            (id, st.plan.map_or(0.05, |p| p.worker_restart_delay()))
+        };
+        let spawned = Arc::clone(shared);
+        let handle = std::thread::spawn(move || {
+            let deadline = Instant::now() + Duration::from_secs_f64(delay);
+            while Instant::now() < deadline {
+                if spawned.shutdown.load(AtomicOrdering::Acquire) {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            {
+                spawned.state.lock().alive_workers += 1;
+            }
+            spawned.progress.notify_all();
+            Self::worker_loop(&spawned, new_id, epoch);
+        });
+        shared.handles.lock().push(handle);
+    }
+}
+
+impl<R: Send + 'static> Drop for ThreadedEngine<R> {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, AtomicOrdering::Release);
+        self.shared.work_available.notify_all();
+        // Respawn threads may still push handles while we join; drain
+        // until the list stays empty.
+        loop {
+            let handles = std::mem::take(&mut *self.shared.handles.lock());
+            if handles.is_empty() {
+                break;
+            }
+            for handle in handles {
+                let _ = handle.join();
+            }
         }
     }
 }
@@ -199,9 +948,7 @@ mod tests {
         let counter = Arc::new(AtomicU32::new(0));
         for _ in 0..50 {
             let c = Arc::clone(&counter);
-            q.submit(JobId::new(0), 1.0, move || {
-                c.fetch_add(1, AtomicOrdering::Relaxed)
-            });
+            q.submit(JobId::new(0), 1.0, move || c.fetch_add(1, AtomicOrdering::Relaxed));
         }
         let results = q.wait();
         assert_eq!(results.len(), 50);
@@ -261,5 +1008,267 @@ mod tests {
     #[should_panic(expected = "at least one worker")]
     fn zero_workers_rejected() {
         let _: ThreadedWorkQueue<()> = ThreadedWorkQueue::new(0);
+    }
+
+    #[test]
+    fn panicking_task_does_not_hang_wait() {
+        let q = ThreadedWorkQueue::new(2);
+        q.submit(JobId::new(0), 1.0, || 1u32);
+        q.submit(JobId::new(1), 2.0, || panic!("task exploded"));
+        q.submit(JobId::new(0), 1.0, || 2u32);
+        let results = q.wait(); // must return despite the panic
+        assert_eq!(results.len(), 2, "surviving tasks still deliver results");
+        let failures = q.take_failures();
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].0, JobId::new(1));
+        assert!(failures[0].1.contains("task exploded"), "{}", failures[0].1);
+        // The worker survived the panic and keeps draining.
+        q.submit(JobId::new(2), 1.0, || 3u32);
+        assert_eq!(q.wait().len(), 1);
+    }
+
+    #[test]
+    fn single_worker_survives_repeated_panics() {
+        let q = ThreadedWorkQueue::new(1);
+        for i in 0..10u32 {
+            q.submit(JobId::new(i), 1.0, move || {
+                assert!(i % 2 == 0, "odd tasks fail");
+                i
+            });
+        }
+        let results = q.wait();
+        assert_eq!(results.len(), 5);
+        assert_eq!(q.take_failures().len(), 5);
+        assert_eq!(q.pending(), 0);
+    }
+}
+
+#[cfg(test)]
+mod engine_tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    /// A retry policy with sub-millisecond backoffs so tests run fast.
+    fn fast_retry() -> RetryPolicy {
+        RetryPolicy { backoff_base: 0.0005, backoff_cap: 0.005, ..RetryPolicy::default() }
+    }
+
+    #[test]
+    fn executes_all_tasks_without_faults() {
+        let engine = ThreadedEngine::new(3);
+        for i in 0..40u32 {
+            engine.submit(JobId::new(i % 4), 1.0, move || i);
+        }
+        let results = engine.wait();
+        assert_eq!(results.len(), 40);
+        let stats = engine.fault_stats();
+        assert_eq!(stats.attempts, 40);
+        assert_eq!(stats.successes, 40);
+        assert!(stats.reconciles(), "{stats}");
+        let report = engine.report();
+        assert_eq!(report.completed.len(), 40);
+        assert!(report.makespan > 0.0);
+    }
+
+    #[test]
+    fn transient_faults_are_retried_to_completion() {
+        let engine = ThreadedEngine::new(3);
+        engine.set_fault_plan(FaultPlan::new(11).with_transient_rate(0.25));
+        engine.set_retry_policy(fast_retry());
+        for i in 0..40u32 {
+            engine.submit(JobId::new(i % 2), 1.0, move || i);
+        }
+        let results = engine.wait();
+        assert_eq!(results.len(), 40, "no task lost to transient faults");
+        let stats = engine.fault_stats();
+        assert!(stats.transient_failures > 0, "rate 0.25 must fault: {stats}");
+        assert!(stats.reconciles(), "{stats}");
+        assert!(engine.failed().is_empty());
+    }
+
+    #[test]
+    fn panics_count_as_transient_failures_and_retry() {
+        let engine = ThreadedEngine::new(2);
+        engine.set_retry_policy(fast_retry());
+        let flaky_calls = Arc::new(AtomicU32::new(0));
+        let calls = Arc::clone(&flaky_calls);
+        engine.submit(JobId::new(0), 1.0, move || {
+            // First attempt panics; the retry succeeds.
+            assert!(calls.fetch_add(1, AtomicOrdering::SeqCst) > 0, "first attempt dies");
+            99u32
+        });
+        engine.submit(JobId::new(1), 1.0, || 1u32);
+        let results = engine.wait();
+        assert_eq!(results.len(), 2);
+        let stats = engine.fault_stats();
+        assert!(stats.panics >= 1, "{stats}");
+        assert!(stats.transient_failures >= 1);
+        assert!(stats.reconciles(), "{stats}");
+    }
+
+    #[test]
+    fn hopeless_tasks_exhaust_and_are_reported() {
+        let engine: ThreadedEngine<u32> = ThreadedEngine::new(2);
+        engine.set_retry_policy(RetryPolicy { max_attempts: 2, ..fast_retry() });
+        engine.submit(JobId::new(3), 1.0, || panic!("always broken"));
+        engine.submit(JobId::new(4), 1.0, || 7u32);
+        let results = engine.wait();
+        assert_eq!(results.len(), 1, "healthy task still completes");
+        let failed = engine.failed();
+        assert_eq!(failed.len(), 1);
+        assert_eq!(failed[0].job, JobId::new(3));
+        assert_eq!(failed[0].attempts, 2, "retries stay within the cap");
+        assert!(failed[0].error.contains("always broken"));
+        let stats = engine.fault_stats();
+        assert_eq!(stats.exhausted_tasks, 1);
+        assert_eq!(stats.panics, 2);
+        assert!(stats.reconciles(), "{stats}");
+    }
+
+    #[test]
+    fn worker_crashes_respawn_and_work_survives() {
+        let engine = ThreadedEngine::new(3);
+        engine.set_fault_plan(FaultPlan::new(9).with_crash_rate(0.15).with_restart_delay(0.01));
+        engine.set_retry_policy(fast_retry());
+        for i in 0..30u32 {
+            engine.submit(JobId::new(i % 3), 1.0, move || i);
+        }
+        let results = engine.wait();
+        assert_eq!(results.len(), 30, "crashes never lose tasks");
+        let stats = engine.fault_stats();
+        assert!(stats.crash_failures > 0, "rate 0.15 must crash: {stats}");
+        assert!(stats.reconciles(), "{stats}");
+    }
+
+    #[test]
+    fn timeout_abandons_a_hung_attempt() {
+        let engine = ThreadedEngine::new(2);
+        engine.set_retry_policy(fast_retry());
+        engine.set_task_timeout(Duration::from_millis(40));
+        let slow_calls = Arc::new(AtomicU32::new(0));
+        let calls = Arc::clone(&slow_calls);
+        engine.submit(JobId::new(0), 1.0, move || {
+            if calls.fetch_add(1, AtomicOrdering::SeqCst) == 0 {
+                // First attempt hangs well past the timeout.
+                std::thread::sleep(Duration::from_millis(250));
+            }
+            5u32
+        });
+        let results = engine.wait();
+        assert_eq!(results.len(), 1, "the retry rescued the task");
+        let stats = engine.fault_stats();
+        assert!(stats.timeout_aborts >= 1, "{stats}");
+        assert!(stats.reconciles(), "{stats}");
+    }
+
+    #[test]
+    fn fast_abort_speculates_past_stragglers() {
+        let engine = ThreadedEngine::new(2);
+        engine.set_retry_policy(fast_retry());
+        engine.set_fast_abort(FastAbort { multiplier: 4.0, min_samples: 4, max_speculations: 2 });
+        // Warm the running mean with quick tasks.
+        for i in 0..8u32 {
+            engine.submit(JobId::new(0), 2.0, move || {
+                std::thread::sleep(Duration::from_millis(3));
+                i
+            });
+        }
+        let _ = engine.wait();
+        // One task straggles on its first attempt only; the speculative
+        // duplicate finishes fast and wins.
+        let straggler_calls = Arc::new(AtomicU32::new(0));
+        let calls = Arc::clone(&straggler_calls);
+        engine.submit(JobId::new(1), 1.0, move || {
+            if calls.fetch_add(1, AtomicOrdering::SeqCst) == 0 {
+                std::thread::sleep(Duration::from_millis(400));
+            } else {
+                std::thread::sleep(Duration::from_millis(3));
+            }
+            42u32
+        });
+        let results = engine.wait();
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].1, 42);
+        let stats = engine.fault_stats();
+        assert!(
+            stats.straggler_aborts >= 1,
+            "the losing attempt is discarded and accounted: {stats}"
+        );
+        assert!(stats.reconciles(), "{stats}");
+    }
+
+    #[test]
+    fn quarantine_retires_flaky_workers() {
+        let engine = ThreadedEngine::new(3);
+        engine.set_fault_plan(FaultPlan::new(21).with_transient_rate(0.5));
+        engine.set_retry_policy(RetryPolicy {
+            quarantine_threshold: 3,
+            max_attempts: 50,
+            ..fast_retry()
+        });
+        for i in 0..40u32 {
+            engine.submit(JobId::new(i % 2), 1.0, move || i);
+        }
+        let results = engine.wait();
+        assert_eq!(results.len(), 40);
+        let stats = engine.fault_stats();
+        assert!(stats.reconciles(), "{stats}");
+        assert!(engine.num_workers() >= 1, "never quarantines the last worker");
+        if stats.quarantined_workers > 0 {
+            assert!(engine.num_workers() < 3);
+        }
+    }
+
+    #[test]
+    fn fault_decisions_are_deterministic_across_runs() {
+        // Without speculation/timeouts, the per-task attempt sequence is
+        // a pure function of the plan, so injected-fault counts match
+        // exactly across runs despite real thread scheduling.
+        let run = || {
+            let engine = ThreadedEngine::new(4);
+            engine.set_fault_plan(
+                FaultPlan::new(33)
+                    .with_transient_rate(0.2)
+                    .with_crash_rate(0.05)
+                    .with_restart_delay(0.005),
+            );
+            engine.set_retry_policy(fast_retry());
+            for i in 0..30u32 {
+                engine.submit(JobId::new(i % 3), 1.0, move || i);
+            }
+            let n = engine.wait().len();
+            let s = engine.fault_stats();
+            (n, s.attempts, s.transient_failures, s.crash_failures)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "fault schedule must not depend on thread timing");
+        assert_eq!(a.0, 30);
+    }
+
+    #[test]
+    fn report_reconciles_under_mixed_fault_load() {
+        let engine = ThreadedEngine::new(3);
+        engine.set_fault_plan(
+            FaultPlan::new(55)
+                .with_transient_rate(0.15)
+                .with_crash_rate(0.05)
+                .with_stragglers(0.1, 4.0)
+                .with_restart_delay(0.01),
+        );
+        engine.set_retry_policy(fast_retry());
+        engine.set_fast_abort(FastAbort { min_samples: 4, ..FastAbort::default() });
+        for i in 0..40u32 {
+            engine.submit(JobId::new(i % 4), 1.0, move || {
+                std::thread::sleep(Duration::from_millis(2));
+                i
+            });
+        }
+        let results = engine.wait();
+        assert_eq!(results.len(), 40, "all jobs complete under a mixed fault load");
+        let report = engine.report();
+        assert_eq!(report.completed.len(), 40);
+        assert!(report.faults.reconciles(), "{}", report.faults);
+        assert!(report.faults.fault_ratio() > 0.0);
     }
 }

@@ -52,10 +52,7 @@ impl ExecutionModel {
     pub fn new(init_time: f64, theta1: f64, theta2: f64) -> Self {
         assert!(init_time.is_finite() && init_time >= 0.0, "TI must be non-negative");
         assert!(theta1.is_finite() && theta1 >= 0.0, "theta1 must be non-negative");
-        assert!(
-            theta2.is_finite() && theta2 >= theta1,
-            "theta2 must be at least theta1"
-        );
+        assert!(theta2.is_finite() && theta2 >= theta1, "theta2 must be at least theta1");
         Self { init_time, theta1, theta2, transfer_time: 0.0 }
     }
 

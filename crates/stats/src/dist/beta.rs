@@ -128,9 +128,7 @@ mod tests {
     fn pdf_integrates_to_one() {
         let b = Beta::new(3.0, 5.0).unwrap();
         let n = 20_000;
-        let integral: f64 = (1..n)
-            .map(|i| b.pdf(i as f64 / n as f64) / n as f64)
-            .sum();
+        let integral: f64 = (1..n).map(|i| b.pdf(i as f64 / n as f64) / n as f64).sum();
         assert!((integral - 1.0).abs() < 1e-3, "integral = {integral}");
     }
 

@@ -74,9 +74,7 @@ impl Gamma {
             }
             let u: f64 = 1.0 - rng.gen::<f64>();
             // Squeeze check then full check.
-            if u < 1.0 - 0.0331 * x.powi(4)
-                || u.ln() < 0.5 * x * x + d * (1.0 - v + v.ln())
-            {
+            if u < 1.0 - 0.0331 * x.powi(4) || u.ln() < 0.5 * x * x + d * (1.0 - v + v.ln()) {
                 return d * v * self.scale;
             }
         }

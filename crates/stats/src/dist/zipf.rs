@@ -143,11 +143,7 @@ mod tests {
         }
         for k in 1..=10 {
             let emp = counts[k - 1] as f64 / n as f64;
-            assert!(
-                (emp - z.pmf(k)).abs() < 0.01,
-                "rank {k}: emp {emp} vs pmf {}",
-                z.pmf(k)
-            );
+            assert!((emp - z.pmf(k)).abs() < 0.01, "rank {k}: emp {emp} vs pmf {}", z.pmf(k));
         }
     }
 

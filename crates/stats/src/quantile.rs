@@ -87,9 +87,7 @@ impl P2Quantile {
             3
         } else {
             // heights[k] <= x < heights[k+1]
-            (0..4)
-                .find(|&i| x < self.heights[i + 1])
-                .expect("x is below heights[4]")
+            (0..4).find(|&i| x < self.heights[i + 1]).expect("x is below heights[4]")
         };
 
         for i in (k + 1)..5 {
@@ -107,12 +105,12 @@ impl P2Quantile {
             if (d >= 1.0 && step_up) || (d <= -1.0 && step_down) {
                 let d = d.signum();
                 let parabolic = self.parabolic(i, d);
-                let new_height = if self.heights[i - 1] < parabolic && parabolic < self.heights[i + 1]
-                {
-                    parabolic
-                } else {
-                    self.linear(i, d)
-                };
+                let new_height =
+                    if self.heights[i - 1] < parabolic && parabolic < self.heights[i + 1] {
+                        parabolic
+                    } else {
+                        self.linear(i, d)
+                    };
                 self.heights[i] = new_height;
                 self.positions[i] += d;
             }
@@ -203,17 +201,13 @@ mod tests {
         // Heavy-tailed latencies: the use case in the runtime reports.
         let mut q = P2Quantile::new(0.99).unwrap();
         let mut rng = StdRng::seed_from_u64(2);
-        let mut xs: Vec<f64> =
-            (0..50_000).map(|_| -(1.0 - rng.gen::<f64>()).ln() * 10.0).collect();
+        let mut xs: Vec<f64> = (0..50_000).map(|_| -(1.0 - rng.gen::<f64>()).ln() * 10.0).collect();
         for &x in &xs {
             q.push(x);
         }
         let exact = exact_quantile(&mut xs, 0.99);
         let est = q.estimate().unwrap();
-        assert!(
-            (est - exact).abs() / exact < 0.15,
-            "p99 est {est} vs exact {exact}"
-        );
+        assert!((est - exact).abs() / exact < 0.15, "p99 est {est} vs exact {exact}");
     }
 
     proptest! {

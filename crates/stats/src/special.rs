@@ -71,8 +71,7 @@ pub fn erf(x: f64) -> f64 {
     let x = x.abs();
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let y = 1.0
-        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736)
-            * t
+        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736) * t
             + 0.254_829_592)
             * t
             * (-x * x).exp();
@@ -234,10 +233,7 @@ mod tests {
         let mut fact = 1.0_f64;
         for n in 1..15u32 {
             // Γ(n) = (n-1)!
-            assert!(
-                (ln_gamma(f64::from(n)) - fact.ln()).abs() < 1e-9,
-                "n = {n}"
-            );
+            assert!((ln_gamma(f64::from(n)) - fact.ln()).abs() < 1e-9, "n = {n}");
             fact *= f64::from(n);
         }
     }
@@ -252,10 +248,7 @@ mod tests {
     fn ln_gamma_recurrence() {
         // Γ(x+1) = x Γ(x)
         for &x in &[0.3, 1.7, 4.2, 11.5] {
-            assert!(
-                (ln_gamma(x + 1.0) - (ln_gamma(x) + f64::ln(x))).abs() < 1e-9,
-                "x = {x}"
-            );
+            assert!((ln_gamma(x + 1.0) - (ln_gamma(x) + f64::ln(x))).abs() < 1e-9, "x = {x}");
         }
     }
 
@@ -312,10 +305,7 @@ mod tests {
         for &k in &[1.0, 2.0, 5.0, 30.0] {
             for &p in &[0.05, 0.5, 0.9, 0.975] {
                 let q = chi_square_quantile(p, k);
-                assert!(
-                    (chi_square_cdf(q, k) - p).abs() < 1e-8,
-                    "k = {k}, p = {p}"
-                );
+                assert!((chi_square_cdf(q, k) - p).abs() < 1e-8, "k = {k}, p = {p}");
             }
         }
     }
@@ -323,10 +313,8 @@ mod tests {
     #[test]
     fn chi_square_quantile_monotone_in_p() {
         let k = 4.0;
-        let qs: Vec<f64> = [0.1, 0.3, 0.5, 0.7, 0.9]
-            .iter()
-            .map(|&p| chi_square_quantile(p, k))
-            .collect();
+        let qs: Vec<f64> =
+            [0.1, 0.3, 0.5, 0.7, 0.9].iter().map(|&p| chi_square_quantile(p, k)).collect();
         assert!(qs.windows(2).all(|w| w[0] < w[1]));
     }
 

@@ -18,8 +18,20 @@ pub trait AttitudeScorer {
 /// Default denial cues, following the paper's examples plus common
 /// variants observed in rumor-debunking tweets.
 const DENIAL_CUES: &[&str] = &[
-    "false", "fake", "rumor", "rumour", "debunked", "hoax", "untrue", "misinformation",
-    "incorrect", "wrong", "lie", "lies", "denied", "denies",
+    "false",
+    "fake",
+    "rumor",
+    "rumour",
+    "debunked",
+    "hoax",
+    "untrue",
+    "misinformation",
+    "incorrect",
+    "wrong",
+    "lie",
+    "lies",
+    "denied",
+    "denies",
 ];
 
 /// Bigram denial cues checked on the raw lowercase text (token sets lose
@@ -58,8 +70,7 @@ impl LexiconAttitudeScorer {
         I: IntoIterator<Item = S>,
         S: AsRef<str>,
     {
-        self.extra_denials
-            .extend(cues.into_iter().map(|c| c.as_ref().to_lowercase()));
+        self.extra_denials.extend(cues.into_iter().map(|c| c.as_ref().to_lowercase()));
         self
     }
 }

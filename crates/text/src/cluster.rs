@@ -214,14 +214,11 @@ mod tests {
     #[test]
     fn claim_ids_are_dense_and_stable() {
         let mut c = ClaimClusterer::new(ClusterConfig::default());
-        let ids: Vec<ClaimId> = [
-            "first topic alpha beta",
-            "second topic gamma delta",
-            "third topic epsilon zeta",
-        ]
-        .iter()
-        .map(|t| c.assign(t))
-        .collect();
+        let ids: Vec<ClaimId> =
+            ["first topic alpha beta", "second topic gamma delta", "third topic epsilon zeta"]
+                .iter()
+                .map(|t| c.assign(t))
+                .collect();
         assert_eq!(ids.iter().map(|c| c.index()).collect::<Vec<_>>(), vec![0, 1, 2]);
         // Re-assigning similar text returns the original id.
         assert_eq!(c.assign("first topic alpha beta gamma").index(), 0);

@@ -31,8 +31,7 @@ impl PipelineConfig {
         I: IntoIterator<Item = S>,
         S: AsRef<str>,
     {
-        let keywords: Vec<String> =
-            keywords.into_iter().map(|k| k.as_ref().to_string()).collect();
+        let keywords: Vec<String> = keywords.into_iter().map(|k| k.as_ref().to_string()).collect();
         assert!(!keywords.is_empty(), "event needs at least one keyword");
         Self {
             keywords,
@@ -245,9 +244,7 @@ mod tests {
     #[test]
     fn hedged_post_scores_uncertainty() {
         let mut p = pipeline();
-        let r = p
-            .process(&post(0, 0, "possibly another bombing in boston, unconfirmed"))
-            .unwrap();
+        let r = p.process(&post(0, 0, "possibly another bombing in boston, unconfirmed")).unwrap();
         assert!(r.uncertainty().value() >= 0.6);
         // Heavily hedged → small contribution magnitude.
         assert!(r.contribution_score().value().abs() < 0.5);

@@ -30,11 +30,8 @@ const STOPWORDS: &[&str] = &[
 pub fn tokenize(text: &str) -> Vec<String> {
     text.split(|c: char| !c.is_alphanumeric() && c != '\'')
         .filter_map(|raw| {
-            let t: String = raw
-                .chars()
-                .filter(|c| c.is_alphanumeric())
-                .collect::<String>()
-                .to_lowercase();
+            let t: String =
+                raw.chars().filter(|c| c.is_alphanumeric()).collect::<String>().to_lowercase();
             if t.is_empty() || STOPWORDS.contains(&t.as_str()) {
                 None
             } else {

@@ -18,16 +18,46 @@ pub trait UncertaintyScorer {
 /// Single-word hedge cues from the CoNLL-2010 Wikipedia/BioScope cue
 /// inventories, restricted to those plausible in tweets.
 const HEDGE_CUES: &[&str] = &[
-    "may", "might", "maybe", "possibly", "possible", "perhaps", "probably", "likely", "unlikely",
-    "apparently", "allegedly", "reportedly", "seems", "seemingly", "suggests", "unconfirmed",
-    "unverified", "unclear", "uncertain", "speculation", "supposedly", "potentially", "could",
-    "hear", "heard", "rumored", "rumoured",
+    "may",
+    "might",
+    "maybe",
+    "possibly",
+    "possible",
+    "perhaps",
+    "probably",
+    "likely",
+    "unlikely",
+    "apparently",
+    "allegedly",
+    "reportedly",
+    "seems",
+    "seemingly",
+    "suggests",
+    "unconfirmed",
+    "unverified",
+    "unclear",
+    "uncertain",
+    "speculation",
+    "supposedly",
+    "potentially",
+    "could",
+    "hear",
+    "heard",
+    "rumored",
+    "rumoured",
 ];
 
 /// Multi-word hedge cues matched on raw lowercase text.
 const HEDGE_PHRASES: &[&str] = &[
-    "not sure", "no confirmation", "can't confirm", "cannot confirm", "yet to confirm",
-    "waiting for confirmation", "if true", "sources say", "some reports",
+    "not sure",
+    "no confirmation",
+    "can't confirm",
+    "cannot confirm",
+    "yet to confirm",
+    "waiting for confirmation",
+    "if true",
+    "sources say",
+    "some reports",
 ];
 
 /// Lexicon ("hedge cue") uncertainty scorer.
@@ -109,9 +139,8 @@ mod tests {
     #[test]
     fn multiple_cues_accumulate_and_saturate() {
         let s = HedgeUncertaintyScorer::new();
-        let v = s
-            .uncertainty("allegedly maybe possibly unconfirmed reports, not sure if true")
-            .value();
+        let v =
+            s.uncertainty("allegedly maybe possibly unconfirmed reports, not sure if true").value();
         assert_eq!(v, 0.9, "saturates at the cap");
     }
 

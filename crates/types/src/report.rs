@@ -151,12 +151,8 @@ mod tests {
 
     #[test]
     fn plain_report_is_full_strength() {
-        let r = Report::plain(
-            SourceId::new(0),
-            ClaimId::new(0),
-            Timestamp::ZERO,
-            Attitude::Disagree,
-        );
+        let r =
+            Report::plain(SourceId::new(0), ClaimId::new(0), Timestamp::ZERO, Attitude::Disagree);
         assert_eq!(r.contribution_score().value(), -1.0);
     }
 

@@ -190,7 +190,11 @@ pub struct ContributionScore(f64);
 impl ContributionScore {
     /// Computes `ρ × (1 − κ) × η` from the three component scores.
     #[must_use]
-    pub fn compute(attitude: Attitude, uncertainty: Uncertainty, independence: Independence) -> Self {
+    pub fn compute(
+        attitude: Attitude,
+        uncertainty: Uncertainty,
+        independence: Independence,
+    ) -> Self {
         Self(attitude.score() * (1.0 - uncertainty.value()) * independence.value())
     }
 
@@ -303,11 +307,7 @@ mod proptests {
     use proptest::prelude::*;
 
     fn attitudes() -> impl Strategy<Value = Attitude> {
-        prop_oneof![
-            Just(Attitude::Agree),
-            Just(Attitude::Disagree),
-            Just(Attitude::Silent),
-        ]
+        prop_oneof![Just(Attitude::Agree), Just(Attitude::Disagree), Just(Attitude::Silent),]
     }
 
     proptest! {

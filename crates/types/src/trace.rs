@@ -64,14 +64,7 @@ impl Trace {
             assert!(r.claim().index() < num_claims, "report references unknown claim");
         }
         reports.sort_by_key(Report::time);
-        Self {
-            name: name.into(),
-            reports,
-            num_sources,
-            num_claims,
-            timeline,
-            ground_truth,
-        }
+        Self { name: name.into(), reports, num_sources, num_claims, timeline, ground_truth }
     }
 
     /// Human-readable trace name (e.g. `"boston-bombing"`).
@@ -134,8 +127,7 @@ impl Trace {
     /// Summary statistics (the paper's Table II row for this trace).
     #[must_use]
     pub fn stats(&self) -> TraceStats {
-        let active_sources: BTreeSet<SourceId> =
-            self.reports.iter().map(Report::source).collect();
+        let active_sources: BTreeSet<SourceId> = self.reports.iter().map(Report::source).collect();
         TraceStats {
             name: self.name.clone(),
             num_reports: self.reports.len(),
@@ -201,9 +193,24 @@ mod tests {
             vec![TruthLabel::False, TruthLabel::True, TruthLabel::True, TruthLabel::False],
         );
         let reports = vec![
-            Report::plain(SourceId::new(0), ClaimId::new(0), Timestamp::from_secs(80), Attitude::Agree),
-            Report::plain(SourceId::new(1), ClaimId::new(1), Timestamp::from_secs(10), Attitude::Disagree),
-            Report::plain(SourceId::new(0), ClaimId::new(1), Timestamp::from_secs(30), Attitude::Agree),
+            Report::plain(
+                SourceId::new(0),
+                ClaimId::new(0),
+                Timestamp::from_secs(80),
+                Attitude::Agree,
+            ),
+            Report::plain(
+                SourceId::new(1),
+                ClaimId::new(1),
+                Timestamp::from_secs(10),
+                Attitude::Disagree,
+            ),
+            Report::plain(
+                SourceId::new(0),
+                ClaimId::new(1),
+                Timestamp::from_secs(30),
+                Attitude::Agree,
+            ),
         ];
         Trace::new("test", reports, 3, 2, timeline, gt)
     }

@@ -144,11 +144,7 @@ impl GroundTruth {
     ///
     /// Panics if `labels.len() != num_intervals()`.
     pub fn insert(&mut self, claim: ClaimId, labels: Vec<TruthLabel>) {
-        assert_eq!(
-            labels.len(),
-            self.num_intervals,
-            "label vector must cover every interval"
-        );
+        assert_eq!(labels.len(), self.num_intervals, "label vector must cover every interval");
         self.labels.insert(claim, labels);
     }
 
@@ -178,10 +174,7 @@ impl GroundTruth {
     /// intervals) across all claims — a measure of how dynamic the trace is.
     #[must_use]
     pub fn num_transitions(&self) -> usize {
-        self.labels
-            .values()
-            .map(|v| v.windows(2).filter(|w| w[0] != w[1]).count())
-            .sum()
+        self.labels.values().map(|v| v.windows(2).filter(|w| w[0] != w[1]).count()).sum()
     }
 }
 
@@ -246,10 +239,7 @@ mod tests {
             ClaimId::new(0),
             vec![TruthLabel::True, TruthLabel::False, TruthLabel::False, TruthLabel::True],
         );
-        gt.insert(
-            ClaimId::new(1),
-            vec![TruthLabel::True; 4],
-        );
+        gt.insert(ClaimId::new(1), vec![TruthLabel::True; 4]);
         assert_eq!(gt.num_transitions(), 2);
     }
 

@@ -43,10 +43,6 @@ fn main() {
     }
 
     let sstd = results[0].1;
-    let best_other =
-        results[1..].iter().map(|&(_, a)| a).fold(f64::NEG_INFINITY, f64::max);
-    println!(
-        "\nSSTD vs best alternative: {:+.1}% accuracy",
-        (sstd - best_other) * 100.0
-    );
+    let best_other = results[1..].iter().map(|&(_, a)| a).fold(f64::NEG_INFINITY, f64::max);
+    println!("\nSSTD vs best alternative: {:+.1}% accuracy", (sstd - best_other) * 100.0);
 }

@@ -10,10 +10,7 @@ use sstd::types::ClaimId;
 
 fn main() {
     // 1. A small Paris-Shooting-like trace (1% of the paper's volume).
-    let trace = TraceBuilder::scenario(Scenario::ParisShooting)
-        .scale(0.01)
-        .seed(42)
-        .build();
+    let trace = TraceBuilder::scenario(Scenario::ParisShooting).scale(0.01).seed(42).build();
     println!("{}", trace.stats());
 
     // 2. Run the SSTD engine: per-claim ACS aggregation + HMM decoding.

@@ -57,10 +57,7 @@ SCHEMES: sstd dynatd truthfinder rtd catd invest 3-estimates majority weighted r
 
 /// Pulls `--key value` from an argument list.
 fn flag(args: &[String], key: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == key)
-        .and_then(|i| args.get(i + 1))
-        .cloned()
+    args.iter().position(|a| a == key).and_then(|i| args.get(i + 1)).cloned()
 }
 
 fn required(args: &[String], key: &str) -> Result<String, String> {
@@ -95,12 +92,10 @@ fn parse_scheme(name: &str) -> Result<SchemeKind, String> {
 
 fn cmd_generate(args: &[String]) -> Result<(), String> {
     let scenario = parse_scenario(&required(args, "--scenario")?)?;
-    let scale: f64 = flag(args, "--scale").map_or(Ok(0.01), |s| {
-        s.parse().map_err(|_| format!("bad --scale `{s}`"))
-    })?;
-    let seed: u64 = flag(args, "--seed").map_or(Ok(42), |s| {
-        s.parse().map_err(|_| format!("bad --seed `{s}`"))
-    })?;
+    let scale: f64 = flag(args, "--scale")
+        .map_or(Ok(0.01), |s| s.parse().map_err(|_| format!("bad --scale `{s}`")))?;
+    let seed: u64 = flag(args, "--seed")
+        .map_or(Ok(42), |s| s.parse().map_err(|_| format!("bad --seed `{s}`")))?;
     let out = required(args, "--out")?;
     let trace = TraceBuilder::scenario(scenario).scale(scale).seed(seed).build();
     save_trace(&trace, &out).map_err(|e| e.to_string())?;
@@ -120,8 +115,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let out = required(args, "--out")?;
     let estimates = run_scheme(scheme, &trace);
     let file = std::fs::File::create(&out).map_err(|e| e.to_string())?;
-    serde_json::to_writer(std::io::BufWriter::new(file), &estimates)
-        .map_err(|e| e.to_string())?;
+    serde_json::to_writer(std::io::BufWriter::new(file), &estimates).map_err(|e| e.to_string())?;
     println!(
         "{}: estimated {} claims × {} intervals → {}",
         scheme.name(),

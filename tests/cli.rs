@@ -54,10 +54,7 @@ fn stats_reports_trace_summary() {
         .output()
         .expect("generate");
     assert!(gen.status.success());
-    let stats = sstd()
-        .args(["stats", "--trace", trace.to_str().unwrap()])
-        .output()
-        .expect("stats");
+    let stats = sstd().args(["stats", "--trace", trace.to_str().unwrap()]).output().expect("stats");
     assert!(stats.status.success());
     let out = String::from_utf8_lossy(&stats.stdout);
     assert!(out.contains("paris-shooting"), "{out}");

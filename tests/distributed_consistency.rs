@@ -11,9 +11,8 @@ use std::sync::Arc;
 
 #[test]
 fn threaded_work_queue_matches_central_engine() {
-    let trace = Arc::new(
-        TraceBuilder::scenario(Scenario::ParisShooting).scale(0.005).seed(21).build(),
-    );
+    let trace =
+        Arc::new(TraceBuilder::scenario(Scenario::ParisShooting).scale(0.005).seed(21).build());
     let engine = SstdEngine::new(SstdConfig::default());
 
     // Centralized run.
@@ -42,9 +41,7 @@ fn threaded_work_queue_matches_central_engine() {
 
 #[test]
 fn job_priorities_do_not_change_results() {
-    let trace = Arc::new(
-        TraceBuilder::scenario(Scenario::Synthetic).scale(0.003).seed(8).build(),
-    );
+    let trace = Arc::new(TraceBuilder::scenario(Scenario::Synthetic).scale(0.003).seed(8).build());
     let engine = SstdEngine::new(SstdConfig::default());
     let central = engine.run(&trace);
 

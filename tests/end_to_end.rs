@@ -44,19 +44,12 @@ fn streaming_engine_is_close_to_batch() {
 
 #[test]
 fn sstd_beats_every_baseline_on_each_paper_trace() {
-    for scenario in
-        [Scenario::BostonBombing, Scenario::ParisShooting, Scenario::CollegeFootball]
-    {
+    for scenario in [Scenario::BostonBombing, Scenario::ParisShooting, Scenario::CollegeFootball] {
         let t = trace(scenario, 0.005, 13);
-        let sstd =
-            score_estimates(t.ground_truth(), &run_scheme(SchemeKind::Sstd, &t)).accuracy();
+        let sstd = score_estimates(t.ground_truth(), &run_scheme(SchemeKind::Sstd, &t)).accuracy();
         for kind in SchemeKind::paper_table().into_iter().skip(1) {
             let acc = score_estimates(t.ground_truth(), &run_scheme(kind, &t)).accuracy();
-            assert!(
-                sstd + 1e-9 >= acc,
-                "{scenario:?}: SSTD {sstd} lost to {} {acc}",
-                kind.name()
-            );
+            assert!(sstd + 1e-9 >= acc, "{scenario:?}: SSTD {sstd} lost to {} {acc}", kind.name());
         }
     }
 }

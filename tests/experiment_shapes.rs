@@ -31,9 +31,7 @@ fn tables_3_4_5_shape_sstd_wins_all_metrics_aggregate() {
     // Paper: SSTD beats the best baseline on all four metrics per trace.
     // We assert the headline (accuracy + F1) per trace, which is robust
     // at small scale.
-    for scenario in
-        [Scenario::BostonBombing, Scenario::ParisShooting, Scenario::CollegeFootball]
-    {
+    for scenario in [Scenario::BostonBombing, Scenario::ParisShooting, Scenario::CollegeFootball] {
         let rows = accuracy::run(scenario, 0.005, 13);
         assert_eq!(rows[0].scheme, SchemeKind::Sstd);
         let sstd = rows[0].matrix;
@@ -71,12 +69,10 @@ fn tables_3_4_5_shape_sstd_wins_all_metrics_aggregate() {
 #[test]
 fn fig5_shape_streaming_tracks_duration_batch_falls_behind() {
     let pts = fig5::run(&[200], 10, 5);
-    let total = |k: SchemeKind| {
-        pts.iter().find(|p| p.scheme == k).map(|p| p.total_running_secs).unwrap()
-    };
-    let compute = |k: SchemeKind| {
-        pts.iter().find(|p| p.scheme == k).map(|p| p.compute_secs).unwrap()
-    };
+    let total =
+        |k: SchemeKind| pts.iter().find(|p| p.scheme == k).map(|p| p.total_running_secs).unwrap();
+    let compute =
+        |k: SchemeKind| pts.iter().find(|p| p.scheme == k).map(|p| p.compute_secs).unwrap();
     // Streaming schemes hug the 10-second stream duration.
     assert!(total(SchemeKind::Sstd) < 12.0);
     assert!(total(SchemeKind::DynaTd) < 12.0);
@@ -131,10 +127,7 @@ fn fig6_shape_sstd_hits_most_deadlines_especially_tight_ones() {
 fn fig7_shape_speedup_grows_with_workers_and_data() {
     let pts = fig7::run(&[100_000, 16_900_000], &[1, 4, 16, 64]);
     let speedup = |data: u64, w: usize| {
-        pts.iter()
-            .find(|p| p.data_size == data && p.workers == w)
-            .map(|p| p.speedup)
-            .unwrap()
+        pts.iter().find(|p| p.data_size == data && p.workers == w).map(|p| p.speedup).unwrap()
     };
     // Monotone in workers for the big trace.
     assert!(speedup(16_900_000, 4) > speedup(16_900_000, 1));
