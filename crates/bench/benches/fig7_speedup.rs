@@ -1,22 +1,20 @@
-//! Criterion counterpart of Fig. 7: the DES simulation cost of computing
-//! one speedup point as the worker pool grows. The speedup series itself
-//! is `cargo run -p sstd-eval --bin fig7`.
+//! Criterion counterpart of Fig. 7: the cost of computing one speedup
+//! point through the `ExecutionBackend` trait as the worker pool grows.
+//! The speedup series itself is `cargo run -p sstd-eval --bin fig7`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use sstd_runtime::{Cluster, DesEngine, ExecutionModel, JobId, TaskSpec};
+use sstd_eval::exp::fig7;
+use sstd_runtime::{Cluster, DesEngine};
 
 fn bench_des(c: &mut Criterion) {
-    let model = ExecutionModel::new(0.3, 4.0e-5, 4.8e-5);
     let mut group = c.benchmark_group("fig7_des_makespan");
     for workers in [1usize, 8, 64] {
         group.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &w| {
             b.iter(|| {
-                let mut des = DesEngine::new(Cluster::homogeneous(w, 1.0), model, w);
-                // 16.9M tweets in 25k chunks = 676 tasks.
-                for _ in 0..676 {
-                    des.submit(TaskSpec::new(JobId::new(0), 25_000.0));
-                }
-                std::hint::black_box(des.run_to_completion().makespan)
+                // 16.9M tweets in 25k chunks = 676 tasks, submitted and
+                // drained through the trait — the same path the sweep uses.
+                let mut des = DesEngine::new(Cluster::homogeneous(w, 1.0), fig7::model(), w);
+                std::hint::black_box(fig7::makespan(&mut des, 16_900_000))
             });
         });
     }
@@ -24,8 +22,8 @@ fn bench_des(c: &mut Criterion) {
 }
 
 criterion_group!(
-    name = fig7;
+    name = fig7_bench;
     config = Criterion::default().sample_size(20);
     targets = bench_des
 );
-criterion_main!(fig7);
+criterion_main!(fig7_bench);

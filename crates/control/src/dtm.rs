@@ -1,10 +1,16 @@
-//! The Dynamic Task Manager: the closed control loop over the DES engine
-//! (paper Fig. 2 and 3).
+//! The Dynamic Task Manager: the closed control loop over an execution
+//! backend (paper Fig. 2 and 3).
+//!
+//! The DTM is written against [`ExecutionBackend`], so the same PID /
+//! knob machinery drives the virtual-clock simulator (the default, via
+//! [`DynamicTaskManager::run`]) or real OS threads (via
+//! [`DynamicTaskManager::run_on`] with a `ThreadedEngine`) without a
+//! single backend-specific branch.
 
 use crate::{GlobalKnob, LocalKnob, PidController};
 use sstd_runtime::{
-    Cluster, DesEngine, ExecutionModel, ExecutionReport, FastAbort, FaultPlan, FaultStats, JobId,
-    RetryPolicy, TaskSpec,
+    Cluster, DesEngine, ExecutionBackend, ExecutionModel, ExecutionReport, FastAbort, FaultPlan,
+    FaultStats, JobId, RetryPolicy, TaskSpec,
 };
 use std::collections::BTreeMap;
 
@@ -38,8 +44,16 @@ impl DtmJob {
     }
 }
 
-/// DTM configuration: PID gains, knob factors, sampling period and pool
-/// bounds. Defaults are the paper's tuned values.
+/// DTM configuration: PID gains, knob factors, sampling period, pool
+/// bounds and the scheduling policy handed to the execution backend.
+/// Defaults are the paper's tuned values.
+///
+/// This struct is the *single* configuration path for a DTM run: when the
+/// DTM takes over a backend (its own DES, or an external engine via
+/// [`DynamicTaskManager::run_on`]) it installs `initial_workers`, `retry`
+/// and `fast_abort` on the backend before submitting work, overwriting
+/// anything preset there. Policy set directly on a backend therefore
+/// cannot silently diverge from what the controller assumes.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DtmConfig {
     /// Proportional gain (paper: 1.2).
@@ -164,17 +178,34 @@ impl DynamicTaskManager {
         evictions: &[f64],
         plan: Option<FaultPlan>,
     ) -> DtmOutcome {
-        let cfg = &self.config;
-        let mut des = DesEngine::new(self.cluster.clone(), self.model, cfg.initial_workers);
-        des.set_retry_policy(cfg.retry);
+        let mut des = DesEngine::new(self.cluster.clone(), self.model, self.config.initial_workers);
+        self.run_on(&mut des, jobs, evictions, plan)
+    }
+
+    /// Runs `jobs` on a caller-supplied execution backend — the DES for
+    /// deterministic simulation, or a `ThreadedEngine` for real threads —
+    /// through the identical control loop. The DTM first installs its own
+    /// [`DtmConfig`] policy (worker count, retry, fast-abort) plus the
+    /// given fault plan and evictions on the backend, overwriting any
+    /// preset values: configuration flows through one path only.
+    pub fn run_on<B: ExecutionBackend + ?Sized>(
+        &mut self,
+        backend: &mut B,
+        jobs: &[DtmJob],
+        evictions: &[f64],
+        plan: Option<FaultPlan>,
+    ) -> DtmOutcome {
+        let cfg = self.config;
+        backend.set_num_workers(cfg.initial_workers);
+        backend.set_retry_policy(cfg.retry);
         if let Some(fa) = cfg.fast_abort {
-            des.set_fast_abort(fa);
+            backend.set_fast_abort(fa);
         }
         if let Some(p) = plan {
-            des.set_fault_plan(p);
+            backend.set_fault_plan(p);
         }
         for &t in evictions {
-            des.schedule_eviction(t);
+            backend.schedule_eviction(t);
         }
 
         // Submit all tasks up front (one batch per experiment, as in the
@@ -184,7 +215,7 @@ impl DynamicTaskManager {
             job_data.insert(j.job, j.data_size);
             let per_task = j.data_size / j.num_tasks as f64;
             for _ in 0..j.num_tasks {
-                des.submit(TaskSpec::new(j.job, per_task).with_deadline(j.deadline));
+                backend.submit(TaskSpec::new(j.job, per_task).with_deadline(j.deadline));
             }
         }
 
@@ -196,11 +227,13 @@ impl DynamicTaskManager {
             .collect();
         let mut gck = GlobalKnob::new(cfg.theta4, cfg.initial_workers, 1, cfg.max_workers);
 
-        let mut t = 0.0;
+        // Start sampling from the backend's current clock (zero for the
+        // DES; a threaded engine may already have ticked).
+        let mut t = backend.now();
         loop {
             t += cfg.sample_period;
-            des.run_until(t);
-            if des.pending() == 0 && des.running() == 0 {
+            backend.run_until(t);
+            if backend.pending() == 0 && backend.running() == 0 {
                 break;
             }
             if !cfg.control_enabled {
@@ -208,16 +241,16 @@ impl DynamicTaskManager {
                 // still replaces evicted workers up to the configured
                 // pool size (`work_queue_factory -w`); otherwise a fully
                 // evicted static pool would never drain its queue.
-                if des.num_workers() < cfg.initial_workers {
-                    des.set_num_workers(cfg.initial_workers);
+                if backend.num_workers() < cfg.initial_workers {
+                    backend.set_num_workers(cfg.initial_workers);
                 }
                 continue;
             }
-            if des.num_workers() == 0 {
+            if backend.num_workers() == 0 {
                 // All workers evicted between control epochs: restore a
                 // seed worker so WCET predictions stay finite; the GCK
                 // grows from there.
-                des.set_num_workers(1);
+                backend.set_num_workers(1);
             }
 
             // Per-job control: predicted finish vs. deadline (Eq. 9 uses
@@ -230,19 +263,19 @@ impl DynamicTaskManager {
             // the urgent one and shrink the pool under it).
             let mut aggregate = f64::NEG_INFINITY;
             for j in jobs {
-                let remaining_tasks = des.pending_of(j.job);
+                let remaining_tasks = backend.pending_of(j.job);
                 if remaining_tasks == 0 {
                     continue;
                 }
                 let remaining_data = job_data[&j.job] * remaining_tasks as f64 / j.num_tasks as f64;
                 let share = self.priority_share(&lcks, j.job);
-                let workers = des.num_workers().max(1);
+                let workers = backend.num_workers().max(1);
                 // Faults are lost capacity: if a fraction `r` of attempts
                 // is being wasted, effective throughput is `(1 − r)×`, so
                 // the remaining work takes `1 / (1 − r)` longer.
-                let fault_ratio = des.fault_stats().fault_ratio().min(0.9);
+                let fault_ratio = backend.fault_stats().fault_ratio().min(0.9);
                 let fault_inflation = 1.0 / (1.0 - fault_ratio);
-                let predicted_finish = des.now()
+                let predicted_finish = backend.now()
                     + fault_inflation
                         * self.model.job_wcet(remaining_data.max(1e-9), workers, share.max(1e-6));
                 let error = predicted_finish - j.deadline;
@@ -253,16 +286,16 @@ impl DynamicTaskManager {
                 aggregate = aggregate.max(signal);
                 let new_priority =
                     lcks.get_mut(&j.job).expect("lck registered per job").apply(signal);
-                des.set_job_priority(j.job, new_priority);
+                backend.set_job_priority(j.job, new_priority);
             }
             // Global control on the aggregate signal.
             if aggregate.is_finite() {
                 let workers = gck.apply(aggregate);
-                des.set_num_workers(workers);
+                backend.set_num_workers(workers);
             }
         }
 
-        let report = des.run_to_completion();
+        let report = backend.run_to_completion();
         let job_completion = report.job_completion_times();
         let job_met_deadline = jobs
             .iter()
@@ -272,8 +305,8 @@ impl DynamicTaskManager {
             })
             .collect();
         DtmOutcome {
-            final_workers: des.num_workers(),
-            retries: des.retries(),
+            final_workers: backend.num_workers(),
+            retries: backend.retries(),
             faults: report.faults,
             report,
             job_completion,
@@ -462,6 +495,69 @@ mod eviction_tests {
         let b = run();
         assert_eq!(a, b, "identical seeds must replay identically");
         assert!(a.faults.reconciles(), "{}", a.faults);
+    }
+
+    #[test]
+    fn config_overrides_backend_presets_one_path_only() {
+        // Regression for silent config divergence: policy preset directly
+        // on a backend must not survive `run_on` — the DtmConfig is the
+        // single source of scheduling policy. The preset here (a single
+        // attempt, no quarantine headroom) would exhaust tasks under the
+        // fault plan if it leaked through.
+        let jobs: Vec<DtmJob> =
+            (0..3).map(|i| DtmJob::new(JobId::new(i), 5_000.0, 25.0, 4)).collect();
+        let plan = FaultPlan::new(13).with_transient_rate(0.3).with_crash_rate(0.05);
+        let cluster = Cluster::homogeneous(32, 1.0);
+
+        let clean = DynamicTaskManager::new(
+            DtmConfig::default(),
+            cluster.clone(),
+            ExecutionModel::default(),
+        )
+        .run_with_faults(&jobs, &[], Some(plan));
+
+        let mut preset = DesEngine::new(
+            cluster,
+            ExecutionModel::default(),
+            DtmConfig::default().initial_workers,
+        );
+        preset.set_retry_policy(RetryPolicy {
+            max_attempts: 1,
+            backoff_base: 9.0,
+            ..RetryPolicy::default()
+        });
+        preset.set_fast_abort(FastAbort { multiplier: 1.01, min_samples: 1, max_speculations: 9 });
+        let through_dtm = DynamicTaskManager::new(
+            DtmConfig::default(),
+            Cluster::homogeneous(32, 1.0),
+            ExecutionModel::default(),
+        )
+        .run_on(&mut preset, &jobs, &[], Some(plan));
+
+        assert_eq!(through_dtm, clean, "preset backend policy must not leak into the run");
+        assert_eq!(through_dtm.faults.exhausted_tasks, 0, "DtmConfig retry budget applied");
+        assert_eq!(through_dtm.report.completed.len(), 12);
+    }
+
+    #[test]
+    fn threaded_engine_is_a_drop_in_backend() {
+        // The same control loop drives real OS threads: simulated task
+        // durations compressed 200× so the run takes tens of
+        // milliseconds of wall time.
+        use sstd_runtime::ThreadedEngine;
+        let jobs: Vec<DtmJob> =
+            (0..2).map(|i| DtmJob::new(JobId::new(i), 2_000.0, 1_000.0, 4)).collect();
+        let mut engine: ThreadedEngine<()> = ThreadedEngine::new(2);
+        engine.set_simulation(ExecutionModel::default(), 0.005);
+        let cfg = DtmConfig { initial_workers: 2, max_workers: 8, ..DtmConfig::default() };
+        let outcome =
+            DynamicTaskManager::new(cfg, Cluster::homogeneous(8, 1.0), ExecutionModel::default())
+                .run_on(&mut engine, &jobs, &[], None);
+        assert_eq!(outcome.report.completed.len(), 8, "all tasks ran on real threads");
+        assert_eq!(outcome.job_completion.len(), 2);
+        assert!((outcome.job_hit_rate() - 1.0).abs() < 1e-12, "loose deadlines met");
+        assert!(outcome.faults.reconciles(), "{}", outcome.faults);
+        assert!(outcome.final_workers >= 1);
     }
 
     #[test]

@@ -1,0 +1,222 @@
+//! Claims-as-tasks: running SSTD's per-claim truth-discovery jobs on a
+//! distributed execution backend (paper §III-E + §IV).
+//!
+//! SSTD's scalability argument is that truth discovery **partitions by
+//! claim**: each claim's EM fit + Viterbi decode depends only on that
+//! claim's own report sub-stream. This module turns that argument into
+//! running code. [`run_distributed`] partitions a trace with
+//! [`claim_partition`](crate::claim_partition), submits one real task per
+//! claim on any [`JobBackend`] — the task's payload performs the actual
+//! EM + Viterbi fit — and reassembles the per-claim label timelines into
+//! [`TruthEstimates`]. Because the decomposition is exact, the result is
+//! identical to the batch [`SstdEngine::run`], whichever backend executed
+//! the tasks and whatever faults the backend survived along the way.
+
+use crate::{claim_partition, SstdEngine, TruthEstimates};
+use sstd_runtime::{ExecutionReport, FailedTask, JobBackend, JobId, TaskSpec};
+use sstd_types::{ClaimId, Trace, TruthLabel};
+use std::sync::Arc;
+
+/// The result of one per-claim truth-discovery task: the claim and its
+/// decoded label timeline.
+pub type ClaimFit = (ClaimId, Vec<TruthLabel>);
+
+/// A distributed truth-discovery run: the reassembled estimates plus the
+/// backend's execution report (makespan, completions, fault accounting).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistributedRun {
+    /// Per-claim truth estimates, identical to the batch engine's.
+    pub estimates: TruthEstimates,
+    /// What the backend did to produce them.
+    pub report: ExecutionReport,
+}
+
+/// Why a distributed run could not produce complete estimates.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DistributedError {
+    /// The backend dropped tasks after exhausting their retry budgets.
+    TasksFailed(Vec<FailedTask>),
+    /// Claims whose fit never arrived (a backend produced fewer results
+    /// than submitted tasks).
+    MissingClaims(Vec<ClaimId>),
+}
+
+impl std::fmt::Display for DistributedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::TasksFailed(failed) => {
+                write!(f, "{} truth-discovery task(s) exhausted their retries", failed.len())
+            }
+            Self::MissingClaims(claims) => {
+                write!(f, "{} claim(s) received no truth estimate", claims.len())
+            }
+        }
+    }
+}
+
+impl std::error::Error for DistributedError {}
+
+/// Runs truth discovery over `trace` as one distributed TD job on
+/// `backend`: one task per claim, each task's payload an EM + Viterbi fit
+/// of that claim's report sub-stream. Task data sizes are the per-claim
+/// report counts, so the backend's cost model sees the real skew of the
+/// workload. Results are reassembled into [`TruthEstimates`] that match
+/// [`SstdEngine::run`] exactly.
+///
+/// The backend should be freshly configured (fault plan, retry policy,
+/// workers) and carry no undrained results from a previous run.
+///
+/// # Errors
+///
+/// [`DistributedError::TasksFailed`] if the backend exhausted any task's
+/// retry budget; [`DistributedError::MissingClaims`] if reassembly came up
+/// short without a reported failure.
+pub fn run_distributed<B>(
+    engine: &SstdEngine,
+    trace: &Trace,
+    backend: &mut B,
+    job: JobId,
+) -> Result<DistributedRun, DistributedError>
+where
+    B: JobBackend<ClaimFit> + ?Sized,
+{
+    let shared = Arc::new((engine.clone(), trace.clone()));
+    for (claim, reports) in claim_partition(trace) {
+        let spec = TaskSpec::new(job, reports.len() as f64);
+        let shared = Arc::clone(&shared);
+        backend.submit_job(
+            spec,
+            Arc::new(move || {
+                let (engine, trace) = &*shared;
+                (claim, engine.run_claim(trace, claim))
+            }),
+        );
+    }
+    let report = backend.run_to_completion();
+    let failed = backend.failed();
+    if !failed.is_empty() {
+        return Err(DistributedError::TasksFailed(failed));
+    }
+    let mut estimates = TruthEstimates::new(trace.timeline().num_intervals());
+    for (_, (claim, labels)) in backend.drain_results() {
+        estimates.insert(claim, labels);
+    }
+    if estimates.num_claims() != trace.num_claims() {
+        let missing: Vec<ClaimId> = (0..trace.num_claims())
+            .map(|i| ClaimId::new(i as u32))
+            .filter(|c| estimates.labels(*c).is_none())
+            .collect();
+        return Err(DistributedError::MissingClaims(missing));
+    }
+    Ok(DistributedRun { estimates, report })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SstdConfig;
+    use sstd_runtime::{
+        Cluster, DesEngine, ExecutionBackend, ExecutionModel, FaultPlan, RetryPolicy, SimBackend,
+        ThreadedEngine,
+    };
+    use sstd_types::{GroundTruth, Report, SourceId, Timeline, Timestamp};
+
+    /// A small multi-claim trace with per-claim report skew.
+    fn trace() -> Trace {
+        let intervals = 8usize;
+        let timeline = Timeline::new(Timestamp::from_secs(80), intervals);
+        let mut gt = GroundTruth::new(intervals);
+        let mut reports = Vec::new();
+        for c in 0..5u32 {
+            let truth: Vec<TruthLabel> = (0..intervals)
+                .map(|i| {
+                    if (i as u32 + c).is_multiple_of(3) {
+                        TruthLabel::False
+                    } else {
+                        TruthLabel::True
+                    }
+                })
+                .collect();
+            gt.insert(ClaimId::new(c), truth.clone());
+            // Claim c gets c+1 honest sources reporting per interval.
+            for (iv, label) in truth.iter().enumerate() {
+                let t = Timestamp::from_secs(iv as u64 * 10 + 1);
+                for s in 0..=c {
+                    reports.push(Report::plain(
+                        SourceId::new(s),
+                        ClaimId::new(c),
+                        t,
+                        label.honest_attitude(),
+                    ));
+                }
+            }
+        }
+        Trace::new("dist", reports, 5, 5, timeline, gt)
+    }
+
+    #[test]
+    fn distributed_matches_batch_on_the_sim_backend() {
+        let trace = trace();
+        let engine = SstdEngine::new(SstdConfig::default());
+        let batch = engine.run(&trace);
+        let mut backend = SimBackend::new(DesEngine::new(
+            Cluster::homogeneous(3, 1.0),
+            ExecutionModel::default(),
+            3,
+        ));
+        let run = run_distributed(&engine, &trace, &mut backend, JobId::new(0)).expect("all fit");
+        assert_eq!(run.estimates, batch, "claim decomposition is exact");
+        assert_eq!(run.report.completed.len(), 5, "one task per claim");
+        assert!(run.report.makespan > 0.0);
+    }
+
+    #[test]
+    fn distributed_matches_batch_on_real_threads() {
+        let trace = trace();
+        let engine = SstdEngine::new(SstdConfig::default());
+        let batch = engine.run(&trace);
+        let mut backend: ThreadedEngine<ClaimFit> = ThreadedEngine::new(3);
+        let run = run_distributed(&engine, &trace, &mut backend, JobId::new(0)).expect("all fit");
+        assert_eq!(run.estimates, batch, "real threads produce identical estimates");
+        assert_eq!(run.report.completed.len(), 5);
+    }
+
+    #[test]
+    fn faults_delay_but_do_not_corrupt_estimates() {
+        let trace = trace();
+        let engine = SstdEngine::new(SstdConfig::default());
+        let batch = engine.run(&trace);
+        let mut backend = SimBackend::new(DesEngine::new(
+            Cluster::homogeneous(2, 1.0),
+            ExecutionModel::default(),
+            2,
+        ));
+        backend.set_fault_plan(FaultPlan::new(5).with_transient_rate(0.35));
+        backend.set_retry_policy(RetryPolicy { max_attempts: 10, ..RetryPolicy::default() });
+        let run =
+            run_distributed(&engine, &trace, &mut backend, JobId::new(0)).expect("retries win");
+        assert_eq!(run.estimates, batch, "faulted attempts never corrupt results");
+        assert!(run.report.faults.transient_failures > 0, "{}", run.report.faults);
+        assert!(run.report.faults.reconciles(), "{}", run.report.faults);
+    }
+
+    #[test]
+    fn exhausted_tasks_surface_as_errors() {
+        let trace = trace();
+        let engine = SstdEngine::new(SstdConfig::default());
+        let mut backend = SimBackend::new(DesEngine::new(
+            Cluster::homogeneous(2, 1.0),
+            ExecutionModel::default(),
+            2,
+        ));
+        // Every attempt faults and the budget is one attempt: all tasks die.
+        backend.set_fault_plan(FaultPlan::new(1).with_transient_rate(1.0));
+        backend.set_retry_policy(RetryPolicy { max_attempts: 1, ..RetryPolicy::default() });
+        let err = run_distributed(&engine, &trace, &mut backend, JobId::new(0))
+            .expect_err("nothing can complete");
+        match err {
+            DistributedError::TasksFailed(failed) => assert_eq!(failed.len(), 5),
+            other => panic!("unexpected error: {other}"),
+        }
+    }
+}

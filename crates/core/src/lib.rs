@@ -17,7 +17,9 @@
 //!
 //! [`SstdEngine`] is the batch entry point; [`StreamingSstd`] decodes
 //! incrementally as reports arrive, emitting a truth decision per claim
-//! per interval.
+//! per interval; [`run_distributed`] runs the claim decomposition for
+//! real — one task per claim on any `sstd_runtime` execution backend,
+//! reassembled into estimates identical to the batch engine's.
 //!
 //! # Examples
 //!
@@ -50,6 +52,7 @@
 mod acs;
 mod config;
 mod correlation;
+mod distributed;
 mod engine;
 mod estimates;
 mod model;
@@ -58,6 +61,7 @@ mod streaming;
 pub use acs::AcsAggregator;
 pub use config::SstdConfig;
 pub use correlation::{smooth_dependencies, ClaimDependency, Correlation};
+pub use distributed::{run_distributed, ClaimFit, DistributedError, DistributedRun};
 pub use engine::{claim_partition, SstdEngine};
 pub use estimates::{ConfidenceEstimates, TruthEstimates};
 pub use model::{BinnedClaimTruthModel, ClaimTruthModel};

@@ -6,8 +6,13 @@
 //! speedup curve improving with data size — large traces amortize the
 //! per-task initialization and tail-straggler overheads that cap small
 //! traces well below the ideal `N`.
+//!
+//! The measurement is written against [`ExecutionBackend`], so the same
+//! sweep runs on the virtual-clock DES (the default, [`run`]) or on real
+//! OS threads ([`run_on`] with a `ThreadedEngine` factory) with no
+//! backend-specific forks.
 
-use sstd_runtime::{Cluster, DesEngine, ExecutionModel, JobId, TaskSpec};
+use sstd_runtime::{Cluster, DesEngine, ExecutionBackend, ExecutionModel, JobId, TaskSpec};
 
 /// One measured point of Fig. 7.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -24,11 +29,28 @@ pub struct SpeedupPoint {
 /// splitting TD jobs.
 const CHUNK: u64 = 25_000;
 
-/// Per-task init time and per-tweet cost of the simulated TD task
-/// (calibrated to the SSTD engine's measured throughput order).
-const MODEL: (f64, f64) = (0.3, 4.0e-5);
+/// The simulated TD task cost model (per-task init time and per-tweet
+/// cost, calibrated to the SSTD engine's measured throughput order).
+/// Shared by the sweep, the benchmarks, and threaded backends via
+/// `ThreadedEngine::set_simulation`.
+#[must_use]
+pub fn model() -> ExecutionModel {
+    ExecutionModel::new(0.3, 4.0e-5, 4.8e-5)
+}
 
-/// Runs the sweep: every data size × every worker count.
+/// Makespan of one TD job of `data` tweets on `backend`, in the backend's
+/// native seconds. Submits `data / 25k` equal chunk tasks through the
+/// trait and runs them to completion.
+pub fn makespan<B: ExecutionBackend + ?Sized>(backend: &mut B, data: u64) -> f64 {
+    let num_tasks = data.div_ceil(CHUNK).max(1);
+    let per_task = data as f64 / num_tasks as f64;
+    for _ in 0..num_tasks {
+        backend.submit(TaskSpec::new(JobId::new(0), per_task));
+    }
+    backend.run_to_completion().makespan
+}
+
+/// Runs the sweep on the DES: every data size × every worker count.
 ///
 /// # Examples
 ///
@@ -42,27 +64,32 @@ const MODEL: (f64, f64) = (0.3, 4.0e-5);
 /// ```
 #[must_use]
 pub fn run(data_sizes: &[u64], worker_counts: &[usize]) -> Vec<SpeedupPoint> {
+    run_on(data_sizes, worker_counts, |w| DesEngine::new(Cluster::homogeneous(w, 1.0), model(), w))
+}
+
+/// Runs the sweep on backends built by `make_backend(workers)` — the DES
+/// for the paper's 1,900-machine scale, a `ThreadedEngine` to measure the
+/// same workload on real threads.
+#[must_use]
+pub fn run_on<B, F>(
+    data_sizes: &[u64],
+    worker_counts: &[usize],
+    mut make_backend: F,
+) -> Vec<SpeedupPoint>
+where
+    B: ExecutionBackend,
+    F: FnMut(usize) -> B,
+{
     let mut out = Vec::new();
     for &data in data_sizes {
-        let serial = makespan(data, 1);
+        let serial = makespan(&mut make_backend(1), data);
         for &workers in worker_counts {
-            let parallel = if workers == 1 { serial } else { makespan(data, workers) };
+            let parallel =
+                if workers == 1 { serial } else { makespan(&mut make_backend(workers), data) };
             out.push(SpeedupPoint { data_size: data, workers, speedup: serial / parallel });
         }
     }
     out
-}
-
-/// DES makespan of one TD job of `data` tweets on `workers` workers.
-fn makespan(data: u64, workers: usize) -> f64 {
-    let model = ExecutionModel::new(MODEL.0, MODEL.1, MODEL.1 * 1.2);
-    let mut des = DesEngine::new(Cluster::homogeneous(workers, 1.0), model, workers);
-    let num_tasks = data.div_ceil(CHUNK).max(1);
-    let per_task = data as f64 / num_tasks as f64;
-    for _ in 0..num_tasks {
-        des.submit(TaskSpec::new(JobId::new(0), per_task));
-    }
-    des.run_to_completion().makespan
 }
 
 /// Formats points as one series per data size.
@@ -84,6 +111,7 @@ pub fn format(points: &[SpeedupPoint]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sstd_runtime::ThreadedEngine;
 
     #[test]
     fn speedup_of_one_worker_is_one() {
@@ -121,5 +149,24 @@ mod tests {
                 p.speedup
             );
         }
+    }
+
+    #[test]
+    fn threaded_backend_reproduces_the_speedup_trend() {
+        // The same sweep on real OS threads: simulated task durations
+        // compressed 1000× (a 1.3s chunk sleeps 1.3ms), so four workers
+        // genuinely parallelize the sleeps. Wall-clock noise keeps the
+        // bound loose, but parallel must clearly beat serial.
+        let pts = run_on(&[1_000_000], &[1, 4], |w| {
+            let engine: ThreadedEngine<()> = ThreadedEngine::new(w);
+            engine.set_simulation(model(), 1.0e-3);
+            engine
+        });
+        assert_eq!(pts.len(), 2);
+        let s1 = pts.iter().find(|p| p.workers == 1).unwrap().speedup;
+        let s4 = pts.iter().find(|p| p.workers == 4).unwrap().speedup;
+        assert!((s1 - 1.0).abs() < 1e-12);
+        assert!(s4 > 1.5, "4 real workers must beat serial: {s4:.2}x");
+        assert!(s4 <= 4.5, "cannot beat the ideal by more than jitter: {s4:.2}x");
     }
 }

@@ -11,9 +11,16 @@
 //! - [`run_fault_sweep`] — the full robustness grid: eviction rate ×
 //!   transient-fault rate × retry policy, reporting deadline hit rate
 //!   and wasted work (failed-attempt time burned), static vs. PID.
+//!
+//! Both sweeps measure through [`ExecutionBackend`]: the default entry
+//! points run the DES, and the `*_on` variants accept a backend factory
+//! (e.g. a `ThreadedEngine` per grid cell) with no backend-specific
+//! forks in the measurement itself.
 
 use sstd_control::{DtmConfig, DtmJob, DynamicTaskManager};
-use sstd_runtime::{Cluster, ExecutionModel, FaultPlan, JobId, RetryPolicy};
+use sstd_runtime::{
+    Cluster, DesEngine, ExecutionBackend, ExecutionModel, FaultPlan, JobId, RetryPolicy,
+};
 
 /// One measured point: an allocation policy under an eviction rate.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -34,7 +41,25 @@ fn job_set(n_jobs: u32) -> Vec<DtmJob> {
     (0..n_jobs).map(|i| DtmJob::new(JobId::new(i), 8_000.0, 7.5, 4)).collect()
 }
 
-/// Runs the sweep: each eviction count × {static, controlled}.
+/// The standard DES backend for one grid cell (the worker count is
+/// overwritten by the DTM's config before the run).
+fn des_backend() -> DesEngine {
+    DesEngine::new(Cluster::homogeneous(32, 1.0), ExecutionModel::default(), 8)
+}
+
+/// The standard DTM for one grid cell.
+fn dtm(controlled: bool, retry: RetryPolicy) -> DynamicTaskManager {
+    let config = DtmConfig {
+        control_enabled: controlled,
+        initial_workers: 8,
+        max_workers: 32,
+        retry,
+        ..DtmConfig::default()
+    };
+    DynamicTaskManager::new(config, Cluster::homogeneous(32, 1.0), ExecutionModel::default())
+}
+
+/// Runs the sweep on the DES: each eviction count × {static, controlled}.
 ///
 /// Evictions are spread evenly over the first 10 virtual seconds — the
 /// busy ramp-up phase where losing a worker hurts most.
@@ -49,22 +74,28 @@ fn job_set(n_jobs: u32) -> Vec<DtmJob> {
 /// ```
 #[must_use]
 pub fn run(eviction_counts: &[usize]) -> Vec<RobustnessPoint> {
+    run_on(eviction_counts, des_backend)
+}
+
+/// Runs the eviction sweep on backends built by `make_backend` (one fresh
+/// backend per grid cell).
+#[must_use]
+pub fn run_on<B, F>(eviction_counts: &[usize], mut make_backend: F) -> Vec<RobustnessPoint>
+where
+    B: ExecutionBackend,
+    F: FnMut() -> B,
+{
     let mut out = Vec::new();
     for &n in eviction_counts {
         let evictions: Vec<f64> = (0..n).map(|i| 1.0 + 9.0 * i as f64 / n.max(1) as f64).collect();
         for controlled in [false, true] {
-            let config = DtmConfig {
-                control_enabled: controlled,
-                initial_workers: 8,
-                max_workers: 32,
-                ..DtmConfig::default()
-            };
-            let mut dtm = DynamicTaskManager::new(
-                config,
-                Cluster::homogeneous(32, 1.0),
-                ExecutionModel::default(),
+            let mut backend = make_backend();
+            let outcome = dtm(controlled, RetryPolicy::default()).run_on(
+                &mut backend,
+                &job_set(6),
+                &evictions,
+                None,
             );
-            let outcome = dtm.run_with_evictions(&job_set(6), &evictions);
             out.push(RobustnessPoint {
                 controlled,
                 num_evictions: n,
@@ -133,8 +164,8 @@ pub fn retry_policies() -> Vec<(&'static str, RetryPolicy)> {
     ]
 }
 
-/// Runs the full grid: eviction count × transient-fault rate × retry
-/// policy, each under static and PID-controlled allocation. Fault
+/// Runs the full grid on the DES: eviction count × transient-fault rate ×
+/// retry policy, each under static and PID-controlled allocation. Fault
 /// schedules are seeded per grid point, so the sweep is deterministic.
 #[must_use]
 pub fn run_fault_sweep(
@@ -142,6 +173,22 @@ pub fn run_fault_sweep(
     transient_rates: &[f64],
     retries: &[(&'static str, RetryPolicy)],
 ) -> Vec<FaultSweepPoint> {
+    run_fault_sweep_on(eviction_counts, transient_rates, retries, des_backend)
+}
+
+/// Runs the fault grid on backends built by `make_backend` (one fresh
+/// backend per grid cell).
+#[must_use]
+pub fn run_fault_sweep_on<B, F>(
+    eviction_counts: &[usize],
+    transient_rates: &[f64],
+    retries: &[(&'static str, RetryPolicy)],
+    mut make_backend: F,
+) -> Vec<FaultSweepPoint>
+where
+    B: ExecutionBackend,
+    F: FnMut() -> B,
+{
     let mut out = Vec::new();
     for &n in eviction_counts {
         let evictions: Vec<f64> = (0..n).map(|i| 1.0 + 9.0 * i as f64 / n.max(1) as f64).collect();
@@ -152,19 +199,13 @@ pub fn run_fault_sweep(
                 let seed = 1_000 + n as u64 * 97 + (rate * 1_000.0) as u64;
                 let plan = FaultPlan::new(seed).with_transient_rate(rate);
                 for controlled in [false, true] {
-                    let config = DtmConfig {
-                        control_enabled: controlled,
-                        initial_workers: 8,
-                        max_workers: 32,
-                        retry,
-                        ..DtmConfig::default()
-                    };
-                    let mut dtm = DynamicTaskManager::new(
-                        config,
-                        Cluster::homogeneous(32, 1.0),
-                        ExecutionModel::default(),
+                    let mut backend = make_backend();
+                    let outcome = dtm(controlled, retry).run_on(
+                        &mut backend,
+                        &job_set(6),
+                        &evictions,
+                        Some(plan),
                     );
-                    let outcome = dtm.run_with_faults(&job_set(6), &evictions, Some(plan));
                     debug_assert!(outcome.faults.reconciles(), "{}", outcome.faults);
                     out.push(FaultSweepPoint {
                         controlled,
@@ -305,6 +346,29 @@ mod tests {
         let no_retry_exhausted: u64 =
             pts.iter().filter(|p| p.retry_label == "no-retry").map(|p| p.exhausted).sum();
         assert!(no_retry_exhausted > 0, "rate 0.25 must exhaust no-retry tasks");
+    }
+
+    #[test]
+    fn sweeps_run_on_real_threads() {
+        // The same measurement code drives a ThreadedEngine per grid
+        // cell: simulated durations compressed 500×. Wall-clock jitter
+        // makes hit rates unstable, so assertions stick to structure and
+        // fault accounting.
+        use sstd_runtime::ThreadedEngine;
+        let threaded = || {
+            let engine: ThreadedEngine<()> = ThreadedEngine::new(8);
+            engine.set_simulation(ExecutionModel::default(), 2.0e-3);
+            engine
+        };
+        let pts = run_on(&[4], threaded);
+        assert_eq!(pts.len(), 2, "one eviction count, both allocation policies");
+        assert!(pts.iter().all(|p| (0.0..=1.0).contains(&p.job_hit_rate)));
+
+        let fpts =
+            run_fault_sweep_on(&[0], &[0.2], &[("default", RetryPolicy::default())], threaded);
+        assert_eq!(fpts.len(), 2);
+        assert!(fpts.iter().all(|p| p.retries > 0), "20% transient faults must retry: {fpts:?}");
+        assert!(fpts.iter().all(|p| p.exhausted == 0), "default policy rescues every task");
     }
 
     #[test]

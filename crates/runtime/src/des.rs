@@ -15,12 +15,11 @@
 //! of the online mean task time. All decisions are pure functions of the
 //! seed, so fault runs replay byte-for-byte.
 
-use crate::fault::splitmix64;
 use crate::{
-    Cluster, CompletedTask, ExecutionModel, ExecutionReport, FailedTask, FastAbort, FaultKind,
-    FaultPlan, FaultStats, JobId, RetryPolicy, TaskId, TaskPool, TaskSpec, WorkerId,
+    AttemptLedger, AttemptLoss, Cluster, CompletedTask, ExecutionBackend, ExecutionModel,
+    ExecutionReport, FailedTask, FastAbort, FaultKind, FaultPlan, FaultStats, JobId, LossVerdict,
+    RetryPolicy, TaskId, TaskPool, TaskSpec, WorkerId,
 };
-use sstd_stats::OnlineStats;
 use std::collections::BTreeMap;
 
 /// One entry of the simulator's lifecycle log — the observability stream
@@ -200,29 +199,12 @@ pub struct DesEngine {
     /// Faulted tasks waiting out their retry backoff:
     /// `(release_at, task, spec, original_submit_time)`, sorted.
     delayed: Vec<(f64, TaskId, TaskSpec, f64)>,
-    /// Tasks re-queued after losing an attempt (any cause).
-    retries: u64,
     /// Lifecycle log.
     events: Vec<DesEvent>,
-    /// Injected fault schedule, if any.
-    plan: Option<FaultPlan>,
-    /// Retry/backoff/quarantine policy.
-    retry: RetryPolicy,
-    /// Straggler mitigation, if enabled.
-    fast_abort: Option<FastAbort>,
-    /// Started attempts per live task.
-    attempts: BTreeMap<TaskId, u32>,
-    /// Fast-aborts consumed per live task.
-    speculations: BTreeMap<TaskId, u32>,
-    /// Faults attributed to each worker (for quarantine).
-    worker_faults: BTreeMap<WorkerId, u32>,
-    /// Failed-attempt accounting.
-    stats: FaultStats,
-    /// Online mean/variance of completed attempt durations (drives
-    /// fast-abort).
-    task_durations: OnlineStats,
-    /// Tasks dropped after exhausting their retry budget.
-    failed: Vec<FailedTask>,
+    /// The shared retry/quarantine/fast-abort state machine
+    /// ([`AttemptLedger`]); this backend only supplies the virtual clock
+    /// and the event mechanics.
+    ledger: AttemptLedger,
 }
 
 impl DesEngine {
@@ -247,17 +229,8 @@ impl DesEngine {
             evictions: Vec::new(),
             respawns: Vec::new(),
             delayed: Vec::new(),
-            retries: 0,
             events: Vec::new(),
-            plan: None,
-            retry: RetryPolicy::default(),
-            fast_abort: None,
-            attempts: BTreeMap::new(),
-            speculations: BTreeMap::new(),
-            worker_faults: BTreeMap::new(),
-            stats: FaultStats::default(),
-            task_durations: OnlineStats::new(),
-            failed: Vec::new(),
+            ledger: AttemptLedger::new(),
         };
         engine.grow_workers(num_workers);
         engine
@@ -279,7 +252,7 @@ impl DesEngine {
 
     /// Installs a deterministic fault-injection schedule.
     pub fn set_fault_plan(&mut self, plan: FaultPlan) {
-        self.plan = Some(plan);
+        self.ledger.set_plan(plan);
     }
 
     /// Sets the retry/backoff/quarantine policy.
@@ -288,8 +261,7 @@ impl DesEngine {
     ///
     /// Panics if the policy is invalid (see [`RetryPolicy::validate`]).
     pub fn set_retry_policy(&mut self, retry: RetryPolicy) {
-        retry.validate();
-        self.retry = retry;
+        self.ledger.set_retry(retry);
     }
 
     /// Enables straggler fast-abort.
@@ -298,8 +270,7 @@ impl DesEngine {
     ///
     /// Panics if the configuration is invalid (see [`FastAbort::validate`]).
     pub fn set_fast_abort(&mut self, fast_abort: FastAbort) {
-        fast_abort.validate();
-        self.fast_abort = Some(fast_abort);
+        self.ledger.set_fast_abort(fast_abort);
     }
 
     /// Current virtual time.
@@ -345,19 +316,19 @@ impl DesEngine {
     /// transient fault or fast-abort.
     #[must_use]
     pub const fn retries(&self) -> u64 {
-        self.retries
+        self.ledger.retries()
     }
 
     /// Failed-attempt accounting for this run.
     #[must_use]
     pub const fn fault_stats(&self) -> FaultStats {
-        self.stats
+        self.ledger.stats()
     }
 
     /// Tasks dropped after exhausting their retry budget.
     #[must_use]
-    pub fn failed(&self) -> &[FailedTask] {
-        &self.failed
+    pub fn failed(&self) -> Vec<FailedTask> {
+        self.ledger.failed().to_vec()
     }
 
     /// The lifecycle event log, in event order.
@@ -408,11 +379,14 @@ impl DesEngine {
             // preserving its submission time so latency accounting stays
             // honest, and without touching the job's stride pass.
             interrupted = Some(run.task);
-            self.stats.crash_failures += 1;
-            self.stats.wasted_time += t - run.started_at;
-            self.pool.requeue(run.task, run.spec);
-            self.submit_times.insert(run.task, run.submitted_at);
-            self.retries += 1;
+            self.ledger.account_loss(AttemptLoss::Crash, t - run.started_at);
+            match self.ledger.settle_loss(run.task, run.spec.job(), AttemptLoss::Crash, "evicted") {
+                LossVerdict::Retry { .. } => {
+                    self.pool.requeue(run.task, run.spec);
+                    self.submit_times.insert(run.task, run.submitted_at);
+                }
+                LossVerdict::Exhausted => self.exhaust(&run, t),
+            }
         }
         self.events.push(DesEvent::WorkerEvicted {
             worker: self.workers[widx].id,
@@ -517,40 +491,29 @@ impl DesEngine {
 
     fn start_on(&mut self, widx: usize, task: TaskId, spec: TaskSpec) {
         let speed = self.workers[widx].speed;
-        let attempt = {
-            let started = self.attempts.entry(task).or_insert(0);
-            let idx = *started;
-            *started += 1;
-            idx
-        };
-        self.stats.attempts += 1;
+        let (attempt, fault) = self.ledger.begin_attempt(task);
         let mut duration = self.model.task_time_on(&spec, speed);
         let mut fails_at = None;
         let mut crashes_worker = false;
-        if let Some(plan) = self.plan {
-            match plan.decide(task, attempt) {
-                Some(FaultKind::Straggler) => duration *= plan.straggler_slowdown(),
-                Some(FaultKind::Transient) => {
+        if let (Some(kind), Some(plan)) = (fault, self.ledger.plan()) {
+            match kind {
+                FaultKind::Straggler => duration *= plan.straggler_slowdown(),
+                FaultKind::Transient => {
                     fails_at = Some(self.clock + duration * plan.fail_point());
                 }
-                Some(FaultKind::WorkerCrash) => {
+                FaultKind::WorkerCrash => {
                     fails_at = Some(self.clock + duration * plan.fail_point());
                     crashes_worker = true;
                 }
-                None => {}
             }
         }
         // Arm fast-abort once the running mean is warm: an attempt
         // projected past `k × mean` is killed at the threshold (the
         // master only observes elapsed time) unless this task has used
         // up its speculation budget.
-        let abort_at = self.fast_abort.and_then(|fa| {
-            if self.task_durations.count() < fa.min_samples {
-                return None;
-            }
-            let threshold = fa.multiplier * self.task_durations.mean();
-            let used = self.speculations.get(&task).copied().unwrap_or(0);
-            (duration > threshold && used < fa.max_speculations).then_some(self.clock + threshold)
+        let abort_at = self.ledger.fast_abort_threshold().and_then(|threshold| {
+            (duration > threshold && self.ledger.speculation_allowed(task))
+                .then_some(self.clock + threshold)
         });
         let submitted_at = self.submit_times.remove(&task).unwrap_or(self.clock);
         self.events.push(DesEvent::TaskStarted {
@@ -650,7 +613,6 @@ impl DesEngine {
         let run = self.workers[widx].running.take().expect("faulting worker runs a task");
         let worker_id = self.workers[widx].id;
         let kind = if run.crashes_worker { FaultKind::WorkerCrash } else { FaultKind::Transient };
-        self.stats.wasted_time += t - run.started_at;
         self.events.push(DesEvent::TaskFailed {
             task: run.task,
             job: run.spec.job(),
@@ -661,38 +623,44 @@ impl DesEngine {
         });
         match kind {
             FaultKind::Transient => {
-                self.stats.transient_failures += 1;
-                let started = self.attempts.get(&run.task).copied().unwrap_or(1);
-                if started >= self.retry.max_attempts {
-                    self.exhaust(&run, t, "transient-fault retries exhausted");
-                } else {
-                    // Exponential backoff with deterministic jitter.
-                    let salt =
-                        splitmix64(self.plan.map_or(0, |p| p.seed()) ^ run.task.index() as u64);
-                    let delay = self.retry.backoff(started, salt);
-                    self.schedule_release(t + delay, run.task, run.spec, run.submitted_at);
-                    self.retries += 1;
+                let loss = AttemptLoss::Transient { panicked: false };
+                self.ledger.account_loss(loss, t - run.started_at);
+                match self.ledger.settle_loss(
+                    run.task,
+                    run.spec.job(),
+                    loss,
+                    "transient-fault retries exhausted",
+                ) {
+                    LossVerdict::Retry { delay } => {
+                        // Exponential backoff with deterministic jitter.
+                        self.schedule_release(t + delay, run.task, run.spec, run.submitted_at);
+                    }
+                    LossVerdict::Exhausted => self.exhaust(&run, t),
                 }
                 self.note_worker_fault(widx, t);
             }
             FaultKind::WorkerCrash => {
-                self.stats.crash_failures += 1;
+                self.ledger.account_loss(AttemptLoss::Crash, t - run.started_at);
                 // Losing the machine is not the task's fault: re-queue
                 // immediately, bounded only by the hard cap.
-                let started = self.attempts.get(&run.task).copied().unwrap_or(1);
-                if started >= self.retry.hard_attempt_cap() {
-                    self.exhaust(&run, t, "worker-crash retries exhausted");
-                } else {
-                    self.pool.requeue(run.task, run.spec);
-                    self.submit_times.insert(run.task, run.submitted_at);
-                    self.retries += 1;
+                match self.ledger.settle_loss(
+                    run.task,
+                    run.spec.job(),
+                    AttemptLoss::Crash,
+                    "worker-crash retries exhausted",
+                ) {
+                    LossVerdict::Retry { .. } => {
+                        self.pool.requeue(run.task, run.spec);
+                        self.submit_times.insert(run.task, run.submitted_at);
+                    }
+                    LossVerdict::Exhausted => self.exhaust(&run, t),
                 }
                 self.events.push(DesEvent::WorkerCrashed {
                     worker: worker_id,
                     at: t,
                     interrupted: Some(run.task),
                 });
-                let delay = self.plan.map_or(1.0, |p| p.worker_restart_delay());
+                let delay = self.ledger.plan().map_or(1.0, |p| p.worker_restart_delay());
                 self.respawns.push(t + delay);
                 self.respawns.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
                 self.workers.remove(widx);
@@ -707,9 +675,8 @@ impl DesEngine {
         self.clock = self.clock.max(t);
         let run = self.workers[widx].running.take().expect("aborting worker runs a task");
         let worker_id = self.workers[widx].id;
-        self.stats.straggler_aborts += 1;
-        self.stats.wasted_time += t - run.started_at;
-        *self.speculations.entry(run.task).or_insert(0) += 1;
+        self.ledger.account_loss(AttemptLoss::FastAbort, t - run.started_at);
+        self.ledger.note_speculation(run.task);
         self.events.push(DesEvent::TaskFailed {
             task: run.task,
             job: run.spec.job(),
@@ -722,9 +689,18 @@ impl DesEngine {
         // worker (the plan decides per attempt). After the speculation
         // budget, the attempt is left to run to completion, so genuinely
         // long tasks always finish.
-        self.pool.requeue(run.task, run.spec);
-        self.submit_times.insert(run.task, run.submitted_at);
-        self.retries += 1;
+        match self.ledger.settle_loss(
+            run.task,
+            run.spec.job(),
+            AttemptLoss::FastAbort,
+            "fast-abort",
+        ) {
+            LossVerdict::Retry { .. } => {
+                self.pool.requeue(run.task, run.spec);
+                self.submit_times.insert(run.task, run.submitted_at);
+            }
+            LossVerdict::Exhausted => self.exhaust(&run, t),
+        }
         self.note_worker_fault(widx, t);
         if self.workers.get(widx).is_some_and(|w| w.draining && w.running.is_none()) {
             self.workers.remove(widx);
@@ -735,18 +711,9 @@ impl DesEngine {
     /// Attributes a fault to a worker and quarantines it past the
     /// threshold (never the last worker standing).
     fn note_worker_fault(&mut self, widx: usize, t: f64) {
-        if self.retry.quarantine_threshold == 0 {
-            return;
-        }
         let Some(worker) = self.workers.get(widx) else { return };
         let id = worker.id;
-        let count = {
-            let c = self.worker_faults.entry(id).or_insert(0);
-            *c += 1;
-            *c
-        };
-        if count >= self.retry.quarantine_threshold && self.num_workers() > 1 {
-            self.stats.quarantined_workers += 1;
+        if self.ledger.note_worker_fault(id, self.num_workers()) {
             self.events.push(DesEvent::WorkerQuarantined { worker: id, at: t });
             // Anything still on it (shouldn't be: faults strip the task
             // first) would be re-queued by the caller; just remove it.
@@ -754,22 +721,16 @@ impl DesEngine {
         }
     }
 
-    /// Drops a task whose retry budget is spent.
-    fn exhaust(&mut self, run: &Running, t: f64, why: &str) {
-        let attempts = self.attempts.get(&run.task).copied().unwrap_or(0);
-        self.stats.exhausted_tasks += 1;
+    /// Drops a task whose retry budget is spent. The ledger already
+    /// recorded the terminal [`FailedTask`]; this handles the DES-side
+    /// bookkeeping (latency map, event log).
+    fn exhaust(&mut self, run: &Running, t: f64) {
         self.submit_times.remove(&run.task);
         self.events.push(DesEvent::TaskExhausted {
             task: run.task,
             job: run.spec.job(),
-            attempts,
+            attempts: self.ledger.attempts_started(run.task),
             at: t,
-        });
-        self.failed.push(FailedTask {
-            task: run.task,
-            job: run.spec.job(),
-            attempts,
-            error: why.to_string(),
         });
     }
 
@@ -784,10 +745,7 @@ impl DesEngine {
     fn complete_attempt(&mut self, widx: usize, t: f64) -> CompletedTask {
         let run = self.workers[widx].running.take().expect("selected running worker");
         self.clock = self.clock.max(t);
-        self.stats.successes += 1;
-        self.task_durations.push(run.finishes_at - run.started_at);
-        self.attempts.remove(&run.task);
-        self.speculations.remove(&run.task);
+        self.ledger.record_success(run.task, run.finishes_at - run.started_at);
         let done = CompletedTask {
             task: run.task,
             job: run.spec.job(),
@@ -843,8 +801,65 @@ impl DesEngine {
         ExecutionReport {
             completed: self.completed.clone(),
             makespan: self.clock,
-            faults: self.stats,
+            faults: self.ledger.stats(),
         }
+    }
+}
+
+impl ExecutionBackend for DesEngine {
+    fn submit(&mut self, spec: TaskSpec) -> TaskId {
+        DesEngine::submit(self, spec)
+    }
+    fn set_job_priority(&mut self, job: JobId, priority: f64) {
+        DesEngine::set_job_priority(self, job, priority);
+    }
+    fn set_num_workers(&mut self, n: usize) {
+        DesEngine::set_num_workers(self, n);
+    }
+    fn num_workers(&self) -> usize {
+        DesEngine::num_workers(self)
+    }
+    fn pending(&self) -> usize {
+        DesEngine::pending(self)
+    }
+    fn pending_of(&self, job: JobId) -> usize {
+        DesEngine::pending_of(self, job)
+    }
+    fn running(&self) -> usize {
+        DesEngine::running(self)
+    }
+    fn now(&self) -> f64 {
+        DesEngine::now(self)
+    }
+    fn run_until(&mut self, t: f64) {
+        DesEngine::run_until(self, t);
+    }
+    fn run_to_completion(&mut self) -> ExecutionReport {
+        DesEngine::run_to_completion(self)
+    }
+    fn schedule_eviction(&mut self, t: f64) {
+        DesEngine::schedule_eviction(self, t);
+    }
+    fn set_fault_plan(&mut self, plan: FaultPlan) {
+        DesEngine::set_fault_plan(self, plan);
+    }
+    fn set_retry_policy(&mut self, retry: RetryPolicy) {
+        DesEngine::set_retry_policy(self, retry);
+    }
+    fn set_fast_abort(&mut self, fast_abort: FastAbort) {
+        DesEngine::set_fast_abort(self, fast_abort);
+    }
+    fn retries(&self) -> u64 {
+        DesEngine::retries(self)
+    }
+    fn fault_stats(&self) -> FaultStats {
+        DesEngine::fault_stats(self)
+    }
+    fn failed(&self) -> Vec<FailedTask> {
+        DesEngine::failed(self)
+    }
+    fn backend_name(&self) -> &'static str {
+        "des"
     }
 }
 

@@ -27,7 +27,13 @@
 //!   transient failures, worker crashes and stragglers, retry with
 //!   exponential backoff, quarantine, and fast-abort straggler
 //!   mitigation, with [`FaultStats`] accounting that always reconciles
-//!   (see DESIGN.md "Fault model & recovery").
+//!   (see DESIGN.md "Fault model & recovery");
+//! - [`AttemptLedger`] — the backend-agnostic per-task attempt state
+//!   machine both backends delegate their retry/quarantine/fast-abort
+//!   decisions to, so the policy exists exactly once;
+//! - [`ExecutionBackend`] / [`JobBackend`] — the unified substrate trait
+//!   every layer above the runtime programs against, with [`SimBackend`]
+//!   adapting the DES to carry real task payloads.
 //!
 //! # Examples
 //!
@@ -49,6 +55,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+mod backend;
 mod cluster;
 mod des;
 mod fault;
@@ -56,10 +63,12 @@ mod ids;
 mod pool;
 mod report;
 mod resources;
+mod sched;
 mod task;
 mod threaded;
 mod wcet;
 
+pub use backend::{ExecutionBackend, JobBackend, SimBackend, TaskPayload};
 pub use cluster::{Cluster, NodeSpec};
 pub use des::{DesEngine, DesEvent};
 pub use fault::{FailedTask, FastAbort, FaultKind, FaultPlan, FaultStats, RetryPolicy};
@@ -67,6 +76,7 @@ pub use ids::{JobId, TaskId, WorkerId};
 pub use pool::TaskPool;
 pub use report::{CompletedTask, ExecutionReport};
 pub use resources::ResourceVector;
+pub use sched::{AttemptLedger, AttemptLoss, LossVerdict};
 pub use task::TaskSpec;
 pub use threaded::{ThreadedEngine, ThreadedWorkQueue};
 pub use wcet::ExecutionModel;

@@ -1,0 +1,417 @@
+//! Backend-agnostic scheduling policy: the shared per-task attempt state
+//! machine.
+//!
+//! Both execution backends — the virtual-clock [`crate::DesEngine`] and
+//! the OS-thread [`crate::ThreadedEngine`] — must make the *same*
+//! decisions about a faulted attempt: whether to retry it, how long to
+//! back off, when a task's budget is exhausted, when a flaky worker gets
+//! quarantined, and how every started attempt is reconciled in
+//! [`FaultStats`]. Before this module each backend carried its own copy of
+//! that machinery; now the policy lives once in [`AttemptLedger`] and each
+//! backend supplies only its clock and execution mechanism (event
+//! dispatching in the DES, threads and condvars in the threaded engine).
+//!
+//! The ledger is deliberately passive: it never schedules anything itself.
+//! A backend reports lifecycle transitions (`begin_attempt`,
+//! `record_success`, `account_loss` + `settle_loss`) and acts on the
+//! returned [`LossVerdict`] with its own re-queue/backoff mechanics, so
+//! time stays backend-native (virtual seconds in the DES, scaled real
+//! seconds in the threaded engine).
+
+use crate::fault::splitmix64;
+use crate::{
+    FailedTask, FastAbort, FaultKind, FaultPlan, FaultStats, JobId, RetryPolicy, TaskId, WorkerId,
+};
+use sstd_stats::OnlineStats;
+use std::collections::BTreeMap;
+
+/// Why a started attempt ended without a recorded success. Maps one-to-one
+/// onto the failure/abort counters of [`FaultStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttemptLoss {
+    /// A transient failure: injected by the [`FaultPlan`], or a panic
+    /// caught in the threaded backend (`panicked` distinguishes the two).
+    Transient {
+        /// Whether the loss was a caught panic (threaded backend).
+        panicked: bool,
+    },
+    /// The executing worker died mid-attempt (injected crash or scheduled
+    /// eviction); the machine is at fault, not the task.
+    Crash,
+    /// The attempt was killed by straggler fast-abort.
+    FastAbort,
+    /// The attempt was abandoned after exceeding the wall-clock timeout
+    /// (threaded backend).
+    Timeout,
+}
+
+/// The ledger's verdict on a lost attempt.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LossVerdict {
+    /// Re-queue the task after `delay` backend-native seconds (`0` means
+    /// immediately). The retry has already been counted.
+    Retry {
+        /// Backoff before the task becomes runnable again.
+        delay: f64,
+    },
+    /// The retry budget is spent: the task has been recorded in
+    /// [`AttemptLedger::failed`] and must not be re-queued.
+    Exhausted,
+}
+
+/// The shared attempt state machine: retry bookkeeping, backoff,
+/// quarantine counting, fast-abort budgets and [`FaultStats`]
+/// reconciliation, factored out of both backends.
+///
+/// Invariant: every attempt opened with [`begin_attempt`] is closed by
+/// exactly one of [`record_success`], [`record_lost_duplicate`] or
+/// [`account_loss`], which is what keeps
+/// [`FaultStats::reconciles`] true on both backends.
+///
+/// [`begin_attempt`]: AttemptLedger::begin_attempt
+/// [`record_success`]: AttemptLedger::record_success
+/// [`record_lost_duplicate`]: AttemptLedger::record_lost_duplicate
+/// [`account_loss`]: AttemptLedger::account_loss
+#[derive(Debug, Default)]
+pub struct AttemptLedger {
+    /// Injected fault schedule, if any.
+    plan: Option<FaultPlan>,
+    /// Retry/backoff/quarantine policy.
+    retry: RetryPolicy,
+    /// Straggler mitigation, if enabled.
+    fast_abort: Option<FastAbort>,
+    /// Started attempts per live task (also the next attempt's zero-based
+    /// index).
+    attempts: BTreeMap<TaskId, u32>,
+    /// Fast-aborts / speculations consumed per live task.
+    speculations: BTreeMap<TaskId, u32>,
+    /// Faults attributed to each worker (for quarantine).
+    worker_faults: BTreeMap<WorkerId, u32>,
+    /// Failed-attempt accounting.
+    stats: FaultStats,
+    /// Online mean/variance of successful attempt durations (drives
+    /// fast-abort).
+    durations: OnlineStats,
+    /// Tasks dropped after exhausting their retry budget.
+    failed: Vec<FailedTask>,
+    /// Tasks re-queued after losing an attempt (any cause).
+    retries: u64,
+}
+
+impl AttemptLedger {
+    /// Creates an empty ledger with the default [`RetryPolicy`], no fault
+    /// plan and no fast-abort.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Installs a deterministic fault-injection schedule.
+    pub fn set_plan(&mut self, plan: FaultPlan) {
+        self.plan = Some(plan);
+    }
+
+    /// The installed fault schedule, if any.
+    #[must_use]
+    pub const fn plan(&self) -> Option<FaultPlan> {
+        self.plan
+    }
+
+    /// Sets the retry/backoff/quarantine policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy is invalid (see [`RetryPolicy::validate`]).
+    pub fn set_retry(&mut self, retry: RetryPolicy) {
+        retry.validate();
+        self.retry = retry;
+    }
+
+    /// The active retry policy.
+    #[must_use]
+    pub const fn retry(&self) -> RetryPolicy {
+        self.retry
+    }
+
+    /// Enables straggler fast-abort.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see [`FastAbort::validate`]).
+    pub fn set_fast_abort(&mut self, fast_abort: FastAbort) {
+        fast_abort.validate();
+        self.fast_abort = Some(fast_abort);
+    }
+
+    /// The active fast-abort configuration, if enabled.
+    #[must_use]
+    pub const fn fast_abort(&self) -> Option<FastAbort> {
+        self.fast_abort
+    }
+
+    /// Opens an attempt: bumps the task's attempt counter and the global
+    /// attempt count, and returns the zero-based attempt index together
+    /// with the fault the plan injects into it (if any).
+    pub fn begin_attempt(&mut self, task: TaskId) -> (u32, Option<FaultKind>) {
+        let counter = self.attempts.entry(task).or_insert(0);
+        let attempt = *counter;
+        *counter += 1;
+        self.stats.attempts += 1;
+        let fault = self.plan.and_then(|p| p.decide(task, attempt));
+        (attempt, fault)
+    }
+
+    /// Attempts started so far for `task`.
+    #[must_use]
+    pub fn attempts_started(&self, task: TaskId) -> u32 {
+        self.attempts.get(&task).copied().unwrap_or(0)
+    }
+
+    /// Closes an attempt as the task's recorded success: feeds the online
+    /// duration mean and clears the task's per-attempt bookkeeping.
+    pub fn record_success(&mut self, task: TaskId, duration: f64) {
+        self.stats.successes += 1;
+        self.durations.push(duration);
+        self.attempts.remove(&task);
+        self.speculations.remove(&task);
+    }
+
+    /// Closes an attempt that completed *after* its task was already done
+    /// — a speculative duplicate that lost the race. The work is wasted
+    /// and accounted as a straggler abort.
+    pub fn record_lost_duplicate(&mut self, elapsed: f64) {
+        self.stats.straggler_aborts += 1;
+        self.stats.wasted_time += elapsed;
+    }
+
+    /// Closes a lost attempt in the stats: counts the loss by kind and the
+    /// `elapsed` backend-native seconds it burned. Separate from
+    /// [`settle_loss`](Self::settle_loss) because a backend may account a
+    /// loss whose task is still covered by a sibling attempt (speculative
+    /// duplicate or queued retry) and therefore needs no verdict.
+    pub fn account_loss(&mut self, loss: AttemptLoss, elapsed: f64) {
+        self.stats.wasted_time += elapsed;
+        match loss {
+            AttemptLoss::Transient { panicked } => {
+                self.stats.transient_failures += 1;
+                if panicked {
+                    self.stats.panics += 1;
+                }
+            }
+            AttemptLoss::Crash => self.stats.crash_failures += 1,
+            AttemptLoss::FastAbort => self.stats.straggler_aborts += 1,
+            AttemptLoss::Timeout => self.stats.timeout_aborts += 1,
+        }
+    }
+
+    /// Decides a lost attempt's fate: retry (with the policy's backoff and
+    /// deterministic jitter) or exhaustion. Crash losses are bounded only
+    /// by the generous hard cap — losing a machine is not the task's fault
+    /// — and retry immediately; fast-aborts are budgeted upfront via
+    /// [`speculation_allowed`](Self::speculation_allowed) and always
+    /// re-queue; everything else burns the `max_attempts` budget and backs
+    /// off exponentially.
+    pub fn settle_loss(
+        &mut self,
+        task: TaskId,
+        job: JobId,
+        loss: AttemptLoss,
+        error: &str,
+    ) -> LossVerdict {
+        let started = self.attempts.get(&task).copied().unwrap_or(1);
+        let cap = match loss {
+            AttemptLoss::Crash => self.retry.hard_attempt_cap(),
+            AttemptLoss::FastAbort => u32::MAX,
+            AttemptLoss::Transient { .. } | AttemptLoss::Timeout => self.retry.max_attempts,
+        };
+        if started >= cap {
+            self.stats.exhausted_tasks += 1;
+            self.failed.push(FailedTask { task, job, attempts: started, error: error.to_string() });
+            LossVerdict::Exhausted
+        } else {
+            self.retries += 1;
+            let delay = match loss {
+                AttemptLoss::Crash | AttemptLoss::FastAbort => 0.0,
+                AttemptLoss::Transient { .. } | AttemptLoss::Timeout => {
+                    let salt = splitmix64(self.plan.map_or(0, |p| p.seed()) ^ task.index() as u64);
+                    self.retry.backoff(started, salt)
+                }
+            };
+            LossVerdict::Retry { delay }
+        }
+    }
+
+    /// Attributes a fault to `worker` and decides quarantine: returns
+    /// `true` when the worker crossed the policy threshold and
+    /// `alive_workers > 1` (never the last worker standing). The caller
+    /// removes the worker from its pool; the quarantine is already counted
+    /// in the stats.
+    pub fn note_worker_fault(&mut self, worker: WorkerId, alive_workers: usize) -> bool {
+        if self.retry.quarantine_threshold == 0 {
+            return false;
+        }
+        let count = {
+            let c = self.worker_faults.entry(worker).or_insert(0);
+            *c += 1;
+            *c
+        };
+        if count >= self.retry.quarantine_threshold && alive_workers > 1 {
+            self.stats.quarantined_workers += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consumes one unit of `task`'s speculation budget (a fast-abort in
+    /// the DES, a speculative duplicate in the threaded backend).
+    pub fn note_speculation(&mut self, task: TaskId) {
+        *self.speculations.entry(task).or_insert(0) += 1;
+    }
+
+    /// Speculations consumed by `task` so far.
+    #[must_use]
+    pub fn speculations_used(&self, task: TaskId) -> u32 {
+        self.speculations.get(&task).copied().unwrap_or(0)
+    }
+
+    /// Whether `task` still has speculation budget left (`false` when
+    /// fast-abort is disabled).
+    #[must_use]
+    pub fn speculation_allowed(&self, task: TaskId) -> bool {
+        self.fast_abort.is_some_and(|fa| self.speculations_used(task) < fa.max_speculations)
+    }
+
+    /// The fast-abort duration threshold (`multiplier × mean completed
+    /// duration`), once enabled and warmed past `min_samples` completions.
+    #[must_use]
+    pub fn fast_abort_threshold(&self) -> Option<f64> {
+        let fa = self.fast_abort?;
+        (self.durations.count() >= fa.min_samples).then(|| fa.multiplier * self.durations.mean())
+    }
+
+    /// Online statistics over successful attempt durations.
+    #[must_use]
+    pub const fn durations(&self) -> &OnlineStats {
+        &self.durations
+    }
+
+    /// Failed-attempt accounting so far.
+    #[must_use]
+    pub const fn stats(&self) -> FaultStats {
+        self.stats
+    }
+
+    /// Tasks dropped after exhausting their retry budget.
+    #[must_use]
+    pub fn failed(&self) -> &[FailedTask] {
+        &self.failed
+    }
+
+    /// Tasks re-queued after losing an attempt (any cause).
+    #[must_use]
+    pub const fn retries(&self) -> u64 {
+        self.retries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attempts_reconcile_across_outcomes() {
+        let mut ledger = AttemptLedger::new();
+        let (a0, _) = ledger.begin_attempt(TaskId::new(0));
+        assert_eq!(a0, 0);
+        ledger.record_success(TaskId::new(0), 1.0);
+        let (a1, _) = ledger.begin_attempt(TaskId::new(1));
+        assert_eq!(a1, 0);
+        ledger.account_loss(AttemptLoss::Transient { panicked: false }, 0.5);
+        let verdict = ledger.settle_loss(
+            TaskId::new(1),
+            JobId::new(0),
+            AttemptLoss::Transient { panicked: false },
+            "injected",
+        );
+        assert!(matches!(verdict, LossVerdict::Retry { .. }));
+        assert!(ledger.stats().reconciles(), "{}", ledger.stats());
+        assert_eq!(ledger.retries(), 1);
+    }
+
+    #[test]
+    fn transient_losses_exhaust_at_max_attempts() {
+        let mut ledger = AttemptLedger::new();
+        ledger.set_retry(RetryPolicy { max_attempts: 2, ..RetryPolicy::default() });
+        let task = TaskId::new(7);
+        let job = JobId::new(1);
+        let loss = AttemptLoss::Transient { panicked: false };
+        let _ = ledger.begin_attempt(task);
+        ledger.account_loss(loss, 0.1);
+        assert!(matches!(ledger.settle_loss(task, job, loss, "boom"), LossVerdict::Retry { .. }));
+        let _ = ledger.begin_attempt(task);
+        ledger.account_loss(loss, 0.1);
+        assert_eq!(ledger.settle_loss(task, job, loss, "boom"), LossVerdict::Exhausted);
+        assert_eq!(ledger.failed().len(), 1);
+        assert_eq!(ledger.failed()[0].attempts, 2);
+        assert_eq!(ledger.stats().exhausted_tasks, 1);
+        assert!(ledger.stats().reconciles(), "{}", ledger.stats());
+    }
+
+    #[test]
+    fn crash_losses_retry_immediately_under_the_hard_cap() {
+        let mut ledger = AttemptLedger::new();
+        ledger.set_retry(RetryPolicy { max_attempts: 2, ..RetryPolicy::default() });
+        let task = TaskId::new(3);
+        // Far past max_attempts, but crashes only hit the hard cap.
+        for _ in 0..10 {
+            let _ = ledger.begin_attempt(task);
+            ledger.account_loss(AttemptLoss::Crash, 0.2);
+            let verdict = ledger.settle_loss(task, JobId::new(0), AttemptLoss::Crash, "crash");
+            assert_eq!(verdict, LossVerdict::Retry { delay: 0.0 });
+        }
+        assert!(ledger.stats().reconciles());
+        assert_eq!(ledger.stats().crash_failures, 10);
+    }
+
+    #[test]
+    fn backoff_is_deterministic_per_task() {
+        let mut a = AttemptLedger::new();
+        let mut b = AttemptLedger::new();
+        for ledger in [&mut a, &mut b] {
+            ledger.set_plan(FaultPlan::new(9));
+            let _ = ledger.begin_attempt(TaskId::new(5));
+        }
+        let loss = AttemptLoss::Transient { panicked: false };
+        let va = a.settle_loss(TaskId::new(5), JobId::new(0), loss, "x");
+        let vb = b.settle_loss(TaskId::new(5), JobId::new(0), loss, "x");
+        assert_eq!(va, vb, "same seed and task must yield the same backoff");
+    }
+
+    #[test]
+    fn quarantine_counts_and_spares_the_last_worker() {
+        let mut ledger = AttemptLedger::new();
+        ledger.set_retry(RetryPolicy { quarantine_threshold: 2, ..RetryPolicy::default() });
+        let w = WorkerId::new(4);
+        assert!(!ledger.note_worker_fault(w, 4));
+        assert!(ledger.note_worker_fault(w, 4), "second fault crosses the threshold");
+        assert_eq!(ledger.stats().quarantined_workers, 1);
+        let lone = WorkerId::new(9);
+        assert!(!ledger.note_worker_fault(lone, 1));
+        assert!(!ledger.note_worker_fault(lone, 1), "the last worker is never quarantined");
+    }
+
+    #[test]
+    fn speculation_budget_gates_fast_abort() {
+        let mut ledger = AttemptLedger::new();
+        assert!(!ledger.speculation_allowed(TaskId::new(0)), "disabled without fast-abort");
+        ledger.set_fast_abort(FastAbort { multiplier: 2.0, min_samples: 1, max_speculations: 1 });
+        assert!(ledger.speculation_allowed(TaskId::new(0)));
+        ledger.note_speculation(TaskId::new(0));
+        assert!(!ledger.speculation_allowed(TaskId::new(0)), "budget spent");
+        assert!(ledger.fast_abort_threshold().is_none(), "mean not warm yet");
+        ledger.record_success(TaskId::new(1), 2.0);
+        let threshold = ledger.fast_abort_threshold().expect("warm after min_samples");
+        assert!((threshold - 4.0).abs() < 1e-12);
+    }
+}

@@ -14,21 +14,24 @@
 //!   surfaced as a task failure, and never wedges `wait()` or `Drop`
 //!   (the `parking_lot` mutexes do not poison, and the worker thread
 //!   survives to keep draining).
-//! - [`ThreadedEngine`] — the fault-tolerant engine sharing the unified
-//!   fault model of [`crate::fault`] with the DES: seeded deterministic
-//!   injection ([`FaultPlan`]), retry with exponential backoff and caps
-//!   ([`RetryPolicy`]), worker quarantine, per-task wall-clock timeouts,
-//!   and Work-Queue-style straggler mitigation ([`FastAbort`]) via
-//!   speculative re-execution — first completion wins, stale results are
-//!   discarded and accounted as aborts.
+//! - [`ThreadedEngine`] — the fault-tolerant engine. Its retry, backoff,
+//!   quarantine, fast-abort and fault-accounting decisions are delegated
+//!   to the shared [`AttemptLedger`] (the same state machine the DES
+//!   uses), so this module only supplies the execution mechanism: threads,
+//!   condvars and the wall clock. The engine implements
+//!   [`ExecutionBackend`] and [`JobBackend`], making it a drop-in for the
+//!   DES in the control loop and the evaluation experiments. Tasks
+//!   submitted through the trait as bare [`TaskSpec`]s run *simulated*
+//!   (a sleep shaped by the engine's [`ExecutionModel`], scaled by
+//!   [`set_simulation`](ThreadedEngine::set_simulation)); tasks submitted
+//!   with a payload execute the real closure.
 
-use crate::fault::splitmix64;
 use crate::{
-    CompletedTask, ExecutionReport, FailedTask, FastAbort, FaultKind, FaultPlan, FaultStats, JobId,
-    RetryPolicy, TaskId, WorkerId,
+    AttemptLedger, AttemptLoss, CompletedTask, ExecutionBackend, ExecutionModel, ExecutionReport,
+    FailedTask, FastAbort, FaultKind, FaultPlan, FaultStats, JobBackend, JobId, LossVerdict,
+    RetryPolicy, TaskId, TaskPayload, TaskSpec, WorkerId,
 };
 use parking_lot::{Condvar, Mutex};
-use sstd_stats::OnlineStats;
 use std::cmp::Ordering;
 use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -105,7 +108,8 @@ impl<R> std::fmt::Debug for Shared<R> {
 ///
 /// let queue = ThreadedWorkQueue::new(2);
 /// for i in 0..4u32 {
-///     queue.submit(JobId::new(i % 2), 1.0, move || i * 10);
+///     let id = queue.submit(JobId::new(i % 2), 1.0, move || i * 10);
+///     assert_eq!(id.index(), i as usize);
 /// }
 /// let mut results = queue.wait();
 /// results.sort_by_key(|&(_, v)| v);
@@ -183,12 +187,13 @@ impl<R: Send + 'static> ThreadedWorkQueue<R> {
     }
 
     /// Submits a closure as a task of `job` with the given priority
-    /// (higher runs earlier).
+    /// (higher runs earlier), returning the task's identity — the same
+    /// accessor shape as every other submit in this crate.
     ///
     /// # Panics
     ///
     /// Panics unless `priority` is finite.
-    pub fn submit<F>(&self, job: JobId, priority: f64, f: F)
+    pub fn submit<F>(&self, job: JobId, priority: f64, f: F) -> TaskId
     where
         F: FnOnce() -> R + Send + 'static,
     {
@@ -197,6 +202,7 @@ impl<R: Send + 'static> ThreadedWorkQueue<R> {
         self.shared.pending.fetch_add(1, AtomicOrdering::AcqRel);
         self.shared.queue.lock().push(QueuedTask { job, priority, seq, run: Box::new(f) });
         self.shared.work_available.notify_one();
+        TaskId::new(u32::try_from(seq).expect("task ids fit in u32"))
     }
 
     /// Number of submitted-but-unfinished tasks.
@@ -240,8 +246,6 @@ impl<R: Send + 'static> Drop for ThreadedWorkQueue<R> {
 // Fault-tolerant engine
 // ---------------------------------------------------------------------------
 
-type WorkFn<R> = Arc<dyn Fn() -> R + Send + Sync + 'static>;
-
 /// An attempt waiting in the ready heap.
 struct ReadyAttempt {
     priority: f64,
@@ -273,30 +277,39 @@ impl Ord for ReadyAttempt {
 struct RunningAttempt {
     worker: u32,
     started: Instant,
+    /// Start time in engine (virtual) seconds.
     started_s: f64,
+}
+
+/// What executing a task means: run a real closure, or model the task's
+/// cost with a sleep (trait-submitted `TaskSpec`s without a payload).
+enum TaskWork<R> {
+    Payload(TaskPayload<R>),
+    /// Nominal duration in engine (virtual) seconds.
+    Simulated(f64),
+}
+
+impl<R> Clone for TaskWork<R> {
+    fn clone(&self) -> Self {
+        match self {
+            Self::Payload(f) => Self::Payload(Arc::clone(f)),
+            Self::Simulated(d) => Self::Simulated(*d),
+        }
+    }
 }
 
 struct TaskEntry<R> {
     job: JobId,
     priority: f64,
-    work: WorkFn<R>,
+    work: TaskWork<R>,
+    /// Submission time in engine (virtual) seconds.
     submitted_at: f64,
-    /// Attempts started so far (also the next attempt's zero-based index).
-    attempts_started: u32,
-    /// Speculative duplicates enqueued for this task.
-    speculations: u32,
+    deadline: Option<f64>,
     /// Attempts queued (ready or backing off) but not yet started.
     queued: u32,
     running: Vec<RunningAttempt>,
     done: bool,
     failed: bool,
-}
-
-/// Why an attempt did not succeed — maps onto [`FaultStats`] counters.
-enum AttemptLoss {
-    Transient { panicked: bool },
-    Crash,
-    Timeout,
 }
 
 struct EngineState<R> {
@@ -308,22 +321,32 @@ struct EngineState<R> {
     next_seq: u64,
     next_worker: u32,
     alive_workers: usize,
+    /// Workers the next acquire passes should retire (elastic shrink).
+    retiring: usize,
     /// Tasks neither completed nor terminally failed.
     outstanding: usize,
     /// Attempts currently executing (across all tasks).
     running_attempts: usize,
     /// Workers told to exit after repeated faults.
     quarantined: BTreeSet<u32>,
-    worker_faults: BTreeMap<u32, u32>,
-    stats: FaultStats,
-    durations: OnlineStats,
+    /// Workers removed by a scheduled eviction.
+    evicted: BTreeSet<u32>,
+    /// The shared attempt state machine: retries, backoff, quarantine
+    /// decisions, fast-abort budget and all `FaultStats` accounting.
+    ledger: AttemptLedger,
     results: Vec<(JobId, R)>,
     completed: Vec<CompletedTask>,
-    failed: Vec<FailedTask>,
-    plan: Option<FaultPlan>,
-    retry: RetryPolicy,
-    fast_abort: Option<FastAbort>,
     timeout: Option<Duration>,
+    /// Real seconds per engine second (default 1.0). Simulated durations,
+    /// backoffs and restart delays are multiplied by this before
+    /// sleeping; recorded times are divided by it.
+    time_scale: f64,
+    /// Cost model for simulated (payload-less) tasks.
+    sim_model: ExecutionModel,
+    /// Priorities installed via `set_job_priority` (default 1.0).
+    job_priorities: BTreeMap<JobId, f64>,
+    /// Pending eviction times in engine seconds, sorted ascending.
+    evictions: Vec<f64>,
 }
 
 impl<R> EngineState<R> {
@@ -336,11 +359,11 @@ impl<R> EngineState<R> {
         self.ready.push(ReadyAttempt { priority: entry.priority, seq, task });
     }
 
-    /// Schedules a retry after the policy's backoff.
+    /// Schedules a retry after `delay` engine seconds of backoff.
     fn enqueue_delayed(&mut self, task: TaskId, delay: f64) {
         let Some(entry) = self.tasks.get_mut(&task) else { return };
         entry.queued += 1;
-        let release = Instant::now() + Duration::from_secs_f64(delay.max(0.0));
+        let release = Instant::now() + Duration::from_secs_f64((delay * self.time_scale).max(0.0));
         self.delayed.push((release, task));
         self.delayed.sort_by_key(|&(at, id)| (at, id));
     }
@@ -357,57 +380,32 @@ impl<R> EngineState<R> {
         }
     }
 
-    /// Settles a lost attempt: account it, then retry, give up, or defer
-    /// to a still-running sibling attempt.
-    fn settle_loss(&mut self, task: TaskId, loss: &AttemptLoss, elapsed: f64, error: &str) {
-        self.stats.wasted_time += elapsed;
-        match loss {
-            AttemptLoss::Transient { panicked } => {
-                self.stats.transient_failures += 1;
-                if *panicked {
-                    self.stats.panics += 1;
-                }
-            }
-            AttemptLoss::Crash => self.stats.crash_failures += 1,
-            AttemptLoss::Timeout => self.stats.timeout_aborts += 1,
-        }
-        let (attempts_started, job) = match self.tasks.get(&task) {
+    /// Settles a lost attempt: account it in the ledger, then retry, give
+    /// up, or defer to a still-running sibling attempt. `elapsed` is in
+    /// engine seconds.
+    fn settle_loss(&mut self, task: TaskId, loss: AttemptLoss, elapsed: f64, error: &str) {
+        self.ledger.account_loss(loss, elapsed);
+        let job = match self.tasks.get(&task) {
             None => return,
             Some(e) if e.done || e.failed => return,
             // A sibling attempt (speculative duplicate or queued retry)
             // will decide this task's fate.
             Some(e) if !e.running.is_empty() || e.queued > 0 => return,
-            Some(e) => (e.attempts_started, e.job),
+            Some(e) => e.job,
         };
-        // Crash re-queues are not the task's fault: only the generous
-        // hard cap bounds them. Everything else burns the retry budget.
-        let cap = match loss {
-            AttemptLoss::Crash => self.retry.hard_attempt_cap(),
-            _ => self.retry.max_attempts,
-        };
-        if attempts_started >= cap {
-            if let Some(e) = self.tasks.get_mut(&task) {
-                e.failed = true;
+        match self.ledger.settle_loss(task, job, loss, error) {
+            LossVerdict::Exhausted => {
+                if let Some(e) = self.tasks.get_mut(&task) {
+                    e.failed = true;
+                }
+                self.outstanding -= 1;
             }
-            self.stats.exhausted_tasks += 1;
-            self.failed.push(FailedTask {
-                task,
-                job,
-                attempts: attempts_started,
-                error: error.to_string(),
-            });
-            self.outstanding -= 1;
-        } else {
-            let salt = splitmix64(self.plan.map_or(0, |p| p.seed()) ^ task.index() as u64);
-            let delay = match loss {
-                // The machine died, not the task: retry immediately.
-                AttemptLoss::Crash => 0.0,
-                _ => self.retry.backoff(attempts_started, salt),
-            };
-            if delay <= 0.0 {
-                self.enqueue_ready(task);
-            } else {
-                self.enqueue_delayed(task, delay);
+            LossVerdict::Retry { delay } => {
+                if delay <= 0.0 {
+                    self.enqueue_ready(task);
+                } else {
+                    self.enqueue_delayed(task, delay);
+                }
             }
         }
     }
@@ -416,24 +414,21 @@ impl<R> EngineState<R> {
     /// threshold (never the last worker standing). Returns whether the
     /// worker is now quarantined.
     fn note_worker_fault(&mut self, worker: u32) -> bool {
-        if self.retry.quarantine_threshold == 0 {
-            return false;
-        }
         if self.quarantined.contains(&worker) {
             return true;
         }
-        let count = {
-            let c = self.worker_faults.entry(worker).or_insert(0);
-            *c += 1;
-            *c
-        };
-        if count >= self.retry.quarantine_threshold && self.alive_workers > 1 {
+        if self.ledger.note_worker_fault(WorkerId::new(worker), self.alive_workers) {
             self.quarantined.insert(worker);
-            self.stats.quarantined_workers += 1;
             self.alive_workers -= 1;
             return true;
         }
         false
+    }
+
+    /// The engine clock: real seconds since `epoch`, divided by the time
+    /// scale.
+    fn now_s(&self, epoch: Instant) -> f64 {
+        epoch.elapsed().as_secs_f64() / self.time_scale
     }
 }
 
@@ -452,14 +447,22 @@ struct EngineShared<R> {
 /// Fault decisions come from a seeded [`FaultPlan`] — a pure function of
 /// `(seed, task, attempt)` — so the *set* of injected faults is identical
 /// across runs regardless of thread interleaving; real panics are caught
-/// and treated as transient failures.
+/// and treated as transient failures. All retry/quarantine/fast-abort
+/// policy lives in the shared [`AttemptLedger`], identical to the DES.
 ///
 /// Straggler mitigation is speculative: OS threads cannot be killed, so an
 /// attempt running beyond the fast-abort threshold gets a duplicate
 /// enqueued; the first completion wins and the loser is discarded and
-/// accounted as a straggler abort. Per-task wall-clock timeouts abandon an
-/// attempt cooperatively — the result is discarded when the thread
-/// eventually returns.
+/// accounted as an abort. Per-task wall-clock timeouts abandon an attempt
+/// cooperatively — the result is discarded when the thread eventually
+/// returns.
+///
+/// The engine implements [`ExecutionBackend`] and [`JobBackend`]: bare
+/// [`TaskSpec`]s run simulated (a sleep shaped by the configured
+/// [`ExecutionModel`], compressed by
+/// [`set_simulation`](Self::set_simulation)), payload submissions run real
+/// closures. All reported times are engine seconds (wall seconds divided
+/// by the time scale), so reports are comparable with the DES.
 ///
 /// # Examples
 ///
@@ -487,7 +490,7 @@ impl<R: Send + 'static> std::fmt::Debug for ThreadedEngine<R> {
         f.debug_struct("ThreadedEngine")
             .field("outstanding", &st.outstanding)
             .field("alive_workers", &st.alive_workers)
-            .field("stats", &st.stats)
+            .field("stats", &st.ledger.stats())
             .finish_non_exhaustive()
     }
 }
@@ -510,19 +513,19 @@ impl<R: Send + 'static> ThreadedEngine<R> {
                 next_seq: 0,
                 next_worker: num_workers as u32,
                 alive_workers: num_workers,
+                retiring: 0,
                 outstanding: 0,
                 running_attempts: 0,
                 quarantined: BTreeSet::new(),
-                worker_faults: BTreeMap::new(),
-                stats: FaultStats::default(),
-                durations: OnlineStats::new(),
+                evicted: BTreeSet::new(),
+                ledger: AttemptLedger::new(),
                 results: Vec::new(),
                 completed: Vec::new(),
-                failed: Vec::new(),
-                plan: None,
-                retry: RetryPolicy::default(),
-                fast_abort: None,
                 timeout: None,
+                time_scale: 1.0,
+                sim_model: ExecutionModel::default(),
+                job_priorities: BTreeMap::new(),
+                evictions: Vec::new(),
             }),
             work_available: Condvar::new(),
             progress: Condvar::new(),
@@ -542,7 +545,7 @@ impl<R: Send + 'static> ThreadedEngine<R> {
 
     /// Installs a deterministic fault-injection schedule.
     pub fn set_fault_plan(&self, plan: FaultPlan) {
-        self.shared.state.lock().plan = Some(plan);
+        self.shared.state.lock().ledger.set_plan(plan);
     }
 
     /// Sets the retry/backoff/quarantine policy.
@@ -551,8 +554,7 @@ impl<R: Send + 'static> ThreadedEngine<R> {
     ///
     /// Panics if the policy is invalid (see [`RetryPolicy::validate`]).
     pub fn set_retry_policy(&self, retry: RetryPolicy) {
-        retry.validate();
-        self.shared.state.lock().retry = retry;
+        self.shared.state.lock().ledger.set_retry(retry);
     }
 
     /// Enables speculative straggler mitigation.
@@ -561,15 +563,30 @@ impl<R: Send + 'static> ThreadedEngine<R> {
     ///
     /// Panics if the configuration is invalid (see [`FastAbort::validate`]).
     pub fn set_fast_abort(&self, fast_abort: FastAbort) {
-        fast_abort.validate();
-        self.shared.state.lock().fast_abort = Some(fast_abort);
+        self.shared.state.lock().ledger.set_fast_abort(fast_abort);
     }
 
-    /// Sets a per-attempt wall-clock timeout. An attempt exceeding it is
-    /// abandoned (its eventual result is discarded) and retried under the
-    /// normal policy.
+    /// Sets a per-attempt wall-clock timeout (real seconds, not scaled).
+    /// An attempt exceeding it is abandoned (its eventual result is
+    /// discarded) and retried under the normal policy.
     pub fn set_task_timeout(&self, timeout: Duration) {
         self.shared.state.lock().timeout = Some(timeout);
+    }
+
+    /// Configures how simulated (payload-less) tasks run: their nominal
+    /// duration comes from `model` (Eq. 10 on a speed-1 worker) and every
+    /// engine-second of simulated work, backoff or restart delay costs
+    /// `time_scale` real seconds. `time_scale < 1` compresses a DES-scale
+    /// workload into test-friendly wall time.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `time_scale` is finite and positive.
+    pub fn set_simulation(&self, model: ExecutionModel, time_scale: f64) {
+        assert!(time_scale.is_finite() && time_scale > 0.0, "time scale must be positive");
+        let mut st = self.shared.state.lock();
+        st.sim_model = model;
+        st.time_scale = time_scale;
     }
 
     /// Submits a re-executable closure as a task of `job`. Returns the
@@ -583,19 +600,53 @@ impl<R: Send + 'static> ThreadedEngine<R> {
         F: Fn() -> R + Send + Sync + 'static,
     {
         assert!(priority.is_finite(), "priority must be finite");
+        self.insert_task(job, Some(priority), TaskWork::Payload(Arc::new(f)), None)
+    }
+
+    /// Submits a bare [`TaskSpec`] as a *simulated* task: its attempts
+    /// sleep for the model time of the spec's data size (scaled), produce
+    /// no result, and flow through the identical scheduling/fault path as
+    /// payload tasks. This is what makes the engine a drop-in
+    /// [`ExecutionBackend`] for the DES.
+    pub fn submit_spec(&self, spec: TaskSpec) -> TaskId {
+        let duration = {
+            let st = self.shared.state.lock();
+            st.sim_model.task_time(&spec)
+        };
+        self.insert_task(spec.job(), None, TaskWork::Simulated(duration), spec.deadline())
+    }
+
+    /// Submits a task whose attempts execute the shared `work` closure;
+    /// the winning attempt's result is collected for
+    /// [`drain_results`](Self::drain_results).
+    pub fn submit_payload(&self, spec: TaskSpec, work: TaskPayload<R>) -> TaskId {
+        self.insert_task(spec.job(), None, TaskWork::Payload(work), spec.deadline())
+    }
+
+    /// Inserts a task entry; `priority` falls back to the job's installed
+    /// priority (default 1.0).
+    fn insert_task(
+        &self,
+        job: JobId,
+        priority: Option<f64>,
+        work: TaskWork<R>,
+        deadline: Option<f64>,
+    ) -> TaskId {
         let id = {
             let mut st = self.shared.state.lock();
             let id = TaskId::new(st.next_task);
             st.next_task += 1;
+            let priority =
+                priority.unwrap_or_else(|| st.job_priorities.get(&job).copied().unwrap_or(1.0));
+            let submitted_at = st.now_s(self.epoch);
             st.tasks.insert(
                 id,
                 TaskEntry {
                     job,
                     priority,
-                    work: Arc::new(f),
-                    submitted_at: self.epoch.elapsed().as_secs_f64(),
-                    attempts_started: 0,
-                    speculations: 0,
+                    work,
+                    submitted_at,
+                    deadline,
                     queued: 0,
                     running: Vec::new(),
                     done: false,
@@ -610,65 +661,230 @@ impl<R: Send + 'static> ThreadedEngine<R> {
         id
     }
 
-    /// Tasks neither completed nor terminally failed.
+    /// Sets a job's priority (Local Control Knob): applies to the job's
+    /// live tasks (the ready heap is re-keyed) and to its future
+    /// trait-submitted tasks.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `priority` is finite and positive.
+    pub fn set_job_priority(&self, job: JobId, priority: f64) {
+        assert!(priority.is_finite() && priority > 0.0, "priority must be positive");
+        let mut st = self.shared.state.lock();
+        st.job_priorities.insert(job, priority);
+        let members: Vec<TaskId> =
+            st.tasks.iter().filter(|(_, e)| e.job == job).map(|(&id, _)| id).collect();
+        for id in &members {
+            if let Some(e) = st.tasks.get_mut(id) {
+                e.priority = priority;
+            }
+        }
+        let old = std::mem::take(&mut st.ready);
+        for ra in old {
+            let priority = st.tasks.get(&ra.task).map_or(ra.priority, |e| e.priority);
+            st.ready.push(ReadyAttempt { priority, ..ra });
+        }
+    }
+
+    /// Elastically resizes the worker pool (Global Control Knob). Growing
+    /// spawns new workers (cancelling pending retirements first);
+    /// shrinking retires workers as they next look for work.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn set_num_workers(&self, n: usize) {
+        assert!(n > 0, "need at least one worker");
+        let to_spawn: Vec<u32> = {
+            let mut st = self.shared.state.lock();
+            let active = st.alive_workers;
+            if n > active {
+                let mut needed = n - active;
+                let cancelled = st.retiring.min(needed);
+                st.retiring -= cancelled;
+                needed -= cancelled;
+                st.alive_workers = n;
+                (0..needed)
+                    .map(|_| {
+                        let id = st.next_worker;
+                        st.next_worker += 1;
+                        id
+                    })
+                    .collect()
+            } else {
+                if n < active {
+                    st.retiring += active - n;
+                    st.alive_workers = n;
+                }
+                Vec::new()
+            }
+        };
+        for me in to_spawn {
+            let shared = Arc::clone(&self.shared);
+            let epoch = self.epoch;
+            let handle = std::thread::spawn(move || Self::worker_loop(&shared, me, epoch));
+            self.shared.handles.lock().push(handle);
+        }
+        // Wake parked workers so pending retirements take effect.
+        self.shared.work_available.notify_all();
+    }
+
+    /// Schedules a worker eviction at engine time `t` — the HTCondor
+    /// failure mode: the pool reclaims a machine, the worker vanishes
+    /// (no replacement), and its in-flight attempt is lost and re-queued.
+    /// Evictions target the busiest worker (earliest-started attempt);
+    /// with all workers idle, an idle worker retires instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `t` is finite and non-negative.
+    pub fn schedule_eviction(&self, t: f64) {
+        assert!(t.is_finite() && t >= 0.0, "eviction time must be non-negative");
+        let mut st = self.shared.state.lock();
+        st.evictions.push(t);
+        st.evictions.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    }
+
+    /// Tasks with a queued (not yet started) attempt, including those
+    /// waiting out a retry backoff.
     #[must_use]
     pub fn pending(&self) -> usize {
+        let st = self.shared.state.lock();
+        st.tasks.values().filter(|e| !e.done && !e.failed && e.queued > 0).count()
+    }
+
+    /// Pending tasks of one job — the progress signal the PID controller
+    /// samples.
+    #[must_use]
+    pub fn pending_of(&self, job: JobId) -> usize {
+        let st = self.shared.state.lock();
+        st.tasks.values().filter(|e| e.job == job && !e.done && !e.failed && e.queued > 0).count()
+    }
+
+    /// Tasks neither completed nor terminally failed.
+    #[must_use]
+    pub fn outstanding(&self) -> usize {
         self.shared.state.lock().outstanding
     }
 
-    /// Workers currently alive (not crashed or quarantined).
+    /// Attempts currently executing.
+    #[must_use]
+    pub fn running(&self) -> usize {
+        self.shared.state.lock().running_attempts
+    }
+
+    /// Workers currently alive (not crashed, quarantined or evicted).
     #[must_use]
     pub fn num_workers(&self) -> usize {
         self.shared.state.lock().alive_workers
     }
 
+    /// The engine clock in engine seconds (wall seconds since start,
+    /// divided by the time scale).
+    #[must_use]
+    pub fn now(&self) -> f64 {
+        let st = self.shared.state.lock();
+        st.now_s(self.epoch)
+    }
+
     /// Failed-attempt accounting so far.
     #[must_use]
     pub fn fault_stats(&self) -> FaultStats {
-        self.shared.state.lock().stats
+        self.shared.state.lock().ledger.stats()
     }
 
     /// Tasks dropped after exhausting their retry budget.
     #[must_use]
     pub fn failed(&self) -> Vec<FailedTask> {
-        self.shared.state.lock().failed.clone()
+        self.shared.state.lock().ledger.failed().to_vec()
+    }
+
+    /// Tasks re-queued after losing an attempt (any cause).
+    #[must_use]
+    pub fn retries(&self) -> u64 {
+        self.shared.state.lock().ledger.retries()
     }
 
     /// Blocks until every task has completed or terminally failed *and*
     /// all in-flight attempts have settled (so the books reconcile), then
     /// drains the collected `(job, result)` pairs. The master performs
-    /// straggler and timeout supervision from inside this loop, Work
-    /// Queue style.
+    /// straggler, timeout and eviction supervision from inside this loop,
+    /// Work Queue style.
     #[must_use]
     pub fn wait(&self) -> Vec<(JobId, R)> {
+        self.wait_idle();
+        std::mem::take(&mut self.shared.state.lock().results)
+    }
+
+    /// Drains the `(job, result)` pairs collected so far without waiting.
+    #[must_use]
+    pub fn drain_results(&self) -> Vec<(JobId, R)> {
+        std::mem::take(&mut self.shared.state.lock().results)
+    }
+
+    /// Blocks until the engine is idle (supervising from the master loop),
+    /// leaving results in place.
+    fn wait_idle(&self) {
         let mut st = self.shared.state.lock();
         loop {
             if st.outstanding == 0 && st.running_attempts == 0 {
-                return std::mem::take(&mut st.results);
+                return;
             }
             self.supervise(&mut st);
             // Workers parked without a deadline cannot see retries the
             // supervision pass just queued — poke them.
             self.shared.work_available.notify_all();
             // Re-check frequently: supervision deadlines (timeouts,
-            // fast-abort thresholds) are not condvar-signaled.
+            // fast-abort thresholds, evictions) are not condvar-signaled.
             let _ = self.shared.progress.wait_for(&mut st, Duration::from_millis(2));
         }
     }
 
+    /// Drives the engine until its clock reaches `t` engine seconds,
+    /// supervising along the way.
+    pub fn run_until(&self, t: f64) {
+        let mut st = self.shared.state.lock();
+        loop {
+            let now_s = st.now_s(self.epoch);
+            if now_s >= t {
+                return;
+            }
+            self.supervise(&mut st);
+            self.shared.work_available.notify_all();
+            let remaining = Duration::from_secs_f64(((t - now_s) * st.time_scale).max(0.0));
+            let nap = remaining.min(Duration::from_millis(2));
+            let _ = self.shared.progress.wait_for(&mut st, nap);
+        }
+    }
+
+    /// Runs until every submitted task has completed or terminally
+    /// failed, returning the execution report (results stay available via
+    /// [`drain_results`](Self::drain_results) / [`wait`](Self::wait)).
+    #[must_use]
+    pub fn run_to_completion(&self) -> ExecutionReport {
+        self.wait_idle();
+        self.report()
+    }
+
     /// Builds an execution report from everything finished so far. Times
-    /// are real seconds since the engine started.
+    /// are engine seconds since the engine started.
     #[must_use]
     pub fn report(&self) -> ExecutionReport {
         let st = self.shared.state.lock();
         let makespan = st.completed.iter().map(|c| c.finished_at).fold(0.0_f64, f64::max);
-        ExecutionReport { completed: st.completed.clone(), makespan, faults: st.stats }
+        ExecutionReport { completed: st.completed.clone(), makespan, faults: st.ledger.stats() }
     }
 
-    /// One supervision pass: abandon timed-out attempts, enqueue
-    /// speculative duplicates for stragglers.
+    /// One supervision pass: fire due evictions, abandon timed-out
+    /// attempts, enqueue speculative duplicates for stragglers.
     fn supervise(&self, st: &mut EngineState<R>) {
         let now = Instant::now();
+        // Evictions: kill the busiest worker at the scheduled instant.
+        let now_s = st.now_s(self.epoch);
+        while st.evictions.first().is_some_and(|&at| at <= now_s) {
+            st.evictions.remove(0);
+            self.fire_eviction(st, now_s);
+        }
         // Timeouts: abandon attempts cooperatively. The worker keeps
         // running the closure (threads cannot be killed); its result is
         // discarded because the attempt is no longer in `running`.
@@ -688,39 +904,63 @@ impl<R: Send + 'static> ThreadedEngine<R> {
                     }
                 }
             }
+            let scale = st.time_scale;
             for (id, elapsed) in lost {
                 st.running_attempts -= 1;
-                st.settle_loss(id, &AttemptLoss::Timeout, elapsed, "wall-clock timeout");
+                st.settle_loss(id, AttemptLoss::Timeout, elapsed / scale, "wall-clock timeout");
             }
         }
         // Stragglers: speculate once the running mean is warm.
-        if let Some(fa) = st.fast_abort {
-            if st.durations.count() >= fa.min_samples {
-                let threshold = fa.multiplier * st.durations.mean();
-                let mut speculate: Vec<TaskId> = Vec::new();
-                for (&id, entry) in &st.tasks {
-                    if entry.done || entry.failed || entry.queued > 0 {
-                        continue;
-                    }
-                    if entry.speculations >= fa.max_speculations {
-                        continue;
-                    }
-                    let lagging = entry
-                        .running
-                        .iter()
-                        .any(|r| now.duration_since(r.started).as_secs_f64() > threshold);
-                    if lagging {
-                        speculate.push(id);
-                    }
+        if let Some(threshold) = st.ledger.fast_abort_threshold() {
+            let scale = st.time_scale;
+            let mut speculate: Vec<TaskId> = Vec::new();
+            for (&id, entry) in &st.tasks {
+                if entry.done || entry.failed || entry.queued > 0 {
+                    continue;
                 }
-                for id in speculate {
-                    if let Some(entry) = st.tasks.get_mut(&id) {
-                        entry.speculations += 1;
-                    }
-                    st.enqueue_ready(id);
-                    self.shared.work_available.notify_one();
+                if !st.ledger.speculation_allowed(id) {
+                    continue;
+                }
+                let lagging = entry
+                    .running
+                    .iter()
+                    .any(|r| now.duration_since(r.started).as_secs_f64() / scale > threshold);
+                if lagging {
+                    speculate.push(id);
                 }
             }
+            for id in speculate {
+                st.ledger.note_speculation(id);
+                st.enqueue_ready(id);
+                self.shared.work_available.notify_one();
+            }
+        }
+    }
+
+    /// Fires one eviction at engine time `now_s`: strip the
+    /// earliest-started running attempt (most sunk work lost), settle it
+    /// as a crash loss, and remove that worker from the pool — or retire
+    /// an idle worker when nothing is running.
+    fn fire_eviction(&self, st: &mut EngineState<R>, now_s: f64) {
+        let victim: Option<(TaskId, u32, f64)> = st
+            .tasks
+            .iter()
+            .filter(|(_, e)| !e.done && !e.failed)
+            .flat_map(|(&id, e)| e.running.iter().map(move |r| (id, r.worker, r.started_s)))
+            .min_by(|a, b| a.2.partial_cmp(&b.2).unwrap_or(Ordering::Equal));
+        if let Some((task, worker, started_s)) = victim {
+            if let Some(entry) = st.tasks.get_mut(&task) {
+                if let Some(pos) = entry.running.iter().position(|r| r.worker == worker) {
+                    entry.running.remove(pos);
+                    st.running_attempts -= 1;
+                }
+            }
+            st.evicted.insert(worker);
+            st.alive_workers = st.alive_workers.saturating_sub(1);
+            st.settle_loss(task, AttemptLoss::Crash, (now_s - started_s).max(0.0), "evicted");
+        } else if st.alive_workers > 0 {
+            st.retiring += 1;
+            st.alive_workers -= 1;
         }
     }
 
@@ -728,13 +968,17 @@ impl<R: Send + 'static> ThreadedEngine<R> {
     fn worker_loop(shared: &Arc<EngineShared<R>>, me: u32, epoch: Instant) {
         loop {
             // Acquire an attempt.
-            let (task_id, work, fault, straggler_extra) = {
+            let (task_id, work, fault, straggler_extra, scale) = {
                 let mut st = shared.state.lock();
                 let acquired = loop {
                     if shared.shutdown.load(AtomicOrdering::Acquire) {
                         return;
                     }
-                    if st.quarantined.contains(&me) {
+                    if st.quarantined.contains(&me) || st.evicted.contains(&me) {
+                        return;
+                    }
+                    if st.retiring > 0 {
+                        st.retiring -= 1;
                         return;
                     }
                     let now = Instant::now();
@@ -764,36 +1008,36 @@ impl<R: Send + 'static> ThreadedEngine<R> {
                         None => shared.work_available.wait(&mut st),
                     }
                 };
-                let plan = st.plan;
-                let mean = (st.durations.count() > 0).then(|| st.durations.mean());
+                let scale = st.time_scale;
+                let mean =
+                    (st.ledger.durations().count() > 0).then(|| st.ledger.durations().mean());
+                let (_, fault) = st.ledger.begin_attempt(acquired);
+                let started_s = st.now_s(epoch);
+                let slowdown = st.ledger.plan().map(|p| p.straggler_slowdown());
                 let entry = st.tasks.get_mut(&acquired).expect("popped task exists");
-                let attempt = entry.attempts_started;
-                entry.attempts_started += 1;
                 entry.running.push(RunningAttempt {
                     worker: me,
                     started: Instant::now(),
-                    started_s: epoch.elapsed().as_secs_f64(),
+                    started_s,
                 });
-                let work = Arc::clone(&entry.work);
-                st.stats.attempts += 1;
+                let work = entry.work.clone();
                 st.running_attempts += 1;
-                let fault = plan.and_then(|p| p.decide(acquired, attempt));
-                // An injected straggler runs the real closure, padded to
+                // An injected straggler runs the real work, padded to
                 // `slowdown ×` the mean task time (bounded so tests stay
                 // fast even before the mean warms up).
-                let straggler_extra = match (fault, plan) {
-                    (Some(FaultKind::Straggler), Some(p)) => {
+                let straggler_extra = match (fault, slowdown) {
+                    (Some(FaultKind::Straggler), Some(sd)) => {
                         let base = mean.unwrap_or(0.005);
-                        (base * (p.straggler_slowdown() - 1.0)).clamp(0.002, 1.0)
+                        (base * (sd - 1.0) * scale).clamp(0.002, 1.0)
                     }
                     _ => 0.0,
                 };
-                (acquired, work, fault, straggler_extra)
+                (acquired, work, fault, straggler_extra, scale)
             };
 
             // Execute outside the lock.
             enum Outcome<R> {
-                Success(R),
+                Success(Option<R>),
                 Panicked(String),
                 Injected(FaultKind),
             }
@@ -806,50 +1050,62 @@ impl<R: Send + 'static> ThreadedEngine<R> {
                     if straggler_extra > 0.0 {
                         std::thread::sleep(Duration::from_secs_f64(straggler_extra));
                     }
-                    match catch_unwind(AssertUnwindSafe(|| work())) {
-                        Ok(r) => Outcome::Success(r),
-                        Err(payload) => Outcome::Panicked(panic_message(payload.as_ref())),
+                    match &work {
+                        TaskWork::Payload(f) => {
+                            let f = Arc::clone(f);
+                            match catch_unwind(AssertUnwindSafe(move || f())) {
+                                Ok(r) => Outcome::Success(Some(r)),
+                                Err(payload) => Outcome::Panicked(panic_message(payload.as_ref())),
+                            }
+                        }
+                        TaskWork::Simulated(d) => {
+                            std::thread::sleep(Duration::from_secs_f64((d * scale).max(0.0)));
+                            Outcome::Success(None)
+                        }
                     }
                 }
             };
-            let elapsed = started.elapsed().as_secs_f64();
+            let elapsed = started.elapsed().as_secs_f64() / scale;
 
             // Settle under the lock.
             let mut crashed = false;
             {
                 let mut st = shared.state.lock();
-                let Some(entry) = st.tasks.get_mut(&task_id) else { continue };
-                // If the master abandoned this attempt (timeout), it is
-                // gone from `running` and already accounted: discard.
-                let Some(pos) = entry.running.iter().position(|r| r.worker == me) else {
-                    // The master abandoned this attempt (timeout) and
-                    // already accounted it: discard the stale outcome.
-                    continue;
+                let run = {
+                    let Some(entry) = st.tasks.get_mut(&task_id) else { continue };
+                    // If the master abandoned this attempt (timeout or
+                    // eviction), it is gone from `running` and already
+                    // accounted: discard the stale outcome.
+                    let Some(pos) = entry.running.iter().position(|r| r.worker == me) else {
+                        continue;
+                    };
+                    entry.running.remove(pos)
                 };
-                let run = entry.running.remove(pos);
                 st.running_attempts -= 1;
                 match outcome {
                     Outcome::Success(value) => {
+                        let finished_s = st.now_s(epoch);
                         let entry = st.tasks.get_mut(&task_id).expect("entry exists");
                         if entry.done {
                             // Lost a speculation race: wasted duplicate.
-                            st.stats.straggler_aborts += 1;
-                            st.stats.wasted_time += elapsed;
+                            st.ledger.record_lost_duplicate(elapsed);
                         } else {
                             entry.done = true;
                             let job = entry.job;
                             let submitted_at = entry.submitted_at;
-                            st.stats.successes += 1;
-                            st.durations.push(elapsed);
-                            st.results.push((job, value));
+                            let deadline = entry.deadline;
+                            st.ledger.record_success(task_id, elapsed);
+                            if let Some(v) = value {
+                                st.results.push((job, v));
+                            }
                             st.completed.push(CompletedTask {
                                 task: task_id,
                                 job,
                                 submitted_at,
                                 started_at: run.started_s,
-                                finished_at: epoch.elapsed().as_secs_f64(),
+                                finished_at: finished_s,
                                 worker: WorkerId::new(me),
-                                deadline: None,
+                                deadline,
                             });
                             st.outstanding -= 1;
                         }
@@ -857,7 +1113,7 @@ impl<R: Send + 'static> ThreadedEngine<R> {
                     Outcome::Panicked(msg) => {
                         st.settle_loss(
                             task_id,
-                            &AttemptLoss::Transient { panicked: true },
+                            AttemptLoss::Transient { panicked: true },
                             elapsed,
                             &msg,
                         );
@@ -866,14 +1122,14 @@ impl<R: Send + 'static> ThreadedEngine<R> {
                     Outcome::Injected(FaultKind::Transient) => {
                         st.settle_loss(
                             task_id,
-                            &AttemptLoss::Transient { panicked: false },
+                            AttemptLoss::Transient { panicked: false },
                             elapsed,
                             "injected transient fault",
                         );
                         let _ = st.note_worker_fault(me);
                     }
                     Outcome::Injected(FaultKind::WorkerCrash) => {
-                        st.settle_loss(task_id, &AttemptLoss::Crash, elapsed, "worker crash");
+                        st.settle_loss(task_id, AttemptLoss::Crash, elapsed, "worker crash");
                         st.alive_workers -= 1;
                         crashed = true;
                     }
@@ -892,13 +1148,14 @@ impl<R: Send + 'static> ThreadedEngine<R> {
     }
 
     /// A crashed worker's parting act: spawn its replacement, which joins
-    /// the pool after the plan's restart delay.
+    /// the pool after the plan's restart delay (engine seconds, scaled).
     fn respawn_after_crash(shared: &Arc<EngineShared<R>>, epoch: Instant) {
         let (new_id, delay) = {
             let mut st = shared.state.lock();
             let id = st.next_worker;
             st.next_worker += 1;
-            (id, st.plan.map_or(0.05, |p| p.worker_restart_delay()))
+            let delay = st.ledger.plan().map_or(0.05, |p| p.worker_restart_delay()) * st.time_scale;
+            (id, delay)
         };
         let spawned = Arc::clone(shared);
         let handle = std::thread::spawn(move || {
@@ -916,6 +1173,73 @@ impl<R: Send + 'static> ThreadedEngine<R> {
             Self::worker_loop(&spawned, new_id, epoch);
         });
         shared.handles.lock().push(handle);
+    }
+}
+
+impl<R: Send + 'static> ExecutionBackend for ThreadedEngine<R> {
+    fn submit(&mut self, spec: TaskSpec) -> TaskId {
+        self.submit_spec(spec)
+    }
+    fn set_job_priority(&mut self, job: JobId, priority: f64) {
+        ThreadedEngine::set_job_priority(self, job, priority);
+    }
+    fn set_num_workers(&mut self, n: usize) {
+        ThreadedEngine::set_num_workers(self, n);
+    }
+    fn num_workers(&self) -> usize {
+        ThreadedEngine::num_workers(self)
+    }
+    fn pending(&self) -> usize {
+        ThreadedEngine::pending(self)
+    }
+    fn pending_of(&self, job: JobId) -> usize {
+        ThreadedEngine::pending_of(self, job)
+    }
+    fn running(&self) -> usize {
+        ThreadedEngine::running(self)
+    }
+    fn now(&self) -> f64 {
+        ThreadedEngine::now(self)
+    }
+    fn run_until(&mut self, t: f64) {
+        ThreadedEngine::run_until(self, t);
+    }
+    fn run_to_completion(&mut self) -> ExecutionReport {
+        ThreadedEngine::run_to_completion(self)
+    }
+    fn schedule_eviction(&mut self, t: f64) {
+        ThreadedEngine::schedule_eviction(self, t);
+    }
+    fn set_fault_plan(&mut self, plan: FaultPlan) {
+        ThreadedEngine::set_fault_plan(self, plan);
+    }
+    fn set_retry_policy(&mut self, retry: RetryPolicy) {
+        ThreadedEngine::set_retry_policy(self, retry);
+    }
+    fn set_fast_abort(&mut self, fast_abort: FastAbort) {
+        ThreadedEngine::set_fast_abort(self, fast_abort);
+    }
+    fn retries(&self) -> u64 {
+        ThreadedEngine::retries(self)
+    }
+    fn fault_stats(&self) -> FaultStats {
+        ThreadedEngine::fault_stats(self)
+    }
+    fn failed(&self) -> Vec<FailedTask> {
+        ThreadedEngine::failed(self)
+    }
+    fn backend_name(&self) -> &'static str {
+        "threaded"
+    }
+}
+
+impl<R: Send + 'static> JobBackend<R> for ThreadedEngine<R> {
+    fn submit_job(&mut self, spec: TaskSpec, work: TaskPayload<R>) -> TaskId {
+        self.submit_payload(spec, work)
+    }
+
+    fn drain_results(&mut self) -> Vec<(JobId, R)> {
+        ThreadedEngine::drain_results(self)
     }
 }
 
@@ -948,7 +1272,7 @@ mod tests {
         let counter = Arc::new(AtomicU32::new(0));
         for _ in 0..50 {
             let c = Arc::clone(&counter);
-            q.submit(JobId::new(0), 1.0, move || c.fetch_add(1, AtomicOrdering::Relaxed));
+            let _ = q.submit(JobId::new(0), 1.0, move || c.fetch_add(1, AtomicOrdering::Relaxed));
         }
         let results = q.wait();
         assert_eq!(results.len(), 50);
@@ -959,8 +1283,9 @@ mod tests {
     #[test]
     fn results_carry_job_ids() {
         let q = ThreadedWorkQueue::new(2);
-        q.submit(JobId::new(7), 1.0, || "seven");
-        q.submit(JobId::new(8), 1.0, || "eight");
+        let first = q.submit(JobId::new(7), 1.0, || "seven");
+        let second = q.submit(JobId::new(8), 1.0, || "eight");
+        assert_ne!(first, second, "submissions get distinct task ids");
         let mut results = q.wait();
         results.sort_by_key(|&(j, _)| j);
         assert_eq!(results, vec![(JobId::new(7), "seven"), (JobId::new(8), "eight")]);
@@ -973,7 +1298,7 @@ mod tests {
         let order = Arc::new(Mutex::new(Vec::new()));
         {
             let o = Arc::clone(&order);
-            q.submit(JobId::new(0), 1.0, move || {
+            let _ = q.submit(JobId::new(0), 1.0, move || {
                 std::thread::sleep(std::time::Duration::from_millis(50));
                 o.lock().push(0u32);
             });
@@ -982,7 +1307,7 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(10));
         for (i, prio) in [(1u32, 1.0), (2, 5.0), (3, 3.0)] {
             let o = Arc::clone(&order);
-            q.submit(JobId::new(i), prio, move || o.lock().push(i));
+            let _ = q.submit(JobId::new(i), prio, move || o.lock().push(i));
         }
         let _ = q.wait();
         let seen = order.lock().clone();
@@ -998,9 +1323,9 @@ mod tests {
     #[test]
     fn reusable_after_wait() {
         let q = ThreadedWorkQueue::new(2);
-        q.submit(JobId::new(0), 1.0, || 1);
+        let _ = q.submit(JobId::new(0), 1.0, || 1);
         assert_eq!(q.wait().len(), 1);
-        q.submit(JobId::new(0), 1.0, || 2);
+        let _ = q.submit(JobId::new(0), 1.0, || 2);
         assert_eq!(q.wait().len(), 1);
     }
 
@@ -1013,9 +1338,9 @@ mod tests {
     #[test]
     fn panicking_task_does_not_hang_wait() {
         let q = ThreadedWorkQueue::new(2);
-        q.submit(JobId::new(0), 1.0, || 1u32);
-        q.submit(JobId::new(1), 2.0, || panic!("task exploded"));
-        q.submit(JobId::new(0), 1.0, || 2u32);
+        let _ = q.submit(JobId::new(0), 1.0, || 1u32);
+        let _ = q.submit(JobId::new(1), 2.0, || panic!("task exploded"));
+        let _ = q.submit(JobId::new(0), 1.0, || 2u32);
         let results = q.wait(); // must return despite the panic
         assert_eq!(results.len(), 2, "surviving tasks still deliver results");
         let failures = q.take_failures();
@@ -1023,7 +1348,7 @@ mod tests {
         assert_eq!(failures[0].0, JobId::new(1));
         assert!(failures[0].1.contains("task exploded"), "{}", failures[0].1);
         // The worker survived the panic and keeps draining.
-        q.submit(JobId::new(2), 1.0, || 3u32);
+        let _ = q.submit(JobId::new(2), 1.0, || 3u32);
         assert_eq!(q.wait().len(), 1);
     }
 
@@ -1031,7 +1356,7 @@ mod tests {
     fn single_worker_survives_repeated_panics() {
         let q = ThreadedWorkQueue::new(1);
         for i in 0..10u32 {
-            q.submit(JobId::new(i), 1.0, move || {
+            let _ = q.submit(JobId::new(i), 1.0, move || {
                 assert!(i % 2 == 0, "odd tasks fail");
                 i
             });
@@ -1084,6 +1409,7 @@ mod engine_tests {
         assert!(stats.transient_failures > 0, "rate 0.25 must fault: {stats}");
         assert!(stats.reconciles(), "{stats}");
         assert!(engine.failed().is_empty());
+        assert!(engine.retries() > 0, "every transient loss re-queues");
     }
 
     #[test]
@@ -1270,5 +1596,62 @@ mod engine_tests {
         assert_eq!(report.completed.len(), 40);
         assert!(report.faults.reconciles(), "{}", report.faults);
         assert!(report.faults.fault_ratio() > 0.0);
+    }
+
+    #[test]
+    fn simulated_specs_run_through_the_trait() {
+        let mut engine: ThreadedEngine<()> = ThreadedEngine::new(2);
+        engine.set_simulation(ExecutionModel::new(0.0, 0.01, 0.01), 0.01);
+        let backend: &mut dyn ExecutionBackend = &mut engine;
+        for i in 0..6u32 {
+            // 1 engine-second each => 10ms real at scale 0.01.
+            let _ = backend.submit(TaskSpec::new(JobId::new(i % 2), 100.0));
+        }
+        backend.set_job_priority(JobId::new(0), 2.0);
+        let report = backend.run_to_completion();
+        assert_eq!(report.completed.len(), 6);
+        assert!(report.makespan >= 1.0, "three rounds of 1s tasks on two workers");
+        assert_eq!(backend.backend_name(), "threaded");
+        assert!(backend.fault_stats().reconciles());
+    }
+
+    #[test]
+    fn elastic_resize_grows_and_shrinks_the_pool() {
+        let engine: ThreadedEngine<u32> = ThreadedEngine::new(2);
+        engine.set_num_workers(4);
+        assert_eq!(engine.num_workers(), 4);
+        engine.set_num_workers(1);
+        assert_eq!(engine.num_workers(), 1);
+        // The shrunken pool still drains work.
+        for i in 0..8u32 {
+            engine.submit(JobId::new(0), 1.0, move || i);
+        }
+        assert_eq!(engine.wait().len(), 8);
+        // And can grow back afterwards.
+        engine.set_num_workers(3);
+        assert_eq!(engine.num_workers(), 3);
+        for i in 0..6u32 {
+            engine.submit(JobId::new(0), 1.0, move || i);
+        }
+        assert_eq!(engine.wait().len(), 6);
+    }
+
+    #[test]
+    fn eviction_kills_a_worker_and_requeues_its_task() {
+        let engine: ThreadedEngine<()> = ThreadedEngine::new(2);
+        engine.set_simulation(ExecutionModel::new(0.0, 0.01, 0.01), 0.01);
+        engine.set_retry_policy(fast_retry());
+        for _ in 0..4 {
+            let _ = engine.submit_spec(TaskSpec::new(JobId::new(0), 100.0));
+        }
+        // Tasks take 1 engine-second (10ms real): at t = 0.5 both workers
+        // are mid-attempt, so the eviction strips a running attempt.
+        engine.schedule_eviction(0.5);
+        let report = engine.run_to_completion();
+        assert_eq!(report.completed.len(), 4, "the interrupted task is re-queued");
+        assert_eq!(engine.num_workers(), 1, "the pool shrinks for good");
+        let stats = engine.fault_stats();
+        assert_eq!(stats.crash_failures, 1, "{stats}");
+        assert!(stats.reconciles(), "{stats}");
     }
 }

@@ -2,10 +2,23 @@
 //! jobs through the real threaded Work Queue must produce exactly the
 //! estimates of the single-process engine — the property that makes the
 //! claim-partitioned decomposition (paper §III-E) safe.
+//!
+//! Two further families of tests pin the unified execution substrate:
+//!
+//! - **backend conformance** — driving the DES and the threaded engine
+//!   through `&mut dyn ExecutionBackend` with the same task set,
+//!   priorities and seeded fault plan must yield the same completed-task
+//!   multiset and the same reconciled fault accounting;
+//! - **claims-as-tasks** — `run_distributed` must reproduce the batch
+//!   engine's estimates byte-for-byte on *both* backends, including under
+//!   an injected fault load.
 
-use sstd::core::{claim_partition, SstdConfig, SstdEngine};
+use sstd::core::{claim_partition, run_distributed, ClaimFit, SstdConfig, SstdEngine};
 use sstd::data::{Scenario, TraceBuilder};
-use sstd::runtime::{JobId, ThreadedWorkQueue};
+use sstd::runtime::{
+    Cluster, DesEngine, ExecutionBackend, ExecutionModel, FaultPlan, FaultStats, JobId,
+    RetryPolicy, SimBackend, TaskSpec, ThreadedEngine, ThreadedWorkQueue,
+};
 use sstd::types::{ClaimId, TruthLabel};
 use std::sync::Arc;
 
@@ -58,4 +71,152 @@ fn job_priorities_do_not_change_results() {
     for (_, (claim, labels)) in queue.wait() {
         assert_eq!(central.labels(claim).unwrap(), labels.as_slice());
     }
+}
+
+// ---------------------------------------------------------------------------
+// Backend conformance: DES and threads agree through the trait object.
+// ---------------------------------------------------------------------------
+
+/// Everything a backend run produces that must be identical across
+/// substrates: the completed `(task, job)` multiset, the terminally
+/// failed set, and the deterministic fault counters. Timing quantities
+/// (wasted time, makespan) are backend-native and deliberately excluded.
+#[derive(Debug, PartialEq, Eq)]
+struct ConformanceOutcome {
+    completed: Vec<(usize, usize)>,
+    failed: Vec<(usize, usize, u32)>,
+    attempts: u64,
+    successes: u64,
+    transient_failures: u64,
+    crash_failures: u64,
+    exhausted_tasks: u64,
+    retries: u64,
+}
+
+/// Drives any backend through the trait object with a fixed task set,
+/// job priorities, and a seeded fault plan. Fault decisions are a pure
+/// function of `(seed, task, attempt)`, so every discrete outcome below
+/// must match across backends regardless of clocks or thread timing.
+fn drive_conformance(backend: &mut dyn ExecutionBackend, plan: FaultPlan) -> ConformanceOutcome {
+    backend.set_retry_policy(RetryPolicy {
+        max_attempts: 4,
+        backoff_base: 0.001,
+        backoff_cap: 0.01,
+        ..RetryPolicy::default()
+    });
+    backend.set_fault_plan(plan);
+    for i in 0..24u32 {
+        backend.submit(TaskSpec::new(JobId::new(i % 3), 50.0));
+    }
+    backend.set_job_priority(JobId::new(2), 3.0);
+    let report = backend.run_to_completion();
+    let stats: FaultStats = report.faults;
+    assert!(stats.reconciles(), "books must balance on {}: {stats}", backend.backend_name());
+    let mut completed: Vec<(usize, usize)> =
+        report.completed.iter().map(|c| (c.task.index(), c.job.index())).collect();
+    completed.sort_unstable();
+    let mut failed: Vec<(usize, usize, u32)> =
+        backend.failed().iter().map(|f| (f.task.index(), f.job.index(), f.attempts)).collect();
+    failed.sort_unstable();
+    ConformanceOutcome {
+        completed,
+        failed,
+        attempts: stats.attempts,
+        successes: stats.successes,
+        transient_failures: stats.transient_failures,
+        crash_failures: stats.crash_failures,
+        exhausted_tasks: stats.exhausted_tasks,
+        retries: backend.retries(),
+    }
+}
+
+fn conformance_backends() -> (DesEngine, ThreadedEngine<()>) {
+    let des =
+        DesEngine::new(Cluster::homogeneous(3, 1.0), ExecutionModel::new(0.0, 0.002, 0.002), 3);
+    let threaded: ThreadedEngine<()> = ThreadedEngine::new(3);
+    // Compress simulated task time so the real run takes milliseconds.
+    threaded.set_simulation(ExecutionModel::new(0.0, 0.002, 0.002), 0.05);
+    (des, threaded)
+}
+
+#[test]
+fn backends_conform_under_transient_faults() {
+    let plan = FaultPlan::new(77).with_transient_rate(0.25);
+    let (mut des, mut threaded) = conformance_backends();
+    let a = drive_conformance(&mut des, plan);
+    let b = drive_conformance(&mut threaded, plan);
+    assert!(a.transient_failures > 0, "rate 0.25 must fault: {a:?}");
+    assert_eq!(a, b, "DES and threads disagree under the same fault plan");
+}
+
+#[test]
+fn backends_conform_under_crashes_and_transients() {
+    let plan =
+        FaultPlan::new(42).with_transient_rate(0.2).with_crash_rate(0.08).with_restart_delay(0.02);
+    let (mut des, mut threaded) = conformance_backends();
+    let a = drive_conformance(&mut des, plan);
+    let b = drive_conformance(&mut threaded, plan);
+    assert!(a.crash_failures > 0, "rate 0.08 must crash: {a:?}");
+    assert_eq!(a, b, "crash recovery diverged between backends");
+}
+
+#[test]
+fn backends_conform_when_tasks_exhaust() {
+    // Rate 1.0: every attempt of every task faults, so all tasks exhaust
+    // their budget on both backends with identical attempt counts.
+    let plan = FaultPlan::new(3).with_transient_rate(1.0);
+    let (mut des, mut threaded) = conformance_backends();
+    let a = drive_conformance(&mut des, plan);
+    let b = drive_conformance(&mut threaded, plan);
+    assert_eq!(a.exhausted_tasks, 24, "{a:?}");
+    assert!(a.completed.is_empty());
+    assert_eq!(a.failed.len(), 24);
+    assert_eq!(a, b, "exhaustion bookkeeping diverged between backends");
+}
+
+// ---------------------------------------------------------------------------
+// Claims-as-tasks: run_distributed equals the batch engine on both
+// backends, with and without an injected fault load.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn claims_as_tasks_match_batch_on_both_backends_under_faults() {
+    let trace = TraceBuilder::scenario(Scenario::ParisShooting).scale(0.005).seed(21).build();
+    let engine = SstdEngine::new(SstdConfig::default());
+    let central = engine.run(&trace);
+    let plan = FaultPlan::new(9).with_transient_rate(0.3);
+    let retry = RetryPolicy {
+        max_attempts: 10,
+        backoff_base: 0.001,
+        backoff_cap: 0.01,
+        ..RetryPolicy::default()
+    };
+
+    // DES substrate (payloads executed at harvest time).
+    let mut sim: SimBackend<ClaimFit> =
+        SimBackend::new(DesEngine::new(Cluster::homogeneous(4, 1.0), ExecutionModel::default(), 4));
+    sim.set_fault_plan(plan);
+    sim.set_retry_policy(retry);
+    let sim_run =
+        run_distributed(&engine, &trace, &mut sim, JobId::new(0)).expect("retries rescue all");
+    assert_eq!(sim_run.estimates, central, "DES-executed claims diverged from batch");
+    assert!(sim_run.report.faults.transient_failures > 0, "{}", sim_run.report.faults);
+    assert!(sim_run.report.faults.reconciles(), "{}", sim_run.report.faults);
+
+    // Real threads (payloads re-executed on every faulted attempt).
+    let mut threaded: ThreadedEngine<ClaimFit> = ThreadedEngine::new(4);
+    threaded.set_fault_plan(plan);
+    threaded.set_retry_policy(retry);
+    let thr_run =
+        run_distributed(&engine, &trace, &mut threaded, JobId::new(0)).expect("retries rescue all");
+    assert_eq!(thr_run.estimates, central, "thread-executed claims diverged from batch");
+    assert!(thr_run.report.faults.transient_failures > 0, "{}", thr_run.report.faults);
+    assert!(thr_run.report.faults.reconciles(), "{}", thr_run.report.faults);
+
+    // The two backends also agree with each other on what completed.
+    assert_eq!(
+        sim_run.report.completed.len(),
+        thr_run.report.completed.len(),
+        "same task count on both substrates"
+    );
 }
