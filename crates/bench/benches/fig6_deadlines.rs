@@ -23,7 +23,7 @@ fn bench_dtm(c: &mut Criterion) {
                     ..DtmConfig::default()
                 };
                 let mut dtm = DynamicTaskManager::new(config, Cluster::homogeneous(16, 1.0), model);
-                std::hint::black_box(dtm.run(&jobs).job_hit_rate())
+                std::hint::black_box(dtm.run(&jobs).expect("valid config").job_hit_rate())
             });
         });
     }

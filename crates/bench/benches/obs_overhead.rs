@@ -1,0 +1,40 @@
+//! The observability zero-cost guard: one Fig. 7 makespan computed with
+//! recording off, with the branch taken (`NoopRecorder`), and with full
+//! timeline collection (`TimelineRecorder`). The acceptance bar is that
+//! `noop` stays within noise (< 2%) of `off` — the disabled hook is one
+//! `Option` branch per event site and must price like it.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sstd_eval::exp::fig7;
+use sstd_obs::TimelineRecorder;
+use sstd_runtime::{Cluster, DesEngine, NoopRecorder};
+use std::sync::Arc;
+
+fn bench_recorder_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_overhead");
+    let variants: [(&str, fn(&mut DesEngine)); 3] = [
+        ("off", |_| {}),
+        ("noop", |des| des.set_recorder(Some(Arc::new(NoopRecorder)))),
+        ("collect", |des| des.set_recorder(Some(Arc::new(TimelineRecorder::new())))),
+    ];
+    for (name, install) in variants {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &install, |b, install| {
+            b.iter(|| {
+                // 16.9M tweets / 25k chunks = 676 tasks on 64 workers —
+                // the same workload as the fig7_speedup bench, so the
+                // off-vs-noop delta isolates the hook branch.
+                let mut des = DesEngine::new(Cluster::homogeneous(64, 1.0), fig7::model(), 64);
+                install(&mut des);
+                std::hint::black_box(fig7::makespan(&mut des, 16_900_000))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = obs_overhead;
+    config = Criterion::default().sample_size(20);
+    targets = bench_recorder_overhead
+);
+criterion_main!(obs_overhead);

@@ -8,10 +8,12 @@
 //! single backend-specific branch.
 
 use crate::{GlobalKnob, LocalKnob, PidController};
+use sstd_obs::{ControlTick, ControlTrace};
 use sstd_runtime::{
     Cluster, DesEngine, ExecutionBackend, ExecutionModel, ExecutionReport, FastAbort, FaultPlan,
     FaultStats, JobId, RetryPolicy, TaskSpec,
 };
+use sstd_types::{ConfigError, SstdError};
 use std::collections::BTreeMap;
 
 /// One truth-discovery job as the DTM sees it: a data volume with a soft
@@ -99,6 +101,178 @@ impl Default for DtmConfig {
     }
 }
 
+impl DtmConfig {
+    /// Starts a fallible builder seeded with the paper's tuned defaults.
+    #[must_use]
+    pub fn builder() -> DtmConfigBuilder {
+        DtmConfigBuilder::default()
+    }
+
+    /// Checks every field, naming the first invalid one.
+    ///
+    /// The DTM run family calls this before touching the backend, so a
+    /// hand-assembled struct literal with a bad value surfaces as an
+    /// [`SstdError::Config`] instead of a panic deep inside the PID.
+    ///
+    /// # Errors
+    ///
+    /// A [`ConfigError`] when a gain is negative or non-finite, a knob
+    /// factor or the sampling period is non-positive or non-finite, the
+    /// pool starts empty, or the pool cap is below the initial size.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        for (name, g) in [("kp", self.kp), ("ki", self.ki), ("kd", self.kd)] {
+            if !(g.is_finite() && g >= 0.0) {
+                return Err(ConfigError::new(
+                    name,
+                    format!("gain must be finite and non-negative, got {g}"),
+                ));
+            }
+        }
+        for (name, v) in [("theta3", self.theta3), ("theta4", self.theta4)] {
+            if !(v.is_finite() && v > 0.0) {
+                return Err(ConfigError::new(
+                    name,
+                    format!("knob factor must be finite and positive, got {v}"),
+                ));
+            }
+        }
+        if !(self.sample_period.is_finite() && self.sample_period > 0.0) {
+            return Err(ConfigError::new(
+                "sample_period",
+                format!("must be finite and positive, got {}", self.sample_period),
+            ));
+        }
+        if self.initial_workers == 0 {
+            return Err(ConfigError::new("initial_workers", "need at least one worker"));
+        }
+        if self.max_workers < self.initial_workers {
+            return Err(ConfigError::new(
+                "max_workers",
+                format!(
+                    "cap {} is below the initial pool of {}",
+                    self.max_workers, self.initial_workers
+                ),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// A fallible builder for [`DtmConfig`]: set any subset of fields, then
+/// [`build`](Self::build) validates them all at once via
+/// [`DtmConfig::validate`].
+///
+/// # Examples
+///
+/// ```
+/// use sstd_control::DtmConfig;
+///
+/// let cfg = DtmConfig::builder()
+///     .initial_workers(2)
+///     .max_workers(32)
+///     .control_enabled(false)
+///     .build()
+///     .expect("valid");
+/// assert_eq!(cfg.initial_workers, 2);
+/// assert!(!cfg.control_enabled);
+///
+/// let err = DtmConfig::builder().kp(f64::NAN).build().unwrap_err();
+/// assert_eq!(err.field(), "kp");
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DtmConfigBuilder {
+    config: DtmConfig,
+}
+
+impl DtmConfigBuilder {
+    /// Sets the proportional gain.
+    #[must_use]
+    pub fn kp(mut self, kp: f64) -> Self {
+        self.config.kp = kp;
+        self
+    }
+
+    /// Sets the integral gain.
+    #[must_use]
+    pub fn ki(mut self, ki: f64) -> Self {
+        self.config.ki = ki;
+        self
+    }
+
+    /// Sets the derivative gain.
+    #[must_use]
+    pub fn kd(mut self, kd: f64) -> Self {
+        self.config.kd = kd;
+        self
+    }
+
+    /// Sets the LCK multiplier θ₃.
+    #[must_use]
+    pub fn theta3(mut self, theta3: f64) -> Self {
+        self.config.theta3 = theta3;
+        self
+    }
+
+    /// Sets the GCK multiplier θ₄.
+    #[must_use]
+    pub fn theta4(mut self, theta4: f64) -> Self {
+        self.config.theta4 = theta4;
+        self
+    }
+
+    /// Sets the controller sampling period.
+    #[must_use]
+    pub fn sample_period(mut self, period: f64) -> Self {
+        self.config.sample_period = period;
+        self
+    }
+
+    /// Sets the initial worker count.
+    #[must_use]
+    pub fn initial_workers(mut self, n: usize) -> Self {
+        self.config.initial_workers = n;
+        self
+    }
+
+    /// Sets the worker-pool cap.
+    #[must_use]
+    pub fn max_workers(mut self, n: usize) -> Self {
+        self.config.max_workers = n;
+        self
+    }
+
+    /// Enables or disables feedback control.
+    #[must_use]
+    pub fn control_enabled(mut self, enabled: bool) -> Self {
+        self.config.control_enabled = enabled;
+        self
+    }
+
+    /// Sets the retry/backoff/quarantine policy.
+    #[must_use]
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.config.retry = retry;
+        self
+    }
+
+    /// Enables straggler fast-abort.
+    #[must_use]
+    pub fn fast_abort(mut self, fa: FastAbort) -> Self {
+        self.config.fast_abort = Some(fa);
+        self
+    }
+
+    /// Validates every field and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Whatever [`DtmConfig::validate`] reports.
+    pub fn build(self) -> Result<DtmConfig, ConfigError> {
+        self.config.validate()?;
+        Ok(self.config)
+    }
+}
+
 /// Result of a DTM run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DtmOutcome {
@@ -115,6 +289,10 @@ pub struct DtmOutcome {
     pub retries: u64,
     /// Failed-attempt accounting (also available as `report.faults`).
     pub faults: FaultStats,
+    /// Control-loop telemetry: one [`ControlTick`] per job per sampling
+    /// epoch (empty when `control_enabled` is off or no epoch had pending
+    /// work). Deterministic on the DES backend.
+    pub control: ControlTrace,
 }
 
 impl DtmOutcome {
@@ -154,7 +332,12 @@ impl DynamicTaskManager {
 
     /// Runs `jobs` to completion under feedback control and reports the
     /// outcome.
-    pub fn run(&mut self, jobs: &[DtmJob]) -> DtmOutcome {
+    ///
+    /// # Errors
+    ///
+    /// [`SstdError::Config`] when the [`DtmConfig`] fails
+    /// [`validate`](DtmConfig::validate).
+    pub fn run(&mut self, jobs: &[DtmJob]) -> Result<DtmOutcome, SstdError> {
         self.run_with_evictions(jobs, &[])
     }
 
@@ -163,7 +346,16 @@ impl DynamicTaskManager {
     /// slowdown through its WCET predictions and compensates by growing
     /// the pool — the resilience the paper gets for free from Work
     /// Queue's elastic workers.
-    pub fn run_with_evictions(&mut self, jobs: &[DtmJob], evictions: &[f64]) -> DtmOutcome {
+    ///
+    /// # Errors
+    ///
+    /// [`SstdError::Config`] when the [`DtmConfig`] fails
+    /// [`validate`](DtmConfig::validate).
+    pub fn run_with_evictions(
+        &mut self,
+        jobs: &[DtmJob],
+        evictions: &[f64],
+    ) -> Result<DtmOutcome, SstdError> {
         self.run_with_faults(jobs, evictions, None)
     }
 
@@ -172,12 +364,17 @@ impl DynamicTaskManager {
     /// show up to the controller as lost capacity: the observed fault
     /// ratio inflates the WCET prediction by `1 / (1 − ratio)`, so the
     /// PID grows the pool to compensate for work it expects to lose.
+    ///
+    /// # Errors
+    ///
+    /// [`SstdError::Config`] when the [`DtmConfig`] fails
+    /// [`validate`](DtmConfig::validate).
     pub fn run_with_faults(
         &mut self,
         jobs: &[DtmJob],
         evictions: &[f64],
         plan: Option<FaultPlan>,
-    ) -> DtmOutcome {
+    ) -> Result<DtmOutcome, SstdError> {
         let mut des = DesEngine::new(self.cluster.clone(), self.model, self.config.initial_workers);
         self.run_on(&mut des, jobs, evictions, plan)
     }
@@ -188,14 +385,26 @@ impl DynamicTaskManager {
     /// [`DtmConfig`] policy (worker count, retry, fast-abort) plus the
     /// given fault plan and evictions on the backend, overwriting any
     /// preset values: configuration flows through one path only.
+    ///
+    /// Each sampling epoch with pending work appends one [`ControlTick`]
+    /// per job to the outcome's [`ControlTrace`]: what the PID saw
+    /// (predicted finish vs. deadline) and what it actuated (priority,
+    /// pool size).
+    ///
+    /// # Errors
+    ///
+    /// [`SstdError::Config`] when the [`DtmConfig`] fails
+    /// [`validate`](DtmConfig::validate). The backend is untouched in
+    /// that case.
     pub fn run_on<B: ExecutionBackend + ?Sized>(
         &mut self,
         backend: &mut B,
         jobs: &[DtmJob],
         evictions: &[f64],
         plan: Option<FaultPlan>,
-    ) -> DtmOutcome {
+    ) -> Result<DtmOutcome, SstdError> {
         let cfg = self.config;
+        cfg.validate()?;
         backend.set_num_workers(cfg.initial_workers);
         backend.set_retry_policy(cfg.retry);
         if let Some(fa) = cfg.fast_abort {
@@ -226,6 +435,10 @@ impl DynamicTaskManager {
             .map(|j| (j.job, LocalKnob::new(cfg.theta3, 1.0, 1.0 / 64.0, 64.0)))
             .collect();
         let mut gck = GlobalKnob::new(cfg.theta4, cfg.initial_workers, 1, cfg.max_workers);
+        let mut control = ControlTrace::default();
+        // Ticks of the current epoch, buffered so `workers` can reflect
+        // the pool size after the GCK actuates on the aggregate signal.
+        let mut epoch: Vec<ControlTick> = Vec::new();
 
         // Start sampling from the backend's current clock (zero for the
         // DES; a threaded engine may already have ticked).
@@ -262,6 +475,7 @@ impl DynamicTaskManager {
             // comfortably early (a sum would let the early jobs outvote
             // the urgent one and shrink the pool under it).
             let mut aggregate = f64::NEG_INFINITY;
+            epoch.clear();
             for j in jobs {
                 let remaining_tasks = backend.pending_of(j.job);
                 if remaining_tasks == 0 {
@@ -287,11 +501,29 @@ impl DynamicTaskManager {
                 let new_priority =
                     lcks.get_mut(&j.job).expect("lck registered per job").apply(signal);
                 backend.set_job_priority(j.job, new_priority);
+                epoch.push(ControlTick {
+                    t: 0.0, // filled in after global actuation
+                    job: j.job,
+                    setpoint: j.deadline,
+                    measured: predicted_finish,
+                    error,
+                    signal,
+                    priority: new_priority,
+                    workers: 0, // filled in after global actuation
+                    pending: remaining_tasks,
+                });
             }
             // Global control on the aggregate signal.
             if aggregate.is_finite() {
                 let workers = gck.apply(aggregate);
                 backend.set_num_workers(workers);
+            }
+            let now = backend.now();
+            let pool = backend.num_workers();
+            for mut tick in epoch.drain(..) {
+                tick.t = now;
+                tick.workers = pool;
+                control.push(tick);
             }
         }
 
@@ -304,14 +536,15 @@ impl DynamicTaskManager {
                 (j.job, done <= j.deadline)
             })
             .collect();
-        DtmOutcome {
+        Ok(DtmOutcome {
             final_workers: backend.num_workers(),
             retries: backend.retries(),
             faults: report.faults,
             report,
             job_completion,
             job_met_deadline,
-        }
+            control,
+        })
     }
 
     fn priority_share(&self, lcks: &BTreeMap<JobId, LocalKnob>, job: JobId) -> f64 {
@@ -338,7 +571,7 @@ mod tests {
     #[test]
     fn all_jobs_complete() {
         let mut m = dtm(DtmConfig::default());
-        let outcome = m.run(&jobs_even(5, 2_000.0, 30.0));
+        let outcome = m.run(&jobs_even(5, 2_000.0, 30.0)).expect("valid config");
         assert_eq!(outcome.job_completion.len(), 5);
         assert_eq!(outcome.report.completed.len(), 20);
     }
@@ -346,7 +579,7 @@ mod tests {
     #[test]
     fn loose_deadlines_are_all_met() {
         let mut m = dtm(DtmConfig::default());
-        let outcome = m.run(&jobs_even(4, 1_000.0, 1_000.0));
+        let outcome = m.run(&jobs_even(4, 1_000.0, 1_000.0)).expect("valid config");
         assert!((outcome.job_hit_rate() - 1.0).abs() < 1e-12);
     }
 
@@ -355,9 +588,9 @@ mod tests {
         // Heavy load on a small initial pool with a deadline the static
         // pool cannot meet but a grown pool can.
         let jobs = jobs_even(8, 30_000.0, 30.0);
-        let controlled = dtm(DtmConfig::default()).run(&jobs);
+        let controlled = dtm(DtmConfig::default()).run(&jobs).expect("valid config");
         let static_cfg = DtmConfig { control_enabled: false, ..DtmConfig::default() };
-        let uncontrolled = dtm(static_cfg).run(&jobs);
+        let uncontrolled = dtm(static_cfg).run(&jobs).expect("valid config");
         assert!(
             controlled.job_hit_rate() > uncontrolled.job_hit_rate(),
             "controlled {} vs static {}",
@@ -373,7 +606,7 @@ mod tests {
         // raise its priority so it finishes earlier than FIFO would.
         let mut jobs = jobs_even(4, 6_000.0, 200.0);
         jobs[3] = DtmJob::new(JobId::new(3), 6_000.0, 8.0, 4);
-        let outcome = dtm(DtmConfig::default()).run(&jobs);
+        let outcome = dtm(DtmConfig::default()).run(&jobs).expect("valid config");
         let urgent = outcome.job_completion[&JobId::new(3)];
         // Compare against a job whose tasks queue behind the first wave
         // (job 0's tasks start instantly at submission, before control).
@@ -383,7 +616,7 @@ mod tests {
 
     #[test]
     fn outcome_hit_rate_empty_is_one() {
-        let outcome = dtm(DtmConfig::default()).run(&[]);
+        let outcome = dtm(DtmConfig::default()).run(&[]).expect("valid config");
         assert_eq!(outcome.job_hit_rate(), 1.0);
     }
 
@@ -391,6 +624,66 @@ mod tests {
     #[should_panic(expected = "deadline must be positive")]
     fn invalid_job_rejected() {
         let _ = DtmJob::new(JobId::new(0), 1.0, 0.0, 1);
+    }
+
+    #[test]
+    fn builder_matches_defaults_and_names_bad_fields() {
+        assert_eq!(DtmConfig::builder().build().expect("defaults valid"), DtmConfig::default());
+        let cfg =
+            DtmConfig::builder().kp(2.0).initial_workers(2).max_workers(8).build().expect("valid");
+        assert_eq!(cfg.kp, 2.0);
+        assert_eq!(cfg.initial_workers, 2);
+        for (field, built) in [
+            ("kp", DtmConfig::builder().kp(-1.0).build()),
+            ("ki", DtmConfig::builder().ki(f64::INFINITY).build()),
+            ("kd", DtmConfig::builder().kd(f64::NAN).build()),
+            ("theta3", DtmConfig::builder().theta3(0.0).build()),
+            ("theta4", DtmConfig::builder().theta4(-2.0).build()),
+            ("sample_period", DtmConfig::builder().sample_period(0.0).build()),
+            ("initial_workers", DtmConfig::builder().initial_workers(0).build()),
+            ("max_workers", DtmConfig::builder().max_workers(1).build()),
+        ] {
+            assert_eq!(built.expect_err("invalid").field(), field);
+        }
+    }
+
+    #[test]
+    fn invalid_config_surfaces_as_error_not_panic() {
+        let cfg = DtmConfig { kp: f64::NAN, ..DtmConfig::default() };
+        let err = dtm(cfg).run(&jobs_even(1, 100.0, 10.0)).expect_err("NaN gain");
+        assert_eq!(err.as_config().expect("a config error").field(), "kp");
+    }
+
+    #[test]
+    fn control_trace_first_tick_matches_pid_hand_computation() {
+        let cfg = DtmConfig::default();
+        let jobs = vec![DtmJob::new(JobId::new(0), 20_000.0, 20.0, 8)];
+        let outcome = dtm(cfg).run(&jobs).expect("valid config");
+        let ticks = outcome.control.ticks();
+        assert!(!ticks.is_empty(), "an active run must record control ticks");
+        let k = ticks[0];
+        assert_eq!(k.job, JobId::new(0));
+        assert_eq!(k.setpoint, 20.0, "setpoint is the job deadline");
+        assert!((k.error - (k.measured - k.setpoint)).abs() < 1e-9, "error = measured − setpoint");
+        // First PID sample: the derivative term is zero and the integral
+        // holds exactly one sample (Eq. 9 with e(0) only).
+        let expected =
+            cfg.kp * k.error + cfg.ki * (k.error * cfg.sample_period).clamp(-100.0, 100.0);
+        assert!(
+            (k.signal - expected).abs() < 1e-9,
+            "signal {} vs hand-computed {}",
+            k.signal,
+            expected
+        );
+        assert!(k.workers >= 1);
+        assert!(k.pending > 0);
+    }
+
+    #[test]
+    fn static_allocation_records_no_control_ticks() {
+        let cfg = DtmConfig { control_enabled: false, ..DtmConfig::default() };
+        let outcome = dtm(cfg).run(&jobs_even(2, 2_000.0, 50.0)).expect("valid config");
+        assert!(outcome.control.is_empty(), "control off ⇒ no telemetry");
     }
 }
 
@@ -413,7 +706,7 @@ mod eviction_tests {
                 Cluster::homogeneous(64, 1.0),
                 ExecutionModel::default(),
             );
-            dtm.run_with_evictions(&jobs, &evictions)
+            dtm.run_with_evictions(&jobs, &evictions).expect("valid config")
         };
         let static_run = {
             let cfg = DtmConfig { control_enabled: false, ..DtmConfig::default() };
@@ -422,7 +715,7 @@ mod eviction_tests {
                 Cluster::homogeneous(64, 1.0),
                 ExecutionModel::default(),
             );
-            dtm.run_with_evictions(&jobs, &evictions)
+            dtm.run_with_evictions(&jobs, &evictions).expect("valid config")
         };
         assert_eq!(controlled.report.completed.len(), 24, "no task lost");
         assert!(
@@ -455,13 +748,15 @@ mod eviction_tests {
             Cluster::homogeneous(64, 1.0),
             ExecutionModel::default(),
         )
-        .run_with_faults(&jobs, &[], Some(plan));
+        .run_with_faults(&jobs, &[], Some(plan))
+        .expect("valid config");
         let static_run = DynamicTaskManager::new(
             DtmConfig { control_enabled: false, ..DtmConfig::default() },
             Cluster::homogeneous(64, 1.0),
             ExecutionModel::default(),
         )
-        .run_with_faults(&jobs, &[], Some(plan));
+        .run_with_faults(&jobs, &[], Some(plan))
+        .expect("valid config");
 
         assert_eq!(controlled.report.completed.len(), 24, "no task lost to faults");
         assert!(controlled.faults.reconciles(), "{}", controlled.faults);
@@ -490,6 +785,7 @@ mod eviction_tests {
         let run = || {
             DynamicTaskManager::new(cfg, Cluster::homogeneous(32, 1.0), ExecutionModel::default())
                 .run_with_faults(&jobs, &[1.5], Some(plan))
+                .expect("valid config")
         };
         let a = run();
         let b = run();
@@ -514,7 +810,8 @@ mod eviction_tests {
             cluster.clone(),
             ExecutionModel::default(),
         )
-        .run_with_faults(&jobs, &[], Some(plan));
+        .run_with_faults(&jobs, &[], Some(plan))
+        .expect("valid config");
 
         let mut preset = DesEngine::new(
             cluster,
@@ -532,7 +829,8 @@ mod eviction_tests {
             Cluster::homogeneous(32, 1.0),
             ExecutionModel::default(),
         )
-        .run_on(&mut preset, &jobs, &[], Some(plan));
+        .run_on(&mut preset, &jobs, &[], Some(plan))
+        .expect("valid config");
 
         assert_eq!(through_dtm, clean, "preset backend policy must not leak into the run");
         assert_eq!(through_dtm.faults.exhausted_tasks, 0, "DtmConfig retry budget applied");
@@ -552,7 +850,8 @@ mod eviction_tests {
         let cfg = DtmConfig { initial_workers: 2, max_workers: 8, ..DtmConfig::default() };
         let outcome =
             DynamicTaskManager::new(cfg, Cluster::homogeneous(8, 1.0), ExecutionModel::default())
-                .run_on(&mut engine, &jobs, &[], None);
+                .run_on(&mut engine, &jobs, &[], None)
+                .expect("valid config");
         assert_eq!(outcome.report.completed.len(), 8, "all tasks ran on real threads");
         assert_eq!(outcome.job_completion.len(), 2);
         assert!((outcome.job_hit_rate() - 1.0).abs() < 1e-12, "loose deadlines met");
@@ -568,13 +867,13 @@ mod eviction_tests {
             Cluster::homogeneous(16, 1.0),
             ExecutionModel::default(),
         );
-        let baseline = dtm.run(&jobs).job_completion[&JobId::new(0)];
+        let baseline = dtm.run(&jobs).expect("valid config").job_completion[&JobId::new(0)];
         let mut dtm2 = DynamicTaskManager::new(
             DtmConfig::default(),
             Cluster::homogeneous(16, 1.0),
             ExecutionModel::default(),
         );
-        let evicted = dtm2.run_with_evictions(&jobs, &[0.5, 1.0]);
+        let evicted = dtm2.run_with_evictions(&jobs, &[0.5, 1.0]).expect("valid config");
         assert_eq!(evicted.report.completed.len(), 8);
         assert!(
             evicted.job_completion[&JobId::new(0)] >= baseline - 1e-9,

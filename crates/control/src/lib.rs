@@ -33,8 +33,9 @@
 //!     Cluster::homogeneous(8, 1.0),
 //!     ExecutionModel::default(),
 //! );
-//! let outcome = dtm.run(&jobs);
+//! let outcome = dtm.run(&jobs).expect("valid config");
 //! assert_eq!(outcome.report.completed.len(), 8);
+//! assert!(!outcome.control.is_empty(), "every sampling epoch is recorded");
 //! ```
 
 #![forbid(unsafe_code)]
@@ -45,7 +46,8 @@ mod ilp;
 mod knobs;
 mod pid;
 
-pub use dtm::{DtmConfig, DtmJob, DtmOutcome, DynamicTaskManager};
+pub use dtm::{DtmConfig, DtmConfigBuilder, DtmJob, DtmOutcome, DynamicTaskManager};
 pub use ilp::IlpAllocator;
 pub use knobs::{GlobalKnob, LocalKnob};
 pub use pid::PidController;
+pub use sstd_obs::{ControlTick, ControlTrace};

@@ -1,11 +1,16 @@
 //! SSTD configuration.
 
+use sstd_types::ConfigError;
+
 /// Tuning parameters for the SSTD truth-discovery scheme.
 ///
 /// Defaults follow the paper's setup: a sliding window of a few intervals
 /// (chosen "based on the expected change frequency of the truth", §III-B),
 /// sticky initial transitions (truth rarely flips between adjacent
 /// intervals), and offline EM training capped at a modest iteration count.
+///
+/// The `with_*` combinators panic on invalid values; [`builder`](Self::builder)
+/// offers the same knobs with fallible validation instead.
 ///
 /// # Examples
 ///
@@ -15,6 +20,9 @@
 /// let cfg = SstdConfig::default().with_window(5).with_em_iterations(30);
 /// assert_eq!(cfg.window, 5);
 /// assert_eq!(cfg.em_iterations, 30);
+///
+/// let built = SstdConfig::builder().window(5).em_iterations(30).build().unwrap();
+/// assert_eq!(built, cfg);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SstdConfig {
@@ -71,6 +79,16 @@ impl SstdConfig {
     #[must_use]
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Starts a fallible builder seeded with the defaults.
+    ///
+    /// Unlike the panicking `with_*` combinators, the builder defers all
+    /// validation to [`build`](SstdConfigBuilder::build), which reports
+    /// the offending field in a [`ConfigError`].
+    #[must_use]
+    pub fn builder() -> SstdConfigBuilder {
+        SstdConfigBuilder::default()
     }
 
     /// Sets a fixed ACS sliding window (paper `sw`), disabling the
@@ -147,6 +165,137 @@ impl SstdConfig {
     }
 }
 
+/// A fallible builder for [`SstdConfig`]: set any subset of fields, then
+/// [`build`](Self::build) validates them all at once.
+///
+/// # Examples
+///
+/// ```
+/// use sstd_core::SstdConfig;
+///
+/// let cfg = SstdConfig::builder()
+///     .stay_probability(0.8)
+///     .em_iterations(10)
+///     .build()
+///     .expect("valid");
+/// assert_eq!(cfg.stay_probability, 0.8);
+///
+/// let err = SstdConfig::builder().stay_probability(1.5).build().unwrap_err();
+/// assert_eq!(err.field(), "stay_probability");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SstdConfigBuilder {
+    config: SstdConfig,
+}
+
+impl SstdConfigBuilder {
+    /// Sets a fixed ACS sliding window (paper `sw`), disabling the
+    /// adaptive choice.
+    #[must_use]
+    pub fn window(mut self, window: usize) -> Self {
+        self.config.window = window;
+        self.config.adaptive_window = false;
+        self
+    }
+
+    /// Enables or disables the evidence-density-adaptive window.
+    #[must_use]
+    pub fn adaptive_window(mut self, adaptive: bool) -> Self {
+        self.config.adaptive_window = adaptive;
+        self
+    }
+
+    /// Caps the adaptive window.
+    #[must_use]
+    pub fn max_window(mut self, max: usize) -> Self {
+        self.config.max_window = max;
+        self
+    }
+
+    /// Sets the initial self-transition probability.
+    #[must_use]
+    pub fn stay_probability(mut self, p: f64) -> Self {
+        self.config.stay_probability = p;
+        self
+    }
+
+    /// Caps EM training iterations.
+    #[must_use]
+    pub fn em_iterations(mut self, n: usize) -> Self {
+        self.config.em_iterations = n;
+        self
+    }
+
+    /// Sets the EM convergence tolerance.
+    #[must_use]
+    pub fn em_tolerance(mut self, tol: f64) -> Self {
+        self.config.em_tolerance = tol;
+        self
+    }
+
+    /// Enables or disables EM training (the `em-off` ablation).
+    #[must_use]
+    pub fn train(mut self, train: bool) -> Self {
+        self.config.train = train;
+        self
+    }
+
+    /// Sets the evidence floor below which a claim defaults to `False`.
+    #[must_use]
+    pub fn evidence_floor(mut self, floor: f64) -> Self {
+        self.config.evidence_floor = floor;
+        self
+    }
+
+    /// Sets the streaming refit period (0 disables refitting).
+    #[must_use]
+    pub fn streaming_refit(mut self, every: usize) -> Self {
+        self.config.streaming_refit = every;
+        self
+    }
+
+    /// Validates every field and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// A [`ConfigError`] naming the first invalid field:
+    /// `window`/`max_window` must be at least one interval,
+    /// `stay_probability` must lie in `(0, 1)`, `em_iterations` must be
+    /// at least one, `em_tolerance` must be finite and positive, and
+    /// `evidence_floor` must be finite and non-negative.
+    pub fn build(self) -> Result<SstdConfig, ConfigError> {
+        let c = &self.config;
+        if c.window == 0 {
+            return Err(ConfigError::new("window", "must be at least one interval"));
+        }
+        if c.max_window == 0 {
+            return Err(ConfigError::new("max_window", "must be at least one interval"));
+        }
+        if !(c.stay_probability > 0.0 && c.stay_probability < 1.0) {
+            return Err(ConfigError::new(
+                "stay_probability",
+                format!("must be in (0, 1), got {}", c.stay_probability),
+            ));
+        }
+        if c.em_iterations == 0 {
+            return Err(ConfigError::new("em_iterations", "need at least one EM iteration"));
+        }
+        if !(c.em_tolerance.is_finite() && c.em_tolerance > 0.0) {
+            return Err(ConfigError::new(
+                "em_tolerance",
+                format!("must be finite and positive, got {}", c.em_tolerance),
+            ));
+        }
+        if !(c.evidence_floor.is_finite() && c.evidence_floor >= 0.0) {
+            return Err(ConfigError::new(
+                "evidence_floor",
+                format!("must be finite and non-negative, got {}", c.evidence_floor),
+            ));
+        }
+        Ok(self.config)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -182,5 +331,32 @@ mod tests {
     #[should_panic(expected = "stay probability")]
     fn bad_stay_probability_rejected() {
         let _ = SstdConfig::new().with_stay_probability(1.0);
+    }
+
+    #[test]
+    fn fallible_builder_matches_combinators() {
+        let a = SstdConfig::new().with_window(4).with_em_iterations(9).with_training(false);
+        let b =
+            SstdConfig::builder().window(4).em_iterations(9).train(false).build().expect("valid");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn builder_names_the_offending_field() {
+        for (field, build) in [
+            ("window", SstdConfig::builder().window(0).build()),
+            ("max_window", SstdConfig::builder().max_window(0).build()),
+            ("stay_probability", SstdConfig::builder().stay_probability(0.0).build()),
+            ("em_iterations", SstdConfig::builder().em_iterations(0).build()),
+            ("em_tolerance", SstdConfig::builder().em_tolerance(f64::NAN).build()),
+            ("evidence_floor", SstdConfig::builder().evidence_floor(-1.0).build()),
+        ] {
+            assert_eq!(build.expect_err("invalid").field(), field);
+        }
+    }
+
+    #[test]
+    fn builder_defaults_build_cleanly() {
+        assert_eq!(SstdConfig::builder().build().expect("defaults valid"), SstdConfig::default());
     }
 }

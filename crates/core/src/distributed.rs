@@ -14,7 +14,7 @@
 
 use crate::{claim_partition, SstdEngine, TruthEstimates};
 use sstd_runtime::{ExecutionReport, FailedTask, JobBackend, JobId, TaskSpec};
-use sstd_types::{ClaimId, Trace, TruthLabel};
+use sstd_types::{ClaimId, SstdError, Trace, TruthLabel};
 use std::sync::Arc;
 
 /// The result of one per-claim truth-discovery task: the claim and its
@@ -56,6 +56,12 @@ impl std::fmt::Display for DistributedError {
 
 impl std::error::Error for DistributedError {}
 
+impl From<DistributedError> for SstdError {
+    fn from(err: DistributedError) -> Self {
+        Self::distributed(err)
+    }
+}
+
 /// Runs truth discovery over `trace` as one distributed TD job on
 /// `backend`: one task per claim, each task's payload an EM + Viterbi fit
 /// of that claim's report sub-stream. Task data sizes are the per-claim
@@ -68,15 +74,18 @@ impl std::error::Error for DistributedError {}
 ///
 /// # Errors
 ///
-/// [`DistributedError::TasksFailed`] if the backend exhausted any task's
-/// retry budget; [`DistributedError::MissingClaims`] if reassembly came up
-/// short without a reported failure.
+/// [`SstdError::Backend`] if the backend refuses a submission;
+/// [`SstdError::Distributed`] wrapping [`DistributedError::TasksFailed`]
+/// if the backend exhausted any task's retry budget, or
+/// [`DistributedError::MissingClaims`] if reassembly came up short without
+/// a reported failure. Inspect the distributed cases with
+/// [`SstdError::distributed_as`].
 pub fn run_distributed<B>(
     engine: &SstdEngine,
     trace: &Trace,
     backend: &mut B,
     job: JobId,
-) -> Result<DistributedRun, DistributedError>
+) -> Result<DistributedRun, SstdError>
 where
     B: JobBackend<ClaimFit> + ?Sized,
 {
@@ -90,12 +99,12 @@ where
                 let (engine, trace) = &*shared;
                 (claim, engine.run_claim(trace, claim))
             }),
-        );
+        )?;
     }
     let report = backend.run_to_completion();
     let failed = backend.failed();
     if !failed.is_empty() {
-        return Err(DistributedError::TasksFailed(failed));
+        return Err(DistributedError::TasksFailed(failed).into());
     }
     let mut estimates = TruthEstimates::new(trace.timeline().num_intervals());
     for (_, (claim, labels)) in backend.drain_results() {
@@ -106,7 +115,7 @@ where
             .map(|i| ClaimId::new(i as u32))
             .filter(|c| estimates.labels(*c).is_none())
             .collect();
-        return Err(DistributedError::MissingClaims(missing));
+        return Err(DistributedError::MissingClaims(missing).into());
     }
     Ok(DistributedRun { estimates, report })
 }
@@ -214,7 +223,7 @@ mod tests {
         backend.set_retry_policy(RetryPolicy { max_attempts: 1, ..RetryPolicy::default() });
         let err = run_distributed(&engine, &trace, &mut backend, JobId::new(0))
             .expect_err("nothing can complete");
-        match err {
+        match err.distributed_as::<DistributedError>().expect("a distributed error") {
             DistributedError::TasksFailed(failed) => assert_eq!(failed.len(), 5),
             other => panic!("unexpected error: {other}"),
         }

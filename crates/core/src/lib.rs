@@ -59,10 +59,11 @@ mod model;
 mod streaming;
 
 pub use acs::AcsAggregator;
-pub use config::SstdConfig;
+pub use config::{SstdConfig, SstdConfigBuilder};
 pub use correlation::{smooth_dependencies, ClaimDependency, Correlation};
 pub use distributed::{run_distributed, ClaimFit, DistributedError, DistributedRun};
 pub use engine::{claim_partition, SstdEngine};
 pub use estimates::{ConfidenceEstimates, TruthEstimates};
 pub use model::{BinnedClaimTruthModel, ClaimTruthModel};
+pub use sstd_obs::{StreamTelemetry, StreamTick};
 pub use streaming::StreamingSstd;

@@ -9,9 +9,11 @@
 
 use crate::{ClaimTruthModel, SstdConfig, TruthEstimates};
 use sstd_hmm::{Hmm, StreamingViterbi, SymmetricGaussianEmission};
+use sstd_obs::{StreamTelemetry, StreamTick};
 use sstd_types::{ClaimId, Report, Timeline, TruthLabel};
 use std::collections::BTreeMap;
 use std::collections::VecDeque;
+use std::time::Instant;
 
 /// Per-claim streaming state: windowed ACS aggregation plus an online
 /// decoder. Spawned lazily when a claim's first report arrives.
@@ -139,13 +141,43 @@ pub struct StreamingSstd {
     current_interval: usize,
     claims: BTreeMap<ClaimId, ClaimStream>,
     reports_seen: u64,
+    /// Per-interval telemetry, opt-in via [`with_telemetry`](Self::with_telemetry).
+    telemetry: Option<StreamTelemetry>,
+    /// Reports ingested into the currently open interval.
+    interval_reports: u64,
 }
 
 impl StreamingSstd {
     /// Creates a streaming engine over `timeline`.
     #[must_use]
     pub fn new(config: SstdConfig, timeline: Timeline) -> Self {
-        Self { config, timeline, current_interval: 0, claims: BTreeMap::new(), reports_seen: 0 }
+        Self {
+            config,
+            timeline,
+            current_interval: 0,
+            claims: BTreeMap::new(),
+            reports_seen: 0,
+            telemetry: None,
+            interval_reports: 0,
+        }
+    }
+
+    /// Enables per-interval telemetry: ingest rate, ACS window occupancy,
+    /// wall-clock decode latency and decision flips, one
+    /// [`StreamTick`] per closed interval. Read it back with
+    /// [`telemetry`](Self::telemetry) or
+    /// [`finish_with_telemetry`](Self::finish_with_telemetry).
+    #[must_use]
+    pub fn with_telemetry(mut self) -> Self {
+        self.telemetry = Some(StreamTelemetry::new());
+        self
+    }
+
+    /// The telemetry collected so far (`None` unless enabled via
+    /// [`with_telemetry`](Self::with_telemetry)).
+    #[must_use]
+    pub fn telemetry(&self) -> Option<&StreamTelemetry> {
+        self.telemetry.as_ref()
     }
 
     /// Number of reports consumed.
@@ -177,6 +209,7 @@ impl StreamingSstd {
             self.close_current_interval();
         }
         self.reports_seen += 1;
+        self.interval_reports += 1;
         let claim = report.claim();
         let current = self.current_interval;
         let stream = self.claims.entry(claim).or_insert_with(|| ClaimStream::new(current));
@@ -191,9 +224,39 @@ impl StreamingSstd {
     }
 
     fn close_current_interval(&mut self) {
+        let started = self.telemetry.is_some().then(Instant::now);
+        let mut flips = 0usize;
         for stream in self.claims.values_mut() {
             stream.close_interval(&self.config);
+            if started.is_some() {
+                let d = &stream.decisions;
+                if d.len() >= 2 && d[d.len() - 1] != d[d.len() - 2] {
+                    flips += 1;
+                }
+            }
         }
+        if let Some(tel) = &mut self.telemetry {
+            let active = self
+                .claims
+                .values()
+                .filter(|s| s.open_cs != 0.0 || s.window.iter().any(|&v| v != 0.0))
+                .count();
+            let occupancy = if self.claims.is_empty() {
+                0.0
+            } else {
+                self.claims.values().map(|s| s.window.len() as f64).sum::<f64>()
+                    / self.claims.len() as f64
+            };
+            tel.push(StreamTick {
+                interval: self.current_interval as u64,
+                reports: self.interval_reports,
+                active_claims: active,
+                window_occupancy: occupancy,
+                decode_latency: started.map_or(0.0, |t| t.elapsed().as_secs_f64()),
+                decision_flips: flips,
+            });
+        }
+        self.interval_reports = 0;
         self.current_interval += 1;
     }
 
@@ -202,7 +265,15 @@ impl StreamingSstd {
     /// Intervals before a claim's first report are labeled `False`
     /// (no evidence — same convention as the batch engine).
     #[must_use]
-    pub fn finish(mut self) -> TruthEstimates {
+    pub fn finish(self) -> TruthEstimates {
+        self.finish_with_telemetry().0
+    }
+
+    /// Like [`finish`](Self::finish), additionally handing back the
+    /// collected telemetry (`None` unless enabled via
+    /// [`with_telemetry`](Self::with_telemetry)).
+    #[must_use]
+    pub fn finish_with_telemetry(mut self) -> (TruthEstimates, Option<StreamTelemetry>) {
         let n = self.timeline.num_intervals();
         while self.current_interval < n {
             self.close_current_interval();
@@ -214,7 +285,7 @@ impl StreamingSstd {
             debug_assert_eq!(labels.len(), n);
             out.insert(claim, labels);
         }
-        out
+        (out, self.telemetry)
     }
 }
 
@@ -304,6 +375,47 @@ mod tests {
         let est = s.finish();
         assert_eq!(est.num_claims(), 0);
         assert_eq!(est.num_intervals(), 10);
+    }
+
+    #[test]
+    fn telemetry_is_opt_in_and_counts_every_interval() {
+        let off = StreamingSstd::new(SstdConfig::default(), timeline());
+        assert!(off.telemetry().is_none(), "telemetry must be opt-in");
+        let (_, tel) = off.finish_with_telemetry();
+        assert!(tel.is_none());
+
+        let mut s = StreamingSstd::new(SstdConfig::default(), timeline()).with_telemetry();
+        for t in 0..100 {
+            s.push(&report(0, t, Attitude::Agree));
+        }
+        let (est, tel) = s.finish_with_telemetry();
+        let tel = tel.expect("enabled");
+        assert_eq!(est.num_claims(), 1);
+        assert_eq!(tel.ticks().len(), 10, "one tick per closed interval");
+        assert_eq!(tel.total_reports(), 100, "every report lands in some interval");
+        assert_eq!(tel.ticks()[3].interval, 3);
+        assert_eq!(tel.ticks()[0].reports, 10, "10 reports per interval");
+        assert!(tel.ticks().iter().all(|k| k.active_claims <= 1));
+    }
+
+    #[test]
+    fn telemetry_sees_decision_flips() {
+        let mut s =
+            StreamingSstd::new(SstdConfig::default().with_window(1), timeline()).with_telemetry();
+        for t in 0..100u64 {
+            let att = if t < 50 { Attitude::Agree } else { Attitude::Disagree };
+            for src in 0..4 {
+                s.push(&Report::plain(
+                    SourceId::new(src),
+                    ClaimId::new(0),
+                    Timestamp::from_secs(t),
+                    att,
+                ));
+            }
+        }
+        let (_, tel) = s.finish_with_telemetry();
+        let tel = tel.expect("enabled");
+        assert!(tel.total_flips() >= 1, "the truth flip at t = 50 must register");
     }
 
     #[test]

@@ -138,7 +138,7 @@ fn ilp_hit_rate(volumes: &[f64], cost_per_report: f64, deadline: f64) -> f64 {
             ..DtmConfig::default()
         };
         let mut dtm = DynamicTaskManager::new(config, Cluster::homogeneous(16, 1.0), model);
-        if dtm.run(&[job]).job_hit_rate() >= 1.0 {
+        if dtm.run(&[job]).expect("valid config").job_hit_rate() >= 1.0 {
             hits += 1;
         }
     }
@@ -155,7 +155,7 @@ fn sstd_hit_rate(volumes: &[f64], cost_per_report: f64, deadline: f64) -> f64 {
     for (iv, &v) in volumes.iter().enumerate() {
         let mut dtm = DynamicTaskManager::new(config, Cluster::homogeneous(16, 1.0), model);
         let job = DtmJob::new(JobId::new(iv as u32), v.max(1.0), deadline, 4);
-        let outcome = dtm.run(&[job]);
+        let outcome = dtm.run(&[job]).expect("valid config");
         if outcome.job_hit_rate() >= 1.0 {
             hits += 1;
         }

@@ -92,6 +92,32 @@ where
     out
 }
 
+/// Packs the sweep into a `BENCH_*.json`-compatible trajectory: one point
+/// per `(data_size, workers)` cell.
+///
+/// # Examples
+///
+/// ```
+/// use sstd_eval::exp::fig7;
+///
+/// let report = fig7::bench_report(&fig7::run(&[100_000], &[1, 2]));
+/// assert_eq!(report.name(), "fig7_speedup");
+/// assert_eq!(report.len(), 2);
+/// assert!(report.to_json().contains("\"workers\":2"));
+/// ```
+#[must_use]
+pub fn bench_report(points: &[SpeedupPoint]) -> sstd_obs::BenchReport {
+    let mut report = sstd_obs::BenchReport::new("fig7_speedup");
+    for p in points {
+        report.push_point(&[
+            ("data_size", p.data_size as f64),
+            ("workers", p.workers as f64),
+            ("speedup", p.speedup),
+        ]);
+    }
+    report
+}
+
 /// Formats points as one series per data size.
 #[must_use]
 pub fn format(points: &[SpeedupPoint]) -> String {

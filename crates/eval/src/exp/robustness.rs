@@ -90,12 +90,9 @@ where
         let evictions: Vec<f64> = (0..n).map(|i| 1.0 + 9.0 * i as f64 / n.max(1) as f64).collect();
         for controlled in [false, true] {
             let mut backend = make_backend();
-            let outcome = dtm(controlled, RetryPolicy::default()).run_on(
-                &mut backend,
-                &job_set(6),
-                &evictions,
-                None,
-            );
+            let outcome = dtm(controlled, RetryPolicy::default())
+                .run_on(&mut backend, &job_set(6), &evictions, None)
+                .expect("valid config");
             out.push(RobustnessPoint {
                 controlled,
                 num_evictions: n,
@@ -200,12 +197,9 @@ where
                 let plan = FaultPlan::new(seed).with_transient_rate(rate);
                 for controlled in [false, true] {
                     let mut backend = make_backend();
-                    let outcome = dtm(controlled, retry).run_on(
-                        &mut backend,
-                        &job_set(6),
-                        &evictions,
-                        Some(plan),
-                    );
+                    let outcome = dtm(controlled, retry)
+                        .run_on(&mut backend, &job_set(6), &evictions, Some(plan))
+                        .expect("valid config");
                     debug_assert!(outcome.faults.reconciles(), "{}", outcome.faults);
                     out.push(FaultSweepPoint {
                         controlled,

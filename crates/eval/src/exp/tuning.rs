@@ -40,7 +40,7 @@ fn hit_rate(kp: f64, ki: f64, kd: f64) -> f64 {
         DtmConfig { kp, ki, kd, initial_workers: 2, max_workers: 32, ..DtmConfig::default() };
     let mut dtm =
         DynamicTaskManager::new(config, Cluster::homogeneous(32, 1.0), ExecutionModel::default());
-    dtm.run(&workload()).job_hit_rate()
+    dtm.run(&workload()).expect("valid gains").job_hit_rate()
 }
 
 /// Sweeps the gain grid (each axis over `values`) and returns every cell.

@@ -1,0 +1,144 @@
+//! The `BENCH_*.json` trajectory exporter.
+
+use crate::{json_escape, json_f64};
+
+/// A named sequence of measurement points, rendered in the repository's
+/// `BENCH_*.json` trajectory format:
+/// `{"bench":"<name>","points":[{"x":1,"y":2.5},...]}`.
+///
+/// Each point is an ordered list of `(field, value)` pairs, so curves
+/// with different axes (workers → speedup, interval → latency) share one
+/// exporter.
+///
+/// # Examples
+///
+/// ```
+/// use sstd_obs::BenchReport;
+///
+/// let mut report = BenchReport::new("fig7_speedup");
+/// report.push_point(&[("workers", 4.0), ("speedup", 3.4)]);
+/// let json = report.to_json();
+/// assert_eq!(json, r#"{"bench":"fig7_speedup","points":[{"workers":4,"speedup":3.4}]}"#);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    name: String,
+    points: Vec<Vec<(String, f64)>>,
+}
+
+impl BenchReport {
+    /// Creates an empty report for the benchmark `name`.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Self { name: name.into(), points: Vec::new() }
+    }
+
+    /// The benchmark name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Appends one measurement point from `(field, value)` pairs.
+    pub fn push_point(&mut self, fields: &[(&str, f64)]) {
+        self.points.push(fields.iter().map(|&(k, v)| (k.to_string(), v)).collect());
+    }
+
+    /// Number of points recorded.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether no point was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Renders the report as one `BENCH_*.json`-compatible object.
+    /// Non-finite values render as `null`.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let points = self
+            .points
+            .iter()
+            .map(|fields| {
+                let row = fields
+                    .iter()
+                    .map(|(k, v)| format!("\"{}\":{}", json_escape(k), json_f64(*v)))
+                    .collect::<Vec<_>>()
+                    .join(",");
+                format!("{{{row}}}")
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        format!("{{\"bench\":\"{}\",\"points\":[{points}]}}", json_escape(&self.name))
+    }
+
+    /// Renders the report as CSV with one column per field of the first
+    /// point (empty string when a later point misses a field).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let Some(first) = self.points.first() else {
+            return String::new();
+        };
+        let header: Vec<&str> = first.iter().map(|(k, _)| k.as_str()).collect();
+        let mut out = header.join(",");
+        out.push('\n');
+        for fields in &self.points {
+            let row = header
+                .iter()
+                .map(|&name| {
+                    fields
+                        .iter()
+                        .find(|(k, _)| k == name)
+                        .map_or_else(String::new, |(_, v)| v.to_string())
+                })
+                .collect::<Vec<_>>()
+                .join(",");
+            out.push_str(&row);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_matches_trajectory_shape() {
+        let mut r = BenchReport::new("fig6_latency");
+        r.push_point(&[("interval", 0.0), ("latency", 1.5)]);
+        r.push_point(&[("interval", 1.0), ("latency", f64::NAN)]);
+        let json = r.to_json();
+        assert!(json.starts_with("{\"bench\":\"fig6_latency\",\"points\":["), "{json}");
+        assert!(json.contains("{\"interval\":0,\"latency\":1.5}"), "{json}");
+        assert!(json.contains("\"latency\":null"), "{json}");
+        assert!(json.ends_with("]}"), "{json}");
+    }
+
+    #[test]
+    fn empty_report_is_valid_json() {
+        let r = BenchReport::new("empty");
+        assert_eq!(r.to_json(), "{\"bench\":\"empty\",\"points\":[]}");
+        assert!(r.is_empty());
+        assert_eq!(r.to_csv(), "");
+    }
+
+    #[test]
+    fn csv_uses_first_point_as_header() {
+        let mut r = BenchReport::new("x");
+        r.push_point(&[("a", 1.0), ("b", 2.0)]);
+        r.push_point(&[("a", 3.0), ("b", 4.0)]);
+        assert_eq!(r.to_csv(), "a,b\n1,2\n3,4\n");
+    }
+
+    #[test]
+    fn names_are_json_escaped() {
+        let r = BenchReport::new("we\"ird\\name");
+        assert!(r.to_json().contains("we\\\"ird\\\\name"));
+    }
+}

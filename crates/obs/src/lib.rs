@@ -1,0 +1,90 @@
+//! Observability for SSTD: metrics, task timelines, and control-loop
+//! telemetry.
+//!
+//! The paper evaluates SSTD by *measuring* it — per-interval decision
+//! latency, task turnaround on the Work Queue pool, PID-controlled
+//! workload error (§IV–V). This crate is the measurement layer those
+//! curves come from:
+//!
+//! - [`MetricsRegistry`] — a lock-cheap registry of named [`Counter`]s,
+//!   [`Gauge`]s and fixed-bucket [`HistogramHandle`]s (bucket geometry
+//!   from [`sstd_stats::Histogram`]), snapshotted to JSON or CSV;
+//! - [`TimelineRecorder`] — a [`sstd_runtime::Recorder`] sink collecting
+//!   the per-attempt [`TimelineEvent`] stream both execution backends
+//!   emit (queued → dispatched → failed/evicted/aborted → completed), so
+//!   a DES run and a threaded run of the same seeded `FaultPlan` produce
+//!   [structurally comparable](Timeline::structurally_equal) traces;
+//! - [`ControlTick`] / [`ControlTrace`] — one sample per PID tick
+//!   (setpoint, measured workload, error, actuation) from the Dynamic
+//!   Task Manager;
+//! - [`StreamTick`] / [`StreamTelemetry`] — per-interval streaming
+//!   telemetry (report counts, ACS window occupancy, decode latency,
+//!   decision flips);
+//! - [`BenchReport`] — the `BENCH_*.json`-compatible trajectory exporter
+//!   the evaluation binaries write.
+//!
+//! Everything here is pull-based and allocation-light: recording an event
+//! is an atomic increment or a short `Mutex`-guarded push, and the
+//! runtime's default recorder is a no-op, so instrumentation costs
+//! nothing until a sink is installed.
+//!
+//! # Examples
+//!
+//! ```
+//! use sstd_obs::TimelineRecorder;
+//! use sstd_runtime::prelude::*;
+//! use std::sync::Arc;
+//!
+//! let recorder = Arc::new(TimelineRecorder::new());
+//! let mut des = DesEngine::new(Cluster::homogeneous(2, 1.0), ExecutionModel::default(), 2);
+//! des.set_recorder(Some(recorder.clone()));
+//! des.submit(TaskSpec::new(JobId::new(0), 100.0));
+//! let _ = des.run_to_completion();
+//! let timeline = recorder.snapshot();
+//! assert_eq!(timeline.events().len(), 3); // queued, dispatched, completed
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod control;
+mod export;
+mod metrics;
+mod stream;
+mod timeline;
+
+pub use control::{ControlTick, ControlTrace};
+pub use export::BenchReport;
+pub use metrics::{
+    Counter, Gauge, HistogramHandle, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
+};
+pub use stream::{StreamTelemetry, StreamTick};
+pub use timeline::{Timeline, TimelineRecorder};
+
+pub use sstd_runtime::{LossCause, TaskPhase, TimelineEvent};
+
+/// Escapes a string for inclusion in a JSON string literal.
+pub(crate) fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an `f64` as a JSON value (`null` when not finite).
+pub(crate) fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}

@@ -1,0 +1,422 @@
+//! A lock-cheap registry of named counters, gauges and fixed-bucket
+//! histograms.
+//!
+//! Handles are `Arc`-backed: recording is a single atomic operation, so
+//! hot paths can hold a handle and bump it without touching the registry
+//! lock (the lock guards only name → handle resolution and snapshots).
+
+use crate::{json_escape, json_f64};
+use parking_lot::Mutex;
+use sstd_stats::Histogram;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A monotonically increasing counter.
+///
+/// # Examples
+///
+/// ```
+/// use sstd_obs::MetricsRegistry;
+///
+/// let reg = MetricsRegistry::new();
+/// let tasks = reg.counter("tasks_completed");
+/// tasks.inc();
+/// tasks.add(4);
+/// assert_eq!(tasks.get(), 5);
+/// assert_eq!(reg.counter("tasks_completed").get(), 5, "same handle by name");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Increments by one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Increments by `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins gauge holding an `f64`.
+///
+/// Stored as raw bits in an atomic, so `set`/`get` are lock-free.
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// A fixed-bucket histogram with atomic bins.
+///
+/// Bucket geometry (equal-width bins over `[lo, hi]`, out-of-range
+/// samples clamped into the end bins) is delegated to
+/// [`sstd_stats::Histogram`], so exported bucket centers match the stats
+/// crate's conventions everywhere else in SSTD.
+#[derive(Debug, Clone)]
+pub struct HistogramHandle {
+    /// Empty template carrying the bucket geometry.
+    template: Arc<Histogram>,
+    bins: Arc<Vec<AtomicU64>>,
+}
+
+impl HistogramHandle {
+    fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        let template = Histogram::new(lo, hi, bins);
+        let bins = (0..bins).map(|_| AtomicU64::new(0)).collect();
+        Self { template: Arc::new(template), bins: Arc::new(bins) }
+    }
+
+    /// Records one sample (clamped into the end bins when out of range).
+    pub fn record(&self, x: f64) {
+        let b = self.template.bin_of(x);
+        self.bins[b].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total recorded samples.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.bins.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// A point-in-time copy of the bucket counts.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            centers: (0..self.bins.len()).map(|b| self.template.bin_center(b)).collect(),
+            counts: self.bins.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+        }
+    }
+}
+
+/// An immutable copy of a histogram's buckets at snapshot time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    centers: Vec<f64>,
+    counts: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Bucket midpoints.
+    #[must_use]
+    pub fn centers(&self) -> &[f64] {
+        &self.centers
+    }
+
+    /// Bucket counts.
+    #[must_use]
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total samples across all buckets.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// The approximate `p`-quantile (bucket-midpoint interpolation), or
+    /// `None` when the histogram is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `p` is in `[0, 1]`.
+    #[must_use]
+    pub fn quantile(&self, p: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&p), "quantile must be in [0, 1]");
+        let total = self.total();
+        if total == 0 {
+            return None;
+        }
+        let rank = (p * total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(self.centers[i]);
+            }
+        }
+        self.centers.last().copied()
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: BTreeMap<String, Counter>,
+    gauges: BTreeMap<String, Gauge>,
+    histograms: BTreeMap<String, HistogramHandle>,
+}
+
+/// A registry of named metrics.
+///
+/// `counter`/`gauge`/`histogram` are get-or-create: the first call with a
+/// name allocates the metric, later calls hand back the same underlying
+/// handle, so any component can reach a shared metric by name alone.
+///
+/// # Examples
+///
+/// ```
+/// use sstd_obs::MetricsRegistry;
+///
+/// let reg = MetricsRegistry::new();
+/// reg.counter("intervals").add(3);
+/// reg.gauge("workers").set(16.0);
+/// let lat = reg.histogram("latency_s", 0.0, 1.0, 10);
+/// lat.record(0.25);
+/// let snap = reg.snapshot();
+/// assert!(snap.to_json().contains("\"intervals\":3"));
+/// assert!(snap.to_csv().contains("gauge,workers,16"));
+/// ```
+#[derive(Debug)]
+pub struct MetricsRegistry {
+    inner: Mutex<Inner>,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { inner: Mutex::new(Inner::default()) }
+    }
+
+    /// The counter named `name`, created at zero on first use.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut inner = self.inner.lock();
+        inner
+            .counters
+            .entry(name.to_string())
+            .or_insert_with(|| Counter(Arc::new(AtomicU64::new(0))))
+            .clone()
+    }
+
+    /// The gauge named `name`, created at zero on first use.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut inner = self.inner.lock();
+        inner
+            .gauges
+            .entry(name.to_string())
+            .or_insert_with(|| Gauge(Arc::new(AtomicU64::new(0.0f64.to_bits()))))
+            .clone()
+    }
+
+    /// The histogram named `name`, created with the given bucket geometry
+    /// on first use (later calls ignore the geometry arguments and return
+    /// the existing handle).
+    ///
+    /// # Panics
+    ///
+    /// Panics on first use if `bins == 0`, `lo >= hi`, or a bound is not
+    /// finite (see [`sstd_stats::Histogram::new`]).
+    #[must_use]
+    pub fn histogram(&self, name: &str, lo: f64, hi: f64, bins: usize) -> HistogramHandle {
+        let mut inner = self.inner.lock();
+        inner
+            .histograms
+            .entry(name.to_string())
+            .or_insert_with(|| HistogramHandle::new(lo, hi, bins))
+            .clone()
+    }
+
+    /// A point-in-time copy of every registered metric.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.lock();
+        MetricsSnapshot {
+            counters: inner.counters.iter().map(|(k, v)| (k.clone(), v.get())).collect(),
+            gauges: inner.gauges.iter().map(|(k, v)| (k.clone(), v.get())).collect(),
+            histograms: inner.histograms.iter().map(|(k, v)| (k.clone(), v.snapshot())).collect(),
+        }
+    }
+}
+
+/// All registered metrics at one instant, ready for export.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    counters: Vec<(String, u64)>,
+    gauges: Vec<(String, f64)>,
+    histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl MetricsSnapshot {
+    /// Counter values, sorted by name.
+    #[must_use]
+    pub fn counters(&self) -> &[(String, u64)] {
+        &self.counters
+    }
+
+    /// Gauge values, sorted by name.
+    #[must_use]
+    pub fn gauges(&self) -> &[(String, f64)] {
+        &self.gauges
+    }
+
+    /// Histogram snapshots, sorted by name.
+    #[must_use]
+    pub fn histograms(&self) -> &[(String, HistogramSnapshot)] {
+        &self.histograms
+    }
+
+    /// Renders the snapshot as one JSON object:
+    /// `{"counters":{...},"gauges":{...},"histograms":{"name":{"centers":[...],"counts":[...]}}}`.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(k, v)| format!("\"{}\":{v}", json_escape(k)))
+            .collect::<Vec<_>>()
+            .join(",");
+        let gauges = self
+            .gauges
+            .iter()
+            .map(|(k, v)| format!("\"{}\":{}", json_escape(k), json_f64(*v)))
+            .collect::<Vec<_>>()
+            .join(",");
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|(k, h)| {
+                let centers = h.centers.iter().map(|&c| json_f64(c)).collect::<Vec<_>>().join(",");
+                let counts = h.counts.iter().map(u64::to_string).collect::<Vec<_>>().join(",");
+                format!("\"{}\":{{\"centers\":[{centers}],\"counts\":[{counts}]}}", json_escape(k))
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        format!(
+            "{{\"counters\":{{{counters}}},\"gauges\":{{{gauges}}},\"histograms\":{{{histograms}}}}}"
+        )
+    }
+
+    /// Renders the snapshot as CSV rows `kind,name,value` (histogram rows
+    /// are `hist,name,center,count`, one per bucket).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("kind,name,value\n");
+        for (k, v) in &self.counters {
+            out.push_str(&format!("counter,{k},{v}\n"));
+        }
+        for (k, v) in &self.gauges {
+            out.push_str(&format!("gauge,{k},{v}\n"));
+        }
+        for (k, h) in &self.histograms {
+            for (c, n) in h.centers.iter().zip(&h.counts) {
+                out.push_str(&format!("hist,{k},{c},{n}\n"));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_share_handles_by_name() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("x");
+        let b = reg.counter("x");
+        a.inc();
+        b.add(2);
+        assert_eq!(reg.counter("x").get(), 3);
+        reg.gauge("g").set(1.5);
+        assert_eq!(reg.gauge("g").get(), 1.5);
+    }
+
+    #[test]
+    fn histogram_buckets_match_stats_geometry() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("lat", 0.0, 10.0, 5);
+        for x in [1.0, 2.5, 2.6, 9.9, 42.0] {
+            h.record(x);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.total(), 5);
+        assert_eq!(snap.counts()[1], 2, "[2, 4) holds two samples");
+        assert_eq!(snap.counts()[4], 2, "top bin holds the clamped outlier too");
+        assert_eq!(snap.centers()[0], 1.0, "centers come from sstd_stats::Histogram");
+    }
+
+    #[test]
+    fn histogram_quantile_interpolates_buckets() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("q", 0.0, 100.0, 100);
+        for i in 0..100 {
+            h.record(f64::from(i));
+        }
+        let snap = h.snapshot();
+        let p50 = snap.quantile(0.5).expect("non-empty");
+        assert!((p50 - 49.5).abs() < 1.0, "median near the middle: {p50}");
+        let p99 = snap.quantile(0.99).expect("non-empty");
+        assert!(p99 > 95.0, "p99 near the top: {p99}");
+        assert_eq!(snap.quantile(0.0), Some(0.5), "p0 is the first occupied bucket");
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantile() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("empty", 0.0, 1.0, 4);
+        assert_eq!(h.snapshot().quantile(0.5), None);
+    }
+
+    #[test]
+    fn json_export_round_trips_names_and_values() {
+        let reg = MetricsRegistry::new();
+        reg.counter("tasks").add(7);
+        reg.gauge("load").set(0.5);
+        reg.histogram("h", 0.0, 2.0, 2).record(0.5);
+        let json = reg.snapshot().to_json();
+        assert!(json.contains("\"tasks\":7"), "{json}");
+        assert!(json.contains("\"load\":0.5"), "{json}");
+        assert!(json.contains("\"counts\":[1,0]"), "{json}");
+        assert!(json.starts_with('{') && json.ends_with('}'));
+    }
+
+    #[test]
+    fn json_export_nulls_non_finite_gauges() {
+        let reg = MetricsRegistry::new();
+        reg.gauge("bad").set(f64::NAN);
+        let json = reg.snapshot().to_json();
+        assert!(json.contains("\"bad\":null"), "{json}");
+    }
+
+    #[test]
+    fn csv_export_emits_one_row_per_bucket() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("lat", 0.0, 4.0, 2);
+        h.record(1.0);
+        h.record(3.0);
+        h.record(3.5);
+        let csv = reg.snapshot().to_csv();
+        assert!(csv.starts_with("kind,name,value\n"));
+        assert!(csv.contains("hist,lat,1,1\n"), "{csv}");
+        assert!(csv.contains("hist,lat,3,2\n"), "{csv}");
+    }
+}

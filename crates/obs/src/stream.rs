@@ -1,0 +1,210 @@
+//! Streaming telemetry: per-interval samples from the streaming engine.
+
+use crate::json_f64;
+use sstd_stats::P2Quantile;
+
+/// One closed streaming interval as the engine saw it (paper §V measures
+/// exactly these: ingest rate, window occupancy, decision latency).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamTick {
+    /// The interval index (0-based).
+    pub interval: u64,
+    /// Reports ingested during the interval.
+    pub reports: u64,
+    /// Claims with at least one report in the ACS window.
+    pub active_claims: usize,
+    /// Mean ACS window occupancy across active claims (observations per
+    /// claim window).
+    pub window_occupancy: f64,
+    /// Wall-clock seconds spent decoding the interval's decisions
+    /// (0 when timing is disabled).
+    pub decode_latency: f64,
+    /// Claims whose decision flipped relative to the previous interval.
+    pub decision_flips: usize,
+}
+
+/// Per-interval streaming telemetry with an online decode-latency
+/// quantile (P² estimator from `sstd_stats`).
+///
+/// # Examples
+///
+/// ```
+/// use sstd_obs::{StreamTelemetry, StreamTick};
+///
+/// let mut tel = StreamTelemetry::new();
+/// for i in 0..5 {
+///     tel.push(StreamTick {
+///         interval: i,
+///         reports: 100 + i,
+///         active_claims: 10,
+///         window_occupancy: 3.0,
+///         decode_latency: 0.01 * (i + 1) as f64,
+///         decision_flips: usize::from(i == 2),
+///     });
+/// }
+/// assert_eq!(tel.total_reports(), 510);
+/// assert_eq!(tel.total_flips(), 1);
+/// assert!(tel.latency_p95().is_some());
+/// ```
+#[derive(Debug)]
+pub struct StreamTelemetry {
+    ticks: Vec<StreamTick>,
+    latency_p95: P2Quantile,
+}
+
+impl Default for StreamTelemetry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StreamTelemetry {
+    /// Creates an empty telemetry collector.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            ticks: Vec::new(),
+            latency_p95: P2Quantile::new(0.95).expect("0.95 is a valid quantile"),
+        }
+    }
+
+    /// Appends one interval sample.
+    pub fn push(&mut self, tick: StreamTick) {
+        if tick.decode_latency > 0.0 {
+            self.latency_p95.push(tick.decode_latency);
+        }
+        self.ticks.push(tick);
+    }
+
+    /// The recorded ticks, in interval order.
+    #[must_use]
+    pub fn ticks(&self) -> &[StreamTick] {
+        &self.ticks
+    }
+
+    /// Whether no interval was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ticks.is_empty()
+    }
+
+    /// Total reports ingested across all intervals.
+    #[must_use]
+    pub fn total_reports(&self) -> u64 {
+        self.ticks.iter().map(|t| t.reports).sum()
+    }
+
+    /// Total decision flips across all intervals.
+    #[must_use]
+    pub fn total_flips(&self) -> usize {
+        self.ticks.iter().map(|t| t.decision_flips).sum()
+    }
+
+    /// Mean reports per interval (0 when empty).
+    #[must_use]
+    pub fn reports_per_interval(&self) -> f64 {
+        if self.ticks.is_empty() {
+            return 0.0;
+        }
+        self.total_reports() as f64 / self.ticks.len() as f64
+    }
+
+    /// The online p95 of per-interval decode latency (`None` until a
+    /// positive latency was recorded).
+    #[must_use]
+    pub fn latency_p95(&self) -> Option<f64> {
+        self.latency_p95.estimate()
+    }
+
+    /// Renders the telemetry as a JSON array of interval objects.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let rows = self
+            .ticks
+            .iter()
+            .map(|t| {
+                format!(
+                    "{{\"interval\":{},\"reports\":{},\"active_claims\":{},\"window_occupancy\":{},\"decode_latency\":{},\"decision_flips\":{}}}",
+                    t.interval,
+                    t.reports,
+                    t.active_claims,
+                    json_f64(t.window_occupancy),
+                    json_f64(t.decode_latency),
+                    t.decision_flips,
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        format!("[{rows}]")
+    }
+
+    /// Renders the telemetry as CSV rows
+    /// `interval,reports,active_claims,window_occupancy,decode_latency,decision_flips`.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "interval,reports,active_claims,window_occupancy,decode_latency,decision_flips\n",
+        );
+        for t in &self.ticks {
+            out.push_str(&format!(
+                "{},{},{},{},{},{}\n",
+                t.interval,
+                t.reports,
+                t.active_claims,
+                t.window_occupancy,
+                t.decode_latency,
+                t.decision_flips,
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tick(i: u64, reports: u64, latency: f64, flips: usize) -> StreamTick {
+        StreamTick {
+            interval: i,
+            reports,
+            active_claims: 4,
+            window_occupancy: 2.5,
+            decode_latency: latency,
+            decision_flips: flips,
+        }
+    }
+
+    #[test]
+    fn aggregates_reports_and_flips() {
+        let mut tel = StreamTelemetry::new();
+        tel.push(tick(0, 10, 0.0, 0));
+        tel.push(tick(1, 30, 0.0, 2));
+        assert_eq!(tel.total_reports(), 40);
+        assert_eq!(tel.total_flips(), 2);
+        assert!((tel.reports_per_interval() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_quantile_ignores_disabled_timing() {
+        let mut tel = StreamTelemetry::new();
+        tel.push(tick(0, 1, 0.0, 0));
+        assert_eq!(tel.latency_p95(), None, "zero latency means timing was off");
+        for i in 1..=20 {
+            tel.push(tick(i, 1, 0.001 * i as f64, 0));
+        }
+        let p95 = tel.latency_p95().expect("warm");
+        assert!(p95 > 0.01, "p95 in the upper tail: {p95}");
+    }
+
+    #[test]
+    fn exports_list_every_interval() {
+        let mut tel = StreamTelemetry::new();
+        tel.push(tick(0, 5, 0.25, 1));
+        let json = tel.to_json();
+        assert!(json.contains("\"decode_latency\":0.25"), "{json}");
+        assert!(json.contains("\"decision_flips\":1"), "{json}");
+        let csv = tel.to_csv();
+        assert!(csv.contains("0,5,4,2.5,0.25,1\n"), "{csv}");
+    }
+}

@@ -1,0 +1,227 @@
+//! Task timelines: collecting and comparing per-attempt event streams.
+
+use crate::{json_escape, json_f64};
+use parking_lot::Mutex;
+use sstd_runtime::{Recorder, TaskId, TimelineEvent};
+use std::collections::BTreeMap;
+
+/// A [`Recorder`] that collects every [`TimelineEvent`] in arrival order.
+///
+/// Install it on any [`ExecutionBackend`](sstd_runtime::ExecutionBackend)
+/// via `set_recorder`, run the workload, then [`snapshot`](Self::snapshot)
+/// the collected [`Timeline`].
+///
+/// # Examples
+///
+/// ```
+/// use sstd_obs::TimelineRecorder;
+/// use sstd_runtime::prelude::*;
+/// use std::sync::Arc;
+///
+/// let rec = Arc::new(TimelineRecorder::new());
+/// let mut des = DesEngine::new(Cluster::homogeneous(2, 1.0), ExecutionModel::default(), 2);
+/// des.set_recorder(Some(rec.clone()));
+/// for _ in 0..3 {
+///     des.submit(TaskSpec::new(JobId::new(0), 50.0));
+/// }
+/// let _ = des.run_to_completion();
+/// let seqs = rec.snapshot().per_task_sequences();
+/// assert_eq!(seqs.len(), 3);
+/// assert!(seqs.values().all(|s| s.last().unwrap().1 == "completed"));
+/// ```
+#[derive(Debug)]
+pub struct TimelineRecorder {
+    events: Mutex<Vec<TimelineEvent>>,
+}
+
+impl Default for TimelineRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TimelineRecorder {
+    /// Creates an empty recorder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { events: Mutex::new(Vec::new()) }
+    }
+
+    /// A point-in-time copy of everything recorded so far.
+    #[must_use]
+    pub fn snapshot(&self) -> Timeline {
+        Timeline { events: self.events.lock().clone() }
+    }
+
+    /// Drains the recorded events, leaving the recorder empty.
+    #[must_use]
+    pub fn take(&self) -> Timeline {
+        Timeline { events: std::mem::take(&mut *self.events.lock()) }
+    }
+}
+
+impl Recorder for TimelineRecorder {
+    fn record(&self, event: &TimelineEvent) {
+        self.events.lock().push(*event);
+    }
+}
+
+/// An immutable task timeline: the event stream of one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Timeline {
+    events: Vec<TimelineEvent>,
+}
+
+impl Timeline {
+    /// The raw events in arrival order.
+    #[must_use]
+    pub fn events(&self) -> &[TimelineEvent] {
+        &self.events
+    }
+
+    /// Groups events by task, reducing each to its `(attempt, phase)`
+    /// sequence — the backend-independent shape of the run. Worker ids,
+    /// timestamps and cross-task interleaving are dropped: a DES run and
+    /// a threaded run of the same seeded `FaultPlan` agree on exactly
+    /// this projection.
+    #[must_use]
+    pub fn per_task_sequences(&self) -> BTreeMap<TaskId, Vec<(u32, &'static str)>> {
+        let mut map: BTreeMap<TaskId, Vec<(u32, &'static str)>> = BTreeMap::new();
+        for e in &self.events {
+            map.entry(e.task).or_default().push((e.attempt, e.phase.label()));
+        }
+        map
+    }
+
+    /// Whether two timelines have identical per-task `(attempt, phase)`
+    /// sequences (see [`per_task_sequences`](Self::per_task_sequences)).
+    #[must_use]
+    pub fn structurally_equal(&self, other: &Timeline) -> bool {
+        self.per_task_sequences() == other.per_task_sequences()
+    }
+
+    /// Renders the timeline as a JSON array of event objects.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let rows = self
+            .events
+            .iter()
+            .map(|e| {
+                let worker = e
+                    .worker
+                    .map_or_else(|| "null".to_string(), |w| w.index().to_string());
+                format!(
+                    "{{\"task\":{},\"job\":{},\"attempt\":{},\"worker\":{worker},\"at\":{},\"phase\":\"{}\"}}",
+                    e.task.index(),
+                    e.job.index(),
+                    e.attempt,
+                    json_f64(e.at),
+                    json_escape(e.phase.label()),
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        format!("[{rows}]")
+    }
+
+    /// Renders the timeline as CSV rows `task,job,attempt,worker,at,phase`
+    /// (empty worker column for master-side events).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("task,job,attempt,worker,at,phase\n");
+        for e in &self.events {
+            let worker = e.worker.map_or_else(String::new, |w| w.index().to_string());
+            out.push_str(&format!(
+                "{},{},{},{worker},{},{}\n",
+                e.task.index(),
+                e.job.index(),
+                e.attempt,
+                e.at,
+                e.phase.label(),
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sstd_runtime::{JobId, LossCause, TaskPhase, WorkerId};
+
+    fn ev(task: u32, attempt: u32, phase: TaskPhase, worker: Option<u32>) -> TimelineEvent {
+        TimelineEvent {
+            task: TaskId::new(task),
+            job: JobId::new(0),
+            attempt,
+            worker: worker.map(WorkerId::new),
+            at: f64::from(task),
+            phase,
+        }
+    }
+
+    #[test]
+    fn sequences_group_by_task_in_stream_order() {
+        let rec = TimelineRecorder::new();
+        rec.record(&ev(0, 0, TaskPhase::Queued, None));
+        rec.record(&ev(1, 0, TaskPhase::Queued, None));
+        rec.record(&ev(0, 1, TaskPhase::Dispatched, Some(0)));
+        rec.record(&ev(0, 1, TaskPhase::Failed(LossCause::Transient), Some(0)));
+        rec.record(&ev(0, 2, TaskPhase::Dispatched, Some(1)));
+        rec.record(&ev(0, 2, TaskPhase::Completed, Some(1)));
+        let seqs = rec.snapshot().per_task_sequences();
+        assert_eq!(
+            seqs[&TaskId::new(0)],
+            vec![
+                (0, "queued"),
+                (1, "dispatched"),
+                (1, "failed:transient"),
+                (2, "dispatched"),
+                (2, "completed"),
+            ]
+        );
+        assert_eq!(seqs[&TaskId::new(1)], vec![(0, "queued")]);
+    }
+
+    #[test]
+    fn structural_equality_ignores_workers_and_times() {
+        let a = Timeline {
+            events: vec![
+                ev(0, 0, TaskPhase::Queued, None),
+                ev(0, 1, TaskPhase::Completed, Some(0)),
+            ],
+        };
+        let mut shifted = a.clone();
+        for e in &mut shifted.events {
+            e.at += 100.0;
+            e.worker = Some(WorkerId::new(9));
+        }
+        assert!(a.structurally_equal(&shifted));
+        let mut different = a.clone();
+        different.events[1].phase = TaskPhase::Exhausted;
+        assert!(!a.structurally_equal(&different));
+    }
+
+    #[test]
+    fn take_drains_the_recorder() {
+        let rec = TimelineRecorder::new();
+        rec.record(&ev(0, 0, TaskPhase::Queued, None));
+        assert_eq!(rec.take().events().len(), 1);
+        assert!(rec.snapshot().events().is_empty());
+    }
+
+    #[test]
+    fn json_and_csv_exports_carry_every_field() {
+        let rec = TimelineRecorder::new();
+        rec.record(&ev(3, 1, TaskPhase::Failed(LossCause::Evicted), Some(2)));
+        rec.record(&ev(3, 2, TaskPhase::Exhausted, None));
+        let tl = rec.snapshot();
+        let json = tl.to_json();
+        assert!(json.contains("\"phase\":\"failed:evicted\""), "{json}");
+        assert!(json.contains("\"worker\":2"), "{json}");
+        assert!(json.contains("\"worker\":null"), "{json}");
+        let csv = tl.to_csv();
+        assert!(csv.contains("3,0,1,2,3,failed:evicted\n"), "{csv}");
+        assert!(csv.contains("3,0,2,,3,exhausted\n"), "{csv}");
+    }
+}

@@ -16,10 +16,12 @@
 //! the claims-as-tasks bridge (`sstd_core::distributed`) runs unchanged on
 //! both substrates.
 
+use crate::telemetry::SharedRecorder;
 use crate::{
     DesEngine, ExecutionReport, FailedTask, FastAbort, FaultPlan, FaultStats, JobId, TaskId,
     TaskSpec,
 };
+use sstd_types::error::{BackendError, SstdError};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -110,6 +112,16 @@ pub trait ExecutionBackend {
     /// Tasks dropped after exhausting their retry budget.
     fn failed(&self) -> Vec<FailedTask>;
 
+    /// Installs (or, with `None`, removes) a timeline [`Recorder`]: the
+    /// backend emits one [`TimelineEvent`] per task-lifecycle step —
+    /// queued, dispatched, failed/evicted, exhausted, completed — with
+    /// worker ids and backend-native timestamps. Recording defaults to
+    /// off and costs one branch per event site when disabled.
+    ///
+    /// [`Recorder`]: crate::telemetry::Recorder
+    /// [`TimelineEvent`]: crate::telemetry::TimelineEvent
+    fn set_recorder(&mut self, recorder: Option<SharedRecorder>);
+
     /// A short human-readable backend label (for experiment output).
     fn backend_name(&self) -> &'static str;
 }
@@ -122,8 +134,15 @@ pub trait JobBackend<R>: ExecutionBackend {
     /// Submits a task whose attempts execute `work`; the result of the
     /// winning attempt is collected for [`drain_results`].
     ///
+    /// # Errors
+    ///
+    /// [`SstdError::Backend`] when the backend cannot honor the
+    /// submission — e.g. the spec's resource requirements fit no node of
+    /// the simulated cluster, which would otherwise queue the task
+    /// forever.
+    ///
     /// [`drain_results`]: JobBackend::drain_results
-    fn submit_job(&mut self, spec: TaskSpec, work: TaskPayload<R>) -> TaskId;
+    fn submit_job(&mut self, spec: TaskSpec, work: TaskPayload<R>) -> Result<TaskId, SstdError>;
 
     /// Drains the `(job, result)` pairs collected so far, in completion
     /// order.
@@ -234,16 +253,38 @@ impl<R> ExecutionBackend for SimBackend<R> {
     fn failed(&self) -> Vec<FailedTask> {
         self.des.failed()
     }
+    fn set_recorder(&mut self, recorder: Option<SharedRecorder>) {
+        self.des.set_recorder(recorder);
+    }
     fn backend_name(&self) -> &'static str {
         "des"
     }
 }
 
 impl<R> JobBackend<R> for SimBackend<R> {
-    fn submit_job(&mut self, spec: TaskSpec, work: TaskPayload<R>) -> TaskId {
+    fn submit_job(&mut self, spec: TaskSpec, work: TaskPayload<R>) -> Result<TaskId, SstdError> {
+        // A spec that fits no node would sit in the pool forever (the DES
+        // has no node churn that could ever place it): refuse it up front
+        // instead of hanging `run_to_completion`.
+        let fits_somewhere = self
+            .des
+            .cluster()
+            .nodes()
+            .iter()
+            .any(|node| spec.requirements().fits_in(node.capacity()));
+        if !fits_somewhere {
+            return Err(BackendError::new(
+                "submit",
+                format!(
+                    "task requirements {:?} fit no node of the simulated cluster",
+                    spec.requirements()
+                ),
+            )
+            .into());
+        }
         let id = self.des.submit(spec);
         self.payloads.insert(id, work);
-        id
+        Ok(id)
     }
 
     fn drain_results(&mut self) -> Vec<(JobId, R)> {
@@ -274,13 +315,15 @@ mod tests {
         let calls = Arc::new(AtomicU32::new(0));
         for i in 0..20u32 {
             let calls = Arc::clone(&calls);
-            backend.submit_job(
-                TaskSpec::new(JobId::new(i % 2), 100.0),
-                Arc::new(move || {
-                    calls.fetch_add(1, Ordering::Relaxed);
-                    i
-                }),
-            );
+            backend
+                .submit_job(
+                    TaskSpec::new(JobId::new(i % 2), 100.0),
+                    Arc::new(move || {
+                        calls.fetch_add(1, Ordering::Relaxed);
+                        i
+                    }),
+                )
+                .expect("spec fits the cluster");
         }
         let report = backend.run_to_completion();
         assert_eq!(report.completed.len(), 20);
@@ -298,12 +341,33 @@ mod tests {
     fn harvest_follows_incremental_run_until() {
         let mut backend = SimBackend::new(des(1));
         for i in 0..4u32 {
-            backend.submit_job(TaskSpec::new(JobId::new(0), 100.0), Arc::new(move || i));
+            backend
+                .submit_job(TaskSpec::new(JobId::new(0), 100.0), Arc::new(move || i))
+                .expect("spec fits the cluster");
         }
         backend.run_until(2.5); // 1s per task on one worker: 2 done
         assert_eq!(backend.drain_results().len(), 2);
         let _ = backend.run_to_completion();
         assert_eq!(backend.drain_results().len(), 2, "remaining two harvested");
+    }
+
+    #[test]
+    fn oversized_submissions_are_refused_not_stranded() {
+        use crate::ResourceVector;
+        let mut backend: SimBackend<u32> = SimBackend::new(des(2));
+        let spec = TaskSpec::new(JobId::new(0), 100.0).with_requirements(ResourceVector::new(
+            1024,
+            u64::MAX,
+            u64::MAX,
+        ));
+        let err = backend.submit_job(spec, Arc::new(|| 1)).expect_err("no node can fit this");
+        assert!(err.as_backend().is_some(), "{err}");
+        assert!(err.to_string().contains("fit no node"), "{err}");
+        // The backend stays usable for sane work.
+        backend
+            .submit_job(TaskSpec::new(JobId::new(0), 100.0), Arc::new(|| 2))
+            .expect("normal spec fits");
+        assert_eq!(backend.run_to_completion().completed.len(), 1);
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! of the online mean task time. All decisions are pure functions of the
 //! seed, so fault runs replay byte-for-byte.
 
+use crate::telemetry::{LossCause, SharedRecorder, TaskPhase, TimelineEvent};
 use crate::{
     AttemptLedger, AttemptLoss, Cluster, CompletedTask, ExecutionBackend, ExecutionModel,
     ExecutionReport, FailedTask, FastAbort, FaultKind, FaultPlan, FaultStats, JobId, LossVerdict,
@@ -205,6 +206,8 @@ pub struct DesEngine {
     /// ([`AttemptLedger`]); this backend only supplies the virtual clock
     /// and the event mechanics.
     ledger: AttemptLedger,
+    /// Optional timeline sink; `None` (the default) records nothing.
+    recorder: Option<SharedRecorder>,
 }
 
 impl DesEngine {
@@ -231,6 +234,7 @@ impl DesEngine {
             delayed: Vec::new(),
             events: Vec::new(),
             ledger: AttemptLedger::new(),
+            recorder: None,
         };
         engine.grow_workers(num_workers);
         engine
@@ -253,6 +257,33 @@ impl DesEngine {
     /// Installs a deterministic fault-injection schedule.
     pub fn set_fault_plan(&mut self, plan: FaultPlan) {
         self.ledger.set_plan(plan);
+    }
+
+    /// Installs (or removes) a timeline recorder; see
+    /// [`ExecutionBackend::set_recorder`].
+    pub fn set_recorder(&mut self, recorder: Option<SharedRecorder>) {
+        self.recorder = recorder;
+    }
+
+    /// The simulated cluster.
+    #[must_use]
+    pub const fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// Emits one timeline event when a recorder is installed.
+    fn record(
+        &self,
+        task: TaskId,
+        job: JobId,
+        attempt: u32,
+        worker: Option<WorkerId>,
+        at: f64,
+        phase: TaskPhase,
+    ) {
+        if let Some(rec) = &self.recorder {
+            rec.record(&TimelineEvent { task, job, attempt, worker, at, phase });
+        }
     }
 
     /// Sets the retry/backoff/quarantine policy.
@@ -379,6 +410,14 @@ impl DesEngine {
             // preserving its submission time so latency accounting stays
             // honest, and without touching the job's stride pass.
             interrupted = Some(run.task);
+            self.record(
+                run.task,
+                run.spec.job(),
+                run.attempt,
+                Some(self.workers[widx].id),
+                t,
+                TaskPhase::Failed(LossCause::Evicted),
+            );
             self.ledger.account_loss(AttemptLoss::Crash, t - run.started_at);
             match self.ledger.settle_loss(run.task, run.spec.job(), AttemptLoss::Crash, "evicted") {
                 LossVerdict::Retry { .. } => {
@@ -399,8 +438,10 @@ impl DesEngine {
 
     /// Submits a task at the current virtual time.
     pub fn submit(&mut self, spec: TaskSpec) -> TaskId {
+        let job = spec.job();
         let id = self.pool.submit(spec);
         self.submit_times.insert(id, self.clock);
+        self.record(id, job, 0, None, self.clock, TaskPhase::Queued);
         self.assign_idle_workers();
         id
     }
@@ -523,6 +564,14 @@ impl DesEngine {
             at: self.clock,
             attempt,
         });
+        self.record(
+            task,
+            spec.job(),
+            attempt,
+            Some(self.workers[widx].id),
+            self.clock,
+            TaskPhase::Dispatched,
+        );
         self.workers[widx].running = Some(Running {
             task,
             spec,
@@ -621,6 +670,18 @@ impl DesEngine {
             attempt: run.attempt,
             at: t,
         });
+        let cause = match kind {
+            FaultKind::WorkerCrash => LossCause::Crash,
+            _ => LossCause::Transient,
+        };
+        self.record(
+            run.task,
+            run.spec.job(),
+            run.attempt,
+            Some(worker_id),
+            t,
+            TaskPhase::Failed(cause),
+        );
         match kind {
             FaultKind::Transient => {
                 let loss = AttemptLoss::Transient { panicked: false };
@@ -685,6 +746,14 @@ impl DesEngine {
             attempt: run.attempt,
             at: t,
         });
+        self.record(
+            run.task,
+            run.spec.job(),
+            run.attempt,
+            Some(worker_id),
+            t,
+            TaskPhase::Failed(LossCause::Straggler),
+        );
         // Re-queue immediately: the retry usually lands on a healthy
         // worker (the plan decides per attempt). After the speculation
         // budget, the attempt is left to run to completion, so genuinely
@@ -726,12 +795,14 @@ impl DesEngine {
     /// bookkeeping (latency map, event log).
     fn exhaust(&mut self, run: &Running, t: f64) {
         self.submit_times.remove(&run.task);
+        let attempts = self.ledger.attempts_started(run.task);
         self.events.push(DesEvent::TaskExhausted {
             task: run.task,
             job: run.spec.job(),
-            attempts: self.ledger.attempts_started(run.task),
+            attempts,
             at: t,
         });
+        self.record(run.task, run.spec.job(), attempts, None, t, TaskPhase::Exhausted);
     }
 
     /// Schedules a backoff release, keeping the queue sorted.
@@ -762,6 +833,14 @@ impl DesEngine {
             worker: done.worker,
             at: done.finished_at,
         });
+        self.record(
+            done.task,
+            done.job,
+            run.attempt,
+            Some(done.worker),
+            done.finished_at,
+            TaskPhase::Completed,
+        );
         if self.workers[widx].draining {
             self.workers.remove(widx);
         }
@@ -857,6 +936,9 @@ impl ExecutionBackend for DesEngine {
     }
     fn failed(&self) -> Vec<FailedTask> {
         DesEngine::failed(self)
+    }
+    fn set_recorder(&mut self, recorder: Option<SharedRecorder>) {
+        DesEngine::set_recorder(self, recorder);
     }
     fn backend_name(&self) -> &'static str {
         "des"

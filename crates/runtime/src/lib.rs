@@ -65,6 +65,7 @@ mod report;
 mod resources;
 mod sched;
 mod task;
+pub mod telemetry;
 mod threaded;
 mod wcet;
 
@@ -78,5 +79,36 @@ pub use report::{CompletedTask, ExecutionReport};
 pub use resources::ResourceVector;
 pub use sched::{AttemptLedger, AttemptLoss, LossVerdict};
 pub use task::TaskSpec;
+pub use telemetry::{LossCause, NoopRecorder, Recorder, SharedRecorder, TaskPhase, TimelineEvent};
 pub use threaded::{ThreadedEngine, ThreadedWorkQueue};
 pub use wcet::ExecutionModel;
+
+/// The one-import surface for programming against the execution substrate:
+/// the backend traits, both engines, the id/spec vocabulary, the unified
+/// fault model, and the timeline-telemetry types.
+///
+/// # Examples
+///
+/// ```
+/// use sstd_runtime::prelude::*;
+///
+/// let mut des = DesEngine::new(Cluster::homogeneous(2, 1.0), ExecutionModel::default(), 2);
+/// des.set_recorder(Some(std::sync::Arc::new(NoopRecorder)));
+/// des.submit(TaskSpec::new(JobId::new(0), 100.0));
+/// assert_eq!(des.run_to_completion().completed.len(), 1);
+/// ```
+pub mod prelude {
+    pub use crate::backend::{ExecutionBackend, JobBackend, SimBackend, TaskPayload};
+    pub use crate::cluster::{Cluster, NodeSpec};
+    pub use crate::des::DesEngine;
+    pub use crate::fault::{FailedTask, FastAbort, FaultKind, FaultPlan, FaultStats, RetryPolicy};
+    pub use crate::ids::{JobId, TaskId, WorkerId};
+    pub use crate::report::{CompletedTask, ExecutionReport};
+    pub use crate::resources::ResourceVector;
+    pub use crate::task::TaskSpec;
+    pub use crate::telemetry::{
+        LossCause, NoopRecorder, Recorder, SharedRecorder, TaskPhase, TimelineEvent,
+    };
+    pub use crate::threaded::{ThreadedEngine, ThreadedWorkQueue};
+    pub use crate::wcet::ExecutionModel;
+}

@@ -1,0 +1,168 @@
+//! Span-style task-timeline telemetry shared by both execution backends.
+//!
+//! The paper evaluates SSTD by *measuring* it — task turnaround on the
+//! Work Queue pool, retry churn under faults, control actuation per tick —
+//! so the runtime exposes a [`Recorder`] hook: a sink that both the DES
+//! and the threaded engine feed with one [`TimelineEvent`] per lifecycle
+//! step of every task attempt (queued → dispatched → failed/evicted →
+//! exhausted/completed). Because fault decisions are pure functions of
+//! `(seed, task, attempt)`, a DES run and a threaded run of the same
+//! seeded [`FaultPlan`](crate::FaultPlan) emit *structurally identical*
+//! per-task event sequences — the property `sstd-obs` exploits to diff
+//! the two substrates.
+//!
+//! Recording is strictly opt-in: backends hold `Option<SharedRecorder>`
+//! defaulting to `None`, so the disabled path costs one branch per event
+//! site (verified by the `obs_overhead` bench guard). [`NoopRecorder`]
+//! exists to measure exactly that hook overhead with the branch taken.
+
+use crate::{JobId, TaskId, WorkerId};
+use std::sync::Arc;
+
+/// Why a task attempt was lost, unified across backends.
+///
+/// This is deliberately finer-grained than
+/// [`FaultKind`](crate::FaultKind): it separates evictions and timeouts
+/// (supervision losses) from plan-injected faults, so exported timelines
+/// distinguish "the plan killed it" from "the master gave up on it".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LossCause {
+    /// A transient failure: an injected fault or a caught panic.
+    Transient,
+    /// The worker crashed underneath the attempt (fault plan).
+    Crash,
+    /// A straggler: fast-aborted in the DES, or a speculative duplicate
+    /// that lost the completion race in the threaded engine.
+    Straggler,
+    /// The worker was evicted (HTCondor preemption) mid-attempt.
+    Evicted,
+    /// The attempt exceeded the per-attempt wall-clock timeout.
+    Timeout,
+}
+
+impl LossCause {
+    /// A short stable label for exporters.
+    #[must_use]
+    pub const fn label(self) -> &'static str {
+        match self {
+            Self::Transient => "transient",
+            Self::Crash => "crash",
+            Self::Straggler => "straggler",
+            Self::Evicted => "evicted",
+            Self::Timeout => "timeout",
+        }
+    }
+}
+
+/// One step in a task's lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TaskPhase {
+    /// The task entered the queue (emitted once, at submission).
+    Queued,
+    /// An attempt started executing on a worker.
+    Dispatched,
+    /// An attempt was lost; the task may still retry.
+    Failed(LossCause),
+    /// The task exhausted its retry budget and was dropped.
+    Exhausted,
+    /// The task completed.
+    Completed,
+}
+
+impl TaskPhase {
+    /// A short stable label for exporters (`"queued"`, `"dispatched"`,
+    /// `"failed:transient"`, …).
+    #[must_use]
+    pub const fn label(self) -> &'static str {
+        match self {
+            Self::Queued => "queued",
+            Self::Dispatched => "dispatched",
+            Self::Failed(LossCause::Transient) => "failed:transient",
+            Self::Failed(LossCause::Crash) => "failed:crash",
+            Self::Failed(LossCause::Straggler) => "failed:straggler",
+            Self::Failed(LossCause::Evicted) => "failed:evicted",
+            Self::Failed(LossCause::Timeout) => "failed:timeout",
+            Self::Exhausted => "exhausted",
+            Self::Completed => "completed",
+        }
+    }
+}
+
+/// One timeline event: a task attempt crossing a lifecycle phase.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimelineEvent {
+    /// The task.
+    pub task: TaskId,
+    /// Its owning job.
+    pub job: JobId,
+    /// Zero-based attempt number (0 for [`TaskPhase::Queued`]; total
+    /// attempts consumed for [`TaskPhase::Exhausted`]).
+    pub attempt: u32,
+    /// The worker involved, when one is (dispatch, failure, completion).
+    pub worker: Option<WorkerId>,
+    /// Backend-native timestamp: virtual seconds in the DES, engine
+    /// seconds (scaled wall clock) in the threaded engine.
+    pub at: f64,
+    /// What happened.
+    pub phase: TaskPhase,
+}
+
+/// A sink for [`TimelineEvent`]s.
+///
+/// Implementations must be cheap and non-blocking where possible: the
+/// threaded engine records from worker threads while holding its state
+/// lock. `sstd-obs` provides the standard collecting implementation
+/// (`TimelineRecorder`); [`NoopRecorder`] is the do-nothing baseline.
+pub trait Recorder: Send + Sync + std::fmt::Debug {
+    /// Accepts one event. Called in backend event order.
+    fn record(&self, event: &TimelineEvent);
+}
+
+/// A [`Recorder`] that drops every event — the baseline for measuring
+/// the hook's own overhead.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {
+    fn record(&self, _event: &TimelineEvent) {}
+}
+
+/// A shareable recorder handle, as installed via
+/// [`ExecutionBackend::set_recorder`](crate::ExecutionBackend::set_recorder).
+pub type SharedRecorder = Arc<dyn Recorder>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_stable_and_distinct() {
+        let phases = [
+            TaskPhase::Queued,
+            TaskPhase::Dispatched,
+            TaskPhase::Failed(LossCause::Transient),
+            TaskPhase::Failed(LossCause::Crash),
+            TaskPhase::Failed(LossCause::Straggler),
+            TaskPhase::Failed(LossCause::Evicted),
+            TaskPhase::Failed(LossCause::Timeout),
+            TaskPhase::Exhausted,
+            TaskPhase::Completed,
+        ];
+        let labels: std::collections::BTreeSet<&str> = phases.iter().map(|p| p.label()).collect();
+        assert_eq!(labels.len(), phases.len(), "labels must be unique");
+        assert!(labels.contains("failed:evicted"));
+    }
+
+    #[test]
+    fn noop_recorder_is_object_safe() {
+        let rec: SharedRecorder = Arc::new(NoopRecorder);
+        rec.record(&TimelineEvent {
+            task: TaskId::new(0),
+            job: JobId::new(0),
+            attempt: 0,
+            worker: None,
+            at: 0.0,
+            phase: TaskPhase::Queued,
+        });
+    }
+}

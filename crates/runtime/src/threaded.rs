@@ -26,12 +26,14 @@
 //!   [`set_simulation`](ThreadedEngine::set_simulation)); tasks submitted
 //!   with a payload execute the real closure.
 
+use crate::telemetry::{LossCause, SharedRecorder, TaskPhase, TimelineEvent};
 use crate::{
     AttemptLedger, AttemptLoss, CompletedTask, ExecutionBackend, ExecutionModel, ExecutionReport,
     FailedTask, FastAbort, FaultKind, FaultPlan, FaultStats, JobBackend, JobId, LossVerdict,
     RetryPolicy, TaskId, TaskPayload, TaskSpec, WorkerId,
 };
 use parking_lot::{Condvar, Mutex};
+use sstd_types::error::SstdError;
 use std::cmp::Ordering;
 use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -276,9 +278,21 @@ impl Ord for ReadyAttempt {
 /// An attempt currently executing on a worker.
 struct RunningAttempt {
     worker: u32,
+    /// Attempt ordinal from the ledger (1-based).
+    attempt: u32,
     started: Instant,
     /// Start time in engine (virtual) seconds.
     started_s: f64,
+}
+
+/// Where, when and which attempt a loss happened — carried into
+/// [`EngineState::settle_loss`] so the timeline records it.
+struct LossContext {
+    cause: LossCause,
+    attempt: u32,
+    worker: Option<WorkerId>,
+    /// Engine time of the loss.
+    at: f64,
 }
 
 /// What executing a task means: run a real closure, or model the task's
@@ -347,6 +361,8 @@ struct EngineState<R> {
     job_priorities: BTreeMap<JobId, f64>,
     /// Pending eviction times in engine seconds, sorted ascending.
     evictions: Vec<f64>,
+    /// Optional timeline sink; `None` (the default) records nothing.
+    recorder: Option<SharedRecorder>,
 }
 
 impl<R> EngineState<R> {
@@ -383,22 +399,36 @@ impl<R> EngineState<R> {
     /// Settles a lost attempt: account it in the ledger, then retry, give
     /// up, or defer to a still-running sibling attempt. `elapsed` is in
     /// engine seconds.
-    fn settle_loss(&mut self, task: TaskId, loss: AttemptLoss, elapsed: f64, error: &str) {
+    fn settle_loss(
+        &mut self,
+        task: TaskId,
+        loss: AttemptLoss,
+        elapsed: f64,
+        error: &str,
+        ctx: &LossContext,
+    ) {
         self.ledger.account_loss(loss, elapsed);
-        let job = match self.tasks.get(&task) {
-            None => return,
-            Some(e) if e.done || e.failed => return,
-            // A sibling attempt (speculative duplicate or queued retry)
-            // will decide this task's fate.
-            Some(e) if !e.running.is_empty() || e.queued > 0 => return,
-            Some(e) => e.job,
+        let Some((job, settled, busy)) = self
+            .tasks
+            .get(&task)
+            .map(|e| (e.job, e.done || e.failed, !e.running.is_empty() || e.queued > 0))
+        else {
+            return;
         };
+        self.record(task, job, ctx.attempt, ctx.worker, ctx.at, TaskPhase::Failed(ctx.cause));
+        if settled || busy {
+            // Done/failed already, or a sibling attempt (speculative
+            // duplicate or queued retry) will decide this task's fate.
+            return;
+        }
         match self.ledger.settle_loss(task, job, loss, error) {
             LossVerdict::Exhausted => {
                 if let Some(e) = self.tasks.get_mut(&task) {
                     e.failed = true;
                 }
                 self.outstanding -= 1;
+                let attempts = self.ledger.attempts_started(task);
+                self.record(task, job, attempts, None, ctx.at, TaskPhase::Exhausted);
             }
             LossVerdict::Retry { delay } => {
                 if delay <= 0.0 {
@@ -407,6 +437,21 @@ impl<R> EngineState<R> {
                     self.enqueue_delayed(task, delay);
                 }
             }
+        }
+    }
+
+    /// Forwards a timeline event to the installed recorder, if any.
+    fn record(
+        &self,
+        task: TaskId,
+        job: JobId,
+        attempt: u32,
+        worker: Option<WorkerId>,
+        at: f64,
+        phase: TaskPhase,
+    ) {
+        if let Some(rec) = &self.recorder {
+            rec.record(&TimelineEvent { task, job, attempt, worker, at, phase });
         }
     }
 
@@ -526,6 +571,7 @@ impl<R: Send + 'static> ThreadedEngine<R> {
                 sim_model: ExecutionModel::default(),
                 job_priorities: BTreeMap::new(),
                 evictions: Vec::new(),
+                recorder: None,
             }),
             work_available: Condvar::new(),
             progress: Condvar::new(),
@@ -573,6 +619,12 @@ impl<R: Send + 'static> ThreadedEngine<R> {
         self.shared.state.lock().timeout = Some(timeout);
     }
 
+    /// Installs (or clears) a timeline recorder. Every subsequent attempt
+    /// transition is reported to it; `None` (the default) records nothing.
+    pub fn set_recorder(&self, recorder: Option<SharedRecorder>) {
+        self.shared.state.lock().recorder = recorder;
+    }
+
     /// Configures how simulated (payload-less) tasks run: their nominal
     /// duration comes from `model` (Eq. 10 on a speed-1 worker) and every
     /// engine-second of simulated work, backoff or restart delay costs
@@ -616,13 +668,6 @@ impl<R: Send + 'static> ThreadedEngine<R> {
         self.insert_task(spec.job(), None, TaskWork::Simulated(duration), spec.deadline())
     }
 
-    /// Submits a task whose attempts execute the shared `work` closure;
-    /// the winning attempt's result is collected for
-    /// [`drain_results`](Self::drain_results).
-    pub fn submit_payload(&self, spec: TaskSpec, work: TaskPayload<R>) -> TaskId {
-        self.insert_task(spec.job(), None, TaskWork::Payload(work), spec.deadline())
-    }
-
     /// Inserts a task entry; `priority` falls back to the job's installed
     /// priority (default 1.0).
     fn insert_task(
@@ -655,6 +700,7 @@ impl<R: Send + 'static> ThreadedEngine<R> {
             );
             st.outstanding += 1;
             st.enqueue_ready(id);
+            st.record(id, job, 0, None, submitted_at, TaskPhase::Queued);
             id
         };
         self.shared.work_available.notify_one();
@@ -889,7 +935,7 @@ impl<R: Send + 'static> ThreadedEngine<R> {
         // running the closure (threads cannot be killed); its result is
         // discarded because the attempt is no longer in `running`.
         if let Some(timeout) = st.timeout {
-            let mut lost: Vec<(TaskId, f64)> = Vec::new();
+            let mut lost: Vec<(TaskId, f64, u32, u32)> = Vec::new();
             for (&id, entry) in &mut st.tasks {
                 if entry.done || entry.failed {
                     continue;
@@ -898,16 +944,33 @@ impl<R: Send + 'static> ThreadedEngine<R> {
                 while i < entry.running.len() {
                     if now.duration_since(entry.running[i].started) > timeout {
                         let attempt = entry.running.remove(i);
-                        lost.push((id, now.duration_since(attempt.started).as_secs_f64()));
+                        lost.push((
+                            id,
+                            now.duration_since(attempt.started).as_secs_f64(),
+                            attempt.worker,
+                            attempt.attempt,
+                        ));
                     } else {
                         i += 1;
                     }
                 }
             }
             let scale = st.time_scale;
-            for (id, elapsed) in lost {
+            for (id, elapsed, worker, attempt) in lost {
                 st.running_attempts -= 1;
-                st.settle_loss(id, AttemptLoss::Timeout, elapsed / scale, "wall-clock timeout");
+                let ctx = LossContext {
+                    cause: LossCause::Timeout,
+                    attempt,
+                    worker: Some(WorkerId::new(worker)),
+                    at: now_s,
+                };
+                st.settle_loss(
+                    id,
+                    AttemptLoss::Timeout,
+                    elapsed / scale,
+                    "wall-clock timeout",
+                    &ctx,
+                );
             }
         }
         // Stragglers: speculate once the running mean is warm.
@@ -942,13 +1005,15 @@ impl<R: Send + 'static> ThreadedEngine<R> {
     /// as a crash loss, and remove that worker from the pool — or retire
     /// an idle worker when nothing is running.
     fn fire_eviction(&self, st: &mut EngineState<R>, now_s: f64) {
-        let victim: Option<(TaskId, u32, f64)> = st
+        let victim: Option<(TaskId, u32, f64, u32)> = st
             .tasks
             .iter()
             .filter(|(_, e)| !e.done && !e.failed)
-            .flat_map(|(&id, e)| e.running.iter().map(move |r| (id, r.worker, r.started_s)))
+            .flat_map(|(&id, e)| {
+                e.running.iter().map(move |r| (id, r.worker, r.started_s, r.attempt))
+            })
             .min_by(|a, b| a.2.partial_cmp(&b.2).unwrap_or(Ordering::Equal));
-        if let Some((task, worker, started_s)) = victim {
+        if let Some((task, worker, started_s, attempt)) = victim {
             if let Some(entry) = st.tasks.get_mut(&task) {
                 if let Some(pos) = entry.running.iter().position(|r| r.worker == worker) {
                     entry.running.remove(pos);
@@ -957,7 +1022,13 @@ impl<R: Send + 'static> ThreadedEngine<R> {
             }
             st.evicted.insert(worker);
             st.alive_workers = st.alive_workers.saturating_sub(1);
-            st.settle_loss(task, AttemptLoss::Crash, (now_s - started_s).max(0.0), "evicted");
+            let ctx = LossContext {
+                cause: LossCause::Evicted,
+                attempt,
+                worker: Some(WorkerId::new(worker)),
+                at: now_s,
+            };
+            st.settle_loss(task, AttemptLoss::Crash, (now_s - started_s).max(0.0), "evicted", &ctx);
         } else if st.alive_workers > 0 {
             st.retiring += 1;
             st.alive_workers -= 1;
@@ -1011,17 +1082,27 @@ impl<R: Send + 'static> ThreadedEngine<R> {
                 let scale = st.time_scale;
                 let mean =
                     (st.ledger.durations().count() > 0).then(|| st.ledger.durations().mean());
-                let (_, fault) = st.ledger.begin_attempt(acquired);
+                let (attempt, fault) = st.ledger.begin_attempt(acquired);
                 let started_s = st.now_s(epoch);
                 let slowdown = st.ledger.plan().map(|p| p.straggler_slowdown());
                 let entry = st.tasks.get_mut(&acquired).expect("popped task exists");
                 entry.running.push(RunningAttempt {
                     worker: me,
+                    attempt,
                     started: Instant::now(),
                     started_s,
                 });
+                let job = entry.job;
                 let work = entry.work.clone();
                 st.running_attempts += 1;
+                st.record(
+                    acquired,
+                    job,
+                    attempt,
+                    Some(WorkerId::new(me)),
+                    started_s,
+                    TaskPhase::Dispatched,
+                );
                 // An injected straggler runs the real work, padded to
                 // `slowdown ×` the mean task time (bounded so tests stay
                 // fast even before the mean warms up).
@@ -1086,12 +1167,20 @@ impl<R: Send + 'static> ThreadedEngine<R> {
                     Outcome::Success(value) => {
                         let finished_s = st.now_s(epoch);
                         let entry = st.tasks.get_mut(&task_id).expect("entry exists");
+                        let job = entry.job;
                         if entry.done {
                             // Lost a speculation race: wasted duplicate.
                             st.ledger.record_lost_duplicate(elapsed);
+                            st.record(
+                                task_id,
+                                job,
+                                run.attempt,
+                                Some(WorkerId::new(me)),
+                                finished_s,
+                                TaskPhase::Failed(LossCause::Straggler),
+                            );
                         } else {
                             entry.done = true;
-                            let job = entry.job;
                             let submitted_at = entry.submitted_at;
                             let deadline = entry.deadline;
                             st.ledger.record_success(task_id, elapsed);
@@ -1108,28 +1197,56 @@ impl<R: Send + 'static> ThreadedEngine<R> {
                                 deadline,
                             });
                             st.outstanding -= 1;
+                            st.record(
+                                task_id,
+                                job,
+                                run.attempt,
+                                Some(WorkerId::new(me)),
+                                finished_s,
+                                TaskPhase::Completed,
+                            );
                         }
                     }
                     Outcome::Panicked(msg) => {
+                        let ctx = LossContext {
+                            cause: LossCause::Transient,
+                            attempt: run.attempt,
+                            worker: Some(WorkerId::new(me)),
+                            at: st.now_s(epoch),
+                        };
                         st.settle_loss(
                             task_id,
                             AttemptLoss::Transient { panicked: true },
                             elapsed,
                             &msg,
+                            &ctx,
                         );
                         let _ = st.note_worker_fault(me);
                     }
                     Outcome::Injected(FaultKind::Transient) => {
+                        let ctx = LossContext {
+                            cause: LossCause::Transient,
+                            attempt: run.attempt,
+                            worker: Some(WorkerId::new(me)),
+                            at: st.now_s(epoch),
+                        };
                         st.settle_loss(
                             task_id,
                             AttemptLoss::Transient { panicked: false },
                             elapsed,
                             "injected transient fault",
+                            &ctx,
                         );
                         let _ = st.note_worker_fault(me);
                     }
                     Outcome::Injected(FaultKind::WorkerCrash) => {
-                        st.settle_loss(task_id, AttemptLoss::Crash, elapsed, "worker crash");
+                        let ctx = LossContext {
+                            cause: LossCause::Crash,
+                            attempt: run.attempt,
+                            worker: Some(WorkerId::new(me)),
+                            at: st.now_s(epoch),
+                        };
+                        st.settle_loss(task_id, AttemptLoss::Crash, elapsed, "worker crash", &ctx);
                         st.alive_workers -= 1;
                         crashed = true;
                     }
@@ -1228,14 +1345,17 @@ impl<R: Send + 'static> ExecutionBackend for ThreadedEngine<R> {
     fn failed(&self) -> Vec<FailedTask> {
         ThreadedEngine::failed(self)
     }
+    fn set_recorder(&mut self, recorder: Option<SharedRecorder>) {
+        ThreadedEngine::set_recorder(self, recorder);
+    }
     fn backend_name(&self) -> &'static str {
         "threaded"
     }
 }
 
 impl<R: Send + 'static> JobBackend<R> for ThreadedEngine<R> {
-    fn submit_job(&mut self, spec: TaskSpec, work: TaskPayload<R>) -> TaskId {
-        self.submit_payload(spec, work)
+    fn submit_job(&mut self, spec: TaskSpec, work: TaskPayload<R>) -> Result<TaskId, SstdError> {
+        Ok(self.insert_task(spec.job(), None, TaskWork::Payload(work), spec.deadline()))
     }
 
     fn drain_results(&mut self) -> Vec<(JobId, R)> {

@@ -27,7 +27,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
-mod error;
+pub mod error;
 mod ids;
 mod post;
 mod report;
@@ -36,7 +36,7 @@ mod time;
 mod trace;
 mod truth;
 
-pub use error::ScoreError;
+pub use error::{BackendError, ConfigError, ScoreError, SstdError};
 pub use ids::{ClaimId, SourceId};
 pub use post::RawPost;
 pub use report::Report;

@@ -30,14 +30,14 @@ fn main() {
     let cluster = Cluster::notre_dame_like(32);
 
     for (label, control) in [("PID-controlled DTM", true), ("static allocation", false)] {
-        let config = DtmConfig {
-            control_enabled: control,
-            initial_workers: 4,
-            max_workers: 32,
-            ..DtmConfig::default()
-        };
+        let config = DtmConfig::builder()
+            .control_enabled(control)
+            .initial_workers(4)
+            .max_workers(32)
+            .build()
+            .expect("valid DTM configuration");
         let mut dtm = DynamicTaskManager::new(config, cluster.clone(), model);
-        let outcome = dtm.run(&jobs);
+        let outcome = dtm.run(&jobs).expect("validated above");
         println!(
             "{label:<20} job deadline hit rate {:>5.1}%  final workers {}",
             outcome.job_hit_rate() * 100.0,

@@ -19,6 +19,8 @@
 //!   voting heuristics.
 //! - [`runtime`] — a Work Queue / HTCondor-style master–worker execution
 //!   substrate with threaded and discrete-event-simulated backends.
+//! - [`obs`] — observability: metrics registry, task timelines, control
+//!   and streaming telemetry, `BENCH_*.json` exporters.
 //! - [`control`] — PID feedback control and the deadline-driven Dynamic
 //!   Task Manager.
 //! - [`data`] — synthetic social-sensing trace generators (Boston Bombing /
@@ -48,6 +50,7 @@ pub use sstd_core as core;
 pub use sstd_data as data;
 pub use sstd_eval as eval;
 pub use sstd_hmm as hmm;
+pub use sstd_obs as obs;
 pub use sstd_runtime as runtime;
 pub use sstd_stats as stats;
 pub use sstd_text as text;

@@ -104,6 +104,7 @@ fn pid_control_beats_static_allocation_under_faults() {
         let cfg = DtmConfig { control_enabled: controlled, ..DtmConfig::default() };
         DynamicTaskManager::new(cfg, Cluster::homogeneous(64, 1.0), ExecutionModel::default())
             .run_with_faults(&jobs, &evictions, Some(plan(99)))
+            .expect("valid config")
     };
     let pid = run(true);
     let static_pool = run(false);

@@ -1,0 +1,101 @@
+//! Acceptance test for the observability subsystem (ISSUE 3): a DES run
+//! and a threaded run of the same seeded `FaultPlan` produce structurally
+//! identical task timelines, and the collected telemetry exports in the
+//! repository's `BENCH_*.json`-compatible formats.
+
+use sstd::eval::exp::fig7;
+use sstd::obs::{Timeline, TimelineRecorder};
+use sstd::runtime::{
+    Cluster, DesEngine, ExecutionBackend, ExecutionModel, FaultPlan, JobId, TaskSpec,
+    ThreadedEngine,
+};
+use std::sync::Arc;
+
+const TASKS: u32 = 40;
+const WORKERS: usize = 4;
+
+fn plan(seed: u64) -> FaultPlan {
+    FaultPlan::new(seed).with_transient_rate(0.15).with_crash_rate(0.05).with_restart_delay(0.05)
+}
+
+fn model() -> ExecutionModel {
+    ExecutionModel::new(0.0, 0.01, 0.01)
+}
+
+/// Runs the seeded workload on `backend` with a fresh recorder installed
+/// and returns the collected timeline.
+fn run_instrumented<B: ExecutionBackend>(mut backend: B) -> Timeline {
+    let rec = Arc::new(TimelineRecorder::new());
+    backend.set_recorder(Some(rec.clone()));
+    for i in 0..TASKS {
+        backend.submit(TaskSpec::new(JobId::new(i % 3), 100.0));
+    }
+    let report = backend.run_to_completion();
+    assert_eq!(report.completed.len(), TASKS as usize, "no lost tasks");
+    rec.snapshot()
+}
+
+fn des_timeline() -> Timeline {
+    let mut des = DesEngine::new(Cluster::homogeneous(WORKERS, 1.0), model(), WORKERS);
+    des.set_fault_plan(plan(2024));
+    run_instrumented(des)
+}
+
+fn threaded_timeline() -> Timeline {
+    let engine: ThreadedEngine<()> = ThreadedEngine::new(WORKERS);
+    engine.set_fault_plan(plan(2024));
+    // 1 engine-second per 100-tweet task compressed to 1ms real time.
+    engine.set_simulation(model(), 1.0e-3);
+    run_instrumented(engine)
+}
+
+#[test]
+fn des_and_threaded_timelines_are_structurally_identical() {
+    let des = des_timeline();
+    let threaded = threaded_timeline();
+
+    // Without speculation or timeouts, fault verdicts are a pure function
+    // of (seed, task, attempt), so both substrates walk every task through
+    // the same (attempt, phase) sequence — only worker ids, timestamps and
+    // cross-task interleaving may differ.
+    assert!(
+        des.structurally_equal(&threaded),
+        "per-task sequences diverged:\nDES: {:?}\nthreaded: {:?}",
+        des.per_task_sequences(),
+        threaded.per_task_sequences(),
+    );
+
+    let seqs = des.per_task_sequences();
+    assert_eq!(seqs.len(), TASKS as usize, "every task appears in the timeline");
+    for seq in seqs.values() {
+        assert_eq!(seq.first().unwrap(), &(0, "queued"));
+        assert_eq!(seq.last().unwrap().1, "completed");
+    }
+    // The seeded plan exercises both injected fault kinds.
+    let phases: Vec<&str> = seqs.values().flatten().map(|&(_, p)| p).collect();
+    assert!(phases.contains(&"failed:transient"), "plan(2024) injects transients");
+    assert!(phases.contains(&"failed:crash"), "plan(2024) injects crashes");
+}
+
+#[test]
+fn timelines_export_as_json_and_csv() {
+    let tl = des_timeline();
+    let json = tl.to_json();
+    assert!(json.starts_with('[') && json.ends_with(']'), "{json}");
+    assert!(json.contains("\"phase\":\"queued\""), "{json}");
+    assert!(json.contains("\"phase\":\"completed\""), "{json}");
+    let csv = tl.to_csv();
+    assert!(csv.starts_with("task,job,attempt,worker,at,phase\n"), "{csv}");
+    assert_eq!(csv.lines().count(), tl.events().len() + 1);
+}
+
+#[test]
+fn fig7_sweep_exports_a_bench_compatible_report() {
+    let report = fig7::bench_report(&fig7::run(&[100_000], &[1, 2]));
+    assert_eq!(report.len(), 2);
+    let json = report.to_json();
+    assert!(json.starts_with("{\"bench\":\"fig7_speedup\",\"points\":["), "{json}");
+    assert!(json.contains("\"data_size\":100000"), "{json}");
+    assert!(json.contains("\"workers\":2"), "{json}");
+    assert!(json.ends_with("]}"), "{json}");
+}
