@@ -1,0 +1,178 @@
+//! Differential + metamorphic properties of the HMM machinery against
+//! the brute-force enumeration oracles, on seeded generated cases.
+//!
+//! Any failure prints a `TESTKIT_SEED=… TESTKIT_CASES=1` line that
+//! replays the exact (already minimized) counterexample.
+
+use sstd_hmm::{forward_backward, viterbi, BaumWelch, CategoricalEmission, Hmm};
+use sstd_testkit::{check, domain, gens, oracle, Gen};
+
+/// Number of cases per differential suite (overridable via
+/// `TESTKIT_CASES`).
+const CASES: usize = 1_000;
+
+#[test]
+fn viterbi_is_score_optimal_vs_enumeration() {
+    check("viterbi_is_score_optimal_vs_enumeration", CASES, &domain::hmm_case(8), |case| {
+        let hmm = case.hmm();
+        let got = viterbi(&hmm, &case.obs);
+        let best = oracle::hmm::best_path(&hmm, &case.obs);
+        let got_score = oracle::hmm::log_joint(&hmm, &case.obs, &got);
+        let best_score = oracle::hmm::log_joint(&hmm, &case.obs, &best);
+        if got_score < best_score - 1e-9 {
+            return Err(format!(
+                "DP path {got:?} (score {got_score}) is beaten by {best:?} (score {best_score})"
+            ));
+        }
+        // When the optimum is unique by a clear margin, the DP must also
+        // return the oracle's exact path, not merely an equal-scoring one.
+        if (got_score - best_score).abs() <= 1e-9 && got != best {
+            let margin_unique = {
+                let n = hmm.num_states();
+                let mut better_or_equal = 0usize;
+                let mut stack: Vec<Vec<usize>> = vec![vec![]];
+                for _ in 0..case.obs.len() {
+                    let mut next = Vec::new();
+                    for s in &stack {
+                        for i in 0..n {
+                            let mut e = s.clone();
+                            e.push(i);
+                            next.push(e);
+                        }
+                    }
+                    stack = next;
+                }
+                for s in &stack {
+                    if oracle::hmm::log_joint(&hmm, &case.obs, s) >= best_score - 1e-9 {
+                        better_or_equal += 1;
+                    }
+                }
+                better_or_equal == 1
+            };
+            if margin_unique {
+                return Err(format!("unique optimum {best:?} but DP returned {got:?}"));
+            }
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn viterbi_matches_oracle_on_long_two_state_chains() {
+    // The oracle's advertised envelope: all 2^T sequences for T <= 12.
+    let gen: Gen<(Vec<usize>, f64)> =
+        gens::pair(gens::vec_of(gens::usize_in(0, 1), 1, 12), gens::f64_in(0.55, 0.95));
+    check("viterbi_matches_oracle_on_long_two_state_chains", 300, &gen, |(obs, stay)| {
+        let hmm = Hmm::new(
+            vec![0.5, 0.5],
+            vec![vec![*stay, 1.0 - stay], vec![1.0 - stay, *stay]],
+            CategoricalEmission::new(vec![vec![0.8, 0.2], vec![0.3, 0.7]]).unwrap(),
+        )
+        .unwrap();
+        let got = viterbi(&hmm, obs);
+        let best = oracle::hmm::best_path(&hmm, obs);
+        let got_score = oracle::hmm::log_joint(&hmm, obs, &got);
+        let best_score = oracle::hmm::log_joint(&hmm, obs, &best);
+        if (got_score - best_score).abs() > 1e-9 {
+            Err(format!("T={}: DP score {got_score} != oracle score {best_score}", obs.len()))
+        } else {
+            Ok(())
+        }
+    });
+}
+
+#[test]
+fn forward_likelihood_matches_direct_sum() {
+    check("forward_likelihood_matches_direct_sum", CASES, &domain::hmm_case(8), |case| {
+        let hmm = case.hmm();
+        let scaled = forward_backward(&hmm, &case.obs).log_likelihood;
+        let direct = oracle::hmm::log_likelihood(&hmm, &case.obs);
+        let tol = 1e-8 * (1.0 + direct.abs());
+        if (scaled - direct).abs() > tol {
+            Err(format!("scaled forward ll {scaled} != direct-sum ll {direct}"))
+        } else {
+            Ok(())
+        }
+    });
+}
+
+#[test]
+fn posteriors_match_enumeration_and_normalize() {
+    check("posteriors_match_enumeration_and_normalize", CASES, &domain::hmm_case(8), |case| {
+        let hmm = case.hmm();
+        let gamma = forward_backward(&hmm, &case.obs).gamma;
+        let expected = oracle::hmm::posteriors(&hmm, &case.obs);
+        for (t, (got, want)) in gamma.iter().zip(&expected).enumerate() {
+            let row_sum: f64 = got.iter().sum();
+            if (row_sum - 1.0).abs() > 1e-9 {
+                return Err(format!("gamma[{t}] sums to {row_sum}"));
+            }
+            for (i, (g, w)) in got.iter().zip(want).enumerate() {
+                if (g - w).abs() > 1e-8 {
+                    return Err(format!("gamma[{t}][{i}] = {g}, enumeration says {w}"));
+                }
+            }
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn baum_welch_likelihood_is_monotone_and_rows_stay_stochastic() {
+    check(
+        "baum_welch_likelihood_is_monotone_and_rows_stay_stochastic",
+        CASES,
+        &domain::hmm_case(8),
+        |case| {
+            let mut model = case.hmm();
+            let mut prev = f64::NEG_INFINITY;
+            for step in 0..5 {
+                let out = BaumWelch::default().max_iterations(1).train(model, &case.obs);
+                // Metamorphic: each EM iteration may not decrease the
+                // data log-likelihood (up to the probability floor).
+                if out.log_likelihood < prev - 1e-6 {
+                    return Err(format!(
+                        "EM step {step} decreased the likelihood: {prev} -> {}",
+                        out.log_likelihood
+                    ));
+                }
+                prev = out.log_likelihood;
+                model = out.model;
+                // Normalization invariants after every update.
+                let init_sum: f64 = model.init().iter().sum();
+                if (init_sum - 1.0).abs() > 1e-9 {
+                    return Err(format!("step {step}: init sums to {init_sum}"));
+                }
+                for (i, row) in model.trans().iter().enumerate() {
+                    let s: f64 = row.iter().sum();
+                    if (s - 1.0).abs() > 1e-9 {
+                        return Err(format!("step {step}: trans row {i} sums to {s}"));
+                    }
+                }
+                let m = model.emission().num_symbols();
+                for i in 0..model.num_states() {
+                    let s: f64 = (0..m).map(|k| model.emission().prob(i, k)).sum();
+                    if (s - 1.0).abs() > 1e-9 {
+                        return Err(format!("step {step}: emission row {i} sums to {s}"));
+                    }
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn trained_model_never_scores_below_its_start() {
+    check("trained_model_never_scores_below_its_start", 300, &domain::hmm_case(8), |case| {
+        let initial = case.hmm();
+        let before = forward_backward(&initial, &case.obs).log_likelihood;
+        let out = BaumWelch::default().max_iterations(10).train(initial, &case.obs);
+        let after = forward_backward(&out.model, &case.obs).log_likelihood;
+        if after < before - 1e-6 {
+            Err(format!("training regressed the likelihood: {before} -> {after}"))
+        } else {
+            Ok(())
+        }
+    });
+}

@@ -61,8 +61,11 @@ impl Histogram {
             return 0;
         }
         let n = self.counts.len();
-        let w = (self.hi - self.lo) / n as f64;
-        let idx = ((x - self.lo) / w).floor();
+        // Scale before dividing: `(x - lo) * n / (hi - lo)` keeps exact
+        // bin boundaries on the right side of the floor, whereas dividing
+        // by a pre-rounded width `(hi - lo) / n` pushed values like `0.3`
+        // (with range `[0, 1]` and 10 bins) into the bin below.
+        let idx = ((x - self.lo) * n as f64 / (self.hi - self.lo)).floor();
         if idx < 0.0 {
             0
         } else {
@@ -154,6 +157,31 @@ mod tests {
         let h = Histogram::new(0.0, 10.0, 5);
         assert_eq!(h.bin_center(0), 1.0);
         assert_eq!(h.bin_center(4), 9.0);
+    }
+
+    #[test]
+    fn decimal_boundaries_land_in_their_own_bin() {
+        // Regression: with 10 bins over [0, 1], the width 0.1 is not
+        // exactly representable, so `(0.3 - 0) / 0.1` evaluated to
+        // 2.999…96 and 0.3 was counted into bin 2 instead of bin 3.
+        let h = Histogram::new(0.0, 1.0, 10);
+        for k in 0..10 {
+            let x = k as f64 / 10.0;
+            assert_eq!(h.bin_of(x), k, "boundary {x} must open bin {k}");
+        }
+        let shifted = Histogram::new(-0.5, 0.5, 10);
+        assert_eq!(shifted.bin_of(-0.2), 3);
+        assert_eq!(shifted.bin_of(0.3), 8);
+    }
+
+    #[test]
+    fn bin_centers_map_to_their_own_bin() {
+        for bins in [1usize, 3, 7, 10, 16] {
+            let h = Histogram::new(-2.5, 7.5, bins);
+            for k in 0..bins {
+                assert_eq!(h.bin_of(h.bin_center(k)), k, "{bins} bins, center {k}");
+            }
+        }
     }
 
     #[test]

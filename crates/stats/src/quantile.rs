@@ -140,8 +140,20 @@ impl P2Quantile {
             n if n < 5 => {
                 let mut v: Vec<f64> = self.heights[..n].to_vec();
                 v.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
-                let idx = ((n as f64 - 1.0) * self.p).round() as usize;
-                Some(v[idx])
+                // Linear interpolation between order statistics. The old
+                // nearest-rank `((n-1)p).round()` was asymmetric: rounding
+                // half away from zero made the 0.25-quantile of three
+                // samples return the median, breaking the reflection
+                // identity q_p(x) = -q_{1-p}(-x) that holds for the
+                // interpolated definition the markers converge to.
+                let h = (n as f64 - 1.0) * self.p;
+                let lo = h.floor() as usize;
+                let frac = h - lo as f64;
+                if frac == 0.0 || lo + 1 >= n {
+                    Some(v[lo])
+                } else {
+                    Some(v[lo] + frac * (v[lo + 1] - v[lo]))
+                }
             }
             _ => Some(self.heights[2]),
         }
@@ -157,7 +169,14 @@ mod tests {
 
     fn exact_quantile(xs: &mut [f64], p: f64) -> f64 {
         xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        xs[((xs.len() as f64 - 1.0) * p).round() as usize]
+        let h = (xs.len() as f64 - 1.0) * p;
+        let lo = h.floor() as usize;
+        let frac = h - lo as f64;
+        if frac == 0.0 || lo + 1 >= xs.len() {
+            xs[lo]
+        } else {
+            xs[lo] + frac * (xs[lo + 1] - xs[lo])
+        }
     }
 
     #[test]
@@ -181,6 +200,42 @@ mod tests {
         q.push(1.0);
         q.push(2.0);
         assert_eq!(q.estimate(), Some(2.0));
+    }
+
+    #[test]
+    fn small_sample_quartiles_interpolate() {
+        // Regression: nearest-rank rounding returned the *median* for the
+        // 0.25-quantile of three samples.
+        let mut q = P2Quantile::new(0.25).unwrap();
+        for x in [1.0, 2.0, 3.0] {
+            q.push(x);
+        }
+        assert_eq!(q.estimate(), Some(1.5));
+        let mut q = P2Quantile::new(0.75).unwrap();
+        for x in [1.0, 2.0, 3.0] {
+            q.push(x);
+        }
+        assert_eq!(q.estimate(), Some(2.5));
+    }
+
+    #[test]
+    fn small_sample_estimates_are_reflection_symmetric() {
+        // q_p(x) = -q_{1-p}(-x) must hold exactly below the 5-sample
+        // threshold, where the estimator is definitionally exact.
+        let samples = [3.0, -1.0, 7.0, 2.0];
+        for n in 1..=4usize {
+            for p in [0.1, 0.25, 0.5, 0.75, 0.9] {
+                let mut fwd = P2Quantile::new(p).unwrap();
+                let mut rev = P2Quantile::new(1.0 - p).unwrap();
+                for &x in &samples[..n] {
+                    fwd.push(x);
+                    rev.push(-x);
+                }
+                let a = fwd.estimate().unwrap();
+                let b = -rev.estimate().unwrap();
+                assert!((a - b).abs() < 1e-12, "n={n} p={p}: {a} vs {b}");
+            }
+        }
     }
 
     #[test]

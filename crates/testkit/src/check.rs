@@ -1,0 +1,272 @@
+//! The property runner: seeded case generation, greedy shrinking, and
+//! one-line reproduction of any failure.
+//!
+//! [`check`] draws `cases` values from a [`Gen`], runs the property on
+//! each, and on the first failure shrinks the case greedily before
+//! panicking with the failing seed and the minimized value. Every case
+//! gets its own derived seed, so pasting the printed
+//! `TESTKIT_SEED=… TESTKIT_CASES=1` line into the environment replays
+//! exactly the failing draw.
+//!
+//! Environment knobs (read by [`CheckConfig::from_env`]):
+//!
+//! - `TESTKIT_CASES` — overrides the number of cases (CI runs an
+//!   extended-iteration pass on main with this).
+//! - `TESTKIT_SEED` — overrides the root seed.
+//! - `TESTKIT_ARTIFACT_DIR` — when set, failing counterexamples are also
+//!   written to `<dir>/<property>.counterexample.txt` so CI can upload
+//!   them as artifacts.
+
+use crate::gen::Gen;
+use crate::rng::TestRng;
+use std::fmt;
+
+/// Root seed used when `TESTKIT_SEED` is not set: the paper's year.
+pub const DEFAULT_SEED: u64 = 2017;
+
+/// How a property run is sized and seeded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckConfig {
+    /// Number of generated cases.
+    pub cases: usize,
+    /// Root seed; case `i` draws from `TestRng::new(seed + i)`.
+    pub seed: u64,
+    /// Cap on accepted shrink steps (well-founded shrinkers finish far
+    /// earlier; this bounds a buggy one).
+    pub max_shrink_steps: usize,
+    /// Cap on total property evaluations spent shrinking.
+    pub max_shrink_evals: usize,
+}
+
+impl CheckConfig {
+    /// A fixed-seed configuration with `cases` cases.
+    #[must_use]
+    pub fn new(cases: usize) -> Self {
+        Self { cases, seed: DEFAULT_SEED, max_shrink_steps: 500, max_shrink_evals: 20_000 }
+    }
+
+    /// Like [`new`](Self::new) but honoring the `TESTKIT_CASES` and
+    /// `TESTKIT_SEED` environment overrides.
+    #[must_use]
+    pub fn from_env(default_cases: usize) -> Self {
+        let mut cfg = Self::new(default_cases);
+        if let Some(cases) = env_parse("TESTKIT_CASES") {
+            cfg.cases = cases;
+        }
+        if let Some(seed) = env_parse("TESTKIT_SEED") {
+            cfg.seed = seed;
+        }
+        cfg
+    }
+
+    /// Replaces the root seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+fn env_parse<T: std::str::FromStr>(var: &str) -> Option<T> {
+    std::env::var(var).ok().and_then(|v| v.parse().ok())
+}
+
+/// A failing case, minimized: everything needed to reproduce and debug
+/// a property violation.
+#[derive(Debug, Clone)]
+pub struct CounterExample<T> {
+    /// Root seed of the run.
+    pub seed: u64,
+    /// Index of the failing case within the run.
+    pub case_index: usize,
+    /// The derived seed that regenerates exactly this case
+    /// (`TESTKIT_SEED=case_seed TESTKIT_CASES=1`).
+    pub case_seed: u64,
+    /// The value as originally drawn.
+    pub original: T,
+    /// The value after greedy shrinking (equal to `original` when no
+    /// simpler value still fails).
+    pub minimized: T,
+    /// Accepted shrink steps.
+    pub shrink_steps: usize,
+    /// The property's failure message for the minimized value.
+    pub message: String,
+}
+
+impl<T: fmt::Debug> CounterExample<T> {
+    /// The full human-readable failure report.
+    #[must_use]
+    pub fn report(&self, property: &str) -> String {
+        format!(
+            "property '{property}' failed (case {idx}, root seed {seed})\n\
+             reproduce: TESTKIT_SEED={case_seed} TESTKIT_CASES=1\n\
+             error: {msg}\n\
+             minimized after {steps} shrink step(s): {min:?}\n\
+             originally drawn as: {orig:?}",
+            idx = self.case_index,
+            seed = self.seed,
+            case_seed = self.case_seed,
+            msg = self.message,
+            steps = self.shrink_steps,
+            min = self.minimized,
+            orig = self.original,
+        )
+    }
+}
+
+/// Runs `prop` on `cfg.cases` draws from `gen`; returns the number of
+/// passing cases, or the first failure minimized by greedy shrinking.
+///
+/// # Errors
+///
+/// The [`CounterExample`] for the first failing case.
+pub fn check_with<T: Clone + fmt::Debug + 'static>(
+    cfg: CheckConfig,
+    gen: &Gen<T>,
+    mut prop: impl FnMut(&T) -> Result<(), String>,
+) -> Result<usize, Box<CounterExample<T>>> {
+    for case_index in 0..cfg.cases {
+        let case_seed = cfg.seed.wrapping_add(case_index as u64);
+        let mut rng = TestRng::new(case_seed);
+        let original = gen.generate(&mut rng);
+        if let Err(first_message) = prop(&original) {
+            let mut minimized = original.clone();
+            let mut message = first_message;
+            let mut shrink_steps = 0usize;
+            let mut evals = 0usize;
+            'shrinking: while shrink_steps < cfg.max_shrink_steps {
+                for candidate in gen.shrink(&minimized) {
+                    evals += 1;
+                    if evals > cfg.max_shrink_evals {
+                        break 'shrinking;
+                    }
+                    if let Err(m) = prop(&candidate) {
+                        minimized = candidate;
+                        message = m;
+                        shrink_steps += 1;
+                        continue 'shrinking;
+                    }
+                }
+                break;
+            }
+            return Err(Box::new(CounterExample {
+                seed: cfg.seed,
+                case_index,
+                case_seed,
+                original,
+                minimized,
+                shrink_steps,
+                message,
+            }));
+        }
+    }
+    Ok(cfg.cases)
+}
+
+/// Runs a named property with [`CheckConfig::from_env`] sizing and panics
+/// with a reproduction report (also written to `TESTKIT_ARTIFACT_DIR`
+/// when set) on the first minimized failure.
+///
+/// # Panics
+///
+/// Panics with the counterexample report if the property fails.
+pub fn check<T: Clone + fmt::Debug + 'static>(
+    property: &str,
+    default_cases: usize,
+    gen: &Gen<T>,
+    prop: impl FnMut(&T) -> Result<(), String>,
+) {
+    let cfg = CheckConfig::from_env(default_cases);
+    if let Err(cex) = check_with(cfg, gen, prop) {
+        let report = cex.report(property);
+        write_artifact(property, &report);
+        panic!("{report}");
+    }
+}
+
+fn write_artifact(property: &str, report: &str) {
+    let Ok(dir) = std::env::var("TESTKIT_ARTIFACT_DIR") else {
+        return;
+    };
+    if dir.is_empty() {
+        return;
+    }
+    let _ = std::fs::create_dir_all(&dir);
+    let sanitized: String =
+        property.chars().map(|c| if c.is_alphanumeric() { c } else { '_' }).collect();
+    let path = std::path::Path::new(&dir).join(format!("{sanitized}.counterexample.txt"));
+    let _ = std::fs::write(path, report);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::gens;
+
+    #[test]
+    fn passing_property_reports_case_count() {
+        let g = gens::usize_in(0, 100);
+        let n = check_with(CheckConfig::new(250), &g, |_| Ok(())).expect("passes");
+        assert_eq!(n, 250);
+    }
+
+    #[test]
+    fn failure_is_shrunk_to_the_boundary() {
+        // Fails for any value >= 10: greedy shrinking must land on 10.
+        let g = gens::usize_in(0, 1_000);
+        let cex = check_with(CheckConfig::new(500), &g, |&v| {
+            if v >= 10 {
+                Err(format!("{v} is too big"))
+            } else {
+                Ok(())
+            }
+        })
+        .expect_err("most draws exceed 10");
+        assert_eq!(cex.minimized, 10, "greedy shrink finds the exact boundary");
+        assert!(cex.message.contains("too big"));
+    }
+
+    #[test]
+    fn case_seed_replays_the_same_draw() {
+        let g = gens::vec_of(gens::f64_in(-1.0, 1.0), 0, 12);
+        let cex = check_with(CheckConfig::new(100), &g, |v: &Vec<f64>| {
+            if v.len() >= 3 {
+                Err("long".into())
+            } else {
+                Ok(())
+            }
+        })
+        .expect_err("long vectors appear quickly");
+        // Re-run with the printed one-liner: seed = case_seed, one case.
+        let replay =
+            check_with(CheckConfig::new(1).with_seed(cex.case_seed), &g, |v: &Vec<f64>| {
+                if v.len() >= 3 {
+                    Err("long".into())
+                } else {
+                    Ok(())
+                }
+            })
+            .expect_err("replay fails identically");
+        assert_eq!(replay.original, cex.original, "one line reproduces the exact case");
+    }
+
+    #[test]
+    fn shrinking_respects_the_step_cap() {
+        let g = gens::usize_in(0, usize::MAX / 2);
+        let mut cfg = CheckConfig::new(10);
+        cfg.max_shrink_steps = 3;
+        let cex = check_with(cfg, &g, |&v| if v > 0 { Err("nonzero".into()) } else { Ok(()) })
+            .expect_err("fails");
+        assert!(cex.shrink_steps <= 3);
+    }
+
+    #[test]
+    fn report_contains_the_reproduction_line() {
+        let g = gens::usize_in(0, 9);
+        let cex = check_with(CheckConfig::new(5), &g, |_| Err("always".into())).expect_err("fails");
+        let report = cex.report("demo");
+        assert!(report.contains("TESTKIT_SEED="));
+        assert!(report.contains("TESTKIT_CASES=1"));
+        assert!(report.contains("always"));
+    }
+}

@@ -1,0 +1,606 @@
+//! Arbitrary-but-valid SSTD domain values: report streams, claim
+//! windows, ACS sequences, HMM parameter sets, fault plans, and engine
+//! configurations — each with a shrinker that only proposes *still
+//! valid* simpler cases.
+//!
+//! Validity is the point: every value these generators produce satisfies
+//! the constructor invariants of the production types (stochastic rows,
+//! in-range intervals, claims below `num_claims`, …), so a property
+//! failure is always a real finding, never a malformed input.
+
+use crate::gen::{gens, Gen};
+use crate::rng::TestRng;
+use sstd_control::DtmConfig;
+use sstd_core::SstdConfig;
+use sstd_hmm::{CategoricalEmission, Hmm};
+use sstd_runtime::FaultPlan;
+use sstd_types::{
+    ClaimId, GroundTruth, Independence, Report, SourceId, Timeline, Timestamp, Trace, TruthLabel,
+    Uncertainty,
+};
+
+// ---------------------------------------------------------------------
+// HMM parameter sets
+// ---------------------------------------------------------------------
+
+/// A categorical HMM plus an observation sequence, kept as raw
+/// probability tables so the shrinker can simplify them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HmmCase {
+    /// Initial distribution (stochastic).
+    pub init: Vec<f64>,
+    /// Transition matrix (row-stochastic).
+    pub trans: Vec<Vec<f64>>,
+    /// Per-state emission distributions over symbols (row-stochastic).
+    pub emit: Vec<Vec<f64>>,
+    /// Observed symbol sequence; every entry is a valid symbol.
+    pub obs: Vec<usize>,
+}
+
+impl HmmCase {
+    /// Number of hidden states.
+    #[must_use]
+    pub fn num_states(&self) -> usize {
+        self.init.len()
+    }
+
+    /// Builds the production model from the tables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tables are not stochastic — generated and shrunk
+    /// cases always are.
+    #[must_use]
+    pub fn hmm(&self) -> Hmm<CategoricalEmission> {
+        Hmm::new(
+            self.init.clone(),
+            self.trans.clone(),
+            CategoricalEmission::new(self.emit.clone()).expect("generated rows are stochastic"),
+        )
+        .expect("generated parameters are stochastic")
+    }
+}
+
+/// Draws a stochastic row of `n` entries, floored away from zero so no
+/// path has probability exactly 0 (ties and -inf scores would otherwise
+/// make oracle comparisons ambiguous).
+fn stochastic_row(rng: &mut TestRng, n: usize) -> Vec<f64> {
+    let mut row: Vec<f64> = (0..n).map(|_| rng.f64_in(0.05, 1.0)).collect();
+    let sum: f64 = row.iter().sum();
+    for p in &mut row {
+        *p /= sum;
+    }
+    row
+}
+
+fn uniform_row(n: usize) -> Vec<f64> {
+    vec![1.0 / n as f64; n]
+}
+
+/// Generates [`HmmCase`]s: 2–3 states, 2–4 symbols, observation length
+/// `1..=max_obs`. Shrinking shortens the observations, then snaps
+/// probability rows to uniform (the simplest stochastic row) one table
+/// at a time.
+///
+/// # Panics
+///
+/// Panics if `max_obs` is zero.
+#[must_use]
+pub fn hmm_case(max_obs: usize) -> Gen<HmmCase> {
+    assert!(max_obs > 0, "need at least one observation");
+    Gen::new(move |rng| {
+        let n = rng.usize_in(2, 3);
+        let m = rng.usize_in(2, 4);
+        let init = stochastic_row(rng, n);
+        let trans = (0..n).map(|_| stochastic_row(rng, n)).collect();
+        let emit = (0..n).map(|_| stochastic_row(rng, m)).collect();
+        let len = rng.usize_in(1, max_obs);
+        let obs = (0..len).map(|_| rng.usize_in(0, m - 1)).collect();
+        HmmCase { init, trans, emit, obs }
+    })
+    .with_shrink(|case: &HmmCase| {
+        let mut out = Vec::new();
+        let t = case.obs.len();
+        if t > 1 {
+            let keep = (t / 2).max(1);
+            out.push(HmmCase { obs: case.obs[..keep].to_vec(), ..case.clone() });
+            out.push(HmmCase { obs: case.obs[t - keep..].to_vec(), ..case.clone() });
+            for i in 0..t.min(12) {
+                let mut obs = case.obs.clone();
+                obs.remove(i);
+                out.push(HmmCase { obs, ..case.clone() });
+            }
+        }
+        let n = case.num_states();
+        let m = case.emit[0].len();
+        if case.init != uniform_row(n) {
+            out.push(HmmCase { init: uniform_row(n), ..case.clone() });
+        }
+        for i in 0..n {
+            if case.trans[i] != uniform_row(n) {
+                let mut trans = case.trans.clone();
+                trans[i] = uniform_row(n);
+                out.push(HmmCase { trans, ..case.clone() });
+            }
+            if case.emit[i] != uniform_row(m) {
+                let mut emit = case.emit.clone();
+                emit[i] = uniform_row(m);
+                out.push(HmmCase { emit, ..case.clone() });
+            }
+        }
+        out
+    })
+}
+
+// ---------------------------------------------------------------------
+// ACS sequences and claim windows
+// ---------------------------------------------------------------------
+
+/// A claim's raw per-interval contribution scores plus the sliding
+/// window to aggregate them with.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AcsCase {
+    /// Number of timeline intervals (≥ 1).
+    pub num_intervals: usize,
+    /// Sliding window `sw` (≥ 1; may exceed `num_intervals`).
+    pub window: usize,
+    /// `(interval, contribution score)` pairs, every interval in range.
+    pub scores: Vec<(usize, f64)>,
+}
+
+/// Generates [`AcsCase`]s with up to `max_intervals` intervals and up to
+/// `max_scores` individual scores. Shrinks by dropping scores, zeroing
+/// score values, and pulling the window toward 1.
+///
+/// # Panics
+///
+/// Panics if `max_intervals` is zero.
+#[must_use]
+pub fn acs_case(max_intervals: usize, max_scores: usize) -> Gen<AcsCase> {
+    assert!(max_intervals > 0, "need at least one interval");
+    Gen::new(move |rng| {
+        let num_intervals = rng.usize_in(1, max_intervals);
+        let window = rng.usize_in(1, max_intervals + 4);
+        let count = rng.usize_in(0, max_scores);
+        let scores = (0..count)
+            .map(|_| (rng.usize_in(0, num_intervals - 1), rng.f64_in(-2.0, 2.0)))
+            .collect();
+        AcsCase { num_intervals, window, scores }
+    })
+    .with_shrink(|case: &AcsCase| {
+        let mut out = Vec::new();
+        let k = case.scores.len();
+        if k > 0 {
+            out.push(AcsCase { scores: case.scores[..k / 2].to_vec(), ..case.clone() });
+            for i in 0..k.min(12) {
+                let mut scores = case.scores.clone();
+                scores.remove(i);
+                out.push(AcsCase { scores, ..case.clone() });
+            }
+        }
+        if case.window > 1 {
+            out.push(AcsCase { window: 1, ..case.clone() });
+            out.push(AcsCase { window: case.window / 2, ..case.clone() });
+        }
+        for i in 0..k.min(8) {
+            if case.scores[i].1 != 0.0 {
+                let mut scores = case.scores.clone();
+                scores[i].1 = 0.0;
+                out.push(AcsCase { scores, ..case.clone() });
+            }
+        }
+        out
+    })
+}
+
+// ---------------------------------------------------------------------
+// Report streams / traces
+// ---------------------------------------------------------------------
+
+/// Bounds for [`trace_case`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceShape {
+    /// Maximum number of claims (≥ 1).
+    pub max_claims: usize,
+    /// Maximum number of sources (≥ 1).
+    pub max_sources: usize,
+    /// Maximum timeline intervals (≥ 2).
+    pub max_intervals: usize,
+    /// Maximum reports per (claim, interval) pair.
+    pub max_reports_per_interval: usize,
+    /// Lower bound on the fraction of honest reports (the rest flip
+    /// their attitude).
+    pub min_honest_rate: f64,
+}
+
+impl Default for TraceShape {
+    fn default() -> Self {
+        Self {
+            max_claims: 4,
+            max_sources: 5,
+            max_intervals: 8,
+            max_reports_per_interval: 3,
+            min_honest_rate: 0.6,
+        }
+    }
+}
+
+/// A generated report stream with its ground truth, kept in raw parts so
+/// the shrinker can drop reports and rebuild the trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceCase {
+    /// Claims in the trace (every report's claim is below this).
+    pub num_claims: usize,
+    /// Sources in the trace.
+    pub num_sources: usize,
+    /// Timeline intervals; the horizon is `10` seconds per interval.
+    pub num_intervals: usize,
+    /// Per-claim hidden truth timelines (`num_claims` rows of
+    /// `num_intervals` labels).
+    pub truth: Vec<Vec<TruthLabel>>,
+    /// The scored report stream.
+    pub reports: Vec<Report>,
+}
+
+impl TraceCase {
+    /// Seconds per timeline interval in generated traces.
+    pub const SECS_PER_INTERVAL: u64 = 10;
+
+    /// Assembles the production [`Trace`] (reports are sorted by time by
+    /// the constructor).
+    #[must_use]
+    pub fn trace(&self) -> Trace {
+        let horizon = Timestamp::from_secs(self.num_intervals as u64 * Self::SECS_PER_INTERVAL);
+        let timeline = Timeline::new(horizon, self.num_intervals);
+        let mut gt = GroundTruth::new(self.num_intervals);
+        for (c, labels) in self.truth.iter().enumerate() {
+            gt.insert(ClaimId::new(c as u32), labels.clone());
+        }
+        Trace::new("testkit", self.reports.clone(), self.num_sources, self.num_claims, timeline, gt)
+    }
+}
+
+/// Generates [`TraceCase`]s within `shape`: sticky per-claim truth
+/// chains, and for each (claim, interval) a burst of reports whose
+/// attitudes are honest with a per-trace rate in
+/// `[shape.min_honest_rate, 1]`. Shrinking drops reports — halves
+/// first, then singles — which is the lever that matters when a
+/// pipeline property fails.
+///
+/// # Panics
+///
+/// Panics if `shape` has a zero bound or an honest rate outside `[0, 1]`.
+#[must_use]
+pub fn trace_case(shape: TraceShape) -> Gen<TraceCase> {
+    assert!(
+        shape.max_claims > 0 && shape.max_sources > 0 && shape.max_intervals > 1,
+        "degenerate trace shape"
+    );
+    assert!((0.0..=1.0).contains(&shape.min_honest_rate), "honest rate outside [0, 1]");
+    Gen::new(move |rng| {
+        let num_claims = rng.usize_in(1, shape.max_claims);
+        let num_sources = rng.usize_in(1, shape.max_sources);
+        let num_intervals = rng.usize_in(2, shape.max_intervals);
+        let honest_rate = rng.f64_in(shape.min_honest_rate, 1.0);
+        let truth: Vec<Vec<TruthLabel>> = (0..num_claims)
+            .map(|_| {
+                let mut label = TruthLabel::from_bool(rng.chance(0.5));
+                (0..num_intervals)
+                    .map(|_| {
+                        if rng.chance(0.2) {
+                            label = label.flipped();
+                        }
+                        label
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut reports = Vec::new();
+        for (c, labels) in truth.iter().enumerate() {
+            for (iv, label) in labels.iter().enumerate() {
+                for _ in 0..rng.usize_in(0, shape.max_reports_per_interval) {
+                    let t = iv as u64 * TraceCase::SECS_PER_INTERVAL
+                        + rng.usize_in(0, TraceCase::SECS_PER_INTERVAL as usize - 1) as u64;
+                    let honest = rng.chance(honest_rate);
+                    let attitude = if honest {
+                        label.honest_attitude()
+                    } else {
+                        label.honest_attitude().flipped()
+                    };
+                    reports.push(Report::new(
+                        SourceId::new(rng.usize_in(0, num_sources - 1) as u32),
+                        ClaimId::new(c as u32),
+                        Timestamp::from_secs(t),
+                        attitude,
+                        Uncertainty::saturating(rng.f64_in(0.0, 0.5)),
+                        Independence::saturating(rng.f64_in(0.5, 1.0)),
+                    ));
+                }
+            }
+        }
+        TraceCase { num_claims, num_sources, num_intervals, truth, reports }
+    })
+    .with_shrink(|case: &TraceCase| {
+        let mut out = Vec::new();
+        let k = case.reports.len();
+        if k > 0 {
+            out.push(TraceCase { reports: case.reports[..k / 2].to_vec(), ..case.clone() });
+            out.push(TraceCase { reports: case.reports[k / 2..].to_vec(), ..case.clone() });
+            for i in 0..k.min(16) {
+                let mut reports = case.reports.clone();
+                reports.remove(i);
+                out.push(TraceCase { reports, ..case.clone() });
+            }
+        }
+        out
+    })
+}
+
+// ---------------------------------------------------------------------
+// Fault plans and configurations
+// ---------------------------------------------------------------------
+
+/// A seeded fault plan in raw parts, shrinkable toward the fault-free
+/// plan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlanCase {
+    /// Plan seed (decisions are pure in `(seed, task, attempt)`).
+    pub seed: u64,
+    /// Transient task-failure probability.
+    pub transient_rate: f64,
+    /// Straggler probability.
+    pub straggler_rate: f64,
+    /// Straggler slowdown factor (≥ 1).
+    pub slowdown: f64,
+}
+
+impl FaultPlanCase {
+    /// Builds the runtime [`FaultPlan`].
+    #[must_use]
+    pub fn plan(&self) -> FaultPlan {
+        FaultPlan::new(self.seed)
+            .with_transient_rate(self.transient_rate)
+            .with_stragglers(self.straggler_rate, self.slowdown)
+    }
+}
+
+/// Generates [`FaultPlanCase`]s with transient failures and stragglers
+/// (no crashes — crash recovery is a liveness concern, not an
+/// equivalence one). Shrinks rates toward zero, i.e. toward the
+/// fault-free plan.
+#[must_use]
+pub fn fault_plan_case() -> Gen<FaultPlanCase> {
+    Gen::new(|rng| FaultPlanCase {
+        seed: rng.next_u64() % 1_000_000,
+        transient_rate: rng.f64_in(0.0, 0.45),
+        straggler_rate: rng.f64_in(0.0, 0.3),
+        slowdown: rng.f64_in(1.5, 4.0),
+    })
+    .with_shrink(|case: &FaultPlanCase| {
+        let mut out = Vec::new();
+        if case.transient_rate != 0.0 || case.straggler_rate != 0.0 {
+            out.push(FaultPlanCase { transient_rate: 0.0, straggler_rate: 0.0, ..*case });
+        }
+        if case.transient_rate != 0.0 {
+            out.push(FaultPlanCase { transient_rate: 0.0, ..*case });
+        }
+        if case.straggler_rate != 0.0 {
+            out.push(FaultPlanCase { straggler_rate: 0.0, ..*case });
+        }
+        if case.seed != 0 {
+            out.push(FaultPlanCase { seed: 0, ..*case });
+        }
+        out
+    })
+}
+
+/// Generates valid [`SstdConfig`]s across the engine's knob space:
+/// fixed or adaptive windows, variable stickiness, EM on/off, and
+/// different streaming refit periods. Every draw passes the fallible
+/// builder's validation by construction.
+#[must_use]
+pub fn sstd_config() -> Gen<SstdConfig> {
+    Gen::new(|rng| {
+        let mut b = SstdConfig::builder()
+            .stay_probability(rng.f64_in(0.55, 0.95))
+            .em_iterations(rng.usize_in(1, 8))
+            .em_tolerance(1e-4)
+            .train(rng.chance(0.8))
+            .streaming_refit(rng.usize_in(0, 8));
+        if rng.chance(0.5) {
+            b = b.window(rng.usize_in(1, 6));
+        } else {
+            b = b.adaptive_window(true).max_window(rng.usize_in(1, 10));
+        }
+        b.build().expect("generated configuration is valid")
+    })
+}
+
+/// Generates valid [`DtmConfig`]s: PID gains, knob multipliers, worker
+/// bounds, and control on/off. Every draw passes `DtmConfig::validate`.
+#[must_use]
+pub fn dtm_config() -> Gen<DtmConfig> {
+    Gen::new(|rng| {
+        let initial = rng.usize_in(1, 8);
+        let max = rng.usize_in(initial, 32);
+        DtmConfig::builder()
+            .kp(rng.f64_in(0.1, 3.0))
+            .ki(rng.f64_in(0.0, 1.0))
+            .kd(rng.f64_in(0.0, 1.0))
+            .theta3(rng.f64_in(1.0, 4.0))
+            .theta4(rng.f64_in(1.0, 3.0))
+            .sample_period(rng.f64_in(0.5, 2.0))
+            .initial_workers(initial)
+            .max_workers(max)
+            .control_enabled(rng.chance(0.5))
+            .build()
+            .expect("generated configuration is valid")
+    })
+}
+
+// ---------------------------------------------------------------------
+// Social-media text
+// ---------------------------------------------------------------------
+
+/// A word pool that exercises the text substrate's edge cases: ASCII,
+/// accented latin, CJK, Cyrillic, emoji, apostrophes, digits, and pure
+/// punctuation.
+#[must_use]
+pub fn unicode_words() -> Vec<String> {
+    [
+        "the",
+        "flood",
+        "bridge",
+        "closed",
+        "Explosion",
+        "DOWNTOWN",
+        "café",
+        "naïve",
+        "日本語",
+        "서울",
+        "москва",
+        "🔥",
+        "🚒",
+        "😱",
+        "it's",
+        "don't",
+        "42",
+        "no1",
+        "#hashtag",
+        "@user",
+        "...",
+        "—",
+        "",
+    ]
+    .into_iter()
+    .map(str::to_owned)
+    .collect()
+}
+
+/// Generates token lists over [`unicode_words`] (0–10 words), shrinking
+/// by dropping words. Join with spaces for a post string.
+#[must_use]
+pub fn post_tokens() -> Gen<Vec<String>> {
+    gens::vec_of(gens::one_of(unicode_words()), 0, 10)
+}
+
+/// Generates whole post strings (space-joined [`post_tokens`]).
+#[must_use]
+pub fn post_text() -> Gen<String> {
+    post_tokens().map(|words| words.join(" "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::{check_with, CheckConfig};
+
+    #[test]
+    fn hmm_cases_are_always_stochastic() {
+        let g = hmm_case(12);
+        let n = check_with(CheckConfig::new(300), &g, |case| {
+            let hmm = case.hmm(); // panics if any row is not stochastic
+            if case.obs.iter().all(|&o| o < hmm.emission().num_symbols()) {
+                Ok(())
+            } else {
+                Err("observation symbol out of range".into())
+            }
+        })
+        .expect("every generated HMM is valid");
+        assert_eq!(n, 300);
+    }
+
+    #[test]
+    fn hmm_shrinks_stay_valid() {
+        let g = hmm_case(12);
+        let mut rng = TestRng::new(31);
+        for _ in 0..50 {
+            let case = g.generate(&mut rng);
+            for s in g.shrink(&case) {
+                let _ = s.hmm();
+                assert!(!s.obs.is_empty(), "shrinker never drops below one observation");
+            }
+        }
+    }
+
+    #[test]
+    fn acs_cases_keep_intervals_in_range() {
+        let g = acs_case(16, 30);
+        let n = check_with(CheckConfig::new(300), &g, |case| {
+            if case.scores.iter().all(|&(i, _)| i < case.num_intervals) {
+                Ok(())
+            } else {
+                Err("score interval out of range".into())
+            }
+        })
+        .expect("every case is in range");
+        assert_eq!(n, 300);
+        let mut rng = TestRng::new(7);
+        let case = g.generate(&mut rng);
+        for s in g.shrink(&case) {
+            assert!(s.scores.iter().all(|&(i, _)| i < s.num_intervals));
+            assert!(s.window >= 1);
+        }
+    }
+
+    #[test]
+    fn trace_cases_build_valid_traces() {
+        let g = trace_case(TraceShape::default());
+        let n = check_with(CheckConfig::new(100), &g, |case| {
+            let trace = case.trace(); // panics on invalid references
+            if trace.timeline().num_intervals() == case.num_intervals {
+                Ok(())
+            } else {
+                Err("interval mismatch".into())
+            }
+        })
+        .expect("every trace is valid");
+        assert_eq!(n, 100);
+    }
+
+    #[test]
+    fn trace_shrinks_only_drop_reports() {
+        let g = trace_case(TraceShape::default());
+        let mut rng = TestRng::new(3);
+        let case = g.generate(&mut rng);
+        for s in g.shrink(&case) {
+            assert!(s.reports.len() < case.reports.len());
+            assert_eq!(s.truth, case.truth, "truth timelines are preserved");
+            let _ = s.trace();
+        }
+    }
+
+    #[test]
+    fn fault_plans_shrink_toward_fault_free() {
+        let g = fault_plan_case();
+        let mut rng = TestRng::new(9);
+        let case = g.generate(&mut rng);
+        let _ = case.plan();
+        if case.transient_rate != 0.0 || case.straggler_rate != 0.0 {
+            let first = g.shrink(&case)[0];
+            assert_eq!((first.transient_rate, first.straggler_rate), (0.0, 0.0));
+        }
+    }
+
+    #[test]
+    fn generated_configs_validate() {
+        let mut rng = TestRng::new(17);
+        let sg = sstd_config();
+        let dg = dtm_config();
+        for _ in 0..200 {
+            let c = sg.generate(&mut rng);
+            assert!(c.window >= 1 && c.em_iterations >= 1);
+            let d = dg.generate(&mut rng);
+            d.validate().expect("generated DTM config is valid");
+            assert!(d.initial_workers <= d.max_workers);
+        }
+    }
+
+    #[test]
+    fn post_text_is_deterministic_per_seed() {
+        let g = post_text();
+        let a = g.generate(&mut TestRng::new(5));
+        let b = g.generate(&mut TestRng::new(5));
+        assert_eq!(a, b);
+    }
+}

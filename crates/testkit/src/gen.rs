@@ -1,0 +1,249 @@
+//! `Gen<T>`: seeded value generators with integrated greedy shrinking.
+//!
+//! A generator couples two functions: one that draws an
+//! arbitrary-but-valid value from a [`TestRng`], and one that proposes
+//! strictly simpler variants of a value for the shrinker. The runner in
+//! [`crate::check`] walks the shrink proposals greedily — it takes the
+//! first proposal that still fails the property and repeats — so shrink
+//! functions must make *progress*: every proposal must be simpler than
+//! its input by some well-founded measure (shorter, closer to zero,
+//! closer to uniform), or shrinking will be cut off by the step cap.
+
+use crate::rng::TestRng;
+use std::rc::Rc;
+
+/// A seeded generator of `T` with integrated shrinking.
+///
+/// # Examples
+///
+/// ```
+/// use sstd_testkit::{gens, TestRng};
+///
+/// let gen = gens::vec_of(gens::f64_in(-1.0, 1.0), 0, 8);
+/// let mut rng = TestRng::new(9);
+/// let v = gen.generate(&mut rng);
+/// assert!(v.len() <= 8);
+/// // Every shrink proposal is strictly shorter or element-wise simpler.
+/// for s in gen.shrink(&v) {
+///     assert!(s.len() <= v.len());
+/// }
+/// ```
+pub struct Gen<T> {
+    generate: Rc<dyn Fn(&mut TestRng) -> T>,
+    shrink: Rc<dyn Fn(&T) -> Vec<T>>,
+}
+
+impl<T> Clone for Gen<T> {
+    fn clone(&self) -> Self {
+        Self { generate: Rc::clone(&self.generate), shrink: Rc::clone(&self.shrink) }
+    }
+}
+
+impl<T> std::fmt::Debug for Gen<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Gen").finish_non_exhaustive()
+    }
+}
+
+impl<T: 'static> Gen<T> {
+    /// A generator from a draw function, with no shrinking.
+    pub fn new(generate: impl Fn(&mut TestRng) -> T + 'static) -> Self {
+        Self { generate: Rc::new(generate), shrink: Rc::new(|_| Vec::new()) }
+    }
+
+    /// Attaches (or replaces) the shrink function.
+    #[must_use]
+    pub fn with_shrink(mut self, shrink: impl Fn(&T) -> Vec<T> + 'static) -> Self {
+        self.shrink = Rc::new(shrink);
+        self
+    }
+
+    /// Draws one value.
+    pub fn generate(&self, rng: &mut TestRng) -> T {
+        (self.generate)(rng)
+    }
+
+    /// Proposes simpler variants of `value`, simplest first.
+    pub fn shrink(&self, value: &T) -> Vec<T> {
+        (self.shrink)(value)
+    }
+
+    /// Maps the generated value through `f`. Shrinking does not transport
+    /// through an arbitrary map, so the result proposes no shrinks; attach
+    /// new ones with [`with_shrink`](Self::with_shrink) if needed.
+    pub fn map<U: 'static>(self, f: impl Fn(T) -> U + 'static) -> Gen<U> {
+        let generate = self.generate;
+        Gen::new(move |rng| f((generate)(rng)))
+    }
+}
+
+/// Ready-made generators for common shapes.
+pub mod gens {
+    use super::*;
+
+    /// Uniform `usize` in `[lo, hi]`, shrinking toward `lo`.
+    pub fn usize_in(lo: usize, hi: usize) -> Gen<usize> {
+        assert!(lo <= hi, "bad range [{lo}, {hi}]");
+        Gen::new(move |rng| rng.usize_in(lo, hi)).with_shrink(move |&v| {
+            let mut out = Vec::new();
+            if v > lo {
+                out.push(lo);
+                let half = lo + (v - lo) / 2;
+                if half != lo && half != v {
+                    out.push(half);
+                }
+                if v - 1 != lo && v - 1 != half {
+                    out.push(v - 1);
+                }
+            }
+            out
+        })
+    }
+
+    /// Uniform `f64` in `[lo, hi)`, shrinking toward the simplest value in
+    /// range (`0` when the range straddles it, else `lo`) by halving the
+    /// remaining distance.
+    pub fn f64_in(lo: f64, hi: f64) -> Gen<f64> {
+        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "bad range [{lo}, {hi})");
+        let target = if lo <= 0.0 && 0.0 < hi { 0.0 } else { lo };
+        Gen::new(move |rng| rng.f64_in(lo, hi)).with_shrink(move |&v| {
+            if (v - target).abs() < 1e-9 {
+                return Vec::new();
+            }
+            let mut out = vec![target];
+            let half = target + (v - target) / 2.0;
+            if (half - target).abs() >= 1e-9 {
+                out.push(half);
+            }
+            out
+        })
+    }
+
+    /// A coin flip; `true` shrinks to `false`.
+    pub fn boolean() -> Gen<bool> {
+        Gen::new(|rng| rng.chance(0.5)).with_shrink(|&v| if v { vec![false] } else { Vec::new() })
+    }
+
+    /// A uniformly chosen element of `choices` (no shrinking — the
+    /// choices carry no simplicity order).
+    pub fn one_of<T: Clone + 'static>(choices: Vec<T>) -> Gen<T> {
+        assert!(!choices.is_empty(), "one_of needs at least one choice");
+        Gen::new(move |rng| rng.pick(&choices).clone())
+    }
+
+    /// A vector of `min..=max` elements drawn from `elem`.
+    ///
+    /// Shrinks by dropping the front/back half, dropping single elements,
+    /// and shrinking individual elements in place — always respecting
+    /// `min`.
+    pub fn vec_of<T: Clone + 'static>(elem: Gen<T>, min: usize, max: usize) -> Gen<Vec<T>> {
+        assert!(min <= max, "bad length range [{min}, {max}]");
+        let draw_elem = elem.clone();
+        Gen::new(move |rng| {
+            let len = rng.usize_in(min, max);
+            (0..len).map(|_| draw_elem.generate(rng)).collect()
+        })
+        .with_shrink(move |v: &Vec<T>| {
+            let mut out: Vec<Vec<T>> = Vec::new();
+            let len = v.len();
+            // Structural shrinks first: halves, then single removals.
+            if len > min {
+                let keep = (len / 2).max(min);
+                out.push(v[..keep].to_vec());
+                out.push(v[len - keep..].to_vec());
+                for i in 0..len.min(16) {
+                    let mut shorter = v.clone();
+                    shorter.remove(i);
+                    if shorter.len() >= min {
+                        out.push(shorter);
+                    }
+                }
+            }
+            // Element-wise shrinks: replace one element with its first
+            // proposal.
+            for i in 0..len.min(16) {
+                if let Some(simpler) = elem.shrink(&v[i]).into_iter().next() {
+                    let mut w = v.clone();
+                    w[i] = simpler;
+                    out.push(w);
+                }
+            }
+            out
+        })
+    }
+
+    /// A pair of independent draws.
+    pub fn pair<A: Clone + 'static, B: Clone + 'static>(a: Gen<A>, b: Gen<B>) -> Gen<(A, B)> {
+        let (ga, gb) = (a.clone(), b.clone());
+        Gen::new(move |rng| (ga.generate(rng), gb.generate(rng))).with_shrink(move |(va, vb)| {
+            let mut out: Vec<(A, B)> = Vec::new();
+            for sa in a.shrink(va) {
+                out.push((sa, vb.clone()));
+            }
+            for sb in b.shrink(vb) {
+                out.push((va.clone(), sb));
+            }
+            out
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::gens;
+    use crate::rng::TestRng;
+
+    #[test]
+    fn usize_shrinks_toward_lower_bound() {
+        let g = gens::usize_in(2, 50);
+        let proposals = g.shrink(&40);
+        assert_eq!(proposals[0], 2, "lower bound is the first proposal");
+        assert!(proposals.iter().all(|&p| p < 40));
+        assert!(g.shrink(&2).is_empty(), "the bound itself cannot shrink");
+    }
+
+    #[test]
+    fn f64_shrinks_toward_zero_when_straddling() {
+        let g = gens::f64_in(-5.0, 5.0);
+        let proposals = g.shrink(&4.0);
+        assert_eq!(proposals[0], 0.0);
+        assert!(g.shrink(&0.0).is_empty());
+    }
+
+    #[test]
+    fn f64_shrinks_toward_lo_otherwise() {
+        let g = gens::f64_in(2.0, 5.0);
+        assert_eq!(g.shrink(&4.0)[0], 2.0);
+    }
+
+    #[test]
+    fn vec_shrinks_respect_min_len() {
+        let g = gens::vec_of(gens::usize_in(0, 9), 2, 6);
+        let v = vec![5usize, 6, 7, 8];
+        for s in g.shrink(&v) {
+            assert!(s.len() >= 2, "proposal {s:?} violates min length");
+        }
+        let mut rng = TestRng::new(11);
+        for _ in 0..100 {
+            let v = g.generate(&mut rng);
+            assert!((2..=6).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn pair_shrinks_each_side() {
+        let g = gens::pair(gens::usize_in(0, 9), gens::usize_in(0, 9));
+        let proposals = g.shrink(&(4, 7));
+        assert!(proposals.contains(&(0, 7)));
+        assert!(proposals.contains(&(4, 0)));
+    }
+
+    #[test]
+    fn map_draws_through() {
+        let g = gens::usize_in(1, 3).map(|n| vec![0u8; n]);
+        let mut rng = TestRng::new(5);
+        for _ in 0..20 {
+            assert!((1..=3).contains(&g.generate(&mut rng).len()));
+        }
+    }
+}

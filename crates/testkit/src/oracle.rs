@@ -1,0 +1,167 @@
+//! Brute-force reference oracles: obviously correct, unashamedly slow.
+//!
+//! Each oracle recomputes from the definition what a production code
+//! path computes incrementally or by dynamic programming, so the
+//! differential suites can compare the two on thousands of seeded cases.
+//! The HMM oracles (exhaustive Viterbi over all `N^T` sequences,
+//! direct-sum likelihood, enumerated posteriors) live in
+//! [`sstd_hmm::exhaustive`] and are re-exported here under [`hmm`] so the
+//! testkit is a one-stop import for every oracle.
+
+/// Exhaustive-enumeration HMM oracles (`best_path`, `log_likelihood`,
+/// `posteriors`, `log_joint`), re-exported from `sstd_hmm`.
+pub mod hmm {
+    pub use sstd_hmm::exhaustive::{best_path, log_joint, log_likelihood, posteriors};
+}
+
+/// Naive sliding-window ACS recomputation (paper Eq. 4, from the
+/// definition): `ACS_u^t = Σ_{max(0, t−sw+1)}^{t} cs_i`, one windowed
+/// sum per interval, each computed from scratch in O(window).
+///
+/// Differential partner of `AcsAggregator::sequence` (O(T) rolling) and
+/// `AcsAggregator::acs_at`.
+///
+/// # Examples
+///
+/// ```
+/// use sstd_testkit::oracle::naive_acs;
+///
+/// assert_eq!(naive_acs(&[1.0, 2.0, 4.0], 2), vec![1.0, 3.0, 6.0]);
+/// ```
+#[must_use]
+pub fn naive_acs(interval_sums: &[f64], window: usize) -> Vec<f64> {
+    assert!(window > 0, "window must be at least one interval");
+    (0..interval_sums.len())
+        .map(|t| {
+            let lo = (t + 1).saturating_sub(window);
+            interval_sums[lo..=t].iter().sum()
+        })
+        .collect()
+}
+
+/// Exact `p`-quantile of a finite sample by sorting, with linear
+/// interpolation between order statistics (the "type 7" definition used
+/// by R and NumPy): `h = (n−1)p`, `q = x_(⌊h⌋) + (h−⌊h⌋)(x_(⌊h⌋+1) −
+/// x_(⌊h⌋))`.
+///
+/// This definition is continuous in `p` and symmetric under reflection
+/// (`q_p(x) = −q_{1−p}(−x)`), which the differential suite checks the
+/// P² estimator's small-sample path against.
+///
+/// # Panics
+///
+/// Panics if `samples` is empty, contains a non-finite value, or `p` is
+/// outside `[0, 1]`.
+#[must_use]
+pub fn exact_quantile(samples: &[f64], p: f64) -> f64 {
+    assert!(!samples.is_empty(), "quantile of an empty sample");
+    assert!((0.0..=1.0).contains(&p), "p must be in [0, 1]");
+    let mut v = samples.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    let h = (v.len() - 1) as f64 * p;
+    let lo = h.floor() as usize;
+    let frac = h - lo as f64;
+    if frac == 0.0 || lo + 1 >= v.len() {
+        v[lo]
+    } else {
+        v[lo] + frac * (v[lo + 1] - v[lo])
+    }
+}
+
+/// The bin a sample falls into, by linear scan over explicit bin edges:
+/// bin `k` covers `[lo + k·w, lo + (k+1)·w)` with `w = (hi − lo)/bins`,
+/// out-of-range samples clamp to the end bins.
+///
+/// Differential partner of `Histogram::bin_of`. Near a bin edge the two
+/// can legitimately disagree by one bin when the edge itself is not
+/// exactly representable; [`near_bin_edge`] identifies those samples so
+/// a differential test can exclude them.
+///
+/// # Panics
+///
+/// Panics if `bins == 0` or the range is not an ordered pair of finite
+/// bounds.
+#[must_use]
+pub fn scan_bin_of(lo: f64, hi: f64, bins: usize, x: f64) -> usize {
+    assert!(bins > 0 && lo.is_finite() && hi.is_finite() && lo < hi, "bad histogram shape");
+    if x.is_nan() {
+        return 0;
+    }
+    for k in 0..bins {
+        let upper = lo + (hi - lo) * (k as f64 + 1.0) / bins as f64;
+        if x < upper {
+            return k;
+        }
+    }
+    bins - 1
+}
+
+/// Whether `x` lies within `tol` (relative to the bin width) of any bin
+/// edge of the `[lo, hi]`/`bins` histogram.
+#[must_use]
+pub fn near_bin_edge(lo: f64, hi: f64, bins: usize, x: f64, tol: f64) -> bool {
+    if x.is_nan() {
+        return false;
+    }
+    let width = (hi - lo) / bins as f64;
+    (0..=bins).any(|k| {
+        let edge = lo + (hi - lo) * k as f64 / bins as f64;
+        (x - edge).abs() <= tol * width
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn naive_acs_matches_hand_computation() {
+        // window 3 over sums [1, 0, 2, 0, 1].
+        assert_eq!(naive_acs(&[1.0, 0.0, 2.0, 0.0, 1.0], 3), vec![1.0, 1.0, 3.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn naive_acs_window_one_is_identity() {
+        let sums = [0.5, -1.0, 2.0];
+        assert_eq!(naive_acs(&sums, 1), sums.to_vec());
+    }
+
+    #[test]
+    fn naive_acs_huge_window_is_running_total() {
+        assert_eq!(naive_acs(&[1.0, 1.0, 1.0], 99), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn exact_quantile_interpolates() {
+        let xs = [1.0, 2.0, 3.0];
+        assert_eq!(exact_quantile(&xs, 0.5), 2.0);
+        assert_eq!(exact_quantile(&xs, 0.25), 1.5);
+        assert_eq!(exact_quantile(&xs, 0.0), 1.0);
+        assert_eq!(exact_quantile(&xs, 1.0), 3.0);
+    }
+
+    #[test]
+    fn exact_quantile_is_reflection_symmetric() {
+        let xs = [3.0, -1.0, 7.0, 2.0];
+        let neg: Vec<f64> = xs.iter().map(|x| -x).collect();
+        for p in [0.1, 0.25, 0.4, 0.75, 0.9] {
+            let q = exact_quantile(&xs, p);
+            let mirrored = -exact_quantile(&neg, 1.0 - p);
+            assert!((q - mirrored).abs() < 1e-12, "p={p}: {q} vs {mirrored}");
+        }
+    }
+
+    #[test]
+    fn scan_bin_clamps_and_covers() {
+        assert_eq!(scan_bin_of(0.0, 1.0, 4, -3.0), 0);
+        assert_eq!(scan_bin_of(0.0, 1.0, 4, 0.3), 1);
+        assert_eq!(scan_bin_of(0.0, 1.0, 4, 99.0), 3);
+        assert_eq!(scan_bin_of(0.0, 1.0, 4, f64::NAN), 0);
+    }
+
+    #[test]
+    fn near_bin_edge_flags_boundaries_only() {
+        assert!(near_bin_edge(0.0, 1.0, 10, 0.300000000001, 1e-9));
+        assert!(!near_bin_edge(0.0, 1.0, 10, 0.35, 1e-9));
+    }
+}

@@ -1,0 +1,146 @@
+//! A tiny, dependency-free, splittable PRNG for property tests.
+//!
+//! [`TestRng`] is a SplitMix64 generator (Steele, Lea & Flood, OOPSLA
+//! 2014): a 64-bit counter passed through a fixed avalanche mix. It is
+//! deliberately *not* the runtime's fault-injection hash — the harness
+//! must stay an independent source of randomness — but uses the same
+//! well-known constants, so the stream is easy to reproduce in any
+//! language from nothing but the seed.
+
+/// The SplitMix64 finalizer: maps a 64-bit value to a well-mixed one.
+#[must_use]
+pub fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A seeded SplitMix64 stream.
+///
+/// # Examples
+///
+/// ```
+/// use sstd_testkit::TestRng;
+///
+/// let mut a = TestRng::new(42);
+/// let mut b = TestRng::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64(), "same seed, same stream");
+/// let x = a.f64_in(-1.0, 1.0);
+/// assert!((-1.0..1.0).contains(&x));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from a seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform `f64` in `[0, 1)` built from the top 53 bits.
+    pub fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// A uniform `f64` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bounds are not finite or `lo > hi`.
+    pub fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo.is_finite() && hi.is_finite() && lo <= hi, "bad range [{lo}, {hi})");
+        lo + self.unit() * (hi - lo)
+    }
+
+    /// A uniform `usize` in `[lo, hi]` (inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo <= hi, "bad range [{lo}, {hi}]");
+        let span = (hi - lo) as u64 + 1;
+        lo + (self.next_u64() % span) as usize
+    }
+
+    /// `true` with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.unit() < p
+    }
+
+    /// A uniformly chosen element of `items`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is empty.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "cannot pick from an empty slice");
+        &items[self.usize_in(0, items.len() - 1)]
+    }
+
+    /// Splits off an independent child generator. The child's stream is
+    /// decorrelated from the parent's by an extra mix round.
+    pub fn split(&mut self) -> Self {
+        Self { state: mix64(self.next_u64()) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_deterministic() {
+        let a: Vec<u64> = (0..8).map(|_| TestRng::new(7).next_u64()).collect();
+        assert!(a.iter().all(|&x| x == a[0]), "fresh rng always starts the same");
+        let mut r = TestRng::new(7);
+        let seq: Vec<u64> = (0..8).map(|_| r.next_u64()).collect();
+        assert_eq!(seq.len(), 8);
+        assert_ne!(seq[0], seq[1], "stream advances");
+    }
+
+    #[test]
+    fn unit_stays_in_range() {
+        let mut r = TestRng::new(1);
+        for _ in 0..10_000 {
+            let x = r.unit();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn usize_in_covers_bounds() {
+        let mut r = TestRng::new(2);
+        let mut seen = [false; 4];
+        for _ in 0..1_000 {
+            seen[r.usize_in(0, 3)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values of a small range appear");
+    }
+
+    #[test]
+    fn split_decorrelates() {
+        let mut r = TestRng::new(3);
+        let mut child = r.split();
+        assert_ne!(r.next_u64(), child.next_u64());
+    }
+
+    #[test]
+    #[should_panic(expected = "bad range")]
+    fn inverted_range_panics() {
+        let _ = TestRng::new(0).usize_in(3, 1);
+    }
+}

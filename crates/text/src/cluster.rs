@@ -173,9 +173,11 @@ impl ClaimClusterer {
 
         let old_rep = self.clusters[i].representative.clone();
         let mut retained = VecDeque::new();
+        let mut moved = 0usize;
         let drained: Vec<TokenSet> = self.clusters[i].sample.drain(..).collect();
         for m in drained {
             if jaccard_distance(&m, &seed) < jaccard_distance(&m, &old_rep) {
+                moved += 1;
                 if m != seed {
                     new_cluster.admit(m, self.config.sample_size);
                 }
@@ -183,6 +185,13 @@ impl ClaimClusterer {
                 retained.push_back(m);
             }
         }
+        // Transfer the head-count with the members: posts that left must
+        // stop counting against the old cluster, or claim sizes stop
+        // summing to the number of posts seen. Unsampled history stays
+        // attributed to the old cluster (we cannot know which side it
+        // would have chosen).
+        self.clusters[i].size -= moved;
+        new_cluster.size = moved;
         self.clusters[i].sample = retained;
         self.clusters.push(new_cluster);
     }

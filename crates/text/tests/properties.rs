@@ -1,0 +1,196 @@
+//! Property tests for the text substrate: tokenizer, Jaccard metric,
+//! and the online clusterer on empty, single-token, and unicode/emoji
+//! content.
+
+use sstd_testkit::{check, domain, gens, Gen};
+use sstd_text::{
+    jaccard_distance, jaccard_similarity, tokenize, ClaimClusterer, ClusterConfig, TokenSet,
+};
+
+// ---------------------------------------------------------------------
+// Tokenizer edge cases
+// ---------------------------------------------------------------------
+
+#[test]
+fn empty_and_whitespace_posts_tokenize_to_nothing() {
+    for text in ["", "   ", "\t\n", "​"] {
+        assert!(tokenize(text).is_empty(), "{text:?} should produce no tokens");
+        assert!(TokenSet::from_text(text).is_empty());
+    }
+}
+
+#[test]
+fn punctuation_and_emoji_only_posts_are_empty() {
+    for text in ["!!!", "... --- ...", "🔥🔥🔥", "😱 🚒", "«»—„“"] {
+        assert!(tokenize(text).is_empty(), "{text:?} has no alphanumeric content");
+    }
+}
+
+#[test]
+fn single_token_posts_survive_normalization() {
+    assert_eq!(tokenize("FLOOD"), vec!["flood"]);
+    assert_eq!(tokenize("flood!"), vec!["flood"]);
+    assert_eq!(tokenize("  flood  "), vec!["flood"]);
+    let set = TokenSet::from_text("flood");
+    assert_eq!(set.len(), 1);
+    assert!(set.contains("flood"));
+}
+
+#[test]
+fn unicode_words_are_kept_and_emoji_split_tokens() {
+    // Accented latin, CJK, Hangul, and Cyrillic are alphanumeric and must
+    // survive; emoji are not and must act as separators.
+    let tokens = tokenize("Café 日本語 서울 москва");
+    assert_eq!(tokens, vec!["café", "日本語", "서울", "москва"]);
+    assert_eq!(tokenize("bridge🔥closed"), vec!["bridge", "closed"]);
+}
+
+#[test]
+fn tokenization_is_idempotent_on_generated_posts() {
+    check("tokenization_is_idempotent_on_generated_posts", 1_000, &domain::post_text(), |text| {
+        let once = tokenize(text);
+        let again = tokenize(&once.join(" "));
+        if once == again {
+            Ok(())
+        } else {
+            Err(format!("tokenize is not idempotent: {once:?} -> {again:?}"))
+        }
+    });
+}
+
+#[test]
+fn token_sets_ignore_order_and_duplication() {
+    check(
+        "token_sets_ignore_order_and_duplication",
+        1_000,
+        &domain::post_tokens(),
+        |words: &Vec<String>| {
+            let forward = TokenSet::from_text(&words.join(" "));
+            let mut reversed_words = words.clone();
+            reversed_words.reverse();
+            let mut doubled = reversed_words.join(" ");
+            doubled.push(' ');
+            doubled.push_str(&words.join(" "));
+            let reversed = TokenSet::from_text(&doubled);
+            if forward.len() == reversed.len()
+                && forward.intersection_size(&reversed) == forward.len()
+            {
+                Ok(())
+            } else {
+                Err(format!("order/duplication changed the set: {forward:?} vs {reversed:?}"))
+            }
+        },
+    );
+}
+
+// ---------------------------------------------------------------------
+// Jaccard metric invariants
+// ---------------------------------------------------------------------
+
+fn three_posts() -> Gen<Vec<Vec<String>>> {
+    gens::vec_of(domain::post_tokens(), 3, 3)
+}
+
+#[test]
+fn jaccard_similarity_is_bounded_symmetric_and_reflexive() {
+    check(
+        "jaccard_similarity_is_bounded_symmetric_and_reflexive",
+        1_000,
+        &three_posts(),
+        |posts| {
+            let a = TokenSet::from_text(&posts[0].join(" "));
+            let b = TokenSet::from_text(&posts[1].join(" "));
+            let sim = jaccard_similarity(&a, &b);
+            if !(0.0..=1.0).contains(&sim) {
+                return Err(format!("similarity {sim} outside [0, 1]"));
+            }
+            if (sim - jaccard_similarity(&b, &a)).abs() > 1e-12 {
+                return Err("similarity is not symmetric".into());
+            }
+            if (jaccard_similarity(&a, &a) - 1.0).abs() > 1e-12 {
+                return Err("self-similarity must be 1 (including the empty set)".into());
+            }
+            if (jaccard_distance(&a, &b) - (1.0 - sim)).abs() > 1e-12 {
+                return Err("distance must be 1 - similarity".into());
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn jaccard_distance_satisfies_the_triangle_inequality() {
+    // Jaccard distance is a true metric (Levandowsky & Winter 1971); the
+    // clusterer's diameter logic silently relies on it.
+    check("jaccard_distance_satisfies_the_triangle_inequality", 1_000, &three_posts(), |posts| {
+        let a = TokenSet::from_text(&posts[0].join(" "));
+        let b = TokenSet::from_text(&posts[1].join(" "));
+        let c = TokenSet::from_text(&posts[2].join(" "));
+        let ab = jaccard_distance(&a, &b);
+        let bc = jaccard_distance(&b, &c);
+        let ac = jaccard_distance(&a, &c);
+        if ac > ab + bc + 1e-12 {
+            Err(format!("triangle violated: d(a,c)={ac} > d(a,b)={ab} + d(b,c)={bc}"))
+        } else {
+            Ok(())
+        }
+    });
+}
+
+#[test]
+fn empty_sets_are_identical_not_infinitely_far() {
+    let empty = TokenSet::from_text("");
+    assert_eq!(jaccard_similarity(&empty, &empty), 1.0);
+    assert_eq!(jaccard_distance(&empty, &empty), 0.0);
+    let some = TokenSet::from_text("flood bridge");
+    assert_eq!(jaccard_similarity(&empty, &some), 0.0);
+}
+
+// ---------------------------------------------------------------------
+// Clusterer properties
+// ---------------------------------------------------------------------
+
+#[test]
+fn clusterer_is_deterministic_and_ids_are_dense() {
+    let posts_gen = gens::vec_of(domain::post_text(), 0, 30);
+    check("clusterer_is_deterministic_and_ids_are_dense", 300, &posts_gen, |posts| {
+        let mut a = ClaimClusterer::new(ClusterConfig::default());
+        let mut b = ClaimClusterer::new(ClusterConfig::default());
+        let ids_a: Vec<_> = posts.iter().map(|p| a.assign(p)).collect();
+        let ids_b: Vec<_> = posts.iter().map(|p| b.assign(p)).collect();
+        if ids_a != ids_b {
+            return Err("same post stream produced different assignments".into());
+        }
+        for id in &ids_a {
+            if id.index() >= a.num_claims() {
+                return Err(format!("claim id {id:?} outside 0..{}", a.num_claims()));
+            }
+        }
+        // Every claim that exists holds at least one post, and sizes add
+        // up to the number of posts.
+        let total: usize =
+            (0..a.num_claims()).map(|i| a.claim_size(sstd_types::ClaimId::new(i as u32))).sum();
+        if total != posts.len() {
+            return Err(format!("cluster sizes sum to {total}, expected {}", posts.len()));
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn identical_posts_share_a_claim() {
+    let mut c = ClaimClusterer::new(ClusterConfig::default());
+    let first = c.assign("explosion downtown bridge closed");
+    let second = c.assign("explosion downtown bridge closed");
+    assert_eq!(first, second, "identical posts are the same claim");
+}
+
+#[test]
+fn empty_posts_cluster_together() {
+    let mut c = ClaimClusterer::new(ClusterConfig::default());
+    let a = c.assign("");
+    let b = c.assign("🔥🔥🔥");
+    let d = c.assign("   ");
+    assert_eq!(a, b, "token-free posts are indistinguishable");
+    assert_eq!(a, d);
+}

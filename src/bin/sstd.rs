@@ -110,9 +110,12 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_run(args: &[String]) -> Result<(), String> {
-    let trace = load_trace(required(args, "--trace")?).map_err(|e| e.to_string())?;
+    // Validate every flag before touching the filesystem: a typo'd scheme
+    // should be reported instantly, not after a multi-second trace load.
+    let trace_path = required(args, "--trace")?;
     let scheme = parse_scheme(&flag(args, "--scheme").unwrap_or_else(|| "sstd".into()))?;
     let out = required(args, "--out")?;
+    let trace = load_trace(trace_path).map_err(|e| e.to_string())?;
     let estimates = run_scheme(scheme, &trace);
     let file = std::fs::File::create(&out).map_err(|e| e.to_string())?;
     serde_json::to_writer(std::io::BufWriter::new(file), &estimates).map_err(|e| e.to_string())?;
@@ -127,8 +130,10 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_score(args: &[String]) -> Result<(), String> {
-    let trace = load_trace(required(args, "--trace")?).map_err(|e| e.to_string())?;
-    let file = std::fs::File::open(required(args, "--estimates")?).map_err(|e| e.to_string())?;
+    let trace_path = required(args, "--trace")?;
+    let estimates_path = required(args, "--estimates")?;
+    let trace = load_trace(trace_path).map_err(|e| e.to_string())?;
+    let file = std::fs::File::open(estimates_path).map_err(|e| e.to_string())?;
     let estimates: TruthEstimates =
         serde_json::from_reader(std::io::BufReader::new(file)).map_err(|e| e.to_string())?;
     let m = score_estimates(trace.ground_truth(), &estimates);

@@ -1,0 +1,391 @@
+//! Cross-crate differential property suite: production implementations
+//! checked against brute-force oracles and against each other on seeded
+//! generated cases.
+//!
+//! Every failure prints a `TESTKIT_SEED=… TESTKIT_CASES=1` line that
+//! replays the exact minimized counterexample; set `TESTKIT_CASES` to
+//! raise the case count (CI's extended run does) and
+//! `TESTKIT_ARTIFACT_DIR` to persist counterexamples to disk.
+
+use sstd::core::{run_distributed, AcsAggregator, ClaimFit, SstdConfig, SstdEngine, StreamingSstd};
+use sstd::runtime::{
+    Cluster, DesEngine, ExecutionBackend, ExecutionModel, JobId, RetryPolicy, SimBackend,
+    ThreadedEngine,
+};
+use sstd::stats::{Histogram, P2Quantile};
+use sstd::types::{ClaimId, Report, SourceId, Timestamp, TruthLabel};
+use sstd_testkit::domain::{TraceCase, TraceShape};
+use sstd_testkit::{check, domain, gens, oracle, Gen, TestRng};
+
+/// Cases per differential suite (override with `TESTKIT_CASES`).
+const CASES: usize = 1_000;
+
+/// A retry budget large enough that transient faults and stragglers from
+/// any generated [`domain::fault_plan_case`] cannot exhaust a task: the
+/// equivalence properties are about *values*, liveness is the fault
+/// suite's concern.
+fn generous_retry() -> RetryPolicy {
+    RetryPolicy { max_attempts: 64, ..RetryPolicy::default() }
+}
+
+// ---------------------------------------------------------------------
+// ACS: incremental rolling sum vs naive recomputation
+// ---------------------------------------------------------------------
+
+#[test]
+fn acs_rolling_sequence_matches_naive_recomputation() {
+    check(
+        "acs_rolling_sequence_matches_naive_recomputation",
+        CASES,
+        &domain::acs_case(10, 40),
+        |case| {
+            let mut agg = AcsAggregator::new(case.num_intervals, case.window);
+            for &(iv, cs) in &case.scores {
+                agg.add_score(iv, cs);
+            }
+            let rolling = agg.sequence();
+            let naive = oracle::naive_acs(agg.interval_sums(), case.window);
+            if rolling.len() != naive.len() {
+                return Err(format!("length {} vs naive {}", rolling.len(), naive.len()));
+            }
+            for i in 0..rolling.len() {
+                if (rolling[i] - naive[i]).abs() > 1e-9 {
+                    return Err(format!(
+                        "interval {i}: rolling {} vs naive {}",
+                        rolling[i], naive[i]
+                    ));
+                }
+                // Point queries must agree with the full sequence too.
+                if (agg.acs_at(i) - naive[i]).abs() > 1e-9 {
+                    return Err(format!("acs_at({i}) = {} vs naive {}", agg.acs_at(i), naive[i]));
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn acs_with_huge_window_is_the_running_total() {
+    check("acs_with_huge_window_is_the_running_total", CASES, &domain::acs_case(8, 24), |case| {
+        let mut agg = AcsAggregator::new(case.num_intervals, case.num_intervals + 7);
+        for &(iv, cs) in &case.scores {
+            agg.add_score(iv, cs);
+        }
+        let seq = agg.sequence();
+        let mut run = 0.0;
+        for (i, sum) in agg.interval_sums().iter().enumerate() {
+            run += sum;
+            if (seq[i] - run).abs() > 1e-9 {
+                return Err(format!("interval {i}: {} vs prefix sum {run}", seq[i]));
+            }
+        }
+        Ok(())
+    });
+}
+
+// ---------------------------------------------------------------------
+// Distributed ≡ batch on both execution backends, under fault plans
+// ---------------------------------------------------------------------
+
+type DistCase = (TraceCase, (domain::FaultPlanCase, SstdConfig));
+
+fn dist_case() -> Gen<DistCase> {
+    gens::pair(
+        domain::trace_case(TraceShape::default()),
+        gens::pair(domain::fault_plan_case(), domain::sstd_config()),
+    )
+}
+
+#[test]
+fn distributed_matches_batch_on_the_sim_backend_under_faults() {
+    check(
+        "distributed_matches_batch_on_the_sim_backend_under_faults",
+        CASES,
+        &dist_case(),
+        |(trace_case, (plan, config))| {
+            let trace = trace_case.trace();
+            let engine = SstdEngine::new(config.clone());
+            let batch = engine.run(&trace);
+            let mut backend = SimBackend::new(DesEngine::new(
+                Cluster::homogeneous(3, 1.0),
+                ExecutionModel::default(),
+                3,
+            ));
+            backend.set_fault_plan(plan.plan());
+            backend.set_retry_policy(generous_retry());
+            let run = run_distributed(&engine, &trace, &mut backend, JobId::new(0))
+                .map_err(|e| format!("distributed run failed: {e}"))?;
+            if run.estimates != batch {
+                return Err("DES-backed distributed estimates differ from batch".into());
+            }
+            if run.report.completed.len() != trace.num_claims() {
+                return Err(format!(
+                    "{} completions for {} claims",
+                    run.report.completed.len(),
+                    trace.num_claims()
+                ));
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn distributed_matches_batch_on_real_threads_under_faults() {
+    check(
+        "distributed_matches_batch_on_real_threads_under_faults",
+        CASES,
+        &dist_case(),
+        |(trace_case, (plan, config))| {
+            let trace = trace_case.trace();
+            let engine = SstdEngine::new(config.clone());
+            let batch = engine.run(&trace);
+            let mut backend: ThreadedEngine<ClaimFit> = ThreadedEngine::new(3);
+            // Threads run in real time: cap the straggler slowdown so an
+            // unlucky case cannot stall the suite, and keep transients.
+            let plan = plan.plan().with_stragglers(plan.straggler_rate.min(0.1), 1.05);
+            backend.set_fault_plan(plan);
+            backend.set_retry_policy(generous_retry());
+            let run = run_distributed(&engine, &trace, &mut backend, JobId::new(0))
+                .map_err(|e| format!("distributed run failed: {e}"))?;
+            if run.estimates != batch {
+                return Err("thread-backed distributed estimates differ from batch".into());
+            }
+            Ok(())
+        },
+    );
+}
+
+// ---------------------------------------------------------------------
+// Streaming engine: determinism, shape, and batch agreement
+// ---------------------------------------------------------------------
+
+#[test]
+fn streaming_runs_are_deterministic_and_well_shaped() {
+    check(
+        "streaming_runs_are_deterministic_and_well_shaped",
+        CASES,
+        &domain::trace_case(TraceShape::default()),
+        |case| {
+            let trace = case.trace();
+            let run = |config: SstdConfig| {
+                let mut s = StreamingSstd::new(config, trace.timeline().clone());
+                for r in trace.reports() {
+                    s.push(r);
+                }
+                s.finish()
+            };
+            let a = run(SstdConfig::default());
+            let b = run(SstdConfig::default());
+            if a != b {
+                return Err("identical streams produced different estimates".into());
+            }
+            for (claim, labels) in a.iter() {
+                if labels.len() != trace.timeline().num_intervals() {
+                    return Err(format!(
+                        "claim {claim:?}: {} labels for {} intervals",
+                        labels.len(),
+                        trace.timeline().num_intervals()
+                    ));
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+/// A decisive trace: constant truth per claim and a unanimous plain
+/// report from every source in every interval. On such streams the
+/// filtering (streaming) and smoothing (batch) decoders must agree — the
+/// evidence never wavers.
+fn decisive_case() -> Gen<TraceCase> {
+    Gen::new(|rng: &mut TestRng| {
+        let num_claims = rng.usize_in(1, 3);
+        let num_sources = rng.usize_in(2, 4);
+        let num_intervals = rng.usize_in(2, 8);
+        let mut truth = Vec::new();
+        let mut reports = Vec::new();
+        for c in 0..num_claims {
+            let label = TruthLabel::from_bool(rng.chance(0.5));
+            truth.push(vec![label; num_intervals]);
+            for iv in 0..num_intervals {
+                let t = Timestamp::from_secs(iv as u64 * TraceCase::SECS_PER_INTERVAL + 1);
+                for s in 0..num_sources {
+                    reports.push(Report::plain(
+                        SourceId::new(s as u32),
+                        ClaimId::new(c as u32),
+                        t,
+                        label.honest_attitude(),
+                    ));
+                }
+            }
+        }
+        TraceCase { num_claims, num_sources, num_intervals, truth, reports }
+    })
+}
+
+#[test]
+fn streaming_matches_batch_on_decisive_traces() {
+    check("streaming_matches_batch_on_decisive_traces", CASES, &decisive_case(), |case| {
+        let trace = case.trace();
+        let batch = SstdEngine::new(SstdConfig::default()).run(&trace);
+        let mut s = StreamingSstd::new(SstdConfig::default(), trace.timeline().clone());
+        for r in trace.reports() {
+            s.push(r);
+        }
+        let online = s.finish();
+        if online != batch {
+            return Err("streaming and batch disagree on a decisive trace".into());
+        }
+        // Both must also equal the planted ground truth.
+        for (c, planted) in case.truth.iter().enumerate() {
+            let got = batch.labels(ClaimId::new(c as u32)).ok_or("missing claim")?;
+            if got != planted.as_slice() {
+                return Err(format!("claim {c}: decoded {got:?}, planted {planted:?}"));
+            }
+        }
+        Ok(())
+    });
+}
+
+// ---------------------------------------------------------------------
+// Stats substrate: P² small-sample exactness, histogram binning
+// ---------------------------------------------------------------------
+
+#[test]
+fn p2_is_exact_below_the_marker_threshold() {
+    let gen = gens::pair(gens::vec_of(gens::f64_in(-100.0, 100.0), 1, 4), gens::f64_in(0.05, 0.95));
+    check("p2_is_exact_below_the_marker_threshold", CASES, &gen, |(xs, p)| {
+        let mut q = P2Quantile::new(*p).map_err(str::to_owned)?;
+        for &x in xs {
+            q.push(x);
+        }
+        let got = q.estimate().ok_or("no estimate after samples")?;
+        let want = oracle::exact_quantile(xs, *p);
+        if (got - want).abs() > 1e-9 {
+            return Err(format!("P² says {got}, exact order statistics say {want}"));
+        }
+        // Reflection identity q_p(x) = -q_{1-p}(-x): exact below 5 samples.
+        let mut mirror = P2Quantile::new(1.0 - p).map_err(str::to_owned)?;
+        for &x in xs {
+            mirror.push(-x);
+        }
+        let mirrored = -mirror.estimate().ok_or("no mirror estimate")?;
+        if (got - mirrored).abs() > 1e-9 {
+            return Err(format!("reflection broken: {got} vs {mirrored}"));
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn p2_tracks_the_exact_quantile_on_larger_streams() {
+    let gen = gens::pair(gens::vec_of(gens::f64_in(0.0, 1000.0), 50, 400), gens::f64_in(0.2, 0.8));
+    check("p2_tracks_the_exact_quantile_on_larger_streams", 300, &gen, |(xs, p)| {
+        let mut q = P2Quantile::new(*p).map_err(str::to_owned)?;
+        for &x in xs {
+            q.push(x);
+        }
+        let got = q.estimate().ok_or("no estimate")?;
+        let want = oracle::exact_quantile(xs, *p);
+        let spread = 1000.0;
+        // P² is an approximation on long streams; a loose envelope still
+        // catches marker-update bugs (which drift wildly or stick).
+        if (got - want).abs() > 0.2 * spread {
+            return Err(format!("P² estimate {got} strayed from exact {want}"));
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn histogram_bin_of_matches_the_edge_scan() {
+    let gen = gens::pair(
+        gens::pair(gens::f64_in(-50.0, 50.0), gens::f64_in(0.5, 100.0)),
+        gens::pair(gens::usize_in(1, 32), gens::f64_in(-120.0, 120.0)),
+    );
+    check("histogram_bin_of_matches_the_edge_scan", CASES, &gen, |((lo, width), (bins, x))| {
+        let hi = lo + width;
+        let h = Histogram::new(*lo, hi, *bins);
+        let fast = h.bin_of(*x);
+        let slow = oracle::scan_bin_of(*lo, hi, *bins, *x);
+        if fast == slow {
+            return Ok(());
+        }
+        // Right on an edge the two float evaluation orders may land on
+        // opposite sides; anywhere else they must agree exactly.
+        if oracle::near_bin_edge(*lo, hi, *bins, *x, 1e-9) && fast.abs_diff(slow) == 1 {
+            return Ok(());
+        }
+        Err(format!("bin_of({x}) = {fast}, edge scan says {slow}"))
+    });
+}
+
+#[test]
+fn histogram_boundary_values_open_their_own_bin() {
+    let gen = gens::pair(
+        gens::pair(gens::f64_in(-20.0, 20.0), gens::f64_in(0.5, 40.0)),
+        gens::usize_in(1, 24),
+    );
+    check("histogram_boundary_values_open_their_own_bin", CASES, &gen, |((lo, width), bins)| {
+        let hi = lo + width;
+        let h = Histogram::new(*lo, hi, *bins);
+        for k in 0..*bins {
+            // The left edge of bin k, computed the way callers naturally
+            // do (`lo + k * width / bins`), must not fall into bin k-1.
+            let edge = lo + (hi - lo) * k as f64 / *bins as f64;
+            let got = h.bin_of(edge);
+            if got != k && !(oracle::near_bin_edge(*lo, hi, *bins, edge, 1e-9) && got + 1 == k) {
+                return Err(format!("left edge of bin {k} ({edge}) landed in bin {got}"));
+            }
+            if h.bin_of(h.bin_center(k)) != k {
+                return Err(format!("center of bin {k} missed its own bin"));
+            }
+        }
+        Ok(())
+    });
+}
+
+// ---------------------------------------------------------------------
+// Config generators produce valid configurations
+// ---------------------------------------------------------------------
+
+#[test]
+fn generated_sstd_configs_drive_real_runs() {
+    let gen = gens::pair(domain::sstd_config(), domain::trace_case(TraceShape::default()));
+    check("generated_sstd_configs_drive_real_runs", 300, &gen, |(config, case)| {
+        let trace = case.trace();
+        let estimates = SstdEngine::new(config.clone()).run(&trace);
+        if estimates.num_claims() != trace.num_claims() {
+            return Err(format!(
+                "{} estimates for {} claims",
+                estimates.num_claims(),
+                trace.num_claims()
+            ));
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn generated_dtm_configs_validate() {
+    check("generated_dtm_configs_validate", CASES, &domain::dtm_config(), |config| {
+        config.validate().map_err(|e| format!("generated config invalid: {e}"))
+    });
+}
+
+// ---------------------------------------------------------------------
+// Attitude/label algebra used throughout the suites
+// ---------------------------------------------------------------------
+
+#[test]
+fn truth_label_attitude_round_trips() {
+    for label in [TruthLabel::True, TruthLabel::False] {
+        assert_eq!(label.flipped().flipped(), label);
+        let honest = label.honest_attitude();
+        let lying = label.flipped().honest_attitude();
+        assert_eq!(honest, lying.flipped(), "honest and lying attitudes mirror");
+        assert_ne!(honest, honest.flipped());
+    }
+}
