@@ -4,7 +4,10 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sstd_core::AcsAggregator;
-use sstd_hmm::{viterbi, BaumWelch, Hmm, StreamingViterbi, SymmetricGaussianEmission};
+use sstd_hmm::{
+    viterbi, viterbi_into, BaumWelch, DecodeWorkspace, EmWorkspace, Hmm, StreamingViterbi,
+    SymmetricGaussianEmission,
+};
 use sstd_runtime::{JobId, TaskPool, TaskSpec};
 use sstd_text::{jaccard_distance, TokenSet};
 
@@ -50,6 +53,45 @@ fn bench_hmm(c: &mut Criterion) {
             },
             BatchSize::SmallInput,
         );
+    });
+}
+
+/// Zero-allocation kernel benches: the `_into` entry points with
+/// caller-owned workspaces, the layout the engine runs in steady state.
+/// `BENCH_PR5.json` (emitted by the `kernels` bin) tracks the same
+/// shapes over time; these criterion variants give the detailed
+/// statistics.
+fn bench_kernels(c: &mut Criterion) {
+    let trainer = BaumWelch::default().max_iterations(25).tolerance(0.0);
+    for t_len in [100usize, 1_000, 10_000] {
+        let obs = observation_sequence(t_len);
+        let mut em = EmWorkspace::new();
+        c.bench_function(&format!("baum_welch_train_into_T{t_len}"), |b| {
+            b.iter_batched(
+                truth_hmm,
+                |mut model| {
+                    std::hint::black_box(trainer.train_into(&mut model, &obs, &mut em));
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    c.bench_function("viterbi_decode_into_T10k", |b| {
+        let hmm = truth_hmm();
+        let obs = observation_sequence(10_000);
+        let mut ws = DecodeWorkspace::new();
+        b.iter(|| {
+            std::hint::black_box(viterbi_into(&hmm, &obs, &mut ws).len());
+        });
+    });
+    c.bench_function("acs_rolling_windowed_into_10k", |b| {
+        let mut rng = StdRng::seed_from_u64(5);
+        let sums: Vec<f64> = (0..10_000).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mut out = Vec::new();
+        b.iter(|| {
+            AcsAggregator::windowed_into(&sums, 6, &mut out);
+            std::hint::black_box(out.last().copied());
+        });
     });
 }
 
@@ -101,6 +143,6 @@ fn bench_scheduler(c: &mut Criterion) {
 criterion_group!(
     name = micro;
     config = Criterion::default().sample_size(20);
-    targets = bench_hmm, bench_acs, bench_text, bench_scheduler
+    targets = bench_hmm, bench_kernels, bench_acs, bench_text, bench_scheduler
 );
 criterion_main!(micro);

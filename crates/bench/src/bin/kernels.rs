@@ -1,0 +1,122 @@
+//! Plain-`std::time` kernel timings for the zero-allocation HMM core.
+//!
+//! Criterion gives detailed statistics locally (`benches/micro.rs`), but
+//! it is too heavy for a CI smoke check and unavailable in minimal
+//! environments. This bin times the same kernel shapes with
+//! `Instant`, best-of-3, and emits an [`sstd_obs::BenchReport`] JSON
+//! object — the format committed at the repo root as `BENCH_PR5.json`.
+//!
+//! Usage: `cargo run --release -p sstd-bench --bin kernels [OUT.json]`
+//! (prints to stdout; also writes to `OUT.json` when given).
+//!
+//! The measurement protocol is frozen so runs stay comparable across
+//! commits: xorshift-seeded observations whose sign flips every 25
+//! steps (±4.0 ± noise), a 2-state stay-0.9 symmetric-Gaussian model
+//! (µ = 4.0, σ = 1.5), and Baum–Welch at 25 iterations with tolerance
+//! 0 (no early convergence, so every run does identical work).
+
+use sstd_core::AcsAggregator;
+use sstd_hmm::{
+    viterbi_into, BaumWelch, DecodeWorkspace, EmWorkspace, Hmm, StreamingViterbi,
+    SymmetricGaussianEmission,
+};
+use sstd_obs::BenchReport;
+use std::time::Instant;
+
+/// Deterministic xorshift64* stream, so the bin needs no RNG crate.
+struct XorShift(u64);
+
+impl XorShift {
+    fn next_f64(&mut self) -> f64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        // Map to [-1, 1).
+        (self.0 >> 11) as f64 / (1u64 << 52) as f64 - 1.0
+    }
+}
+
+fn observation_sequence(len: usize) -> Vec<f64> {
+    let mut rng = XorShift(0x9e37_79b9_7f4a_7c15);
+    (0..len)
+        .map(|t| {
+            let sign = if (t / 25) % 2 == 0 { 1.0 } else { -1.0 };
+            sign * 4.0 + rng.next_f64()
+        })
+        .collect()
+}
+
+fn truth_hmm() -> Hmm<SymmetricGaussianEmission> {
+    Hmm::new(
+        vec![0.5, 0.5],
+        vec![vec![0.9, 0.1], vec![0.1, 0.9]],
+        SymmetricGaussianEmission::new(4.0, 1.5).expect("valid emission"),
+    )
+    .expect("valid model")
+}
+
+/// Best-of-3 wall time of `f`, in microseconds.
+fn time_us(mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64() * 1e6);
+    }
+    best
+}
+
+fn main() {
+    let trainer = BaumWelch::default().max_iterations(25).tolerance(0.0);
+    let mut em = EmWorkspace::new();
+    let mut decode = DecodeWorkspace::new();
+
+    let mut fields: Vec<(&str, f64)> = Vec::new();
+    for (label, t_len) in [("em_t100_us", 100usize), ("em_t1k_us", 1_000), ("em_t10k_us", 10_000)] {
+        let obs = observation_sequence(t_len);
+        let us = time_us(|| {
+            let mut model = truth_hmm();
+            std::hint::black_box(trainer.train_into(&mut model, &obs, &mut em));
+        });
+        fields.push((label, us));
+    }
+
+    let obs10k = observation_sequence(10_000);
+    let hmm = truth_hmm();
+    fields.push((
+        "viterbi_t10k_us",
+        time_us(|| {
+            std::hint::black_box(viterbi_into(&hmm, &obs10k, &mut decode).len());
+        }),
+    ));
+
+    let mut streaming = StreamingViterbi::new(truth_hmm()).with_max_pending(64);
+    fields.push((
+        "streaming_push_t10k_us",
+        time_us(|| {
+            streaming.reset(truth_hmm());
+            for &o in &obs10k {
+                std::hint::black_box(streaming.push(o));
+            }
+        }),
+    ));
+
+    let sums: Vec<f64> = observation_sequence(10_000);
+    let mut acs_out = Vec::new();
+    fields.push((
+        "acs_rolling_10k_us",
+        time_us(|| {
+            AcsAggregator::windowed_into(&sums, 6, &mut acs_out);
+            std::hint::black_box(acs_out.last().copied());
+        }),
+    ));
+
+    let mut report = BenchReport::new("pr5_kernels");
+    report.push_point(&fields);
+    let json = report.to_json();
+    println!("{json}");
+    if let Some(path) = std::env::args().nth(1) {
+        std::fs::write(&path, format!("{json}\n")).expect("write bench report");
+        eprintln!("wrote {path}");
+    }
+}

@@ -112,17 +112,38 @@ impl AcsAggregator {
     /// per interval, computed in O(T).
     #[must_use]
     pub fn sequence(&self) -> Vec<f64> {
-        let n = self.interval_cs.len();
-        let mut out = Vec::with_capacity(n);
+        let mut out = Vec::with_capacity(self.interval_cs.len());
+        self.sequence_into(&mut out);
+        out
+    }
+
+    /// Writes the ACS observation sequence into `out` (cleared first),
+    /// reusing its capacity — the zero-allocation path the batch engine
+    /// takes per claim.
+    pub fn sequence_into(&self, out: &mut Vec<f64>) {
+        Self::windowed_into(&self.interval_cs, self.window, out);
+    }
+
+    /// Rolling windowed sum over arbitrary per-interval values: writes
+    /// `out[i] = Σ values[i+1−min(window, i+1) ..= i]` in O(T) into `out`
+    /// (cleared first). This is the ACS recurrence factored out so callers
+    /// holding their own per-interval buffer skip the aggregator entirely.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn windowed_into(values: &[f64], window: usize, out: &mut Vec<f64>) {
+        assert!(window > 0, "window must be at least one interval");
+        out.clear();
+        out.reserve(values.len());
         let mut rolling = 0.0;
-        for i in 0..n {
-            rolling += self.interval_cs[i];
-            if i >= self.window {
-                rolling -= self.interval_cs[i - self.window];
+        for i in 0..values.len() {
+            rolling += values[i];
+            if i >= window {
+                rolling -= values[i - window];
             }
             out.push(rolling);
         }
-        out
     }
 }
 
@@ -199,6 +220,32 @@ mod tests {
     fn out_of_range_interval_panics() {
         let mut a = AcsAggregator::new(2, 1);
         a.add(5, agree(0));
+    }
+
+    #[test]
+    fn sequence_into_reuses_buffer_and_matches_sequence() {
+        let mut a = AcsAggregator::new(6, 2);
+        for i in [0usize, 1, 1, 3, 5] {
+            a.add(i, agree(0));
+        }
+        let mut out = Vec::with_capacity(16);
+        let cap = out.capacity();
+        a.sequence_into(&mut out);
+        assert_eq!(out, a.sequence());
+        a.sequence_into(&mut out);
+        assert_eq!(out.capacity(), cap, "repeat fills must reuse the buffer");
+    }
+
+    #[test]
+    fn windowed_into_matches_aggregator_sequence() {
+        let values = [1.0, -0.5, 0.0, 2.0, 0.25];
+        let mut a = AcsAggregator::new(values.len(), 3);
+        for (i, &v) in values.iter().enumerate() {
+            a.add_score(i, v);
+        }
+        let mut out = Vec::new();
+        AcsAggregator::windowed_into(&values, 3, &mut out);
+        assert_eq!(out, a.sequence());
     }
 
     proptest! {

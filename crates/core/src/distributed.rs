@@ -69,6 +69,11 @@ impl From<DistributedError> for SstdError {
 /// workload. Results are reassembled into [`TruthEstimates`] that match
 /// [`SstdEngine::run`] exactly.
 ///
+/// Each task body runs [`SstdEngine::run_claim`], which keeps one
+/// [`ClaimWorkspace`](crate::ClaimWorkspace) per worker thread: however
+/// many claims a backend schedules onto a worker, that worker allocates
+/// its numeric scratch (EM tables, Viterbi lattice, ACS buffers) once.
+///
 /// The backend should be freshly configured (fault plan, retry policy,
 /// workers) and carry no undrained results from a previous run.
 ///

@@ -6,8 +6,12 @@
 // auditability.
 #![allow(clippy::needless_range_loop)]
 
-use crate::{AcsAggregator, ClaimTruthModel, ConfidenceEstimates, SstdConfig, TruthEstimates};
+use crate::{
+    AcsAggregator, ClaimTruthModel, ClaimWorkspace, ConfidenceEstimates, SstdConfig,
+    TruthEstimates,
+};
 use sstd_types::{ClaimId, Report, Trace, TruthLabel};
+use std::cell::RefCell;
 
 /// Partitions a trace's reports by claim — the decomposition that makes
 /// SSTD scalable (paper §III-E): each claim's sub-stream is an independent
@@ -85,8 +89,11 @@ impl SstdEngine {
         let num_intervals = trace.timeline().num_intervals();
         let mut labels_out = TruthEstimates::new(num_intervals);
         let mut conf_out = ConfidenceEstimates::new(num_intervals);
+        // One scratch arena for the whole run: every claim reuses the same
+        // EM tables, Viterbi lattice, and ACS buffers.
+        let mut ws = ClaimWorkspace::new();
         for (claim, reports) in claim_partition(trace) {
-            let (labels, confidence) = self.decode_claim(trace, &reports, num_intervals);
+            let (labels, confidence) = self.decode_claim_with(trace, &reports, num_intervals, &mut ws);
             labels_out.insert(claim, labels);
             conf_out.insert(claim, confidence);
         }
@@ -95,40 +102,50 @@ impl SstdEngine {
 
     /// Runs truth discovery for a single claim's reports — the body of one
     /// distributed TD job (paper §III-E). `trace` supplies the timeline.
+    ///
+    /// Each worker thread keeps one [`ClaimWorkspace`] in thread-local
+    /// storage, so the per-claim jobs a runtime backend schedules onto a
+    /// worker pool reuse the numeric scratch buffers across tasks instead
+    /// of reallocating them per claim.
     #[must_use]
     pub fn run_claim(&self, trace: &Trace, claim: ClaimId) -> Vec<TruthLabel> {
+        thread_local! {
+            static WS: RefCell<ClaimWorkspace> = RefCell::new(ClaimWorkspace::new());
+        }
         let reports = trace.reports_for_claim(claim);
-        self.decode_claim(trace, &reports, trace.timeline().num_intervals()).0
+        let num_intervals = trace.timeline().num_intervals();
+        WS.with(|ws| self.decode_claim_with(trace, &reports, num_intervals, &mut ws.borrow_mut()).0)
     }
 
-    fn decode_claim(
+    fn decode_claim_with(
         &self,
         trace: &Trace,
         reports: &[Report],
         num_intervals: usize,
+        ws: &mut ClaimWorkspace,
     ) -> (Vec<TruthLabel>, Vec<f64>) {
         // First pass with window 1 to count evidence-bearing intervals,
         // then the real aggregation with the (possibly adaptive) window.
-        let mut per_interval = vec![0.0f64; num_intervals];
+        ws.per_interval.clear();
+        ws.per_interval.resize(num_intervals, 0.0);
         for r in reports {
-            per_interval[trace.timeline().interval_of(r.time())] += r.contribution_score().value();
+            ws.per_interval[trace.timeline().interval_of(r.time())] +=
+                r.contribution_score().value();
         }
-        let evidence_intervals = per_interval.iter().filter(|v| v.abs() > 1e-12).count();
+        let evidence_intervals = ws.per_interval.iter().filter(|v| v.abs() > 1e-12).count();
         let window = self.config.window_for(num_intervals, evidence_intervals);
-        let mut agg = AcsAggregator::new(num_intervals, window);
-        for (iv, &cs) in per_interval.iter().enumerate() {
-            if cs != 0.0 {
-                agg.add_score(iv, cs);
-            }
-        }
-        let acs = agg.sequence();
+        AcsAggregator::windowed_into(&ws.per_interval, window, &mut ws.acs);
         // Evidence-free claims default to False — asserting an unreported
         // claim true has no support.
-        if acs.iter().map(|a| a.abs()).fold(0.0f64, f64::max) <= self.config.evidence_floor {
+        if ws.acs.iter().map(|a| a.abs()).fold(0.0f64, f64::max) <= self.config.evidence_floor {
             return (vec![TruthLabel::False; num_intervals], vec![0.5; num_intervals]);
         }
-        let model = ClaimTruthModel::fit(&self.config, &acs);
-        (model.decode(&acs), model.posterior_true(&acs))
+        let model = ClaimTruthModel::fit_with(&self.config, &ws.acs, &mut ws.em);
+        let mut labels = Vec::with_capacity(num_intervals);
+        model.decode_into(&ws.acs, &mut ws.decode, &mut labels);
+        let mut confidence = Vec::with_capacity(num_intervals);
+        model.posterior_true_into(&ws.acs, &mut ws.em, &mut confidence);
+        (labels, confidence)
     }
 }
 
@@ -219,6 +236,39 @@ mod tests {
         let trace = Trace::new("sparse", reports, 1, 4, timeline, gt);
         let est = SstdEngine::new(SstdConfig::default()).run(&trace);
         assert_eq!(est.num_claims(), 4);
+    }
+
+    #[test]
+    fn shared_workspace_across_claims_matches_per_claim_runs() {
+        // Four claims with very different evidence densities exercise the
+        // workspace at several shapes within one run; per-claim runs (their
+        // own workspace lifecycle) must agree exactly.
+        let timeline = Timeline::new(Timestamp::from_secs(100), 10);
+        let mut gt = GroundTruth::new(10);
+        let mut reports = Vec::new();
+        for c in 0..4u32 {
+            gt.insert(ClaimId::new(c), vec![TruthLabel::True; 10]);
+            for k in 0..(c * 8) {
+                let att = if k % 5 == 0 { Attitude::Disagree } else { Attitude::Agree };
+                reports.push(Report::plain(
+                    SourceId::new(k % 3),
+                    ClaimId::new(c),
+                    Timestamp::from_secs(u64::from(k * 97 % 100)),
+                    att,
+                ));
+            }
+        }
+        let trace = Trace::new("mixed", reports, 3, 4, timeline, gt);
+        let engine = SstdEngine::new(SstdConfig::default());
+        let whole = engine.run(&trace);
+        for c in 0..4u32 {
+            let claim = ClaimId::new(c);
+            assert_eq!(
+                whole.labels(claim).unwrap(),
+                engine.run_claim(&trace, claim).as_slice(),
+                "claim {c}"
+            );
+        }
     }
 
     #[test]

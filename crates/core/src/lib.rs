@@ -57,6 +57,7 @@ mod engine;
 mod estimates;
 mod model;
 mod streaming;
+mod workspace;
 
 pub use acs::AcsAggregator;
 pub use config::{SstdConfig, SstdConfigBuilder};
@@ -67,3 +68,4 @@ pub use estimates::{ConfidenceEstimates, TruthEstimates};
 pub use model::{BinnedClaimTruthModel, ClaimTruthModel};
 pub use sstd_obs::{StreamTelemetry, StreamTick};
 pub use streaming::StreamingSstd;
+pub use workspace::ClaimWorkspace;

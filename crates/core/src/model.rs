@@ -2,7 +2,8 @@
 
 use crate::SstdConfig;
 use sstd_hmm::{
-    forward_backward, viterbi, BaumWelch, GaussianEmission, Hmm, SymmetricGaussianEmission,
+    forward_backward_into, viterbi, viterbi_into, BaumWelch, DecodeWorkspace, EmWorkspace,
+    GaussianEmission, Hmm, SymmetricGaussianEmission,
 };
 use sstd_types::TruthLabel;
 
@@ -60,15 +61,22 @@ impl ClaimTruthModel {
     /// initial model is returned.
     #[must_use]
     pub fn fit(config: &SstdConfig, acs: &[f64]) -> Self {
+        Self::fit_with(config, acs, &mut EmWorkspace::new())
+    }
+
+    /// [`fit`](Self::fit) against a caller-owned EM scratch arena, so a
+    /// worker fitting many claims reuses one set of forward–backward
+    /// tables instead of allocating them per claim. Identical results.
+    #[must_use]
+    pub fn fit_with(config: &SstdConfig, acs: &[f64], em: &mut EmWorkspace) -> Self {
         let mut model = Self::initial(config, acs);
         if !config.train || acs.len() < 2 {
             return model;
         }
-        let outcome = BaumWelch::default()
+        BaumWelch::default()
             .max_iterations(config.em_iterations)
             .tolerance(config.em_tolerance)
-            .train(model.hmm, acs);
-        model.hmm = outcome.model;
+            .train_into(&mut model.hmm, acs, em);
         model.trained = true;
         // Identify the "true" state by emission mean (EM can in principle
         // flip the sign of the shared separation parameter).
@@ -114,7 +122,26 @@ impl ClaimTruthModel {
     /// Decodes the truth sequence for `acs` with Viterbi (paper Eq. 6–8).
     #[must_use]
     pub fn decode(&self, acs: &[f64]) -> Vec<TruthLabel> {
-        viterbi(&self.hmm, acs).into_iter().map(|s| self.label_of(s)).collect()
+        let mut out = Vec::new();
+        self.decode_into(acs, &mut DecodeWorkspace::new(), &mut out);
+        out
+    }
+
+    /// [`decode`](Self::decode) into caller-owned buffers: the Viterbi
+    /// lattice lives in `decode`, the labels land in `out` (cleared
+    /// first). Identical results.
+    pub fn decode_into(
+        &self,
+        acs: &[f64],
+        decode: &mut DecodeWorkspace,
+        out: &mut Vec<TruthLabel>,
+    ) {
+        let path = viterbi_into(&self.hmm, acs, decode);
+        out.clear();
+        out.reserve(path.len());
+        for &s in path {
+            out.push(self.label_of(s));
+        }
     }
 
     /// Per-interval posterior probability that the claim is *true*, from
@@ -126,17 +153,28 @@ impl ClaimTruthModel {
     /// (say, an alerting threshold) actually wants.
     #[must_use]
     pub fn posterior_true(&self, acs: &[f64]) -> Vec<f64> {
-        let post = forward_backward(&self.hmm, acs);
-        post.gamma
-            .into_iter()
-            .map(|row| {
+        let mut out = Vec::new();
+        self.posterior_true_into(acs, &mut EmWorkspace::new(), &mut out);
+        out
+    }
+
+    /// [`posterior_true`](Self::posterior_true) against caller-owned
+    /// buffers: the smoothing tables live in `em`, the posteriors land in
+    /// `out` (cleared first). Identical results.
+    pub fn posterior_true_into(&self, acs: &[f64], em: &mut EmWorkspace, out: &mut Vec<f64>) {
+        forward_backward_into(&self.hmm, acs, em);
+        let gamma = em.gamma();
+        out.clear();
+        out.reserve(gamma.rows());
+        for row in gamma.iter() {
+            out.push(
                 row.iter()
                     .enumerate()
                     .filter(|&(s, _)| self.label_of(s) == TruthLabel::True)
                     .map(|(_, &g)| g)
-                    .sum()
-            })
-            .collect()
+                    .sum(),
+            );
+        }
     }
 }
 
@@ -233,6 +271,29 @@ mod tests {
         let post = model.posterior_true(&[0.0, 0.0, 0.0]);
         for p in post {
             assert!((p - 0.5).abs() < 0.05, "no-evidence posterior ≈ 0.5: {p}");
+        }
+    }
+
+    #[test]
+    fn workspace_paths_match_allocating_paths_exactly() {
+        let acs = flip_sequence();
+        let cfg = SstdConfig::default();
+        let mut em = EmWorkspace::new();
+        let mut dec = DecodeWorkspace::new();
+        let mut labels = Vec::new();
+        let mut post = Vec::new();
+        // Run twice with the same reused workspaces: results must be
+        // bit-identical to the allocating wrappers both times.
+        for _ in 0..2 {
+            let with_ws = ClaimTruthModel::fit_with(&cfg, &acs, &mut em);
+            let plain = ClaimTruthModel::fit(&cfg, &acs);
+            assert_eq!(with_ws.hmm(), plain.hmm());
+            assert_eq!(with_ws.true_state(), plain.true_state());
+            assert_eq!(with_ws.is_trained(), plain.is_trained());
+            with_ws.decode_into(&acs, &mut dec, &mut labels);
+            assert_eq!(labels, plain.decode(&acs));
+            with_ws.posterior_true_into(&acs, &mut em, &mut post);
+            assert_eq!(post, plain.posterior_true(&acs));
         }
     }
 

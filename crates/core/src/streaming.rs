@@ -7,8 +7,8 @@
 //! "All TD jobs are running in parallel and new TD jobs will be
 //! dynamically spawned when new claims are generated").
 
-use crate::{ClaimTruthModel, SstdConfig, TruthEstimates};
-use sstd_hmm::{Hmm, StreamingViterbi, SymmetricGaussianEmission};
+use crate::{ClaimTruthModel, ClaimWorkspace, SstdConfig, TruthEstimates};
+use sstd_hmm::{EmWorkspace, Hmm, StreamingViterbi, SymmetricGaussianEmission};
 use sstd_obs::{StreamTelemetry, StreamTick};
 use sstd_types::{ClaimId, Report, Timeline, TruthLabel};
 use std::collections::BTreeMap;
@@ -54,23 +54,34 @@ impl ClaimStream {
     /// (paper deployments retrain offline as the stream accumulates) and
     /// rebuilds the online decoder by replaying history through it.
     /// Past decisions stay frozen — they were already emitted.
-    fn maybe_refit(&mut self, config: &SstdConfig) {
+    ///
+    /// `em` is the engine-wide EM scratch arena; an existing decoder is
+    /// [`reset`](StreamingViterbi::reset) rather than rebuilt, so its
+    /// pending-window columns are recycled across refits.
+    fn maybe_refit(&mut self, config: &SstdConfig, em: &mut EmWorkspace) {
         if !config.train || config.streaming_refit == 0 {
             return;
         }
         if !self.history.len().is_multiple_of(config.streaming_refit) || self.history.is_empty() {
             return;
         }
-        let model = ClaimTruthModel::fit(config, &self.history);
-        let mut decoder = StreamingViterbi::new(model.hmm().clone()).with_max_pending(64);
+        let model = ClaimTruthModel::fit_with(config, &self.history, em);
+        let decoder = match &mut self.decoder {
+            Some(dec) => {
+                dec.reset(model.hmm().clone());
+                dec
+            }
+            None => self
+                .decoder
+                .insert(StreamingViterbi::new(model.hmm().clone()).with_max_pending(64)),
+        };
         for &obs in &self.history {
             let _ = decoder.push(obs);
         }
-        self.decoder = Some(decoder);
         self.model = Some(model);
     }
 
-    fn close_interval(&mut self, config: &SstdConfig) {
+    fn close_interval(&mut self, config: &SstdConfig, em: &mut EmWorkspace) {
         let acs: f64 = self.open_cs + self.window.iter().sum::<f64>();
 
         let decoder = self.decoder.get_or_insert_with(|| {
@@ -103,7 +114,7 @@ impl ClaimStream {
         self.decisions.push(label);
 
         self.history.push(acs);
-        self.maybe_refit(config);
+        self.maybe_refit(config, em);
 
         self.window.push_back(self.open_cs);
         if self.window.len() >= config.window {
@@ -145,6 +156,8 @@ pub struct StreamingSstd {
     telemetry: Option<StreamTelemetry>,
     /// Reports ingested into the currently open interval.
     interval_reports: u64,
+    /// Engine-wide scratch arena shared by every claim's refits.
+    workspace: ClaimWorkspace,
 }
 
 impl StreamingSstd {
@@ -159,6 +172,7 @@ impl StreamingSstd {
             reports_seen: 0,
             telemetry: None,
             interval_reports: 0,
+            workspace: ClaimWorkspace::new(),
         }
     }
 
@@ -227,7 +241,7 @@ impl StreamingSstd {
         let started = self.telemetry.is_some().then(Instant::now);
         let mut flips = 0usize;
         for stream in self.claims.values_mut() {
-            stream.close_interval(&self.config);
+            stream.close_interval(&self.config, &mut self.workspace.em);
             if started.is_some() {
                 let d = &stream.decisions;
                 if d.len() >= 2 && d[d.len() - 1] != d[d.len() - 2] {

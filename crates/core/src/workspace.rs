@@ -1,0 +1,53 @@
+//! Per-worker scratch arenas for claim processing.
+//!
+//! Decoding one claim needs a handful of dense buffers: the per-interval
+//! contribution sums, the windowed ACS sequence, the forward–backward
+//! tables EM iterates over, and the Viterbi lattice. None of them carry
+//! state between claims, so a worker that processes thousands of claims
+//! can allocate them once and reuse them for every task — that is what
+//! [`ClaimWorkspace`] packages. The engine keeps one per worker thread
+//! (see [`run_claim`](crate::SstdEngine::run_claim)) and one per batch
+//! run; results are bit-identical to the allocating paths.
+
+use sstd_hmm::{DecodeWorkspace, EmWorkspace};
+
+/// All scratch buffers one worker needs to decode one claim end to end.
+///
+/// The fields are public on purpose: callers routinely need *disjoint*
+/// mutable borrows (for example `&ws.acs` as the observation sequence
+/// while `&mut ws.em` receives the smoothing tables), which field access
+/// permits and an accessor method would forbid.
+///
+/// # Examples
+///
+/// ```
+/// use sstd_core::{ClaimTruthModel, ClaimWorkspace, SstdConfig};
+///
+/// let acs = vec![4.0, 4.2, 3.9, -4.1, -4.0, -3.8];
+/// let mut ws = ClaimWorkspace::new();
+/// let model = ClaimTruthModel::fit_with(&SstdConfig::default(), &acs, &mut ws.em);
+/// let mut labels = Vec::new();
+/// model.decode_into(&acs, &mut ws.decode, &mut labels);
+/// assert_eq!(labels, model.decode(&acs));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ClaimWorkspace {
+    /// Forward–backward tables (α, β, γ, ξ, emission cache) reused across
+    /// every EM iteration and every claim.
+    pub em: EmWorkspace,
+    /// Viterbi lattice (δ rows, backpointers, decoded path).
+    pub decode: DecodeWorkspace,
+    /// The windowed ACS observation sequence of the current claim.
+    pub acs: Vec<f64>,
+    /// Per-interval contribution-score sums of the current claim.
+    pub per_interval: Vec<f64>,
+}
+
+impl ClaimWorkspace {
+    /// Creates an empty workspace; buffers grow to the first claim's shape
+    /// and are reused afterwards.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}

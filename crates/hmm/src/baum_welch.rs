@@ -7,7 +7,7 @@
 // auditability.
 #![allow(clippy::needless_range_loop)]
 
-use crate::forward::forward_backward;
+use crate::forward::{forward_backward_into, EmWorkspace};
 use crate::{Hmm, TrainableEmission};
 
 /// Configuration for the Baum–Welch trainer.
@@ -33,6 +33,19 @@ pub struct BaumWelch {
 pub struct TrainOutcome<E> {
     /// The trained model.
     pub model: Hmm<E>,
+    /// Log-likelihood of the data under the final parameters.
+    pub log_likelihood: f64,
+    /// EM iterations actually performed.
+    pub iterations: usize,
+    /// Whether the log-likelihood improvement dropped below the tolerance
+    /// before the iteration cap was hit.
+    pub converged: bool,
+}
+
+/// Convergence diagnostics of an in-place [`BaumWelch::train_into`] run
+/// (the model itself is updated through the `&mut` argument).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainStats {
     /// Log-likelihood of the data under the final parameters.
     pub log_likelihood: f64,
     /// EM iterations actually performed.
@@ -96,32 +109,54 @@ impl BaumWelch {
     /// Runs EM from `initial` on `observations` until convergence or the
     /// iteration cap.
     ///
-    /// Training on an empty observation sequence returns the initial model
-    /// unchanged (zero iterations, converged).
+    /// Allocating wrapper over [`train_into`](Self::train_into): same
+    /// numerics, fresh internal workspace. Training on an empty
+    /// observation sequence returns the initial model unchanged (zero
+    /// iterations, converged).
     pub fn train<E: TrainableEmission>(
         &self,
         initial: Hmm<E>,
         observations: &[E::Obs],
     ) -> TrainOutcome<E> {
-        let n = initial.num_states();
+        let mut model = initial;
+        let mut ws = EmWorkspace::new();
+        let stats = self.train_into(&mut model, observations, &mut ws);
+        TrainOutcome {
+            model,
+            log_likelihood: stats.log_likelihood,
+            iterations: stats.iterations,
+            converged: stats.converged,
+        }
+    }
+
+    /// Runs EM in place on `model`, using `ws` for every E-step table and
+    /// re-estimating `(π, A, B)` directly into the model's storage.
+    ///
+    /// After the workspace has warmed up to the sequence shape, each EM
+    /// iteration performs **zero heap allocations** — the property the
+    /// per-claim task loop relies on when one workspace serves thousands
+    /// of claims on a worker.
+    ///
+    /// An empty observation sequence leaves `model` untouched (zero
+    /// iterations, converged).
+    pub fn train_into<E: TrainableEmission>(
+        &self,
+        model: &mut Hmm<E>,
+        observations: &[E::Obs],
+        ws: &mut EmWorkspace,
+    ) -> TrainStats {
+        let n = model.num_states();
         if observations.is_empty() {
-            return TrainOutcome {
-                model: initial,
-                log_likelihood: 0.0,
-                iterations: 0,
-                converged: true,
-            };
+            return TrainStats { log_likelihood: 0.0, iterations: 0, converged: true };
         }
 
-        let mut model = initial;
         let mut prev_ll = f64::NEG_INFINITY;
         let mut iterations = 0;
         let mut converged = false;
         let mut last_ll = prev_ll;
 
         for _ in 0..self.max_iterations {
-            let post = forward_backward(&model, observations);
-            last_ll = post.log_likelihood;
+            last_ll = forward_backward_into(model, observations, ws);
             iterations += 1;
             if (last_ll - prev_ll).abs() < self.tolerance && prev_ll.is_finite() {
                 converged = true;
@@ -129,27 +164,35 @@ impl BaumWelch {
             }
             prev_ll = last_ll;
 
-            // M-step.
-            let (_, _, mut emission) = model.into_parts();
-            // π update: γ_0, floored and renormalized.
-            let mut init: Vec<f64> = post.gamma[0].clone();
-            floor_and_normalize(&mut init, self.prob_floor);
-            // A update: ξ sums over γ sums (excluding the last step).
-            let mut trans = vec![vec![0.0; n]; n];
-            for i in 0..n {
-                let denom: f64 = post.gamma[..post.gamma.len() - 1].iter().map(|g| g[i]).sum();
-                for j in 0..n {
-                    trans[i][j] =
-                        if denom > 0.0 { post.xi_sum[i][j] / denom } else { 1.0 / n as f64 };
+            // M-step, in place. `floor_and_normalize` keeps every row
+            // stochastic, so the model invariants hold without a rebuild.
+            {
+                let gamma = ws.gamma();
+                let xi_sum = ws.xi_sum();
+                let t_len = gamma.rows();
+                let (init, trans, emission) = model.m_step_mut();
+                // π update: γ_0, floored and renormalized.
+                init.copy_from_slice(gamma.row(0));
+                floor_and_normalize(init, self.prob_floor);
+                // A update: ξ sums over γ sums (excluding the last step).
+                for i in 0..n {
+                    let mut denom = 0.0;
+                    for t in 0..t_len - 1 {
+                        denom += gamma[(t, i)];
+                    }
+                    let row = trans.row_mut(i);
+                    for j in 0..n {
+                        row[j] =
+                            if denom > 0.0 { xi_sum[(i, j)] / denom } else { 1.0 / n as f64 };
+                    }
+                    floor_and_normalize(row, self.prob_floor);
                 }
-                floor_and_normalize(&mut trans[i], self.prob_floor);
+                emission.reestimate_gamma(observations, gamma);
             }
-            emission.reestimate(observations, &post.gamma);
-            model = Hmm::new(init, trans, emission)
-                .expect("floored re-estimated parameters are stochastic");
+            model.refresh_log_trans();
         }
 
-        TrainOutcome { model, log_likelihood: last_ll, iterations, converged }
+        TrainStats { log_likelihood: last_ll, iterations, converged }
     }
 }
 
@@ -290,5 +333,31 @@ mod tests {
     #[should_panic(expected = "at least one iteration")]
     fn zero_iterations_rejected() {
         let _ = BaumWelch::default().max_iterations(0);
+    }
+
+    #[test]
+    fn train_into_matches_train_exactly() {
+        let (obs, _) = simulate(300, 0.95, 2.0, 11);
+        let trainer = BaumWelch::default().max_iterations(20);
+        let initial = two_state_gaussian(0.8);
+        let out = trainer.train(initial.clone(), &obs);
+        let mut model = initial;
+        let mut ws = EmWorkspace::new();
+        let stats = trainer.train_into(&mut model, &obs, &mut ws);
+        assert_eq!(model, out.model, "in-place training must be bit-identical");
+        assert_eq!(stats.log_likelihood, out.log_likelihood);
+        assert_eq!(stats.iterations, out.iterations);
+        assert_eq!(stats.converged, out.converged);
+    }
+
+    #[test]
+    fn train_into_empty_observations_leave_model_untouched() {
+        let init = two_state_gaussian(1.0);
+        let mut model = init.clone();
+        let mut ws = EmWorkspace::new();
+        let stats = BaumWelch::default().train_into(&mut model, &[], &mut ws);
+        assert_eq!(model, init);
+        assert_eq!(stats.iterations, 0);
+        assert!(stats.converged);
     }
 }

@@ -1,5 +1,6 @@
 //! Emission models: how hidden states generate observations.
 
+use crate::mat::Mat;
 use sstd_stats::dist::{DistError, Normal};
 
 /// A per-state observation distribution.
@@ -29,6 +30,19 @@ pub trait TrainableEmission: Emission {
     ///
     /// `posteriors` has one row per observation; each row sums to 1.
     fn reestimate(&mut self, observations: &[Self::Obs], posteriors: &[Vec<f64>]);
+
+    /// Like [`reestimate`](TrainableEmission::reestimate), but reads γ
+    /// from a flat [`Mat`] (`gamma[(t, state)]`) so trainers can hand over
+    /// workspace-owned posteriors directly.
+    ///
+    /// The default implementation re-nests the rows and delegates to
+    /// [`reestimate`](TrainableEmission::reestimate); every emission in
+    /// this crate overrides it with an allocation-free version that
+    /// produces bit-identical parameters.
+    fn reestimate_gamma(&mut self, observations: &[Self::Obs], gamma: &Mat) {
+        let rows: Vec<Vec<f64>> = gamma.iter().map(<[f64]>::to_vec).collect();
+        self.reestimate(observations, &rows);
+    }
 }
 
 /// Gaussian emission: each state emits `N(μ_s, σ_s²)` over `f64`
@@ -91,6 +105,31 @@ impl GaussianEmission {
         let n = &self.states[state];
         (n.mean(), n.std_dev())
     }
+
+    /// Shared M-step over any γ accessor `g(t, state)`; both
+    /// `reestimate` entry points funnel here so they cannot diverge.
+    fn reestimate_with(&mut self, observations: &[f64], g: impl Fn(usize, usize) -> f64) {
+        for s in 0..self.states.len() {
+            let weight: f64 = (0..observations.len()).map(|t| g(t, s)).sum();
+            if weight <= f64::EPSILON {
+                continue; // state got no responsibility; keep old params
+            }
+            let mean: f64 = observations
+                .iter()
+                .enumerate()
+                .map(|(t, &x)| g(t, s) * x)
+                .sum::<f64>()
+                / weight;
+            let var: f64 = observations
+                .iter()
+                .enumerate()
+                .map(|(t, &x)| g(t, s) * (x - mean) * (x - mean))
+                .sum::<f64>()
+                / weight;
+            let std = var.sqrt().max(self.min_std);
+            self.states[s] = Normal::new(mean, std).expect("floored std is valid");
+        }
+    }
 }
 
 impl Emission for GaussianEmission {
@@ -108,22 +147,12 @@ impl Emission for GaussianEmission {
 impl TrainableEmission for GaussianEmission {
     fn reestimate(&mut self, observations: &[f64], posteriors: &[Vec<f64>]) {
         debug_assert_eq!(observations.len(), posteriors.len());
-        for s in 0..self.states.len() {
-            let weight: f64 = posteriors.iter().map(|g| g[s]).sum();
-            if weight <= f64::EPSILON {
-                continue; // state got no responsibility; keep old params
-            }
-            let mean: f64 =
-                observations.iter().zip(posteriors).map(|(&x, g)| g[s] * x).sum::<f64>() / weight;
-            let var: f64 = observations
-                .iter()
-                .zip(posteriors)
-                .map(|(&x, g)| g[s] * (x - mean) * (x - mean))
-                .sum::<f64>()
-                / weight;
-            let std = var.sqrt().max(self.min_std);
-            self.states[s] = Normal::new(mean, std).expect("floored std is valid");
-        }
+        self.reestimate_with(observations, |t, s| posteriors[t][s]);
+    }
+
+    fn reestimate_gamma(&mut self, observations: &[f64], gamma: &Mat) {
+        debug_assert_eq!(observations.len(), gamma.rows());
+        self.reestimate_with(observations, |t, s| gamma[(t, s)]);
     }
 }
 
@@ -207,6 +236,31 @@ impl SymmetricGaussianEmission {
             _ => panic!("symmetric emission has exactly two states"),
         }
     }
+
+    /// Shared M-step over any γ accessor `g(t, state)`.
+    fn reestimate_with(&mut self, observations: &[f64], g: impl Fn(usize, usize) -> f64) {
+        if observations.is_empty() {
+            return;
+        }
+        let n = observations.len() as f64;
+        // μ maximizes the constrained likelihood:
+        // μ = Σ_t (γ₀(t) − γ₁(t))·x_t / Σ_t (γ₀(t) + γ₁(t)).
+        let mu: f64 = observations
+            .iter()
+            .enumerate()
+            .map(|(t, &x)| (g(t, 0) - g(t, 1)) * x)
+            .sum::<f64>()
+            / n;
+        // Shared σ² over both states' residuals.
+        let var: f64 = observations
+            .iter()
+            .enumerate()
+            .map(|(t, &x)| g(t, 0) * (x - mu) * (x - mu) + g(t, 1) * (x + mu) * (x + mu))
+            .sum::<f64>()
+            / n;
+        self.mu = mu;
+        self.std = var.sqrt().max(self.min_std);
+    }
 }
 
 impl Emission for SymmetricGaussianEmission {
@@ -225,27 +279,20 @@ impl Emission for SymmetricGaussianEmission {
 impl TrainableEmission for SymmetricGaussianEmission {
     fn reestimate(&mut self, observations: &[f64], posteriors: &[Vec<f64>]) {
         debug_assert_eq!(observations.len(), posteriors.len());
-        if observations.is_empty() {
-            return;
-        }
-        let n = observations.len() as f64;
-        // μ maximizes the constrained likelihood:
-        // μ = Σ_t (γ₀(t) − γ₁(t))·x_t / Σ_t (γ₀(t) + γ₁(t)).
-        let mu: f64 =
-            observations.iter().zip(posteriors).map(|(&x, g)| (g[0] - g[1]) * x).sum::<f64>() / n;
-        // Shared σ² over both states' residuals.
-        let var: f64 = observations
-            .iter()
-            .zip(posteriors)
-            .map(|(&x, g)| g[0] * (x - mu) * (x - mu) + g[1] * (x + mu) * (x + mu))
-            .sum::<f64>()
-            / n;
-        self.mu = mu;
-        self.std = var.sqrt().max(self.min_std);
+        self.reestimate_with(observations, |t, s| posteriors[t][s]);
+    }
+
+    fn reestimate_gamma(&mut self, observations: &[f64], gamma: &Mat) {
+        debug_assert_eq!(observations.len(), gamma.rows());
+        self.reestimate_with(observations, |t, s| gamma[(t, s)]);
     }
 }
 
 /// Categorical emission: each state emits one of `K` discrete symbols.
+///
+/// Symbol probabilities are stored flat row-major with the element-wise
+/// log table cached at construction, so [`log_prob`](Emission::log_prob)
+/// is a table lookup instead of an `ln` per call.
 ///
 /// # Examples
 ///
@@ -260,8 +307,11 @@ impl TrainableEmission for SymmetricGaussianEmission {
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct CategoricalEmission {
-    /// `probs[state][symbol]`, each row stochastic.
-    probs: Vec<Vec<f64>>,
+    /// `probs[(state, symbol)]`, each row stochastic.
+    probs: Mat,
+    /// Cached `ln probs[(state, symbol)]`; refreshed per row whenever the
+    /// row is re-estimated.
+    log_probs: Mat,
     floor: f64,
 }
 
@@ -293,13 +343,20 @@ impl CategoricalEmission {
                 return Err(DistError::invalid("categorical", "rows must sum to 1"));
             }
         }
-        Ok(Self { probs, floor: Self::DEFAULT_FLOOR })
+        let probs = Mat::from_rows(&probs);
+        let mut log_probs = Mat::zeros(probs.rows(), probs.cols());
+        for s in 0..probs.rows() {
+            for (d, &p) in log_probs.row_mut(s).iter_mut().zip(probs.row(s)) {
+                *d = p.ln();
+            }
+        }
+        Ok(Self { probs, log_probs, floor: Self::DEFAULT_FLOOR })
     }
 
     /// Number of distinct symbols.
     #[must_use]
     pub fn num_symbols(&self) -> usize {
-        self.probs[0].len()
+        self.probs.cols()
     }
 
     /// Probability of `symbol` in `state`.
@@ -309,7 +366,42 @@ impl CategoricalEmission {
     /// Panics if either index is out of range.
     #[must_use]
     pub fn prob(&self, state: usize, symbol: usize) -> f64 {
-        self.probs[state][symbol]
+        self.probs[(state, symbol)]
+    }
+
+    /// Recomputes the cached log row after `probs.row(s)` changed.
+    fn refresh_log_row(&mut self, s: usize) {
+        let src = self.probs.row(s);
+        let dst = self.log_probs.row_mut(s);
+        for (d, &p) in dst.iter_mut().zip(src) {
+            *d = p.ln();
+        }
+    }
+
+    /// Shared M-step over any γ accessor `g(t, state)`: accumulate into
+    /// the row in place, floor, renormalize, refresh the log cache.
+    fn reestimate_with(&mut self, observations: &[usize], g: impl Fn(usize, usize) -> f64) {
+        for s in 0..self.probs.rows() {
+            let weight: f64 = (0..observations.len()).map(|t| g(t, s)).sum();
+            if weight <= f64::EPSILON {
+                continue;
+            }
+            let row = self.probs.row_mut(s);
+            row.fill(0.0);
+            for (t, &o) in observations.iter().enumerate() {
+                row[o] += g(t, s);
+            }
+            // Floor and renormalize.
+            let mut total = 0.0;
+            for p in row.iter_mut() {
+                *p = (*p / weight).max(self.floor);
+                total += *p;
+            }
+            for p in row.iter_mut() {
+                *p /= total;
+            }
+            self.refresh_log_row(s);
+        }
     }
 }
 
@@ -317,39 +409,24 @@ impl Emission for CategoricalEmission {
     type Obs = usize;
 
     fn num_states(&self) -> usize {
-        self.probs.len()
+        self.probs.rows()
     }
 
     fn log_prob(&self, state: usize, obs: usize) -> f64 {
         assert!(obs < self.num_symbols(), "symbol {obs} out of range");
-        self.probs[state][obs].ln()
+        self.log_probs[(state, obs)]
     }
 }
 
 impl TrainableEmission for CategoricalEmission {
     fn reestimate(&mut self, observations: &[usize], posteriors: &[Vec<f64>]) {
         debug_assert_eq!(observations.len(), posteriors.len());
-        let k = self.num_symbols();
-        for s in 0..self.probs.len() {
-            let weight: f64 = posteriors.iter().map(|g| g[s]).sum();
-            if weight <= f64::EPSILON {
-                continue;
-            }
-            let mut row = vec![0.0; k];
-            for (&o, g) in observations.iter().zip(posteriors) {
-                row[o] += g[s];
-            }
-            // Floor and renormalize.
-            let mut total = 0.0;
-            for p in &mut row {
-                *p = (*p / weight).max(self.floor);
-                total += *p;
-            }
-            for p in &mut row {
-                *p /= total;
-            }
-            self.probs[s] = row;
-        }
+        self.reestimate_with(observations, |t, s| posteriors[t][s]);
+    }
+
+    fn reestimate_gamma(&mut self, observations: &[usize], gamma: &Mat) {
+        debug_assert_eq!(observations.len(), gamma.rows());
+        self.reestimate_with(observations, |t, s| gamma[(t, s)]);
     }
 }
 
@@ -410,6 +487,24 @@ mod tests {
     }
 
     #[test]
+    fn categorical_log_prob_is_cached_ln_of_prob() {
+        let mut e =
+            CategoricalEmission::new(vec![vec![0.7, 0.2, 0.1], vec![0.1, 0.1, 0.8]]).unwrap();
+        for s in 0..2 {
+            for k in 0..3 {
+                assert_eq!(e.log_prob(s, k), e.prob(s, k).ln(), "({s},{k})");
+            }
+        }
+        // The cache must track re-estimation too.
+        e.reestimate(&[0, 0, 2], &vec![vec![0.9, 0.1]; 3]);
+        for s in 0..2 {
+            for k in 0..3 {
+                assert_eq!(e.log_prob(s, k), e.prob(s, k).ln(), "post-reestimate ({s},{k})");
+            }
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "out of range")]
     fn categorical_rejects_unknown_symbol() {
         let e = CategoricalEmission::new(vec![vec![1.0]]).unwrap();
@@ -425,6 +520,32 @@ mod tests {
         assert!(e.prob(0, 1) > 0.0, "unseen symbol keeps floor probability");
         let sum: f64 = (0..2).map(|k| e.prob(0, k)).sum();
         assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reestimate_gamma_matches_nested_reestimate() {
+        let post = vec![vec![0.7, 0.3], vec![0.2, 0.8], vec![0.9, 0.1], vec![0.5, 0.5]];
+        let gamma = Mat::from_rows(&post);
+
+        let obs_f = [2.0, -2.0, 3.0, -0.5];
+        let mut a = GaussianEmission::new(vec![(1.0, 1.0), (-1.0, 1.0)]).unwrap();
+        let mut b = a.clone();
+        a.reestimate(&obs_f, &post);
+        b.reestimate_gamma(&obs_f, &gamma);
+        assert_eq!(a, b);
+
+        let mut a = SymmetricGaussianEmission::new(1.0, 1.0).unwrap();
+        let mut b = a.clone();
+        a.reestimate(&obs_f, &post);
+        b.reestimate_gamma(&obs_f, &gamma);
+        assert_eq!(a, b);
+
+        let obs_k = [0usize, 1, 0, 1];
+        let mut a = CategoricalEmission::new(vec![vec![0.6, 0.4], vec![0.3, 0.7]]).unwrap();
+        let mut b = a.clone();
+        a.reestimate(&obs_k, &post);
+        b.reestimate_gamma(&obs_k, &gamma);
+        assert_eq!(a, b);
     }
 }
 

@@ -8,6 +8,12 @@
 //! Rabiner-style scaling keeps every quantity in `f64` range for
 //! arbitrarily long sequences (raw forward probabilities underflow after a
 //! few hundred steps).
+//!
+//! Two entry points share one implementation: [`forward_backward_into`]
+//! writes every table into a caller-owned [`EmWorkspace`] and allocates
+//! nothing once the workspace has warmed up to the sequence shape;
+//! [`forward_backward`] is the allocating convenience wrapper returning
+//! [`Posteriors`].
 
 // Index-based loops are kept deliberately in this module: the math is
 // written against matrix subscripts (states i/j, claims u, sources s,
@@ -15,6 +21,7 @@
 // auditability.
 #![allow(clippy::needless_range_loop)]
 
+use crate::mat::Mat;
 use crate::{Emission, Hmm};
 
 /// Output of [`forward_backward`]: posteriors and the sequence likelihood.
@@ -30,10 +37,206 @@ pub struct Posteriors {
     pub log_likelihood: f64,
 }
 
+/// Reusable scratch tables for forward–backward and Baum–Welch.
+///
+/// Holds the emission table, `α`/`β`/`γ` lattices, scale factors and
+/// `ξ` accumulators as flat [`Mat`] buffers. The first call at a given
+/// `(T, N)` shape sizes them; subsequent calls at the same (or smaller)
+/// shape perform **zero heap allocations** — the property the per-claim
+/// EM loop and the per-worker task loop rely on.
+///
+/// # Examples
+///
+/// ```
+/// use sstd_hmm::{forward_backward_into, EmWorkspace, GaussianEmission, Hmm};
+///
+/// let hmm = Hmm::new(
+///     vec![0.5, 0.5],
+///     vec![vec![0.9, 0.1], vec![0.1, 0.9]],
+///     GaussianEmission::new(vec![(5.0, 1.0), (-5.0, 1.0)]).unwrap(),
+/// ).unwrap();
+/// let mut ws = EmWorkspace::new();
+/// let ll = forward_backward_into(&hmm, &[5.0, 5.2, -4.9], &mut ws);
+/// assert!(ll < 0.0);
+/// assert!(ws.gamma()[(0, 0)] > 0.99);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct EmWorkspace {
+    /// Scaled linear-space emission table (`T×N`), each row max-shifted.
+    emit: Mat,
+    /// Per-timestep max log-emission (the shift restored into the LL).
+    logmax: Vec<f64>,
+    alpha: Mat,
+    beta: Mat,
+    gamma: Mat,
+    /// Summed pairwise posteriors (`N×N`).
+    xi_sum: Mat,
+    /// Per-timestep `ξ_t` scratch (`N×N`).
+    xi_t: Mat,
+    scale: Vec<f64>,
+}
+
+impl EmWorkspace {
+    /// Creates an empty workspace; buffers grow on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// State posteriors `γ` of the most recent
+    /// [`forward_backward_into`] call (`T×N`).
+    #[must_use]
+    pub fn gamma(&self) -> &Mat {
+        &self.gamma
+    }
+
+    /// Summed pairwise posteriors `Σ_t ξ_t` of the most recent
+    /// [`forward_backward_into`] call (`N×N`).
+    #[must_use]
+    pub fn xi_sum(&self) -> &Mat {
+        &self.xi_sum
+    }
+
+    /// Sizes every table for a `T`-step, `N`-state problem.
+    fn ensure(&mut self, t_len: usize, n: usize) {
+        self.emit.resize(t_len, n);
+        self.logmax.resize(t_len, 0.0);
+        self.alpha.resize(t_len, n);
+        self.beta.resize(t_len, n);
+        self.gamma.resize(t_len, n);
+        self.xi_sum.resize(n, n);
+        self.xi_t.resize(n, n);
+        self.scale.resize(t_len, 0.0);
+    }
+}
+
+/// Runs scaled forward–backward on `observations`, storing `γ` and
+/// `Σ ξ_t` in `ws` and returning the log-likelihood `ln P(O | λ)`.
+///
+/// Identical numerics to [`forward_backward`] (it *is* the
+/// implementation), but every table lives in the caller-owned workspace:
+/// after the first call at a given sequence shape, the hot path performs
+/// no heap allocation at all.
+///
+/// Returns `0.0` (and a zeroed `ξ` table, an empty `γ`) for an empty
+/// observation sequence.
+pub fn forward_backward_into<E: Emission>(
+    hmm: &Hmm<E>,
+    observations: &[E::Obs],
+    ws: &mut EmWorkspace,
+) -> f64 {
+    let n = hmm.num_states();
+    let t_len = observations.len();
+    ws.ensure(t_len, n);
+    ws.xi_sum.fill(0.0);
+    if t_len == 0 {
+        return 0.0;
+    }
+
+    // Emission probabilities are computed once, in linear (scaled) space.
+    // Each row is divided by its max to avoid underflow before scaling.
+    for (t, &obs) in observations.iter().enumerate() {
+        let row = ws.emit.row_mut(t);
+        for i in 0..n {
+            row[i] = hmm.log_emit(i, obs);
+        }
+        let max = row.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        ws.logmax[t] = max;
+        for i in 0..n {
+            row[i] = if max.is_finite() { (row[i] - max).exp() } else { 1.0 };
+        }
+    }
+
+    // Forward pass with per-step scaling.
+    {
+        let first = ws.alpha.row_mut(0);
+        let emit0 = ws.emit.row(0);
+        for i in 0..n {
+            first[i] = hmm.init()[i] * emit0[i];
+        }
+        ws.scale[0] = normalize(first);
+    }
+    for t in 1..t_len {
+        let (prev, cur) = ws.alpha.adjacent_rows_mut(t - 1);
+        let emit_t = ws.emit.row(t);
+        for j in 0..n {
+            let mut acc = 0.0;
+            for i in 0..n {
+                acc += prev[i] * hmm.trans_prob(i, j);
+            }
+            cur[j] = acc * emit_t[j];
+        }
+        ws.scale[t] = normalize(cur);
+    }
+
+    // Backward pass using the same scale factors.
+    ws.beta.row_mut(t_len - 1).fill(1.0);
+    for t in (0..t_len - 1).rev() {
+        let (cur, next) = ws.beta.adjacent_rows_mut(t);
+        let emit_next = ws.emit.row(t + 1);
+        let denom = ws.scale[t + 1].max(f64::MIN_POSITIVE);
+        for i in 0..n {
+            let mut acc = 0.0;
+            for j in 0..n {
+                acc += hmm.trans_prob(i, j) * emit_next[j] * next[j];
+            }
+            cur[i] = acc / denom;
+        }
+    }
+
+    // Posteriors.
+    for t in 0..t_len {
+        let g = ws.gamma.row_mut(t);
+        let a = ws.alpha.row(t);
+        let b = ws.beta.row(t);
+        for i in 0..n {
+            g[i] = a[i] * b[i];
+        }
+        normalize(g);
+    }
+
+    for t in 0..t_len - 1 {
+        let mut total = 0.0;
+        let alpha_t = ws.alpha.row(t);
+        let beta_next = ws.beta.row(t + 1);
+        let emit_next = ws.emit.row(t + 1);
+        for i in 0..n {
+            let xi_row = ws.xi_t.row_mut(i);
+            for j in 0..n {
+                let v = alpha_t[i] * hmm.trans_prob(i, j) * emit_next[j] * beta_next[j];
+                xi_row[j] = v;
+                total += v;
+            }
+        }
+        if total > 0.0 {
+            for i in 0..n {
+                let src = ws.xi_t.row(i);
+                let dst = ws.xi_sum.row_mut(i);
+                for j in 0..n {
+                    dst[j] += src[j] / total;
+                }
+            }
+        }
+    }
+
+    // ln P(O|λ) = Σ ln(scale_t) + Σ max-shifts. The per-row max shift on
+    // `emit` cancels in all posteriors but must be restored here.
+    let mut log_likelihood: f64 =
+        ws.scale[..t_len].iter().map(|&c| c.max(f64::MIN_POSITIVE).ln()).sum();
+    for t in 0..t_len {
+        if ws.logmax[t].is_finite() {
+            log_likelihood += ws.logmax[t];
+        }
+    }
+    log_likelihood
+}
+
 /// Runs scaled forward–backward on `observations`.
 ///
-/// Returns uniform posteriors and `log_likelihood = 0` for an empty
-/// observation sequence (the natural neutral element: no evidence).
+/// Allocating wrapper over [`forward_backward_into`] — same numerics,
+/// fresh output vectors. Returns uniform posteriors and
+/// `log_likelihood = 0` for an empty observation sequence (the natural
+/// neutral element: no evidence).
 ///
 /// # Examples
 ///
@@ -52,97 +255,12 @@ pub struct Posteriors {
 /// ```
 #[must_use]
 pub fn forward_backward<E: Emission>(hmm: &Hmm<E>, observations: &[E::Obs]) -> Posteriors {
-    let n = hmm.num_states();
-    let t_len = observations.len();
-    if t_len == 0 {
-        return Posteriors { gamma: vec![], xi_sum: vec![vec![0.0; n]; n], log_likelihood: 0.0 };
-    }
-
-    // Emission probabilities are computed once, in linear (scaled) space.
-    // Each row is divided by its max to avoid underflow before scaling.
-    let mut emit = vec![vec![0.0f64; n]; t_len];
-    for (t, &obs) in observations.iter().enumerate() {
-        let logs: Vec<f64> = (0..n).map(|i| hmm.log_emit(i, obs)).collect();
-        let max = logs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        for i in 0..n {
-            emit[t][i] = if max.is_finite() { (logs[i] - max).exp() } else { 1.0 };
-        }
-    }
-
-    // Forward pass with per-step scaling.
-    let mut alpha = vec![vec![0.0f64; n]; t_len];
-    let mut scale = vec![0.0f64; t_len];
-    for i in 0..n {
-        alpha[0][i] = hmm.init()[i] * emit[0][i];
-    }
-    scale[0] = normalize(&mut alpha[0]);
-    for t in 1..t_len {
-        for j in 0..n {
-            let mut acc = 0.0;
-            for i in 0..n {
-                acc += alpha[t - 1][i] * hmm.trans_prob(i, j);
-            }
-            alpha[t][j] = acc * emit[t][j];
-        }
-        scale[t] = normalize(&mut alpha[t]);
-    }
-
-    // Backward pass using the same scale factors.
-    let mut beta = vec![vec![1.0f64; n]; t_len];
-    for t in (0..t_len - 1).rev() {
-        for i in 0..n {
-            let mut acc = 0.0;
-            for j in 0..n {
-                acc += hmm.trans_prob(i, j) * emit[t + 1][j] * beta[t + 1][j];
-            }
-            beta[t][i] = acc / scale[t + 1].max(f64::MIN_POSITIVE);
-        }
-    }
-
-    // Posteriors.
-    let mut gamma = vec![vec![0.0f64; n]; t_len];
-    for t in 0..t_len {
-        for i in 0..n {
-            gamma[t][i] = alpha[t][i] * beta[t][i];
-        }
-        normalize(&mut gamma[t]);
-    }
-
-    let mut xi_sum = vec![vec![0.0f64; n]; n];
-    for t in 0..t_len - 1 {
-        let mut total = 0.0;
-        let mut xi_t = vec![vec![0.0f64; n]; n];
-        for i in 0..n {
-            for j in 0..n {
-                let v = alpha[t][i] * hmm.trans_prob(i, j) * emit[t + 1][j] * beta[t + 1][j];
-                xi_t[i][j] = v;
-                total += v;
-            }
-        }
-        if total > 0.0 {
-            for i in 0..n {
-                for j in 0..n {
-                    xi_sum[i][j] += xi_t[i][j] / total;
-                }
-            }
-        }
-    }
-
-    // ln P(O|λ) = Σ ln(scale_t) + Σ max-shifts. The per-row max shift on
-    // `emit` cancels in all posteriors but must be restored here.
-    let mut log_likelihood: f64 = scale.iter().map(|&c| c.max(f64::MIN_POSITIVE).ln()).sum();
-    for (t, &obs) in observations.iter().enumerate() {
-        let max = (0..n).map(|i| hmm.log_emit(i, obs)).fold(f64::NEG_INFINITY, f64::max);
-        if max.is_finite() {
-            log_likelihood += max;
-        }
-        let _ = t;
-    }
-
-    Posteriors { gamma, xi_sum, log_likelihood }
+    let mut ws = EmWorkspace::new();
+    let log_likelihood = forward_backward_into(hmm, observations, &mut ws);
+    Posteriors { gamma: ws.gamma.to_rows(), xi_sum: ws.xi_sum.to_rows(), log_likelihood }
 }
 
-fn normalize(row: &mut [f64]) -> f64 {
+pub(crate) fn normalize(row: &mut [f64]) -> f64 {
     let sum: f64 = row.iter().sum();
     if sum > 0.0 && sum.is_finite() {
         for x in row.iter_mut() {
@@ -255,5 +373,33 @@ mod tests {
         let post = forward_backward(&hmm, &[10.0, -10.0]);
         assert!(post.gamma[0][0] > 0.999);
         assert!(post.gamma[1][1] > 0.999);
+    }
+
+    #[test]
+    fn workspace_reuse_across_shapes_is_consistent() {
+        // One workspace reused across different lengths and models must
+        // give the same answers as fresh allocating calls.
+        let hmm = coin_hmm();
+        let mut ws = EmWorkspace::new();
+        for obs in
+            [vec![0usize, 1, 0, 0, 1, 0, 1, 1], vec![1usize, 0], vec![0usize, 0, 1, 0, 1, 1]]
+        {
+            let ll = forward_backward_into(&hmm, &obs, &mut ws);
+            let fresh = forward_backward(&hmm, &obs);
+            assert_eq!(ll, fresh.log_likelihood);
+            assert_eq!(ws.gamma().to_rows(), fresh.gamma);
+            assert_eq!(ws.xi_sum().to_rows(), fresh.xi_sum);
+        }
+    }
+
+    #[test]
+    fn workspace_empty_sequence_resets_tables() {
+        let hmm = coin_hmm();
+        let mut ws = EmWorkspace::new();
+        let _ = forward_backward_into(&hmm, &[0usize, 1, 0], &mut ws);
+        let ll = forward_backward_into(&hmm, &[], &mut ws);
+        assert_eq!(ll, 0.0);
+        assert_eq!(ws.gamma().rows(), 0);
+        assert!(ws.xi_sum().as_slice().iter().all(|&v| v == 0.0));
     }
 }

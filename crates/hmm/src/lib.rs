@@ -18,6 +18,18 @@
 //! - [`exhaustive`] — brute-force reference implementations used by the
 //!   property tests (and handy for validating downstream models).
 //!
+//! # Zero-allocation kernels
+//!
+//! The numeric core stores its dense tables in flat row-major [`Mat`]
+//! buffers and exposes `_into` entry points that run against caller-owned
+//! scratch arenas: [`forward_backward_into`] + [`BaumWelch::train_into`]
+//! reuse an [`EmWorkspace`], and [`viterbi_into`] reuses a
+//! [`DecodeWorkspace`]. After the first call at a given problem shape the
+//! kernels allocate nothing, so hot loops (EM iterations, per-claim jobs,
+//! streaming intervals) can amortize one workspace across thousands of
+//! invocations. The classic allocating signatures remain as thin wrappers
+//! and return bit-identical results.
+//!
 //! # Examples
 //!
 //! Train a two-state Gaussian HMM on a bimodal sequence and decode it:
@@ -44,15 +56,17 @@ mod baum_welch;
 mod emission;
 pub mod exhaustive;
 mod forward;
+pub mod mat;
 mod model;
 mod streaming;
 mod viterbi;
 
-pub use baum_welch::{BaumWelch, TrainOutcome};
+pub use baum_welch::{BaumWelch, TrainOutcome, TrainStats};
 pub use emission::{
     CategoricalEmission, Emission, GaussianEmission, SymmetricGaussianEmission, TrainableEmission,
 };
-pub use forward::{forward_backward, Posteriors};
+pub use forward::{forward_backward, forward_backward_into, EmWorkspace, Posteriors};
+pub use mat::Mat;
 pub use model::{Hmm, HmmError};
 pub use streaming::StreamingViterbi;
-pub use viterbi::viterbi;
+pub use viterbi::{viterbi, viterbi_into, DecodeWorkspace};

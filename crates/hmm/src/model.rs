@@ -1,6 +1,7 @@
 //! The HMM parameter container `λ = (A, B, π)` (paper §III-C).
 
 use crate::emission::Emission;
+use crate::mat::Mat;
 use std::error::Error;
 use std::fmt;
 
@@ -48,7 +49,11 @@ impl Error for HmmError {}
 #[derive(Debug, Clone, PartialEq)]
 pub struct Hmm<E> {
     init: Vec<f64>,
-    trans: Vec<Vec<f64>>,
+    /// Transition matrix `A`, flat row-major (`N×N`).
+    trans: Mat,
+    /// Cached `ln A[i][j]` — the quantity the Viterbi recurrences
+    /// actually consume; recomputed whenever `trans` changes.
+    log_trans: Mat,
     emission: E,
 }
 
@@ -83,7 +88,31 @@ impl<E: Emission> Hmm<E> {
             }
             Self::check_stochastic(&format!("transition row {i}"), row)?;
         }
-        Ok(Self { init, trans, emission })
+        let trans = Mat::from_rows(&trans);
+        let mut model = Self { init, trans, log_trans: Mat::new(), emission };
+        model.refresh_log_trans();
+        Ok(model)
+    }
+
+    /// Recomputes the cached `ln A` table from `trans` (no allocation once
+    /// the table holds `N×N` entries).
+    pub(crate) fn refresh_log_trans(&mut self) {
+        let n = self.trans.rows();
+        self.log_trans.resize(n, n);
+        for i in 0..n {
+            let src = self.trans.row(i);
+            let dst = self.log_trans.row_mut(i);
+            for (d, &p) in dst.iter_mut().zip(src) {
+                *d = p.ln();
+            }
+        }
+    }
+
+    /// Hands the trainer simultaneous mutable access to `(π, A, B)` for
+    /// the in-place M-step. The caller must keep every row stochastic and
+    /// call [`refresh_log_trans`](Self::refresh_log_trans) afterwards.
+    pub(crate) fn m_step_mut(&mut self) -> (&mut [f64], &mut Mat, &mut E) {
+        (&mut self.init, &mut self.trans, &mut self.emission)
     }
 
     fn check_stochastic(what: &str, row: &[f64]) -> Result<(), HmmError> {
@@ -109,10 +138,20 @@ impl<E: Emission> Hmm<E> {
         &self.init
     }
 
-    /// Transition matrix `A` (row-stochastic).
+    /// Transition matrix `A` (row-stochastic), stored flat row-major.
+    ///
+    /// [`Mat::iter`] yields rows as slices, so row-wise consumers keep the
+    /// `for row in hmm.trans().iter()` shape they had against nested
+    /// vectors.
     #[must_use]
-    pub fn trans(&self) -> &[Vec<f64>] {
+    pub fn trans(&self) -> &Mat {
         &self.trans
+    }
+
+    /// Cached element-wise `ln A` — what the log-space decoders consume.
+    #[must_use]
+    pub fn log_trans(&self) -> &Mat {
+        &self.log_trans
     }
 
     /// Transition probability `A[from][to]`.
@@ -122,7 +161,7 @@ impl<E: Emission> Hmm<E> {
     /// Panics if either index is out of range.
     #[must_use]
     pub fn trans_prob(&self, from: usize, to: usize) -> f64 {
-        self.trans[from][to]
+        self.trans[(from, to)]
     }
 
     /// The emission model `B`.
@@ -141,7 +180,7 @@ impl<E: Emission> Hmm<E> {
     /// re-estimates parameters and rebuilds the model.
     #[must_use]
     pub fn into_parts(self) -> (Vec<f64>, Vec<Vec<f64>>, E) {
-        (self.init, self.trans, self.emission)
+        (self.init, self.trans.to_rows(), self.emission)
     }
 }
 
@@ -195,6 +234,17 @@ mod tests {
         let err =
             Hmm::new(vec![0.5, 0.5], vec![vec![1.0], vec![0.4, 0.6]], emission2()).unwrap_err();
         assert!(err.to_string().contains("wrong length"));
+    }
+
+    #[test]
+    fn log_trans_is_cached_elementwise_ln() {
+        let hmm =
+            Hmm::new(vec![0.5, 0.5], vec![vec![0.7, 0.3], vec![0.4, 0.6]], emission2()).unwrap();
+        for i in 0..2 {
+            for j in 0..2 {
+                assert_eq!(hmm.log_trans()[(i, j)], hmm.trans_prob(i, j).ln(), "({i},{j})");
+            }
+        }
     }
 
     #[test]

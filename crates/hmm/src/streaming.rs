@@ -8,8 +8,14 @@
 //! to commit decisions: once every surviving path shares the same ancestor
 //! at some past time step, that prefix is final regardless of future
 //! observations and can be emitted and dropped from memory.
+//!
+//! The decoder recycles its own storage: backpointer columns cycle through
+//! a free pool as the pending window slides, and the δ recurrence runs
+//! against a persistent scratch row, so steady-state `push` calls touch the
+//! heap only when the pending window outgrows every column ever pooled.
 
 use crate::{Emission, Hmm};
+use std::collections::VecDeque;
 
 /// Incremental Viterbi decoder over a fixed model.
 ///
@@ -34,9 +40,15 @@ pub struct StreamingViterbi<E: Emission> {
     hmm: Hmm<E>,
     /// Best log-prob per state at the current time.
     delta: Vec<f64>,
+    /// Scratch row for the δ recurrence, swapped with `delta` each step.
+    delta_next: Vec<f64>,
     /// Backpointer columns for the uncommitted suffix. `pending[k][j]` is
     /// the predecessor of state `j` at uncommitted step `k`.
-    pending: Vec<Vec<usize>>,
+    pending: VecDeque<Vec<usize>>,
+    /// Retired backpointer columns, recycled by later pushes.
+    pool: Vec<Vec<usize>>,
+    /// Scratch for the coalescence ancestor walk.
+    ancestors: Vec<usize>,
     /// States committed by path coalescence.
     committed: Vec<usize>,
     /// Total observations consumed.
@@ -53,7 +65,10 @@ impl<E: Emission> StreamingViterbi<E> {
         Self {
             hmm,
             delta: vec![0.0; n],
-            pending: Vec::new(),
+            delta_next: vec![0.0; n],
+            pending: VecDeque::new(),
+            pool: Vec::new(),
+            ancestors: Vec::new(),
             committed: Vec::new(),
             len: 0,
             max_pending: None,
@@ -79,6 +94,23 @@ impl<E: Emission> StreamingViterbi<E> {
         self
     }
 
+    /// Restarts decoding against `hmm`, as if freshly constructed — except
+    /// the pending-window bound and the recycled column pool are kept, so
+    /// a refit (new model, replayed history) reuses the old allocations.
+    pub fn reset(&mut self, hmm: Hmm<E>) {
+        let n = hmm.num_states();
+        self.hmm = hmm;
+        self.delta.clear();
+        self.delta.resize(n, 0.0);
+        self.delta_next.clear();
+        self.delta_next.resize(n, 0.0);
+        while let Some(col) = self.pending.pop_front() {
+            self.pool.push(col);
+        }
+        self.committed.clear();
+        self.len = 0;
+    }
+
     /// The model being decoded against.
     #[must_use]
     pub fn model(&self) -> &Hmm<E> {
@@ -97,6 +129,14 @@ impl<E: Emission> StreamingViterbi<E> {
         self.len == 0
     }
 
+    /// A backpointer column sized for `n` states, recycled when possible.
+    fn take_col(&mut self, n: usize) -> Vec<usize> {
+        let mut col = self.pool.pop().unwrap_or_default();
+        col.clear();
+        col.resize(n, 0);
+        col
+    }
+
     /// Consumes one observation and returns the *current* most likely
     /// state (the filtering decision the streaming engine reports).
     pub fn push(&mut self, obs: E::Obs) -> usize {
@@ -105,25 +145,29 @@ impl<E: Emission> StreamingViterbi<E> {
             for i in 0..n {
                 self.delta[i] = self.hmm.init()[i].ln() + self.hmm.log_emit(i, obs);
             }
-            self.pending.push((0..n).collect()); // self-pointers for t = 0
+            let mut col = self.take_col(n);
+            for (j, p) in col.iter_mut().enumerate() {
+                *p = j; // self-pointers for t = 0
+            }
+            self.pending.push_back(col);
         } else {
-            let mut next = vec![f64::NEG_INFINITY; n];
-            let mut back = vec![0usize; n];
+            let mut back = self.take_col(n);
+            let log_trans = self.hmm.log_trans();
             for j in 0..n {
                 let mut best = f64::NEG_INFINITY;
                 let mut arg = 0;
                 for i in 0..n {
-                    let v = self.delta[i] + self.hmm.trans_prob(i, j).ln();
+                    let v = self.delta[i] + log_trans[(i, j)];
                     if v > best {
                         best = v;
                         arg = i;
                     }
                 }
-                next[j] = best + self.hmm.log_emit(j, obs);
+                self.delta_next[j] = best + self.hmm.log_emit(j, obs);
                 back[j] = arg;
             }
-            self.delta = next;
-            self.pending.push(back);
+            std::mem::swap(&mut self.delta, &mut self.delta_next);
+            self.pending.push_back(back);
             self.coalesce();
             if let Some(max) = self.max_pending {
                 while self.pending.len() > max {
@@ -201,11 +245,11 @@ impl<E: Emission> StreamingViterbi<E> {
             state = col[state];
         }
         self.committed.push(state);
-        self.pending.remove(0);
-        if let Some(oldest) = self.pending.first_mut() {
-            for p in oldest.iter_mut() {
-                *p = 0;
-            }
+        if let Some(removed) = self.pending.pop_front() {
+            self.pool.push(removed);
+        }
+        if let Some(oldest) = self.pending.front_mut() {
+            oldest.fill(0);
         }
     }
 
@@ -218,27 +262,26 @@ impl<E: Emission> StreamingViterbi<E> {
                 return;
             }
             // Walk each surviving path back to the oldest pending column.
-            let mut ancestors: Vec<usize> = (0..n).collect();
+            self.ancestors.clear();
+            self.ancestors.extend(0..n);
             for col in self.pending.iter().skip(1).rev() {
                 // ancestors currently refer to states at this column's
                 // time; map them one step back.
-                for a in &mut ancestors {
+                for a in &mut self.ancestors {
                     *a = col[*a];
                 }
             }
-            let first = ancestors[0];
-            if ancestors.iter().all(|&a| a == first) {
+            let first = self.ancestors[0];
+            if self.ancestors.iter().all(|&a| a == first) {
                 self.committed.push(first);
-                let removed = self.pending.remove(0);
-                let _ = removed;
+                if let Some(removed) = self.pending.pop_front() {
+                    self.pool.push(removed);
+                }
                 // Rebase the new oldest column: its entries pointed at
                 // states of the removed column; after removal the oldest
                 // column's backpointers become self-referential roots.
-                if let Some(oldest) = self.pending.first_mut() {
-                    for (j, p) in oldest.iter_mut().enumerate() {
-                        let _ = j;
-                        *p = 0; // ancestry below the commit point is fixed
-                    }
+                if let Some(oldest) = self.pending.front_mut() {
+                    oldest.fill(0); // ancestry below the commit point is fixed
                 }
             } else {
                 return;
@@ -326,6 +369,23 @@ mod tests {
         }
         assert_eq!(dec.best_state(), 0);
         assert_eq!(dec.len(), 200_000);
+    }
+
+    #[test]
+    fn reset_decoder_matches_fresh_decoder() {
+        let obs = vec![3.0, -3.1, 2.9, 3.0, -2.8, -3.0];
+        let mut reused = StreamingViterbi::new(gaussian_hmm(0.7)).with_max_pending(4);
+        for &o in &obs {
+            reused.push(o);
+        }
+        reused.reset(gaussian_hmm(0.9));
+        let mut fresh = StreamingViterbi::new(gaussian_hmm(0.9)).with_max_pending(4);
+        for &o in &obs {
+            assert_eq!(reused.push(o), fresh.push(o));
+        }
+        assert_eq!(reused.current_path(), fresh.current_path());
+        assert_eq!(reused.committed(), fresh.committed());
+        assert_eq!(reused.len(), fresh.len());
     }
 
     proptest! {

@@ -1,4 +1,8 @@
 //! Viterbi decoding (paper Eq. 6–8): the most likely hidden-state sequence.
+//!
+//! [`viterbi_into`] runs the DP against a caller-owned
+//! [`DecodeWorkspace`] (no allocation after warm-up, cached `ln A` from
+//! the model); [`viterbi`] is the allocating convenience wrapper.
 
 // Index-based loops are kept deliberately in this module: the math is
 // written against matrix subscripts (states i/j, claims u, sources s,
@@ -8,11 +12,108 @@
 
 use crate::{Emission, Hmm};
 
+/// Reusable scratch buffers for Viterbi decoding: the `δ` score rows, the
+/// flat `T×N` backpointer lattice `ψ`, and the decoded path itself.
+///
+/// The first decode at a given `(T, N)` shape sizes the buffers; later
+/// decodes at the same (or smaller) shape allocate nothing.
+///
+/// # Examples
+///
+/// ```
+/// use sstd_hmm::{viterbi_into, DecodeWorkspace, GaussianEmission, Hmm};
+///
+/// let hmm = Hmm::new(
+///     vec![0.5, 0.5],
+///     vec![vec![0.9, 0.1], vec![0.1, 0.9]],
+///     GaussianEmission::new(vec![(4.0, 1.0), (-4.0, 1.0)]).unwrap(),
+/// ).unwrap();
+/// let mut ws = DecodeWorkspace::new();
+/// assert_eq!(viterbi_into(&hmm, &[4.0, 4.1, -3.9], &mut ws), &[0, 0, 1]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct DecodeWorkspace {
+    delta: Vec<f64>,
+    delta_next: Vec<f64>,
+    /// Flat `T×N` backpointers: `psi[t * n + j]` is the argmax predecessor
+    /// of state `j` at time `t`.
+    psi: Vec<usize>,
+    path: Vec<usize>,
+}
+
+impl DecodeWorkspace {
+    /// Creates an empty workspace; buffers grow on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Decodes the maximum a posteriori state sequence into `ws` and returns
+/// the decoded path as a slice borrowed from the workspace.
+///
+/// Identical decisions to [`viterbi`] (it *is* the implementation): ties
+/// break toward the lower state index, an empty observation sequence
+/// yields an empty path.
+pub fn viterbi_into<'w, E: Emission>(
+    hmm: &Hmm<E>,
+    observations: &[E::Obs],
+    ws: &'w mut DecodeWorkspace,
+) -> &'w [usize] {
+    let n = hmm.num_states();
+    let t_len = observations.len();
+    ws.path.clear();
+    if t_len == 0 {
+        return &ws.path;
+    }
+
+    // δ_t(i): best log-prob ending in state i at time t (paper Eq. 7).
+    ws.delta.resize(n, 0.0);
+    ws.delta_next.resize(n, 0.0);
+    for i in 0..n {
+        ws.delta[i] = hmm.init()[i].ln() + hmm.log_emit(i, observations[0]);
+    }
+    // ψ_t(i): argmax predecessor, flat row-major.
+    ws.psi.resize(t_len * n, 0);
+    ws.psi[..n].fill(0);
+
+    let log_trans = hmm.log_trans();
+    for t in 1..t_len {
+        let obs = observations[t];
+        let back = &mut ws.psi[t * n..(t + 1) * n];
+        for j in 0..n {
+            let mut best = f64::NEG_INFINITY;
+            let mut arg = 0;
+            for i in 0..n {
+                let v = ws.delta[i] + log_trans[(i, j)];
+                if v > best {
+                    best = v;
+                    arg = i;
+                }
+            }
+            ws.delta_next[j] = best + hmm.log_emit(j, obs);
+            back[j] = arg;
+        }
+        std::mem::swap(&mut ws.delta, &mut ws.delta_next);
+    }
+
+    // Backtrack from the best terminal state (paper Eq. 8).
+    let mut state = argmax(&ws.delta);
+    ws.path.resize(t_len, 0);
+    ws.path[t_len - 1] = state;
+    for t in (1..t_len).rev() {
+        state = ws.psi[t * n + state];
+        ws.path[t - 1] = state;
+    }
+    &ws.path
+}
+
 /// Decodes the maximum a posteriori state sequence for `observations`
 /// (paper Eq. 6–8, solved in log space).
 ///
-/// Ties break toward the lower state index, deterministically.
-/// Returns an empty path for an empty observation sequence.
+/// Allocating wrapper over [`viterbi_into`]. Ties break toward the lower
+/// state index, deterministically. Returns an empty path for an empty
+/// observation sequence.
 ///
 /// # Examples
 ///
@@ -28,48 +129,8 @@ use crate::{Emission, Hmm};
 /// ```
 #[must_use]
 pub fn viterbi<E: Emission>(hmm: &Hmm<E>, observations: &[E::Obs]) -> Vec<usize> {
-    let n = hmm.num_states();
-    let t_len = observations.len();
-    if t_len == 0 {
-        return vec![];
-    }
-
-    // δ_t(i): best log-prob ending in state i at time t (paper Eq. 7).
-    let mut delta: Vec<f64> =
-        (0..n).map(|i| hmm.init()[i].ln() + hmm.log_emit(i, observations[0])).collect();
-    // ψ_t(i): argmax predecessor.
-    let mut psi: Vec<Vec<usize>> = Vec::with_capacity(t_len);
-    psi.push(vec![0; n]);
-
-    for t in 1..t_len {
-        let mut next = vec![f64::NEG_INFINITY; n];
-        let mut back = vec![0usize; n];
-        for j in 0..n {
-            let mut best = f64::NEG_INFINITY;
-            let mut arg = 0;
-            for i in 0..n {
-                let v = delta[i] + hmm.trans_prob(i, j).ln();
-                if v > best {
-                    best = v;
-                    arg = i;
-                }
-            }
-            next[j] = best + hmm.log_emit(j, observations[t]);
-            back[j] = arg;
-        }
-        delta = next;
-        psi.push(back);
-    }
-
-    // Backtrack from the best terminal state (paper Eq. 8).
-    let mut state = argmax(&delta);
-    let mut path = vec![0usize; t_len];
-    path[t_len - 1] = state;
-    for t in (1..t_len).rev() {
-        state = psi[t][state];
-        path[t - 1] = state;
-    }
-    path
+    let mut ws = DecodeWorkspace::new();
+    viterbi_into(hmm, observations, &mut ws).to_vec()
 }
 
 fn argmax(xs: &[f64]) -> usize {
@@ -125,6 +186,20 @@ mod tests {
         let hmm = sticky_hmm(0.5);
         let obs = vec![2.0, -2.0, 2.0, -2.0];
         assert_eq!(viterbi(&hmm, &obs), vec![0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn workspace_reuse_across_lengths_matches_fresh_decode() {
+        let hmm = sticky_hmm(0.8);
+        let mut ws = DecodeWorkspace::new();
+        for obs in [
+            vec![2.0, -2.0, 2.0, 2.0, -2.0, -2.0, 2.0],
+            vec![-2.0, -2.0],
+            vec![2.0, 2.0, -2.0, 2.0],
+        ] {
+            assert_eq!(viterbi_into(&hmm, &obs, &mut ws), viterbi(&hmm, &obs).as_slice());
+        }
+        assert!(viterbi_into(&hmm, &[], &mut ws).is_empty());
     }
 
     proptest! {

@@ -12,6 +12,10 @@
 use crate::rng::TestRng;
 use std::rc::Rc;
 
+/// A shared shrink function: proposes strictly simpler variants of a
+/// value.
+type ShrinkFn<T> = Rc<dyn Fn(&T) -> Vec<T>>;
+
 /// A seeded generator of `T` with integrated shrinking.
 ///
 /// # Examples
@@ -30,7 +34,7 @@ use std::rc::Rc;
 /// ```
 pub struct Gen<T> {
     generate: Rc<dyn Fn(&mut TestRng) -> T>,
-    shrink: Rc<dyn Fn(&T) -> Vec<T>>,
+    shrink: ShrinkFn<T>,
 }
 
 impl<T> Clone for Gen<T> {

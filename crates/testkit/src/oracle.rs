@@ -14,6 +14,101 @@ pub mod hmm {
     pub use sstd_hmm::exhaustive::{best_path, log_joint, log_likelihood, posteriors};
 }
 
+/// Compares the allocating HMM kernels against their workspace `_into`
+/// twins on one model + observation sequence, reusing the caller's
+/// scratch arenas (the reuse is the point: a dirty workspace must not
+/// leak into the next case). The contract is *bit*-equality — the
+/// workspace kernels are refactorings of the same arithmetic, not
+/// approximations of it.
+///
+/// # Errors
+///
+/// Returns a description of the first divergence: log-likelihood bits,
+/// γ/ξ table shape or entries, or the Viterbi path.
+pub fn check_workspace_kernels<E: sstd_hmm::Emission>(
+    hmm: &sstd_hmm::Hmm<E>,
+    obs: &[E::Obs],
+    em: &mut sstd_hmm::EmWorkspace,
+    decode: &mut sstd_hmm::DecodeWorkspace,
+) -> Result<(), String> {
+    let reference = sstd_hmm::forward_backward(hmm, obs);
+    let ll = sstd_hmm::forward_backward_into(hmm, obs, em);
+    if ll.to_bits() != reference.log_likelihood.to_bits() {
+        return Err(format!(
+            "log-likelihood diverged: workspace {ll} vs allocating {}",
+            reference.log_likelihood
+        ));
+    }
+    let gamma = em.gamma();
+    if gamma.rows() != reference.gamma.len() {
+        return Err(format!("gamma has {} rows, allocating has {}", gamma.rows(), reference.gamma.len()));
+    }
+    for (t, want) in reference.gamma.iter().enumerate() {
+        let got = gamma.row(t);
+        for (s, (g, w)) in got.iter().zip(want).enumerate() {
+            if g.to_bits() != w.to_bits() {
+                return Err(format!("gamma[{t}][{s}] = {g}, allocating says {w}"));
+            }
+        }
+    }
+    let xi = em.xi_sum();
+    for (i, want) in reference.xi_sum.iter().enumerate() {
+        let got = xi.row(i);
+        for (j, (g, w)) in got.iter().zip(want).enumerate() {
+            if g.to_bits() != w.to_bits() {
+                return Err(format!("xi_sum[{i}][{j}] = {g}, allocating says {w}"));
+            }
+        }
+    }
+    let want_path = sstd_hmm::viterbi(hmm, obs);
+    let got_path = sstd_hmm::viterbi_into(hmm, obs, decode);
+    if got_path != want_path {
+        return Err(format!("viterbi path diverged: workspace {got_path:?} vs {want_path:?}"));
+    }
+    Ok(())
+}
+
+/// Compares [`BaumWelch::train`](sstd_hmm::BaumWelch::train) against
+/// [`train_into`](sstd_hmm::BaumWelch::train_into) on one starting model:
+/// the trained parameters, final log-likelihood bits, iteration count,
+/// and convergence flag must all agree.
+///
+/// # Errors
+///
+/// Returns a description of the first divergence.
+pub fn check_workspace_training<E>(
+    trainer: &sstd_hmm::BaumWelch,
+    initial: &sstd_hmm::Hmm<E>,
+    obs: &[E::Obs],
+    em: &mut sstd_hmm::EmWorkspace,
+) -> Result<(), String>
+where
+    E: sstd_hmm::TrainableEmission + Clone + PartialEq + std::fmt::Debug,
+{
+    let reference = trainer.train(initial.clone(), obs);
+    let mut model = initial.clone();
+    let stats = trainer.train_into(&mut model, obs, em);
+    if model != reference.model {
+        return Err(format!(
+            "trained models diverged:\n  workspace  {model:?}\n  allocating {:?}",
+            reference.model
+        ));
+    }
+    if stats.log_likelihood.to_bits() != reference.log_likelihood.to_bits() {
+        return Err(format!(
+            "final log-likelihood diverged: workspace {} vs allocating {}",
+            stats.log_likelihood, reference.log_likelihood
+        ));
+    }
+    if stats.iterations != reference.iterations || stats.converged != reference.converged {
+        return Err(format!(
+            "convergence diverged: workspace ({}, {}) vs allocating ({}, {})",
+            stats.iterations, stats.converged, reference.iterations, reference.converged
+        ));
+    }
+    Ok(())
+}
+
 /// Naive sliding-window ACS recomputation (paper Eq. 4, from the
 /// definition): `ACS_u^t = Σ_{max(0, t−sw+1)}^{t} cs_i`, one windowed
 /// sum per interval, each computed from scratch in O(window).

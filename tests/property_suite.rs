@@ -105,7 +105,7 @@ fn distributed_matches_batch_on_the_sim_backend_under_faults() {
         &dist_case(),
         |(trace_case, (plan, config))| {
             let trace = trace_case.trace();
-            let engine = SstdEngine::new(config.clone());
+            let engine = SstdEngine::new(*config);
             let batch = engine.run(&trace);
             let mut backend = SimBackend::new(DesEngine::new(
                 Cluster::homogeneous(3, 1.0),
@@ -139,7 +139,7 @@ fn distributed_matches_batch_on_real_threads_under_faults() {
         &dist_case(),
         |(trace_case, (plan, config))| {
             let trace = trace_case.trace();
-            let engine = SstdEngine::new(config.clone());
+            let engine = SstdEngine::new(*config);
             let batch = engine.run(&trace);
             let mut backend: ThreadedEngine<ClaimFit> = ThreadedEngine::new(3);
             // Threads run in real time: cap the straggler slowdown so an
@@ -356,7 +356,7 @@ fn generated_sstd_configs_drive_real_runs() {
     let gen = gens::pair(domain::sstd_config(), domain::trace_case(TraceShape::default()));
     check("generated_sstd_configs_drive_real_runs", 300, &gen, |(config, case)| {
         let trace = case.trace();
-        let estimates = SstdEngine::new(config.clone()).run(&trace);
+        let estimates = SstdEngine::new(*config).run(&trace);
         if estimates.num_claims() != trace.num_claims() {
             return Err(format!(
                 "{} estimates for {} claims",
