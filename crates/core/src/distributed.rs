@@ -125,6 +125,66 @@ where
     Ok(DistributedRun { estimates, report })
 }
 
+/// Resumes a partially-completed distributed run: claims already present
+/// in `prior` are kept as-is, and only the missing claims are submitted
+/// as tasks. With an empty `prior` this is exactly [`run_distributed`];
+/// with a complete one it submits nothing.
+///
+/// This is the distributed half of crash recovery (DESIGN.md §13): a
+/// coordinator that persisted the estimates it had reassembled before
+/// dying re-runs only the claims whose fits were lost. Because each
+/// per-claim fit is deterministic, the merged result is identical to a
+/// from-scratch run.
+///
+/// # Errors
+///
+/// As [`run_distributed`]: backend refusals surface as
+/// [`SstdError::Backend`], exhausted or missing tasks as
+/// [`SstdError::Distributed`].
+pub fn resume_distributed<B>(
+    engine: &SstdEngine,
+    trace: &Trace,
+    backend: &mut B,
+    job: JobId,
+    prior: &TruthEstimates,
+) -> Result<DistributedRun, SstdError>
+where
+    B: JobBackend<ClaimFit> + ?Sized,
+{
+    let shared = Arc::new((engine.clone(), trace.clone()));
+    for (claim, reports) in claim_partition(trace) {
+        if prior.labels(claim).is_some() {
+            continue;
+        }
+        let spec = TaskSpec::new(job, reports.len() as f64);
+        let shared = Arc::clone(&shared);
+        backend.submit_job(
+            spec,
+            Arc::new(move || {
+                let (engine, trace) = &*shared;
+                (claim, engine.run_claim(trace, claim))
+            }),
+        )?;
+    }
+    let report = backend.run_to_completion();
+    let failed = backend.failed();
+    if !failed.is_empty() {
+        return Err(DistributedError::TasksFailed(failed).into());
+    }
+    let mut estimates = prior.clone();
+    for (_, (claim, labels)) in backend.drain_results() {
+        estimates.insert(claim, labels);
+    }
+    if estimates.num_claims() != trace.num_claims() {
+        let missing: Vec<ClaimId> = (0..trace.num_claims())
+            .map(|i| ClaimId::new(i as u32))
+            .filter(|c| estimates.labels(*c).is_none())
+            .collect();
+        return Err(DistributedError::MissingClaims(missing).into());
+    }
+    Ok(DistributedRun { estimates, report })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -212,6 +272,39 @@ mod tests {
         assert_eq!(run.estimates, batch, "faulted attempts never corrupt results");
         assert!(run.report.faults.transient_failures > 0, "{}", run.report.faults);
         assert!(run.report.faults.reconciles(), "{}", run.report.faults);
+    }
+
+    #[test]
+    fn resume_fits_only_the_missing_claims() {
+        let trace = trace();
+        let engine = SstdEngine::new(SstdConfig::default());
+        let batch = engine.run(&trace);
+        // A coordinator that died after reassembling claims 0 and 3.
+        let mut prior = TruthEstimates::new(trace.timeline().num_intervals());
+        for c in [0u32, 3] {
+            prior.insert(ClaimId::new(c), batch.labels(ClaimId::new(c)).unwrap().to_vec());
+        }
+        let mut backend: ThreadedEngine<ClaimFit> = ThreadedEngine::new(2);
+        let run = resume_distributed(&engine, &trace, &mut backend, JobId::new(1), &prior)
+            .expect("remaining claims fit");
+        assert_eq!(run.estimates, batch, "merged result matches a from-scratch run");
+        assert_eq!(run.report.completed.len(), 3, "only the three missing claims ran");
+    }
+
+    #[test]
+    fn resume_with_complete_prior_submits_nothing() {
+        let trace = trace();
+        let engine = SstdEngine::new(SstdConfig::default());
+        let batch = engine.run(&trace);
+        let mut backend = SimBackend::new(DesEngine::new(
+            Cluster::homogeneous(2, 1.0),
+            ExecutionModel::default(),
+            2,
+        ));
+        let run = resume_distributed(&engine, &trace, &mut backend, JobId::new(2), &batch)
+            .expect("nothing to do");
+        assert_eq!(run.estimates, batch);
+        assert!(run.report.completed.is_empty(), "no tasks were submitted");
     }
 
     #[test]

@@ -7,8 +7,7 @@
 #![allow(clippy::needless_range_loop)]
 
 use crate::{
-    AcsAggregator, ClaimTruthModel, ClaimWorkspace, ConfidenceEstimates, SstdConfig,
-    TruthEstimates,
+    AcsAggregator, ClaimTruthModel, ClaimWorkspace, ConfidenceEstimates, SstdConfig, TruthEstimates,
 };
 use sstd_types::{ClaimId, Report, Trace, TruthLabel};
 use std::cell::RefCell;
@@ -93,7 +92,8 @@ impl SstdEngine {
         // EM tables, Viterbi lattice, and ACS buffers.
         let mut ws = ClaimWorkspace::new();
         for (claim, reports) in claim_partition(trace) {
-            let (labels, confidence) = self.decode_claim_with(trace, &reports, num_intervals, &mut ws);
+            let (labels, confidence) =
+                self.decode_claim_with(trace, &reports, num_intervals, &mut ws);
             labels_out.insert(claim, labels);
             conf_out.insert(claim, confidence);
         }

@@ -21,6 +21,17 @@
 //! real — one task per claim on any `sstd_runtime` execution backend,
 //! reassembled into estimates identical to the batch engine's.
 //!
+//! The streaming engine is **crash-consistent**: [`StreamingSstd::checkpoint`]
+//! produces a versioned, checksummed [`StreamCheckpoint`] and
+//! [`StreamingSstd::restore`] resumes from it bit-identically. The
+//! [`Supervisor`] runs an ingest loop under a [`CheckpointPolicy`],
+//! journals applied reports in a [`ReportJournal`], and recovers from
+//! injected crashes by restoring the last checkpoint and replaying the
+//! journal with exactly-once sequence-number dedupe (see DESIGN.md §13).
+//! [`chaos_stream`] perturbs a report stream with the seeded ingest
+//! faults of [`sstd_runtime::FaultPlan`] — drop, duplicate, bounded
+//! reorder, payload corruption — for differential crash testing.
+//!
 //! # Examples
 //!
 //! ```
@@ -50,22 +61,31 @@
 #![warn(missing_docs, missing_debug_implementations)]
 
 mod acs;
+mod checkpoint;
 mod config;
 mod correlation;
 mod distributed;
 mod engine;
 mod estimates;
 mod model;
+mod recovery;
 mod streaming;
 mod workspace;
 
 pub use acs::AcsAggregator;
+pub use checkpoint::{config_fingerprint, RecoveryError, StreamCheckpoint, CHECKPOINT_VERSION};
 pub use config::{SstdConfig, SstdConfigBuilder};
 pub use correlation::{smooth_dependencies, ClaimDependency, Correlation};
-pub use distributed::{run_distributed, ClaimFit, DistributedError, DistributedRun};
+pub use distributed::{
+    resume_distributed, run_distributed, ClaimFit, DistributedError, DistributedRun,
+};
 pub use engine::{claim_partition, SstdEngine};
 pub use estimates::{ConfidenceEstimates, TruthEstimates};
 pub use model::{BinnedClaimTruthModel, ClaimTruthModel};
-pub use sstd_obs::{StreamTelemetry, StreamTick};
+pub use recovery::{
+    chaos_stream, crash_positions, CheckpointPolicy, IngestOutcome, IngestRecord, JournalEntry,
+    ReportJournal, Supervisor, SupervisorError,
+};
+pub use sstd_obs::{RecoveryEvent, RecoveryTelemetry, StreamTelemetry, StreamTick};
 pub use streaming::StreamingSstd;
 pub use workspace::ClaimWorkspace;

@@ -1,0 +1,1097 @@
+//! Crash-consistent supervised ingest (DESIGN.md §13).
+//!
+//! A production SSTD deployment ingests an unbounded report stream; the
+//! process running it *will* die mid-interval. This module makes that
+//! survivable without changing a single decision:
+//!
+//! - [`IngestRecord`] — a sequence-numbered, integrity-sealed report as
+//!   the transport delivers it;
+//! - [`chaos_stream`] — perturbs a pristine report stream with the seeded
+//!   ingest faults of a [`FaultPlan`] (drop, duplicate, bounded reorder,
+//!   payload corruption), purely as a function of `(plan, reports)`;
+//! - [`ReportJournal`] — an append-only, checksummed journal of the
+//!   records applied since the last checkpoint;
+//! - [`CheckpointPolicy`] — when the [`Supervisor`] snapshots (every N
+//!   applied reports and/or every M closed intervals);
+//! - [`Supervisor`] — the ingest loop itself: applies records with
+//!   exactly-once sequence-number dedupe, checkpoints under the policy,
+//!   and recovers from a crash by restoring the last checkpoint and
+//!   replaying the journal. Repeated crashes beyond the
+//!   [`RetryPolicy`] attempt budget escalate as a typed error.
+//!
+//! The headline guarantee — checked by the `recovery_chaos` differential
+//! suite — is that a crashed-and-recovered run produces
+//! [`TruthEstimates`] bit-identical to an uninterrupted run over the same
+//! delivered stream, including under chaos.
+
+use crate::checkpoint::{fnv1a, push_f64, push_u64, Reader, RecoveryError, StreamCheckpoint};
+use crate::{SstdConfig, StreamingSstd, TruthEstimates};
+use sstd_obs::{RecoveryEvent, RecoveryTelemetry};
+use sstd_runtime::{FaultPlan, IngestFault, RetryPolicy};
+use sstd_types::{
+    Attitude, ClaimId, Independence, Report, SourceId, SstdError, Timeline, Timestamp, Uncertainty,
+};
+use std::collections::BTreeSet;
+use std::fmt;
+use std::time::Instant;
+
+/// The 8-byte magic prefixing an encoded journal.
+const JOURNAL_MAGIC: &[u8; 8] = b"SSTDJRN1";
+
+/// The 8-byte magic prefixing the supervisor's durable checkpoint (the
+/// engine snapshot plus the applied-sequence set).
+const DURABLE_MAGIC: &[u8; 8] = b"SSTDSUP1";
+
+/// Encoded size of one journal entry: seq + source + claim + time (u64
+/// each) + attitude byte + uncertainty + independence (f64 each).
+const ENTRY_BYTES: usize = 8 * 4 + 1 + 8 * 2;
+
+/// A sequence-numbered report as the ingest transport delivers it.
+///
+/// The `seal` is an FNV-1a digest of the sequence number and payload,
+/// fixed at creation; [`is_intact`](Self::is_intact) recomputes it, so a
+/// record whose payload was damaged in flight no longer verifies. Chaos
+/// injection produces such records with [`corrupted`](Self::corrupted).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IngestRecord {
+    seq: u64,
+    report: Report,
+    seal: u64,
+}
+
+impl IngestRecord {
+    /// Seals `report` under sequence number `seq`.
+    #[must_use]
+    pub fn new(seq: u64, report: Report) -> Self {
+        Self { seq, report, seal: seal_of(seq, &report) }
+    }
+
+    /// The transport-assigned sequence number.
+    #[must_use]
+    pub const fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// The report payload.
+    #[must_use]
+    pub const fn report(&self) -> &Report {
+        &self.report
+    }
+
+    /// Whether the payload still matches its seal.
+    #[must_use]
+    pub fn is_intact(&self) -> bool {
+        self.seal == seal_of(self.seq, &self.report)
+    }
+
+    /// Returns this record with its payload damaged in flight: the stance
+    /// is flipped and the seal no longer verifies.
+    #[must_use]
+    pub fn corrupted(mut self) -> Self {
+        self.report = self.report.with_flipped_attitude();
+        self.seal ^= 1;
+        self
+    }
+}
+
+fn seal_of(seq: u64, report: &Report) -> u64 {
+    let mut bytes = Vec::with_capacity(ENTRY_BYTES);
+    push_u64(&mut bytes, seq);
+    push_report(&mut bytes, report);
+    fnv1a(&bytes)
+}
+
+fn push_report(out: &mut Vec<u8>, report: &Report) {
+    push_u64(out, report.source().index() as u64);
+    push_u64(out, report.claim().index() as u64);
+    push_u64(out, report.time().as_secs());
+    out.push(match report.attitude() {
+        Attitude::Silent => 0,
+        Attitude::Agree => 1,
+        Attitude::Disagree => 2,
+    });
+    push_f64(out, report.uncertainty().value());
+    push_f64(out, report.independence().value());
+}
+
+fn journal_err(detail: impl Into<String>) -> RecoveryError {
+    RecoveryError::Journal { detail: detail.into() }
+}
+
+/// Re-tags a low-level decode error as a journal error.
+fn as_journal(err: RecoveryError) -> RecoveryError {
+    match err {
+        RecoveryError::Corrupt { detail } => RecoveryError::Journal { detail },
+        other => other,
+    }
+}
+
+fn read_report(r: &mut Reader<'_>) -> Result<Report, RecoveryError> {
+    let source = r.u64().map_err(as_journal)?;
+    let claim = r.u64().map_err(as_journal)?;
+    let time = r.u64().map_err(as_journal)?;
+    let attitude = match r.u8().map_err(as_journal)? {
+        0 => Attitude::Silent,
+        1 => Attitude::Agree,
+        2 => Attitude::Disagree,
+        b => return Err(journal_err(format!("invalid attitude byte {b}"))),
+    };
+    let uncertainty = r.f64().map_err(as_journal)?;
+    let independence = r.f64().map_err(as_journal)?;
+    if source > u64::from(u32::MAX) || claim > u64::from(u32::MAX) {
+        return Err(journal_err(format!("id out of range (source {source}, claim {claim})")));
+    }
+    let uncertainty = Uncertainty::new(uncertainty)
+        .map_err(|e| journal_err(format!("invalid uncertainty: {e}")))?;
+    let independence = Independence::new(independence)
+        .map_err(|e| journal_err(format!("invalid independence: {e}")))?;
+    Ok(Report::new(
+        SourceId::new(source as u32),
+        ClaimId::new(claim as u32),
+        Timestamp::from_secs(time),
+        attitude,
+        uncertainty,
+        independence,
+    ))
+}
+
+/// One journaled application: a sequence number and the report it carried.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JournalEntry {
+    /// The record's transport sequence number.
+    pub seq: u64,
+    /// The applied report.
+    pub report: Report,
+}
+
+/// An append-only journal of the records applied since the last
+/// checkpoint.
+///
+/// The journal is the supervisor's write-ahead record: a record is
+/// journaled when (and only when) it is newly applied to the engine, so
+/// replaying the journal after a restore reproduces exactly the
+/// post-checkpoint ingest. [`to_bytes`](Self::to_bytes) /
+/// [`from_bytes`](Self::from_bytes) give it the same checksummed,
+/// versioned wire format as [`StreamCheckpoint`]; decoding damaged bytes
+/// yields [`RecoveryError::Journal`], never a panic.
+///
+/// # Examples
+///
+/// ```
+/// use sstd_core::ReportJournal;
+/// use sstd_types::*;
+///
+/// let mut journal = ReportJournal::new();
+/// let r = Report::plain(SourceId::new(0), ClaimId::new(1),
+///                       Timestamp::from_secs(7), Attitude::Agree);
+/// journal.append(42, r);
+/// let back = ReportJournal::from_bytes(&journal.to_bytes()).unwrap();
+/// assert_eq!(back.entries(), journal.entries());
+/// assert_eq!(back.highest_seq(), Some(42));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ReportJournal {
+    entries: Vec<JournalEntry>,
+}
+
+impl ReportJournal {
+    /// Creates an empty journal.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of journaled applications.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing has been journaled since the last checkpoint.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The journaled entries, in application order.
+    #[must_use]
+    pub fn entries(&self) -> &[JournalEntry] {
+        &self.entries
+    }
+
+    /// The highest sequence number journaled so far.
+    #[must_use]
+    pub fn highest_seq(&self) -> Option<u64> {
+        self.entries.iter().map(|e| e.seq).max()
+    }
+
+    /// Appends one applied record.
+    pub fn append(&mut self, seq: u64, report: Report) {
+        self.entries.push(JournalEntry { seq, report });
+    }
+
+    /// Discards all entries (done after a successful checkpoint, which
+    /// subsumes them).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Encodes the journal: magic, entry count, entries, FNV-1a checksum.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(JOURNAL_MAGIC.len() + 8 + self.len() * ENTRY_BYTES + 8);
+        out.extend_from_slice(JOURNAL_MAGIC);
+        push_u64(&mut out, self.entries.len() as u64);
+        for entry in &self.entries {
+            push_u64(&mut out, entry.seq);
+            push_report(&mut out, &entry.report);
+        }
+        let sum = fnv1a(&out);
+        push_u64(&mut out, sum);
+        out
+    }
+
+    /// Decodes an encoded journal, verifying its checksum and every
+    /// payload field.
+    ///
+    /// # Errors
+    ///
+    /// [`RecoveryError::Journal`] on truncation, checksum or magic
+    /// mismatch, or any out-of-range payload field.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, RecoveryError> {
+        let min = JOURNAL_MAGIC.len() + 8 + 8;
+        if bytes.len() < min {
+            return Err(journal_err(format!("{} bytes is too short for a journal", bytes.len())));
+        }
+        let (body, trailer) = bytes.split_at(bytes.len() - 8);
+        let stored = u64::from_le_bytes(trailer.try_into().expect("8-byte trailer"));
+        if fnv1a(body) != stored {
+            return Err(journal_err("checksum mismatch"));
+        }
+        let mut r = Reader { bytes: body, pos: 0 };
+        if r.take(JOURNAL_MAGIC.len()).map_err(as_journal)? != JOURNAL_MAGIC {
+            return Err(journal_err("bad magic"));
+        }
+        let count = r.usize().map_err(as_journal)?;
+        if count > r.remaining() / ENTRY_BYTES {
+            return Err(journal_err(format!("entry count {count} exceeds the encoded payload")));
+        }
+        let mut entries = Vec::with_capacity(count);
+        for _ in 0..count {
+            let seq = r.u64().map_err(as_journal)?;
+            let report = read_report(&mut r)?;
+            entries.push(JournalEntry { seq, report });
+        }
+        if r.remaining() != 0 {
+            return Err(journal_err(format!("{} trailing bytes after entries", r.remaining())));
+        }
+        Ok(Self { entries })
+    }
+}
+
+/// Runs `reports` through the seeded ingest faults of `plan`, producing
+/// the record stream a faulty transport would deliver.
+///
+/// Each report gets its index as sequence number, then the plan's
+/// [`decide_ingest`](FaultPlan::decide_ingest) verdict is applied:
+/// dropped records vanish, duplicated records are delivered twice
+/// back-to-back, reordered records are delayed past up to `depth` later
+/// records (a stable sort on delayed emit keys — the bounded-reorder
+/// model), and corrupted records arrive with a broken seal. The output is
+/// a pure function of `(plan, reports)`, so differential tests can feed
+/// the *same* perturbed stream to a crashing and a non-crashing consumer.
+#[must_use]
+pub fn chaos_stream(plan: &FaultPlan, reports: &[Report]) -> Vec<IngestRecord> {
+    let mut slots: Vec<(u64, usize, IngestRecord)> = Vec::with_capacity(reports.len());
+    for (idx, report) in reports.iter().enumerate() {
+        let seq = idx as u64;
+        let record = IngestRecord::new(seq, *report);
+        match plan.decide_ingest(seq) {
+            Some(IngestFault::Drop) => {}
+            Some(IngestFault::Duplicate) => {
+                slots.push((seq, idx, record));
+                slots.push((seq, idx, record));
+            }
+            Some(IngestFault::Reorder { depth }) => {
+                slots.push((seq + u64::from(depth), idx, record));
+            }
+            Some(IngestFault::Corrupt) => slots.push((seq, idx, record.corrupted())),
+            None => slots.push((seq, idx, record)),
+        }
+    }
+    slots.sort_by_key(|&(emit, idx, _)| (emit, idx));
+    slots.into_iter().map(|(_, _, record)| record).collect()
+}
+
+/// The consume positions at which `plan` injects an ingest crash: the
+/// first delivery of sequence number `k` from
+/// [`FaultPlan::with_ingest_crash_at`]. Empty when the plan injects none
+/// or the sequence was dropped by chaos.
+#[must_use]
+pub fn crash_positions(plan: &FaultPlan, records: &[IngestRecord]) -> Vec<usize> {
+    plan.ingest_crash_at()
+        .and_then(|k| records.iter().position(|r| r.seq() == k))
+        .into_iter()
+        .collect()
+}
+
+/// When the [`Supervisor`] writes a checkpoint: after `every_reports`
+/// newly applied reports, and/or whenever `every_intervals` intervals
+/// have closed since the last checkpoint. A dimension set to `0` is
+/// disabled; [`CheckpointPolicy::DISABLED`] never checkpoints (recovery
+/// then replays the whole journal).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointPolicy {
+    /// Checkpoint after this many newly applied reports (`0` disables).
+    pub every_reports: u64,
+    /// Checkpoint after this many closed intervals (`0` disables).
+    pub every_intervals: usize,
+}
+
+impl CheckpointPolicy {
+    /// Never checkpoint automatically.
+    pub const DISABLED: Self = Self { every_reports: 0, every_intervals: 0 };
+
+    /// Checkpoint every `n` newly applied reports.
+    #[must_use]
+    pub const fn every_reports(n: u64) -> Self {
+        Self { every_reports: n, every_intervals: 0 }
+    }
+
+    /// Checkpoint every `n` closed intervals.
+    #[must_use]
+    pub const fn every_intervals(n: usize) -> Self {
+        Self { every_reports: 0, every_intervals: n }
+    }
+
+    fn due(&self, reports_since: u64, intervals_since: usize) -> bool {
+        (self.every_reports > 0 && reports_since >= self.every_reports)
+            || (self.every_intervals > 0 && intervals_since >= self.every_intervals)
+    }
+}
+
+impl Default for CheckpointPolicy {
+    /// Every 128 applied reports.
+    fn default() -> Self {
+        Self::every_reports(128)
+    }
+}
+
+/// What [`Supervisor::ingest`] did with a record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IngestOutcome {
+    /// Newly applied to the engine and journaled.
+    Applied,
+    /// Already applied under this sequence number; skipped (exactly-once).
+    Duplicate,
+    /// Failed its integrity seal; rejected and counted in telemetry.
+    Rejected,
+}
+
+/// Why a supervised run failed outright.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SupervisorError {
+    /// Recovery itself failed (corrupt checkpoint or journal).
+    Recovery(RecoveryError),
+    /// The crash count exceeded the retry policy's attempt budget.
+    CrashBudgetExhausted {
+        /// Crashes observed so far.
+        crashes: u32,
+        /// The [`RetryPolicy::max_attempts`] budget.
+        budget: u32,
+    },
+}
+
+impl fmt::Display for SupervisorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Recovery(e) => write!(f, "recovery failed: {e}"),
+            Self::CrashBudgetExhausted { crashes, budget } => {
+                write!(f, "{crashes} crashes exceeded the {budget}-attempt budget")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SupervisorError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Recovery(e) => Some(e),
+            Self::CrashBudgetExhausted { .. } => None,
+        }
+    }
+}
+
+impl From<RecoveryError> for SupervisorError {
+    fn from(e: RecoveryError) -> Self {
+        Self::Recovery(e)
+    }
+}
+
+impl From<SupervisorError> for SstdError {
+    fn from(e: SupervisorError) -> Self {
+        Self::recovery(e)
+    }
+}
+
+/// A crash-consistent ingest loop around [`StreamingSstd`].
+///
+/// The supervisor applies [`IngestRecord`]s with exactly-once
+/// sequence-number dedupe, journals every application, and checkpoints
+/// under a [`CheckpointPolicy`]. Its durable state is exactly two byte
+/// strings — the last encoded checkpoint and the journal — and
+/// [`crash_and_recover`](Self::crash_and_recover) rebuilds everything
+/// else from them, so an injected crash loses only volatile state.
+/// Because restore is replay through the live decision path, the
+/// recovered engine continues bit-identically.
+///
+/// # Examples
+///
+/// ```
+/// use sstd_core::{chaos_stream, CheckpointPolicy, SstdConfig, Supervisor};
+/// use sstd_runtime::FaultPlan;
+/// use sstd_types::*;
+///
+/// let timeline = Timeline::new(Timestamp::from_secs(100), 10);
+/// let reports: Vec<Report> = (0..60)
+///     .map(|i| Report::plain(SourceId::new(i % 3), ClaimId::new(0),
+///                            Timestamp::from_secs(u64::from(i) + 20), Attitude::Agree))
+///     .collect();
+/// let records = chaos_stream(&FaultPlan::new(7), &reports);
+///
+/// let mut sup = Supervisor::new(
+///     SstdConfig::default(), timeline, CheckpointPolicy::every_reports(16));
+/// sup.run(&records, &[30], 3).unwrap();   // crash after record 30, redeliver 3
+/// let (estimates, telemetry) = sup.finish();
+/// assert_eq!(telemetry.crashes_observed(), 1);
+/// assert_eq!(telemetry.restores_completed(), 1);
+/// assert!(estimates.num_claims() > 0);
+/// ```
+#[derive(Debug)]
+pub struct Supervisor {
+    config: SstdConfig,
+    timeline: Timeline,
+    policy: CheckpointPolicy,
+    retry: RetryPolicy,
+    engine: StreamingSstd,
+    applied: BTreeSet<u64>,
+    journal: ReportJournal,
+    durable: Option<Vec<u8>>,
+    reports_since_checkpoint: u64,
+    intervals_at_checkpoint: usize,
+    crashes: u32,
+    telemetry: RecoveryTelemetry,
+}
+
+impl Supervisor {
+    /// Creates a supervisor over a fresh streaming engine.
+    #[must_use]
+    pub fn new(config: SstdConfig, timeline: Timeline, policy: CheckpointPolicy) -> Self {
+        let engine = StreamingSstd::new(config, timeline.clone());
+        Self {
+            config,
+            timeline,
+            policy,
+            retry: RetryPolicy::default(),
+            engine,
+            applied: BTreeSet::new(),
+            journal: ReportJournal::new(),
+            durable: None,
+            reports_since_checkpoint: 0,
+            intervals_at_checkpoint: 0,
+            crashes: 0,
+            telemetry: RecoveryTelemetry::new(),
+        }
+    }
+
+    /// Sets the crash-escalation budget: once more crashes have been
+    /// observed than `retry.max_attempts`, recovery stops retrying and
+    /// [`SupervisorError::CrashBudgetExhausted`] surfaces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `retry` fails [`RetryPolicy::validate`].
+    #[must_use]
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        retry.assert_valid();
+        self.retry = retry;
+        self
+    }
+
+    /// The supervised engine (read-only; all mutation goes through
+    /// [`ingest`](Self::ingest)).
+    #[must_use]
+    pub const fn engine(&self) -> &StreamingSstd {
+        &self.engine
+    }
+
+    /// The recovery event stream and counters so far.
+    #[must_use]
+    pub const fn telemetry(&self) -> &RecoveryTelemetry {
+        &self.telemetry
+    }
+
+    /// Crashes observed so far.
+    #[must_use]
+    pub const fn crashes_observed(&self) -> u32 {
+        self.crashes
+    }
+
+    /// Distinct sequence numbers applied so far.
+    #[must_use]
+    pub fn applied_reports(&self) -> u64 {
+        self.applied.len() as u64
+    }
+
+    /// Applies one record: integrity check, exactly-once dedupe, engine
+    /// push, journal append, then a policy-driven checkpoint.
+    pub fn ingest(&mut self, record: &IngestRecord) -> IngestOutcome {
+        // The contribution-score check mirrors the engine's own guard;
+        // doing it here keeps the applied set in lockstep with the
+        // engine's report count (an invariant the restore path verifies).
+        if !record.is_intact() || !record.report().contribution_score().value().is_finite() {
+            self.engine.note_rejected_report();
+            return IngestOutcome::Rejected;
+        }
+        if !self.applied.insert(record.seq()) {
+            return IngestOutcome::Duplicate;
+        }
+        self.engine.push(record.report());
+        self.journal.append(record.seq(), *record.report());
+        self.reports_since_checkpoint += 1;
+        let intervals_since =
+            self.engine.current_interval().saturating_sub(self.intervals_at_checkpoint);
+        if self.policy.due(self.reports_since_checkpoint, intervals_since) {
+            self.checkpoint_now();
+        }
+        IngestOutcome::Applied
+    }
+
+    /// Writes a checkpoint immediately: encodes the engine snapshot plus
+    /// the applied-sequence set, then truncates the journal it subsumes.
+    /// Checkpointing reads the engine without perturbing it, so a run
+    /// that checkpoints and a run that never does decode identically.
+    pub fn checkpoint_now(&mut self) {
+        let bytes = encode_durable(&self.engine.checkpoint(), &self.applied);
+        self.telemetry.record(RecoveryEvent::CheckpointWritten {
+            interval: self.engine.current_interval(),
+            journal_len: self.journal.len() as u64,
+            bytes: bytes.len(),
+        });
+        self.durable = Some(bytes);
+        self.journal.clear();
+        self.reports_since_checkpoint = 0;
+        self.intervals_at_checkpoint = self.engine.current_interval();
+    }
+
+    /// Simulates a process crash and recovers from durable state alone.
+    ///
+    /// The engine and dedupe set are dropped, then rebuilt by decoding
+    /// the last checkpoint (or starting fresh if none was written) and
+    /// replaying the journal through the engine with dedupe. Returns the
+    /// number of reports replayed.
+    ///
+    /// # Errors
+    ///
+    /// [`SupervisorError::CrashBudgetExhausted`] once crashes outnumber
+    /// [`RetryPolicy::max_attempts`]; [`SupervisorError::Recovery`] if
+    /// the durable bytes fail to decode.
+    pub fn crash_and_recover(&mut self) -> Result<u64, SupervisorError> {
+        self.crashes += 1;
+        self.telemetry
+            .record(RecoveryEvent::CrashObserved { reports_ingested: self.engine.reports_seen() });
+        if self.crashes > self.retry.max_attempts {
+            return Err(SupervisorError::CrashBudgetExhausted {
+                crashes: self.crashes,
+                budget: self.retry.max_attempts,
+            });
+        }
+        let started = Instant::now();
+        // Round-trip the journal through its wire format: recovery must
+        // work from bytes, not from conveniently surviving heap state.
+        let journal = ReportJournal::from_bytes(&self.journal.to_bytes())?;
+        let (mut engine, mut applied) = match &self.durable {
+            Some(bytes) => decode_durable(bytes, &self.config, &self.timeline)?,
+            None => (StreamingSstd::new(self.config, self.timeline.clone()), BTreeSet::new()),
+        };
+        let mut replayed = 0u64;
+        for entry in journal.entries() {
+            if applied.insert(entry.seq) {
+                engine.push(&entry.report);
+                replayed += 1;
+            }
+        }
+        self.engine = engine;
+        self.applied = applied;
+        self.reports_since_checkpoint = journal.len() as u64;
+        self.journal = journal;
+        self.telemetry
+            .record(RecoveryEvent::Restored { replayed, latency: started.elapsed().as_secs_f64() });
+        Ok(replayed)
+    }
+
+    /// Consumes a delivered record stream, crashing after each position
+    /// in `crash_after` (0-based consume index, each fires once).
+    ///
+    /// After a crash the transport is at-least-once: it re-delivers up to
+    /// `redelivery` already-consumed records before resuming, and the
+    /// dedupe set absorbs them — which is exactly the overlap a real
+    /// resume-from-acknowledged-offset source produces.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Supervisor::crash_and_recover`] failures.
+    pub fn run(
+        &mut self,
+        records: &[IngestRecord],
+        crash_after: &[usize],
+        redelivery: usize,
+    ) -> Result<(), SupervisorError> {
+        let mut pending: BTreeSet<usize> = crash_after.iter().copied().collect();
+        let mut i = 0usize;
+        while i < records.len() {
+            self.ingest(&records[i]);
+            if pending.remove(&i) {
+                self.crash_and_recover()?;
+                i = i.saturating_sub(redelivery);
+            }
+            i += 1;
+        }
+        Ok(())
+    }
+
+    /// Finalizes: closes remaining intervals and returns the estimates
+    /// plus the recovery telemetry.
+    #[must_use]
+    pub fn finish(self) -> (TruthEstimates, RecoveryTelemetry) {
+        (self.engine.finish(), self.telemetry)
+    }
+}
+
+/// Merges a sorted sequence set into `(start, len)` runs — compact
+/// because drops are the only holes in an otherwise contiguous range.
+fn to_ranges(applied: &BTreeSet<u64>) -> Vec<(u64, u64)> {
+    let mut ranges: Vec<(u64, u64)> = Vec::new();
+    for &seq in applied {
+        match ranges.last_mut() {
+            Some((start, len)) if *start + *len == seq => *len += 1,
+            _ => ranges.push((seq, 1)),
+        }
+    }
+    ranges
+}
+
+fn encode_durable(snapshot: &StreamCheckpoint, applied: &BTreeSet<u64>) -> Vec<u8> {
+    let snap = snapshot.to_bytes();
+    let ranges = to_ranges(applied);
+    let mut out = Vec::with_capacity(DURABLE_MAGIC.len() + 16 + snap.len() + ranges.len() * 16 + 8);
+    out.extend_from_slice(DURABLE_MAGIC);
+    push_u64(&mut out, snap.len() as u64);
+    out.extend_from_slice(&snap);
+    push_u64(&mut out, ranges.len() as u64);
+    for (start, len) in ranges {
+        push_u64(&mut out, start);
+        push_u64(&mut out, len);
+    }
+    let sum = fnv1a(&out);
+    push_u64(&mut out, sum);
+    out
+}
+
+fn decode_durable(
+    bytes: &[u8],
+    config: &SstdConfig,
+    timeline: &Timeline,
+) -> Result<(StreamingSstd, BTreeSet<u64>), RecoveryError> {
+    let min = DURABLE_MAGIC.len() + 16 + 8;
+    if bytes.len() < min {
+        return Err(RecoveryError::Corrupt {
+            detail: format!("{} bytes is too short for a supervisor checkpoint", bytes.len()),
+        });
+    }
+    let (body, trailer) = bytes.split_at(bytes.len() - 8);
+    let stored = u64::from_le_bytes(trailer.try_into().expect("8-byte trailer"));
+    if fnv1a(body) != stored {
+        return Err(RecoveryError::Corrupt {
+            detail: "supervisor checkpoint checksum mismatch".into(),
+        });
+    }
+    let mut r = Reader { bytes: body, pos: 0 };
+    if r.take(DURABLE_MAGIC.len())? != DURABLE_MAGIC {
+        return Err(RecoveryError::Corrupt { detail: "bad supervisor checkpoint magic".into() });
+    }
+    let snap_len = r.usize()?;
+    let snapshot = StreamCheckpoint::from_bytes(r.take(snap_len)?)?;
+    let engine = StreamingSstd::restore(*config, timeline.clone(), &snapshot)?;
+    let range_count = r.usize()?;
+    if range_count > r.remaining() / 16 {
+        return Err(RecoveryError::Corrupt {
+            detail: format!("range count {range_count} exceeds the encoded payload"),
+        });
+    }
+    let mut applied = BTreeSet::new();
+    for _ in 0..range_count {
+        let start = r.u64()?;
+        let len = r.u64()?;
+        if len == 0 || start.checked_add(len).is_none() {
+            return Err(RecoveryError::Corrupt {
+                detail: format!("invalid applied-sequence range ({start}, {len})"),
+            });
+        }
+        for seq in start..start + len {
+            applied.insert(seq);
+        }
+    }
+    if r.remaining() != 0 {
+        return Err(RecoveryError::Corrupt {
+            detail: format!("{} trailing bytes after ranges", r.remaining()),
+        });
+    }
+    // Every applied record is exactly one engine push (dedupe and
+    // integrity rejection both happen above the engine), so the two
+    // counts must agree.
+    if applied.len() as u64 != snapshot.reports_seen() {
+        return Err(RecoveryError::Corrupt {
+            detail: format!(
+                "applied-sequence count {} disagrees with snapshot report count {}",
+                applied.len(),
+                snapshot.reports_seen()
+            ),
+        });
+    }
+    Ok((engine, applied))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sstd_types::TruthLabel;
+
+    fn timeline() -> Timeline {
+        Timeline::new(Timestamp::from_secs(100), 10)
+    }
+
+    /// Two claims with opposing stances and a mid-trace flip on claim 1.
+    fn reports() -> Vec<Report> {
+        let mut out = Vec::new();
+        for t in 0..100u64 {
+            for s in 0..3u32 {
+                let attitude = if t < 50 { Attitude::Agree } else { Attitude::Disagree };
+                out.push(Report::plain(
+                    SourceId::new(s),
+                    ClaimId::new(0),
+                    Timestamp::from_secs(t),
+                    attitude,
+                ));
+                if s < 2 {
+                    out.push(Report::plain(
+                        SourceId::new(s),
+                        ClaimId::new(1),
+                        Timestamp::from_secs(t),
+                        attitude.flipped(),
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn seals_detect_payload_damage() {
+        let r = Report::plain(
+            SourceId::new(1),
+            ClaimId::new(2),
+            Timestamp::from_secs(3),
+            Attitude::Agree,
+        );
+        let record = IngestRecord::new(9, r);
+        assert!(record.is_intact());
+        assert!(!record.corrupted().is_intact());
+        // A silent report's flip is a no-op payload-wise; the seal still breaks.
+        let silent = IngestRecord::new(
+            10,
+            Report::plain(SourceId::new(0), ClaimId::new(0), Timestamp::ZERO, Attitude::Silent),
+        );
+        assert!(!silent.corrupted().is_intact());
+    }
+
+    #[test]
+    fn journal_roundtrips() {
+        let mut journal = ReportJournal::new();
+        journal.append(
+            3,
+            Report::new(
+                SourceId::new(7),
+                ClaimId::new(1),
+                Timestamp::from_secs(11),
+                Attitude::Disagree,
+                Uncertainty::new(0.25).unwrap(),
+                Independence::new(0.5).unwrap(),
+            ),
+        );
+        journal.append(
+            9,
+            Report::plain(SourceId::new(0), ClaimId::new(0), Timestamp::ZERO, Attitude::Silent),
+        );
+        let back = ReportJournal::from_bytes(&journal.to_bytes()).expect("roundtrip");
+        assert_eq!(back, journal);
+        assert_eq!(back.highest_seq(), Some(9));
+        assert_eq!(back.len(), 2);
+    }
+
+    #[test]
+    fn journal_rejects_every_single_bit_flip() {
+        let mut journal = ReportJournal::new();
+        journal.append(
+            0,
+            Report::plain(
+                SourceId::new(1),
+                ClaimId::new(2),
+                Timestamp::from_secs(5),
+                Attitude::Agree,
+            ),
+        );
+        let bytes = journal.to_bytes();
+        for i in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut bad = bytes.clone();
+                bad[i] ^= 1 << bit;
+                let err = ReportJournal::from_bytes(&bad).expect_err("flip must be caught");
+                assert!(matches!(err, RecoveryError::Journal { .. }), "{err}");
+            }
+        }
+        for cut in 0..bytes.len() {
+            assert!(ReportJournal::from_bytes(&bytes[..cut]).is_err(), "truncation at {cut}");
+        }
+    }
+
+    #[test]
+    fn journal_rejects_semantic_garbage() {
+        // A syntactically valid journal whose uncertainty is out of range:
+        // build it by hand with a bad f64, re-checksummed.
+        let mut out = Vec::new();
+        out.extend_from_slice(JOURNAL_MAGIC);
+        push_u64(&mut out, 1);
+        push_u64(&mut out, 0); // seq
+        push_u64(&mut out, 0); // source
+        push_u64(&mut out, 0); // claim
+        push_u64(&mut out, 0); // time
+        out.push(1); // attitude: agree
+        push_f64(&mut out, 7.5); // uncertainty out of [0, 1]
+        push_f64(&mut out, 1.0);
+        let sum = fnv1a(&out);
+        push_u64(&mut out, sum);
+        let err = ReportJournal::from_bytes(&out).expect_err("bad uncertainty");
+        assert!(err.to_string().contains("uncertainty"), "{err}");
+    }
+
+    #[test]
+    fn chaos_stream_is_deterministic_and_seeded() {
+        let reports = reports();
+        let plan = FaultPlan::new(42)
+            .with_ingest_drop_rate(0.05)
+            .with_ingest_duplicate_rate(0.05)
+            .with_ingest_reorder(0.1, 4)
+            .with_ingest_corrupt_rate(0.02);
+        let a = chaos_stream(&plan, &reports);
+        let b = chaos_stream(&plan, &reports);
+        assert_eq!(a, b, "same plan, same stream");
+        let c = chaos_stream(&FaultPlan::new(43).with_ingest_drop_rate(0.05), &reports);
+        assert_ne!(a, c, "different seed, different stream");
+        assert!(a.iter().any(|r| !r.is_intact()), "corruption fired");
+        let distinct: BTreeSet<u64> = a.iter().map(IngestRecord::seq).collect();
+        assert!(distinct.len() < reports.len(), "drops fired");
+        assert!(a.len() > distinct.len(), "duplicates fired");
+    }
+
+    #[test]
+    fn pristine_plan_is_the_identity() {
+        let reports = reports();
+        let records = chaos_stream(&FaultPlan::new(0), &reports);
+        assert_eq!(records.len(), reports.len());
+        for (i, record) in records.iter().enumerate() {
+            assert_eq!(record.seq(), i as u64);
+            assert_eq!(record.report(), &reports[i]);
+            assert!(record.is_intact());
+        }
+    }
+
+    #[test]
+    fn reorder_displacement_is_bounded_by_depth() {
+        let reports = reports();
+        let depth = 5u32;
+        let plan = FaultPlan::new(11).with_ingest_reorder(0.3, depth);
+        let records = chaos_stream(&plan, &reports);
+        assert_eq!(records.len(), reports.len(), "reorder neither drops nor duplicates");
+        for (pos, record) in records.iter().enumerate() {
+            let shift = (pos as i64 - record.seq() as i64).unsigned_abs();
+            assert!(shift <= u64::from(depth), "seq {} displaced by {shift}", record.seq());
+        }
+    }
+
+    #[test]
+    fn supervised_run_matches_bare_streaming() {
+        let reports = reports();
+        let records = chaos_stream(&FaultPlan::new(0), &reports);
+        let mut sup =
+            Supervisor::new(SstdConfig::default(), timeline(), CheckpointPolicy::every_reports(64));
+        sup.run(&records, &[], 0).expect("no crashes");
+        let (estimates, telemetry) = sup.finish();
+
+        let mut bare = StreamingSstd::new(SstdConfig::default(), timeline());
+        for r in &reports {
+            bare.push(r);
+        }
+        assert_eq!(estimates, bare.finish(), "supervision must not change decisions");
+        assert!(telemetry.checkpoints_written() > 0, "policy fired");
+        assert_eq!(telemetry.crashes_observed(), 0);
+    }
+
+    #[test]
+    fn crashed_run_is_bit_identical_to_uninterrupted_run() {
+        let reports = reports();
+        let plan = FaultPlan::new(2017)
+            .with_ingest_drop_rate(0.04)
+            .with_ingest_duplicate_rate(0.06)
+            .with_ingest_reorder(0.08, 3)
+            .with_ingest_corrupt_rate(0.03);
+        let records = chaos_stream(&plan, &reports);
+        let config = SstdConfig::default();
+
+        let mut reference =
+            Supervisor::new(config, timeline(), CheckpointPolicy::every_reports(40));
+        reference.run(&records, &[], 0).expect("uninterrupted");
+        let (expected, _) = reference.finish();
+
+        let mut crashed = Supervisor::new(config, timeline(), CheckpointPolicy::every_reports(40));
+        let cuts = [3usize, 97, 240, records.len() - 2];
+        crashed.run(&records, &cuts, 5).expect("all recoveries succeed");
+        let (got, telemetry) = crashed.finish();
+
+        assert_eq!(got, expected, "recovery must be invisible in the estimates");
+        assert_eq!(telemetry.crashes_observed(), 4);
+        assert_eq!(telemetry.restores_completed(), 4);
+        assert!(telemetry.checkpoints_written() > 0);
+    }
+
+    #[test]
+    fn crash_before_any_checkpoint_replays_the_whole_journal() {
+        let reports = reports();
+        let records = chaos_stream(&FaultPlan::new(0), &reports);
+        let mut sup =
+            Supervisor::new(SstdConfig::default(), timeline(), CheckpointPolicy::DISABLED);
+        for record in records.iter().take(25) {
+            sup.ingest(record);
+        }
+        let replayed = sup.crash_and_recover().expect("recover from journal alone");
+        assert_eq!(replayed, 25, "no checkpoint: everything comes back from the journal");
+        assert_eq!(sup.engine().reports_seen(), 25);
+    }
+
+    #[test]
+    fn duplicates_are_applied_exactly_once() {
+        let reports = reports();
+        let plan = FaultPlan::new(5).with_ingest_duplicate_rate(0.4);
+        let records = chaos_stream(&plan, &reports);
+        assert!(records.len() > reports.len(), "duplicates fired");
+        let mut sup =
+            Supervisor::new(SstdConfig::default(), timeline(), CheckpointPolicy::default());
+        let mut dupes = 0u64;
+        for record in &records {
+            if sup.ingest(record) == IngestOutcome::Duplicate {
+                dupes += 1;
+            }
+        }
+        assert_eq!(dupes as usize, records.len() - reports.len());
+        assert_eq!(sup.applied_reports(), reports.len() as u64);
+        assert_eq!(sup.engine().reports_seen(), reports.len() as u64);
+    }
+
+    #[test]
+    fn corrupt_records_are_rejected_and_counted() {
+        let r = Report::plain(
+            SourceId::new(0),
+            ClaimId::new(0),
+            Timestamp::from_secs(1),
+            Attitude::Agree,
+        );
+        let mut sup =
+            Supervisor::new(SstdConfig::default(), timeline(), CheckpointPolicy::default());
+        assert_eq!(sup.ingest(&IngestRecord::new(0, r).corrupted()), IngestOutcome::Rejected);
+        assert_eq!(sup.ingest(&IngestRecord::new(1, r)), IngestOutcome::Applied);
+        assert_eq!(sup.engine().rejected_reports_seen(), 1);
+        assert_eq!(sup.engine().reports_seen(), 1);
+    }
+
+    #[test]
+    fn crash_budget_exhaustion_escalates() {
+        let reports = reports();
+        let records = chaos_stream(&FaultPlan::new(0), &reports);
+        let mut sup =
+            Supervisor::new(SstdConfig::default(), timeline(), CheckpointPolicy::default())
+                .with_retry(RetryPolicy { max_attempts: 1, ..RetryPolicy::default() });
+        for record in records.iter().take(5) {
+            sup.ingest(record);
+        }
+        sup.crash_and_recover().expect("first crash is within budget");
+        let err = sup.crash_and_recover().expect_err("second crash exceeds max_attempts = 1");
+        assert_eq!(err, SupervisorError::CrashBudgetExhausted { crashes: 2, budget: 1 });
+        assert!(err.to_string().contains("exceeded"), "{err}");
+        let wrapped: SstdError = err.into();
+        assert!(
+            wrapped.recovery_as::<SupervisorError>().is_some(),
+            "supervisor errors surface through SstdError::Recovery"
+        );
+    }
+
+    #[test]
+    fn tampered_durable_checkpoint_is_refused() {
+        let reports = reports();
+        let records = chaos_stream(&FaultPlan::new(0), &reports);
+        let mut sup =
+            Supervisor::new(SstdConfig::default(), timeline(), CheckpointPolicy::DISABLED);
+        for record in records.iter().take(40) {
+            sup.ingest(record);
+        }
+        sup.checkpoint_now();
+        let bytes = sup.durable.as_mut().expect("checkpoint written");
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        let err = sup.crash_and_recover().expect_err("tampered checkpoint");
+        assert!(matches!(err, SupervisorError::Recovery(RecoveryError::Corrupt { .. })), "{err}");
+    }
+
+    #[test]
+    fn applied_ranges_compact_and_roundtrip() {
+        let applied: BTreeSet<u64> = [0, 1, 2, 5, 6, 9].into_iter().collect();
+        assert_eq!(to_ranges(&applied), vec![(0, 3), (5, 2), (9, 1)]);
+        let empty: BTreeSet<u64> = BTreeSet::new();
+        assert!(to_ranges(&empty).is_empty());
+    }
+
+    #[test]
+    fn crash_positions_come_from_the_plan() {
+        let reports = reports();
+        let plan = FaultPlan::new(0).with_ingest_crash_at(17);
+        let records = chaos_stream(&plan, &reports);
+        assert_eq!(crash_positions(&plan, &records), vec![17]);
+        assert!(crash_positions(&FaultPlan::new(0), &records).is_empty());
+    }
+
+    #[test]
+    fn supervised_decisions_are_queryable_mid_stream() {
+        let reports = reports();
+        let records = chaos_stream(&FaultPlan::new(0), &reports);
+        let mut sup = Supervisor::new(
+            SstdConfig::default(),
+            timeline(),
+            CheckpointPolicy::every_intervals(2),
+        );
+        sup.run(&records, &[records.len() / 2], 2).expect("recovers");
+        let decision = sup.engine().latest_decision(ClaimId::new(0));
+        assert!(
+            matches!(decision, Some(TruthLabel::True | TruthLabel::False)),
+            "claim 0 has a live decision after recovery"
+        );
+    }
+}

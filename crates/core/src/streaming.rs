@@ -7,6 +7,9 @@
 //! "All TD jobs are running in parallel and new TD jobs will be
 //! dynamically spawned when new claims are generated").
 
+use crate::checkpoint::{
+    config_fingerprint, corrupt, ClaimCheckpoint, RecoveryError, StreamCheckpoint,
+};
 use crate::{ClaimTruthModel, ClaimWorkspace, SstdConfig, TruthEstimates};
 use sstd_hmm::{EmWorkspace, Hmm, StreamingViterbi, SymmetricGaussianEmission};
 use sstd_obs::{StreamTelemetry, StreamTick};
@@ -71,9 +74,9 @@ impl ClaimStream {
                 dec.reset(model.hmm().clone());
                 dec
             }
-            None => self
-                .decoder
-                .insert(StreamingViterbi::new(model.hmm().clone()).with_max_pending(64)),
+            None => {
+                self.decoder.insert(StreamingViterbi::new(model.hmm().clone()).with_max_pending(64))
+            }
         };
         for &obs in &self.history {
             let _ = decoder.push(obs);
@@ -83,7 +86,22 @@ impl ClaimStream {
 
     fn close_interval(&mut self, config: &SstdConfig, em: &mut EmWorkspace) {
         let acs: f64 = self.open_cs + self.window.iter().sum::<f64>();
+        self.advance(acs, config, em);
+        self.window.push_back(self.open_cs);
+        if self.window.len() >= config.window {
+            self.window.pop_front();
+        }
+        self.open_cs = 0.0;
+    }
 
+    /// Feeds one windowed ACS observation through the decoder, commits the
+    /// decision, and refits when due. This is the *entire* decision path:
+    /// [`close_interval`](Self::close_interval) calls it live, and restore
+    /// replays a checkpointed history through it, which is what makes a
+    /// restored engine's continuation bit-identical to the uninterrupted
+    /// run (decoder and model state are a pure function of
+    /// `(config, history)`).
+    fn advance(&mut self, acs: f64, config: &SstdConfig, em: &mut EmWorkspace) {
         let decoder = self.decoder.get_or_insert_with(|| {
             let scale = acs.abs().max(1.0);
             let stay = config.stay_probability;
@@ -115,12 +133,28 @@ impl ClaimStream {
 
         self.history.push(acs);
         self.maybe_refit(config, em);
+    }
 
-        self.window.push_back(self.open_cs);
-        if self.window.len() >= config.window {
-            self.window.pop_front();
+    /// Rebuilds a claim's full streaming state from checkpointed data by
+    /// replaying the ACS history through [`advance`](Self::advance).
+    fn replay(
+        checkpoint: &ClaimCheckpoint,
+        config: &SstdConfig,
+        em: &mut EmWorkspace,
+    ) -> Result<Self, RecoveryError> {
+        let mut stream = Self::new(checkpoint.start_interval);
+        for &acs in &checkpoint.history {
+            stream.advance(acs, config, em);
         }
-        self.open_cs = 0.0;
+        if stream.decisions != checkpoint.decisions {
+            return Err(corrupt(format!(
+                "claim {}: checkpointed decisions do not replay from the ACS history",
+                checkpoint.claim
+            )));
+        }
+        stream.window = checkpoint.window.iter().copied().collect();
+        stream.open_cs = checkpoint.open_cs;
+        Ok(stream)
     }
 }
 
@@ -156,6 +190,14 @@ pub struct StreamingSstd {
     telemetry: Option<StreamTelemetry>,
     /// Reports ingested into the currently open interval.
     interval_reports: u64,
+    /// Far-past reports folded into the currently open interval.
+    interval_late: u64,
+    /// Reports rejected at ingest during the currently open interval.
+    interval_rejected: u64,
+    /// Lifetime count of far-past reports.
+    total_late: u64,
+    /// Lifetime count of rejected reports.
+    total_rejected: u64,
     /// Engine-wide scratch arena shared by every claim's refits.
     workspace: ClaimWorkspace,
 }
@@ -172,6 +214,10 @@ impl StreamingSstd {
             reports_seen: 0,
             telemetry: None,
             interval_reports: 0,
+            interval_late: 0,
+            interval_rejected: 0,
+            total_late: 0,
+            total_rejected: 0,
             workspace: ClaimWorkspace::new(),
         }
     }
@@ -214,11 +260,34 @@ impl StreamingSstd {
 
     /// Consumes one report.
     ///
-    /// Reports must arrive in non-decreasing time order; a report older
-    /// than the open interval is counted into the open interval rather
-    /// than rewriting history (matching the paper's streaming setting).
+    /// Reports must arrive in non-decreasing time order. Pathological
+    /// inputs have documented, counted behavior instead of silent folding:
+    ///
+    /// - a *far-past* report (timestamped before the open interval) is
+    ///   counted into the open interval rather than rewriting history —
+    ///   closed decisions are already emitted — and is tallied in the
+    ///   [`StreamTick::late_reports`] telemetry field and
+    ///   [`late_reports_seen`](Self::late_reports_seen);
+    /// - a report whose contribution score is *not finite* (impossible
+    ///   through the validated score constructors, but reachable through
+    ///   deserialized traces or damaged payloads) is rejected outright and
+    ///   tallied in [`StreamTick::rejected_reports`] and
+    ///   [`rejected_reports_seen`](Self::rejected_reports_seen). Report
+    ///   *times* cannot be non-finite — [`Timestamp`] is integer-backed —
+    ///   so the interval mapping is total.
+    ///
+    /// [`Timestamp`]: sstd_types::Timestamp
     pub fn push(&mut self, report: &Report) {
+        let cs = report.contribution_score().value();
+        if !cs.is_finite() {
+            self.note_rejected_report();
+            return;
+        }
         let iv = self.timeline.interval_of(report.time());
+        if iv < self.current_interval {
+            self.interval_late += 1;
+            self.total_late += 1;
+        }
         while self.current_interval < iv {
             self.close_current_interval();
         }
@@ -227,7 +296,28 @@ impl StreamingSstd {
         let claim = report.claim();
         let current = self.current_interval;
         let stream = self.claims.entry(claim).or_insert_with(|| ClaimStream::new(current));
-        stream.open_cs += report.contribution_score().value();
+        stream.open_cs += cs;
+    }
+
+    /// Records a report rejected *before* it reached [`push`](Self::push)
+    /// — e.g. an ingest record that failed its integrity check in the
+    /// recovery supervisor — so data-path rejections surface in the same
+    /// [`StreamTick::rejected_reports`] telemetry field.
+    pub fn note_rejected_report(&mut self) {
+        self.interval_rejected += 1;
+        self.total_rejected += 1;
+    }
+
+    /// Lifetime count of far-past reports folded into an open interval.
+    #[must_use]
+    pub const fn late_reports_seen(&self) -> u64 {
+        self.total_late
+    }
+
+    /// Lifetime count of reports rejected at ingest.
+    #[must_use]
+    pub const fn rejected_reports_seen(&self) -> u64 {
+        self.total_rejected
     }
 
     /// The latest committed decision for `claim`, if any interval has
@@ -268,10 +358,131 @@ impl StreamingSstd {
                 window_occupancy: occupancy,
                 decode_latency: started.map_or(0.0, |t| t.elapsed().as_secs_f64()),
                 decision_flips: flips,
+                late_reports: self.interval_late,
+                rejected_reports: self.interval_rejected,
             });
         }
         self.interval_reports = 0;
+        self.interval_late = 0;
+        self.interval_rejected = 0;
         self.current_interval += 1;
+    }
+
+    /// Snapshots the engine into a versioned, serializable
+    /// [`StreamCheckpoint`]: interval cursor, ingest counters, and
+    /// per-claim window/open-CS/history/decisions, stamped with the
+    /// `(config, timeline)` fingerprint. Decoder and model state are not
+    /// captured — [`restore`](Self::restore) rebuilds them
+    /// deterministically by replaying the history.
+    ///
+    /// Telemetry ticks are not part of the snapshot (they were already
+    /// exported downstream); a restored engine starts a fresh collector if
+    /// [`with_telemetry`](Self::with_telemetry) is chained onto it.
+    #[must_use]
+    pub fn checkpoint(&self) -> StreamCheckpoint {
+        StreamCheckpoint {
+            fingerprint: config_fingerprint(&self.config, &self.timeline),
+            current_interval: self.current_interval,
+            reports_seen: self.reports_seen,
+            interval_reports: self.interval_reports,
+            interval_late: self.interval_late,
+            interval_rejected: self.interval_rejected,
+            total_late: self.total_late,
+            total_rejected: self.total_rejected,
+            claims: self
+                .claims
+                .iter()
+                .map(|(&claim, s)| ClaimCheckpoint {
+                    claim,
+                    start_interval: s.start_interval,
+                    open_cs: s.open_cs,
+                    window: s.window.iter().copied().collect(),
+                    history: s.history.clone(),
+                    decisions: s.decisions.clone(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Reconstructs an engine from a checkpoint taken under the same
+    /// `(config, timeline)` pair, such that its continuation is
+    /// bit-identical to the engine the snapshot was taken from: same
+    /// decisions, same [`TruthEstimates`], report for report.
+    ///
+    /// Decoders are rebuilt by replaying each claim's checkpointed ACS
+    /// history through the live decision path — their state is a pure
+    /// deterministic function of `(config, history)`, which is the same
+    /// argument that makes the periodic refit sound (see
+    /// DESIGN.md §13).
+    ///
+    /// # Errors
+    ///
+    /// [`RecoveryError::ConfigMismatch`] when the checkpoint fingerprint
+    /// does not match `config`/`timeline`, and
+    /// [`RecoveryError::Corrupt`] when the snapshot is structurally
+    /// inconsistent (cursor/history/decision lengths disagree, non-finite
+    /// state, or decisions that do not replay from the history). Never
+    /// panics on any input that decodes.
+    pub fn restore(
+        config: SstdConfig,
+        timeline: Timeline,
+        checkpoint: &StreamCheckpoint,
+    ) -> Result<Self, RecoveryError> {
+        let expected = config_fingerprint(&config, &timeline);
+        if checkpoint.fingerprint != expected {
+            return Err(RecoveryError::ConfigMismatch { found: checkpoint.fingerprint, expected });
+        }
+        if checkpoint.current_interval > timeline.num_intervals() {
+            return Err(corrupt(format!(
+                "interval cursor {} exceeds the timeline's {} intervals",
+                checkpoint.current_interval,
+                timeline.num_intervals()
+            )));
+        }
+        let mut engine = Self::new(config, timeline);
+        engine.current_interval = checkpoint.current_interval;
+        engine.reports_seen = checkpoint.reports_seen;
+        engine.interval_reports = checkpoint.interval_reports;
+        engine.interval_late = checkpoint.interval_late;
+        engine.interval_rejected = checkpoint.interval_rejected;
+        engine.total_late = checkpoint.total_late;
+        engine.total_rejected = checkpoint.total_rejected;
+        for c in &checkpoint.claims {
+            let closed =
+                checkpoint.current_interval.checked_sub(c.start_interval).ok_or_else(|| {
+                    corrupt(format!(
+                        "claim {}: start interval {} is past the cursor {}",
+                        c.claim, c.start_interval, checkpoint.current_interval
+                    ))
+                })?;
+            if c.history.len() != closed || c.decisions.len() != closed {
+                return Err(corrupt(format!(
+                    "claim {}: {} closed intervals but {} history entries and {} decisions",
+                    c.claim,
+                    closed,
+                    c.history.len(),
+                    c.decisions.len()
+                )));
+            }
+            let expected_window = closed.min(engine.config.window.saturating_sub(1));
+            if c.window.len() != expected_window {
+                return Err(corrupt(format!(
+                    "claim {}: window holds {} entries, expected {}",
+                    c.claim,
+                    c.window.len(),
+                    expected_window
+                )));
+            }
+            if !c.open_cs.is_finite()
+                || c.window.iter().any(|v| !v.is_finite())
+                || c.history.iter().any(|v| !v.is_finite())
+            {
+                return Err(corrupt(format!("claim {}: non-finite streaming state", c.claim)));
+            }
+            let stream = ClaimStream::replay(c, &engine.config, &mut engine.workspace.em)?;
+            engine.claims.insert(c.claim, stream);
+        }
+        Ok(engine)
     }
 
     /// Closes all remaining intervals and returns the full estimate table.
@@ -455,6 +666,195 @@ mod tests {
         // flip boundary to differ by at most one interval.
         let disagreements = b.iter().zip(o).filter(|(x, y)| x != y).count();
         assert!(disagreements <= 2, "batch {b:?} vs online {o:?}");
+    }
+}
+
+#[cfg(test)]
+mod checkpoint_tests {
+    use super::*;
+    use crate::checkpoint::RecoveryError;
+    use sstd_types::{Attitude, SourceId, Timestamp};
+
+    fn timeline() -> Timeline {
+        Timeline::new(Timestamp::from_secs(100), 10)
+    }
+
+    /// A noisy multi-claim stream that exercises refits and flips.
+    fn reports() -> Vec<Report> {
+        (0..100u64)
+            .flat_map(|t| {
+                (0..3u32).map(move |src| {
+                    let claim = src % 2;
+                    let att = if (t / 30 + u64::from(src)) % 2 == 0 {
+                        Attitude::Agree
+                    } else {
+                        Attitude::Disagree
+                    };
+                    Report::plain(
+                        SourceId::new(src),
+                        ClaimId::new(claim),
+                        Timestamp::from_secs(t),
+                        att,
+                    )
+                })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn restored_run_is_bit_identical_to_uninterrupted() {
+        let cfg = SstdConfig::default().with_streaming_refit(3);
+        let all = reports();
+        for cut in [1usize, 37, 150, 299] {
+            let mut reference = StreamingSstd::new(cfg, timeline());
+            for r in &all {
+                reference.push(r);
+            }
+            let expected = reference.finish();
+
+            let mut first = StreamingSstd::new(cfg, timeline());
+            for r in &all[..cut] {
+                first.push(r);
+            }
+            let bytes = first.checkpoint().to_bytes();
+            drop(first); // the crash
+            let snap = StreamCheckpoint::from_bytes(&bytes).expect("snapshot decodes");
+            let mut resumed =
+                StreamingSstd::restore(cfg, timeline(), &snap).expect("same config restores");
+            for r in &all[cut..] {
+                resumed.push(r);
+            }
+            assert_eq!(resumed.finish(), expected, "cut at report {cut}");
+        }
+    }
+
+    #[test]
+    fn checkpoint_preserves_counters() {
+        let mut s = StreamingSstd::new(SstdConfig::default(), timeline());
+        for r in reports().iter().take(50) {
+            s.push(r);
+        }
+        s.note_rejected_report();
+        let snap = s.checkpoint();
+        assert_eq!(snap.reports_seen(), 50);
+        let resumed =
+            StreamingSstd::restore(SstdConfig::default(), timeline(), &snap).expect("restores");
+        assert_eq!(resumed.reports_seen(), 50);
+        assert_eq!(resumed.rejected_reports_seen(), 1);
+        assert_eq!(resumed.current_interval(), s.current_interval());
+        assert_eq!(resumed.num_claims(), s.num_claims());
+    }
+
+    #[test]
+    fn config_mismatch_is_rejected() {
+        let mut s = StreamingSstd::new(SstdConfig::default(), timeline());
+        for r in reports().iter().take(40) {
+            s.push(r);
+        }
+        let snap = s.checkpoint();
+        let other = SstdConfig::default().with_streaming_refit(7);
+        let err = StreamingSstd::restore(other, timeline(), &snap)
+            .expect_err("different config must be refused");
+        assert!(matches!(err, RecoveryError::ConfigMismatch { .. }), "{err}");
+        let other_tl = Timeline::new(Timestamp::from_secs(100), 20);
+        let err = StreamingSstd::restore(SstdConfig::default(), other_tl, &snap)
+            .expect_err("different timeline must be refused");
+        assert!(matches!(err, RecoveryError::ConfigMismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn tampered_decisions_fail_replay_validation() {
+        let mut s = StreamingSstd::new(SstdConfig::default(), timeline());
+        for r in reports().iter().take(200) {
+            s.push(r);
+        }
+        let mut snap = s.checkpoint();
+        let d = &mut snap.claims[0].decisions;
+        assert!(!d.is_empty());
+        d[0] = if d[0] == TruthLabel::True { TruthLabel::False } else { TruthLabel::True };
+        let err = StreamingSstd::restore(SstdConfig::default(), timeline(), &snap)
+            .expect_err("tampered decisions must be refused");
+        assert!(matches!(err, RecoveryError::Corrupt { .. }), "{err}");
+        assert!(err.to_string().contains("replay"), "{err}");
+    }
+
+    #[test]
+    fn structurally_inconsistent_snapshots_are_rejected() {
+        let mut s = StreamingSstd::new(SstdConfig::default(), timeline());
+        for r in reports().iter().take(120) {
+            s.push(r);
+        }
+        let good = s.checkpoint();
+
+        let mut cursor_overflow = good.clone();
+        cursor_overflow.current_interval = 99;
+        assert!(matches!(
+            StreamingSstd::restore(SstdConfig::default(), timeline(), &cursor_overflow),
+            Err(RecoveryError::Corrupt { .. })
+        ));
+
+        let mut short_history = good.clone();
+        short_history.claims[0].history.pop();
+        assert!(matches!(
+            StreamingSstd::restore(SstdConfig::default(), timeline(), &short_history),
+            Err(RecoveryError::Corrupt { .. })
+        ));
+
+        let mut nan_state = good.clone();
+        nan_state.claims[0].open_cs = f64::NAN;
+        assert!(matches!(
+            StreamingSstd::restore(SstdConfig::default(), timeline(), &nan_state),
+            Err(RecoveryError::Corrupt { .. })
+        ));
+
+        let mut bad_window = good;
+        bad_window.claims[0].window.push(0.5);
+        assert!(matches!(
+            StreamingSstd::restore(SstdConfig::default(), timeline(), &bad_window),
+            Err(RecoveryError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn late_reports_are_counted_not_dropped() {
+        let mut s = StreamingSstd::new(SstdConfig::default(), timeline()).with_telemetry();
+        s.push(&Report::plain(
+            SourceId::new(0),
+            ClaimId::new(0),
+            Timestamp::from_secs(45),
+            Attitude::Agree,
+        ));
+        assert_eq!(s.current_interval(), 4);
+        // Timestamped in interval 0 — four intervals in the past.
+        s.push(&Report::plain(
+            SourceId::new(1),
+            ClaimId::new(0),
+            Timestamp::from_secs(3),
+            Attitude::Agree,
+        ));
+        assert_eq!(s.late_reports_seen(), 1);
+        assert_eq!(s.reports_seen(), 2, "a late report still counts as ingested");
+        let (_, tel) = s.finish_with_telemetry();
+        let tel = tel.expect("enabled");
+        assert_eq!(tel.total_late_reports(), 1);
+        assert_eq!(tel.ticks()[4].late_reports, 1, "counted into the open interval's tick");
+    }
+
+    #[test]
+    fn rejected_reports_surface_in_telemetry() {
+        let mut s = StreamingSstd::new(SstdConfig::default(), timeline()).with_telemetry();
+        s.push(&Report::plain(
+            SourceId::new(0),
+            ClaimId::new(0),
+            Timestamp::from_secs(5),
+            Attitude::Agree,
+        ));
+        s.note_rejected_report();
+        s.note_rejected_report();
+        assert_eq!(s.rejected_reports_seen(), 2);
+        assert_eq!(s.reports_seen(), 1, "rejected reports are not ingested");
+        let (_, tel) = s.finish_with_telemetry();
+        assert_eq!(tel.expect("enabled").total_rejected_reports(), 2);
     }
 }
 

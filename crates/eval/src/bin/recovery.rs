@@ -1,0 +1,28 @@
+//! Extension experiment: checkpoint cadence vs. replay work under
+//! injected ingest crashes and data-path chaos.
+//!
+//! Usage: `cargo run -p sstd-eval --bin recovery [-- --quick] [-- --json PATH]`
+//!
+//! `--quick` shrinks the grid for CI smoke runs; `--json PATH` writes
+//! the measured cells as `recovery_sweep.json`.
+
+use sstd_eval::exp::recovery;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .map(|i| args.get(i + 1).expect("--json requires a path").clone());
+
+    let (cadences, crashes): (Vec<u64>, Vec<usize>) =
+        if quick { (vec![0, 64], vec![0, 2]) } else { (vec![0, 16, 64, 256], vec![0, 1, 3, 6]) };
+    let pts = recovery::run(&cadences, &crashes);
+    print!("{}", recovery::format(&pts));
+
+    if let Some(path) = json_path {
+        std::fs::write(&path, recovery::to_json(&pts)).expect("write recovery sweep JSON");
+        eprintln!("wrote {path}");
+    }
+}

@@ -5,6 +5,7 @@ pub mod fig4;
 pub mod fig5;
 pub mod fig6;
 pub mod fig7;
+pub mod recovery;
 pub mod robustness;
 pub mod table2;
 pub mod tuning;

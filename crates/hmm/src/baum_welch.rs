@@ -182,8 +182,7 @@ impl BaumWelch {
                     }
                     let row = trans.row_mut(i);
                     for j in 0..n {
-                        row[j] =
-                            if denom > 0.0 { xi_sum[(i, j)] / denom } else { 1.0 / n as f64 };
+                        row[j] = if denom > 0.0 { xi_sum[(i, j)] / denom } else { 1.0 / n as f64 };
                     }
                     floor_and_normalize(row, self.prob_floor);
                 }

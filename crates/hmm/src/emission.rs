@@ -114,12 +114,8 @@ impl GaussianEmission {
             if weight <= f64::EPSILON {
                 continue; // state got no responsibility; keep old params
             }
-            let mean: f64 = observations
-                .iter()
-                .enumerate()
-                .map(|(t, &x)| g(t, s) * x)
-                .sum::<f64>()
-                / weight;
+            let mean: f64 =
+                observations.iter().enumerate().map(|(t, &x)| g(t, s) * x).sum::<f64>() / weight;
             let var: f64 = observations
                 .iter()
                 .enumerate()
@@ -245,12 +241,8 @@ impl SymmetricGaussianEmission {
         let n = observations.len() as f64;
         // μ maximizes the constrained likelihood:
         // μ = Σ_t (γ₀(t) − γ₁(t))·x_t / Σ_t (γ₀(t) + γ₁(t)).
-        let mu: f64 = observations
-            .iter()
-            .enumerate()
-            .map(|(t, &x)| (g(t, 0) - g(t, 1)) * x)
-            .sum::<f64>()
-            / n;
+        let mu: f64 =
+            observations.iter().enumerate().map(|(t, &x)| (g(t, 0) - g(t, 1)) * x).sum::<f64>() / n;
         // Shared σ² over both states' residuals.
         let var: f64 = observations
             .iter()

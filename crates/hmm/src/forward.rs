@@ -381,8 +381,7 @@ mod tests {
         // give the same answers as fresh allocating calls.
         let hmm = coin_hmm();
         let mut ws = EmWorkspace::new();
-        for obs in
-            [vec![0usize, 1, 0, 0, 1, 0, 1, 1], vec![1usize, 0], vec![0usize, 0, 1, 0, 1, 1]]
+        for obs in [vec![0usize, 1, 0, 0, 1, 0, 1, 1], vec![1usize, 0], vec![0usize, 0, 1, 0, 1, 1]]
         {
             let ll = forward_backward_into(&hmm, &obs, &mut ws);
             let fresh = forward_backward(&hmm, &obs);

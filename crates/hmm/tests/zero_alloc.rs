@@ -90,7 +90,8 @@ fn em_and_decode_are_allocation_free_after_warmup_gaussian() {
 
 #[test]
 fn em_and_decode_are_allocation_free_after_warmup_categorical() {
-    let obs: Vec<usize> = (0..200).map(|t| usize::from((t / 25) % 2 == (t % 3 == 0) as usize)).collect();
+    let obs: Vec<usize> =
+        (0..200).map(|t| usize::from((t / 25) % 2 == (t % 3 == 0) as usize)).collect();
     let mut model = Hmm::new(
         vec![0.5, 0.5],
         vec![vec![0.8, 0.2], vec![0.2, 0.8]],

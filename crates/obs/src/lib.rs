@@ -19,7 +19,10 @@
 //!   Task Manager;
 //! - [`StreamTick`] / [`StreamTelemetry`] — per-interval streaming
 //!   telemetry (report counts, ACS window occupancy, decode latency,
-//!   decision flips);
+//!   decision flips, late/rejected ingest counts);
+//! - [`RecoveryEvent`] / [`RecoveryTelemetry`] — the checkpoint/restore
+//!   event stream from the crash-recovery subsystem (checkpoints written,
+//!   crashes observed, journal replay lengths, recovery latency);
 //! - [`BenchReport`] — the `BENCH_*.json`-compatible trajectory exporter
 //!   the evaluation binaries write.
 //!
@@ -50,6 +53,7 @@
 mod control;
 mod export;
 mod metrics;
+mod recovery;
 mod stream;
 mod timeline;
 
@@ -58,6 +62,7 @@ pub use export::BenchReport;
 pub use metrics::{
     Counter, Gauge, HistogramHandle, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
 };
+pub use recovery::{RecoveryEvent, RecoveryTelemetry};
 pub use stream::{StreamTelemetry, StreamTick};
 pub use timeline::{Timeline, TimelineRecorder};
 

@@ -1,0 +1,246 @@
+//! Recovery telemetry: what the checkpoint/restore machinery did and what
+//! it cost.
+//!
+//! The crash-recovery subsystem (see DESIGN.md §13) emits one
+//! [`RecoveryEvent`] per checkpoint written, crash observed and restore
+//! completed. [`RecoveryTelemetry`] collects the event stream plus the
+//! aggregate counters a long-running ingest service would alert on:
+//! checkpoints written, crashes survived, reports replayed from the
+//! journal, and the wall-clock latency of each recovery.
+
+use crate::json_f64;
+
+/// One event in the life of a supervised, checkpointed ingest loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RecoveryEvent {
+    /// A checkpoint was written.
+    CheckpointWritten {
+        /// The open interval at checkpoint time.
+        interval: usize,
+        /// Reports ingested since the previous checkpoint (the journal
+        /// suffix a restore would replay).
+        journal_len: u64,
+        /// Encoded snapshot size in bytes.
+        bytes: usize,
+    },
+    /// The ingest loop crashed (injected or real); recovery begins.
+    CrashObserved {
+        /// Reports successfully ingested before the crash.
+        reports_ingested: u64,
+    },
+    /// State was restored from the last checkpoint plus journal replay.
+    Restored {
+        /// Reports replayed from the journal to catch up.
+        replayed: u64,
+        /// Wall-clock seconds from crash to caught-up (0 when timing is
+        /// disabled).
+        latency: f64,
+    },
+}
+
+impl std::fmt::Display for RecoveryEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::CheckpointWritten { interval, journal_len, bytes } => {
+                write!(f, "checkpoint(interval={interval}, journal={journal_len}, bytes={bytes})")
+            }
+            Self::CrashObserved { reports_ingested } => {
+                write!(f, "crash(ingested={reports_ingested})")
+            }
+            Self::Restored { replayed, latency } => {
+                write!(f, "restored(replayed={replayed}, latency={latency:.6})")
+            }
+        }
+    }
+}
+
+/// The recovery event stream plus aggregate counters.
+///
+/// # Examples
+///
+/// ```
+/// use sstd_obs::{RecoveryEvent, RecoveryTelemetry};
+///
+/// let mut tel = RecoveryTelemetry::new();
+/// tel.record(RecoveryEvent::CheckpointWritten { interval: 3, journal_len: 40, bytes: 512 });
+/// tel.record(RecoveryEvent::CrashObserved { reports_ingested: 55 });
+/// tel.record(RecoveryEvent::Restored { replayed: 15, latency: 0.002 });
+/// assert_eq!(tel.checkpoints_written(), 1);
+/// assert_eq!(tel.crashes_observed(), 1);
+/// assert_eq!(tel.reports_replayed(), 15);
+/// ```
+#[derive(Debug, Default)]
+pub struct RecoveryTelemetry {
+    events: Vec<RecoveryEvent>,
+    checkpoints_written: u64,
+    checkpoint_bytes: u64,
+    crashes_observed: u64,
+    restores_completed: u64,
+    reports_replayed: u64,
+    total_recovery_latency: f64,
+}
+
+impl RecoveryTelemetry {
+    /// Creates an empty collector.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one event and updates the aggregate counters.
+    pub fn record(&mut self, event: RecoveryEvent) {
+        match event {
+            RecoveryEvent::CheckpointWritten { bytes, .. } => {
+                self.checkpoints_written += 1;
+                self.checkpoint_bytes += bytes as u64;
+            }
+            RecoveryEvent::CrashObserved { .. } => self.crashes_observed += 1,
+            RecoveryEvent::Restored { replayed, latency } => {
+                self.restores_completed += 1;
+                self.reports_replayed += replayed;
+                if latency.is_finite() && latency > 0.0 {
+                    self.total_recovery_latency += latency;
+                }
+            }
+        }
+        self.events.push(event);
+    }
+
+    /// The recorded events, in order.
+    #[must_use]
+    pub fn events(&self) -> &[RecoveryEvent] {
+        &self.events
+    }
+
+    /// Checkpoints written so far.
+    #[must_use]
+    pub const fn checkpoints_written(&self) -> u64 {
+        self.checkpoints_written
+    }
+
+    /// Total encoded bytes across all checkpoints.
+    #[must_use]
+    pub const fn checkpoint_bytes(&self) -> u64 {
+        self.checkpoint_bytes
+    }
+
+    /// Crashes observed so far.
+    #[must_use]
+    pub const fn crashes_observed(&self) -> u64 {
+        self.crashes_observed
+    }
+
+    /// Restores completed so far.
+    #[must_use]
+    pub const fn restores_completed(&self) -> u64 {
+        self.restores_completed
+    }
+
+    /// Reports replayed from the journal across all restores.
+    #[must_use]
+    pub const fn reports_replayed(&self) -> u64 {
+        self.reports_replayed
+    }
+
+    /// Mean replay length per completed restore (0 with no restores).
+    #[must_use]
+    pub fn mean_replay_len(&self) -> f64 {
+        if self.restores_completed == 0 {
+            return 0.0;
+        }
+        self.reports_replayed as f64 / self.restores_completed as f64
+    }
+
+    /// Total wall-clock seconds spent recovering (0 when timing was
+    /// disabled).
+    #[must_use]
+    pub const fn total_recovery_latency(&self) -> f64 {
+        self.total_recovery_latency
+    }
+
+    /// Renders the aggregate counters plus the event stream as JSON.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let events = self
+            .events
+            .iter()
+            .map(|e| match e {
+                RecoveryEvent::CheckpointWritten { interval, journal_len, bytes } => format!(
+                    "{{\"event\":\"checkpoint\",\"interval\":{interval},\"journal_len\":{journal_len},\"bytes\":{bytes}}}"
+                ),
+                RecoveryEvent::CrashObserved { reports_ingested } => {
+                    format!("{{\"event\":\"crash\",\"reports_ingested\":{reports_ingested}}}")
+                }
+                RecoveryEvent::Restored { replayed, latency } => format!(
+                    "{{\"event\":\"restored\",\"replayed\":{replayed},\"latency\":{}}}",
+                    json_f64(*latency)
+                ),
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        format!(
+            "{{\"checkpoints_written\":{},\"checkpoint_bytes\":{},\"crashes_observed\":{},\"restores_completed\":{},\"reports_replayed\":{},\"total_recovery_latency\":{},\"events\":[{events}]}}",
+            self.checkpoints_written,
+            self.checkpoint_bytes,
+            self.crashes_observed,
+            self.restores_completed,
+            self.reports_replayed,
+            json_f64(self.total_recovery_latency),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_aggregate_the_event_stream() {
+        let mut tel = RecoveryTelemetry::new();
+        tel.record(RecoveryEvent::CheckpointWritten { interval: 0, journal_len: 10, bytes: 100 });
+        tel.record(RecoveryEvent::CheckpointWritten { interval: 5, journal_len: 20, bytes: 150 });
+        tel.record(RecoveryEvent::CrashObserved { reports_ingested: 42 });
+        tel.record(RecoveryEvent::Restored { replayed: 12, latency: 0.5 });
+        tel.record(RecoveryEvent::CrashObserved { reports_ingested: 80 });
+        tel.record(RecoveryEvent::Restored { replayed: 8, latency: 0.25 });
+        assert_eq!(tel.checkpoints_written(), 2);
+        assert_eq!(tel.checkpoint_bytes(), 250);
+        assert_eq!(tel.crashes_observed(), 2);
+        assert_eq!(tel.restores_completed(), 2);
+        assert_eq!(tel.reports_replayed(), 20);
+        assert!((tel.mean_replay_len() - 10.0).abs() < 1e-12);
+        assert!((tel.total_recovery_latency() - 0.75).abs() < 1e-12);
+        assert_eq!(tel.events().len(), 6);
+    }
+
+    #[test]
+    fn empty_telemetry_is_all_zeros() {
+        let tel = RecoveryTelemetry::new();
+        assert_eq!(tel.checkpoints_written(), 0);
+        assert_eq!(tel.mean_replay_len(), 0.0, "no restores must not divide by zero");
+        assert!(tel.events().is_empty());
+    }
+
+    #[test]
+    fn json_lists_counters_and_events() {
+        let mut tel = RecoveryTelemetry::new();
+        tel.record(RecoveryEvent::CheckpointWritten { interval: 1, journal_len: 5, bytes: 64 });
+        tel.record(RecoveryEvent::Restored { replayed: 5, latency: 0.0 });
+        let json = tel.to_json();
+        assert!(json.contains("\"checkpoints_written\":1"), "{json}");
+        assert!(json.contains("\"event\":\"checkpoint\""), "{json}");
+        assert!(json.contains("\"replayed\":5"), "{json}");
+    }
+
+    #[test]
+    fn display_formats() {
+        let e = RecoveryEvent::CheckpointWritten { interval: 2, journal_len: 7, bytes: 99 };
+        assert!(e.to_string().contains("interval=2"));
+        assert!(RecoveryEvent::CrashObserved { reports_ingested: 3 }
+            .to_string()
+            .contains("ingested=3"));
+        assert!(RecoveryEvent::Restored { replayed: 4, latency: 0.5 }
+            .to_string()
+            .contains("replayed=4"));
+    }
+}

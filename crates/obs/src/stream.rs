@@ -21,6 +21,12 @@ pub struct StreamTick {
     pub decode_latency: f64,
     /// Claims whose decision flipped relative to the previous interval.
     pub decision_flips: usize,
+    /// Reports that arrived timestamped before the open interval and were
+    /// folded into it (far-past / stale arrivals).
+    pub late_reports: u64,
+    /// Reports rejected at ingest for failing integrity checks (e.g. a
+    /// non-finite contribution score from a corrupted payload).
+    pub rejected_reports: u64,
 }
 
 /// Per-interval streaming telemetry with an online decode-latency
@@ -40,6 +46,8 @@ pub struct StreamTick {
 ///         window_occupancy: 3.0,
 ///         decode_latency: 0.01 * (i + 1) as f64,
 ///         decision_flips: usize::from(i == 2),
+///         late_reports: 0,
+///         rejected_reports: 0,
 ///     });
 /// }
 /// assert_eq!(tel.total_reports(), 510);
@@ -116,6 +124,18 @@ impl StreamTelemetry {
         self.latency_p95.estimate()
     }
 
+    /// Total far-past reports folded into an already-open interval.
+    #[must_use]
+    pub fn total_late_reports(&self) -> u64 {
+        self.ticks.iter().map(|t| t.late_reports).sum()
+    }
+
+    /// Total reports rejected at ingest for failing integrity checks.
+    #[must_use]
+    pub fn total_rejected_reports(&self) -> u64 {
+        self.ticks.iter().map(|t| t.rejected_reports).sum()
+    }
+
     /// Renders the telemetry as a JSON array of interval objects.
     #[must_use]
     pub fn to_json(&self) -> String {
@@ -124,13 +144,15 @@ impl StreamTelemetry {
             .iter()
             .map(|t| {
                 format!(
-                    "{{\"interval\":{},\"reports\":{},\"active_claims\":{},\"window_occupancy\":{},\"decode_latency\":{},\"decision_flips\":{}}}",
+                    "{{\"interval\":{},\"reports\":{},\"active_claims\":{},\"window_occupancy\":{},\"decode_latency\":{},\"decision_flips\":{},\"late_reports\":{},\"rejected_reports\":{}}}",
                     t.interval,
                     t.reports,
                     t.active_claims,
                     json_f64(t.window_occupancy),
                     json_f64(t.decode_latency),
                     t.decision_flips,
+                    t.late_reports,
+                    t.rejected_reports,
                 )
             })
             .collect::<Vec<_>>()
@@ -139,21 +161,23 @@ impl StreamTelemetry {
     }
 
     /// Renders the telemetry as CSV rows
-    /// `interval,reports,active_claims,window_occupancy,decode_latency,decision_flips`.
+    /// `interval,reports,active_claims,window_occupancy,decode_latency,decision_flips,late_reports,rejected_reports`.
     #[must_use]
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
-            "interval,reports,active_claims,window_occupancy,decode_latency,decision_flips\n",
+            "interval,reports,active_claims,window_occupancy,decode_latency,decision_flips,late_reports,rejected_reports\n",
         );
         for t in &self.ticks {
             out.push_str(&format!(
-                "{},{},{},{},{},{}\n",
+                "{},{},{},{},{},{},{},{}\n",
                 t.interval,
                 t.reports,
                 t.active_claims,
                 t.window_occupancy,
                 t.decode_latency,
                 t.decision_flips,
+                t.late_reports,
+                t.rejected_reports,
             ));
         }
         out
@@ -172,6 +196,8 @@ mod tests {
             window_occupancy: 2.5,
             decode_latency: latency,
             decision_flips: flips,
+            late_reports: 0,
+            rejected_reports: 0,
         }
     }
 
@@ -204,7 +230,20 @@ mod tests {
         let json = tel.to_json();
         assert!(json.contains("\"decode_latency\":0.25"), "{json}");
         assert!(json.contains("\"decision_flips\":1"), "{json}");
+        assert!(json.contains("\"late_reports\":0"), "{json}");
         let csv = tel.to_csv();
-        assert!(csv.contains("0,5,4,2.5,0.25,1\n"), "{csv}");
+        assert!(csv.contains("0,5,4,2.5,0.25,1,0,0\n"), "{csv}");
+    }
+
+    #[test]
+    fn late_and_rejected_reports_aggregate() {
+        let mut tel = StreamTelemetry::new();
+        tel.push(StreamTick { late_reports: 2, rejected_reports: 1, ..tick(0, 5, 0.0, 0) });
+        tel.push(StreamTick { late_reports: 3, rejected_reports: 0, ..tick(1, 5, 0.0, 0) });
+        assert_eq!(tel.total_late_reports(), 5);
+        assert_eq!(tel.total_rejected_reports(), 1);
+        let json = tel.to_json();
+        assert!(json.contains("\"late_reports\":2"), "{json}");
+        assert!(json.contains("\"rejected_reports\":1"), "{json}");
     }
 }

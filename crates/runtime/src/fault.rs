@@ -12,6 +12,10 @@
 //!   `(task, attempt)` pair hashes to the same injection decision on
 //!   every run, so experiments with faults stay byte-for-byte
 //!   reproducible;
+//! - [`IngestFault`] — the *data-path* fault classes (dropped, duplicated,
+//!   reordered, corrupted reports, plus a scheduled ingest crash), decided
+//!   per report sequence number by the same plan so chaos schedules are
+//!   equally reproducible;
 //! - [`RetryPolicy`] — per-task attempt caps with exponential backoff and
 //!   deterministic jitter, plus worker quarantine thresholds;
 //! - [`FastAbort`] — Work Queue–style straggler mitigation: re-queue
@@ -25,6 +29,7 @@
 //! on real threads.
 
 use crate::{JobId, TaskId};
+use sstd_types::error::ConfigError;
 
 /// SplitMix64: a tiny, high-quality mixing function. Used to derive every
 /// fault decision and jitter value from `(seed, task, attempt)` so the
@@ -70,6 +75,43 @@ impl std::fmt::Display for FaultKind {
     }
 }
 
+/// The faults a streamed report can suffer on the ingest data path.
+///
+/// Truth-discovery outcomes are sensitive to input perturbations, so
+/// dropped/duplicated/reordered reports are an explicitly tested fault
+/// class rather than an accident of transport. Decisions are made per
+/// report *sequence number* by [`FaultPlan::decide_ingest`], so a chaos
+/// schedule is a pure function of the plan — the recovery differential
+/// suite relies on that to replay the same perturbed stream twice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IngestFault {
+    /// The report is silently lost in transit.
+    Drop,
+    /// The report is delivered twice (at-least-once transport).
+    Duplicate,
+    /// The report is delayed past up to `depth` later reports — bounded
+    /// out-of-order delivery.
+    Reorder {
+        /// How many later reports overtake this one (at least 1).
+        depth: u32,
+    },
+    /// The report's payload is damaged in transit (its stance flips or
+    /// its scores are zeroed, at the injector's discretion); consumers
+    /// detect this via an integrity check and must reject the record.
+    Corrupt,
+}
+
+impl std::fmt::Display for IngestFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Drop => write!(f, "drop"),
+            Self::Duplicate => write!(f, "duplicate"),
+            Self::Reorder { depth } => write!(f, "reorder(depth={depth})"),
+            Self::Corrupt => write!(f, "corrupt"),
+        }
+    }
+}
+
 /// A deterministic, seeded fault schedule.
 ///
 /// Every `(task, attempt)` pair is hashed against the seed to decide
@@ -100,6 +142,12 @@ pub struct FaultPlan {
     straggler_slowdown: f64,
     fail_point: f64,
     worker_restart_delay: f64,
+    ingest_drop_rate: f64,
+    ingest_duplicate_rate: f64,
+    ingest_reorder_rate: f64,
+    ingest_reorder_depth: u32,
+    ingest_corrupt_rate: f64,
+    ingest_crash_at: Option<u64>,
 }
 
 impl FaultPlan {
@@ -114,6 +162,12 @@ impl FaultPlan {
             straggler_slowdown: 8.0,
             fail_point: 0.5,
             worker_restart_delay: 1.0,
+            ingest_drop_rate: 0.0,
+            ingest_duplicate_rate: 0.0,
+            ingest_reorder_rate: 0.0,
+            ingest_reorder_depth: 4,
+            ingest_corrupt_rate: 0.0,
+            ingest_crash_at: None,
         }
     }
 
@@ -187,9 +241,83 @@ impl FaultPlan {
         self
     }
 
+    /// Sets the per-report probability that an ingested report is dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the combined ingest fault rates stay within `[0, 1]`.
+    #[must_use]
+    pub fn with_ingest_drop_rate(mut self, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "rate must be in [0, 1]");
+        self.ingest_drop_rate = rate;
+        self.validate_ingest();
+        self
+    }
+
+    /// Sets the per-report probability that an ingested report is
+    /// delivered twice.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the combined ingest fault rates stay within `[0, 1]`.
+    #[must_use]
+    pub fn with_ingest_duplicate_rate(mut self, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "rate must be in [0, 1]");
+        self.ingest_duplicate_rate = rate;
+        self.validate_ingest();
+        self
+    }
+
+    /// Sets the per-report reorder probability and the maximum number of
+    /// later reports that may overtake a delayed one.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `max_depth >= 1` and the combined ingest fault rates
+    /// stay within `[0, 1]`.
+    #[must_use]
+    pub fn with_ingest_reorder(mut self, rate: f64, max_depth: u32) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "rate must be in [0, 1]");
+        assert!(max_depth >= 1, "reorder depth must be at least 1");
+        self.ingest_reorder_rate = rate;
+        self.ingest_reorder_depth = max_depth;
+        self.validate_ingest();
+        self
+    }
+
+    /// Sets the per-report probability that an ingested report arrives
+    /// with a damaged payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the combined ingest fault rates stay within `[0, 1]`.
+    #[must_use]
+    pub fn with_ingest_corrupt_rate(mut self, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "rate must be in [0, 1]");
+        self.ingest_corrupt_rate = rate;
+        self.validate_ingest();
+        self
+    }
+
+    /// Schedules an ingest crash: the consumer dies immediately after
+    /// taking the report with sequence number `k` off the wire.
+    #[must_use]
+    pub const fn with_ingest_crash_at(mut self, k: u64) -> Self {
+        self.ingest_crash_at = Some(k);
+        self
+    }
+
     fn validate(&self) {
         let total = self.transient_rate + self.crash_rate + self.straggler_rate;
         assert!(total <= 1.0 + 1e-12, "combined fault rates must not exceed 1");
+    }
+
+    fn validate_ingest(&self) {
+        let total = self.ingest_drop_rate
+            + self.ingest_duplicate_rate
+            + self.ingest_reorder_rate
+            + self.ingest_corrupt_rate;
+        assert!(total <= 1.0 + 1e-12, "combined ingest fault rates must not exceed 1");
     }
 
     /// The plan's seed.
@@ -239,6 +367,51 @@ impl FaultPlan {
         } else {
             None
         }
+    }
+
+    /// The data-path injection decision for the report with sequence
+    /// number `seq` — a pure function of `(seed, seq)`, hashed in a
+    /// domain separate from [`decide`](Self::decide) so task faults and
+    /// ingest faults draw independently.
+    #[must_use]
+    pub fn decide_ingest(&self, seq: u64) -> Option<IngestFault> {
+        let total = self.ingest_drop_rate
+            + self.ingest_duplicate_rate
+            + self.ingest_reorder_rate
+            + self.ingest_corrupt_rate;
+        if total <= 0.0 {
+            return None;
+        }
+        let h =
+            splitmix64(self.seed ^ 0x16E5_7DA7_A9A7_0D1E ^ seq.wrapping_mul(0xD6E8_FEB8_6659_FD93));
+        let u = unit(h);
+        let mut edge = self.ingest_drop_rate;
+        if u < edge {
+            return Some(IngestFault::Drop);
+        }
+        edge += self.ingest_duplicate_rate;
+        if u < edge {
+            return Some(IngestFault::Duplicate);
+        }
+        edge += self.ingest_reorder_rate;
+        if u < edge {
+            // Depth drawn from a second mix of the same hash so it stays a
+            // pure function of (seed, seq).
+            let depth = 1 + (splitmix64(h) % u64::from(self.ingest_reorder_depth)) as u32;
+            return Some(IngestFault::Reorder { depth });
+        }
+        edge += self.ingest_corrupt_rate;
+        if u < edge {
+            return Some(IngestFault::Corrupt);
+        }
+        None
+    }
+
+    /// The scheduled ingest-crash point, if any: the consumer dies right
+    /// after taking this sequence number off the wire.
+    #[must_use]
+    pub const fn ingest_crash_at(&self) -> Option<u64> {
+        self.ingest_crash_at
     }
 }
 
@@ -302,27 +475,46 @@ impl RetryPolicy {
         Self { max_attempts: 1, ..Self::default() }
     }
 
-    /// Validates the policy's invariants.
+    /// Validates the policy's invariants: `max_attempts >= 1`, delays
+    /// finite and non-negative, `backoff_multiplier >= 1` and
+    /// `jitter ∈ [0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] naming the offending field.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.max_attempts < 1 {
+            return Err(ConfigError::new("max_attempts", "need at least one attempt"));
+        }
+        if !(self.backoff_base.is_finite() && self.backoff_base >= 0.0) {
+            return Err(ConfigError::new("backoff_base", "backoff base must be non-negative"));
+        }
+        if !(self.backoff_multiplier.is_finite() && self.backoff_multiplier >= 1.0) {
+            return Err(ConfigError::new(
+                "backoff_multiplier",
+                "backoff multiplier must be at least 1",
+            ));
+        }
+        if !(self.backoff_cap.is_finite() && self.backoff_cap >= 0.0) {
+            return Err(ConfigError::new("backoff_cap", "backoff cap must be non-negative"));
+        }
+        if !(0.0..=1.0).contains(&self.jitter) {
+            return Err(ConfigError::new("jitter", "jitter must be in [0, 1]"));
+        }
+        Ok(())
+    }
+
+    /// Panicking form of [`validate`](Self::validate), for call sites that
+    /// cannot propagate (engine setters on already-running backends).
     ///
     /// # Panics
     ///
-    /// Panics unless `max_attempts >= 1`, delays are finite and
-    /// non-negative, `backoff_multiplier >= 1` and `jitter ∈ [0, 1]`.
-    pub fn validate(&self) {
-        assert!(self.max_attempts >= 1, "need at least one attempt");
-        assert!(
-            self.backoff_base.is_finite() && self.backoff_base >= 0.0,
-            "backoff base must be non-negative"
-        );
-        assert!(
-            self.backoff_multiplier.is_finite() && self.backoff_multiplier >= 1.0,
-            "backoff multiplier must be at least 1"
-        );
-        assert!(
-            self.backoff_cap.is_finite() && self.backoff_cap >= 0.0,
-            "backoff cap must be non-negative"
-        );
-        assert!((0.0..=1.0).contains(&self.jitter), "jitter must be in [0, 1]");
+    /// Panics with the validation error's message if the policy is
+    /// invalid.
+    pub fn assert_valid(&self) {
+        if let Err(e) = self.validate() {
+            panic!("{e}");
+        }
     }
 
     /// The backoff delay before retry number `attempt` (1-based: the
@@ -370,17 +562,33 @@ impl Default for FastAbort {
 }
 
 impl FastAbort {
-    /// Validates the configuration.
+    /// Validates the configuration: `multiplier > 1` and
+    /// `min_samples >= 1`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] naming the offending field.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if !(self.multiplier.is_finite() && self.multiplier > 1.0) {
+            return Err(ConfigError::new("multiplier", "fast-abort multiplier must exceed 1"));
+        }
+        if self.min_samples < 1 {
+            return Err(ConfigError::new("min_samples", "need at least one warm-up sample"));
+        }
+        Ok(())
+    }
+
+    /// Panicking form of [`validate`](Self::validate), for call sites that
+    /// cannot propagate.
     ///
     /// # Panics
     ///
-    /// Panics unless `multiplier > 1` and `min_samples >= 1`.
-    pub fn validate(&self) {
-        assert!(
-            self.multiplier.is_finite() && self.multiplier > 1.0,
-            "fast-abort multiplier must exceed 1"
-        );
-        assert!(self.min_samples >= 1, "need at least one warm-up sample");
+    /// Panics with the validation error's message if the configuration is
+    /// invalid.
+    pub fn assert_valid(&self) {
+        if let Err(e) = self.validate() {
+            panic!("{e}");
+        }
     }
 }
 
@@ -564,21 +772,145 @@ mod tests {
     #[test]
     fn no_retries_policy_is_single_attempt() {
         let p = RetryPolicy::no_retries();
-        p.validate();
+        p.validate().expect("no_retries is a valid policy");
         assert_eq!(p.max_attempts, 1);
         assert!(p.hard_attempt_cap() >= 50);
     }
 
     #[test]
-    #[should_panic(expected = "at least one attempt")]
     fn zero_attempts_rejected() {
-        RetryPolicy { max_attempts: 0, ..RetryPolicy::default() }.validate();
+        let err = RetryPolicy { max_attempts: 0, ..RetryPolicy::default() }
+            .validate()
+            .expect_err("zero attempts must be rejected");
+        assert_eq!(err.field(), "max_attempts");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one attempt")]
+    fn assert_valid_panics_on_invalid_policy() {
+        RetryPolicy { max_attempts: 0, ..RetryPolicy::default() }.assert_valid();
+    }
+
+    #[test]
+    fn retry_policy_names_each_offending_field() {
+        let base = RetryPolicy::default();
+        let cases = [
+            (RetryPolicy { backoff_base: -1.0, ..base }, "backoff_base"),
+            (RetryPolicy { backoff_base: f64::NAN, ..base }, "backoff_base"),
+            (RetryPolicy { backoff_multiplier: 0.5, ..base }, "backoff_multiplier"),
+            (RetryPolicy { backoff_cap: f64::INFINITY, ..base }, "backoff_cap"),
+            (RetryPolicy { jitter: 1.5, ..base }, "jitter"),
+        ];
+        for (policy, field) in cases {
+            let err = policy.validate().expect_err("invalid policy");
+            assert_eq!(err.field(), field);
+        }
+    }
+
+    #[test]
+    fn fast_abort_validates_multiplier() {
+        let err = FastAbort { multiplier: 1.0, ..FastAbort::default() }
+            .validate()
+            .expect_err("multiplier 1.0 must be rejected");
+        assert_eq!(err.field(), "multiplier");
+        let err = FastAbort { min_samples: 0, ..FastAbort::default() }
+            .validate()
+            .expect_err("zero warm-up samples must be rejected");
+        assert_eq!(err.field(), "min_samples");
+        FastAbort::default().validate().expect("default is valid");
     }
 
     #[test]
     #[should_panic(expected = "multiplier must exceed 1")]
-    fn fast_abort_validates_multiplier() {
-        FastAbort { multiplier: 1.0, ..FastAbort::default() }.validate();
+    fn fast_abort_assert_valid_panics() {
+        FastAbort { multiplier: 0.0, ..FastAbort::default() }.assert_valid();
+    }
+
+    #[test]
+    fn zero_backoff_cap_yields_zero_delays() {
+        // backoff_cap = 0.0 is valid (retry immediately) and must clamp
+        // every delay to exactly zero, jitter included.
+        let p = RetryPolicy { backoff_cap: 0.0, jitter: 0.5, ..RetryPolicy::default() };
+        p.validate().expect("zero cap is a valid policy");
+        for attempt in 1..20u32 {
+            assert_eq!(p.backoff(attempt, 99), 0.0, "attempt {attempt}");
+        }
+    }
+
+    #[test]
+    fn zero_restart_delay_is_accepted() {
+        let plan = FaultPlan::new(5).with_restart_delay(0.0);
+        assert_eq!(plan.worker_restart_delay(), 0.0);
+    }
+
+    #[test]
+    fn fault_ratio_is_zero_under_zero_attempts() {
+        let s = FaultStats::default();
+        assert_eq!(s.attempts, 0);
+        assert_eq!(s.fault_ratio(), 0.0, "no attempts must not divide by zero");
+        assert!(s.fault_ratio().is_finite());
+    }
+
+    #[test]
+    fn ingest_decisions_are_deterministic_and_rate_accurate() {
+        let plan = FaultPlan::new(11)
+            .with_ingest_drop_rate(0.1)
+            .with_ingest_duplicate_rate(0.1)
+            .with_ingest_reorder(0.1, 4)
+            .with_ingest_corrupt_rate(0.05);
+        let mut counts = [0usize; 5];
+        for seq in 0..10_000u64 {
+            let d = plan.decide_ingest(seq);
+            assert_eq!(d, plan.decide_ingest(seq), "decision must be stable");
+            match d {
+                Some(IngestFault::Drop) => counts[0] += 1,
+                Some(IngestFault::Duplicate) => counts[1] += 1,
+                Some(IngestFault::Reorder { depth }) => {
+                    assert!((1..=4).contains(&depth), "depth {depth}");
+                    counts[2] += 1;
+                }
+                Some(IngestFault::Corrupt) => counts[3] += 1,
+                None => counts[4] += 1,
+            }
+        }
+        assert!((800..=1200).contains(&counts[0]), "drop ~10%: {counts:?}");
+        assert!((800..=1200).contains(&counts[1]), "duplicate ~10%: {counts:?}");
+        assert!((800..=1200).contains(&counts[2]), "reorder ~10%: {counts:?}");
+        assert!((350..=650).contains(&counts[3]), "corrupt ~5%: {counts:?}");
+    }
+
+    #[test]
+    fn ingest_faults_are_independent_of_task_faults() {
+        // Same seed, but task decisions and ingest decisions hash in
+        // separate domains: enabling one leaves the other untouched.
+        let tasks_only = FaultPlan::new(21).with_transient_rate(0.3);
+        let both = tasks_only.with_ingest_drop_rate(0.3);
+        for i in 0..500u32 {
+            assert_eq!(tasks_only.decide(TaskId::new(i), 0), both.decide(TaskId::new(i), 0));
+        }
+        assert!((0..500u64).all(|s| tasks_only.decide_ingest(s).is_none()));
+    }
+
+    #[test]
+    fn zero_ingest_rates_never_fault() {
+        let plan = FaultPlan::new(1).with_ingest_crash_at(7);
+        assert!((0..1000u64).all(|s| plan.decide_ingest(s).is_none()));
+        assert_eq!(plan.ingest_crash_at(), Some(7));
+        assert_eq!(FaultPlan::new(1).ingest_crash_at(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "combined ingest fault rates")]
+    fn overfull_ingest_rates_rejected() {
+        let _ = FaultPlan::new(0).with_ingest_drop_rate(0.7).with_ingest_duplicate_rate(0.5);
+    }
+
+    #[test]
+    fn ingest_fault_display_formats() {
+        assert_eq!(IngestFault::Drop.to_string(), "drop");
+        assert_eq!(IngestFault::Duplicate.to_string(), "duplicate");
+        assert_eq!(IngestFault::Reorder { depth: 3 }.to_string(), "reorder(depth=3)");
+        assert_eq!(IngestFault::Corrupt.to_string(), "corrupt");
     }
 
     #[test]

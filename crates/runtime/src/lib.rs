@@ -72,7 +72,9 @@ mod wcet;
 pub use backend::{ExecutionBackend, JobBackend, SimBackend, TaskPayload};
 pub use cluster::{Cluster, NodeSpec};
 pub use des::{DesEngine, DesEvent};
-pub use fault::{FailedTask, FastAbort, FaultKind, FaultPlan, FaultStats, RetryPolicy};
+pub use fault::{
+    FailedTask, FastAbort, FaultKind, FaultPlan, FaultStats, IngestFault, RetryPolicy,
+};
 pub use ids::{JobId, TaskId, WorkerId};
 pub use pool::TaskPool;
 pub use report::{CompletedTask, ExecutionReport};
@@ -101,7 +103,9 @@ pub mod prelude {
     pub use crate::backend::{ExecutionBackend, JobBackend, SimBackend, TaskPayload};
     pub use crate::cluster::{Cluster, NodeSpec};
     pub use crate::des::DesEngine;
-    pub use crate::fault::{FailedTask, FastAbort, FaultKind, FaultPlan, FaultStats, RetryPolicy};
+    pub use crate::fault::{
+        FailedTask, FastAbort, FaultKind, FaultPlan, FaultStats, IngestFault, RetryPolicy,
+    };
     pub use crate::ids::{JobId, TaskId, WorkerId};
     pub use crate::report::{CompletedTask, ExecutionReport};
     pub use crate::resources::ResourceVector;

@@ -122,8 +122,10 @@ impl AttemptLedger {
     /// # Panics
     ///
     /// Panics if the policy is invalid (see [`RetryPolicy::validate`]).
+    /// This setter cannot propagate — both engines call it mid-setup on an
+    /// already-constructed backend — so it uses the panicking wrapper.
     pub fn set_retry(&mut self, retry: RetryPolicy) {
-        retry.validate();
+        retry.assert_valid();
         self.retry = retry;
     }
 
@@ -138,8 +140,10 @@ impl AttemptLedger {
     /// # Panics
     ///
     /// Panics if the configuration is invalid (see [`FastAbort::validate`]).
+    /// Like [`set_retry`](Self::set_retry), this setter cannot propagate
+    /// and uses the panicking wrapper.
     pub fn set_fast_abort(&mut self, fast_abort: FastAbort) {
-        fast_abort.validate();
+        fast_abort.assert_valid();
         self.fast_abort = Some(fast_abort);
     }
 
@@ -399,6 +403,37 @@ mod tests {
         let lone = WorkerId::new(9);
         assert!(!ledger.note_worker_fault(lone, 1));
         assert!(!ledger.note_worker_fault(lone, 1), "the last worker is never quarantined");
+    }
+
+    #[test]
+    fn quarantine_still_fires_after_task_exhaustion() {
+        // Interplay: a task exhausting its retry budget on a flaky worker
+        // must not reset the worker's fault count — the worker still gets
+        // quarantined once it crosses the threshold, even though the task
+        // that pushed it there is already recorded as failed.
+        let mut ledger = AttemptLedger::new();
+        ledger.set_retry(RetryPolicy {
+            max_attempts: 1,
+            quarantine_threshold: 2,
+            ..RetryPolicy::default()
+        });
+        let task = TaskId::new(0);
+        let w = WorkerId::new(1);
+        let loss = AttemptLoss::Transient { panicked: false };
+        let _ = ledger.begin_attempt(task);
+        ledger.account_loss(loss, 0.1);
+        assert_eq!(ledger.settle_loss(task, JobId::new(0), loss, "boom"), LossVerdict::Exhausted);
+        assert!(!ledger.note_worker_fault(w, 3), "first fault is under the threshold");
+        // A second task faults on the same worker after the first task is
+        // already exhausted.
+        let task2 = TaskId::new(1);
+        let _ = ledger.begin_attempt(task2);
+        ledger.account_loss(loss, 0.1);
+        assert_eq!(ledger.settle_loss(task2, JobId::new(0), loss, "boom"), LossVerdict::Exhausted);
+        assert!(ledger.note_worker_fault(w, 3), "exhaustion does not shield the worker");
+        assert_eq!(ledger.stats().quarantined_workers, 1);
+        assert_eq!(ledger.stats().exhausted_tasks, 2);
+        assert!(ledger.stats().reconciles(), "{}", ledger.stats());
     }
 
     #[test]

@@ -11,7 +11,7 @@
 use crate::gen::{gens, Gen};
 use crate::rng::TestRng;
 use sstd_control::DtmConfig;
-use sstd_core::SstdConfig;
+use sstd_core::{CheckpointPolicy, SstdConfig};
 use sstd_hmm::{CategoricalEmission, Hmm};
 use sstd_runtime::FaultPlan;
 use sstd_types::{
@@ -439,6 +439,136 @@ pub fn dtm_config() -> Gen<DtmConfig> {
 }
 
 // ---------------------------------------------------------------------
+// Crash/recovery scenarios
+// ---------------------------------------------------------------------
+
+/// A complete crash-recovery scenario: a report stream, a seeded chaos
+/// plan for the data path, a crash schedule, and a checkpoint cadence —
+/// everything the differential suite needs to compare a crashed-and-
+/// recovered ingest run against an uninterrupted one.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryCase {
+    /// The underlying report stream with planted truth.
+    pub trace: TraceCase,
+    /// Chaos plan seed.
+    pub seed: u64,
+    /// Ingest drop probability.
+    pub drop_rate: f64,
+    /// Ingest duplicate probability.
+    pub duplicate_rate: f64,
+    /// Ingest reorder probability.
+    pub reorder_rate: f64,
+    /// Maximum reorder displacement (≥ 1).
+    pub reorder_depth: u32,
+    /// Payload-corruption probability.
+    pub corrupt_rate: f64,
+    /// Crash points as fractions of the delivered stream length, in
+    /// `[0, 1)`; resolve with [`crash_positions`](Self::crash_positions).
+    pub crash_fracs: Vec<f64>,
+    /// Records the at-least-once transport re-delivers after each crash.
+    pub redelivery: usize,
+    /// Checkpoint cadence in applied reports (`0` = never checkpoint, so
+    /// recovery replays the whole journal).
+    pub checkpoint_every: u64,
+}
+
+impl RecoveryCase {
+    /// Builds the runtime [`FaultPlan`] carrying the ingest chaos.
+    #[must_use]
+    pub fn plan(&self) -> FaultPlan {
+        FaultPlan::new(self.seed)
+            .with_ingest_drop_rate(self.drop_rate)
+            .with_ingest_duplicate_rate(self.duplicate_rate)
+            .with_ingest_reorder(self.reorder_rate, self.reorder_depth)
+            .with_ingest_corrupt_rate(self.corrupt_rate)
+    }
+
+    /// The supervisor's checkpoint cadence.
+    #[must_use]
+    pub fn policy(&self) -> CheckpointPolicy {
+        if self.checkpoint_every == 0 {
+            CheckpointPolicy::DISABLED
+        } else {
+            CheckpointPolicy::every_reports(self.checkpoint_every)
+        }
+    }
+
+    /// Resolves the crash fractions against a delivered stream of
+    /// `delivered_len` records: sorted, deduplicated consume indices.
+    #[must_use]
+    pub fn crash_positions(&self, delivered_len: usize) -> Vec<usize> {
+        if delivered_len == 0 {
+            return Vec::new();
+        }
+        let mut out: Vec<usize> = self
+            .crash_fracs
+            .iter()
+            .map(|f| ((f * delivered_len as f64) as usize).min(delivered_len - 1))
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+/// Generates [`RecoveryCase`]s: a generated trace, moderate seeded chaos
+/// on the data path (rates low enough that the combined budget stays
+/// well under 1), up to three crash points, and a checkpoint cadence
+/// that is sometimes disabled. Shrinking removes the chaos first, then
+/// the crashes, then thins the report stream — so a minimized failure
+/// names the smallest interference that still breaks the guarantee.
+#[must_use]
+pub fn recovery_case(shape: TraceShape) -> Gen<RecoveryCase> {
+    let traces = trace_case(shape);
+    Gen::new(move |rng| RecoveryCase {
+        trace: traces.generate(rng),
+        seed: rng.next_u64() % 1_000_000,
+        drop_rate: rng.f64_in(0.0, 0.08),
+        duplicate_rate: rng.f64_in(0.0, 0.08),
+        reorder_rate: rng.f64_in(0.0, 0.12),
+        reorder_depth: rng.usize_in(1, 5) as u32,
+        corrupt_rate: rng.f64_in(0.0, 0.05),
+        crash_fracs: (0..rng.usize_in(0, 3)).map(|_| rng.f64_in(0.0, 0.999)).collect(),
+        redelivery: rng.usize_in(0, 6),
+        checkpoint_every: if rng.chance(0.2) { 0 } else { rng.usize_in(1, 64) as u64 },
+    })
+    .with_shrink(|case: &RecoveryCase| {
+        let mut out = Vec::new();
+        let chaotic = case.drop_rate != 0.0
+            || case.duplicate_rate != 0.0
+            || case.reorder_rate != 0.0
+            || case.corrupt_rate != 0.0;
+        if chaotic {
+            out.push(RecoveryCase {
+                drop_rate: 0.0,
+                duplicate_rate: 0.0,
+                reorder_rate: 0.0,
+                corrupt_rate: 0.0,
+                ..case.clone()
+            });
+        }
+        if !case.crash_fracs.is_empty() {
+            out.push(RecoveryCase { crash_fracs: Vec::new(), ..case.clone() });
+            for i in 0..case.crash_fracs.len() {
+                let mut fracs = case.crash_fracs.clone();
+                fracs.remove(i);
+                out.push(RecoveryCase { crash_fracs: fracs, ..case.clone() });
+            }
+        }
+        if case.checkpoint_every != 0 {
+            out.push(RecoveryCase { checkpoint_every: 0, ..case.clone() });
+        }
+        let k = case.trace.reports.len();
+        if k > 0 {
+            let mut half = case.trace.clone();
+            half.reports.truncate(k / 2);
+            out.push(RecoveryCase { trace: half, ..case.clone() });
+        }
+        out
+    })
+}
+
+// ---------------------------------------------------------------------
 // Social-media text
 // ---------------------------------------------------------------------
 
@@ -579,6 +709,35 @@ mod tests {
         if case.transient_rate != 0.0 || case.straggler_rate != 0.0 {
             let first = g.shrink(&case)[0];
             assert_eq!((first.transient_rate, first.straggler_rate), (0.0, 0.0));
+        }
+    }
+
+    #[test]
+    fn recovery_cases_are_valid_and_shrink_toward_calm() {
+        let g = recovery_case(TraceShape::default());
+        let n = check_with(CheckConfig::new(200), &g, |case| {
+            let _ = case.plan(); // panics if the fault budget is invalid
+            let _ = case.policy();
+            let positions = case.crash_positions(37);
+            if positions.iter().all(|&p| p < 37) && positions.windows(2).all(|w| w[0] < w[1]) {
+                Ok(())
+            } else {
+                Err("crash positions out of range or unsorted".into())
+            }
+        })
+        .expect("every recovery case is valid");
+        assert_eq!(n, 200);
+
+        let mut rng = TestRng::new(41);
+        let case = g.generate(&mut rng);
+        if case.drop_rate != 0.0 || case.corrupt_rate != 0.0 {
+            let first = &g.shrink(&case)[0];
+            assert_eq!(first.drop_rate, 0.0);
+            assert_eq!(first.corrupt_rate, 0.0);
+        }
+        for s in g.shrink(&case) {
+            let _ = s.plan();
+            let _ = s.trace.trace();
         }
     }
 

@@ -41,7 +41,11 @@ pub fn check_workspace_kernels<E: sstd_hmm::Emission>(
     }
     let gamma = em.gamma();
     if gamma.rows() != reference.gamma.len() {
-        return Err(format!("gamma has {} rows, allocating has {}", gamma.rows(), reference.gamma.len()));
+        return Err(format!(
+            "gamma has {} rows, allocating has {}",
+            gamma.rows(),
+            reference.gamma.len()
+        ));
     }
     for (t, want) in reference.gamma.iter().enumerate() {
         let got = gamma.row(t);

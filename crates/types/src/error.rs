@@ -175,6 +175,12 @@ pub enum SstdError {
     /// error (e.g. `sstd_core::DistributedError`), recoverable via
     /// [`distributed_as`](Self::distributed_as).
     Distributed(Box<dyn Error + Send + Sync + 'static>),
+    /// Crash recovery failed — a corrupt or mismatched snapshot, a
+    /// journal that would not decode, an exhausted crash budget. The
+    /// boxed source is the layer-specific error (e.g.
+    /// `sstd_core::RecoveryError`), recoverable via
+    /// [`recovery_as`](Self::recovery_as).
+    Recovery(Box<dyn Error + Send + Sync + 'static>),
 }
 
 impl SstdError {
@@ -182,6 +188,12 @@ impl SstdError {
     #[must_use]
     pub fn distributed(err: impl Error + Send + Sync + 'static) -> Self {
         Self::Distributed(Box::new(err))
+    }
+
+    /// Wraps a layer-specific crash-recovery error.
+    #[must_use]
+    pub fn recovery(err: impl Error + Send + Sync + 'static) -> Self {
+        Self::Recovery(Box::new(err))
     }
 
     /// The configuration error, if that is what this is.
@@ -210,6 +222,15 @@ impl SstdError {
             _ => None,
         }
     }
+
+    /// Downcasts the boxed crash-recovery source to a concrete type.
+    #[must_use]
+    pub fn recovery_as<E: Error + 'static>(&self) -> Option<&E> {
+        match self {
+            Self::Recovery(boxed) => boxed.downcast_ref::<E>(),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for SstdError {
@@ -218,6 +239,7 @@ impl fmt::Display for SstdError {
             Self::Config(e) => e.fmt(f),
             Self::Backend(e) => e.fmt(f),
             Self::Distributed(e) => write!(f, "distributed run failed: {e}"),
+            Self::Recovery(e) => write!(f, "recovery failed: {e}"),
         }
     }
 }
@@ -228,6 +250,7 @@ impl Error for SstdError {
             Self::Config(e) => Some(e),
             Self::Backend(e) => Some(e),
             Self::Distributed(e) => Some(e.as_ref()),
+            Self::Recovery(e) => Some(e.as_ref()),
         }
     }
 }
@@ -285,6 +308,13 @@ mod tests {
         let inner = dist.distributed_as::<ScoreError>().expect("downcast");
         assert_eq!(inner.kind(), "uncertainty");
         assert!(dist.distributed_as::<ConfigError>().is_none());
+
+        let rec = SstdError::recovery(ScoreError::new("independence", -1.0));
+        let inner = rec.recovery_as::<ScoreError>().expect("downcast");
+        assert_eq!(inner.kind(), "independence");
+        assert!(rec.recovery_as::<ConfigError>().is_none());
+        assert!(rec.distributed_as::<ScoreError>().is_none());
+        assert!(rec.to_string().contains("recovery failed"));
     }
 
     #[test]
