@@ -6,16 +6,17 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sstd_eval::exp::fig7;
-use sstd_obs::TimelineRecorder;
+use sstd_obs::{EventStore, TimelineRecorder};
 use sstd_runtime::{Cluster, DesEngine, NoopRecorder};
 use std::sync::Arc;
 
 fn bench_recorder_overhead(c: &mut Criterion) {
     let mut group = c.benchmark_group("obs_overhead");
-    let variants: [(&str, fn(&mut DesEngine)); 3] = [
+    let variants: [(&str, fn(&mut DesEngine)); 4] = [
         ("off", |_| {}),
         ("noop", |des| des.set_recorder(Some(Arc::new(NoopRecorder)))),
         ("collect", |des| des.set_recorder(Some(Arc::new(TimelineRecorder::new())))),
+        ("store", |des| des.set_recorder(Some(Arc::new(EventStore::new())))),
     ];
     for (name, install) in variants {
         group.bench_with_input(BenchmarkId::from_parameter(name), &install, |b, install| {

@@ -20,7 +20,13 @@ use sstd_hmm::{
     viterbi_into, BaumWelch, DecodeWorkspace, EmWorkspace, Hmm, StreamingViterbi,
     SymmetricGaussianEmission,
 };
-use sstd_obs::BenchReport;
+use sstd_obs::{BenchReport, EventStore, StoreConfig, TimelineRecorder};
+use sstd_runtime::prelude::{
+    JobId, LossCause, NoopRecorder, Recorder, SharedRecorder, TaskId, TaskPhase, TimelineEvent,
+    WorkerId,
+};
+use std::collections::BTreeMap;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Deterministic xorshift64* stream, so the bin needs no RNG crate.
@@ -53,6 +59,62 @@ fn truth_hmm() -> Hmm<SymmetricGaussianEmission> {
         SymmetricGaussianEmission::new(4.0, 1.5).expect("valid emission"),
     )
     .expect("valid model")
+}
+
+/// Number of synthetic timeline events in the obs-ingest workload.
+const INGEST_EVENTS: usize = 1_000_000;
+
+/// Segment budget for the eviction variant: far below the workload, so
+/// whole-segment eviction fires continuously.
+const INGEST_EVICT_BUDGET: usize = 65_536;
+
+/// A synthetic but shape-realistic timeline: every task goes
+/// queued → dispatched → (sometimes failed → dispatched) → completed.
+fn synthetic_timeline(n: usize) -> Vec<TimelineEvent> {
+    let mut out = Vec::with_capacity(n);
+    let mut task = 0u32;
+    let mut at = 0.0f64;
+    while out.len() < n {
+        let retry = task.is_multiple_of(5);
+        let worker = Some(WorkerId::new(task % 16));
+        let mut phases: Vec<(u32, Option<WorkerId>, TaskPhase)> =
+            vec![(0, None, TaskPhase::Queued), (0, worker, TaskPhase::Dispatched)];
+        if retry {
+            phases.push((0, worker, TaskPhase::Failed(LossCause::Transient)));
+            phases.push((1, worker, TaskPhase::Dispatched));
+            phases.push((1, worker, TaskPhase::Completed));
+        } else {
+            phases.push((0, worker, TaskPhase::Completed));
+        }
+        for (attempt, worker, phase) in phases {
+            at += 1.0e-3;
+            out.push(TimelineEvent {
+                task: TaskId::new(task),
+                job: JobId::new(task % 3),
+                attempt,
+                worker,
+                at,
+                phase,
+            });
+        }
+        task += 1;
+    }
+    out.truncate(n);
+    out
+}
+
+/// Millions of events per second pushed through the backends' per-event
+/// recorder branch (`if let Some(r) = recorder { r.record(e) }`).
+fn ingest_mevps(events: &[TimelineEvent], recorder: &Option<SharedRecorder>) -> f64 {
+    let us = time_us(|| {
+        for e in events {
+            if let Some(r) = std::hint::black_box(recorder) {
+                r.record(e);
+            }
+        }
+        std::hint::black_box(());
+    });
+    events.len() as f64 / us
 }
 
 /// Best-of-3 wall time of `f`, in microseconds.
@@ -108,6 +170,56 @@ fn main() {
         time_us(|| {
             AcsAggregator::windowed_into(&sums, 6, &mut acs_out);
             std::hint::black_box(acs_out.last().copied());
+        }),
+    ));
+
+    // Trace-store ingest: the same event stream through the four
+    // recorder configurations a backend can run with. `off` is the
+    // disabled path (no recorder installed), `noop` the trait-dispatch
+    // floor, `store` the unbounded EventStore, `evict` a store bounded
+    // well below the workload so segment eviction fires continuously.
+    let timeline = synthetic_timeline(INGEST_EVENTS);
+    fields.push(("obs_ingest_off_mevps", ingest_mevps(&timeline, &None)));
+    fields.push((
+        "obs_ingest_noop_mevps",
+        ingest_mevps(&timeline, &Some(Arc::new(NoopRecorder) as SharedRecorder)),
+    ));
+    fields.push((
+        "obs_ingest_store_mevps",
+        ingest_mevps(&timeline, &Some(Arc::new(EventStore::new()) as SharedRecorder)),
+    ));
+    let evict_store = Arc::new(
+        EventStore::with_config(StoreConfig::bounded(INGEST_EVICT_BUDGET))
+            .expect("valid bounded config"),
+    );
+    fields.push((
+        "obs_ingest_evict_mevps",
+        ingest_mevps(&timeline, &Some(evict_store.clone() as SharedRecorder)),
+    ));
+    fields.push(("obs_ingest_evict_dropped", evict_store.dropped_events() as f64));
+
+    // `Timeline::per_task_sequences`: the former per-event
+    // `BTreeMap::entry` walk (reimplemented here as the baseline)
+    // against the shipped linear dense-bucket pass.
+    fields.push((
+        "timeline_seqs_btree_us",
+        time_us(|| {
+            let mut m: BTreeMap<TaskId, Vec<(u32, &'static str)>> = BTreeMap::new();
+            for e in &timeline {
+                m.entry(e.task).or_default().push((e.attempt, e.phase.label()));
+            }
+            std::hint::black_box(m.len());
+        }),
+    ));
+    let rec = TimelineRecorder::new();
+    for e in &timeline {
+        rec.record(e);
+    }
+    let snapshot = rec.snapshot();
+    fields.push((
+        "timeline_seqs_linear_us",
+        time_us(|| {
+            std::hint::black_box(snapshot.per_task_sequences().len());
         }),
     ));
 

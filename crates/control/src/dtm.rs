@@ -8,13 +8,14 @@
 //! single backend-specific branch.
 
 use crate::{GlobalKnob, LocalKnob, PidController};
-use sstd_obs::{ControlTick, ControlTrace};
+use sstd_obs::{ControlTick, ControlTrace, EventStore};
 use sstd_runtime::{
     Cluster, DesEngine, ExecutionBackend, ExecutionModel, ExecutionReport, FastAbort, FaultPlan,
     FaultStats, JobId, RetryPolicy, TaskSpec,
 };
 use sstd_types::{ConfigError, SstdError};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// One truth-discovery job as the DTM sees it: a data volume with a soft
 /// deadline, split into equal tasks (paper §IV-C4).
@@ -313,6 +314,9 @@ pub struct DynamicTaskManager {
     config: DtmConfig,
     cluster: Cluster,
     model: ExecutionModel,
+    /// Shared trace store control ticks are recorded into; a private
+    /// per-run store when unset.
+    store: Option<Arc<EventStore>>,
 }
 
 impl DynamicTaskManager {
@@ -327,7 +331,23 @@ impl DynamicTaskManager {
         assert!(config.initial_workers >= 1, "need at least one worker");
         assert!(config.max_workers >= config.initial_workers, "max < initial workers");
         assert!(config.sample_period > 0.0, "sampling period must be positive");
-        Self { config, cluster, model }
+        Self { config, cluster, model, store: None }
+    }
+
+    /// Routes control ticks into a shared [`EventStore`], so the control
+    /// trace interleaves with task/stream/recovery events in one
+    /// causally-linked log. Without a store the DTM records into a
+    /// private per-run one; either way the outcome's [`ControlTrace`]
+    /// is materialized from the store through the query layer.
+    pub fn set_event_store(&mut self, store: Arc<EventStore>) {
+        self.store = Some(store);
+    }
+
+    /// Builder form of [`set_event_store`](Self::set_event_store).
+    #[must_use]
+    pub fn with_event_store(mut self, store: Arc<EventStore>) -> Self {
+        self.store = Some(store);
+        self
     }
 
     /// Runs `jobs` to completion under feedback control and reports the
@@ -386,10 +406,12 @@ impl DynamicTaskManager {
     /// given fault plan and evictions on the backend, overwriting any
     /// preset values: configuration flows through one path only.
     ///
-    /// Each sampling epoch with pending work appends one [`ControlTick`]
-    /// per job to the outcome's [`ControlTrace`]: what the PID saw
-    /// (predicted finish vs. deadline) and what it actuated (priority,
-    /// pool size).
+    /// Each sampling epoch with pending work records one [`ControlTick`]
+    /// per job — what the PID saw (predicted finish vs. deadline) and
+    /// what it actuated (priority, pool size) — through the trace store
+    /// (shared via [`set_event_store`](Self::set_event_store), private
+    /// otherwise); the outcome's [`ControlTrace`] is materialized from
+    /// the store, scoped to this run.
     ///
     /// # Errors
     ///
@@ -435,7 +457,12 @@ impl DynamicTaskManager {
             .map(|j| (j.job, LocalKnob::new(cfg.theta3, 1.0, 1.0 / 64.0, 64.0)))
             .collect();
         let mut gck = GlobalKnob::new(cfg.theta4, cfg.initial_workers, 1, cfg.max_workers);
-        let mut control = ControlTrace::default();
+        // Ticks go through the trace store (a shared one when installed
+        // via `set_event_store`, else a private per-run one); the
+        // outcome's `ControlTrace` is read back from it, scoped to this
+        // run by the sequence watermark.
+        let store = self.store.clone().unwrap_or_else(|| Arc::new(EventStore::new()));
+        let control_since = store.next_seq();
         // Ticks of the current epoch, buffered so `workers` can reflect
         // the pool size after the GCK actuates on the aggregate signal.
         let mut epoch: Vec<ControlTick> = Vec::new();
@@ -523,7 +550,7 @@ impl DynamicTaskManager {
             for mut tick in epoch.drain(..) {
                 tick.t = now;
                 tick.workers = pool;
-                control.push(tick);
+                store.record_control(tick);
             }
         }
 
@@ -543,7 +570,7 @@ impl DynamicTaskManager {
             report,
             job_completion,
             job_met_deadline,
-            control,
+            control: ControlTrace::from_store_since(&store, control_since),
         })
     }
 

@@ -518,6 +518,17 @@ impl Supervisor {
         self
     }
 
+    /// Routes recovery telemetry into a shared
+    /// [`sstd_obs::EventStore`], so checkpoint/crash/restore events
+    /// interleave with the other telemetry domains in one causally-linked
+    /// log (the store chains each crash to its covering checkpoint and
+    /// each restore to its crash).
+    #[must_use]
+    pub fn with_event_store(mut self, store: std::sync::Arc<sstd_obs::EventStore>) -> Self {
+        self.telemetry = RecoveryTelemetry::with_store(store);
+        self
+    }
+
     /// The supervised engine (read-only; all mutation goes through
     /// [`ingest`](Self::ingest)).
     #[must_use]

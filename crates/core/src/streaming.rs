@@ -233,6 +233,15 @@ impl StreamingSstd {
         self
     }
 
+    /// Like [`with_telemetry`](Self::with_telemetry), but ticks land in a
+    /// shared [`sstd_obs::EventStore`], so stream intervals interleave
+    /// with task/control/recovery events in one causally-linked log.
+    #[must_use]
+    pub fn with_telemetry_store(mut self, store: std::sync::Arc<sstd_obs::EventStore>) -> Self {
+        self.telemetry = Some(StreamTelemetry::with_store(store));
+        self
+    }
+
     /// The telemetry collected so far (`None` unless enabled via
     /// [`with_telemetry`](Self::with_telemetry)).
     #[must_use]

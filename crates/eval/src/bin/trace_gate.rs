@@ -1,0 +1,25 @@
+//! CI gate binary for the trace-store query layer.
+//!
+//! Runs the seeded gate workload from `exp::trace_gate`, prints the
+//! audit summary, optionally writes the JSON report (`--json PATH`), and
+//! exits non-zero when any invariant was violated.
+
+use sstd_eval::exp::trace_gate;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .map(|i| args.get(i + 1).expect("--json requires a path").clone());
+
+    let report = trace_gate::run();
+    print!("{}", report.format());
+    if let Some(path) = json_path {
+        std::fs::write(&path, report.to_json()).expect("failed to write gate report");
+        println!("wrote {path}");
+    }
+    if !report.passed() {
+        std::process::exit(1);
+    }
+}

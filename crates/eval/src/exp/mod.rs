@@ -8,4 +8,5 @@ pub mod fig7;
 pub mod recovery;
 pub mod robustness;
 pub mod table2;
+pub mod trace_gate;
 pub mod tuning;

@@ -15,12 +15,31 @@
 //! Both sweeps measure through [`ExecutionBackend`]: the default entry
 //! points run the DES, and the `*_on` variants accept a backend factory
 //! (e.g. a `ThreadedEngine` per grid cell) with no backend-specific
-//! forks in the measurement itself.
+//! forks in the measurement itself. Retry and exhaustion counters come
+//! from the trace store: each grid cell installs a fresh
+//! [`EventStore`] recorder on its backend and reads the counts back
+//! through the query layer, cross-checked against the scheduler's own
+//! ledger in debug builds.
 
 use sstd_control::{DtmConfig, DtmJob, DynamicTaskManager};
+use sstd_obs::EventStore;
 use sstd_runtime::{
     Cluster, DesEngine, ExecutionBackend, ExecutionModel, FaultPlan, JobId, RetryPolicy,
 };
+use std::sync::Arc;
+
+/// Task counters of one run, read back through the trace-store query
+/// layer: `(retries, exhausted)`.
+///
+/// Every settled loss that still has retry budget re-queues the task
+/// (one retry per non-terminal failure event), so `retries = failures −
+/// exhausted`; the scheduler's own ledger agrees, which the sweeps
+/// cross-check with a debug assertion.
+fn store_task_counts(store: &EventStore) -> (u64, u64) {
+    let failures = store.query().failures().count();
+    let exhausted = store.query().tasks().label("exhausted").count();
+    (failures - exhausted, exhausted)
+}
 
 /// One measured point: an allocation policy under an eviction rate.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -90,14 +109,18 @@ where
         let evictions: Vec<f64> = (0..n).map(|i| 1.0 + 9.0 * i as f64 / n.max(1) as f64).collect();
         for controlled in [false, true] {
             let mut backend = make_backend();
+            let store = Arc::new(EventStore::new());
+            backend.set_recorder(Some(store.clone()));
             let outcome = dtm(controlled, RetryPolicy::default())
                 .run_on(&mut backend, &job_set(6), &evictions, None)
                 .expect("valid config");
+            let (restarts, _) = store_task_counts(&store);
+            debug_assert_eq!(restarts, outcome.retries, "store must agree with the ledger");
             out.push(RobustnessPoint {
                 controlled,
                 num_evictions: n,
                 job_hit_rate: outcome.job_hit_rate(),
-                wasted_restarts: outcome.retries,
+                wasted_restarts: restarts,
             });
         }
     }
@@ -197,10 +220,18 @@ where
                 let plan = FaultPlan::new(seed).with_transient_rate(rate);
                 for controlled in [false, true] {
                     let mut backend = make_backend();
+                    let store = Arc::new(EventStore::new());
+                    backend.set_recorder(Some(store.clone()));
                     let outcome = dtm(controlled, retry)
                         .run_on(&mut backend, &job_set(6), &evictions, Some(plan))
                         .expect("valid config");
                     debug_assert!(outcome.faults.reconciles(), "{}", outcome.faults);
+                    let (retries, exhausted) = store_task_counts(&store);
+                    debug_assert_eq!(retries, outcome.retries, "store vs ledger");
+                    debug_assert_eq!(
+                        exhausted, outcome.faults.exhausted_tasks,
+                        "store vs fault stats"
+                    );
                     out.push(FaultSweepPoint {
                         controlled,
                         num_evictions: n,
@@ -208,8 +239,8 @@ where
                         retry_label: label,
                         job_hit_rate: outcome.job_hit_rate(),
                         wasted_time: outcome.faults.wasted_time,
-                        retries: outcome.retries,
-                        exhausted: outcome.faults.exhausted_tasks,
+                        retries,
+                        exhausted,
                     });
                 }
             }

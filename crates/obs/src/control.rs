@@ -66,6 +66,23 @@ impl ControlTrace {
         self.ticks.push(tick);
     }
 
+    /// Materializes the control trace from a trace store: every control
+    /// tick with sequence id `>= since`, in append order. Capture `since`
+    /// with [`EventStore::next_seq`](crate::EventStore::next_seq) before a
+    /// run to scope the trace to it on a shared store.
+    #[must_use]
+    pub fn from_store_since(store: &crate::EventStore, since: u64) -> Self {
+        let ticks = store
+            .query()
+            .control()
+            .since_seq(since)
+            .events()
+            .iter()
+            .filter_map(|e| e.control_tick().copied())
+            .collect();
+        Self { ticks }
+    }
+
     /// The recorded ticks, in order.
     #[must_use]
     pub fn ticks(&self) -> &[ControlTick] {
@@ -180,6 +197,20 @@ mod tests {
         assert_eq!(a, b);
         b.push(tick(1.0, 1.0));
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn from_store_since_scopes_to_a_run() {
+        let store = crate::EventStore::new();
+        store.record_control(tick(0.0, 1.0));
+        let mark = store.next_seq();
+        store.record_control(tick(1.0, 2.0));
+        store.record_control(tick(2.0, 3.0));
+        let trace = ControlTrace::from_store_since(&store, mark);
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace.ticks()[0].t, 1.0);
+        let full = ControlTrace::from_store_since(&store, 0);
+        assert_eq!(full.len(), 3);
     }
 
     #[test]

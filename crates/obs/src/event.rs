@@ -1,0 +1,162 @@
+//! The unified trace event: one compact enum covering every telemetry
+//! domain the workspace produces.
+//!
+//! Every record in the [`EventStore`](crate::EventStore) is an [`Event`]:
+//! a monotonic sequence id, an optional causal predecessor, and an
+//! [`EventKind`] payload. The payloads are exactly the per-domain sample
+//! types the adapters already export — [`TimelineEvent`] from the
+//! execution backends, [`ControlTick`](crate::ControlTick) from the DTM,
+//! [`StreamTick`](crate::StreamTick) from the streaming engine and
+//! [`RecoveryEvent`](crate::RecoveryEvent) from the supervisor — so
+//! producers keep their vocabulary and only the log is unified.
+
+use crate::{ControlTick, RecoveryEvent, StreamTick};
+use sstd_runtime::TimelineEvent;
+
+/// The telemetry domain an [`Event`] belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum EventClass {
+    /// Task lifecycle steps from an execution backend.
+    Task,
+    /// PID control-loop samples from the Dynamic Task Manager.
+    Control,
+    /// Closed streaming intervals from the streaming engine.
+    Stream,
+    /// Checkpoint/crash/restore steps from the supervisor.
+    Recovery,
+}
+
+impl EventClass {
+    /// Every class, in segment-summary index order.
+    pub const ALL: [Self; 4] = [Self::Task, Self::Control, Self::Stream, Self::Recovery];
+
+    /// Dense index used by segment summaries and evicted totals.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        match self {
+            Self::Task => 0,
+            Self::Control => 1,
+            Self::Stream => 2,
+            Self::Recovery => 3,
+        }
+    }
+
+    /// A short stable label for exporters.
+    #[must_use]
+    pub const fn label(self) -> &'static str {
+        match self {
+            Self::Task => "task",
+            Self::Control => "control",
+            Self::Stream => "stream",
+            Self::Recovery => "recovery",
+        }
+    }
+}
+
+/// The payload of one trace event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EventKind {
+    /// A task attempt crossing a lifecycle phase.
+    Task(TimelineEvent),
+    /// One PID control-loop sample.
+    Control(ControlTick),
+    /// One closed streaming interval.
+    Stream(StreamTick),
+    /// One checkpoint/crash/restore step.
+    Recovery(RecoveryEvent),
+}
+
+impl EventKind {
+    /// The domain of the payload.
+    #[must_use]
+    pub const fn class(&self) -> EventClass {
+        match self {
+            Self::Task(_) => EventClass::Task,
+            Self::Control(_) => EventClass::Control,
+            Self::Stream(_) => EventClass::Stream,
+            Self::Recovery(_) => EventClass::Recovery,
+        }
+    }
+
+    /// The payload's native timestamp, when it has one: backend seconds
+    /// for task events, backend seconds for control ticks, the interval
+    /// index for stream ticks. Recovery events carry no clock and return
+    /// `None` (they are ordered by sequence id alone).
+    #[must_use]
+    pub fn at(&self) -> Option<f64> {
+        match self {
+            Self::Task(e) => Some(e.at),
+            Self::Control(t) => Some(t.t),
+            Self::Stream(t) => Some(t.interval as f64),
+            Self::Recovery(_) => None,
+        }
+    }
+
+    /// A short stable label: the task phase label for task events
+    /// (`"queued"`, `"failed:transient"`, …), the recovery step for
+    /// recovery events (`"checkpoint"`, `"crash"`, `"restored"`), and the
+    /// class label otherwise.
+    #[must_use]
+    pub const fn label(&self) -> &'static str {
+        match self {
+            Self::Task(e) => e.phase.label(),
+            Self::Control(_) => "control",
+            Self::Stream(_) => "stream",
+            Self::Recovery(RecoveryEvent::CheckpointWritten { .. }) => "checkpoint",
+            Self::Recovery(RecoveryEvent::CrashObserved { .. }) => "crash",
+            Self::Recovery(RecoveryEvent::Restored { .. }) => "restored",
+        }
+    }
+}
+
+/// One record in the [`EventStore`](crate::EventStore) log.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Event {
+    /// Monotonic sequence id, unique within a store and dense in append
+    /// order (evictions leave gaps at the *front* of the retained log,
+    /// never in the middle).
+    pub seq: u64,
+    /// The sequence id of the event that caused this one, when the store
+    /// could link it: the previous lifecycle step of the same task, the
+    /// previous control tick of the same job, the previous stream
+    /// interval, the covering checkpoint for a crash, and the observed
+    /// crash for a restore.
+    pub cause: Option<u64>,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sstd_runtime::{JobId, TaskId, TaskPhase};
+
+    #[test]
+    fn class_indices_are_dense_and_stable() {
+        for (i, c) in EventClass::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+        assert_eq!(EventClass::Task.label(), "task");
+        assert_eq!(EventClass::Recovery.label(), "recovery");
+    }
+
+    #[test]
+    fn kind_exposes_class_time_and_label() {
+        let e = EventKind::Task(TimelineEvent {
+            task: TaskId::new(1),
+            job: JobId::new(0),
+            attempt: 0,
+            worker: None,
+            at: 2.5,
+            phase: TaskPhase::Queued,
+        });
+        assert_eq!(e.class(), EventClass::Task);
+        assert_eq!(e.at(), Some(2.5));
+        assert_eq!(e.label(), "queued");
+
+        let r = EventKind::Recovery(RecoveryEvent::CrashObserved { reports_ingested: 3 });
+        assert_eq!(r.class(), EventClass::Recovery);
+        assert_eq!(r.at(), None);
+        assert_eq!(r.label(), "crash");
+    }
+}

@@ -1,18 +1,31 @@
-//! Observability for SSTD: metrics, task timelines, and control-loop
-//! telemetry.
+//! Observability for SSTD: a write-optimized, queryable trace store with
+//! metrics, task-timeline, control-loop, streaming and recovery views.
 //!
 //! The paper evaluates SSTD by *measuring* it — per-interval decision
 //! latency, task turnaround on the Work Queue pool, PID-controlled
 //! workload error (§IV–V). This crate is the measurement layer those
-//! curves come from:
+//! curves come from, built around one unified log:
 //!
+//! - [`EventStore`] — the append-only, chunked trace store every
+//!   telemetry domain writes through. One [`Event`] per record: a
+//!   monotonic sequence id, an explicit causality link (task → attempt →
+//!   retry chains, checkpoint → crash → restore), and an [`EventKind`]
+//!   payload. Bounded-memory operation via [`StoreConfig`]: whole-segment
+//!   eviction with truthful drop accounting;
+//! - [`Query`] — the builder for filtering (class, task/job/worker,
+//!   phase label, time range, sequence watermark), grouping, and
+//!   reducing (count/sum/mean, exact and P² percentiles via
+//!   `sstd_stats`) over the store, plus causal chain reconstruction
+//!   ([`AttemptChain`] / [`Attempt`] via
+//!   [`EventStore::attempt_chain`]);
 //! - [`MetricsRegistry`] — a lock-cheap registry of named [`Counter`]s,
-//!   [`Gauge`]s and fixed-bucket [`HistogramHandle`]s (bucket geometry
-//!   from [`sstd_stats::Histogram`]), snapshotted to JSON or CSV;
-//! - [`TimelineRecorder`] — a [`sstd_runtime::Recorder`] sink collecting
-//!   the per-attempt [`TimelineEvent`] stream both execution backends
-//!   emit (queued → dispatched → failed/evicted/aborted → completed), so
-//!   a DES run and a threaded run of the same seeded `FaultPlan` produce
+//!   [`Gauge`]s and fixed-bucket [`HistogramHandle`]s (uniform bucket
+//!   geometry from [`sstd_stats::Histogram`], or validated explicit
+//!   edges), snapshotted to JSON or CSV;
+//! - [`TimelineRecorder`] — a [`sstd_runtime::Recorder`] adapter over the
+//!   store collecting the per-attempt [`TimelineEvent`] stream both
+//!   execution backends emit, so a DES run and a threaded run of the same
+//!   seeded `FaultPlan` produce
 //!   [structurally comparable](Timeline::structurally_equal) traces;
 //! - [`ControlTick`] / [`ControlTrace`] — one sample per PID tick
 //!   (setpoint, measured workload, error, actuation) from the Dynamic
@@ -26,43 +39,58 @@
 //! - [`BenchReport`] — the `BENCH_*.json`-compatible trajectory exporter
 //!   the evaluation binaries write.
 //!
+//! The per-domain views (`TimelineRecorder`, `StreamTelemetry`,
+//! `RecoveryTelemetry`, `ControlTrace::from_store_since`) are thin
+//! adapters: each writes into an [`EventStore`] — a private one by
+//! default, or a shared one so a whole run lands in a single
+//! causally-linked log — and reads back through [`Query`].
+//!
 //! Everything here is pull-based and allocation-light: recording an event
-//! is an atomic increment or a short `Mutex`-guarded push, and the
-//! runtime's default recorder is a no-op, so instrumentation costs
-//! nothing until a sink is installed.
+//! is an atomic increment or a short `Mutex`-guarded push into the open
+//! segment, and the runtime's default recorder is a no-op, so
+//! instrumentation costs nothing until a sink is installed (the
+//! `obs_overhead` bench guards exactly this).
 //!
 //! # Examples
 //!
 //! ```
-//! use sstd_obs::TimelineRecorder;
+//! use sstd_obs::EventStore;
 //! use sstd_runtime::prelude::*;
 //! use std::sync::Arc;
 //!
-//! let recorder = Arc::new(TimelineRecorder::new());
+//! let store = Arc::new(EventStore::new());
 //! let mut des = DesEngine::new(Cluster::homogeneous(2, 1.0), ExecutionModel::default(), 2);
-//! des.set_recorder(Some(recorder.clone()));
+//! des.set_recorder(Some(store.clone()));
 //! des.submit(TaskSpec::new(JobId::new(0), 100.0));
 //! let _ = des.run_to_completion();
-//! let timeline = recorder.snapshot();
-//! assert_eq!(timeline.events().len(), 3); // queued, dispatched, completed
+//! assert_eq!(store.query().tasks().count(), 3); // queued, dispatched, completed
+//! let p_done = store.query().tasks().label("completed")
+//!     .percentile(1.0, |e| e.timeline_event().map(|t| t.at));
+//! assert!(p_done.unwrap() > 0.0);
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
 mod control;
+mod event;
 mod export;
 mod metrics;
+mod query;
 mod recovery;
+mod store;
 mod stream;
 mod timeline;
 
 pub use control::{ControlTick, ControlTrace};
+pub use event::{Event, EventClass, EventKind};
 pub use export::BenchReport;
 pub use metrics::{
     Counter, Gauge, HistogramHandle, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
 };
+pub use query::{Attempt, AttemptChain, Query};
 pub use recovery::{RecoveryEvent, RecoveryTelemetry};
+pub use store::{EventStore, StoreConfig};
 pub use stream::{StreamTelemetry, StreamTick};
 pub use timeline::{Timeline, TimelineRecorder};
 

@@ -8,6 +8,7 @@
 use crate::{json_escape, json_f64};
 use parking_lot::Mutex;
 use sstd_stats::Histogram;
+use sstd_types::ConfigError;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -66,29 +67,76 @@ impl Gauge {
     }
 }
 
+/// Bucket geometry of a [`HistogramHandle`]: uniform bins delegated to
+/// [`sstd_stats::Histogram`], or explicit monotonic bin edges.
+#[derive(Debug)]
+enum Geometry {
+    /// Equal-width bins over `[lo, hi]`; the empty template carries the
+    /// geometry.
+    Uniform(Histogram),
+    /// `n + 1` strictly increasing finite edges defining `n` bins; bin
+    /// `k` covers `[edges[k], edges[k+1])`.
+    Edges(Vec<f64>),
+}
+
+impl Geometry {
+    fn bin_of(&self, x: f64) -> usize {
+        match self {
+            Self::Uniform(template) => template.bin_of(x),
+            Self::Edges(edges) => {
+                let bins = edges.len() - 1;
+                if x.is_nan() || x < edges[0] {
+                    return 0;
+                }
+                // Out-of-range samples clamp into the end bins, matching
+                // the uniform geometry's convention.
+                edges[1..bins].iter().position(|&e| x < e).unwrap_or(bins - 1)
+            }
+        }
+    }
+
+    fn bin_center(&self, b: usize) -> f64 {
+        match self {
+            Self::Uniform(template) => template.bin_center(b),
+            Self::Edges(edges) => (edges[b] + edges[b + 1]) / 2.0,
+        }
+    }
+
+    fn bins(&self) -> usize {
+        match self {
+            Self::Uniform(template) => template.num_bins(),
+            Self::Edges(edges) => edges.len() - 1,
+        }
+    }
+}
+
 /// A fixed-bucket histogram with atomic bins.
 ///
-/// Bucket geometry (equal-width bins over `[lo, hi]`, out-of-range
-/// samples clamped into the end bins) is delegated to
-/// [`sstd_stats::Histogram`], so exported bucket centers match the stats
-/// crate's conventions everywhere else in SSTD.
+/// Bucket geometry is either equal-width bins over `[lo, hi]` delegated
+/// to [`sstd_stats::Histogram`] — so exported bucket centers match the
+/// stats crate's conventions everywhere else in SSTD — or explicit
+/// monotonic edges via
+/// [`MetricsRegistry::histogram_with_edges`]. Out-of-range samples clamp
+/// into the end bins in both geometries.
 #[derive(Debug, Clone)]
 pub struct HistogramHandle {
-    /// Empty template carrying the bucket geometry.
-    template: Arc<Histogram>,
+    geometry: Arc<Geometry>,
     bins: Arc<Vec<AtomicU64>>,
 }
 
 impl HistogramHandle {
     fn new(lo: f64, hi: f64, bins: usize) -> Self {
-        let template = Histogram::new(lo, hi, bins);
-        let bins = (0..bins).map(|_| AtomicU64::new(0)).collect();
-        Self { template: Arc::new(template), bins: Arc::new(bins) }
+        Self::from_geometry(Geometry::Uniform(Histogram::new(lo, hi, bins)))
+    }
+
+    fn from_geometry(geometry: Geometry) -> Self {
+        let bins = (0..geometry.bins()).map(|_| AtomicU64::new(0)).collect();
+        Self { geometry: Arc::new(geometry), bins: Arc::new(bins) }
     }
 
     /// Records one sample (clamped into the end bins when out of range).
     pub fn record(&self, x: f64) {
-        let b = self.template.bin_of(x);
+        let b = self.geometry.bin_of(x);
         self.bins[b].fetch_add(1, Ordering::Relaxed);
     }
 
@@ -102,7 +150,7 @@ impl HistogramHandle {
     #[must_use]
     pub fn snapshot(&self) -> HistogramSnapshot {
         HistogramSnapshot {
-            centers: (0..self.bins.len()).map(|b| self.template.bin_center(b)).collect(),
+            centers: (0..self.bins.len()).map(|b| self.geometry.bin_center(b)).collect(),
             counts: self.bins.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
         }
     }
@@ -242,6 +290,75 @@ impl MetricsRegistry {
             .entry(name.to_string())
             .or_insert_with(|| HistogramHandle::new(lo, hi, bins))
             .clone()
+    }
+
+    /// Like [`histogram`](Self::histogram), but invalid geometry surfaces
+    /// as a [`ConfigError`] instead of a panic — for callers building
+    /// bucket bounds from configuration rather than literals.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError`] when `bins == 0`, a bound is not finite, or
+    /// `lo >= hi`. An existing histogram under `name` is returned as-is
+    /// without re-validating the arguments.
+    pub fn try_histogram(
+        &self,
+        name: &str,
+        lo: f64,
+        hi: f64,
+        bins: usize,
+    ) -> Result<HistogramHandle, ConfigError> {
+        if bins == 0 {
+            return Err(ConfigError::new("bins", "histogram needs at least one bucket"));
+        }
+        if !lo.is_finite() || !hi.is_finite() {
+            return Err(ConfigError::new("range", "histogram bounds must be finite"));
+        }
+        if lo >= hi {
+            return Err(ConfigError::new(
+                "range",
+                format!("histogram range is empty: lo {lo} >= hi {hi}"),
+            ));
+        }
+        Ok(self.histogram(name, lo, hi, bins))
+    }
+
+    /// The histogram named `name` with explicit bin edges, created on
+    /// first use: `edges` must be at least two strictly increasing finite
+    /// values, and bin `k` covers `[edges[k], edges[k+1])` with
+    /// out-of-range samples clamped into the end bins.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError`] when fewer than two edges are given, an edge is
+    /// not finite, or the edges are not strictly increasing. An existing
+    /// histogram under `name` is returned as-is without re-validating.
+    pub fn histogram_with_edges(
+        &self,
+        name: &str,
+        edges: &[f64],
+    ) -> Result<HistogramHandle, ConfigError> {
+        if edges.len() < 2 {
+            return Err(ConfigError::new(
+                "edges",
+                format!("histogram needs at least two bin edges, got {}", edges.len()),
+            ));
+        }
+        if let Some(bad) = edges.iter().find(|e| !e.is_finite()) {
+            return Err(ConfigError::new("edges", format!("bin edge {bad} is not finite")));
+        }
+        if let Some(w) = edges.windows(2).find(|w| w[0] >= w[1]) {
+            return Err(ConfigError::new(
+                "edges",
+                format!("bin edges must be strictly increasing, got {} then {}", w[0], w[1]),
+            ));
+        }
+        let mut inner = self.inner.lock();
+        Ok(inner
+            .histograms
+            .entry(name.to_string())
+            .or_insert_with(|| HistogramHandle::from_geometry(Geometry::Edges(edges.to_vec())))
+            .clone())
     }
 
     /// A point-in-time copy of every registered metric.
@@ -384,6 +501,47 @@ mod tests {
         let reg = MetricsRegistry::new();
         let h = reg.histogram("empty", 0.0, 1.0, 4);
         assert_eq!(h.snapshot().quantile(0.5), None);
+    }
+
+    #[test]
+    fn empty_and_non_monotonic_edges_are_rejected() {
+        let reg = MetricsRegistry::new();
+        assert!(reg.histogram_with_edges("e", &[]).is_err(), "no edges");
+        assert!(reg.histogram_with_edges("e", &[1.0]).is_err(), "one edge is no bin");
+        assert!(reg.histogram_with_edges("e", &[0.0, 2.0, 1.0]).is_err(), "not increasing");
+        assert!(reg.histogram_with_edges("e", &[0.0, 0.0, 1.0]).is_err(), "not strict");
+        assert!(reg.histogram_with_edges("e", &[0.0, f64::NAN]).is_err(), "NaN edge");
+        assert!(reg.histogram_with_edges("e", &[0.0, f64::INFINITY]).is_err(), "infinite edge");
+        let err = reg.histogram_with_edges("e", &[3.0, 2.0]).unwrap_err();
+        assert!(err.to_string().contains("edges"), "{err}");
+        assert_eq!(reg.snapshot().histograms().len(), 0, "nothing was registered");
+    }
+
+    #[test]
+    fn explicit_edges_bin_and_clamp_correctly() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram_with_edges("lat", &[0.0, 0.1, 1.0, 10.0]).unwrap();
+        h.record(-5.0); // clamps into bin 0
+        h.record(0.05); // bin 0
+        h.record(0.5); // bin 1
+        h.record(2.0); // bin 2
+        h.record(99.0); // clamps into bin 2
+        let snap = h.snapshot();
+        assert_eq!(snap.counts(), &[2, 1, 2]);
+        assert_eq!(snap.centers(), &[0.05, 0.55, 5.5], "centers are edge midpoints");
+        assert_eq!(snap.total(), 5);
+    }
+
+    #[test]
+    fn try_histogram_rejects_bad_uniform_geometry() {
+        let reg = MetricsRegistry::new();
+        assert!(reg.try_histogram("h", 0.0, 1.0, 0).is_err(), "zero bins");
+        assert!(reg.try_histogram("h", 1.0, 1.0, 4).is_err(), "empty range");
+        assert!(reg.try_histogram("h", 2.0, 1.0, 4).is_err(), "inverted range");
+        assert!(reg.try_histogram("h", f64::NAN, 1.0, 4).is_err(), "NaN bound");
+        let h = reg.try_histogram("h", 0.0, 1.0, 4).unwrap();
+        h.record(0.3);
+        assert_eq!(h.snapshot().counts()[1], 1);
     }
 
     #[test]

@@ -3,12 +3,17 @@
 //!
 //! The crash-recovery subsystem (see DESIGN.md §13) emits one
 //! [`RecoveryEvent`] per checkpoint written, crash observed and restore
-//! completed. [`RecoveryTelemetry`] collects the event stream plus the
-//! aggregate counters a long-running ingest service would alert on:
-//! checkpoints written, crashes survived, reports replayed from the
-//! journal, and the wall-clock latency of each recovery.
+//! completed. [`RecoveryTelemetry`] is an adapter over the unified
+//! [`EventStore`]: events land in the store's recovery log (chained
+//! checkpoint → crash → restore), and every aggregate counter a
+//! long-running ingest service would alert on — checkpoints written,
+//! crashes survived, reports replayed, recovery latency — is computed
+//! through the [`Query`](crate::Query) layer.
 
+use crate::event::Event;
 use crate::json_f64;
+use crate::store::EventStore;
+use std::sync::Arc;
 
 /// One event in the life of a supervised, checkpointed ingest loop.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -54,7 +59,8 @@ impl std::fmt::Display for RecoveryEvent {
     }
 }
 
-/// The recovery event stream plus aggregate counters.
+/// The recovery event stream plus aggregate counters, read from the
+/// backing trace store.
 ///
 /// # Examples
 ///
@@ -69,100 +75,132 @@ impl std::fmt::Display for RecoveryEvent {
 /// assert_eq!(tel.crashes_observed(), 1);
 /// assert_eq!(tel.reports_replayed(), 15);
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct RecoveryTelemetry {
-    events: Vec<RecoveryEvent>,
-    checkpoints_written: u64,
-    checkpoint_bytes: u64,
-    crashes_observed: u64,
-    restores_completed: u64,
-    reports_replayed: u64,
-    total_recovery_latency: f64,
+    store: Arc<EventStore>,
+}
+
+impl Default for RecoveryTelemetry {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl RecoveryTelemetry {
-    /// Creates an empty collector.
+    /// Creates a collector over a fresh private unbounded [`EventStore`].
     #[must_use]
     pub fn new() -> Self {
-        Self::default()
+        Self { store: Arc::new(EventStore::new()) }
     }
 
-    /// Appends one event and updates the aggregate counters.
-    pub fn record(&mut self, event: RecoveryEvent) {
-        match event {
-            RecoveryEvent::CheckpointWritten { bytes, .. } => {
-                self.checkpoints_written += 1;
-                self.checkpoint_bytes += bytes as u64;
-            }
-            RecoveryEvent::CrashObserved { .. } => self.crashes_observed += 1,
-            RecoveryEvent::Restored { replayed, latency } => {
-                self.restores_completed += 1;
-                self.reports_replayed += replayed;
-                if latency.is_finite() && latency > 0.0 {
-                    self.total_recovery_latency += latency;
-                }
-            }
-        }
-        self.events.push(event);
-    }
-
-    /// The recorded events, in order.
+    /// Creates a collector writing into an existing (possibly shared)
+    /// store, so recovery events interleave with the other telemetry
+    /// domains in one causally-linked log.
     #[must_use]
-    pub fn events(&self) -> &[RecoveryEvent] {
-        &self.events
+    pub fn with_store(store: Arc<EventStore>) -> Self {
+        Self { store }
+    }
+
+    /// The backing trace store.
+    #[must_use]
+    pub fn store(&self) -> &Arc<EventStore> {
+        &self.store
+    }
+
+    /// Appends one event; the store links it to its causal predecessor
+    /// (a crash to the covering checkpoint, a restore to the crash).
+    pub fn record(&mut self, event: RecoveryEvent) {
+        self.store.record_recovery(event);
+    }
+
+    /// A point-in-time copy of the recorded events, in order.
+    #[must_use]
+    pub fn events(&self) -> Vec<RecoveryEvent> {
+        self.store
+            .query()
+            .recovery()
+            .events()
+            .iter()
+            .filter_map(|e| e.recovery_event().copied())
+            .collect()
+    }
+
+    fn count(&self, label: &'static str) -> u64 {
+        self.store.query().recovery().label(label).count()
     }
 
     /// Checkpoints written so far.
     #[must_use]
-    pub const fn checkpoints_written(&self) -> u64 {
-        self.checkpoints_written
+    pub fn checkpoints_written(&self) -> u64 {
+        self.count("checkpoint")
     }
 
     /// Total encoded bytes across all checkpoints.
     #[must_use]
-    pub const fn checkpoint_bytes(&self) -> u64 {
-        self.checkpoint_bytes
+    pub fn checkpoint_bytes(&self) -> u64 {
+        self.events()
+            .iter()
+            .map(|e| match e {
+                RecoveryEvent::CheckpointWritten { bytes, .. } => *bytes as u64,
+                _ => 0,
+            })
+            .sum()
     }
 
     /// Crashes observed so far.
     #[must_use]
-    pub const fn crashes_observed(&self) -> u64 {
-        self.crashes_observed
+    pub fn crashes_observed(&self) -> u64 {
+        self.count("crash")
     }
 
     /// Restores completed so far.
     #[must_use]
-    pub const fn restores_completed(&self) -> u64 {
-        self.restores_completed
+    pub fn restores_completed(&self) -> u64 {
+        self.count("restored")
     }
 
     /// Reports replayed from the journal across all restores.
     #[must_use]
-    pub const fn reports_replayed(&self) -> u64 {
-        self.reports_replayed
+    pub fn reports_replayed(&self) -> u64 {
+        self.events()
+            .iter()
+            .map(|e| match e {
+                RecoveryEvent::Restored { replayed, .. } => *replayed,
+                _ => 0,
+            })
+            .sum()
     }
 
     /// Mean replay length per completed restore (0 with no restores).
     #[must_use]
     pub fn mean_replay_len(&self) -> f64 {
-        if self.restores_completed == 0 {
+        let restores = self.restores_completed();
+        if restores == 0 {
             return 0.0;
         }
-        self.reports_replayed as f64 / self.restores_completed as f64
+        self.reports_replayed() as f64 / restores as f64
     }
 
     /// Total wall-clock seconds spent recovering (0 when timing was
-    /// disabled).
+    /// disabled; non-positive or non-finite samples are ignored, matching
+    /// the "zero means timing off" convention).
     #[must_use]
-    pub const fn total_recovery_latency(&self) -> f64 {
-        self.total_recovery_latency
+    pub fn total_recovery_latency(&self) -> f64 {
+        self.store.query().recovery().sum(|e: &Event| match e.recovery_event() {
+            Some(RecoveryEvent::Restored { latency, .. })
+                if latency.is_finite() && *latency > 0.0 =>
+            {
+                Some(*latency)
+            }
+            _ => None,
+        })
     }
 
     /// Renders the aggregate counters plus the event stream as JSON.
     #[must_use]
     pub fn to_json(&self) -> String {
         let events = self
-            .events
+            .events()
             .iter()
             .map(|e| match e {
                 RecoveryEvent::CheckpointWritten { interval, journal_len, bytes } => format!(
@@ -180,12 +218,12 @@ impl RecoveryTelemetry {
             .join(",");
         format!(
             "{{\"checkpoints_written\":{},\"checkpoint_bytes\":{},\"crashes_observed\":{},\"restores_completed\":{},\"reports_replayed\":{},\"total_recovery_latency\":{},\"events\":[{events}]}}",
-            self.checkpoints_written,
-            self.checkpoint_bytes,
-            self.crashes_observed,
-            self.restores_completed,
-            self.reports_replayed,
-            json_f64(self.total_recovery_latency),
+            self.checkpoints_written(),
+            self.checkpoint_bytes(),
+            self.crashes_observed(),
+            self.restores_completed(),
+            self.reports_replayed(),
+            json_f64(self.total_recovery_latency()),
         )
     }
 }
@@ -219,6 +257,17 @@ mod tests {
         assert_eq!(tel.checkpoints_written(), 0);
         assert_eq!(tel.mean_replay_len(), 0.0, "no restores must not divide by zero");
         assert!(tel.events().is_empty());
+    }
+
+    #[test]
+    fn recovery_chains_link_in_the_store() {
+        let mut tel = RecoveryTelemetry::new();
+        tel.record(RecoveryEvent::CheckpointWritten { interval: 0, journal_len: 1, bytes: 10 });
+        tel.record(RecoveryEvent::CrashObserved { reports_ingested: 5 });
+        tel.record(RecoveryEvent::Restored { replayed: 5, latency: 0.0 });
+        let events = tel.store().query().recovery().events();
+        assert_eq!(events[1].cause, Some(events[0].seq), "crash caused by checkpoint");
+        assert_eq!(events[2].cause, Some(events[1].seq), "restore caused by crash");
     }
 
     #[test]

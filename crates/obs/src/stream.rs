@@ -1,7 +1,14 @@
 //! Streaming telemetry: per-interval samples from the streaming engine.
+//!
+//! [`StreamTelemetry`] is an adapter over the unified
+//! [`EventStore`]: pushed ticks land in the store's stream-event log
+//! (chained interval → interval), and every aggregate is computed
+//! through the [`Query`](crate::Query) layer.
 
+use crate::event::Event;
 use crate::json_f64;
-use sstd_stats::P2Quantile;
+use crate::store::EventStore;
+use std::sync::Arc;
 
 /// One closed streaming interval as the engine saw it (paper §V measures
 /// exactly these: ingest rate, window occupancy, decision latency).
@@ -29,8 +36,9 @@ pub struct StreamTick {
     pub rejected_reports: u64,
 }
 
-/// Per-interval streaming telemetry with an online decode-latency
-/// quantile (P² estimator from `sstd_stats`).
+/// Per-interval streaming telemetry backed by the trace store; the
+/// decode-latency quantile is the store query's P² estimate
+/// (`sstd_stats`) over positive latencies.
 ///
 /// # Examples
 ///
@@ -56,8 +64,7 @@ pub struct StreamTick {
 /// ```
 #[derive(Debug)]
 pub struct StreamTelemetry {
-    ticks: Vec<StreamTick>,
-    latency_p95: P2Quantile,
+    store: Arc<EventStore>,
 }
 
 impl Default for StreamTelemetry {
@@ -67,80 +74,97 @@ impl Default for StreamTelemetry {
 }
 
 impl StreamTelemetry {
-    /// Creates an empty telemetry collector.
+    /// Creates a collector over a fresh private unbounded [`EventStore`].
     #[must_use]
     pub fn new() -> Self {
-        Self {
-            ticks: Vec::new(),
-            latency_p95: P2Quantile::new(0.95).expect("0.95 is a valid quantile"),
-        }
+        Self { store: Arc::new(EventStore::new()) }
+    }
+
+    /// Creates a collector writing into an existing (possibly shared)
+    /// store, so stream ticks interleave with the other telemetry
+    /// domains in one causally-linked log.
+    #[must_use]
+    pub fn with_store(store: Arc<EventStore>) -> Self {
+        Self { store }
+    }
+
+    /// The backing trace store.
+    #[must_use]
+    pub fn store(&self) -> &Arc<EventStore> {
+        &self.store
     }
 
     /// Appends one interval sample.
     pub fn push(&mut self, tick: StreamTick) {
-        if tick.decode_latency > 0.0 {
-            self.latency_p95.push(tick.decode_latency);
-        }
-        self.ticks.push(tick);
+        self.store.record_stream(tick);
     }
 
-    /// The recorded ticks, in interval order.
+    /// A point-in-time copy of the recorded ticks, in interval order.
     #[must_use]
-    pub fn ticks(&self) -> &[StreamTick] {
-        &self.ticks
+    pub fn ticks(&self) -> Vec<StreamTick> {
+        self.store
+            .query()
+            .stream()
+            .events()
+            .iter()
+            .filter_map(|e| e.stream_tick().copied())
+            .collect()
     }
 
     /// Whether no interval was recorded.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.ticks.is_empty()
+        self.store.query().stream().count() == 0
     }
 
     /// Total reports ingested across all intervals.
     #[must_use]
     pub fn total_reports(&self) -> u64 {
-        self.ticks.iter().map(|t| t.reports).sum()
+        self.ticks().iter().map(|t| t.reports).sum()
     }
 
     /// Total decision flips across all intervals.
     #[must_use]
     pub fn total_flips(&self) -> usize {
-        self.ticks.iter().map(|t| t.decision_flips).sum()
+        self.ticks().iter().map(|t| t.decision_flips).sum()
     }
 
     /// Mean reports per interval (0 when empty).
     #[must_use]
     pub fn reports_per_interval(&self) -> f64 {
-        if self.ticks.is_empty() {
+        let intervals = self.store.query().stream().count();
+        if intervals == 0 {
             return 0.0;
         }
-        self.total_reports() as f64 / self.ticks.len() as f64
+        self.total_reports() as f64 / intervals as f64
     }
 
     /// The online p95 of per-interval decode latency (`None` until a
-    /// positive latency was recorded).
+    /// positive latency was recorded — zero means timing was disabled).
     #[must_use]
     pub fn latency_p95(&self) -> Option<f64> {
-        self.latency_p95.estimate()
+        self.store.query().stream().p2_percentile(0.95, |e: &Event| {
+            e.stream_tick().map(|t| t.decode_latency).filter(|&l| l > 0.0)
+        })
     }
 
     /// Total far-past reports folded into an already-open interval.
     #[must_use]
     pub fn total_late_reports(&self) -> u64 {
-        self.ticks.iter().map(|t| t.late_reports).sum()
+        self.ticks().iter().map(|t| t.late_reports).sum()
     }
 
     /// Total reports rejected at ingest for failing integrity checks.
     #[must_use]
     pub fn total_rejected_reports(&self) -> u64 {
-        self.ticks.iter().map(|t| t.rejected_reports).sum()
+        self.ticks().iter().map(|t| t.rejected_reports).sum()
     }
 
     /// Renders the telemetry as a JSON array of interval objects.
     #[must_use]
     pub fn to_json(&self) -> String {
         let rows = self
-            .ticks
+            .ticks()
             .iter()
             .map(|t| {
                 format!(
@@ -167,7 +191,7 @@ impl StreamTelemetry {
         let mut out = String::from(
             "interval,reports,active_claims,window_occupancy,decode_latency,decision_flips,late_reports,rejected_reports\n",
         );
-        for t in &self.ticks {
+        for t in &self.ticks() {
             out.push_str(&format!(
                 "{},{},{},{},{},{},{},{}\n",
                 t.interval,
@@ -221,6 +245,16 @@ mod tests {
         }
         let p95 = tel.latency_p95().expect("warm");
         assert!(p95 > 0.01, "p95 in the upper tail: {p95}");
+    }
+
+    #[test]
+    fn ticks_chain_in_the_backing_store() {
+        let mut tel = StreamTelemetry::new();
+        tel.push(tick(0, 1, 0.0, 0));
+        tel.push(tick(1, 1, 0.0, 0));
+        let events = tel.store().query().stream().events();
+        assert_eq!(events[0].cause, None);
+        assert_eq!(events[1].cause, Some(events[0].seq), "intervals chain");
     }
 
     #[test]

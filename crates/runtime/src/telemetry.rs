@@ -86,6 +86,19 @@ impl TaskPhase {
             Self::Completed => "completed",
         }
     }
+
+    /// Whether this phase resolves the task for good: no further events
+    /// for the task follow a terminal phase.
+    #[must_use]
+    pub const fn is_terminal(self) -> bool {
+        matches!(self, Self::Completed | Self::Exhausted)
+    }
+
+    /// Whether this phase is a lost attempt (any [`LossCause`]).
+    #[must_use]
+    pub const fn is_failure(self) -> bool {
+        matches!(self, Self::Failed(_))
+    }
 }
 
 /// One timeline event: a task attempt crossing a lifecycle phase.
@@ -111,8 +124,10 @@ pub struct TimelineEvent {
 ///
 /// Implementations must be cheap and non-blocking where possible: the
 /// threaded engine records from worker threads while holding its state
-/// lock. `sstd-obs` provides the standard collecting implementation
-/// (`TimelineRecorder`); [`NoopRecorder`] is the do-nothing baseline.
+/// lock. `sstd-obs` provides the standard sinks — the unified
+/// `EventStore` trace log implements this trait directly, and its
+/// `TimelineRecorder` adapter wraps one; [`NoopRecorder`] is the
+/// do-nothing baseline.
 pub trait Recorder: Send + Sync + std::fmt::Debug {
     /// Accepts one event. Called in backend event order.
     fn record(&self, event: &TimelineEvent);
@@ -151,6 +166,16 @@ mod tests {
         let labels: std::collections::BTreeSet<&str> = phases.iter().map(|p| p.label()).collect();
         assert_eq!(labels.len(), phases.len(), "labels must be unique");
         assert!(labels.contains("failed:evicted"));
+    }
+
+    #[test]
+    fn terminal_and_failure_predicates_partition_the_phases() {
+        assert!(TaskPhase::Completed.is_terminal());
+        assert!(TaskPhase::Exhausted.is_terminal());
+        assert!(!TaskPhase::Dispatched.is_terminal());
+        assert!(TaskPhase::Failed(LossCause::Crash).is_failure());
+        assert!(!TaskPhase::Failed(LossCause::Crash).is_terminal());
+        assert!(!TaskPhase::Completed.is_failure());
     }
 
     #[test]

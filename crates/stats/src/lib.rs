@@ -34,4 +34,4 @@ pub use dist::{Beta, DistError, Normal, Poisson, Zipf};
 pub use histogram::Histogram;
 pub use logspace::{log_sum_exp, normalize_in_place};
 pub use online::OnlineStats;
-pub use quantile::P2Quantile;
+pub use quantile::{exact_quantile, P2Quantile};

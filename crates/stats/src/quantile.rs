@@ -6,6 +6,49 @@
 //! the [`P2Quantile`] estimator tracks a single quantile with five
 //! markers and parabolic interpolation.
 
+/// The exact type-7 (linear interpolation between order statistics)
+/// `p`-quantile of a sample — the definition R, NumPy and the P² markers
+/// all converge to.
+///
+/// This is the single shared implementation: [`P2Quantile::estimate`]
+/// uses it below the 5-sample threshold, `sstd-testkit`'s brute-force
+/// oracle delegates to it, and the `sstd-obs` query layer's exact
+/// `percentile` terminal calls it on collected samples.
+///
+/// # Panics
+///
+/// Panics if `samples` is empty, contains a NaN, or `p` is outside
+/// `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use sstd_stats::exact_quantile;
+///
+/// assert_eq!(exact_quantile(&[1.0, 2.0, 3.0], 0.5), 2.0);
+/// assert_eq!(exact_quantile(&[1.0, 2.0, 3.0], 0.25), 1.5);
+/// ```
+#[must_use]
+pub fn exact_quantile(samples: &[f64], p: f64) -> f64 {
+    assert!(!samples.is_empty(), "quantile of an empty sample");
+    assert!((0.0..=1.0).contains(&p), "p must be in [0, 1]");
+    let mut v = samples.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    sorted_quantile(&v, p)
+}
+
+/// Type-7 quantile of an already-sorted, non-empty slice.
+pub(crate) fn sorted_quantile(v: &[f64], p: f64) -> f64 {
+    let h = (v.len() - 1) as f64 * p;
+    let lo = h.floor() as usize;
+    let frac = h - lo as f64;
+    if frac == 0.0 || lo + 1 >= v.len() {
+        v[lo]
+    } else {
+        v[lo] + frac * (v[lo + 1] - v[lo])
+    }
+}
+
 /// O(1)-memory estimator of one quantile of a stream.
 ///
 /// # Examples
@@ -138,22 +181,13 @@ impl P2Quantile {
         match self.count {
             0 => None,
             n if n < 5 => {
-                let mut v: Vec<f64> = self.heights[..n].to_vec();
-                v.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
-                // Linear interpolation between order statistics. The old
-                // nearest-rank `((n-1)p).round()` was asymmetric: rounding
-                // half away from zero made the 0.25-quantile of three
-                // samples return the median, breaking the reflection
+                // Exact type-7 interpolation below the marker threshold.
+                // The old nearest-rank `((n-1)p).round()` was asymmetric:
+                // rounding half away from zero made the 0.25-quantile of
+                // three samples return the median, breaking the reflection
                 // identity q_p(x) = -q_{1-p}(-x) that holds for the
                 // interpolated definition the markers converge to.
-                let h = (n as f64 - 1.0) * self.p;
-                let lo = h.floor() as usize;
-                let frac = h - lo as f64;
-                if frac == 0.0 || lo + 1 >= n {
-                    Some(v[lo])
-                } else {
-                    Some(v[lo] + frac * (v[lo + 1] - v[lo]))
-                }
+                Some(exact_quantile(&self.heights[..n], self.p))
             }
             _ => Some(self.heights[2]),
         }
@@ -167,16 +201,20 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
-    fn exact_quantile(xs: &mut [f64], p: f64) -> f64 {
-        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        let h = (xs.len() as f64 - 1.0) * p;
-        let lo = h.floor() as usize;
-        let frac = h - lo as f64;
-        if frac == 0.0 || lo + 1 >= xs.len() {
-            xs[lo]
-        } else {
-            xs[lo] + frac * (xs[lo + 1] - xs[lo])
-        }
+    #[test]
+    fn exact_quantile_interpolates_and_clamps() {
+        let xs = [3.0, 1.0, 2.0];
+        assert_eq!(exact_quantile(&xs, 0.0), 1.0);
+        assert_eq!(exact_quantile(&xs, 0.25), 1.5);
+        assert_eq!(exact_quantile(&xs, 0.5), 2.0);
+        assert_eq!(exact_quantile(&xs, 1.0), 3.0);
+        assert_eq!(exact_quantile(&[7.0], 0.9), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn exact_quantile_rejects_empty_samples() {
+        let _ = exact_quantile(&[], 0.5);
     }
 
     #[test]
@@ -242,11 +280,11 @@ mod tests {
     fn median_of_uniform_stream() {
         let mut q = P2Quantile::new(0.5).unwrap();
         let mut rng = StdRng::seed_from_u64(1);
-        let mut xs: Vec<f64> = (0..50_000).map(|_| rng.gen_range(0.0..100.0)).collect();
+        let xs: Vec<f64> = (0..50_000).map(|_| rng.gen_range(0.0..100.0)).collect();
         for &x in &xs {
             q.push(x);
         }
-        let exact = exact_quantile(&mut xs, 0.5);
+        let exact = exact_quantile(&xs, 0.5);
         let est = q.estimate().unwrap();
         assert!((est - exact).abs() < 1.0, "est {est} vs exact {exact}");
     }
@@ -256,11 +294,11 @@ mod tests {
         // Heavy-tailed latencies: the use case in the runtime reports.
         let mut q = P2Quantile::new(0.99).unwrap();
         let mut rng = StdRng::seed_from_u64(2);
-        let mut xs: Vec<f64> = (0..50_000).map(|_| -(1.0 - rng.gen::<f64>()).ln() * 10.0).collect();
+        let xs: Vec<f64> = (0..50_000).map(|_| -(1.0 - rng.gen::<f64>()).ln() * 10.0).collect();
         for &x in &xs {
             q.push(x);
         }
-        let exact = exact_quantile(&mut xs, 0.99);
+        let exact = exact_quantile(&xs, 0.99);
         let est = q.estimate().unwrap();
         assert!((est - exact).abs() / exact < 0.15, "p99 est {est} vs exact {exact}");
     }

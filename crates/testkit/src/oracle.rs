@@ -147,24 +147,17 @@ pub fn naive_acs(interval_sums: &[f64], window: usize) -> Vec<f64> {
 /// (`q_p(x) = −q_{1−p}(−x)`), which the differential suite checks the
 /// P² estimator's small-sample path against.
 ///
+/// Delegates to [`sstd_stats::exact_quantile`] — the one shared
+/// implementation across the workspace — and is kept here so oracle
+/// imports stay stable.
+///
 /// # Panics
 ///
-/// Panics if `samples` is empty, contains a non-finite value, or `p` is
-/// outside `[0, 1]`.
+/// Panics if `samples` is empty, contains a NaN, or `p` is outside
+/// `[0, 1]`.
 #[must_use]
 pub fn exact_quantile(samples: &[f64], p: f64) -> f64 {
-    assert!(!samples.is_empty(), "quantile of an empty sample");
-    assert!((0.0..=1.0).contains(&p), "p must be in [0, 1]");
-    let mut v = samples.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
-    let h = (v.len() - 1) as f64 * p;
-    let lo = h.floor() as usize;
-    let frac = h - lo as f64;
-    if frac == 0.0 || lo + 1 >= v.len() {
-        v[lo]
-    } else {
-        v[lo] + frac * (v[lo + 1] - v[lo])
-    }
+    sstd_stats::exact_quantile(samples, p)
 }
 
 /// The bin a sample falls into, by linear scan over explicit bin edges:

@@ -4,7 +4,7 @@
 //! repository's `BENCH_*.json`-compatible formats.
 
 use sstd::eval::exp::fig7;
-use sstd::obs::{Timeline, TimelineRecorder};
+use sstd::obs::{AttemptChain, EventStore, Timeline, TimelineRecorder};
 use sstd::runtime::{
     Cluster, DesEngine, ExecutionBackend, ExecutionModel, FaultPlan, JobId, TaskSpec,
     ThreadedEngine,
@@ -75,6 +75,54 @@ fn des_and_threaded_timelines_are_structurally_identical() {
     let phases: Vec<&str> = seqs.values().flatten().map(|&(_, p)| p).collect();
     assert!(phases.contains(&"failed:transient"), "plan(2024) injects transients");
     assert!(phases.contains(&"failed:crash"), "plan(2024) injects crashes");
+}
+
+/// Same workload, but captured through a shared [`EventStore`] and
+/// audited through the query layer instead of the legacy projections.
+fn des_store() -> Arc<EventStore> {
+    let store = Arc::new(EventStore::new());
+    let mut des = DesEngine::new(Cluster::homogeneous(WORKERS, 1.0), model(), WORKERS);
+    des.set_fault_plan(plan(2024));
+    des.set_recorder(Some(store.clone()));
+    for i in 0..TASKS {
+        des.submit(TaskSpec::new(JobId::new(i % 3), 100.0));
+    }
+    let report = des.run_to_completion();
+    assert_eq!(report.completed.len(), TASKS as usize, "no lost tasks");
+    store
+}
+
+#[test]
+fn store_backed_runs_are_structurally_identical_and_queryable() {
+    let a = des_store();
+    let b = des_store();
+    assert!(a.structurally_equal(&b), "same seeded plan, same structure");
+    assert_eq!(a.query().tasks().label("completed").count(), u64::from(TASKS));
+    assert_eq!(a.query().tasks().label("exhausted").count(), 0);
+    assert!(a.query().failures().count() > 0, "plan(2024) injects faults");
+    assert_eq!(a.dropped_events(), 0, "unbounded store never drops");
+
+    // Causal chains rebuild the retry structure: every chain completes,
+    // and at least one retried under the seeded plan.
+    let chains = a.attempt_chains();
+    assert_eq!(chains.len(), TASKS as usize);
+    assert!(chains.iter().all(AttemptChain::completed));
+    assert!(chains.iter().any(|c| c.retries() > 0), "plan(2024) forces retries");
+
+    // Tail latency through the query layer: finite, positive, ordered.
+    let p50 = a
+        .query()
+        .tasks()
+        .label("completed")
+        .percentile(0.5, |e| e.timeline_event().map(|t| t.at))
+        .expect("completions exist");
+    let p99 = a
+        .query()
+        .tasks()
+        .label("completed")
+        .percentile(0.99, |e| e.timeline_event().map(|t| t.at))
+        .expect("completions exist");
+    assert!(p50 > 0.0 && p99 >= p50, "p50 {p50} vs p99 {p99}");
 }
 
 #[test]

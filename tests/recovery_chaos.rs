@@ -50,13 +50,13 @@ fn crashed_recovered_run_is_bit_identical_to_uninterrupted_run() {
             let records = chaos_stream(&case.plan(), trace.reports());
             let crashes = case.crash_positions(records.len());
 
-            let mut reference = supervisor(&config, trace.timeline(), case.policy());
+            let mut reference = supervisor(config, trace.timeline(), case.policy());
             reference
                 .run(&records, &[], 0)
                 .map_err(|e| format!("uninterrupted run failed: {e}"))?;
             let (want, _) = reference.finish();
 
-            let mut subject = supervisor(&config, trace.timeline(), case.policy());
+            let mut subject = supervisor(config, trace.timeline(), case.policy());
             subject
                 .run(&records, &crashes, case.redelivery)
                 .map_err(|e| format!("crashed run failed: {e}"))?;
@@ -111,7 +111,7 @@ fn supervised_chaos_run_matches_bare_streaming_on_the_applied_subset() {
             }
             let want = bare.finish();
 
-            let mut sup = supervisor(&config, trace.timeline(), case.policy());
+            let mut sup = supervisor(config, trace.timeline(), case.policy());
             sup.run(&records, &crashes, case.redelivery)
                 .map_err(|e| format!("supervised run failed: {e}"))?;
             if sup.applied_reports() != applied {
@@ -176,7 +176,7 @@ fn checkpoint_roundtrip_resumes_bit_identically_at_any_split() {
 
             let n = trace.reports().len();
             for k in [0, n / 2, n] {
-                let got = resume_through_bytes(&config, &case, k)?;
+                let got = resume_through_bytes(config, case, k)?;
                 if got != want {
                     return Err(format!("resume at {k}/{n} diverged from the straight run"));
                 }
@@ -338,7 +338,7 @@ fn redelivered_records_are_absorbed_exactly_once() {
     check("redelivered_records_are_absorbed_exactly_once", CASES, &gen, |(config, case)| {
         let trace = case.trace.trace();
         let records = chaos_stream(&case.plan(), trace.reports());
-        let mut sup = supervisor(&config, trace.timeline(), case.policy());
+        let mut sup = supervisor(config, trace.timeline(), case.policy());
         let mut applied = 0u64;
         for r in &records {
             match sup.ingest(r) {
