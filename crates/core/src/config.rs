@@ -163,6 +163,52 @@ impl SstdConfig {
         self.streaming_refit = every;
         self
     }
+
+    /// Validates every field, naming the first invalid one.
+    ///
+    /// [`SstdConfigBuilder::build`] and [`StreamingSstd::builder`] both
+    /// funnel through this, so a config assembled from raw struct fields
+    /// is held to the same invariants as a built one.
+    ///
+    /// [`StreamingSstd::builder`]: crate::StreamingSstd::builder
+    ///
+    /// # Errors
+    ///
+    /// A [`ConfigError`] naming the offending field:
+    /// `window`/`max_window` must be at least one interval,
+    /// `stay_probability` must lie in `(0, 1)`, `em_iterations` must be
+    /// at least one, `em_tolerance` must be finite and positive, and
+    /// `evidence_floor` must be finite and non-negative.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.window == 0 {
+            return Err(ConfigError::new("window", "must be at least one interval"));
+        }
+        if self.max_window == 0 {
+            return Err(ConfigError::new("max_window", "must be at least one interval"));
+        }
+        if !(self.stay_probability > 0.0 && self.stay_probability < 1.0) {
+            return Err(ConfigError::new(
+                "stay_probability",
+                format!("must be in (0, 1), got {}", self.stay_probability),
+            ));
+        }
+        if self.em_iterations == 0 {
+            return Err(ConfigError::new("em_iterations", "need at least one EM iteration"));
+        }
+        if !(self.em_tolerance.is_finite() && self.em_tolerance > 0.0) {
+            return Err(ConfigError::new(
+                "em_tolerance",
+                format!("must be finite and positive, got {}", self.em_tolerance),
+            ));
+        }
+        if !(self.evidence_floor.is_finite() && self.evidence_floor >= 0.0) {
+            return Err(ConfigError::new(
+                "evidence_floor",
+                format!("must be finite and non-negative, got {}", self.evidence_floor),
+            ));
+        }
+        Ok(())
+    }
 }
 
 /// A fallible builder for [`SstdConfig`]: set any subset of fields, then
@@ -258,40 +304,10 @@ impl SstdConfigBuilder {
     ///
     /// # Errors
     ///
-    /// A [`ConfigError`] naming the first invalid field:
-    /// `window`/`max_window` must be at least one interval,
-    /// `stay_probability` must lie in `(0, 1)`, `em_iterations` must be
-    /// at least one, `em_tolerance` must be finite and positive, and
-    /// `evidence_floor` must be finite and non-negative.
+    /// A [`ConfigError`] naming the first invalid field (see
+    /// [`SstdConfig::validate`] for the full invariant list).
     pub fn build(self) -> Result<SstdConfig, ConfigError> {
-        let c = &self.config;
-        if c.window == 0 {
-            return Err(ConfigError::new("window", "must be at least one interval"));
-        }
-        if c.max_window == 0 {
-            return Err(ConfigError::new("max_window", "must be at least one interval"));
-        }
-        if !(c.stay_probability > 0.0 && c.stay_probability < 1.0) {
-            return Err(ConfigError::new(
-                "stay_probability",
-                format!("must be in (0, 1), got {}", c.stay_probability),
-            ));
-        }
-        if c.em_iterations == 0 {
-            return Err(ConfigError::new("em_iterations", "need at least one EM iteration"));
-        }
-        if !(c.em_tolerance.is_finite() && c.em_tolerance > 0.0) {
-            return Err(ConfigError::new(
-                "em_tolerance",
-                format!("must be finite and positive, got {}", c.em_tolerance),
-            ));
-        }
-        if !(c.evidence_floor.is_finite() && c.evidence_floor >= 0.0) {
-            return Err(ConfigError::new(
-                "evidence_floor",
-                format!("must be finite and non-negative, got {}", c.evidence_floor),
-            ));
-        }
+        self.config.validate()?;
         Ok(self.config)
     }
 }

@@ -83,9 +83,9 @@ pub use engine::{claim_partition, SstdEngine};
 pub use estimates::{ConfidenceEstimates, TruthEstimates};
 pub use model::{BinnedClaimTruthModel, ClaimTruthModel};
 pub use recovery::{
-    chaos_stream, crash_positions, CheckpointPolicy, IngestOutcome, IngestRecord, JournalEntry,
-    ReportJournal, Supervisor, SupervisorError,
+    chaos_stream, crash_positions, CheckpointPolicy, IngestRecord, JournalEntry, ReportJournal,
+    Supervisor, SupervisorError,
 };
 pub use sstd_obs::{RecoveryEvent, RecoveryTelemetry, StreamTelemetry, StreamTick};
-pub use streaming::StreamingSstd;
+pub use streaming::{IngestOutcome, StreamingSstd, StreamingSstdBuilder};
 pub use workspace::ClaimWorkspace;

@@ -25,7 +25,7 @@
 //! delivered stream, including under chaos.
 
 use crate::checkpoint::{fnv1a, push_f64, push_u64, Reader, RecoveryError, StreamCheckpoint};
-use crate::{SstdConfig, StreamingSstd, TruthEstimates};
+use crate::{IngestOutcome, SstdConfig, StreamingSstd, TruthEstimates};
 use sstd_obs::{RecoveryEvent, RecoveryTelemetry};
 use sstd_runtime::{FaultPlan, IngestFault, RetryPolicy};
 use sstd_types::{
@@ -377,17 +377,6 @@ impl Default for CheckpointPolicy {
     }
 }
 
-/// What [`Supervisor::ingest`] did with a record.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum IngestOutcome {
-    /// Newly applied to the engine and journaled.
-    Applied,
-    /// Already applied under this sequence number; skipped (exactly-once).
-    Duplicate,
-    /// Failed its integrity seal; rejected and counted in telemetry.
-    Rejected,
-}
-
 /// Why a supervised run failed outright.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SupervisorError {
@@ -561,13 +550,13 @@ impl Supervisor {
         // doing it here keeps the applied set in lockstep with the
         // engine's report count (an invariant the restore path verifies).
         if !record.is_intact() || !record.report().contribution_score().value().is_finite() {
-            self.engine.note_rejected_report();
-            return IngestOutcome::Rejected;
+            return self.engine.record_rejected();
         }
         if !self.applied.insert(record.seq()) {
             return IngestOutcome::Duplicate;
         }
-        self.engine.push(record.report());
+        let outcome = self.engine.push(record.report());
+        debug_assert!(outcome.was_ingested(), "sealed, deduped records always ingest");
         self.journal.append(record.seq(), *record.report());
         self.reports_since_checkpoint += 1;
         let intervals_since =
@@ -575,7 +564,7 @@ impl Supervisor {
         if self.policy.due(self.reports_since_checkpoint, intervals_since) {
             self.checkpoint_now();
         }
-        IngestOutcome::Applied
+        outcome
     }
 
     /// Writes a checkpoint immediately: encodes the engine snapshot plus
@@ -1029,7 +1018,7 @@ mod tests {
         let mut sup =
             Supervisor::new(SstdConfig::default(), timeline(), CheckpointPolicy::default());
         assert_eq!(sup.ingest(&IngestRecord::new(0, r).corrupted()), IngestOutcome::Rejected);
-        assert_eq!(sup.ingest(&IngestRecord::new(1, r)), IngestOutcome::Applied);
+        assert_eq!(sup.ingest(&IngestRecord::new(1, r)), IngestOutcome::Accepted);
         assert_eq!(sup.engine().rejected_reports_seen(), 1);
         assert_eq!(sup.engine().reports_seen(), 1);
     }

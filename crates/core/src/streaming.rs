@@ -12,11 +12,45 @@ use crate::checkpoint::{
 };
 use crate::{ClaimTruthModel, ClaimWorkspace, SstdConfig, TruthEstimates};
 use sstd_hmm::{EmWorkspace, Hmm, StreamingViterbi, SymmetricGaussianEmission};
-use sstd_obs::{StreamTelemetry, StreamTick};
-use sstd_types::{ClaimId, Report, Timeline, TruthLabel};
+use sstd_obs::{EventStore, StreamTelemetry, StreamTick};
+use sstd_types::{ClaimId, ConfigError, Report, Timeline, TruthLabel};
 use std::collections::BTreeMap;
 use std::collections::VecDeque;
+use std::sync::Arc;
 use std::time::Instant;
+
+/// What an ingest path did with one report — the shared vocabulary of
+/// [`StreamingSstd::push`], the recovery [`Supervisor`], and the
+/// sharded `sstd-serve` ingest service.
+///
+/// [`Supervisor`]: crate::Supervisor
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IngestOutcome {
+    /// Ingested into the open interval.
+    Accepted,
+    /// Ingested, but timestamped before the open interval: its score was
+    /// folded into the open interval instead of rewriting closed history,
+    /// and it is tallied as a late report.
+    Late,
+    /// Already applied under this sequence number; skipped. Only produced
+    /// by deduplicating paths (the [`Supervisor`]) — a bare
+    /// [`StreamingSstd`] has no sequence numbers.
+    ///
+    /// [`Supervisor`]: crate::Supervisor
+    Duplicate,
+    /// Refused outright — a non-finite contribution score or a failed
+    /// integrity seal — and tallied as a rejected report.
+    Rejected,
+}
+
+impl IngestOutcome {
+    /// Whether the report's score reached a claim's streaming state
+    /// (`Accepted` or `Late`; duplicates and rejects leave it untouched).
+    #[must_use]
+    pub const fn was_ingested(self) -> bool {
+        matches!(self, Self::Accepted | Self::Late)
+    }
+}
 
 /// Per-claim streaming state: windowed ACS aggregation plus an online
 /// decoder. Spawned lazily when a claim's first report arrives.
@@ -204,6 +238,11 @@ pub struct StreamingSstd {
 
 impl StreamingSstd {
     /// Creates a streaming engine over `timeline`.
+    ///
+    /// A thin wrapper over [`builder`](Self::builder) for the common
+    /// no-telemetry case; assumes `config` came from a validated source
+    /// (the builder rejects invalid raw configs with a typed error
+    /// instead).
     #[must_use]
     pub fn new(config: SstdConfig, timeline: Timeline) -> Self {
         Self {
@@ -220,6 +259,32 @@ impl StreamingSstd {
             total_rejected: 0,
             workspace: ClaimWorkspace::new(),
         }
+    }
+
+    /// Starts a validating builder — the preferred construction path,
+    /// replacing the `new(...)` + `with_telemetry()` /
+    /// `with_telemetry_store(...)` chain with one fallible call,
+    /// consistent with [`SstdConfig::builder`] and `DtmConfig::builder`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sstd_core::StreamingSstd;
+    /// use sstd_types::{Timeline, Timestamp};
+    ///
+    /// let engine = StreamingSstd::builder()
+    ///     .timeline(Timeline::new(Timestamp::from_secs(100), 10))
+    ///     .telemetry(true)
+    ///     .build()
+    ///     .expect("valid");
+    /// assert!(engine.telemetry().is_some());
+    ///
+    /// let err = StreamingSstd::builder().build().unwrap_err();
+    /// assert_eq!(err.field(), "timeline");
+    /// ```
+    #[must_use]
+    pub fn builder() -> StreamingSstdBuilder {
+        StreamingSstdBuilder::default()
     }
 
     /// Enables per-interval telemetry: ingest rate, ACS window occupancy,
@@ -267,33 +332,42 @@ impl StreamingSstd {
         self.current_interval
     }
 
-    /// Consumes one report.
+    /// Consumes one report and reports what happened to it as a typed
+    /// [`IngestOutcome`] — the same vocabulary the recovery
+    /// [`Supervisor`](crate::Supervisor) and the sharded `sstd-serve`
+    /// ingest service speak — instead of silently bumping counters.
     ///
     /// Reports must arrive in non-decreasing time order. Pathological
     /// inputs have documented, counted behavior instead of silent folding:
     ///
-    /// - a *far-past* report (timestamped before the open interval) is
-    ///   counted into the open interval rather than rewriting history —
-    ///   closed decisions are already emitted — and is tallied in the
+    /// - a *far-past* report (timestamped before the open interval)
+    ///   returns [`IngestOutcome::Late`]: it is counted into the open
+    ///   interval rather than rewriting history — closed decisions are
+    ///   already emitted — and is tallied in the
     ///   [`StreamTick::late_reports`] telemetry field and
     ///   [`late_reports_seen`](Self::late_reports_seen);
     /// - a report whose contribution score is *not finite* (impossible
     ///   through the validated score constructors, but reachable through
-    ///   deserialized traces or damaged payloads) is rejected outright and
+    ///   deserialized traces or damaged payloads) returns
+    ///   [`IngestOutcome::Rejected`]: it is refused outright and
     ///   tallied in [`StreamTick::rejected_reports`] and
     ///   [`rejected_reports_seen`](Self::rejected_reports_seen). Report
     ///   *times* cannot be non-finite — [`Timestamp`] is integer-backed —
     ///   so the interval mapping is total.
     ///
+    /// Everything else returns [`IngestOutcome::Accepted`]. A bare
+    /// engine never returns [`IngestOutcome::Duplicate`] — it has no
+    /// sequence numbers; deduplicating wrappers do.
+    ///
     /// [`Timestamp`]: sstd_types::Timestamp
-    pub fn push(&mut self, report: &Report) {
+    pub fn push(&mut self, report: &Report) -> IngestOutcome {
         let cs = report.contribution_score().value();
         if !cs.is_finite() {
-            self.note_rejected_report();
-            return;
+            return self.record_rejected();
         }
         let iv = self.timeline.interval_of(report.time());
-        if iv < self.current_interval {
+        let late = iv < self.current_interval;
+        if late {
             self.interval_late += 1;
             self.total_late += 1;
         }
@@ -306,15 +380,28 @@ impl StreamingSstd {
         let current = self.current_interval;
         let stream = self.claims.entry(claim).or_insert_with(|| ClaimStream::new(current));
         stream.open_cs += cs;
+        if late {
+            IngestOutcome::Late
+        } else {
+            IngestOutcome::Accepted
+        }
     }
 
     /// Records a report rejected *before* it reached [`push`](Self::push)
     /// — e.g. an ingest record that failed its integrity check in the
     /// recovery supervisor — so data-path rejections surface in the same
-    /// [`StreamTick::rejected_reports`] telemetry field.
-    pub fn note_rejected_report(&mut self) {
+    /// [`StreamTick::rejected_reports`] telemetry field. Returns
+    /// [`IngestOutcome::Rejected`] so callers can propagate the verdict.
+    pub fn record_rejected(&mut self) -> IngestOutcome {
         self.interval_rejected += 1;
         self.total_rejected += 1;
+        IngestOutcome::Rejected
+    }
+
+    /// Records an externally rejected report.
+    #[deprecated(since = "0.1.0", note = "use `record_rejected`, which returns the typed outcome")]
+    pub fn note_rejected_report(&mut self) {
+        let _ = self.record_rejected();
     }
 
     /// Lifetime count of far-past reports folded into an open interval.
@@ -334,6 +421,21 @@ impl StreamingSstd {
     #[must_use]
     pub fn latest_decision(&self, claim: ClaimId) -> Option<TruthLabel> {
         self.claims.get(&claim).and_then(|s| s.decisions.last().copied())
+    }
+
+    /// The claims with active streaming state, in id order.
+    pub fn claim_ids(&self) -> impl Iterator<Item = ClaimId> + '_ {
+        self.claims.keys().copied()
+    }
+
+    /// The committed per-interval decision history of `claim`: the
+    /// interval its first report arrived in, and one label per interval
+    /// closed since then. Committed decisions are frozen — refits never
+    /// rewrite them — so a change-stream consumer can diff successive
+    /// snapshots of this slice safely.
+    #[must_use]
+    pub fn decisions(&self, claim: ClaimId) -> Option<(usize, &[TruthLabel])> {
+        self.claims.get(&claim).map(|s| (s.start_interval, s.decisions.as_slice()))
     }
 
     fn close_current_interval(&mut self) {
@@ -520,6 +622,95 @@ impl StreamingSstd {
             out.insert(claim, labels);
         }
         (out, self.telemetry)
+    }
+}
+
+/// A validating builder for [`StreamingSstd`]: set the timeline (required),
+/// the engine config, and the telemetry sink, then [`build`](Self::build)
+/// validates everything at once with a typed [`ConfigError`] instead of
+/// the old panicking `new(...)` + `with_telemetry*` chain.
+///
+/// # Examples
+///
+/// ```
+/// use sstd_core::{SstdConfig, StreamingSstd};
+/// use sstd_types::{Timeline, Timestamp};
+/// use std::sync::Arc;
+///
+/// let store = Arc::new(sstd_obs::EventStore::new());
+/// let engine = StreamingSstd::builder()
+///     .config(SstdConfig::default())
+///     .timeline(Timeline::new(Timestamp::from_secs(60), 6))
+///     .telemetry_store(store)
+///     .build()
+///     .expect("valid");
+/// assert!(engine.telemetry().is_some());
+/// ```
+#[derive(Debug, Default)]
+pub struct StreamingSstdBuilder {
+    config: SstdConfig,
+    timeline: Option<Timeline>,
+    telemetry: bool,
+    store: Option<Arc<EventStore>>,
+}
+
+impl StreamingSstdBuilder {
+    /// Sets the engine configuration (defaults to [`SstdConfig::default`]).
+    /// The config is re-validated in [`build`](Self::build), so a struct
+    /// assembled from raw fields cannot smuggle invalid knobs past the
+    /// builder convention.
+    #[must_use]
+    pub fn config(mut self, config: SstdConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sets the timeline the stream is decoded over. Required.
+    #[must_use]
+    pub fn timeline(mut self, timeline: Timeline) -> Self {
+        self.timeline = Some(timeline);
+        self
+    }
+
+    /// Enables per-interval telemetry into a fresh private store (see
+    /// [`StreamingSstd::with_telemetry`]).
+    #[must_use]
+    pub fn telemetry(mut self, enabled: bool) -> Self {
+        self.telemetry = enabled;
+        self
+    }
+
+    /// Enables per-interval telemetry into a shared [`EventStore`]
+    /// (see [`StreamingSstd::with_telemetry_store`]); implies
+    /// [`telemetry(true)`](Self::telemetry).
+    #[must_use]
+    pub fn telemetry_store(mut self, store: Arc<EventStore>) -> Self {
+        self.store = Some(store);
+        self.telemetry = true;
+        self
+    }
+
+    /// Validates the configuration and assembles the engine.
+    ///
+    /// # Errors
+    ///
+    /// A [`ConfigError`] naming the offending field: `timeline` when none
+    /// was provided or it has zero intervals, plus every invariant of
+    /// [`SstdConfig::validate`].
+    pub fn build(self) -> Result<StreamingSstd, ConfigError> {
+        self.config.validate()?;
+        let timeline = self
+            .timeline
+            .ok_or_else(|| ConfigError::new("timeline", "required: call `.timeline(...)`"))?;
+        if timeline.num_intervals() == 0 {
+            return Err(ConfigError::new("timeline", "must have at least one interval"));
+        }
+        let mut engine = StreamingSstd::new(self.config, timeline);
+        engine.telemetry = match self.store {
+            Some(store) => Some(StreamTelemetry::with_store(store)),
+            None => self.telemetry.then(StreamTelemetry::new),
+        };
+        Ok(engine)
     }
 }
 
@@ -743,7 +934,7 @@ mod checkpoint_tests {
         for r in reports().iter().take(50) {
             s.push(r);
         }
-        s.note_rejected_report();
+        let _ = s.record_rejected();
         let snap = s.checkpoint();
         assert_eq!(snap.reports_seen(), 50);
         let resumed =
@@ -858,8 +1049,8 @@ mod checkpoint_tests {
             Timestamp::from_secs(5),
             Attitude::Agree,
         ));
-        s.note_rejected_report();
-        s.note_rejected_report();
+        let _ = s.record_rejected();
+        let _ = s.record_rejected();
         assert_eq!(s.rejected_reports_seen(), 2);
         assert_eq!(s.reports_seen(), 1, "rejected reports are not ingested");
         let (_, tel) = s.finish_with_telemetry();

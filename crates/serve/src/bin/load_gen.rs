@@ -1,0 +1,192 @@
+//! Live-ingest load generator: drives the threaded [`IngestServer`]
+//! with a synthetic report stream over many live claims and records
+//! sustained throughput, P99 decode latency (through the trace-store
+//! query layer), and peak queue depth into `BENCH_PR8.json`.
+//!
+//! ```text
+//! load_gen [--quick] [--out PATH] [--shards N] [--claims N]
+//!          [--intervals N] [--per-interval N] [--queue N]
+//! ```
+//!
+//! `--quick` shrinks the run for CI smoke jobs (fewer claims, fewer
+//! intervals); the full run defaults to 10 000 live claims.
+
+use sstd_serve::prelude::*;
+use std::time::Instant;
+
+struct Args {
+    quick: bool,
+    out: String,
+    shards: usize,
+    claims: u32,
+    intervals: usize,
+    per_interval: u32,
+    queue: usize,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        quick: false,
+        out: "BENCH_PR8.json".to_string(),
+        shards: std::thread::available_parallelism().map_or(4, |n| n.get().clamp(2, 8)),
+        claims: 10_000,
+        intervals: 48,
+        per_interval: 4,
+        queue: 4096,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().unwrap_or_else(|| panic!("{name} needs a value"));
+        match flag.as_str() {
+            "--quick" => args.quick = true,
+            "--out" => args.out = value("--out"),
+            "--shards" => args.shards = value("--shards").parse().expect("--shards"),
+            "--claims" => args.claims = value("--claims").parse().expect("--claims"),
+            "--intervals" => args.intervals = value("--intervals").parse().expect("--intervals"),
+            "--per-interval" => {
+                args.per_interval = value("--per-interval").parse().expect("--per-interval");
+            }
+            "--queue" => args.queue = value("--queue").parse().expect("--queue"),
+            other => panic!("unknown flag {other}; see the module docs for usage"),
+        }
+    }
+    if args.quick {
+        args.claims = args.claims.min(1000);
+        args.intervals = args.intervals.min(12);
+        args.per_interval = args.per_interval.min(2);
+    }
+    args
+}
+
+/// Deterministic splitmix64 — enough randomness to vary sources and
+/// attitudes without an RNG dependency in the hot path.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+fn main() {
+    let args = parse_args();
+    let interval_secs: u64 = 60;
+    let horizon = Timestamp::from_secs(interval_secs * args.intervals as u64);
+    let timeline = Timeline::new(horizon, args.intervals);
+
+    // Pre-generate the stream (globally time-ordered) and partition it
+    // by owning shard, so generation cost never pollutes the ingest
+    // measurement and each shard has exactly one producer.
+    let config = ServeConfig::builder()
+        .shards(args.shards)
+        .queue_capacity(args.queue)
+        .checkpoint_every(100_000)
+        .engine(SstdConfig::default())
+        .timeline_from(timeline)
+        .build()
+        .expect("load_gen config is valid");
+    let server = IngestServer::start(config).expect("server starts");
+    let probe = server.client();
+
+    let mut per_shard: Vec<Vec<Report>> = vec![Vec::new(); args.shards];
+    for interval in 0..args.intervals as u64 {
+        for claim in 0..args.claims {
+            for k in 0..args.per_interval {
+                let r = mix(u64::from(claim) ^ (interval << 32) ^ (u64::from(k) << 48));
+                let offset = r % interval_secs;
+                let attitude = if r & 0x100 == 0 { Attitude::Agree } else { Attitude::Disagree };
+                let report = Report::plain(
+                    SourceId::new((r % 997) as u32),
+                    ClaimId::new(claim),
+                    Timestamp::from_secs(interval * interval_secs + offset),
+                    attitude,
+                );
+                per_shard[probe.shard_of(report.claim())].push(report);
+            }
+        }
+    }
+    let total: u64 = per_shard.iter().map(|v| v.len() as u64).sum();
+    eprintln!(
+        "load_gen: {} reports, {} live claims, {} intervals, {} shards",
+        total, args.claims, args.intervals, args.shards
+    );
+
+    let started = Instant::now();
+    let mut producers = Vec::new();
+    for stream in per_shard {
+        let client = server.client();
+        producers.push(std::thread::spawn(move || {
+            let mut backpressured = 0u64;
+            for report in &stream {
+                loop {
+                    match client.try_ingest(report) {
+                        Ok(_) => break,
+                        Err(e) if e.is_retryable() => {
+                            backpressured += 1;
+                            std::thread::yield_now();
+                        }
+                        Err(e) => panic!("shard refused mid-run: {e}"),
+                    }
+                }
+            }
+            backpressured
+        }));
+    }
+    let backpressured: u64 = producers.into_iter().map(|p| p.join().expect("producer")).sum();
+
+    // Gather per-shard evidence *through the query layer* before the
+    // server is consumed, then finish (drains queues, closes shards).
+    let mut shard_rows = Vec::new();
+    let mut updates = 0u64;
+    let mut max_depth = 0usize;
+    let mut worst_p99 = 0.0f64;
+    let streams: Vec<_> = (0..server.num_shards()).map(|s| server.changes(s)).collect();
+    let stores: Vec<_> = (0..server.num_shards()).map(|s| server.store(s).clone()).collect();
+    for shard in 0..server.num_shards() {
+        max_depth = max_depth.max(server.max_queue_depth(shard));
+    }
+    let estimates = server.finish().expect("no shard failed");
+    let elapsed = started.elapsed().as_secs_f64();
+
+    for (shard, (stream, store)) in streams.iter().zip(&stores).enumerate() {
+        let drained = stream.drain();
+        let q = store.query().stream();
+        let ticks = q.count();
+        let reports = q.sum(|e| e.stream_tick().map(|t| t.reports as f64));
+        let p99 = q.percentile(0.99, |e| e.stream_tick().map(|t| t.decode_latency)).unwrap_or(0.0);
+        worst_p99 = worst_p99.max(p99);
+        updates += drained.len() as u64;
+        shard_rows.push((shard, ticks, reports, p99, drained.len()));
+    }
+
+    let rate = total as f64 / elapsed.max(f64::MIN_POSITIVE);
+    let mut bench = sstd_obs::BenchReport::new("pr8_ingest_load");
+    bench.push_point(&[
+        ("reports", total as f64),
+        ("claims", f64::from(args.claims)),
+        ("intervals", args.intervals as f64),
+        ("shards", args.shards as f64),
+        ("elapsed_s", elapsed),
+        ("reports_per_s", rate),
+        ("p99_decode_latency_s", worst_p99),
+        ("max_queue_depth", max_depth as f64),
+        ("backpressure_retries", backpressured as f64),
+        ("truth_updates", updates as f64),
+        ("decided_claims", estimates.num_claims() as f64),
+    ]);
+    for (shard, ticks, reports, p99, drained) in shard_rows {
+        bench.push_point(&[
+            ("shard", shard as f64),
+            ("ticks", ticks as f64),
+            ("shard_reports", reports),
+            ("shard_p99_decode_latency_s", p99),
+            ("shard_truth_updates", drained as f64),
+        ]);
+    }
+    std::fs::write(&args.out, bench.to_json()).expect("write BENCH_PR8.json");
+    eprintln!(
+        "load_gen: {rate:.0} reports/s over {elapsed:.2}s, p99 decode {worst_p99:.6}s, \
+         peak queue depth {max_depth}, {updates} truth updates -> {}",
+        args.out
+    );
+    assert_eq!(estimates.num_claims() as u32, args.claims, "every live claim got a decision");
+}

@@ -1,0 +1,117 @@
+//! The typed error surface of the live-ingest service.
+
+use sstd_core::RecoveryError;
+use sstd_types::SstdError;
+use std::error::Error;
+use std::fmt;
+
+/// Why the service refused a report (the report itself was never
+/// applied; the caller may retry).
+///
+/// Refusal is not rejection: a report that fails integrity checks is
+/// *accepted* by the service and recorded as
+/// [`IngestOutcome::Rejected`](sstd_core::IngestOutcome::Rejected) in
+/// the owning shard's telemetry. `IngestError` means the report could
+/// not even be handed to a shard.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum IngestError {
+    /// The target shard's bounded ingest queue is full. Retry after the
+    /// shard drains; `depth` is the queue depth observed at refusal.
+    Backpressure {
+        /// The shard whose queue was full.
+        shard: usize,
+        /// Queue depth at the moment of refusal (the configured
+        /// capacity, by definition of "full").
+        depth: usize,
+    },
+    /// The target shard is no longer accepting reports — its worker
+    /// exited or the service has begun shutdown.
+    ShardUnavailable {
+        /// The unreachable shard.
+        shard: usize,
+    },
+    /// A crashed shard failed to come back: its checkpoint or journal
+    /// would not decode, or the restored engine refused the snapshot.
+    Recovery {
+        /// The shard that failed to recover.
+        shard: usize,
+        /// The underlying decode/restore failure.
+        source: RecoveryError,
+    },
+}
+
+impl IngestError {
+    /// The shard the error concerns.
+    #[must_use]
+    pub const fn shard(&self) -> usize {
+        match self {
+            Self::Backpressure { shard, .. }
+            | Self::ShardUnavailable { shard }
+            | Self::Recovery { shard, .. } => *shard,
+        }
+    }
+
+    /// Whether the caller may retry the same report later.
+    #[must_use]
+    pub const fn is_retryable(&self) -> bool {
+        matches!(self, Self::Backpressure { .. })
+    }
+}
+
+impl fmt::Display for IngestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Backpressure { shard, depth } => {
+                write!(f, "shard {shard} queue full at depth {depth}; retry after it drains")
+            }
+            Self::ShardUnavailable { shard } => {
+                write!(f, "shard {shard} is not accepting reports")
+            }
+            Self::Recovery { shard, source } => {
+                write!(f, "shard {shard} failed to recover: {source}")
+            }
+        }
+    }
+}
+
+impl Error for IngestError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Recovery { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<IngestError> for SstdError {
+    fn from(e: IngestError) -> Self {
+        Self::ingest(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_shard() {
+        let e = IngestError::Backpressure { shard: 3, depth: 128 };
+        assert!(e.to_string().contains("shard 3"));
+        assert!(e.to_string().contains("128"));
+        assert_eq!(e.shard(), 3);
+        assert!(e.is_retryable());
+
+        let e = IngestError::ShardUnavailable { shard: 1 };
+        assert!(e.to_string().contains("shard 1"));
+        assert!(!e.is_retryable());
+    }
+
+    #[test]
+    fn wraps_into_sstd_error() {
+        let e: SstdError = IngestError::Backpressure { shard: 0, depth: 4 }.into();
+        assert!(e.to_string().contains("ingest failed"));
+        let back = e.ingest_as::<IngestError>().expect("downcast");
+        assert_eq!(back.shard(), 0);
+    }
+}

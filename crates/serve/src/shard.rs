@@ -1,0 +1,202 @@
+//! One shard: an engine, its durable state, and its change stream.
+
+use crate::update::{ChangeLog, ChangeStream, TruthUpdate};
+use crate::IngestError;
+use sstd_core::{IngestOutcome, ReportJournal, StreamCheckpoint, StreamingSstd, TruthEstimates};
+use sstd_obs::EventStore;
+use sstd_types::{ClaimId, Report, Timeline, TruthLabel};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Per-claim change-stream cursor: the absolute interval count emitted
+/// through (decisions for intervals `< emitted` are already in the
+/// stream), and the last emitted label.
+#[derive(Debug, Clone, Copy, Default)]
+struct EmitCursor {
+    emitted: usize,
+    last: Option<TruthLabel>,
+}
+
+/// One independent partition of the live service: its own
+/// [`StreamingSstd`], write-ahead [`ReportJournal`], durable
+/// [`StreamCheckpoint`] bytes, [`EventStore`] telemetry, and versioned
+/// change stream. Shards share nothing — no locks cross them.
+///
+/// Durability model: a crash destroys the engine (all in-memory decode
+/// state) but not the shard's durable metadata — the checkpoint bytes,
+/// the journal bytes, the change-stream cursor, and the version counter,
+/// which in a deployment live with the transport/consumer, not the
+/// process. [`crash`](Self::crash) rebuilds the engine from the
+/// checkpoint and replays the journal through the wire format, after
+/// which the shard's continuation is bit-identical to one that never
+/// crashed (the `serve_differential` suite checks exactly this).
+#[derive(Debug)]
+pub(crate) struct Shard {
+    id: usize,
+    engine: StreamingSstd,
+    journal: ReportJournal,
+    checkpoint_bytes: Vec<u8>,
+    checkpoint_every: usize,
+    applied_since_checkpoint: usize,
+    applied: u64,
+    next_seq: u64,
+    version: u64,
+    seen_interval: usize,
+    cursors: HashMap<ClaimId, EmitCursor>,
+    log: ChangeLog,
+    store: Arc<EventStore>,
+    config: sstd_core::SstdConfig,
+    timeline: Timeline,
+}
+
+impl Shard {
+    pub(crate) fn new(
+        id: usize,
+        config: sstd_core::SstdConfig,
+        timeline: Timeline,
+        checkpoint_every: usize,
+    ) -> Self {
+        let store = Arc::new(EventStore::new());
+        let engine =
+            StreamingSstd::new(config, timeline.clone()).with_telemetry_store(Arc::clone(&store));
+        let checkpoint_bytes = engine.checkpoint().to_bytes();
+        Self {
+            id,
+            engine,
+            journal: ReportJournal::new(),
+            checkpoint_bytes,
+            checkpoint_every,
+            applied_since_checkpoint: 0,
+            applied: 0,
+            next_seq: 0,
+            version: 0,
+            seen_interval: 0,
+            cursors: HashMap::new(),
+            log: ChangeLog::default(),
+            store,
+            config,
+            timeline,
+        }
+    }
+
+    pub(crate) fn store(&self) -> &Arc<EventStore> {
+        &self.store
+    }
+
+    pub(crate) fn stream(&self) -> ChangeStream {
+        self.log.stream()
+    }
+
+    pub(crate) fn applied(&self) -> u64 {
+        self.applied
+    }
+
+    /// Applies one report: journals it, pushes it into the engine, emits
+    /// any newly committed decisions, and checkpoints on cadence.
+    pub(crate) fn ingest(&mut self, report: &Report) -> IngestOutcome {
+        let outcome = self.engine.push(report);
+        if outcome.was_ingested() {
+            self.journal.append(self.next_seq, *report);
+            self.next_seq += 1;
+            self.applied += 1;
+            self.applied_since_checkpoint += 1;
+        }
+        if self.engine.current_interval() > self.seen_interval {
+            self.seen_interval = self.engine.current_interval();
+            self.emit_committed();
+        }
+        if self.checkpoint_every > 0 && self.applied_since_checkpoint >= self.checkpoint_every {
+            self.checkpoint();
+        }
+        outcome
+    }
+
+    /// Snapshots the engine and truncates the journal.
+    pub(crate) fn checkpoint(&mut self) {
+        self.checkpoint_bytes = self.engine.checkpoint().to_bytes();
+        self.journal.clear();
+        self.applied_since_checkpoint = 0;
+    }
+
+    /// Kills the engine and recovers it from durable state: decode the
+    /// checkpoint, restore, replay the journal through its wire format.
+    pub(crate) fn crash(&mut self) -> Result<(), IngestError> {
+        let recover = || -> Result<StreamingSstd, sstd_core::RecoveryError> {
+            let snapshot = StreamCheckpoint::from_bytes(&self.checkpoint_bytes)?;
+            // Replay with telemetry detached: the intervals the journal
+            // re-closes were already recorded in the store pre-crash,
+            // and double-counting them would corrupt the trace.
+            let mut engine = StreamingSstd::restore(self.config, self.timeline.clone(), &snapshot)?;
+            let journal = ReportJournal::from_bytes(&self.journal.to_bytes())?;
+            for entry in journal.entries() {
+                let outcome = engine.push(&entry.report);
+                debug_assert!(outcome.was_ingested(), "journaled reports always ingest");
+            }
+            Ok(engine.with_telemetry_store(Arc::clone(&self.store)))
+        };
+        match recover() {
+            Ok(engine) => {
+                self.engine = engine;
+                // The cursor may trail the replayed engine: emit anything
+                // that committed after the last pre-crash emission.
+                if self.engine.current_interval() > self.seen_interval {
+                    self.seen_interval = self.engine.current_interval();
+                }
+                self.emit_committed();
+                Ok(())
+            }
+            Err(source) => Err(IngestError::Recovery { shard: self.id, source }),
+        }
+    }
+
+    /// Emits a [`TruthUpdate`] for every committed decision past each
+    /// claim's cursor whose label differs from the last emitted one.
+    fn emit_committed(&mut self) {
+        let claims: Vec<ClaimId> = self.engine.claim_ids().collect();
+        for claim in claims {
+            let Some((start, decisions)) = self.engine.decisions(claim) else { continue };
+            let cursor = self.cursors.entry(claim).or_default();
+            let skip = cursor.emitted.saturating_sub(start);
+            for (idx, &label) in decisions.iter().enumerate().skip(skip) {
+                if cursor.last != Some(label) {
+                    self.version += 1;
+                    self.log.push(TruthUpdate {
+                        shard: self.id,
+                        version: self.version,
+                        claim,
+                        interval: start + idx,
+                        old: cursor.last,
+                        new: label,
+                    });
+                    cursor.last = Some(label);
+                }
+                cursor.emitted = start + idx + 1;
+            }
+        }
+    }
+
+    /// Closes all remaining intervals, emits the tail of the change
+    /// stream, and returns this shard's estimates.
+    pub(crate) fn finish(mut self) -> TruthEstimates {
+        let estimates = self.engine.finish();
+        for (claim, labels) in estimates.iter() {
+            let cursor = self.cursors.entry(claim).or_default();
+            for (interval, &label) in labels.iter().enumerate().skip(cursor.emitted) {
+                if cursor.last != Some(label) {
+                    self.version += 1;
+                    self.log.push(TruthUpdate {
+                        shard: self.id,
+                        version: self.version,
+                        claim,
+                        interval,
+                        old: cursor.last,
+                        new: label,
+                    });
+                    cursor.last = Some(label);
+                }
+            }
+            cursor.emitted = labels.len();
+        }
+        estimates
+    }
+}

@@ -1,0 +1,127 @@
+//! The versioned change stream a shard emits as decisions commit.
+
+use sstd_types::{ClaimId, TruthLabel};
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// One committed truth transition: at `version` (monotonic within the
+/// shard), `claim`'s decided label for `interval` became `new`, having
+/// previously been `old` (`None` for the claim's first decision).
+///
+/// A shard emits an update only when the decided label *changes* —
+/// consecutive intervals with the same label produce one update, for the
+/// first interval of the run. Replaying a shard's updates in version
+/// order therefore reconstructs its full decision table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TruthUpdate {
+    /// The shard that committed the decision.
+    pub shard: usize,
+    /// Monotonic per-shard sequence number, starting at 1.
+    pub version: u64,
+    /// The claim whose truth changed.
+    pub claim: ClaimId,
+    /// The interval the new label takes effect.
+    pub interval: usize,
+    /// The label decided for the previous interval (`None` if this is
+    /// the claim's first decision).
+    pub old: Option<TruthLabel>,
+    /// The newly decided label.
+    pub new: TruthLabel,
+}
+
+/// Consumer handle on one shard's [`TruthUpdate`] stream.
+///
+/// Updates buffer unboundedly until drained; the handle stays valid
+/// across shard crashes (the stream position is consumer state, not
+/// engine state — a recovered shard resumes emitting exactly where the
+/// stream left off).
+#[derive(Debug, Clone)]
+pub struct ChangeStream {
+    inner: Arc<Mutex<VecDeque<TruthUpdate>>>,
+}
+
+impl ChangeStream {
+    /// Pops the oldest undrained update, if any.
+    #[must_use]
+    pub fn try_next(&self) -> Option<TruthUpdate> {
+        self.lock().pop_front()
+    }
+
+    /// Drains every buffered update, oldest first.
+    #[must_use]
+    pub fn drain(&self) -> Vec<TruthUpdate> {
+        self.lock().drain(..).collect()
+    }
+
+    /// Number of buffered (undrained) updates.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Whether no update is buffered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<TruthUpdate>> {
+        self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+/// Producer side of a shard's change stream; shards push, consumers
+/// drain through cloned [`ChangeStream`] handles.
+#[derive(Debug, Default)]
+pub(crate) struct ChangeLog {
+    inner: Arc<Mutex<VecDeque<TruthUpdate>>>,
+}
+
+impl ChangeLog {
+    pub(crate) fn push(&self, update: TruthUpdate) {
+        self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner).push_back(update);
+    }
+
+    pub(crate) fn stream(&self) -> ChangeStream {
+        ChangeStream { inner: Arc::clone(&self.inner) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn update(version: u64) -> TruthUpdate {
+        TruthUpdate {
+            shard: 0,
+            version,
+            claim: ClaimId::new(7),
+            interval: version as usize,
+            old: None,
+            new: TruthLabel::True,
+        }
+    }
+
+    #[test]
+    fn stream_drains_in_version_order() {
+        let log = ChangeLog::default();
+        let stream = log.stream();
+        assert!(stream.is_empty());
+        log.push(update(1));
+        log.push(update(2));
+        assert_eq!(stream.len(), 2);
+        assert_eq!(stream.try_next().map(|u| u.version), Some(1));
+        assert_eq!(stream.drain().iter().map(|u| u.version).collect::<Vec<_>>(), vec![2]);
+        assert!(stream.try_next().is_none());
+    }
+
+    #[test]
+    fn handles_share_the_buffer() {
+        let log = ChangeLog::default();
+        let a = log.stream();
+        let b = a.clone();
+        log.push(update(1));
+        assert_eq!(a.try_next().map(|u| u.version), Some(1));
+        assert!(b.is_empty(), "a's drain consumed the shared buffer");
+    }
+}

@@ -569,6 +569,107 @@ pub fn recovery_case(shape: TraceShape) -> Gen<RecoveryCase> {
 }
 
 // ---------------------------------------------------------------------
+// Sharded live-ingest scenarios
+// ---------------------------------------------------------------------
+
+/// A complete sharded-service scenario: a report stream (to be fed in
+/// global time order), a shard count, queue and checkpoint parameters,
+/// and a shard-crash schedule — everything the `serve_differential`
+/// suite needs to compare the sharded service against one streaming
+/// engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceCase {
+    /// The underlying report stream with planted truth.
+    pub trace: TraceCase,
+    /// Shards to run (≥ 1).
+    pub shards: usize,
+    /// Per-shard ingest queue bound (≥ 1).
+    pub queue_capacity: usize,
+    /// Per-shard checkpoint cadence in applied reports (0 = never).
+    pub checkpoint_every: usize,
+    /// Crash points as fractions of the time-sorted stream, in
+    /// `[0, 1)`; every shard crashes at each point.
+    pub crash_fracs: Vec<f64>,
+}
+
+impl ServiceCase {
+    /// The stream in global time order (stable, so each claim's
+    /// relative report order is preserved) — the ordering under which
+    /// the sharded service promises bit-identity with a single engine.
+    #[must_use]
+    pub fn sorted_reports(&self) -> Vec<Report> {
+        let mut reports = self.trace.reports.clone();
+        reports.sort_by_key(Report::time);
+        reports
+    }
+
+    /// The trace's timeline.
+    #[must_use]
+    pub fn timeline(&self) -> Timeline {
+        let horizon =
+            Timestamp::from_secs(self.trace.num_intervals as u64 * TraceCase::SECS_PER_INTERVAL);
+        Timeline::new(horizon, self.trace.num_intervals)
+    }
+
+    /// Resolves the crash fractions against a stream of `len` reports:
+    /// sorted, deduplicated ingest indices.
+    #[must_use]
+    pub fn crash_positions(&self, len: usize) -> Vec<usize> {
+        if len == 0 {
+            return Vec::new();
+        }
+        let mut out: Vec<usize> =
+            self.crash_fracs.iter().map(|f| ((f * len as f64) as usize).min(len - 1)).collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+/// Generates [`ServiceCase`]s: a generated trace, 1–4 shards, a small
+/// bounded queue, a checkpoint cadence that is sometimes disabled, and
+/// up to three crash points. Shrinking removes the crashes first, then
+/// collapses to one shard, then disables checkpointing, then thins the
+/// report stream — so a minimized failure names the smallest service
+/// configuration that still breaks the equivalence.
+#[must_use]
+pub fn service_case(shape: TraceShape) -> Gen<ServiceCase> {
+    let traces = trace_case(shape);
+    Gen::new(move |rng| ServiceCase {
+        trace: traces.generate(rng),
+        shards: rng.usize_in(1, 4),
+        queue_capacity: rng.usize_in(4, 64),
+        checkpoint_every: if rng.chance(0.25) { 0 } else { rng.usize_in(1, 48) },
+        crash_fracs: (0..rng.usize_in(0, 3)).map(|_| rng.f64_in(0.0, 0.999)).collect(),
+    })
+    .with_shrink(|case: &ServiceCase| {
+        let mut out = Vec::new();
+        if !case.crash_fracs.is_empty() {
+            out.push(ServiceCase { crash_fracs: Vec::new(), ..case.clone() });
+            for i in 0..case.crash_fracs.len() {
+                let mut fracs = case.crash_fracs.clone();
+                fracs.remove(i);
+                out.push(ServiceCase { crash_fracs: fracs, ..case.clone() });
+            }
+        }
+        if case.shards > 1 {
+            out.push(ServiceCase { shards: 1, ..case.clone() });
+            out.push(ServiceCase { shards: case.shards - 1, ..case.clone() });
+        }
+        if case.checkpoint_every != 0 {
+            out.push(ServiceCase { checkpoint_every: 0, ..case.clone() });
+        }
+        let k = case.trace.reports.len();
+        if k > 0 {
+            let mut half = case.trace.clone();
+            half.reports.truncate(k / 2);
+            out.push(ServiceCase { trace: half, ..case.clone() });
+        }
+        out
+    })
+}
+
+// ---------------------------------------------------------------------
 // Social-media text
 // ---------------------------------------------------------------------
 
@@ -738,6 +839,38 @@ mod tests {
         for s in g.shrink(&case) {
             let _ = s.plan();
             let _ = s.trace.trace();
+        }
+    }
+
+    #[test]
+    fn service_cases_are_valid_and_shrink_toward_one_calm_shard() {
+        let g = service_case(TraceShape::default());
+        let n = check_with(CheckConfig::new(200), &g, |case| {
+            if case.shards == 0 || case.queue_capacity == 0 {
+                return Err("degenerate service shape".into());
+            }
+            let sorted = case.sorted_reports();
+            if sorted.windows(2).any(|w| w[0].time() > w[1].time()) {
+                return Err("sorted_reports is not time-ordered".into());
+            }
+            let positions = case.crash_positions(sorted.len().max(1));
+            if positions.windows(2).any(|w| w[0] >= w[1]) {
+                return Err("crash positions unsorted or duplicated".into());
+            }
+            let _ = case.timeline();
+            Ok(())
+        })
+        .expect("every service case is valid");
+        assert_eq!(n, 200);
+
+        let mut rng = TestRng::new(23);
+        let case = g.generate(&mut rng);
+        if !case.crash_fracs.is_empty() {
+            assert!(g.shrink(&case)[0].crash_fracs.is_empty(), "crashes shrink away first");
+        }
+        for s in g.shrink(&case) {
+            assert!(s.shards >= 1);
+            let _ = s.timeline();
         }
     }
 

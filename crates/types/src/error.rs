@@ -181,6 +181,11 @@ pub enum SstdError {
     /// `sstd_core::RecoveryError`), recoverable via
     /// [`recovery_as`](Self::recovery_as).
     Recovery(Box<dyn Error + Send + Sync + 'static>),
+    /// Live ingest refused a report — most commonly backpressure from a
+    /// saturated shard queue. The boxed source is the layer-specific
+    /// error (e.g. `sstd_serve::IngestError`), recoverable via
+    /// [`ingest_as`](Self::ingest_as).
+    Ingest(Box<dyn Error + Send + Sync + 'static>),
 }
 
 impl SstdError {
@@ -194,6 +199,12 @@ impl SstdError {
     #[must_use]
     pub fn recovery(err: impl Error + Send + Sync + 'static) -> Self {
         Self::Recovery(Box::new(err))
+    }
+
+    /// Wraps a layer-specific live-ingest error.
+    #[must_use]
+    pub fn ingest(err: impl Error + Send + Sync + 'static) -> Self {
+        Self::Ingest(Box::new(err))
     }
 
     /// The configuration error, if that is what this is.
@@ -231,6 +242,15 @@ impl SstdError {
             _ => None,
         }
     }
+
+    /// Downcasts the boxed live-ingest source to a concrete type.
+    #[must_use]
+    pub fn ingest_as<E: Error + 'static>(&self) -> Option<&E> {
+        match self {
+            Self::Ingest(boxed) => boxed.downcast_ref::<E>(),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for SstdError {
@@ -240,6 +260,7 @@ impl fmt::Display for SstdError {
             Self::Backend(e) => e.fmt(f),
             Self::Distributed(e) => write!(f, "distributed run failed: {e}"),
             Self::Recovery(e) => write!(f, "recovery failed: {e}"),
+            Self::Ingest(e) => write!(f, "ingest failed: {e}"),
         }
     }
 }
@@ -251,6 +272,7 @@ impl Error for SstdError {
             Self::Backend(e) => Some(e),
             Self::Distributed(e) => Some(e.as_ref()),
             Self::Recovery(e) => Some(e.as_ref()),
+            Self::Ingest(e) => Some(e.as_ref()),
         }
     }
 }
@@ -315,6 +337,13 @@ mod tests {
         assert!(rec.recovery_as::<ConfigError>().is_none());
         assert!(rec.distributed_as::<ScoreError>().is_none());
         assert!(rec.to_string().contains("recovery failed"));
+
+        let ing = SstdError::ingest(ScoreError::new("uncertainty", 9.0));
+        let inner = ing.ingest_as::<ScoreError>().expect("downcast");
+        assert_eq!(inner.value(), 9.0);
+        assert!(ing.ingest_as::<ConfigError>().is_none());
+        assert!(ing.recovery_as::<ScoreError>().is_none());
+        assert!(ing.to_string().contains("ingest failed"));
     }
 
     #[test]

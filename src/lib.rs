@@ -27,6 +27,10 @@
 //!   Paris Shooting / College Football presets).
 //! - [`eval`] — metrics and the experiment harness regenerating every table
 //!   and figure of the paper.
+//! - [`serve`] — the sharded live-ingest service: run SSTD as a
+//!   long-lived server with bounded queues, typed backpressure,
+//!   versioned truth-update change streams, and per-shard crash
+//!   recovery.
 //!
 //! # Quickstart
 //!
@@ -52,6 +56,7 @@ pub use sstd_eval as eval;
 pub use sstd_hmm as hmm;
 pub use sstd_obs as obs;
 pub use sstd_runtime as runtime;
+pub use sstd_serve as serve;
 pub use sstd_stats as stats;
 pub use sstd_text as text;
 pub use sstd_types as types;

@@ -342,12 +342,12 @@ fn redelivered_records_are_absorbed_exactly_once() {
         let mut applied = 0u64;
         for r in &records {
             match sup.ingest(r) {
-                IngestOutcome::Applied => applied += 1,
+                IngestOutcome::Accepted | IngestOutcome::Late => applied += 1,
                 IngestOutcome::Duplicate | IngestOutcome::Rejected => {}
             }
             // Feeding the same record again must always be a duplicate
             // (or rejected again if it was never applied).
-            if r.is_intact() && sup.ingest(r) == IngestOutcome::Applied {
+            if r.is_intact() && sup.ingest(r).was_ingested() {
                 return Err(format!("record {} applied twice", r.seq()));
             }
         }
