@@ -15,6 +15,7 @@
 // auditability.
 #![allow(clippy::needless_range_loop)]
 
+use crate::input::stable_sum;
 use crate::{SnapshotInput, TruthDiscovery, VoteMatrix};
 use sstd_stats::special::chi_square_quantile;
 use sstd_types::{ClaimId, SourceId, TruthLabel};
@@ -87,9 +88,9 @@ impl TruthDiscovery for Catd {
         // Start from (weighted) majority voting.
         let mut truth: Vec<f64> = (0..n_claims)
             .map(|u| {
-                let s: f64 =
-                    votes.claim_votes(ClaimId::new(u as u32)).iter().map(|&(_, w)| w).sum();
-                if s > 0.0 {
+                let mut parts: Vec<f64> =
+                    votes.claim_votes(ClaimId::new(u as u32)).iter().map(|&(_, w)| w).collect();
+                if stable_sum(&mut parts) > 0.0 {
                     1.0
                 } else {
                     -1.0
@@ -130,11 +131,11 @@ impl TruthDiscovery for Catd {
                     truth[u] = -1.0;
                     continue;
                 }
-                let score: f64 = cv
+                let mut parts: Vec<f64> = cv
                     .iter()
                     .map(|&(src, w)| weights[src.index()] * w.signum() * w.abs().min(1.0))
-                    .sum();
-                truth[u] = if score > 0.0 { 1.0 } else { -1.0 };
+                    .collect();
+                truth[u] = if stable_sum(&mut parts) > 0.0 { 1.0 } else { -1.0 };
             }
         }
 

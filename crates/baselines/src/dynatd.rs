@@ -7,6 +7,7 @@
 //! linking consecutive intervals (truth rarely flips). Everything is
 //! incremental — one pass over the stream.
 
+use crate::input::stable_sum;
 use crate::StreamingTruthDiscovery;
 use sstd_types::{ClaimId, Report, TruthLabel};
 use std::collections::BTreeMap;
@@ -91,7 +92,9 @@ impl StreamingTruthDiscovery for DynaTd {
     }
 
     fn observe_interval(&mut self, reports: &[Report]) -> BTreeMap<ClaimId, TruthLabel> {
-        // Aggregate this interval's signed votes per claim.
+        // Aggregate this interval's signed votes per claim, in canonical
+        // order so the estimate is a function of the report multiset,
+        // not of arrival order.
         let mut votes: BTreeMap<ClaimId, Vec<(u32, f64)>> = BTreeMap::new();
         for r in reports {
             let cs = r.contribution_score().value();
@@ -99,11 +102,15 @@ impl StreamingTruthDiscovery for DynaTd {
                 votes.entry(r.claim()).or_default().push((r.source().index() as u32, cs));
             }
         }
+        for vs in votes.values_mut() {
+            vs.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)));
+        }
 
         // MAP estimate per claim: weighted vote + smoothness prior.
         let mut estimates = BTreeMap::new();
         for (&claim, vs) in &votes {
-            let mut score: f64 = vs.iter().map(|&(s, cs)| self.weight(s) * cs).sum();
+            let mut parts: Vec<f64> = vs.iter().map(|&(s, cs)| self.weight(s) * cs).collect();
+            let mut score = stable_sum(&mut parts);
             if let Some(prev) = self.previous.get(&claim) {
                 score += self.smoothness * if prev.as_bool() { 1.0 } else { -1.0 };
             }

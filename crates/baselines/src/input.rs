@@ -3,6 +3,34 @@
 use sstd_types::{ClaimId, Report, SourceId, TruthLabel};
 use std::collections::BTreeMap;
 
+/// Sums `xs` in a canonical order (ascending by total order on the bit
+/// pattern), so the result does not depend on how the inputs happened to
+/// be enumerated.
+///
+/// Floating-point addition is not associative: summing the same multiset
+/// of contribution scores in report-arrival order versus source-id order
+/// can differ in the last ulp, which is enough to flip a claim whose
+/// score sits exactly at the decision boundary. Every aggregation in
+/// this crate that folds reports or per-source contributions into one
+/// score goes through this helper, making each scheme a pure function of
+/// the report *multiset* — permutation-invariant over report order and
+/// stable under source relabeling.
+///
+/// # Examples
+///
+/// ```
+/// use sstd_baselines::stable_sum;
+///
+/// let a = stable_sum(&mut [0.1, 0.2, 0.3]);
+/// let b = stable_sum(&mut [0.3, 0.1, 0.2]);
+/// assert_eq!(a.to_bits(), b.to_bits());
+/// ```
+#[must_use]
+pub fn stable_sum(xs: &mut [f64]) -> f64 {
+    xs.sort_by(f64::total_cmp);
+    xs.iter().sum()
+}
+
 /// A bag of reports plus population sizes — what a batch truth-discovery
 /// scheme sees when asked for one snapshot estimate.
 #[derive(Debug, Clone, Copy)]
@@ -60,17 +88,20 @@ impl VoteMatrix {
     /// Aggregates a snapshot into signed vote weights.
     #[must_use]
     pub fn build(input: &SnapshotInput<'_>) -> Self {
-        let mut acc: BTreeMap<(u32, u32), f64> = BTreeMap::new();
+        // Collect per-(source, claim) contributions and fold them with
+        // [`stable_sum`], so the weights are independent of report order.
+        let mut acc: BTreeMap<(u32, u32), Vec<f64>> = BTreeMap::new();
         for r in input.reports {
             let cs = r.contribution_score().value();
             if cs == 0.0 {
                 continue;
             }
-            *acc.entry((r.source().index() as u32, r.claim().index() as u32)).or_insert(0.0) += cs;
+            acc.entry((r.source().index() as u32, r.claim().index() as u32)).or_default().push(cs);
         }
         let mut claim_votes = vec![Vec::new(); input.num_claims];
         let mut source_votes = vec![Vec::new(); input.num_sources];
-        for (&(s, c), &w) in &acc {
+        for (&(s, c), parts) in &mut acc {
+            let w = stable_sum(parts);
             if w == 0.0 {
                 continue;
             }

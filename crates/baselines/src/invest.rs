@@ -9,6 +9,8 @@
 // auditability.
 #![allow(clippy::needless_range_loop)]
 
+use crate::input::stable_sum;
+use crate::traits::Convergence;
 use crate::{SnapshotInput, TruthDiscovery, VoteMatrix};
 use sstd_types::{ClaimId, SourceId, TruthLabel};
 use std::collections::BTreeMap;
@@ -62,24 +64,39 @@ impl Invest {
         self.growth = g;
         self
     }
-}
 
-impl TruthDiscovery for Invest {
-    fn name(&self) -> &'static str {
-        "Invest"
+    /// Overrides the number of invest/credit rounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rounds` is zero.
+    #[must_use]
+    pub fn with_rounds(mut self, rounds: usize) -> Self {
+        assert!(rounds > 0, "round count must be positive");
+        self.rounds = rounds;
+        self
     }
 
-    fn discover(&self, input: &SnapshotInput<'_>) -> BTreeMap<ClaimId, TruthLabel> {
+    /// Like [`TruthDiscovery::discover`] but also reports how the
+    /// invest/credit fixed point ended (`final_delta` is the L∞ change
+    /// of the normalized trust vector in the last round).
+    #[must_use]
+    pub fn discover_with_convergence(
+        &self,
+        input: &SnapshotInput<'_>,
+    ) -> (BTreeMap<ClaimId, TruthLabel>, Convergence) {
         let votes = VoteMatrix::build(input);
         let n_claims = input.num_claims;
         let mut trust = vec![1.0f64; input.num_sources];
         // credibility[claim][fact] with fact 0 = true, 1 = false.
         let mut credibility = vec![[0.0f64; 2]; n_claims];
+        let mut convergence =
+            Convergence { iterations: 0, final_delta: f64::INFINITY, converged: false };
 
-        for _ in 0..self.rounds {
+        for round in 0..self.rounds {
             // Investment phase: each source splits its trust equally over
             // its asserted facts (weighted by |vote|).
-            let mut invested = vec![[0.0f64; 2]; n_claims];
+            let mut invested = vec![[Vec::new(), Vec::new()]; n_claims];
             // Remember each source's stake for the credit phase.
             let mut stakes: Vec<(usize, usize, usize, f64)> = Vec::new(); // (src, claim, fact, amount)
             for s in 0..input.num_sources {
@@ -94,43 +111,64 @@ impl TruthDiscovery for Invest {
                 for &(c, w) in sv {
                     let fact = usize::from(w < 0.0);
                     let amount = trust[s] * (w.abs() / total_weight);
-                    invested[c.index()][fact] += amount;
+                    invested[c.index()][fact].push(amount);
                     stakes.push((s, c.index(), fact, amount));
                 }
             }
-            // Growth phase: credibility = G(total investment).
+            // Fold stakes per fact in canonical order (source relabeling
+            // must not perturb the pools), then grow credibility.
+            let pools: Vec<[f64; 2]> = invested
+                .iter_mut()
+                .map(|parts| [stable_sum(&mut parts[0]), stable_sum(&mut parts[1])])
+                .collect();
             for u in 0..n_claims {
                 for fact in 0..2 {
-                    credibility[u][fact] = invested[u][fact].powf(self.growth);
+                    credibility[u][fact] = pools[u][fact].powf(self.growth);
                 }
             }
             // Credit phase: sources earn credibility proportional to their
             // share of each fact's total investment.
             let mut new_trust = vec![0.0f64; input.num_sources];
             for &(s, u, fact, amount) in &stakes {
-                let pool = invested[u][fact];
+                let pool = pools[u][fact];
                 if pool > 0.0 {
                     new_trust[s] += credibility[u][fact] * (amount / pool);
                 }
             }
             // Normalize so total trust mass is conserved (prevents the
             // growth function from exploding trust across rounds).
-            let total: f64 = new_trust.iter().sum();
+            let total = stable_sum(&mut new_trust.clone());
             let active = votes.active_sources().count().max(1) as f64;
             if total > 0.0 {
-                for (s, t) in new_trust.iter_mut().enumerate() {
-                    let _ = s;
+                for t in &mut new_trust {
                     *t = *t / total * active;
                 }
             } else {
                 new_trust = vec![1.0; input.num_sources];
             }
+            let delta =
+                trust.iter().zip(&new_trust).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max);
             trust = new_trust;
+            convergence.iterations = round + 1;
+            convergence.final_delta = delta;
         }
+        // The loop always runs its full budget; call it converged when the
+        // final normalized-trust update is already negligible.
+        convergence.converged = convergence.final_delta < 1e-6;
 
         let scores: Vec<f64> =
             (0..n_claims).map(|u| credibility[u][0] - credibility[u][1]).collect();
-        votes.scores_to_labels(&scores)
+        (votes.scores_to_labels(&scores), convergence)
+    }
+}
+
+impl TruthDiscovery for Invest {
+    fn name(&self) -> &'static str {
+        "Invest"
+    }
+
+    fn discover(&self, input: &SnapshotInput<'_>) -> BTreeMap<ClaimId, TruthLabel> {
+        self.discover_with_convergence(input).0
     }
 }
 

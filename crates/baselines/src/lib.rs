@@ -23,6 +23,12 @@
 //! exactly how the paper applies static baselines to dynamic traces.
 //! Natively streaming schemes ([`DynaTd`]) implement
 //! [`StreamingTruthDiscovery`] directly.
+//!
+//! Every aggregation folds report contributions in a canonical order
+//! ([`stable_sum`]), so each scheme is a pure function of the report
+//! *multiset* per interval: permutation-invariant over report order and
+//! stable under source relabeling. The differential property suite
+//! (`tests/oracle_differential.rs`) pins this.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
@@ -40,11 +46,11 @@ mod truthfinder;
 
 pub use catd::Catd;
 pub use dynatd::DynaTd;
-pub use input::{SnapshotInput, VoteMatrix};
+pub use input::{stable_sum, SnapshotInput, VoteMatrix};
 pub use invest::Invest;
 pub use majority::{MajorityVote, WeightedVote};
 pub use recursive_em::RecursiveEm;
 pub use rtd::Rtd;
 pub use three_estimates::ThreeEstimates;
-pub use traits::{SlidingWindow, StreamingTruthDiscovery, TruthDiscovery};
+pub use traits::{Convergence, SlidingWindow, StreamingTruthDiscovery, TruthDiscovery};
 pub use truthfinder::TruthFinder;

@@ -2,6 +2,7 @@
 //! ("simple heuristic algorithms such as Majority Voting and Median are
 //! very fast but the truth discovery accuracy is quite low").
 
+use crate::input::stable_sum;
 use crate::{SnapshotInput, TruthDiscovery, VoteMatrix};
 use sstd_types::{ClaimId, TruthLabel};
 use std::collections::BTreeMap;
@@ -42,7 +43,12 @@ impl TruthDiscovery for MajorityVote {
         let votes = VoteMatrix::build(input);
         let scores: Vec<f64> = (0..input.num_claims)
             .map(|u| {
-                votes.claim_votes(ClaimId::new(u as u32)).iter().map(|&(_, w)| w.signum()).sum()
+                let mut parts: Vec<f64> = votes
+                    .claim_votes(ClaimId::new(u as u32))
+                    .iter()
+                    .map(|&(_, w)| w.signum())
+                    .collect();
+                stable_sum(&mut parts)
             })
             .collect();
         votes.scores_to_labels(&scores)
@@ -90,7 +96,11 @@ impl TruthDiscovery for WeightedVote {
     fn discover(&self, input: &SnapshotInput<'_>) -> BTreeMap<ClaimId, TruthLabel> {
         let votes = VoteMatrix::build(input);
         let scores: Vec<f64> = (0..input.num_claims)
-            .map(|u| votes.claim_votes(ClaimId::new(u as u32)).iter().map(|&(_, w)| w).sum())
+            .map(|u| {
+                let mut parts: Vec<f64> =
+                    votes.claim_votes(ClaimId::new(u as u32)).iter().map(|&(_, w)| w).collect();
+                stable_sum(&mut parts)
+            })
             .collect();
         votes.scores_to_labels(&scores)
     }

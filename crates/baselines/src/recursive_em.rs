@@ -102,7 +102,9 @@ impl StreamingTruthDiscovery for RecursiveEm {
     }
 
     fn observe_interval(&mut self, reports: &[Report]) -> BTreeMap<ClaimId, TruthLabel> {
-        // Collect this batch's votes: claim → [(source, says_true, weight)].
+        // Collect this batch's votes: claim → [(source, says_true, weight)],
+        // sorted canonically so the posterior is a function of the report
+        // multiset, not of arrival order.
         let mut votes: BTreeMap<ClaimId, Vec<(u32, bool, f64)>> = BTreeMap::new();
         for r in reports {
             let cs = r.contribution_score().value();
@@ -113,6 +115,9 @@ impl StreamingTruthDiscovery for RecursiveEm {
                     cs.abs().min(1.0),
                 ));
             }
+        }
+        for vs in votes.values_mut() {
+            vs.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)).then(a.2.total_cmp(&b.2)));
         }
 
         // E-step: truth posterior per claim under current source params

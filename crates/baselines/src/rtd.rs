@@ -21,6 +21,7 @@
 // auditability.
 #![allow(clippy::needless_range_loop)]
 
+use crate::input::stable_sum;
 use crate::{SnapshotInput, TruthDiscovery, VoteMatrix};
 use sstd_types::{ClaimId, SourceId, TruthLabel};
 use std::collections::BTreeMap;
@@ -105,13 +106,15 @@ impl TruthDiscovery for Rtd {
         let mut truth = vec![0.0f64; n_claims];
 
         for _ in 0..self.rounds {
-            // Truth update: weight-discounted vote.
+            // Truth update: weight-discounted vote, folded in canonical
+            // order so a source relabeling cannot perturb the score.
             for u in 0..n_claims {
-                truth[u] = votes
+                let mut parts: Vec<f64> = votes
                     .claim_votes(ClaimId::new(u as u32))
                     .iter()
                     .map(|&(src, w)| weights[src.index()] * w)
-                    .sum();
+                    .collect();
+                truth[u] = stable_sum(&mut parts);
             }
             // Source weight update: mix of agreement with consensus and
             // originality.

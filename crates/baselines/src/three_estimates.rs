@@ -13,6 +13,7 @@
 // auditability.
 #![allow(clippy::needless_range_loop)]
 
+use crate::input::stable_sum;
 use crate::{SnapshotInput, TruthDiscovery, VoteMatrix};
 use sstd_types::{ClaimId, SourceId, TruthLabel};
 use std::collections::BTreeMap;
@@ -81,13 +82,19 @@ impl TruthDiscovery for ThreeEstimates {
                     theta[u] = 0.0;
                     continue;
                 }
-                let mut acc = 0.0;
-                for &(src, w) in cv {
-                    let says_true = w > 0.0;
-                    let flip = (error[src.index()] * hardness[u]).clamp(0.0, 1.0);
-                    acc += if says_true { 1.0 - flip } else { flip };
-                }
-                theta[u] = acc / cv.len() as f64;
+                let mut parts: Vec<f64> = cv
+                    .iter()
+                    .map(|&(src, w)| {
+                        let says_true = w > 0.0;
+                        let flip = (error[src.index()] * hardness[u]).clamp(0.0, 1.0);
+                        if says_true {
+                            1.0 - flip
+                        } else {
+                            flip
+                        }
+                    })
+                    .collect();
+                theta[u] = stable_sum(&mut parts) / cv.len() as f64;
             }
             normalize_unit(&mut theta);
 
@@ -118,16 +125,17 @@ impl TruthDiscovery for ThreeEstimates {
                 if cv.is_empty() {
                     continue;
                 }
-                let mut acc = 0.0;
-                let mut denom = 0.0;
+                let mut acc_parts = Vec::with_capacity(cv.len());
+                let mut denom_parts = Vec::with_capacity(cv.len());
                 for &(src, w) in cv {
                     let says_true = w > 0.0;
                     let disagreement = if says_true { 1.0 - theta[u] } else { theta[u] };
                     let e = error[src.index()].max(1e-6);
-                    acc += disagreement / e;
-                    denom += 1.0 / e;
+                    acc_parts.push(disagreement / e);
+                    denom_parts.push(1.0 / e);
                 }
-                hardness[u] = (acc / denom).clamp(0.0, 1.0);
+                hardness[u] =
+                    (stable_sum(&mut acc_parts) / stable_sum(&mut denom_parts)).clamp(0.0, 1.0);
             }
             normalize_unit(&mut hardness);
         }

@@ -29,6 +29,30 @@ pub trait StreamingTruthDiscovery {
     fn observe_interval(&mut self, reports: &[Report]) -> BTreeMap<ClaimId, TruthLabel>;
 }
 
+impl<S: StreamingTruthDiscovery + ?Sized> StreamingTruthDiscovery for Box<S> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn observe_interval(&mut self, reports: &[Report]) -> BTreeMap<ClaimId, TruthLabel> {
+        (**self).observe_interval(reports)
+    }
+}
+
+/// How a fixed-point iteration ended — exposed by the iterative schemes
+/// ([`crate::TruthFinder`], [`crate::Invest`]) so property suites can
+/// assert convergence rather than trusting the iteration cap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Convergence {
+    /// Update rounds actually executed.
+    pub iterations: usize,
+    /// L∞ change of the trust vector in the last executed round.
+    pub final_delta: f64,
+    /// Whether the loop stopped because the update fell below its
+    /// tolerance (rather than hitting the iteration cap).
+    pub converged: bool,
+}
+
 /// Runs a batch scheme per interval over a sliding window of recent
 /// reports — how the paper applies static baselines (TruthFinder, CATD,
 /// RTD, Invest, 3-Estimates) to dynamic traces.

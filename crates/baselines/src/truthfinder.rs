@@ -16,6 +16,8 @@
 // auditability.
 #![allow(clippy::needless_range_loop)]
 
+use crate::input::stable_sum;
+use crate::traits::Convergence;
 use crate::{SnapshotInput, TruthDiscovery, VoteMatrix};
 use sstd_types::{ClaimId, TruthLabel};
 use std::collections::BTreeMap;
@@ -75,30 +77,46 @@ impl TruthFinder {
         self.gamma = gamma;
         self
     }
-}
 
-impl TruthDiscovery for TruthFinder {
-    fn name(&self) -> &'static str {
-        "TruthFinder"
+    /// Overrides the iteration cap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is zero.
+    #[must_use]
+    pub fn with_max_iterations(mut self, cap: usize) -> Self {
+        assert!(cap > 0, "iteration cap must be positive");
+        self.max_iterations = cap;
+        self
     }
 
-    fn discover(&self, input: &SnapshotInput<'_>) -> BTreeMap<ClaimId, TruthLabel> {
+    /// Like [`TruthDiscovery::discover`] but also reports how the
+    /// trust/confidence fixed point ended.
+    #[must_use]
+    pub fn discover_with_convergence(
+        &self,
+        input: &SnapshotInput<'_>,
+    ) -> (BTreeMap<ClaimId, TruthLabel>, Convergence) {
         let votes = VoteMatrix::build(input);
         let n_claims = input.num_claims;
         let mut trust = vec![self.initial_trust; input.num_sources];
 
         // Fact confidences: [claim][0 = true-fact, 1 = false-fact].
         let mut confidence = vec![[0.5f64; 2]; n_claims];
+        let mut convergence =
+            Convergence { iterations: 0, final_delta: f64::INFINITY, converged: false };
 
-        for _ in 0..self.max_iterations {
-            // Fact support from current trust.
+        for round in 0..self.max_iterations {
+            // Fact support from current trust, folded in canonical order
+            // so a source relabeling cannot perturb the sums.
             let tau: Vec<f64> = trust.iter().map(|&t| -(1.0 - t.min(1.0 - 1e-9)).ln()).collect();
             let mut sigma = vec![[0.0f64; 2]; n_claims];
             for u in 0..n_claims {
+                let mut parts = [Vec::new(), Vec::new()];
                 for &(src, w) in votes.claim_votes(ClaimId::new(u as u32)) {
-                    let fact = usize::from(w < 0.0);
-                    sigma[u][fact] += tau[src.index()] * w.abs().min(1.0);
+                    parts[usize::from(w < 0.0)].push(tau[src.index()] * w.abs().min(1.0));
                 }
+                sigma[u] = [stable_sum(&mut parts[0]), stable_sum(&mut parts[1])];
             }
             // Mutual exclusion + sigmoid.
             for u in 0..n_claims {
@@ -122,7 +140,10 @@ impl TruthDiscovery for TruthFinder {
                 max_delta = max_delta.max((mean - trust[s]).abs());
                 trust[s] = mean;
             }
+            convergence.iterations = round + 1;
+            convergence.final_delta = max_delta;
             if max_delta < self.tolerance {
+                convergence.converged = true;
                 break;
             }
         }
@@ -136,7 +157,17 @@ impl TruthDiscovery for TruthFinder {
                 }
             })
             .collect();
-        votes.scores_to_labels(&scores)
+        (votes.scores_to_labels(&scores), convergence)
+    }
+}
+
+impl TruthDiscovery for TruthFinder {
+    fn name(&self) -> &'static str {
+        "TruthFinder"
+    }
+
+    fn discover(&self, input: &SnapshotInput<'_>) -> BTreeMap<ClaimId, TruthLabel> {
+        self.discover_with_convergence(input).0
     }
 }
 

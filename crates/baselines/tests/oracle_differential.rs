@@ -1,0 +1,374 @@
+//! Differential and metamorphic property suite for the baseline
+//! schemes (≥ 1000 seeded cases per run; CI's `property-suite` job runs
+//! it again with `TESTKIT_CASES=5000`).
+//!
+//! Three families of properties:
+//!
+//! 1. **Count oracle** — majority/weighted voting against brute-force
+//!    integer counting on unit-weight reports, where the expected
+//!    answer is computable without floating point at all.
+//! 2. **Fixed points** — TruthFinder and Invest expose their
+//!    convergence trajectory (`discover_with_convergence`); the suite
+//!    pins determinism, the meaning of the `converged` flag, and
+//!    invariance under source relabeling (the "seed permutation of
+//!    source order" that used to perturb float accumulation order).
+//! 3. **Multiset purity** — every scheme, batch and streaming, must
+//!    give bit-identical estimates when the reports of each interval
+//!    arrive in a different order. `stable_sum` (crate docs) is what
+//!    makes this hold; the float-boundary test at the bottom is the
+//!    pinned regression for the order-dependence it fixed.
+
+use sstd_baselines::{
+    Catd, DynaTd, Invest, MajorityVote, RecursiveEm, Rtd, SlidingWindow, SnapshotInput,
+    StreamingTruthDiscovery, ThreeEstimates, TruthDiscovery, TruthFinder, WeightedVote,
+};
+use sstd_testkit::domain::scenario::{any_scenario, Scenario};
+use sstd_testkit::{check, mix64, Gen, TestRng};
+use sstd_types::{
+    Attitude, ClaimId, Independence, Report, SourceId, Timestamp, TruthLabel, Uncertainty,
+};
+use std::collections::BTreeMap;
+
+// ---------------------------------------------------------------------
+// Generators
+// ---------------------------------------------------------------------
+
+/// A bag of unit-weight (`Report::plain`) reports: every contribution
+/// score is exactly ±1, so expected outcomes reduce to integer counts.
+#[derive(Debug, Clone, PartialEq)]
+struct PlainVotes {
+    reports: Vec<Report>,
+    num_sources: usize,
+    num_claims: usize,
+}
+
+fn plain_votes() -> Gen<PlainVotes> {
+    Gen::new(|rng: &mut TestRng| {
+        let num_sources = rng.usize_in(1, 8);
+        let num_claims = rng.usize_in(1, 5);
+        let n = rng.usize_in(0, 40);
+        let reports = (0..n)
+            .map(|_| {
+                let att = *rng.pick(&[Attitude::Agree, Attitude::Disagree, Attitude::Silent]);
+                Report::plain(
+                    SourceId::new(rng.usize_in(0, num_sources - 1) as u32),
+                    ClaimId::new(rng.usize_in(0, num_claims - 1) as u32),
+                    Timestamp::ZERO,
+                    att,
+                )
+            })
+            .collect();
+        PlainVotes { reports, num_sources, num_claims }
+    })
+    .with_shrink(|case| {
+        let mut out = Vec::new();
+        if !case.reports.is_empty() {
+            out.push(PlainVotes {
+                reports: case.reports[..case.reports.len() / 2].to_vec(),
+                ..case.clone()
+            });
+            for i in 0..case.reports.len() {
+                let mut fewer = case.reports.clone();
+                fewer.remove(i);
+                out.push(PlainVotes { reports: fewer, ..case.clone() });
+            }
+        }
+        out
+    })
+}
+
+/// Deterministic per-case RNG for metamorphic transforms (shuffles,
+/// permutations), derived from the scenario's own seed so a shrunk
+/// scenario replays with a matching transform.
+fn case_rng(sc: &Scenario, salt: u64) -> TestRng {
+    TestRng::new(mix64(sc.spec.seed ^ salt))
+}
+
+fn shuffle<T>(rng: &mut TestRng, xs: &mut [T]) {
+    for i in (1..xs.len()).rev() {
+        xs.swap(i, rng.usize_in(0, i));
+    }
+}
+
+/// A random permutation of `0..n`.
+fn permutation(rng: &mut TestRng, n: usize) -> Vec<usize> {
+    let mut p: Vec<usize> = (0..n).collect();
+    shuffle(rng, &mut p);
+    p
+}
+
+fn relabel_sources(reports: &[Report], perm: &[usize]) -> Vec<Report> {
+    reports
+        .iter()
+        .map(|r| {
+            Report::new(
+                SourceId::new(perm[r.source().index()] as u32),
+                r.claim(),
+                r.time(),
+                r.attitude(),
+                r.uncertainty(),
+                r.independence(),
+            )
+        })
+        .collect()
+}
+
+/// Splits a scenario's reports into per-interval batches (time order
+/// inside each batch preserved).
+fn interval_batches(sc: &Scenario) -> Vec<Vec<Report>> {
+    let trace = sc.trace();
+    (0..sc.spec.num_intervals).map(|iv| trace.reports_in_interval(iv).to_vec()).collect()
+}
+
+fn diff_labels(
+    a: &BTreeMap<ClaimId, TruthLabel>,
+    b: &BTreeMap<ClaimId, TruthLabel>,
+) -> Result<(), String> {
+    if a == b {
+        Ok(())
+    } else {
+        Err(format!("estimates diverged: {a:?} vs {b:?}"))
+    }
+}
+
+// ---------------------------------------------------------------------
+// 1. Count oracle
+// ---------------------------------------------------------------------
+
+#[test]
+fn majority_vote_matches_the_integer_count_oracle() {
+    check("majority_vs_count_oracle", 1000, &plain_votes(), |case| {
+        let got = MajorityVote::new().discover(&SnapshotInput::new(
+            &case.reports,
+            case.num_sources,
+            case.num_claims,
+        ));
+        for u in 0..case.num_claims {
+            let claim = ClaimId::new(u as u32);
+            // Brute force, integers only: each source's net vote on the
+            // claim is agree-count minus disagree-count; the claim is
+            // True iff strictly more sources are net-positive than
+            // net-negative.
+            let mut net = vec![0i64; case.num_sources];
+            for r in case.reports.iter().filter(|r| r.claim() == claim) {
+                net[r.source().index()] += match r.attitude() {
+                    Attitude::Agree => 1,
+                    Attitude::Disagree => -1,
+                    Attitude::Silent => 0,
+                };
+            }
+            let pos = net.iter().filter(|&&v| v > 0).count() as i64;
+            let neg = net.iter().filter(|&&v| v < 0).count() as i64;
+            let expected = TruthLabel::from_bool(pos - neg > 0);
+            if got[&claim] != expected {
+                return Err(format!(
+                    "claim {u}: majority said {:?}, oracle {expected:?} (pos {pos} neg {neg})",
+                    got[&claim]
+                ));
+            }
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn weighted_vote_matches_the_net_count_oracle_on_unit_weights() {
+    check("weighted_vs_count_oracle", 500, &plain_votes(), |case| {
+        let got = WeightedVote::new().discover(&SnapshotInput::new(
+            &case.reports,
+            case.num_sources,
+            case.num_claims,
+        ));
+        for u in 0..case.num_claims {
+            let claim = ClaimId::new(u as u32);
+            // With every |cs| exactly 1, the weighted total is the plain
+            // net agree-minus-disagree count.
+            let total: i64 = case
+                .reports
+                .iter()
+                .filter(|r| r.claim() == claim)
+                .map(|r| match r.attitude() {
+                    Attitude::Agree => 1,
+                    Attitude::Disagree => -1,
+                    Attitude::Silent => 0,
+                })
+                .sum();
+            let expected = TruthLabel::from_bool(total > 0);
+            if got[&claim] != expected {
+                return Err(format!(
+                    "claim {u}: weighted said {:?}, oracle {expected:?} (net {total})",
+                    got[&claim]
+                ));
+            }
+        }
+        Ok(())
+    });
+}
+
+// ---------------------------------------------------------------------
+// 2. Fixed points: TruthFinder and Invest
+// ---------------------------------------------------------------------
+
+#[test]
+fn truthfinder_reaches_a_deterministic_fixed_point() {
+    check("truthfinder_fixed_point", 300, &any_scenario(), |sc| {
+        let input = SnapshotInput::new(&sc.reports, sc.spec.num_sources, sc.spec.num_claims);
+        let tf = TruthFinder::new().with_max_iterations(500);
+        let (labels, conv) = tf.discover_with_convergence(&input);
+        if !conv.converged {
+            return Err(format!(
+                "no fixed point within 500 iterations (final delta {})",
+                conv.final_delta
+            ));
+        }
+        if conv.final_delta >= 1e-4 {
+            return Err(format!("converged flag with delta {} >= tolerance", conv.final_delta));
+        }
+        // Determinism: the same input replays to the same trajectory.
+        let (labels2, conv2) = tf.discover_with_convergence(&input);
+        if labels != labels2 || conv.iterations != conv2.iterations {
+            return Err("re-running the fixpoint diverged".to_string());
+        }
+        // The default-capped solver stops at the same answer whenever it
+        // also converges.
+        let (capped, capped_conv) = TruthFinder::new().discover_with_convergence(&input);
+        if capped_conv.converged {
+            diff_labels(&labels, &capped)?;
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn truthfinder_is_invariant_under_source_relabeling() {
+    check("truthfinder_source_relabel", 300, &any_scenario(), |sc| {
+        let n = sc.spec.num_sources;
+        let perm = permutation(&mut case_rng(sc, 0x7F), n);
+        let relabeled = relabel_sources(&sc.reports, &perm);
+        let a =
+            TruthFinder::new().discover(&SnapshotInput::new(&sc.reports, n, sc.spec.num_claims));
+        let b = TruthFinder::new().discover(&SnapshotInput::new(&relabeled, n, sc.spec.num_claims));
+        diff_labels(&a, &b)
+    });
+}
+
+#[test]
+fn invest_fixpoint_is_deterministic_and_relabel_invariant() {
+    check("invest_fixed_point", 300, &any_scenario(), |sc| {
+        let n = sc.spec.num_sources;
+        let input = SnapshotInput::new(&sc.reports, n, sc.spec.num_claims);
+        let (labels, conv) = Invest::new().discover_with_convergence(&input);
+        if !conv.final_delta.is_finite() {
+            return Err(format!("final delta {} is not finite", conv.final_delta));
+        }
+        // Invest's exponential trust amplification gives no monotone
+        // per-round delta, but a longer budget must still land on a
+        // finite fixed point and replay bit-for-bit.
+        let (longer_labels, longer) =
+            Invest::new().with_rounds(40).discover_with_convergence(&input);
+        if !longer.final_delta.is_finite() {
+            return Err(format!("40-round delta {} is not finite", longer.final_delta));
+        }
+        let (longer_labels2, _) = Invest::new().with_rounds(40).discover_with_convergence(&input);
+        diff_labels(&longer_labels, &longer_labels2)?;
+        let (labels2, _) = Invest::new().discover_with_convergence(&input);
+        diff_labels(&labels, &labels2)?;
+        let perm = permutation(&mut case_rng(sc, 0x1193), n);
+        let relabeled = relabel_sources(&sc.reports, &perm);
+        let (labels3, _) = Invest::new().discover_with_convergence(&SnapshotInput::new(
+            &relabeled,
+            n,
+            sc.spec.num_claims,
+        ));
+        diff_labels(&labels, &labels3)
+    });
+}
+
+// ---------------------------------------------------------------------
+// 3. Multiset purity: report-order permutation invariance
+// ---------------------------------------------------------------------
+
+/// Every baseline in its interval-by-interval form, the same adapters
+/// the evaluation harness drives.
+fn all_streaming(num_sources: usize, num_claims: usize) -> Vec<Box<dyn StreamingTruthDiscovery>> {
+    const WINDOW: usize = 3;
+    vec![
+        Box::new(SlidingWindow::new(MajorityVote::new(), WINDOW, num_sources, num_claims)),
+        Box::new(SlidingWindow::new(WeightedVote::new(), WINDOW, num_sources, num_claims)),
+        Box::new(SlidingWindow::new(TruthFinder::new(), WINDOW, num_sources, num_claims)),
+        Box::new(SlidingWindow::new(Rtd::new(), WINDOW, num_sources, num_claims)),
+        Box::new(SlidingWindow::new(Catd::new(), WINDOW, num_sources, num_claims)),
+        Box::new(SlidingWindow::new(Invest::new(), WINDOW, num_sources, num_claims)),
+        Box::new(SlidingWindow::new(ThreeEstimates::new(), WINDOW, num_sources, num_claims)),
+        Box::new(DynaTd::new()),
+        Box::new(RecursiveEm::new()),
+    ]
+}
+
+fn drive(
+    scheme: &mut dyn StreamingTruthDiscovery,
+    batches: &[Vec<Report>],
+) -> Vec<BTreeMap<ClaimId, TruthLabel>> {
+    batches.iter().map(|b| scheme.observe_interval(b)).collect()
+}
+
+#[test]
+fn every_scheme_is_report_order_invariant_per_interval() {
+    check("report_order_invariance", 150, &any_scenario(), |sc| {
+        let batches = interval_batches(sc);
+        let mut shuffled = batches.clone();
+        let mut rng = case_rng(sc, 0x0DDE5);
+        for b in &mut shuffled {
+            shuffle(&mut rng, b);
+        }
+        let mut fresh = all_streaming(sc.spec.num_sources, sc.spec.num_claims);
+        let mut reshuffled = all_streaming(sc.spec.num_sources, sc.spec.num_claims);
+        for (a, b) in fresh.iter_mut().zip(reshuffled.iter_mut()) {
+            let name = a.name();
+            let ea = drive(a.as_mut(), &batches);
+            let eb = drive(b.as_mut(), &shuffled);
+            if ea != eb {
+                return Err(format!("{name}: estimates depend on report arrival order"));
+            }
+        }
+        Ok(())
+    });
+}
+
+/// Pinned regression for the order-dependence `stable_sum` fixed.
+///
+/// One source files three reports on one claim with contribution scores
+/// `+0.5`, `+1e-17`, and `-0.5`. Summed in arrival order, `0.5 + 1e-17`
+/// absorbs the tiny term (rounds back to `0.5`) and the total is `0.0`
+/// → `False`; in the order `+0.5, -0.5, +1e-17` nothing absorbs and the
+/// total is `1e-17` → `True`. The canonical-order fold must make both
+/// arrival orders agree, bit for bit.
+#[test]
+fn report_order_at_the_float_absorption_boundary_is_pinned() {
+    let report = |att: Attitude, eta: f64| {
+        Report::new(
+            SourceId::new(0),
+            ClaimId::new(0),
+            Timestamp::ZERO,
+            att,
+            Uncertainty::saturating(0.0),
+            Independence::saturating(eta),
+        )
+    };
+    let big_up = report(Attitude::Agree, 0.5);
+    let tiny_up = report(Attitude::Agree, 1e-17);
+    let big_down = report(Attitude::Disagree, 0.5);
+
+    let absorbing = vec![big_up, tiny_up, big_down];
+    let surviving = vec![big_up, big_down, tiny_up];
+    let a = WeightedVote::new().discover(&SnapshotInput::new(&absorbing, 1, 1));
+    let b = WeightedVote::new().discover(&SnapshotInput::new(&surviving, 1, 1));
+    assert_eq!(
+        a[&ClaimId::new(0)],
+        b[&ClaimId::new(0)],
+        "arrival order changed the verdict at the absorption boundary"
+    );
+    // And the canonical order pins the verdict itself: ascending fold
+    // sums -0.5 + 1e-17 (absorbed) + 0.5 = 0.0 → False.
+    assert_eq!(a[&ClaimId::new(0)], TruthLabel::False);
+}

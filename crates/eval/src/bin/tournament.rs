@@ -1,0 +1,100 @@
+//! Truth-discovery tournament binary: runs `exp::tournament` over the
+//! adversarial scenario grid, prints the leaderboard, optionally writes
+//! `leaderboard.json` (`--json PATH`), and exits non-zero when a
+//! regression gate trips.
+//!
+//! Flags: `--quick` (CI grid: 2 levels), `--seed N` (default 2017),
+//! `--json PATH`. Without `--quick` the full 5-level grid runs.
+//!
+//! The library crates forbid `unsafe`; this binary is its own
+//! compilation unit, so it can install the counting global allocator
+//! that backs the tournament's peak-working-set column. Live bytes and
+//! the high-water mark are `AtomicU64`s updated on every alloc/dealloc;
+//! `exp::tournament` reads them through its [`MemProbe`] hooks.
+
+use sstd_eval::exp::tournament::{self, MemProbe, TournamentConfig};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static LIVE: AtomicU64 = AtomicU64::new(0);
+static PEAK: AtomicU64 = AtomicU64::new(0);
+static BASE: AtomicU64 = AtomicU64::new(0);
+
+struct TrackingAlloc;
+
+fn on_alloc(bytes: u64) {
+    let live = LIVE.fetch_add(bytes, Ordering::Relaxed) + bytes;
+    PEAK.fetch_max(live, Ordering::Relaxed);
+}
+
+fn on_dealloc(bytes: u64) {
+    LIVE.fetch_sub(bytes, Ordering::Relaxed);
+}
+
+// SAFETY: delegates every operation to `System`; the bookkeeping is
+// plain atomic arithmetic with no allocation or unwinding.
+unsafe impl GlobalAlloc for TrackingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let ptr = System.alloc(layout);
+        if !ptr.is_null() {
+            on_alloc(layout.size() as u64);
+        }
+        ptr
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        on_dealloc(layout.size() as u64);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let new_ptr = System.realloc(ptr, layout, new_size);
+        if !new_ptr.is_null() {
+            on_dealloc(layout.size() as u64);
+            on_alloc(new_size as u64);
+        }
+        new_ptr
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: TrackingAlloc = TrackingAlloc;
+
+/// Starts a measurement window: the high-water mark restarts from the
+/// bytes currently live, which also become the window's baseline.
+fn reset_peak() {
+    let live = LIVE.load(Ordering::Relaxed);
+    BASE.store(live, Ordering::Relaxed);
+    PEAK.store(live, Ordering::Relaxed);
+}
+
+/// Peak heap growth above the window baseline — the cell's incremental
+/// peak working set.
+fn peak_bytes() -> u64 {
+    PEAK.load(Ordering::Relaxed).saturating_sub(BASE.load(Ordering::Relaxed))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let seed = args.iter().position(|a| a == "--seed").map_or(2017, |i| {
+        args.get(i + 1).and_then(|s| s.parse().ok()).expect("--seed requires an integer")
+    });
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .map(|i| args.get(i + 1).expect("--json requires a path").clone());
+
+    let config = if quick { TournamentConfig::quick(seed) } else { TournamentConfig::full(seed) };
+    let probe = MemProbe { reset: reset_peak, peak_bytes };
+    let board = tournament::run_with_probe(&config, Some(&probe));
+
+    print!("{}", board.format());
+    if let Some(path) = json_path {
+        std::fs::write(&path, board.to_json()).expect("failed to write leaderboard");
+        println!("wrote {path}");
+    }
+    if !board.passed() {
+        std::process::exit(1);
+    }
+}

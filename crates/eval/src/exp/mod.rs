@@ -8,5 +8,6 @@ pub mod fig7;
 pub mod recovery;
 pub mod robustness;
 pub mod table2;
+pub mod tournament;
 pub mod trace_gate;
 pub mod tuning;

@@ -25,4 +25,4 @@ pub mod schemes;
 pub mod timing;
 
 pub use metrics::ConfusionMatrix;
-pub use schemes::{run_scheme, SchemeKind};
+pub use schemes::{run_scheme, streaming_scheme, SchemeKind};

@@ -119,6 +119,46 @@ fn run_batch<S: TruthDiscovery>(scheme: S, trace: &Trace) -> TruthEstimates {
     run_streaming(window, trace)
 }
 
+/// Builds the interval-by-interval form of a baseline scheme as one
+/// uniform trait object — native streamers directly, batch solvers
+/// wrapped in the same [`BATCH_WINDOW`]-interval [`SlidingWindow`] that
+/// [`run_scheme`] uses. This is the adapter the tournament runner drives
+/// so that every baseline is timed under an identical per-interval
+/// protocol.
+///
+/// SSTD itself is not a baseline: the tournament drives
+/// [`sstd_core::StreamingSstd`] directly, so it is not accepted here.
+///
+/// # Panics
+///
+/// Panics on [`SchemeKind::Sstd`].
+#[must_use]
+pub fn streaming_scheme(
+    kind: SchemeKind,
+    num_sources: usize,
+    num_claims: usize,
+) -> Box<dyn StreamingTruthDiscovery> {
+    fn windowed<S: TruthDiscovery + 'static>(
+        scheme: S,
+        num_sources: usize,
+        num_claims: usize,
+    ) -> Box<dyn StreamingTruthDiscovery> {
+        Box::new(SlidingWindow::new(scheme, BATCH_WINDOW, num_sources, num_claims))
+    }
+    match kind {
+        SchemeKind::Sstd => panic!("SSTD streams via sstd_core::StreamingSstd, not this adapter"),
+        SchemeKind::DynaTd => Box::new(DynaTd::new()),
+        SchemeKind::RecursiveEm => Box::new(RecursiveEm::new()),
+        SchemeKind::TruthFinder => windowed(TruthFinder::new(), num_sources, num_claims),
+        SchemeKind::Rtd => windowed(Rtd::new(), num_sources, num_claims),
+        SchemeKind::Catd => windowed(Catd::new(), num_sources, num_claims),
+        SchemeKind::Invest => windowed(Invest::new(), num_sources, num_claims),
+        SchemeKind::ThreeEstimates => windowed(ThreeEstimates::new(), num_sources, num_claims),
+        SchemeKind::MajorityVote => windowed(MajorityVote::new(), num_sources, num_claims),
+        SchemeKind::WeightedVote => windowed(WeightedVote::new(), num_sources, num_claims),
+    }
+}
+
 fn run_streaming<S: StreamingTruthDiscovery>(mut scheme: S, trace: &Trace) -> TruthEstimates {
     let n = trace.timeline().num_intervals();
     let mut per_claim: Vec<Vec<TruthLabel>> = vec![Vec::with_capacity(n); trace.num_claims()];
@@ -194,6 +234,24 @@ mod tests {
             sstd.accuracy(),
             mv.accuracy()
         );
+    }
+
+    #[test]
+    fn boxed_streaming_adapter_matches_run_scheme() {
+        let trace = small_trace();
+        for kind in SchemeKind::paper_table() {
+            if kind == SchemeKind::Sstd {
+                continue;
+            }
+            let boxed = streaming_scheme(kind, trace.num_sources(), trace.num_claims());
+            assert_eq!(run_streaming(boxed, &trace), run_scheme(kind, &trace), "{}", kind.name());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "StreamingSstd")]
+    fn sstd_has_no_baseline_adapter() {
+        let _ = streaming_scheme(SchemeKind::Sstd, 4, 4);
     }
 
     #[test]

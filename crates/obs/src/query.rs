@@ -278,6 +278,32 @@ impl<'a> Query<'a> {
         (n > 0).then(|| acc / n as f64)
     }
 
+    /// Maximum of extracted values (NaN-tolerant via [`f64::max`]);
+    /// `None` when nothing was extracted.
+    #[must_use]
+    pub fn max(&self, extract: impl Fn(&Event) -> Option<f64>) -> Option<f64> {
+        let mut best: Option<f64> = None;
+        self.for_each(|e| {
+            if let Some(v) = extract(e) {
+                best = Some(best.map_or(v, |b| b.max(v)));
+            }
+        });
+        best
+    }
+
+    /// Minimum of extracted values (NaN-tolerant via [`f64::min`]);
+    /// `None` when nothing was extracted.
+    #[must_use]
+    pub fn min(&self, extract: impl Fn(&Event) -> Option<f64>) -> Option<f64> {
+        let mut best: Option<f64> = None;
+        self.for_each(|e| {
+            if let Some(v) = extract(e) {
+                best = Some(best.map_or(v, |b| b.min(v)));
+            }
+        });
+        best
+    }
+
     /// The exact type-7 `p`-quantile of extracted values
     /// ([`sstd_stats::exact_quantile`]); `None` when nothing was
     /// extracted.
@@ -653,6 +679,16 @@ mod tests {
             .unwrap();
         assert_eq!(p50, 1.0);
         assert_eq!(store.query().percentile(0.5, |_| None), None);
+    }
+
+    #[test]
+    fn max_and_min_terminals() {
+        let store = retry_store();
+        let at = |e: &Event| e.timeline_event().map(|t| t.at);
+        assert_eq!(store.query().label("dispatched").max(at), Some(3.0));
+        assert_eq!(store.query().label("dispatched").min(at), Some(1.0));
+        assert_eq!(store.query().max(|_| None), None);
+        assert_eq!(store.query().min(|_| None), None);
     }
 
     #[test]

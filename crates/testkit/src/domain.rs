@@ -8,6 +8,8 @@
 //! in-range intervals, claims below `num_claims`, …), so a property
 //! failure is always a real finding, never a malformed input.
 
+pub mod scenario;
+
 use crate::gen::{gens, Gen};
 use crate::rng::TestRng;
 use sstd_control::DtmConfig;

@@ -1,0 +1,524 @@
+//! Adversarial truth-discovery scenarios with planted ground truth —
+//! the workload family behind the `sstd-eval` tournament (ROADMAP
+//! item 4).
+//!
+//! "Truth Discovery Algorithms: An Experimental Evaluation" shows that
+//! algorithm rankings invert across source-coverage skew and conflict
+//! ratio, and Yang et al. (social-network Bayesian truth discovery)
+//! identify correlated communities — sources copying one another — as
+//! the regime where independence-assuming models crack. Each
+//! [`Family`] here is one of those axes, parameterized by a single
+//! adversity `level` in `[0, 1]`:
+//!
+//! | Family | `level` controls |
+//! |---|---|
+//! | [`Family::CoverageSkew`] | Zipf exponent of the source-coverage distribution, plus how noisy the dominant source is |
+//! | [`Family::ConflictRatio`] | probability that a report contradicts the planted truth |
+//! | [`Family::LongTail`] | share of evidence coming from rarely-seen, unreliable tail sources |
+//! | [`Family::Collusion`] | size of a copy community that replicates a misinformation template |
+//! | [`Family::TruthDrift`] | per-interval probability that a claim's planted truth flips |
+//!
+//! A [`ScenarioSpec`] builds deterministically (same spec → same
+//! [`Scenario`], bit for bit), so the same code serves both the
+//! property harness ([`scenario`]/[`any_scenario`] with spec-level
+//! shrinking) and the tournament grid, which pins one spec per cell.
+
+use crate::gen::Gen;
+use crate::rng::TestRng;
+use sstd_types::{
+    ClaimId, GroundTruth, Independence, Report, SourceId, Timeline, Timestamp, Trace, TruthLabel,
+    Uncertainty,
+};
+
+use super::TraceCase;
+
+/// One adversarial axis of the tournament grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Family {
+    /// Zipf-skewed source coverage with an increasingly noisy head
+    /// source — per-source weighting schemes overfit the firehose.
+    CoverageSkew,
+    /// Reports contradict the planted truth with growing probability.
+    ConflictRatio,
+    /// Most evidence comes from sources seen once or twice, whose
+    /// reliability cannot be point-estimated.
+    LongTail,
+    /// A misinformation template plus a community of copiers that
+    /// replicate its reports (Yang et al.'s correlated communities).
+    Collusion,
+    /// The planted truth flips between intervals at a growing rate.
+    TruthDrift,
+}
+
+impl Family {
+    /// All five families, in grid order.
+    pub const ALL: [Family; 5] = [
+        Family::CoverageSkew,
+        Family::ConflictRatio,
+        Family::LongTail,
+        Family::Collusion,
+        Family::TruthDrift,
+    ];
+
+    /// Stable snake_case name (used as trace name and in
+    /// `leaderboard.json`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Family::CoverageSkew => "coverage_skew",
+            Family::ConflictRatio => "conflict_ratio",
+            Family::LongTail => "long_tail",
+            Family::Collusion => "collusion",
+            Family::TruthDrift => "truth_drift",
+        }
+    }
+
+    /// Position within [`Family::ALL`].
+    #[must_use]
+    pub fn index(self) -> usize {
+        Family::ALL.iter().position(|f| *f == self).expect("family is in ALL")
+    }
+}
+
+/// Dishonesty rate of ordinary sources on every family at level 0 —
+/// the "paper-like" noise floor.
+const BASE_DISHONESTY: f64 = 0.1;
+
+/// A deterministic recipe for one scenario: family, adversity level,
+/// seed, and population sizes. `build()` is a pure function of this
+/// struct.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScenarioSpec {
+    /// The adversarial axis.
+    pub family: Family,
+    /// Adversity level in `[0, 1]`; 0 is the benign end of the axis.
+    pub level: f64,
+    /// Seed for the deterministic build.
+    pub seed: u64,
+    /// Claim population (≥ 1).
+    pub num_claims: usize,
+    /// Source population (≥ 2).
+    pub num_sources: usize,
+    /// Timeline intervals (≥ 2).
+    pub num_intervals: usize,
+    /// Ordinary (non-collusion) reports generated per claim and
+    /// interval (≥ 1).
+    pub reports_per_cell: usize,
+}
+
+impl ScenarioSpec {
+    /// Probability that an ordinary source contradicts the planted
+    /// truth (before per-source overrides).
+    #[must_use]
+    pub fn dishonesty(&self) -> f64 {
+        match self.family {
+            Family::ConflictRatio => BASE_DISHONESTY + 0.4 * self.level,
+            _ => BASE_DISHONESTY,
+        }
+    }
+
+    /// Per-interval probability that a claim's planted truth flips.
+    /// Directly proportional to `level` for [`Family::TruthDrift`], so
+    /// shrinking the level shrinks the drift toward zero.
+    #[must_use]
+    pub fn drift(&self) -> f64 {
+        match self.family {
+            Family::TruthDrift => 0.45 * self.level,
+            _ => 0.05,
+        }
+    }
+
+    /// Zipf exponent of the coverage distribution (0 = uniform).
+    #[must_use]
+    pub fn skew_exponent(&self) -> f64 {
+        match self.family {
+            Family::CoverageSkew => 3.0 * self.level,
+            _ => 0.0,
+        }
+    }
+
+    /// Number of copier sources in the collusion community (0 outside
+    /// [`Family::Collusion`] or at level 0). The community additionally
+    /// contains one template source, so the minimal non-empty community
+    /// is 2 sources — exactly where shrinking lands.
+    #[must_use]
+    pub fn colluders(&self) -> usize {
+        if self.family != Family::Collusion || self.level <= 0.0 {
+            return 0;
+        }
+        let extra = ((self.num_sources.saturating_sub(2)) as f64 * 0.5 * self.level).round();
+        (1 + extra as usize).min(self.num_sources - 1)
+    }
+
+    /// Builds the scenario. Deterministic: equal specs build equal
+    /// scenarios.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec is degenerate (`num_sources < 2`,
+    /// `num_claims < 1`, `num_intervals < 2`, `reports_per_cell < 1`)
+    /// or `level` is outside `[0, 1]`.
+    #[must_use]
+    pub fn build(&self) -> Scenario {
+        assert!(self.num_sources >= 2, "scenario needs at least 2 sources");
+        assert!(self.num_claims >= 1, "scenario needs at least 1 claim");
+        assert!(self.num_intervals >= 2, "scenario needs at least 2 intervals");
+        assert!(self.reports_per_cell >= 1, "scenario needs reports");
+        assert!((0.0..=1.0).contains(&self.level), "level outside [0, 1]");
+
+        let mut rng = TestRng::new(self.seed);
+        let n = self.num_sources;
+
+        // Planted truth: sticky per-claim chains flipping at the drift
+        // rate.
+        let drift = self.drift();
+        let truth: Vec<Vec<TruthLabel>> = (0..self.num_claims)
+            .map(|_| {
+                let mut label = TruthLabel::from_bool(rng.chance(0.5));
+                (0..self.num_intervals)
+                    .map(|iv| {
+                        if iv > 0 && rng.chance(drift) {
+                            label = label.flipped();
+                        }
+                        label
+                    })
+                    .collect()
+            })
+            .collect();
+
+        // Collusion community: source 0 is the misinformation template,
+        // sources 1..=colluders copy it. Everyone else is ordinary.
+        let colluders = self.colluders();
+        let community = 1 + colluders;
+        let collusion: Vec<(SourceId, SourceId)> = if colluders == 0 {
+            Vec::new()
+        } else {
+            (1..community).map(|c| (SourceId::new(0), SourceId::new(c as u32))).collect()
+        };
+        let honest_pool: Vec<usize> =
+            if colluders == 0 { (0..n).collect() } else { (community..n).collect() };
+
+        // Per-source dishonesty, with family-specific overrides.
+        let mut dishonesty = vec![self.dishonesty(); n];
+        match self.family {
+            Family::CoverageSkew => {
+                // The dominant source becomes a noisy firehose.
+                dishonesty[0] = BASE_DISHONESTY + 0.5 * self.level;
+            }
+            Family::LongTail => {
+                for d in dishonesty.iter_mut().skip(LONG_TAIL_HEAD.min(n)) {
+                    *d = BASE_DISHONESTY + 0.4 * self.level;
+                }
+            }
+            _ => {}
+        }
+
+        // Coverage weights over the honest pool.
+        let skew = self.skew_exponent();
+        let weights: Vec<f64> = honest_pool.iter().map(|&s| ((s + 1) as f64).powf(-skew)).collect();
+        let tail_share = if self.family == Family::LongTail { 0.2 + 0.7 * self.level } else { 0.0 };
+
+        let mut reports = Vec::new();
+        for (c, labels) in truth.iter().enumerate() {
+            let claim = ClaimId::new(c as u32);
+            for (iv, label) in labels.iter().enumerate() {
+                let base = iv as u64 * TraceCase::SECS_PER_INTERVAL;
+                // Ordinary reports from the honest pool.
+                for _ in 0..self.reports_per_cell {
+                    let Some(src) = self.pick_source(&mut rng, &honest_pool, &weights, tail_share)
+                    else {
+                        break; // the community swallowed every source
+                    };
+                    let honest = !rng.chance(dishonesty[src]);
+                    let attitude = if honest {
+                        label.honest_attitude()
+                    } else {
+                        label.honest_attitude().flipped()
+                    };
+                    reports.push(Report::new(
+                        SourceId::new(src as u32),
+                        claim,
+                        Timestamp::from_secs(base + rng.usize_in(0, 9) as u64),
+                        attitude,
+                        Uncertainty::saturating(rng.f64_in(0.0, 0.25)),
+                        Independence::saturating(rng.f64_in(0.85, 1.0)),
+                    ));
+                }
+                // Collusion: the template pushes the flipped truth and
+                // the community replicates it a second later.
+                if colluders > 0 && rng.chance(0.95) {
+                    let attitude = label.honest_attitude().flipped();
+                    let t = base + rng.usize_in(0, 7) as u64;
+                    let kappa = rng.f64_in(0.0, 0.15);
+                    reports.push(Report::new(
+                        SourceId::new(0),
+                        claim,
+                        Timestamp::from_secs(t),
+                        attitude,
+                        Uncertainty::saturating(kappa),
+                        Independence::saturating(1.0),
+                    ));
+                    for copier in 1..community {
+                        if rng.chance(0.85) {
+                            reports.push(Report::new(
+                                SourceId::new(copier as u32),
+                                claim,
+                                Timestamp::from_secs(t + 1),
+                                attitude,
+                                Uncertainty::saturating(kappa),
+                                // Copies are only partially detected as
+                                // such — the community keeps real weight.
+                                Independence::saturating(0.45),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+
+        Scenario { spec: *self, truth, reports, collusion }
+    }
+
+    fn pick_source(
+        &self,
+        rng: &mut TestRng,
+        pool: &[usize],
+        weights: &[f64],
+        tail_share: f64,
+    ) -> Option<usize> {
+        if pool.is_empty() {
+            return None;
+        }
+        match self.family {
+            Family::CoverageSkew => {
+                let total: f64 = weights.iter().sum();
+                let mut ball = rng.f64_in(0.0, total);
+                for (i, w) in weights.iter().enumerate() {
+                    ball -= w;
+                    if ball <= 0.0 {
+                        return Some(pool[i]);
+                    }
+                }
+                Some(pool[pool.len() - 1])
+            }
+            Family::LongTail => {
+                let head = LONG_TAIL_HEAD.min(pool.len());
+                if pool.len() > head && rng.chance(tail_share) {
+                    Some(pool[rng.usize_in(head, pool.len() - 1)])
+                } else {
+                    Some(pool[rng.usize_in(0, head - 1)])
+                }
+            }
+            _ => Some(*rng.pick(pool)),
+        }
+    }
+}
+
+/// Sources counted as the well-covered "head" in [`Family::LongTail`]
+/// scenarios.
+const LONG_TAIL_HEAD: usize = 3;
+
+/// A built scenario: planted truth, the generated report stream, and
+/// the collusion graph (empty outside the collusion family).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// The recipe this scenario was built from.
+    pub spec: ScenarioSpec,
+    /// Planted truth: `truth[claim][interval]`.
+    pub truth: Vec<Vec<TruthLabel>>,
+    /// Generated reports (time-ordered once assembled into a trace).
+    pub reports: Vec<Report>,
+    /// Copy edges `(template, copier)`; non-empty only for
+    /// [`Family::Collusion`] at level > 0.
+    pub collusion: Vec<(SourceId, SourceId)>,
+}
+
+impl Scenario {
+    /// Assembles the production [`Trace`] (named after the family).
+    #[must_use]
+    pub fn trace(&self) -> Trace {
+        let horizon =
+            Timestamp::from_secs(self.spec.num_intervals as u64 * TraceCase::SECS_PER_INTERVAL);
+        let timeline = Timeline::new(horizon, self.spec.num_intervals);
+        let mut gt = GroundTruth::new(self.spec.num_intervals);
+        for (c, labels) in self.truth.iter().enumerate() {
+            gt.insert(ClaimId::new(c as u32), labels.clone());
+        }
+        Trace::new(
+            self.spec.family.name(),
+            self.reports.clone(),
+            self.spec.num_sources,
+            self.spec.num_claims,
+            timeline,
+            gt,
+        )
+    }
+
+    /// Fraction of reports whose attitude contradicts the planted truth
+    /// at their interval.
+    #[must_use]
+    pub fn conflict_ratio(&self) -> f64 {
+        if self.reports.is_empty() {
+            return 0.0;
+        }
+        let conflicting = self
+            .reports
+            .iter()
+            .filter(|r| {
+                let iv = (r.time().as_secs() / TraceCase::SECS_PER_INTERVAL) as usize;
+                let label = self.truth[r.claim().index()][iv.min(self.spec.num_intervals - 1)];
+                r.attitude() != label.honest_attitude()
+            })
+            .count();
+        conflicting as f64 / self.reports.len() as f64
+    }
+
+    /// Reports per source (`coverage()[s]` is source `s`'s count).
+    #[must_use]
+    pub fn coverage(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.spec.num_sources];
+        for r in &self.reports {
+            counts[r.source().index()] += 1;
+        }
+        counts
+    }
+
+    /// Number of planted truth transitions across all claims.
+    #[must_use]
+    pub fn truth_flips(&self) -> usize {
+        self.truth.iter().map(|labels| labels.windows(2).filter(|w| w[0] != w[1]).count()).sum()
+    }
+}
+
+fn quantize(level: f64) -> f64 {
+    (level * 10.0).round() / 10.0
+}
+
+fn shrink_specs(spec: &ScenarioSpec) -> Vec<ScenarioSpec> {
+    let mut out = Vec::new();
+    let mut push = |s: ScenarioSpec| {
+        if !out.contains(&s) {
+            out.push(s);
+        }
+    };
+    if spec.level > 0.0 {
+        push(ScenarioSpec { level: 0.0, ..*spec });
+        let half = quantize(spec.level / 2.0);
+        if half < spec.level {
+            push(ScenarioSpec { level: half, ..*spec });
+        }
+    }
+    if spec.num_claims > 1 {
+        push(ScenarioSpec { num_claims: 1, ..*spec });
+        push(ScenarioSpec { num_claims: spec.num_claims / 2, ..*spec });
+    }
+    if spec.num_sources > 2 {
+        push(ScenarioSpec { num_sources: 2, ..*spec });
+        push(ScenarioSpec { num_sources: (spec.num_sources / 2).max(2), ..*spec });
+    }
+    if spec.num_intervals > 2 {
+        push(ScenarioSpec { num_intervals: 2, ..*spec });
+        push(ScenarioSpec { num_intervals: (spec.num_intervals / 2).max(2), ..*spec });
+    }
+    if spec.reports_per_cell > 1 {
+        push(ScenarioSpec { reports_per_cell: 1, ..*spec });
+    }
+    out
+}
+
+fn draw_spec(rng: &mut TestRng, family: Family) -> ScenarioSpec {
+    ScenarioSpec {
+        family,
+        level: rng.usize_in(0, 10) as f64 / 10.0,
+        seed: rng.next_u64(),
+        num_claims: rng.usize_in(1, 5),
+        num_sources: rng.usize_in(2, 12),
+        num_intervals: rng.usize_in(2, 8),
+        reports_per_cell: rng.usize_in(1, 3),
+    }
+}
+
+/// Generates scenarios of one family across the full level range.
+/// Shrinking simplifies the *spec* — level toward 0, populations toward
+/// the 2-source / 1-claim / 2-interval floor — and rebuilds, so every
+/// shrunk candidate still satisfies the family's invariants.
+#[must_use]
+pub fn scenario(family: Family) -> Gen<Scenario> {
+    Gen::new(move |rng| draw_spec(rng, family).build())
+        .with_shrink(|s| shrink_specs(&s.spec).into_iter().map(|sp| sp.build()).collect())
+}
+
+/// Generates scenarios across all five families.
+#[must_use]
+pub fn any_scenario() -> Gen<Scenario> {
+    Gen::new(move |rng| {
+        let family = *rng.pick(&Family::ALL);
+        draw_spec(rng, family).build()
+    })
+    .with_shrink(|s| shrink_specs(&s.spec).into_iter().map(|sp| sp.build()).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(family: Family, level: f64) -> ScenarioSpec {
+        ScenarioSpec {
+            family,
+            level,
+            seed: 2017,
+            num_claims: 4,
+            num_sources: 10,
+            num_intervals: 8,
+            reports_per_cell: 3,
+        }
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let s = spec(Family::Collusion, 0.7);
+        assert_eq!(s.build(), s.build());
+    }
+
+    #[test]
+    fn trace_assembles_for_every_family_and_level() {
+        for family in Family::ALL {
+            for level in [0.0, 0.5, 1.0] {
+                let sc = spec(family, level).build();
+                let trace = sc.trace();
+                assert_eq!(trace.num_claims(), 4, "{family:?}");
+                assert_eq!(trace.timeline().num_intervals(), 8);
+                assert!(!trace.reports().is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn collusion_community_scales_with_level() {
+        assert!(spec(Family::Collusion, 0.0).build().collusion.is_empty());
+        let low = spec(Family::Collusion, 0.2).build().collusion.len();
+        let high = spec(Family::Collusion, 1.0).build().collusion.len();
+        assert!(low >= 1 && high > low, "low {low}, high {high}");
+    }
+
+    #[test]
+    fn two_source_collusion_is_the_minimal_community() {
+        let s = ScenarioSpec { num_sources: 2, ..spec(Family::Collusion, 0.5) };
+        let sc = s.build();
+        assert_eq!(sc.collusion.len(), 1);
+        assert_eq!(sc.collusion[0], (SourceId::new(0), SourceId::new(1)));
+    }
+
+    #[test]
+    fn conflict_grows_with_level() {
+        let lo = spec(Family::ConflictRatio, 0.0).build().conflict_ratio();
+        let hi = spec(Family::ConflictRatio, 1.0).build().conflict_ratio();
+        assert!(hi > lo + 0.15, "conflict {lo} -> {hi}");
+    }
+
+    #[test]
+    fn drift_is_zero_at_level_zero() {
+        let sc = spec(Family::TruthDrift, 0.0).build();
+        assert_eq!(sc.truth_flips(), 0);
+    }
+}

@@ -8,7 +8,9 @@
 //! - [`TestRng`] — a SplitMix64 PRNG, so every case is a 64-bit seed;
 //! - [`Gen`] — seeded generators of arbitrary-but-valid domain values
 //!   ([`domain`]: report streams, ACS sequences, HMM parameter sets,
-//!   fault plans, engine configs) with integrated greedy shrinking;
+//!   fault plans, engine configs, and the adversarial truth-discovery
+//!   scenarios of [`domain::scenario`]) with integrated greedy
+//!   shrinking;
 //! - [`oracle`] — brute-force reference implementations (exhaustive
 //!   Viterbi, direct-sum likelihood, naive sliding-window ACS, sorted
 //!   quantiles, scanned histogram bins);

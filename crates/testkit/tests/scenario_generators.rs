@@ -1,0 +1,218 @@
+//! The adversarial scenario generators must be trustworthy before the
+//! tournament can lean on them: every generated scenario has to satisfy
+//! its own family invariants, the adversity `level` has to actually
+//! steer the statistic it claims to control, and a property failure has
+//! to shrink to the family's *minimal* counterexample (a two-source
+//! collusion community; a single planted truth flip) with a seed line
+//! that replays the exact draw.
+
+use sstd_testkit::domain::scenario::{any_scenario, scenario, Family, Scenario, ScenarioSpec};
+use sstd_testkit::domain::TraceCase;
+use sstd_testkit::{check, check_with, CheckConfig};
+use sstd_types::SourceId;
+
+/// A population large enough that empirical rates concentrate near the
+/// generator's configured probabilities.
+fn big_spec(family: Family, level: f64) -> ScenarioSpec {
+    ScenarioSpec {
+        family,
+        level,
+        seed: 2017,
+        num_claims: 20,
+        num_sources: 10,
+        num_intervals: 10,
+        reports_per_cell: 5,
+    }
+}
+
+fn family_invariants(sc: &Scenario) -> Result<(), String> {
+    let spec = &sc.spec;
+
+    // Planted truth is a full claims × intervals matrix.
+    if sc.truth.len() != spec.num_claims
+        || sc.truth.iter().any(|labels| labels.len() != spec.num_intervals)
+    {
+        return Err(format!("truth matrix is not {} x {}", spec.num_claims, spec.num_intervals));
+    }
+
+    // Every report stays inside the declared populations and timeline.
+    let horizon = spec.num_intervals as u64 * TraceCase::SECS_PER_INTERVAL;
+    for r in &sc.reports {
+        if r.source().index() >= spec.num_sources {
+            return Err(format!("report from out-of-range source {:?}", r.source()));
+        }
+        if r.claim().index() >= spec.num_claims {
+            return Err(format!("report on out-of-range claim {:?}", r.claim()));
+        }
+        if r.time().as_secs() >= horizon {
+            return Err(format!("report at {:?} is past the {horizon}s horizon", r.time()));
+        }
+    }
+
+    // The collusion graph exists exactly when the family and level call
+    // for it, always as edges from the template (source 0) to distinct
+    // copiers.
+    let expected_edges = spec.colluders();
+    if sc.collusion.len() != expected_edges {
+        return Err(format!(
+            "collusion graph has {} edges, spec says {expected_edges}",
+            sc.collusion.len()
+        ));
+    }
+    if (spec.family != Family::Collusion || spec.level <= 0.0) && !sc.collusion.is_empty() {
+        return Err("collusion edges outside the collusion regime".to_string());
+    }
+    for (i, &(template, copier)) in sc.collusion.iter().enumerate() {
+        if template != SourceId::new(0) || copier != SourceId::new(i as u32 + 1) {
+            return Err(format!("edge {i} is {template:?} -> {copier:?}"));
+        }
+    }
+
+    // Derived statistics are coherent with the report stream.
+    if sc.coverage().iter().sum::<usize>() != sc.reports.len() {
+        return Err("coverage histogram does not sum to the report count".to_string());
+    }
+    let ratio = sc.conflict_ratio();
+    if !(0.0..=1.0).contains(&ratio) {
+        return Err(format!("conflict ratio {ratio} outside [0, 1]"));
+    }
+    if spec.family == Family::TruthDrift && spec.level == 0.0 && sc.truth_flips() != 0 {
+        return Err("drift level 0 planted a truth flip".to_string());
+    }
+
+    // The build is a pure function of the spec, and the trace assembles
+    // with matching dimensions.
+    if spec.build() != *sc {
+        return Err("rebuilding the spec produced a different scenario".to_string());
+    }
+    let trace = sc.trace();
+    if trace.num_claims() != spec.num_claims
+        || trace.timeline().num_intervals() != spec.num_intervals
+    {
+        return Err("trace dimensions disagree with the spec".to_string());
+    }
+    Ok(())
+}
+
+#[test]
+fn every_scenario_satisfies_its_family_invariants() {
+    check("scenario_invariants", 1_000, &any_scenario(), family_invariants);
+}
+
+#[test]
+fn conflict_ratio_tracks_the_level_axis() {
+    // ~1000 honest-pool reports per level: the empirical conflict ratio
+    // must land near the configured dishonesty 0.1 + 0.4·level.
+    for k in 0..=10 {
+        let level = f64::from(k) / 10.0;
+        let sc = big_spec(Family::ConflictRatio, level).build();
+        let expected = sc.spec.dishonesty();
+        let got = sc.conflict_ratio();
+        assert!(
+            (got - expected).abs() < 0.07,
+            "level {level}: conflict ratio {got} far from configured {expected}"
+        );
+    }
+}
+
+#[test]
+fn coverage_skew_concentrates_reports_on_the_head() {
+    let uniform = big_spec(Family::CoverageSkew, 0.0).build().coverage();
+    let total: usize = uniform.iter().sum();
+    let fair = total / uniform.len();
+    assert!(
+        uniform[0] < fair * 2,
+        "level 0 must be near-uniform, head got {} of {total}",
+        uniform[0]
+    );
+
+    let skewed = big_spec(Family::CoverageSkew, 1.0).build().coverage();
+    let total: usize = skewed.iter().sum();
+    assert!(
+        skewed[0] * 2 > total,
+        "Zipf exponent 3 must route most reports through the head, got {} of {total}",
+        skewed[0]
+    );
+}
+
+#[test]
+fn long_tail_shifts_reports_to_tail_sources() {
+    let head_heavy = big_spec(Family::LongTail, 0.0).build().coverage();
+    let head: usize = head_heavy.iter().take(3).sum();
+    let tail: usize = head_heavy.iter().skip(3).sum();
+    assert!(head > tail, "level 0 keeps evidence on the head: {head} vs {tail}");
+
+    let tail_heavy = big_spec(Family::LongTail, 1.0).build().coverage();
+    let head: usize = tail_heavy.iter().take(3).sum();
+    let tail: usize = tail_heavy.iter().skip(3).sum();
+    assert!(tail > head * 2, "level 1 drowns the head in tail evidence: {head} vs {tail}");
+}
+
+#[test]
+fn collusion_failures_shrink_to_the_two_source_community() {
+    // A property that rejects any collusion community at all must shrink
+    // to the minimal one: two sources, a single template → copier edge,
+    // at the smallest level (0.1) that still forms a community, with
+    // every other population knob at its floor.
+    let gen = scenario(Family::Collusion);
+    let cex = check_with(CheckConfig::new(300), &gen, |sc: &Scenario| {
+        if sc.collusion.is_empty() {
+            Ok(())
+        } else {
+            Err(format!("{} copy edge(s) present", sc.collusion.len()))
+        }
+    })
+    .expect_err("level > 0 collusion scenarios appear within 300 cases");
+
+    let min = &cex.minimized;
+    assert_eq!(min.spec.num_sources, 2, "{:?}", min.spec);
+    assert_eq!(min.spec.num_claims, 1, "{:?}", min.spec);
+    assert_eq!(min.spec.num_intervals, 2, "{:?}", min.spec);
+    assert_eq!(min.spec.reports_per_cell, 1, "{:?}", min.spec);
+    assert!((min.spec.level - 0.1).abs() < 1e-9, "{:?}", min.spec);
+    assert_eq!(min.collusion, vec![(SourceId::new(0), SourceId::new(1))]);
+
+    // The printed seed line replays the exact original draw.
+    let replay = check_with(CheckConfig::new(1).with_seed(cex.case_seed), &gen, |sc: &Scenario| {
+        if sc.collusion.is_empty() {
+            Ok(())
+        } else {
+            Err("edges".into())
+        }
+    })
+    .expect_err("replay from the printed seed fails identically");
+    assert_eq!(replay.original, cex.original);
+}
+
+#[test]
+fn drift_failures_shrink_toward_zero_flips() {
+    // A property that rejects any planted truth flip: shrinking drives
+    // the level down (drift is directly proportional to it) and the
+    // populations toward the floor, landing on a scenario with the
+    // fewest flips that still fails — while level 0 itself is flip-free
+    // by construction, which is exactly why it cannot be the minimum.
+    let gen = scenario(Family::TruthDrift);
+    let cex = check_with(CheckConfig::new(300), &gen, |sc: &Scenario| {
+        let flips = sc.truth_flips();
+        if flips == 0 {
+            Ok(())
+        } else {
+            Err(format!("{flips} truth flip(s)"))
+        }
+    })
+    .expect_err("drifting scenarios appear within 300 cases");
+
+    let (orig, min) = (&cex.original, &cex.minimized);
+    assert!(min.truth_flips() >= 1, "the minimized case must still fail");
+    assert!(min.truth_flips() <= orig.truth_flips());
+    assert!(min.spec.level <= orig.spec.level, "shrinking never raises the level");
+    assert!(min.spec.level > 0.0, "level 0 has zero drift and cannot fail");
+    assert!(
+        min.spec.num_claims * min.spec.num_intervals
+            <= orig.spec.num_claims * orig.spec.num_intervals,
+        "shrinking never grows the truth matrix"
+    );
+    // The benign end of the axis really is flip-free for this very spec.
+    let benign = ScenarioSpec { level: 0.0, ..min.spec }.build();
+    assert_eq!(benign.truth_flips(), 0);
+}
